@@ -1,0 +1,454 @@
+(* Benchmark harness: regenerates every table and figure of the paper.
+
+   Sections (all run by default; select with command-line flags):
+
+     table2    benchmark characteristics (Table 2)
+     table3    field-based analysis results + demand-loading stats (Table 3)
+     table4    field-based vs field-independent (Table 4)
+     ablation  caching / cycle-elimination ablation (Section 5's ">50K x")
+     solvers   pre-transitive vs worklist vs bit-vector vs Steensgaard
+     transforms offline variable substitution (reference [21])
+     figures   the worked examples (Figures 1, 3, 4)
+     bechamel  one Bechamel micro-benchmark per table
+
+   Every table prints the paper's reported row (p:) next to the measured
+   row (m:).  Absolute times are not comparable (the paper used an 800MHz
+   Pentium III and hand-tuned C; we run synthetic workloads matched to
+   Table 2 on an OCaml implementation) — the *shape* is the claim: which
+   configuration wins, by roughly what factor, and where the blowups are.
+
+   Usage:
+     dune exec bench/main.exe                 # every section, full scale
+     dune exec bench/main.exe -- --quick      # scale the big profiles down
+     dune exec bench/main.exe -- table3       # one section
+*)
+
+open Cla_core
+open Cla_workload
+
+let quick = ref false
+let sections = ref []
+
+let () =
+  Array.iteri
+    (fun i arg ->
+      if i > 0 then
+        match arg with
+        | "--quick" -> quick := true
+        | s -> sections := s :: !sections)
+    Sys.argv
+
+let want name = !sections = [] || List.mem name !sections
+
+(* scale the two large profiles down in quick mode *)
+let profiles () =
+  List.map
+    (fun p ->
+      if !quick && (p.Profile.name = "gimp" || p.Profile.name = "lucent") then
+        Profile.scaled 0.25 p
+      else p)
+    Profile.all
+
+let heap_mb () =
+  let s = Gc.quick_stat () in
+  float_of_int (s.Gc.heap_words * 8) /. 1e6
+
+let user_time () = (Unix.times ()).Unix.tms_utime
+
+(* Per-profile workload cache: generating + compiling gimp takes a while,
+   so each (profile, mode) is compiled once and reused across sections. *)
+let workload_cache : (string, Objfile.view) Hashtbl.t = Hashtbl.create 16
+
+let compiled ?(mode = Cla_cfront.Normalize.Field_based) (p : Profile.t) =
+  let key =
+    Fmt.str "%s/%s/%.2f" p.Profile.name
+      (match mode with
+      | Cla_cfront.Normalize.Field_based -> "fb"
+      | Cla_cfront.Normalize.Field_independent -> "fi")
+      p.Profile.scale
+  in
+  match Hashtbl.find_opt workload_cache key with
+  | Some v -> v
+  | None ->
+      let files = Genc.generate p in
+      let options = { Compilep.default_options with Compilep.mode } in
+      let v = Pipeline.compile_link ~options files in
+      Hashtbl.replace workload_cache key v;
+      v
+
+let hr () = Fmt.pr "%s@." (String.make 100 '-')
+
+let k n =
+  if n >= 10_000 then Fmt.str "%dK" (n / 1000) else string_of_int n
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: benchmark characteristics                                  *)
+(* ------------------------------------------------------------------ *)
+
+let table2 () =
+  hr ();
+  Fmt.pr "TABLE 2: benchmarks (m: measured on the synthetic workload, p: paper)@.";
+  hr ();
+  Fmt.pr "%-10s %2s %10s %10s %9s %9s %8s %8s %8s %8s@." "bench" "" "obj bytes"
+    "variables" "x=y" "x=&y" "*x=y" "*x=*y" "x=*y" "LOC";
+  List.iter
+    (fun (p : Profile.t) ->
+      let v = compiled p in
+      let c = v.Objfile.rmeta.Objfile.mcounts in
+      let obj_bytes = String.length (Objfile.write (fst (Linkp.link_views [ v ]))) in
+      Fmt.pr "%-10s %2s %10d %10d %9d %9d %8d %8d %8d %8d@." p.Profile.name
+        "m:" obj_bytes (Objfile.n_vars v) c.Cla_ir.Prim.n_copy
+        c.Cla_ir.Prim.n_addr c.Cla_ir.Prim.n_store c.Cla_ir.Prim.n_deref2
+        c.Cla_ir.Prim.n_load v.Objfile.rmeta.Objfile.msource_lines;
+      let pc = p.Profile.counts in
+      Fmt.pr "%-10s %2s %10s %10d %9d %9d %8d %8d %8d %8s@." "" "p:" "-"
+        p.Profile.variables pc.Cla_ir.Prim.n_copy pc.Cla_ir.Prim.n_addr
+        pc.Cla_ir.Prim.n_store pc.Cla_ir.Prim.n_deref2 pc.Cla_ir.Prim.n_load
+        p.Profile.loc_display)
+    (profiles ())
+
+(* ------------------------------------------------------------------ *)
+(* Table 3: analysis results                                           *)
+(* ------------------------------------------------------------------ *)
+
+let table3 () =
+  hr ();
+  Fmt.pr "TABLE 3: field-based points-to analysis, demand loading@.";
+  hr ();
+  Fmt.pr "%-10s %2s %8s %10s %8s %8s %8s %9s %9s %9s@." "bench" "" "ptrs"
+    "relations" "real" "user" "heap MB" "in core" "loaded" "in file";
+  List.iter
+    (fun (p : Profile.t) ->
+      let v = compiled p in
+      Gc.compact ();
+      let h0 = heap_mb () in
+      let t0 = Unix.gettimeofday () in
+      let u0 = user_time () in
+      let r = Andersen.solve v in
+      let t1 = Unix.gettimeofday () in
+      let u1 = user_time () in
+      let h1 = heap_mb () in
+      let ls = r.Andersen.loader_stats in
+      Fmt.pr "%-10s %2s %8d %10s %7.2fs %7.2fs %8.1f %9d %9d %9d@."
+        p.Profile.name "m:"
+        (Solution.n_pointer_vars r.Andersen.solution)
+        (k (Solution.n_relations r.Andersen.solution))
+        (t1 -. t0) (u1 -. u0)
+        (Float.max 0. (h1 -. h0))
+        ls.Loader.s_in_core ls.Loader.s_loaded ls.Loader.s_in_file;
+      let t3 = p.Profile.table3 in
+      Fmt.pr "%-10s %2s %8d %10s %7.2fs %7.2fs %8.1f %9d %9d %9d@." "" "p:"
+        t3.Profile.t3_pointer_vars
+        (k t3.Profile.t3_relations)
+        t3.Profile.t3_real_s t3.Profile.t3_user_s t3.Profile.t3_size_mb
+        t3.Profile.t3_in_core t3.Profile.t3_loaded t3.Profile.t3_in_file)
+    (profiles ())
+
+(* ------------------------------------------------------------------ *)
+(* Table 4: field-based vs field-independent                           *)
+(* ------------------------------------------------------------------ *)
+
+let table4 () =
+  hr ();
+  Fmt.pr "TABLE 4: effect of a field-independent treatment of structs@.";
+  hr ();
+  Fmt.pr "%-10s %2s | %8s %10s %8s | %8s %10s %8s %9s@." "bench" ""
+    "fb ptrs" "fb rel" "fb utime" "fi ptrs" "fi rel" "fi utime" "slowdown";
+  List.iter
+    (fun (p : Profile.t) ->
+      let run mode =
+        let v = compiled ~mode p in
+        let u0 = user_time () in
+        let r = Andersen.solve v in
+        let u1 = user_time () in
+        ( Solution.n_pointer_vars r.Andersen.solution,
+          Solution.n_relations r.Andersen.solution,
+          u1 -. u0 )
+      in
+      let fb_p, fb_r, fb_t = run Cla_cfront.Normalize.Field_based in
+      let fi_p, fi_r, fi_t = run Cla_cfront.Normalize.Field_independent in
+      Fmt.pr "%-10s %2s | %8d %10s %7.2fs | %8d %10s %7.2fs %8.1fx@."
+        p.Profile.name "m:" fb_p (k fb_r) fb_t fi_p (k fi_r) fi_t
+        (if fb_t > 1e-4 then fi_t /. fb_t else Float.nan);
+      let t3 = p.Profile.table3 and t4 = p.Profile.table4 in
+      Fmt.pr "%-10s %2s | %8d %10s %7.2fs | %8d %10s %7.2fs %8.1fx@." "" "p:"
+        t3.Profile.t3_pointer_vars (k t3.Profile.t3_relations)
+        t3.Profile.t3_user_s t4.Profile.t4_pointer_vars
+        (k t4.Profile.t4_relations) t4.Profile.t4_user_s
+        (if t3.Profile.t3_user_s > 0. then
+           t4.Profile.t4_user_s /. t3.Profile.t3_user_s
+         else Float.nan))
+    (profiles ())
+
+(* ------------------------------------------------------------------ *)
+(* Ablation (Section 5): caching and cycle elimination                 *)
+(* ------------------------------------------------------------------ *)
+
+exception Timeout
+
+let run_ablation_config v config budget_s =
+  let t0 = Unix.gettimeofday () in
+  let deadline = t0 +. budget_s in
+  try
+    let st = Andersen.init ~config v in
+    let cont = ref true in
+    while !cont do
+      if Unix.gettimeofday () > deadline then raise Timeout;
+      cont := Andersen.pass st
+    done;
+    Pretrans.new_pass st.Andersen.g;
+    for var = 0 to Objfile.n_vars v - 1 do
+      if var land 63 = 0 && Unix.gettimeofday () > deadline then raise Timeout;
+      ignore (Pretrans.get_lvals st.Andersen.g var)
+    done;
+    Some (Unix.gettimeofday () -. t0)
+  with Timeout -> None
+
+let ablation_row label v budget =
+  let cell = function
+    | Some t -> Fmt.str "%11.3fs" t
+    | None -> Fmt.str "%11s" "t/o"
+  in
+  let full = run_ablation_config v { Pretrans.cache = true; cycle_elim = true } budget in
+  let nc = run_ablation_config v { Pretrans.cache = false; cycle_elim = true } budget in
+  let ne = run_ablation_config v { Pretrans.cache = true; cycle_elim = false } budget in
+  let nn = run_ablation_config v { Pretrans.cache = false; cycle_elim = false } budget in
+  Fmt.pr "%-22s %12s %12s %12s %12s@." label (cell full) (cell nc) (cell ne)
+    (cell nn);
+  match (full, nn) with
+  | Some f, Some n when f > 1e-4 ->
+      Fmt.pr "%-22s neither/full slowdown: %.0fx@." "" (n /. f)
+  | Some f, None when f > 0. ->
+      Fmt.pr "%-22s neither/full slowdown: > %.0fx (timed out)@." ""
+        (budget /. f)
+  | _ -> ()
+
+let ablation () =
+  hr ();
+  Fmt.pr "ABLATION (Section 5): caching of reachability + cycle elimination@.";
+  Fmt.pr "(the paper reports a > 50,000x slowdown on gimp with both off —@.";
+  Fmt.pr " 45,000s vs 0.8s.  The ablated configurations blow up superlinearly,@.";
+  Fmt.pr " so the sweep runs growing constraint graphs until timeout; the@.";
+  Fmt.pr " factor's growth is the claim)@.";
+  hr ();
+  Fmt.pr "%-22s %12s %12s %12s %12s@." "workload" "full" "no cache"
+    "no cyc-elim" "neither";
+  (* dense random constraint graphs: the regime where reachability caching
+     and cycle collapsing carry the algorithm *)
+  List.iter
+    (fun n ->
+      let params =
+        {
+          Cla_workload.Genir.n_vars = n;
+          n_addr = n;
+          n_copy = 2 * n;
+          n_store = n / 2;
+          n_load = n / 2;
+          n_deref2 = n / 10;
+          n_funcs = 4;
+          n_indirect = 4;
+        }
+      in
+      let v = Cla_workload.Genir.view ~params 7L in
+      ablation_row (Fmt.str "dense graph n=%d" n) v 30.)
+    (if !quick then [ 250; 500 ] else [ 250; 500; 1000; 2000 ]);
+  (* and one realistic pipeline workload for reference *)
+  let p = Profile.scaled 0.05 Profile.gimp in
+  ablation_row "gimp x 0.05 (C code)" (compiled p) 30.
+
+(* ------------------------------------------------------------------ *)
+(* Solver comparison (Section 6's related-work discussion)             *)
+(* ------------------------------------------------------------------ *)
+
+let solvers () =
+  hr ();
+  Fmt.pr "SOLVERS: pre-transitive vs transitively-closed vs bit-vector vs unification@.";
+  Fmt.pr "(the paper's positioning: subset-based precision at near-unification speed)@.";
+  hr ();
+  Fmt.pr "%-10s %14s %14s %14s %14s@." "bench" "pretransitive" "worklist"
+    "bitvector" "steensgaard";
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    ignore (f ());
+    Unix.gettimeofday () -. t0
+  in
+  List.iter
+    (fun (p : Profile.t) ->
+      let v = compiled p in
+      let pre = time (fun () -> Andersen.solve v) in
+      let wl = time (fun () -> Worklist.solve v) in
+      let bv = time (fun () -> Bitsolver.solve v) in
+      let st = time (fun () -> Steensgaard.solve v) in
+      Fmt.pr "%-10s %13.3fs %13.3fs %13.3fs %13.3fs@." p.Profile.name pre wl
+        bv st)
+    [ Profile.nethack; Profile.burlap; Profile.vortex; Profile.povray; Profile.gcc ]
+
+(* ------------------------------------------------------------------ *)
+(* Transformers: offline variable substitution (reference [21])        *)
+(* ------------------------------------------------------------------ *)
+
+let transforms () =
+  hr ();
+  Fmt.pr "TRANSFORMERS: offline variable substitution before analysis@.";
+  Fmt.pr "(the paper's database-to-database optimizer hook, instantiated@.";
+  Fmt.pr " with Rountev-Chandra-style substitution — its PLDI'00 table is@.";
+  Fmt.pr " variables/assignments removed and the analysis-time effect)@.";
+  hr ();
+  Fmt.pr "%-10s %10s %10s %10s %10s %10s %10s@." "bench" "vars" "vars'"
+    "assigns" "assigns'" "t before" "t after";
+  List.iter
+    (fun (p : Profile.t) ->
+      let v = compiled p in
+      let db = fst (Linkp.link_views [ v ]) in
+      let n_assigns (d : Objfile.db) =
+        List.length d.Objfile.statics
+        + Array.fold_left (fun a l -> a + List.length l) 0 d.Objfile.blocks
+      in
+      let t0 = Unix.gettimeofday () in
+      ignore (Andersen.solve v);
+      let t_before = Unix.gettimeofday () -. t0 in
+      let db', _ = Transform.substitute_variables db in
+      let v' = Objfile.view_of_string (Objfile.write db') in
+      let t1 = Unix.gettimeofday () in
+      ignore (Andersen.solve v');
+      let t_after = Unix.gettimeofday () -. t1 in
+      Fmt.pr "%-10s %10d %10d %10d %10d %9.3fs %9.3fs@." p.Profile.name
+        (Array.length db.Objfile.vars)
+        (Array.length db'.Objfile.vars)
+        (n_assigns db) (n_assigns db') t_before t_after)
+    [ Profile.nethack; Profile.burlap; Profile.vortex; Profile.gcc ]
+
+(* ------------------------------------------------------------------ *)
+(* Figures                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let figures () =
+  hr ();
+  Fmt.pr "FIGURES: the paper's worked examples@.";
+  hr ();
+  (* Figure 3 *)
+  let v3 =
+    Pipeline.compile_link
+      [ ("fig3.c", "int x, *y;\nint **z;\nvoid main(void) { z = &y; *z = &x; }") ]
+  in
+  let s3 = Pipeline.points_to v3 in
+  let show sol name =
+    match Solution.find sol name with
+    | Some v ->
+        Fmt.str "%s -> {%s}" name
+          (String.concat ", "
+             (List.map (Solution.var_name sol)
+                (Lvalset.to_list (Solution.points_to sol v))))
+    | None -> name ^ " -> ?"
+  in
+  Fmt.pr "Figure 3 (expect y -> {x}):   %s ; %s@." (show s3 "y") (show s3 "z");
+  (* Figure 4: object file layout *)
+  let db4 =
+    Compilep.compile_string ~file:"a.c"
+      "int x, y, z, *p, *q;\n\
+       void f(void) { x = y; x = z; *p = z; p = q; q = &y; x = *p; }"
+  in
+  let v4 = Objfile.view_of_string (Objfile.write db4) in
+  Fmt.pr "Figure 4 (object file for a.c): %d bytes, %d static record(s), blocks:@."
+    (String.length (Objfile.write db4))
+    (Array.length v4.Objfile.rstatics);
+  for var = 0 to Objfile.n_vars v4 - 1 do
+    if Objfile.has_block v4 var then
+      Fmt.pr "  block %-4s: %d assignment(s)@."
+        v4.Objfile.rvars.(var).Objfile.vname
+        (List.length (Objfile.read_block v4 var))
+  done;
+  (* Figure 1: dependence chains *)
+  let v1 =
+    Pipeline.compile_link
+      [
+        ( "eg1.c",
+          "short target;\n\
+           struct S { short x; short y; };\n\
+           short u, *v, w;\n\
+           struct S s, t;\n\
+           void main(void) {\n\
+           v = &w;\n\
+           u = target;\n\
+           *v = u;\n\
+           s.x = w;\n\
+           }" );
+      ]
+  in
+  let pta = Andersen.solve v1 in
+  let dep = Cla_depend.Depend.prepare v1 pta in
+  match Cla_depend.Depend.query_by_name dep "target" with
+  | Some r ->
+      Fmt.pr "Figure 1 (dependence chains for 'target'):@.%a"
+        (Cla_depend.Depend.pp_report dep) r
+  | None -> Fmt.pr "Figure 1: target not found?!@."
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per table                  *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel () =
+  hr ();
+  Fmt.pr "BECHAMEL: micro-benchmarks (one Test.make per table)@.";
+  hr ();
+  let open Bechamel in
+  let p = Profile.scaled 0.1 Profile.nethack in
+  let files = Genc.generate p in
+  let view = Pipeline.compile_link files in
+  let view_fi =
+    Pipeline.compile_link
+      ~options:
+        {
+          Compilep.default_options with
+          Compilep.mode = Cla_cfront.Normalize.Field_independent;
+        }
+      files
+  in
+  let tests =
+    Test.make_grouped ~name:"cla"
+      [
+        (* Table 2's cost: the compile+link phases *)
+        Test.make ~name:"table2.compile_link"
+          (Staged.stage (fun () -> ignore (Pipeline.compile_link files)));
+        (* Table 3's cost: field-based demand-driven analysis *)
+        Test.make ~name:"table3.analyze_field_based"
+          (Staged.stage (fun () -> ignore (Andersen.solve view)));
+        (* Table 4's cost: field-independent analysis *)
+        Test.make ~name:"table4.analyze_field_independent"
+          (Staged.stage (fun () -> ignore (Andersen.solve view_fi)));
+        (* Table 1 drives the dependence ranking *)
+        Test.make ~name:"table1.dependence_query"
+          (Staged.stage (fun () ->
+               let pta = Andersen.solve view in
+               let dep = Cla_depend.Depend.prepare view pta in
+               match Objfile.find_targets view "g0_0" with
+               | t :: _ -> ignore (Cla_depend.Depend.query dep t)
+               | [] -> ()));
+      ]
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) () in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Fmt.pr "%-45s %12.3f ms/run@." name (est /. 1e6)
+      | _ -> Fmt.pr "%-45s (no estimate)@." name)
+    results
+
+let () =
+  let t0 = Unix.gettimeofday () in
+  if want "table2" then table2 ();
+  if want "table3" then table3 ();
+  if want "table4" then table4 ();
+  if want "ablation" then ablation ();
+  if want "solvers" then solvers ();
+  if want "transforms" then transforms ();
+  if want "figures" then figures ();
+  if want "bechamel" then bechamel ();
+  hr ();
+  Fmt.pr "total bench time: %.1fs@." (Unix.gettimeofday () -. t0)

@@ -1,0 +1,493 @@
+(* The cla command-line driver, mirroring the paper's three-phase
+   architecture plus the applications built on it.
+
+     cla compile a.c -o a.clo
+     cla link a.clo b.clo -o prog.cla
+     cla analyze prog.cla [--algo pretransitive|worklist|bitvector|steensgaard]
+                          [--no-cache] [--no-cycle-elim] [--print]
+     cla depend prog.cla --target x [--non-target y] [--new-type int] [--tree]
+     cla transform prog.cla [--substitute] [--duplicate-contexts] -o out.cla
+     cla dump prog.cla [--blocks]
+     cla gen gimp -d outdir [--scale 0.1] [--seed 7]
+*)
+
+open Cmdliner
+open Cla_core
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let handle_errors f =
+  try f () with
+  | Cla_cfront.Cparser.Parse_error (msg, loc) ->
+      Error (Fmt.str "parse error: %s at %a" msg Cla_ir.Loc.pp loc)
+  | Cla_cfront.Cpp.Cpp_error (msg, file, line) ->
+      Error (Fmt.str "cpp error: %s at %s:%d" msg file line)
+  | Cla_cfront.Clexer.Error (msg, pos) ->
+      Error
+        (Fmt.str "lex error: %s at %s:%d" msg pos.Lexing.pos_fname
+           pos.Lexing.pos_lnum)
+  | Binio.Corrupt msg -> Error ("corrupt object file: " ^ msg)
+  | Sys_error msg -> Error msg
+
+let to_exit = function
+  | Ok () -> 0
+  | Error msg ->
+      Fmt.epr "cla: %s@." msg;
+      1
+
+(* ------------------------------------------------------------------ *)
+(* Common options                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let mode_arg =
+  let field_independent =
+    Arg.(
+      value & flag
+      & info [ "field-independent" ]
+          ~doc:
+            "Treat struct field accesses as accesses to the whole base \
+             object (the default is the paper's field-based mode).")
+  in
+  Term.(
+    const (fun fi ->
+        if fi then Cla_cfront.Normalize.Field_independent
+        else Cla_cfront.Normalize.Field_based)
+    $ field_independent)
+
+let include_dirs_arg =
+  Arg.(
+    value & opt_all dir []
+    & info [ "I" ] ~docv:"DIR" ~doc:"Add $(docv) to the #include search path.")
+
+let defines_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "D" ] ~docv:"NAME[=VALUE]"
+        ~doc:"Predefine $(docv) for the preprocessor.")
+
+let parse_defines ds =
+  List.map
+    (fun d ->
+      match String.index_opt d '=' with
+      | Some i -> (String.sub d 0 i, String.sub d (i + 1) (String.length d - i - 1))
+      | None -> (d, "1"))
+    ds
+
+let options_term =
+  Term.(
+    const (fun mode include_dirs defines ->
+        {
+          Compilep.mode;
+          include_dirs;
+          defines = parse_defines defines;
+          virtual_fs = [];
+        })
+    $ mode_arg $ include_dirs_arg $ defines_arg)
+
+(* ------------------------------------------------------------------ *)
+(* compile                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let compile_cmd =
+  let sources =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE.c")
+  in
+  let output =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE.clo"
+          ~doc:"Output object file (default: source with .clo extension).")
+  in
+  let run options sources output =
+    handle_errors (fun () ->
+        List.iter
+          (fun src ->
+            let out =
+              match (output, sources) with
+              | Some o, [ _ ] -> o
+              | _ -> Filename.remove_extension src ^ ".clo"
+            in
+            Compilep.compile_to ~options ~output:out src;
+            Fmt.pr "%s -> %s@." src out)
+          sources;
+        Ok ())
+    |> to_exit
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Parse C sources into CLA object files (no analysis).")
+    Term.(const run $ options_term $ sources $ output)
+
+(* ------------------------------------------------------------------ *)
+(* link                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let link_cmd =
+  let objects = Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE.clo") in
+  let output =
+    Arg.(
+      value
+      & opt string "prog.cla"
+      & info [ "o"; "output" ] ~docv:"FILE.cla" ~doc:"Linked database output.")
+  in
+  let run objects output =
+    handle_errors (fun () ->
+        let stats = Linkp.link_files ~output objects in
+        Fmt.pr "%d unit(s) -> %s: %d objects (%d extern references merged)@."
+          stats.Linkp.n_units output stats.Linkp.n_vars_out
+          stats.Linkp.n_extern_merged;
+        Ok ())
+    |> to_exit
+  in
+  Cmd.v
+    (Cmd.info "link" ~doc:"Merge object files into one database, linking global symbols.")
+    Term.(const run $ objects $ output)
+
+(* ------------------------------------------------------------------ *)
+(* analyze                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let analyze_cmd =
+  let db = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.cla") in
+  let algo =
+    Arg.(
+      value
+      & opt string "pretransitive"
+      & info [ "algo" ] ~docv:"NAME"
+          ~doc:
+            "Solver: pretransitive (paper), worklist, bitvector, or \
+             steensgaard.")
+  in
+  let print_sets =
+    Arg.(value & flag & info [ "print" ] ~doc:"Print every points-to set.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the points-to sets as JSON (for downstream tooling).")
+  in
+  let no_cache =
+    Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable reachability caching (ablation).")
+  in
+  let no_cycle =
+    Arg.(value & flag & info [ "no-cycle-elim" ] ~doc:"Disable cycle elimination (ablation).")
+  in
+  let json_escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | c when Char.code c < 32 -> Buffer.add_string b (Fmt.str "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  in
+  let print_json sol =
+    Fmt.pr "{@.";
+    let first = ref true in
+    for v = 0 to Array.length sol.Solution.pts - 1 do
+      let pts = Solution.points_to sol v in
+      if Lvalset.cardinal pts > 0 && Solution.is_program_var sol v then begin
+        if not !first then Fmt.pr ",@.";
+        first := false;
+        let targets =
+          Lvalset.to_list pts
+          |> List.map (fun z -> Fmt.str "%S" (json_escape (Solution.var_name sol z)))
+        in
+        Fmt.pr "  \"%s\": [%s]" (json_escape (Solution.var_name sol v))
+          (String.concat ", " targets)
+      end
+    done;
+    Fmt.pr "@.}@."
+  in
+  let run db algo print_sets json no_cache no_cycle =
+    handle_errors (fun () ->
+        let* algorithm =
+          match Pipeline.algorithm_of_string algo with
+          | Some a -> Ok a
+          | None -> Error (Fmt.str "unknown algorithm %S" algo)
+        in
+        let view = Objfile.load db in
+        let t0 = Unix.gettimeofday () in
+        let sol, extra =
+          match algorithm with
+          | Pipeline.Pretransitive ->
+              let config =
+                { Pretrans.cache = not no_cache; cycle_elim = not no_cycle }
+              in
+              let r = Andersen.solve ~config view in
+              let ls = r.Andersen.loader_stats in
+              ( r.Andersen.solution,
+                Fmt.str " passes=%d in-core=%d loaded=%d in-file=%d"
+                  r.Andersen.passes ls.Loader.s_in_core ls.Loader.s_loaded
+                  ls.Loader.s_in_file )
+          | _ -> (Pipeline.points_to ~algorithm view, "")
+        in
+        let dt = Unix.gettimeofday () -. t0 in
+        if json then print_json sol
+        else begin
+          if print_sets then Fmt.pr "%a" Solution.pp sol;
+          Fmt.pr "%s: %d pointer variables, %d points-to relations, %.3fs%s@."
+            (Pipeline.algorithm_name algorithm)
+            (Solution.n_pointer_vars sol)
+            (Solution.n_relations sol) dt extra
+        end;
+        Ok ())
+    |> to_exit
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Run a points-to analysis over a linked database.")
+    Term.(const run $ db $ algo $ print_sets $ json $ no_cache $ no_cycle)
+
+(* ------------------------------------------------------------------ *)
+(* depend                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let depend_cmd =
+  let db = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.cla") in
+  let target =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "target"; "t" ] ~docv:"NAME"
+          ~doc:"The object whose type is to be changed.")
+  in
+  let non_targets =
+    Arg.(
+      value & opt_all string []
+      & info [ "non-target" ] ~docv:"NAME"
+          ~doc:"Objects known to be irrelevant; chains through them are pruned.")
+  in
+  let limit =
+    Arg.(
+      value & opt int 50
+      & info [ "limit" ] ~docv:"N" ~doc:"Print at most $(docv) chains.")
+  in
+  let new_type =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "new-type" ] ~docv:"TYPE"
+          ~doc:
+            "Annotate each dependent with whether it must widen when the \
+             target's type becomes $(docv) (e.g. int).")
+  in
+  let tree =
+    Arg.(
+      value & flag
+      & info [ "tree" ] ~doc:"Render the chains as a tree rooted at the target.")
+  in
+  let run db target non_targets limit new_type tree =
+    handle_errors (fun () ->
+        let view = Objfile.load db in
+        let pta = Andersen.solve view in
+        let dep = Cla_depend.Depend.prepare view pta in
+        match Cla_depend.Depend.query_by_name dep ~non_targets target with
+        | None -> Error (Fmt.str "target %S not found" target)
+        | Some r ->
+            let r =
+              {
+                r with
+                Cla_depend.Depend.r_dependents =
+                  List.filteri
+                    (fun i _ -> i < limit)
+                    r.Cla_depend.Depend.r_dependents;
+              }
+            in
+            (match (tree, new_type) with
+            | true, _ -> Fmt.pr "%a" (Cla_depend.Depend.pp_tree dep) r
+            | false, Some ty ->
+                Fmt.pr "%a" (Cla_depend.Depend.pp_report_narrowing dep ~new_type:ty) r
+            | false, None -> Fmt.pr "%a" (Cla_depend.Depend.pp_report dep) r);
+            Ok ())
+    |> to_exit
+  in
+  Cmd.v
+    (Cmd.info "depend"
+       ~doc:"Forward data-dependence analysis: find objects that take values from the target.")
+    Term.(const run $ db $ target $ non_targets $ limit $ new_type $ tree)
+
+(* ------------------------------------------------------------------ *)
+(* transform                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let transform_cmd =
+  let db = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.cla") in
+  let output =
+    Arg.(
+      value
+      & opt string "out.cla"
+      & info [ "o"; "output" ] ~docv:"FILE.cla" ~doc:"Transformed database.")
+  in
+  let substitute =
+    Arg.(
+      value & flag
+      & info [ "substitute" ]
+          ~doc:"Offline variable substitution: merge copy-equivalent objects.")
+  in
+  let duplicate =
+    Arg.(
+      value & flag
+      & info [ "duplicate-contexts" ]
+          ~doc:
+            "Simulate context-sensitivity by cloning functions per direct \
+             call site.")
+  in
+  let run db output substitute duplicate =
+    handle_errors (fun () ->
+        let view = Objfile.load db in
+        let d = fst (Linkp.link_views [ view ]) in
+        let d =
+          if duplicate then begin
+            let d', st = Transform.duplicate_contexts d in
+            Fmt.pr "duplicate-contexts: %d function(s) cloned, %d clone(s)@."
+              st.Transform.cloned_functions st.Transform.clones;
+            d'
+          end
+          else d
+        in
+        let d =
+          if substitute then begin
+            let d', st = Transform.substitute_variables d in
+            Fmt.pr "substitute: %d variable(s) merged, %d assignment(s) dropped@."
+              st.Transform.merged_vars st.Transform.dropped_assignments;
+            d'
+          end
+          else d
+        in
+        Objfile.save output d;
+        Fmt.pr "%s -> %s@." db output;
+        Ok ())
+    |> to_exit
+  in
+  Cmd.v
+    (Cmd.info "transform"
+       ~doc:"Apply database-to-database pre-analysis optimizers (Section 4).")
+    Term.(const run $ db $ output $ substitute $ duplicate)
+
+(* ------------------------------------------------------------------ *)
+(* dump                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let dump_cmd =
+  let db = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let blocks =
+    Arg.(value & flag & info [ "blocks" ] ~doc:"Also dump every dynamic block.")
+  in
+  let run db blocks =
+    handle_errors (fun () ->
+        let view = Objfile.load db in
+        let m = view.Objfile.rmeta in
+        Fmt.pr "files: %a@." Fmt.(list ~sep:comma string) m.Objfile.mfiles;
+        Fmt.pr "source lines: %d, preprocessed lines: %d@."
+          m.Objfile.msource_lines m.Objfile.mpreproc_lines;
+        Fmt.pr "assignments: %a@." Cla_ir.Prim.pp_counts m.Objfile.mcounts;
+        Fmt.pr "objects: %d; fundefs: %d; indirect call sites: %d@."
+          (Objfile.n_vars view)
+          (Array.length view.Objfile.rfundefs)
+          (Array.length view.Objfile.rindirects);
+        Fmt.pr "@.static section (always loaded):@.";
+        Array.iter
+          (fun (p : Objfile.prim_rec) ->
+            Fmt.pr "  %s = &%s %a@."
+              view.Objfile.rvars.(p.Objfile.pdst).Objfile.vname
+              view.Objfile.rvars.(p.Objfile.psrc).Objfile.vname Cla_ir.Loc.pp
+              p.Objfile.ploc)
+          view.Objfile.rstatics;
+        if blocks then begin
+          Fmt.pr "@.dynamic section (loaded on demand, by source object):@.";
+          for v = 0 to Objfile.n_vars view - 1 do
+            if Objfile.has_block view v then begin
+              let vi = view.Objfile.rvars.(v) in
+              Fmt.pr "  %s @@ %a@." vi.Objfile.vname Cla_ir.Loc.pp vi.Objfile.vloc;
+              List.iter
+                (fun (p : Objfile.prim_rec) ->
+                  let dst = view.Objfile.rvars.(p.Objfile.pdst).Objfile.vname in
+                  let src = vi.Objfile.vname in
+                  let txt =
+                    match p.Objfile.pkind with
+                    | Objfile.Pcopy -> Fmt.str "%s = %s" dst src
+                    | Objfile.Paddr -> Fmt.str "%s = &%s" dst src
+                    | Objfile.Pstore -> Fmt.str "*%s = %s" dst src
+                    | Objfile.Pload -> Fmt.str "%s = *%s" dst src
+                    | Objfile.Pderef2 -> Fmt.str "*%s = *%s" dst src
+                  in
+                  let op =
+                    match p.Objfile.pop with
+                    | Some (o, s) ->
+                        Fmt.str " [%s/%s]" o (Cla_ir.Strength.to_string s)
+                    | None -> ""
+                  in
+                  Fmt.pr "    %s%s %a@." txt op Cla_ir.Loc.pp p.Objfile.ploc)
+                (Objfile.read_block view v)
+            end
+          done
+        end;
+        Ok ())
+    |> to_exit
+  in
+  Cmd.v
+    (Cmd.info "dump" ~doc:"Inspect an object file or linked database (Figure 4's view).")
+    Term.(const run $ db $ blocks)
+
+(* ------------------------------------------------------------------ *)
+(* gen                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let gen_cmd =
+  let profile =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"PROFILE"
+          ~doc:"One of nethack, burlap, vortex, emacs, povray, gcc, gimp, lucent.")
+  in
+  let dir =
+    Arg.(
+      value & opt string "."
+      & info [ "d"; "dir" ] ~docv:"DIR" ~doc:"Directory for the generated sources.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Generator seed.")
+  in
+  let scale =
+    Arg.(
+      value & opt float 1.0
+      & info [ "scale" ] ~docv:"F" ~doc:"Scale the profile down (0 < F <= 1).")
+  in
+  let run profile dir seed scale =
+    handle_errors (fun () ->
+        let* p =
+          match Cla_workload.Profile.find profile with
+          | Some p -> Ok p
+          | None -> Error (Fmt.str "unknown profile %S" profile)
+        in
+        let p =
+          if scale < 1.0 then Cla_workload.Profile.scaled scale p else p
+        in
+        let files = Cla_workload.Genc.generate ~seed:(Int64.of_int seed) p in
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        List.iter
+          (fun (name, content) ->
+            let path = Filename.concat dir name in
+            let oc = open_out path in
+            output_string oc content;
+            close_out oc;
+            Fmt.pr "%s@." path)
+          files;
+        Ok ())
+    |> to_exit
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a synthetic C workload matching a Table 2 profile.")
+    Term.(const run $ profile $ dir $ seed $ scale)
+
+let main =
+  Cmd.group
+    (Cmd.info "cla" ~version:"1.0.0"
+       ~doc:"Compile-link-analyze points-to and dependence analysis for C.")
+    [ compile_cmd; link_cmd; analyze_cmd; depend_cmd; transform_cmd; dump_cmd; gen_cmd ]
+
+let () = exit (Cmd.eval' main)

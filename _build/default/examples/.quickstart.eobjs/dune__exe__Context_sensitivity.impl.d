@@ -1,0 +1,1 @@
+examples/context_sensitivity.ml: Array Cla_core Compilep Fmt Linkp List Lvalset Objfile Pipeline Solution Transform

@@ -1,0 +1,1 @@
+examples/context_sensitivity.mli:

@@ -1,0 +1,1 @@
+examples/fieldcmp.ml: Cla_cfront Cla_core Compilep Fmt List Lvalset Normalize Pipeline Solution

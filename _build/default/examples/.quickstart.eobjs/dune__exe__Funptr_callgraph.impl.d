@@ -1,0 +1,1 @@
+examples/funptr_callgraph.ml: Array Cla_core Cla_ir Fmt List Loc Lvalset Objfile Pipeline Solution Var

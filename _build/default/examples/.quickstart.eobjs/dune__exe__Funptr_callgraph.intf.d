@@ -1,0 +1,1 @@
+examples/funptr_callgraph.mli:

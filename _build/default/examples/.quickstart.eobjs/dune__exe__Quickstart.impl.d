@@ -1,0 +1,1 @@
+examples/quickstart.ml: Andersen Cla_core Fmt List Loader Lvalset Pipeline Solution

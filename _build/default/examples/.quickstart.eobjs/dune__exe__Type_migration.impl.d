@@ -1,0 +1,1 @@
+examples/type_migration.ml: Cla_core Cla_depend Fmt Pipeline

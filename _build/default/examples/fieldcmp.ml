@@ -1,0 +1,46 @@
+(* Field-based vs field-independent struct handling, on the program from
+   Section 3 of the paper.  Neither mode dominates: field-based says p and
+   r can point to z (fields are shared across instances); field-independent
+   says p and q can (instances are separate, fields are merged).
+
+   Run with: dune exec examples/fieldcmp.exe *)
+
+open Cla_core
+open Cla_cfront
+
+let source =
+  {|
+struct S { int *x; int *y; } A, B;
+int z;
+int main(void) {
+  int *p, *q, *r, *s;
+  A.x = &z;   /* field-based: assigns to "S.x";
+                 field-independent: assigns to "A" */
+  p = A.x;    /* p gets &z in both approaches */
+  q = A.y;    /* field-independent: q gets &z */
+  r = B.x;    /* field-based: r gets &z */
+  s = B.y;    /* in neither approach does s get &z */
+  return 0;
+}
+|}
+
+let run mode label =
+  let options = { Compilep.default_options with Compilep.mode } in
+  let view = Pipeline.compile_link ~options [ ("fields.c", source) ] in
+  let sol = Pipeline.points_to view in
+  Fmt.pr "=== %s ===@." label;
+  List.iter
+    (fun name ->
+      match Solution.find sol name with
+      | Some v ->
+          let pts = Solution.points_to sol v in
+          Fmt.pr "%s -> {%a}@." name
+            Fmt.(list ~sep:comma string)
+            (List.map (Solution.var_name sol) (Lvalset.to_list pts))
+      | None -> ())
+    [ "p"; "q"; "r"; "s" ];
+  Fmt.pr "@."
+
+let () =
+  run Normalize.Field_based "field-based (the paper's default)";
+  run Normalize.Field_independent "field-independent (most other systems)"

@@ -1,0 +1,1 @@
+lib/cfront/cast.ml: Cla_ir Fmt Loc String

@@ -1,0 +1,1 @@
+lib/cfront/clexer.ml: Array Buffer Char Ctoken Fmt Hashtbl Int64 Lexing List String

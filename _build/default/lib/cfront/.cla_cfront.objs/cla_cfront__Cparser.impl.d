@@ -1,0 +1,1 @@
+lib/cfront/cparser.ml: Array Buffer Cast Cla_ir Clexer Ctoken Filename Fmt Hashtbl Lexing List Loc String

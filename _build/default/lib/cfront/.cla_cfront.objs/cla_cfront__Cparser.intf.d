@@ -1,0 +1,1 @@
+lib/cfront/cparser.mli: Cast Cla_ir Hashtbl

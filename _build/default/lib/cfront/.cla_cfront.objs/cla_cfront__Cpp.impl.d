@@ -1,0 +1,1 @@
+lib/cfront/cpp.ml: Buffer Char Filename Fmt Hashtbl Int64 List Set String Sys

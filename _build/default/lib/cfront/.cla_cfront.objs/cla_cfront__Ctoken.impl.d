@@ -1,0 +1,1 @@
+lib/cfront/ctoken.ml: Fmt

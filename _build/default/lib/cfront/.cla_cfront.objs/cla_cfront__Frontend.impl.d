@@ -1,0 +1,1 @@
+lib/cfront/frontend.ml: Cla_ir Cparser Cpp Normalize Prog

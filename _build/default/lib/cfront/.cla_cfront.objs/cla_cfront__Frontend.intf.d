@@ -1,0 +1,1 @@
+lib/cfront/frontend.mli: Cla_ir Normalize Prog

@@ -1,0 +1,1 @@
+lib/cfront/normalize.ml: Cast Cla_ir Cparser Filename Fmt Hashtbl Int64 List Loc Option Prim Prog Strength Typechk Var Vartab

@@ -1,0 +1,1 @@
+lib/cfront/normalize.mli: Cla_ir Cparser Prog

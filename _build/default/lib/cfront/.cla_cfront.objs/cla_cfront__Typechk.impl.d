@@ -1,0 +1,1 @@
+lib/cfront/typechk.ml: Cast Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/cfront/typechk.mli: Cast Hashtbl

@@ -1,0 +1,108 @@
+{
+(* C lexer.  Consumes preprocessed text; understands the GNU-style line
+   markers [# <line> "<file>"] that the mini preprocessor (Cpp) emits, so
+   tokens carry their original source locations. *)
+
+open Ctoken
+
+exception Error of string * Lexing.position
+
+let kw = Hashtbl.create 64
+let () = List.iter (fun (k, v) -> Hashtbl.replace kw k v) keyword_table
+
+let ident s = match Hashtbl.find_opt kw s with Some t -> t | None -> IDENT s
+
+let newline lexbuf =
+  let p = lexbuf.Lexing.lex_curr_p in
+  lexbuf.Lexing.lex_curr_p <-
+    { p with pos_lnum = p.pos_lnum + 1; pos_bol = p.pos_cnum }
+
+(* Set position from a "# line file" marker. *)
+let set_position lexbuf line file =
+  let p = lexbuf.Lexing.lex_curr_p in
+  lexbuf.Lexing.lex_curr_p <-
+    { p with pos_fname = file; pos_lnum = line; pos_bol = p.pos_cnum }
+
+let int_of_spelling s =
+  (* strip suffixes u/U/l/L *)
+  let e = ref (String.length s) in
+  while !e > 0 && (match s.[!e - 1] with 'u' | 'U' | 'l' | 'L' -> true | _ -> false) do
+    decr e
+  done;
+  let body = String.sub s 0 !e in
+  try Int64.of_string body with _ -> 0L
+
+let char_of_escape = function
+  | 'n' -> 10 | 't' -> 9 | 'r' -> 13 | 'b' -> 8 | 'f' -> 12
+  | 'v' -> 11 | 'a' -> 7 | '0' -> 0 | '\\' -> 92 | '\'' -> 39
+  | '"' -> 34 | '?' -> 63 | c -> Char.code c
+}
+
+let digit = ['0'-'9']
+let hexdigit = ['0'-'9' 'a'-'f' 'A'-'F']
+let letter = ['a'-'z' 'A'-'Z' '_']
+let intsuffix = ['u' 'U' 'l' 'L']*
+let exponent = ['e' 'E'] ['+' '-']? digit+
+
+rule token = parse
+  | [' ' '\t' '\r']+        { token lexbuf }
+  | '\n'                    { newline lexbuf; token lexbuf }
+  | "//" [^ '\n']*          { token lexbuf }
+  | "/*"                    { comment lexbuf; token lexbuf }
+  | '#' [' ' '\t']* (digit+ as line) [' ' '\t']* '"' ([^ '"']* as file) '"' [^ '\n']* '\n'
+      { set_position lexbuf (int_of_string line) file; token lexbuf }
+  | '#' [^ '\n']* '\n'      { newline lexbuf; token lexbuf }
+      (* stray directives (e.g. #pragma surviving cpp) are skipped *)
+  | letter (letter | digit)* as s { ident s }
+  | "0" ['x' 'X'] hexdigit+ intsuffix as s { INTLIT (int_of_spelling s, s) }
+  | digit+ intsuffix as s   { INTLIT (int_of_spelling s, s) }
+  | digit+ '.' digit* exponent? ['f' 'F' 'l' 'L']? as s { FLOATLIT s }
+  | '.' digit+ exponent? ['f' 'F' 'l' 'L']? as s        { FLOATLIT s }
+  | digit+ exponent ['f' 'F' 'l' 'L']? as s             { FLOATLIT s }
+  | "'" ([^ '\\' '\''] as c) "'"      { CHARLIT (Char.code c) }
+  | "'\\" (_ as c) "'"                { CHARLIT (char_of_escape c) }
+  | "'\\" (['0'-'7']+ as o) "'"       { CHARLIT (int_of_string ("0o" ^ o) land 255) }
+  | "'\\x" (hexdigit+ as h) "'"       { CHARLIT (int_of_string ("0x" ^ h) land 255) }
+  | '"'                     { let b = Buffer.create 16 in string_body b lexbuf }
+  | "..."  { ELLIPSIS }
+  | "<<=" { LTLTEQ } | ">>=" { GTGTEQ }
+  | "->" { ARROW } | "++" { PLUSPLUS } | "--" { MINUSMINUS }
+  | "<<" { LTLT } | ">>" { GTGT } | "<=" { LE } | ">=" { GE }
+  | "==" { EQEQ } | "!=" { BANGEQ } | "&&" { AMPAMP } | "||" { BARBAR }
+  | "+=" { PLUSEQ } | "-=" { MINUSEQ } | "*=" { STAREQ } | "/=" { SLASHEQ }
+  | "%=" { PERCENTEQ } | "&=" { AMPEQ } | "^=" { CARETEQ } | "|=" { BAREQ }
+  | '(' { LPAREN } | ')' { RPAREN } | '[' { LBRACKET } | ']' { RBRACKET }
+  | '{' { LBRACE } | '}' { RBRACE } | ';' { SEMI } | ',' { COMMA }
+  | ':' { COLON } | '?' { QUESTION } | '.' { DOT }
+  | '&' { AMP } | '*' { STAR } | '+' { PLUS } | '-' { MINUS }
+  | '~' { TILDE } | '!' { BANG } | '/' { SLASH } | '%' { PERCENT }
+  | '<' { LT } | '>' { GT } | '^' { CARET } | '|' { BAR } | '=' { EQ }
+  | eof { EOF }
+  | _ as c
+      { raise (Error (Fmt.str "unexpected character %C" c, lexbuf.Lexing.lex_curr_p)) }
+
+and comment = parse
+  | "*/" { () }
+  | '\n' { newline lexbuf; comment lexbuf }
+  | eof  { raise (Error ("unterminated comment", lexbuf.Lexing.lex_curr_p)) }
+  | _    { comment lexbuf }
+
+and string_body b = parse
+  | '"'  { STRLIT (Buffer.contents b) }
+  | "\\" (_ as c) { Buffer.add_char b (Char.chr (char_of_escape c)); string_body b lexbuf }
+  | '\n' { newline lexbuf; Buffer.add_char b '\n'; string_body b lexbuf }
+  | eof  { raise (Error ("unterminated string", lexbuf.Lexing.lex_curr_p)) }
+  | _ as c { Buffer.add_char b c; string_body b lexbuf }
+
+{
+(* Convenience: lex a whole string to a token list (used by tests). *)
+let tokens_of_string ?(file = "<string>") s =
+  let lexbuf = Lexing.from_string s in
+  Lexing.set_filename lexbuf file;
+  let rec go acc =
+    match token lexbuf with
+    | EOF -> List.rev (EOF :: acc)
+    | t -> go (t :: acc)
+  in
+  go []
+}

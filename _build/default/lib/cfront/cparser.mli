@@ -1,0 +1,18 @@
+(** Typedef-aware recursive-descent parser for the C subset of {!Cast}.
+
+    C's grammar is context-sensitive ([x * y;] is a declaration iff [x]
+    names a type), so the parser keeps a scope stack recording whether
+    each visible identifier currently names a typedef or an object.
+    Accepts preprocessed text with the GNU-style line markers {!Cpp}
+    emits, so AST locations refer to original files. *)
+
+exception Parse_error of string * Cla_ir.Loc.t
+
+(** The parsed unit plus the typedef environment (the normalizer resolves
+    {!Cast.Tnamed} through it). *)
+type result = {
+  tunit : Cast.tunit;
+  typedefs : (string, Cast.typ) Hashtbl.t;
+}
+
+val parse_string : ?file:string -> string -> result

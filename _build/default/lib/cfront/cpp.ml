@@ -1,0 +1,724 @@
+(* Mini C preprocessor.
+
+   The paper's compile phase consumes unpreprocessed source (Table 2 counts
+   source lines before preprocessing) and runs it through cpp before ckit
+   parses it.  The container is sealed, so we implement the subset of cpp
+   that real code bases and our synthetic workloads exercise: object- and
+   function-like macros (with # stringize and ## paste), #include with
+   search paths and a virtual filesystem for tests, the full conditional
+   family (#if/#ifdef/#ifndef/#elif/#else/#endif) with a constant-expression
+   evaluator, #undef, #error, and #pragma/#line pass-through.
+
+   Output is plain text with GNU-style [# <line> "<file>"] markers that
+   Clexer interprets, so downstream locations refer to original files. *)
+
+exception Cpp_error of string * string * int (* message, file, line *)
+
+let error file line fmt = Fmt.kstr (fun m -> raise (Cpp_error (m, file, line))) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Preprocessing tokens: a deliberately small token language.          *)
+(* ------------------------------------------------------------------ *)
+
+type ptok =
+  | Id of string
+  | Num of string
+  | Str of string  (* with quotes, verbatim *)
+  | Ch of string  (* with quotes, verbatim *)
+  | Punct of string
+  | Ws  (* any run of whitespace *)
+
+let ptok_text = function
+  | Id s | Num s | Str s | Ch s | Punct s -> s
+  | Ws -> " "
+
+let is_id_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_id_char c = is_id_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+(* Scan one logical line into ptoks.  Comments were removed earlier. *)
+let scan_line ~file ~line s =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  let push t = toks := t :: !toks in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\r' then begin
+      while !i < n && (s.[!i] = ' ' || s.[!i] = '\t' || s.[!i] = '\r') do incr i done;
+      push Ws
+    end
+    else if is_id_start c then begin
+      let j = ref !i in
+      while !j < n && is_id_char s.[!j] do incr j done;
+      push (Id (String.sub s !i (!j - !i)));
+      i := !j
+    end
+    else if is_digit c || (c = '.' && !i + 1 < n && is_digit s.[!i + 1]) then begin
+      (* pp-number: digits, letters, dots, exponent signs *)
+      let j = ref !i in
+      while
+        !j < n
+        && (is_id_char s.[!j] || s.[!j] = '.'
+           || ((s.[!j] = '+' || s.[!j] = '-')
+              && !j > !i
+              && (match s.[!j - 1] with 'e' | 'E' | 'p' | 'P' -> true | _ -> false)))
+      do
+        incr j
+      done;
+      push (Num (String.sub s !i (!j - !i)));
+      i := !j
+    end
+    else if c = '"' || c = '\'' then begin
+      let quote = c in
+      let j = ref (!i + 1) in
+      while !j < n && s.[!j] <> quote do
+        if s.[!j] = '\\' && !j + 1 < n then j := !j + 2 else incr j
+      done;
+      if !j >= n then error file line "unterminated %s literal"
+          (if quote = '"' then "string" else "character");
+      let lit = String.sub s !i (!j - !i + 1) in
+      push (if quote = '"' then Str lit else Ch lit);
+      i := !j + 1
+    end
+    else begin
+      (* longest-match punctuation *)
+      let try3 =
+        if !i + 2 < n then
+          match String.sub s !i 3 with
+          | ("..." | "<<=" | ">>=") as p -> Some p
+          | _ -> None
+        else None
+      in
+      let try2 =
+        if !i + 1 < n then
+          match String.sub s !i 2 with
+          | ( "##" | "->" | "++" | "--" | "<<" | ">>" | "<=" | ">=" | "=="
+            | "!=" | "&&" | "||" | "+=" | "-=" | "*=" | "/=" | "%=" | "&="
+            | "^=" | "|=" ) as p ->
+              Some p
+          | _ -> None
+        else None
+      in
+      match try3 with
+      | Some p -> push (Punct p); i := !i + 3
+      | None -> (
+          match try2 with
+          | Some p -> push (Punct p); i := !i + 2
+          | None ->
+              push (Punct (String.make 1 c));
+              incr i)
+    end
+  done;
+  List.rev !toks
+
+let render toks = String.concat "" (List.map ptok_text toks)
+
+(* ------------------------------------------------------------------ *)
+(* Macro table                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type macro =
+  | Obj of ptok list
+  | Fn of string list * bool * ptok list  (* params, is_variadic, body *)
+
+type source = Disk of string list (* include dirs *) | Virtual of (string * string) list
+
+type t = {
+  defines : (string, macro) Hashtbl.t;
+  mutable sources : source list;  (* search order *)
+  mutable included : string list;  (* stack, for cycle detection *)
+  out : Buffer.t;
+  mutable out_file : string;  (* current marker state *)
+  mutable out_line : int;
+  mutable max_depth : int;
+}
+
+let create ?(include_dirs = []) ?(virtual_fs = []) ?(defines = []) () =
+  let t =
+    {
+      defines = Hashtbl.create 64;
+      sources = [ Virtual virtual_fs; Disk include_dirs ];
+      included = [];
+      out = Buffer.create 4096;
+      out_file = "";
+      out_line = 0;
+      max_depth = 200;
+    }
+  in
+  Hashtbl.replace t.defines "__CLA__" (Obj [ Num "1" ]);
+  Hashtbl.replace t.defines "__STDC__" (Obj [ Num "1" ]);
+  List.iter
+    (fun (name, body) ->
+      Hashtbl.replace t.defines name
+        (Obj (scan_line ~file:"<cmdline>" ~line:0 body)))
+    defines;
+  t
+
+let is_defined t name = Hashtbl.mem t.defines name
+
+(* ------------------------------------------------------------------ *)
+(* Macro expansion with a no-recursion name set                        *)
+(* ------------------------------------------------------------------ *)
+
+module Sset = Set.Make (String)
+
+let drop_ws = List.filter (fun x -> x <> Ws)
+
+(* Split the token list of a macro argument list "(a, b, ...)" that starts
+   after the opening paren.  Returns (args, rest-after-close).  Commas
+   inside nested parens/brackets do not split. *)
+let trim_ws l =
+  let rec front = function Ws :: tl -> front tl | l -> l in
+  front (List.rev (front (List.rev l)))
+
+let split_args ~file ~line toks =
+  let rec go depth cur args = function
+    | [] -> error file line "unterminated macro argument list"
+    | Punct "(" :: tl -> go (depth + 1) (Punct "(" :: cur) args tl
+    | Punct ")" :: tl ->
+        if depth = 0 then
+          (List.rev (List.map trim_ws (List.rev cur :: args)), tl)
+        else go (depth - 1) (Punct ")" :: cur) args tl
+    | Punct "," :: tl when depth = 0 -> go depth [] (List.rev cur :: args) tl
+    | hd :: tl -> go depth (hd :: cur) args tl
+  in
+  go 0 [] [] toks
+
+let stringize arg =
+  let body = String.trim (render arg) in
+  let b = Buffer.create (String.length body + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      if c = '"' || c = '\\' then Buffer.add_char b '\\';
+      Buffer.add_char b c)
+    body;
+  Buffer.add_char b '"';
+  Str (Buffer.contents b)
+
+(* Token paste: textual concatenation re-scanned. *)
+let paste ~file ~line a b =
+  let text = String.trim (render a) ^ String.trim (render b) in
+  scan_line ~file ~line text
+
+let rec expand t ~file ~line ~hide toks =
+  match toks with
+  | [] -> []
+  | Ws :: tl -> Ws :: expand t ~file ~line ~hide tl
+  | Id name :: tl when (not (Sset.mem name hide)) && Hashtbl.mem t.defines name -> (
+      match Hashtbl.find t.defines name with
+      | Obj body ->
+          let body' = subst_hash t ~file ~line body [] [] in
+          let expanded = expand t ~file ~line ~hide:(Sset.add name hide) body' in
+          expanded @ expand t ~file ~line ~hide tl
+      | Fn (params, variadic, body) -> (
+          (* only a call-looking use expands *)
+          let rec after_ws = function Ws :: l -> after_ws l | l -> l in
+          match after_ws tl with
+          | Punct "(" :: rest ->
+              let args, rest' = split_args ~file ~line rest in
+              let args =
+                (* f() with one empty arg = zero args when params = [] *)
+                match (args, params) with
+                | [ [] ], [] -> []
+                | _ -> args
+              in
+              let nparams = List.length params in
+              let args =
+                if variadic && List.length args > nparams then
+                  (* collapse extra args into the last (__VA_ARGS__) slot *)
+                  let fixed = ref [] and rest_args = ref [] in
+                  List.iteri
+                    (fun i a ->
+                      if i < nparams - 1 then fixed := a :: !fixed
+                      else rest_args := a :: !rest_args)
+                    args;
+                  let va =
+                    List.concat
+                      (List.mapi
+                         (fun i a -> if i = 0 then a else (Punct "," :: a))
+                         (List.rev !rest_args))
+                  in
+                  List.rev (va :: !fixed)
+                else args
+              in
+              if List.length args <> nparams && not variadic then
+                error file line "macro %s expects %d arguments, got %d" name
+                  nparams (List.length args);
+              let expanded_args =
+                List.map (fun a -> expand t ~file ~line ~hide a) args
+              in
+              let body' = subst_hash t ~file ~line body params args in
+              let body'' = subst_params body' params expanded_args in
+              let expanded =
+                expand t ~file ~line ~hide:(Sset.add name hide) body''
+              in
+              expanded @ expand t ~file ~line ~hide rest'
+          | _ -> Id name :: expand t ~file ~line ~hide tl))
+  | hd :: tl -> hd :: expand t ~file ~line ~hide tl
+
+(* First pass over a macro body: handle # and ## using the *unexpanded*
+   argument tokens, per the standard. *)
+and subst_hash t ~file ~line body params args =
+  let arg_of p =
+    let rec find ps as_ =
+      match (ps, as_) with
+      | p' :: _, a :: _ when p' = p -> Some a
+      | _ :: ps', _ :: as_' -> find ps' as_'
+      | _ -> None
+    in
+    find params args
+  in
+  let rec go = function
+    | [] -> []
+    | Punct "#" :: rest -> (
+        let rec skip_ws = function Ws :: l -> skip_ws l | l -> l in
+        match skip_ws rest with
+        | Id p :: tl when arg_of p <> None -> (
+            match arg_of p with
+            | Some a -> stringize a :: go tl
+            | None -> assert false)
+        | _ -> Punct "#" :: go rest)
+    | a :: Ws :: Punct "##" :: tl -> go (a :: Punct "##" :: tl)
+    | a :: Punct "##" :: Ws :: tl -> go (a :: Punct "##" :: tl)
+    | a :: Punct "##" :: b :: tl ->
+        let resolve x =
+          match x with
+          | Id p -> ( match arg_of p with Some arg -> drop_ws arg | None -> [ x ])
+          | _ -> [ x ]
+        in
+        let pasted = paste ~file ~line (resolve a) (resolve b) in
+        go (pasted @ tl)
+    | hd :: tl -> hd :: go tl
+  in
+  ignore t;
+  go body
+
+(* Second pass: ordinary parameter substitution with pre-expanded args. *)
+and subst_params body params expanded_args =
+  let tbl = Hashtbl.create 8 in
+  List.iter2 (fun p a -> Hashtbl.replace tbl p a) params expanded_args;
+  List.concat_map
+    (function
+      | Id p when Hashtbl.mem tbl p -> Hashtbl.find tbl p
+      | tok -> [ tok ])
+    body
+
+(* ------------------------------------------------------------------ *)
+(* #if constant expressions                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Replace defined(X) / defined X before macro expansion. *)
+let replace_defined t toks =
+  let rec go = function
+    | [] -> []
+    | Id "defined" :: tl -> (
+        let rec skip_ws = function Ws :: l -> skip_ws l | l -> l in
+        match skip_ws tl with
+        | Punct "(" :: tl' -> (
+            match skip_ws tl' with
+            | Id name :: tl'' -> (
+                match skip_ws tl'' with
+                | Punct ")" :: rest ->
+                    Num (if is_defined t name then "1" else "0") :: go rest
+                | _ -> Punct "?" :: go tl'')
+            | _ -> Punct "?" :: go tl')
+        | Id name :: rest -> Num (if is_defined t name then "1" else "0") :: go rest
+        | _ -> Punct "?" :: go tl)
+    | hd :: tl -> hd :: go tl
+  in
+  go toks
+
+(* Tiny Pratt parser over int64 for #if expressions. *)
+let eval_if_expr ~file ~line toks =
+  let toks = ref (drop_ws toks) in
+  let peek () = match !toks with [] -> None | t :: _ -> Some t in
+  let advance () = match !toks with [] -> () | _ :: tl -> toks := tl in
+  let expect p =
+    match peek () with
+    | Some (Punct q) when q = p -> advance ()
+    | _ -> error file line "#if: expected %s" p
+  in
+  let num_value s =
+    let e = ref (String.length s) in
+    while
+      !e > 0 && (match s.[!e - 1] with 'u' | 'U' | 'l' | 'L' -> true | _ -> false)
+    do
+      decr e
+    done;
+    try Int64.of_string (String.sub s 0 !e) with _ -> 0L
+  in
+  let rec primary () =
+    match peek () with
+    | Some (Num s) -> advance (); num_value s
+    | Some (Ch s) ->
+        advance ();
+        if String.length s >= 3 then Int64.of_int (Char.code s.[1]) else 0L
+    | Some (Id _) -> advance (); 0L (* undefined identifiers are 0 *)
+    | Some (Punct "(") ->
+        advance ();
+        let v = ternary () in
+        expect ")"; v
+    | Some (Punct "!") -> advance (); if primary () = 0L then 1L else 0L
+    | Some (Punct "~") -> advance (); Int64.lognot (primary ())
+    | Some (Punct "-") -> advance (); Int64.neg (primary ())
+    | Some (Punct "+") -> advance (); primary ()
+    | _ -> error file line "#if: parse error"
+  and binop level =
+    (* precedence-climbing over a fixed table *)
+    let prec = function
+      | "*" | "/" | "%" -> 10
+      | "+" | "-" -> 9
+      | "<<" | ">>" -> 8
+      | "<" | ">" | "<=" | ">=" -> 7
+      | "==" | "!=" -> 6
+      | "&" -> 5
+      | "^" -> 4
+      | "|" -> 3
+      | "&&" -> 2
+      | "||" -> 1
+      | _ -> 0
+    in
+    let apply op a b =
+      let b2i x = if x then 1L else 0L in
+      match op with
+      | "*" -> Int64.mul a b
+      | "/" -> if b = 0L then 0L else Int64.div a b
+      | "%" -> if b = 0L then 0L else Int64.rem a b
+      | "+" -> Int64.add a b
+      | "-" -> Int64.sub a b
+      | "<<" -> Int64.shift_left a (Int64.to_int b land 63)
+      | ">>" -> Int64.shift_right a (Int64.to_int b land 63)
+      | "<" -> b2i (a < b)
+      | ">" -> b2i (a > b)
+      | "<=" -> b2i (a <= b)
+      | ">=" -> b2i (a >= b)
+      | "==" -> b2i (a = b)
+      | "!=" -> b2i (a <> b)
+      | "&" -> Int64.logand a b
+      | "^" -> Int64.logxor a b
+      | "|" -> Int64.logor a b
+      | "&&" -> b2i (a <> 0L && b <> 0L)
+      | "||" -> b2i (a <> 0L || b <> 0L)
+      | _ -> 0L
+    in
+    let rec loop lhs =
+      match peek () with
+      | Some (Punct op) when prec op >= level && prec op > 0 ->
+          advance ();
+          let rhs = binop (prec op + 1) in
+          loop (apply op lhs rhs)
+      | _ -> lhs
+    in
+    loop (primary ())
+  and ternary () =
+    let c = binop 1 in
+    match peek () with
+    | Some (Punct "?") ->
+        advance ();
+        let a = ternary () in
+        expect ":";
+        let b = ternary () in
+        if c <> 0L then a else b
+    | _ -> c
+  in
+  let v = ternary () in
+  (match peek () with
+  | None -> ()
+  | Some _ -> error file line "#if: trailing tokens");
+  v <> 0L
+
+(* ------------------------------------------------------------------ *)
+(* Driver: logical lines, comment removal, directives                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Remove comments, tracking multi-line /* */ state.  Returns the cleaned
+   line and the new state. *)
+let strip_comments ~in_comment line =
+  let n = String.length line in
+  let b = Buffer.create n in
+  let i = ref 0 in
+  let in_c = ref in_comment in
+  let quote = ref ' ' in
+  while !i < n do
+    let c = line.[!i] in
+    if !in_c then begin
+      if c = '*' && !i + 1 < n && line.[!i + 1] = '/' then begin
+        in_c := false;
+        Buffer.add_char b ' ';
+        i := !i + 2
+      end
+      else incr i
+    end
+    else if !quote <> ' ' then begin
+      Buffer.add_char b c;
+      if c = '\\' && !i + 1 < n then begin
+        Buffer.add_char b line.[!i + 1];
+        i := !i + 2
+      end
+      else begin
+        if c = !quote then quote := ' ';
+        incr i
+      end
+    end
+    else if c = '"' || c = '\'' then begin
+      quote := c;
+      Buffer.add_char b c;
+      incr i
+    end
+    else if c = '/' && !i + 1 < n && line.[!i + 1] = '/' then i := n
+    else if c = '/' && !i + 1 < n && line.[!i + 1] = '*' then begin
+      in_c := true;
+      i := !i + 2
+    end
+    else begin
+      Buffer.add_char b c;
+      incr i
+    end
+  done;
+  (Buffer.contents b, !in_c)
+
+type cond = { mutable active : bool; mutable taken : bool; parent_active : bool }
+
+let read_source t name ~from_dir =
+  let try_virtual () =
+    List.find_map
+      (function
+        | Virtual fs -> List.assoc_opt name fs
+        | Disk _ -> None)
+      t.sources
+  in
+  let try_disk () =
+    let candidates =
+      (if from_dir <> "" then [ Filename.concat from_dir name ] else [])
+      @ List.concat_map
+          (function
+            | Disk dirs -> List.map (fun d -> Filename.concat d name) dirs
+            | Virtual _ -> [])
+          t.sources
+      @ [ name ]
+    in
+    List.find_map
+      (fun path ->
+        if Sys.file_exists path && not (Sys.is_directory path) then (
+          let ic = open_in_bin path in
+          let len = in_channel_length ic in
+          let s = really_input_string ic len in
+          close_in ic;
+          Some s)
+        else None)
+      candidates
+  in
+  match try_virtual () with Some s -> Some s | None -> try_disk ()
+
+let emit_marker t file line =
+  if t.out_file <> file || t.out_line <> line then begin
+    Buffer.add_string t.out (Fmt.str "# %d \"%s\"\n" line file);
+    t.out_file <- file;
+    t.out_line <- line
+  end
+
+let emit_line t file line text =
+  emit_marker t file line;
+  Buffer.add_string t.out text;
+  Buffer.add_char t.out '\n';
+  t.out_line <- line + 1
+
+let rec process_string t ~file content =
+  if List.length t.included > t.max_depth then
+    error file 0 "#include nesting too deep (cycle?)";
+  t.included <- file :: t.included;
+  let lines = String.split_on_char '\n' content in
+  let conds : cond list ref = ref [] in
+  let active () = List.for_all (fun c -> c.active) !conds in
+  let in_comment = ref false in
+  let lineno = ref 0 in
+  let pending = Buffer.create 80 in
+  let pending_start = ref 0 in
+  let flush_logical raw_line =
+    (* raw_line is the completed logical line (continuations joined) *)
+    let line0 = !pending_start in
+    let cleaned, c' = strip_comments ~in_comment:!in_comment raw_line in
+    in_comment := c';
+    let trimmed = String.trim cleaned in
+    if String.length trimmed > 0 && trimmed.[0] = '#' then
+      directive t ~file ~line:line0 conds active trimmed
+    else if active () && trimmed <> "" then begin
+      let toks = scan_line ~file ~line:line0 cleaned in
+      let expanded = expand t ~file ~line:line0 ~hide:Sset.empty toks in
+      emit_line t file line0 (render expanded)
+    end
+  in
+  List.iter
+    (fun line ->
+      incr lineno;
+      if Buffer.length pending = 0 then pending_start := !lineno;
+      let len = String.length line in
+      let line =
+        if len > 0 && line.[len - 1] = '\r' then String.sub line 0 (len - 1)
+        else line
+      in
+      let len = String.length line in
+      if len > 0 && line.[len - 1] = '\\' then
+        Buffer.add_string pending (String.sub line 0 (len - 1))
+      else begin
+        Buffer.add_string pending line;
+        let logical = Buffer.contents pending in
+        Buffer.clear pending;
+        flush_logical logical
+      end)
+    lines;
+  if Buffer.length pending > 0 then flush_logical (Buffer.contents pending);
+  (match !conds with
+  | [] -> ()
+  | _ -> error file !lineno "unterminated #if");
+  t.included <- List.tl t.included
+
+and directive t ~file ~line conds active text =
+  (* text starts with '#' *)
+  let body = String.sub text 1 (String.length text - 1) in
+  let body = String.trim body in
+  let name, rest =
+    let i = ref 0 in
+    let n = String.length body in
+    while !i < n && is_id_char body.[!i] do incr i done;
+    (String.sub body 0 !i, String.trim (String.sub body !i (n - !i)))
+  in
+  let parent_active () = List.for_all (fun c -> c.active) !conds in
+  match name with
+  | "ifdef" | "ifndef" ->
+      let neg = name = "ifndef" in
+      let macro_name =
+        match drop_ws (scan_line ~file ~line rest) with
+        | Id m :: _ -> m
+        | _ -> error file line "#%s: expected identifier" name
+      in
+      let v = is_defined t macro_name in
+      let v = if neg then not v else v in
+      let pa = parent_active () in
+      conds := { active = pa && v; taken = v; parent_active = pa } :: !conds
+  | "if" ->
+      let pa = parent_active () in
+      let v =
+        if pa then
+          let toks = replace_defined t (scan_line ~file ~line rest) in
+          let toks = expand t ~file ~line ~hide:Sset.empty toks in
+          eval_if_expr ~file ~line toks
+        else false
+      in
+      conds := { active = pa && v; taken = v; parent_active = pa } :: !conds
+  | "elif" -> (
+      match !conds with
+      | [] -> error file line "#elif without #if"
+      | c :: _ ->
+          if c.taken then c.active <- false
+          else begin
+            let v =
+              if c.parent_active then
+                let toks = replace_defined t (scan_line ~file ~line rest) in
+                let toks = expand t ~file ~line ~hide:Sset.empty toks in
+                eval_if_expr ~file ~line toks
+              else false
+            in
+            c.active <- c.parent_active && v;
+            c.taken <- v
+          end)
+  | "else" -> (
+      match !conds with
+      | [] -> error file line "#else without #if"
+      | c :: _ ->
+          c.active <- c.parent_active && not c.taken;
+          c.taken <- true)
+  | "endif" -> (
+      match !conds with
+      | [] -> error file line "#endif without #if"
+      | _ :: tl -> conds := tl)
+  | _ when not (active ()) -> ()
+  | "define" ->
+      let toks = scan_line ~file ~line rest in
+      (match drop_ws toks with
+      | Id mname :: _ -> (
+          (* function-like iff '(' immediately follows the name (no ws) *)
+          let after_name =
+            let rec skip = function
+              | Id m :: tl when m = mname -> tl
+              | _ :: tl -> skip tl
+              | [] -> []
+            in
+            skip toks
+          in
+          match after_name with
+          | Punct "(" :: tl ->
+              let rec params acc variadic = function
+                | Ws :: l -> params acc variadic l
+                | Punct ")" :: l -> (List.rev acc, variadic, l)
+                | Id p :: l -> params (p :: acc) variadic l
+                | Punct "..." :: l -> params ("__VA_ARGS__" :: acc) true l
+                | Punct "," :: l -> params acc variadic l
+                | _ -> error file line "#define %s: bad parameter list" mname
+              in
+              let ps, variadic, body_toks = params [] false tl in
+              let body_toks =
+                match body_toks with Ws :: l -> l | l -> l
+              in
+              Hashtbl.replace t.defines mname (Fn (ps, variadic, body_toks))
+          | body_toks ->
+              let body_toks = match body_toks with Ws :: l -> l | l -> l in
+              Hashtbl.replace t.defines mname (Obj body_toks))
+      | _ -> error file line "#define: expected macro name")
+  | "undef" -> (
+      match drop_ws (scan_line ~file ~line rest) with
+      | Id m :: _ -> Hashtbl.remove t.defines m
+      | _ -> error file line "#undef: expected identifier")
+  | "include" -> (
+      let rest_toks = drop_ws (scan_line ~file ~line rest) in
+      let target, local =
+        match rest_toks with
+        | Str s :: _ -> (String.sub s 1 (String.length s - 2), true)
+        | Punct "<" :: tl ->
+            let rec until_gt acc = function
+              | Punct ">" :: _ -> String.concat "" (List.rev acc)
+              | tok :: tl -> until_gt (ptok_text tok :: acc) tl
+              | [] -> error file line "#include: missing >"
+            in
+            (until_gt [] tl, false)
+        | _ -> error file line "#include: expected \"file\" or <file>"
+      in
+      let from_dir = if local then Filename.dirname file else "" in
+      match read_source t target ~from_dir with
+      | Some content ->
+          if List.mem target t.included then
+            error file line "#include cycle through %s" target;
+          process_string t ~file:target content;
+          (* restore marker to the including file *)
+          t.out_file <- "";
+          t.out_line <- 0
+      | None ->
+          if local then error file line "#include: cannot find %S" target
+          (* missing <system> headers expand to nothing: the analysis only
+             needs assignment structure, and synthetic/test code carries its
+             own declarations *))
+  | "error" -> error file line "#error %s" rest
+  | "warning" | "pragma" | "line" | "ident" -> ()
+  | "" -> () (* a lone '#' is a null directive *)
+  | other -> error file line "unknown directive #%s" other
+
+(* ------------------------------------------------------------------ *)
+(* Public entry points                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Preprocess [content] as if it were file [file]; returns text with line
+    markers, ready for {!Clexer}. *)
+let preprocess_string ?include_dirs ?virtual_fs ?defines ~file content =
+  let t = create ?include_dirs ?virtual_fs ?defines () in
+  process_string t ~file content;
+  Buffer.contents t.out
+
+(** Preprocess a file from disk. *)
+let preprocess_file ?include_dirs ?virtual_fs ?defines path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let content = really_input_string ic len in
+  close_in ic;
+  preprocess_string ?include_dirs ?virtual_fs ?defines ~file:path content

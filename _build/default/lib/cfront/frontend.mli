@@ -1,0 +1,20 @@
+(** Convenience entry points: preprocess + parse + normalize in one
+    call.  (The compile phase proper, which also serializes to an object
+    file, lives in [Cla_core.Compilep].) *)
+
+open Cla_ir
+
+type options = {
+  mode : Normalize.mode;
+  include_dirs : string list;
+  defines : (string * string) list;
+  virtual_fs : (string * string) list;  (** in-memory headers, for tests *)
+}
+
+val default_options : options
+
+(** Compile C source text to primitive form. *)
+val prog_of_string : ?options:options -> file:string -> string -> Prog.t
+
+(** Compile a C file from disk to primitive form. *)
+val prog_of_file : ?options:options -> string -> Prog.t

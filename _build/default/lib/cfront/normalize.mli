@@ -1,0 +1,20 @@
+(** Normalization: C AST -> primitive assignments (the analysis half of
+    the compile phase, Section 4 of the paper).
+
+    Every expression is walked flow-insensitively; complex assignments are
+    broken into the five primitive kinds through temporaries; operations
+    are recorded on the copies they give rise to; functions get
+    standardized argument/return variables; each static occurrence of an
+    allocation primitive becomes a fresh heap location; constant strings
+    are ignored; arrays are index-independent. *)
+
+open Cla_ir
+
+(** How struct field accesses map to objects (Section 3): [Field_based]
+    (the paper's choice) gives every field of every struct definition its
+    own object shared across instances; [Field_independent] treats an
+    access to [x.f] as an access to the whole chunk [x]. *)
+type mode = Field_based | Field_independent
+
+(** Normalize a parsed translation unit into primitive form. *)
+val run : ?mode:mode -> Cparser.result -> Prog.t

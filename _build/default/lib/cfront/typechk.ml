@@ -1,0 +1,112 @@
+(** Best-effort type synthesis for expressions.
+
+    The field-based mode needs to know, for every [e.f] / [e->f], *which*
+    struct's field is accessed — the paper treats "the same field of the
+    same struct type" as one object (Section 2).  The normalizer also needs
+    to distinguish arrays from pointers (arrays are index-independent
+    objects; pointers are dereferenced).  Synthesis is purely syntactic and
+    falls back to [None] when the program is too dynamic to type, in which
+    case the normalizer degrades gracefully (field accesses fall back to a
+    per-name wildcard struct). *)
+
+open Cast
+
+type env = {
+  comps : (string, compdef) Hashtbl.t;  (** struct/union tag -> definition *)
+  typedefs : (string, typ) Hashtbl.t;
+  lookup : string -> typ option;  (** visible object types, scope-aware *)
+}
+
+(** Unroll typedef indirections (cycle-guarded). *)
+let rec resolve env t =
+  match t with
+  | Tnamed n -> (
+      match Hashtbl.find_opt env.typedefs n with
+      | Some t' when t' <> t -> resolve env t'
+      | _ -> t)
+  | t -> t
+
+let field_type env tag f =
+  match Hashtbl.find_opt env.comps tag with
+  | Some def -> List.assoc_opt f def.cfields
+  | None -> None
+
+(** Tag of the composite a field access goes through, if resolvable. *)
+let comp_tag env t =
+  match resolve env t with Tcomp (_, tag) -> Some tag | _ -> None
+
+let rec typeof env (e : expr) : typ option =
+  match e.edesc with
+  | Eident x -> env.lookup x
+  | Eint _ -> Some (Tint "int")
+  | Efloat _ -> Some (Tfloat "double")
+  | Echar _ -> Some (Tint "char")
+  | Estring _ -> Some (Tptr (Tint "char"))
+  | Eunop ("!", _) -> Some (Tint "int")
+  | Eunop (_, e1) -> typeof env e1
+  | Ederef e1 -> (
+      match Option.map (resolve env) (typeof env e1) with
+      | Some (Tptr t) | Some (Tarray (t, _)) -> Some (resolve env t)
+      | Some (Tfun _ as t) -> Some t (* *f on a function is the function *)
+      | _ -> None)
+  | Eaddrof e1 -> Option.map (fun t -> Tptr t) (typeof env e1)
+  | Ebinop (("==" | "!=" | "<" | ">" | "<=" | ">=" | "&&" | "||"), _, _) ->
+      Some (Tint "int")
+  | Ebinop (_, a, b) -> (
+      (* pointer arithmetic keeps the pointer type *)
+      match Option.map (resolve env) (typeof env a) with
+      | Some (Tptr _ as t) -> Some t
+      | Some (Tarray (t, _)) -> Some (Tptr t)
+      | other -> (
+          match Option.map (resolve env) (typeof env b) with
+          | Some (Tptr _ as t) -> Some t
+          | Some (Tarray (t, _)) -> Some (Tptr t)
+          | _ -> other))
+  | Eassign (_, l, _) -> typeof env l
+  | Econd (_, a, b) -> (
+      match typeof env a with Some t -> Some t | None -> typeof env b)
+  | Ecall (f, _) -> (
+      match Option.map (resolve env) (typeof env f) with
+      | Some (Tfun (r, _, _)) -> Some (resolve env r)
+      | Some (Tptr t) -> (
+          match resolve env t with
+          | Tfun (r, _, _) -> Some (resolve env r)
+          | _ -> None)
+      | _ -> None)
+  | Emember (e1, f) -> (
+      match Option.bind (typeof env e1) (comp_tag env) with
+      | Some tag -> Option.map (resolve env) (field_type env tag f)
+      | None -> None)
+  | Earrow (e1, f) -> (
+      match Option.map (resolve env) (typeof env e1) with
+      | Some (Tptr t) | Some (Tarray (t, _)) -> (
+          match comp_tag env t with
+          | Some tag -> Option.map (resolve env) (field_type env tag f)
+          | None -> None)
+      | _ -> None)
+  | Eindex (a, i) -> (
+      match Option.map (resolve env) (typeof env a) with
+      | Some (Tarray (t, _)) | Some (Tptr t) -> Some (resolve env t)
+      | _ -> (
+          (* the C curiosity i[a] *)
+          match Option.map (resolve env) (typeof env i) with
+          | Some (Tarray (t, _)) | Some (Tptr t) -> Some (resolve env t)
+          | _ -> None))
+  | Ecast (t, _) -> Some (resolve env t)
+  | Esizeof_expr _ | Esizeof_typ _ -> Some (Tint "unsigned long")
+  | Ecomma (_, b) -> typeof env b
+  | Ecompound (t, _) -> Some (resolve env t)
+
+(** Tag of the struct/union that [e.f] accesses in [Emember (e, f)]. *)
+let member_tag env e = Option.bind (typeof env e) (comp_tag env)
+
+(** Tag of the struct/union that [e->f] accesses in [Earrow (e, f)]. *)
+let arrow_tag env e =
+  match Option.map (resolve env) (typeof env e) with
+  | Some (Tptr t) | Some (Tarray (t, _)) -> comp_tag env t
+  | _ -> None
+
+(** Is [t] (after typedef resolution) an array type? *)
+let is_array env t = match resolve env t with Tarray _ -> true | _ -> false
+
+let is_function env t = match resolve env t with Tfun _ -> true | _ -> false

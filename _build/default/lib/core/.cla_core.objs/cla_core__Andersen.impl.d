@@ -1,0 +1,1 @@
+lib/core/andersen.ml: Array Bytes Cla_ir Hashtbl List Loader Lvalset Objfile Pretrans Solution

@@ -1,0 +1,1 @@
+lib/core/andersen.mli: Bytes Cla_ir Hashtbl Loader Lvalset Objfile Pretrans Solution

@@ -1,0 +1,1 @@
+lib/core/binio.ml: Buffer Bytes Char String

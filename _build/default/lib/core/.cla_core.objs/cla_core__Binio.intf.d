@@ -1,0 +1,1 @@
+lib/core/binio.mli: Buffer Bytes

@@ -1,0 +1,1 @@
+lib/core/bitsolver.ml: Array Bytes Char Dynarr Hashtbl List Loader Lvalset Objfile Solution

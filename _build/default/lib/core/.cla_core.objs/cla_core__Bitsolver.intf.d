@@ -1,0 +1,1 @@
+lib/core/bitsolver.mli: Objfile Solution

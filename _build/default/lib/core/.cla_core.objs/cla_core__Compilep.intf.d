@@ -1,0 +1,1 @@
+lib/core/compilep.mli: Cla_cfront Cla_ir Objfile

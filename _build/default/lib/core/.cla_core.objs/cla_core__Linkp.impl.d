@@ -1,0 +1,1 @@
+lib/core/linkp.ml: Array Cla_ir Hashtbl List Loc Objfile Prim Var

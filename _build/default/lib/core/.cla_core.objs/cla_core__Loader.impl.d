@@ -1,0 +1,1 @@
+lib/core/loader.ml: Array Bytes Cla_ir List Objfile Prim

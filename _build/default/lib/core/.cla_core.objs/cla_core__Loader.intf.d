@@ -1,0 +1,1 @@
+lib/core/loader.mli: Objfile

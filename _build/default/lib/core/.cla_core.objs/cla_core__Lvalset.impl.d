@@ -1,0 +1,1 @@
+lib/core/lvalset.ml: Array Hashtbl List

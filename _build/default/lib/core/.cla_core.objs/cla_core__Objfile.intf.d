@@ -1,0 +1,1 @@
+lib/core/objfile.mli: Cla_ir Loc Prim Strength Var

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Andersen Bitsolver Compilep Linkp List Objfile Solution Steensgaard Worklist

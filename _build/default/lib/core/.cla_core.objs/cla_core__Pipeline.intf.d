@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Andersen Compilep Objfile Pretrans Solution

@@ -1,0 +1,1 @@
+lib/core/pretrans.ml: Array Dynarr Intset List Lvalset

@@ -1,0 +1,1 @@
+lib/core/solution.ml: Array Cla_ir Fmt Lvalset Objfile Var

@@ -1,0 +1,1 @@
+lib/core/steensgaard.ml: Array Dynarr Hashtbl List Loader Lvalset Objfile Queue Solution

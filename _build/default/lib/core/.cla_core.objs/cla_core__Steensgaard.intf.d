@@ -1,0 +1,1 @@
+lib/core/steensgaard.mli: Objfile Solution

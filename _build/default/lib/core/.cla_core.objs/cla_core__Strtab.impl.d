@@ -1,0 +1,1 @@
+lib/core/strtab.ml: Array Binio Hashtbl List

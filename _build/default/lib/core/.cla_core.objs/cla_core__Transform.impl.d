@@ -1,0 +1,1 @@
+lib/core/transform.ml: Array Cla_ir Fmt Hashtbl List Loc Obj Objfile Option String Var

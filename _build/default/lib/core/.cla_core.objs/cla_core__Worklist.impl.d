@@ -1,0 +1,1 @@
+lib/core/worklist.ml: Array Bytes Dynarr Hashtbl Intset List Loader Lvalset Objfile Option Queue Solution

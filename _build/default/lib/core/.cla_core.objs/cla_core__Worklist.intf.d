@@ -1,0 +1,1 @@
+lib/core/worklist.mli: Objfile Solution

@@ -1,0 +1,254 @@
+(** Andersen's analysis over the pre-transitive graph, with demand-driven
+    loading from the CLA database — the paper's headline configuration
+    (Sections 4 and 5).
+
+    The driver implements Figure 5's Iteration Algorithm.  Blocks of the
+    dynamic section are loaded when their owner's points-to set may become
+    non-empty ("the points-to set for [q] is now non-empty, and so we must
+    load all primitive assignments where [q] is the source"); [x = y] and
+    [x = &y] records are discarded after their edge is inserted, complex
+    assignments are kept in core (Section 6's discard strategy).  Indirect
+    calls are linked at analysis time: when a function [g] enters the
+    points-to set of a called pointer [f], we add [g@i = f@i] and
+    [f@ret = g@ret]. *)
+
+(** A retained complex assignment.  [Store]: for each [&z] in
+    [getLvals(cptr)] add edge [z -> cother]; [Load]: for each [&z] add
+    edge [cother -> z] ([cother] is the deref node [n_*y]).  [cseen]
+    remembers the set processed last pass — sets grow monotonically, so
+    only the delta needs new edges. *)
+type ckind = Kstore | Kload
+
+type complex = {
+  ckind : ckind;
+  cptr : int;
+  cother : int;
+  mutable cseen : Lvalset.t;
+}
+
+type t = {
+  g : Pretrans.t;
+  loader : Loader.t;
+  view : Objfile.view;
+  demand : bool;
+  active : Bytes.t;  (* per var: block requested *)
+  mutable complexes : complex list;
+  mutable n_complex : int;
+  deref_nodes : (int, int) Hashtbl.t;  (* y -> n_*y *)
+  fundef_by_var : (int, Objfile.fund_rec) Hashtbl.t;
+  linked : (int, unit) Hashtbl.t;  (* (indirect idx, func var) pairs *)
+  mutable passes : int;
+  mutable retained : Objfile.prim_rec list;
+      (* the complex assignments kept in core (Section 6's discard
+         strategy) — reused by the dependence analysis *)
+  mutable linked_copies : (int * int * Cla_ir.Loc.t) list;
+      (* analysis-time copies (dst, src) from indirect-call linking *)
+  iseen : Lvalset.t array;  (* per indirect record: lvals already linked *)
+}
+
+let deref_node st y =
+  match Hashtbl.find_opt st.deref_nodes y with
+  | Some d -> d
+  | None ->
+      let d = Pretrans.fresh_node st.g in
+      Hashtbl.replace st.deref_nodes y d;
+      d
+
+let rec activate st v =
+  if Bytes.get st.active v = '\000' then begin
+    Bytes.set st.active v '\001';
+    load_block st v
+  end
+
+and load_block st v =
+  let prims = Loader.block st.loader v in
+  List.iter
+    (fun (p : Objfile.prim_rec) ->
+      if Loader.relevant_to_points_to p then
+        match p.Objfile.pkind with
+        | Objfile.Paddr -> () (* lives in the static section *)
+        | Objfile.Pcopy ->
+            (* x = v: edge x -> v, then x's consumers matter too.  The
+               record itself is discarded (the edge carries it). *)
+            ignore (Pretrans.add_edge st.g p.Objfile.pdst v);
+            activate st p.Objfile.pdst
+        | Objfile.Pload ->
+            (* x = *v *)
+            let d = deref_node st v in
+            ignore (Pretrans.add_edge st.g p.Objfile.pdst d);
+            st.complexes <-
+              { ckind = Kload; cptr = v; cother = d; cseen = Lvalset.empty }
+              :: st.complexes;
+            st.n_complex <- st.n_complex + 1;
+            st.retained <- p :: st.retained;
+            Loader.retain st.loader 1;
+            activate st p.Objfile.pdst
+        | Objfile.Pstore ->
+            (* *x = v *)
+            st.complexes <-
+              {
+                ckind = Kstore;
+                cptr = p.Objfile.pdst;
+                cother = v;
+                cseen = Lvalset.empty;
+              }
+              :: st.complexes;
+            st.n_complex <- st.n_complex + 1;
+            st.retained <- p :: st.retained;
+            Loader.retain st.loader 1
+        | Objfile.Pderef2 ->
+            (* *x = *v, split through a fresh node t (Section 5 splits it
+               into [*x = t; t = *v]) *)
+            st.retained <- p :: st.retained;
+            let tnode = Pretrans.fresh_node st.g in
+            let d = deref_node st v in
+            ignore (Pretrans.add_edge st.g tnode d);
+            st.complexes <-
+              { ckind = Kload; cptr = v; cother = d; cseen = Lvalset.empty }
+              :: {
+                   ckind = Kstore;
+                   cptr = p.Objfile.pdst;
+                   cother = tnode;
+                   cseen = Lvalset.empty;
+                 }
+              :: st.complexes;
+            st.n_complex <- st.n_complex + 2;
+            Loader.retain st.loader 2)
+    prims
+
+let init ?(config = Pretrans.default_config) ?(demand = true) view =
+  let nvars = Objfile.n_vars view in
+  let st =
+    {
+      g = Pretrans.create ~config ~nodes:nvars ();
+      loader = Loader.create view;
+      view;
+      demand;
+      active = Bytes.make (max 1 nvars) '\000';
+      complexes = [];
+      n_complex = 0;
+      deref_nodes = Hashtbl.create 256;
+      fundef_by_var = Hashtbl.create 256;
+      linked = Hashtbl.create 256;
+      passes = 0;
+      retained = [];
+      linked_copies = [];
+      iseen =
+        Array.make
+          (max 1 (Array.length view.Objfile.rindirects))
+          Lvalset.empty;
+    }
+  in
+  Array.iter
+    (fun (f : Objfile.fund_rec) ->
+      Hashtbl.replace st.fundef_by_var f.Objfile.ffvar f)
+    view.Objfile.rfundefs;
+  (* the static section is always loaded *)
+  Array.iter
+    (fun (p : Objfile.prim_rec) ->
+      Pretrans.add_base st.g p.Objfile.pdst p.Objfile.psrc;
+      if demand then activate st p.Objfile.pdst)
+    (Loader.statics st.loader);
+  if not demand then
+    for v = 0 to nvars - 1 do
+      Bytes.set st.active v '\001';
+      load_block st v
+    done;
+  st
+
+(* One pass of Figure 5's iteration algorithm; returns [true] if the graph
+   changed. *)
+let pass st =
+  st.passes <- st.passes + 1;
+  Pretrans.new_pass st.g;
+  let changed = ref false in
+  List.iter
+    (fun c ->
+      let lv = Pretrans.get_lvals st.g c.cptr in
+      (* difference propagation: sets grow monotonically, so only the
+         lvals not seen by this complex assignment need processing *)
+      if Lvalset.cardinal lv > Lvalset.cardinal c.cseen then begin
+        (match c.ckind with
+        | Kstore ->
+            (* for each new &z in getLvals(n_x): add edge n_z -> n_y *)
+            Lvalset.iter_diff ~prev:c.cseen lv (fun z ->
+                if Pretrans.add_edge st.g z c.cother then begin
+                  changed := true;
+                  if st.demand then activate st z
+                end)
+        | Kload ->
+            (* for each new &z in getLvals(n_y): add edge n_*y -> n_z *)
+            Lvalset.iter_diff ~prev:c.cseen lv (fun z ->
+                if Pretrans.add_edge st.g c.cother z then changed := true));
+        c.cseen <- lv
+      end)
+    st.complexes;
+  (* analysis-time linking of indirect calls *)
+  Array.iteri
+    (fun idx (r : Objfile.indir_rec) ->
+      let lv = Pretrans.get_lvals st.g r.Objfile.iptr in
+      if Lvalset.cardinal lv > Lvalset.cardinal st.iseen.(idx) then begin
+      Lvalset.iter_diff ~prev:st.iseen.(idx) lv
+        (fun gv ->
+          match Hashtbl.find_opt st.fundef_by_var gv with
+          | None -> ()
+          | Some fd ->
+              let key = (idx lsl 31) lor gv in
+              if not (Hashtbl.mem st.linked key) then begin
+                Hashtbl.replace st.linked key ();
+                changed := true;
+                let n = min r.Objfile.inargs fd.Objfile.farity in
+                for i = 0 to n - 1 do
+                  let garg = fd.Objfile.fargs.(i) and parg = r.Objfile.iargs.(i) in
+                  if garg >= 0 && parg >= 0 then begin
+                    (* g@i = f@i *)
+                    ignore (Pretrans.add_edge st.g garg parg);
+                    st.linked_copies <-
+                      (garg, parg, r.Objfile.iiloc) :: st.linked_copies;
+                    if st.demand then activate st garg
+                  end
+                done;
+                if r.Objfile.iret >= 0 && fd.Objfile.fret >= 0 then begin
+                  (* f@ret = g@ret *)
+                  ignore (Pretrans.add_edge st.g r.Objfile.iret fd.Objfile.fret);
+                  st.linked_copies <-
+                    (r.Objfile.iret, fd.Objfile.fret, r.Objfile.iiloc)
+                    :: st.linked_copies;
+                  if st.demand then activate st r.Objfile.iret
+                end
+              end);
+      st.iseen.(idx) <- lv
+      end)
+    st.view.Objfile.rindirects;
+  !changed
+
+type result = {
+  solution : Solution.t;
+  passes : int;
+  loader_stats : Loader.stats;
+  graph_stats : Pretrans.stats;
+  retained : Objfile.prim_rec list;
+      (** complex assignments kept in core; input to {!Cla_depend} *)
+  linked_copies : (int * int * Cla_ir.Loc.t) list;
+      (** analysis-time copies added while linking indirect calls *)
+}
+
+(** Run the analysis to fixpoint and extract points-to sets for every
+    program variable (cheap at the end thanks to cycle elimination and
+    caching — the paper's observation in Section 5). *)
+let solve ?config ?demand view : result =
+  let st = init ?config ?demand view in
+  while pass st do
+    ()
+  done;
+  Pretrans.new_pass st.g;
+  let nvars = Objfile.n_vars view in
+  let pts = Array.init nvars (fun v -> Pretrans.get_lvals st.g v) in
+  {
+    solution = Solution.create view pts;
+    passes = st.passes;
+    loader_stats = Loader.stats st.loader;
+    graph_stats = Pretrans.stats st.g;
+    retained = st.retained;
+    linked_copies = st.linked_copies;
+  }

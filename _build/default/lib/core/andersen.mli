@@ -1,0 +1,62 @@
+(** Andersen's analysis over the pre-transitive graph, with demand-driven
+    loading from the CLA database — the paper's headline configuration.
+
+    Most callers want {!solve}; {!init} and {!pass} expose the iteration
+    (Figure 5's outer loop) for benchmarks that meter each pass. *)
+
+(** A retained complex assignment.  [Kstore]: for each new [&z] in
+    [getLvals(cptr)], add edge [z -> cother].  [Kload]: add
+    [cother -> z] ([cother] is the dereference node [n_*y]).  [cseen]
+    remembers the set processed last pass (difference propagation). *)
+type ckind = Kstore | Kload
+
+type complex = {
+  ckind : ckind;
+  cptr : int;
+  cother : int;
+  mutable cseen : Lvalset.t;
+}
+
+(** In-flight analysis state. *)
+type t = {
+  g : Pretrans.t;  (** the pre-transitive constraint graph *)
+  loader : Loader.t;
+  view : Objfile.view;
+  demand : bool;
+  active : Bytes.t;
+  mutable complexes : complex list;  (** kept in core (Section 6) *)
+  mutable n_complex : int;
+  deref_nodes : (int, int) Hashtbl.t;
+  fundef_by_var : (int, Objfile.fund_rec) Hashtbl.t;
+  linked : (int, unit) Hashtbl.t;
+  mutable passes : int;
+  mutable retained : Objfile.prim_rec list;
+  mutable linked_copies : (int * int * Cla_ir.Loc.t) list;
+  iseen : Lvalset.t array;
+}
+
+(** Load the static section (and, in demand mode, the blocks it activates)
+    and set up the iteration state.  [demand=false] loads every block up
+    front. *)
+val init : ?config:Pretrans.config -> ?demand:bool -> Objfile.view -> t
+
+(** One pass of Figure 5's iteration algorithm (complex assignments, then
+    analysis-time indirect-call linking).  Returns [true] if the graph
+    changed — iterate until it does not. *)
+val pass : t -> bool
+
+type result = {
+  solution : Solution.t;
+  passes : int;
+  loader_stats : Loader.stats;
+  graph_stats : Pretrans.stats;
+  retained : Objfile.prim_rec list;
+      (** complex assignments kept in core; input to the dependence
+          analysis *)
+  linked_copies : (int * int * Cla_ir.Loc.t) list;
+      (** analysis-time copies added while linking indirect calls *)
+}
+
+(** Run to fixpoint and extract the points-to set of every variable. *)
+val solve :
+  ?config:Pretrans.config -> ?demand:bool -> Objfile.view -> result

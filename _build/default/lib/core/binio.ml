@@ -1,0 +1,91 @@
+(** Binary encoding primitives for CLA object files.
+
+    Varints are LEB128 (unsigned); this keeps the indexed database compact —
+    Table 2 reports object files roughly 5-20x smaller than the preprocessed
+    source they encode. *)
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type writer = Buffer.t
+
+let writer () : writer = Buffer.create (1 lsl 16)
+let wpos (b : writer) = Buffer.length b
+
+let u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+let u32 b v =
+  u8 b v;
+  u8 b (v lsr 8);
+  u8 b (v lsr 16);
+  u8 b (v lsr 24)
+
+let rec varint b v =
+  if v < 0 then invalid_arg "Binio.varint: negative";
+  if v < 0x80 then u8 b v
+  else begin
+    u8 b (0x80 lor (v land 0x7f));
+    varint b (v lsr 7)
+  end
+
+let bytes_ b s =
+  varint b (String.length s);
+  Buffer.add_string b s
+
+let contents (b : writer) = Buffer.contents b
+
+(** Patch a previously-written u32 at [pos] (used for section tables whose
+    offsets are only known after the sections are serialized). *)
+let patch_u32 (bytes : Bytes.t) ~pos v =
+  Bytes.set bytes pos (Char.chr (v land 0xff));
+  Bytes.set bytes (pos + 1) (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set bytes (pos + 2) (Char.chr ((v lsr 16) land 0xff));
+  Bytes.set bytes (pos + 3) (Char.chr ((v lsr 24) land 0xff))
+
+(* ------------------------------------------------------------------ *)
+(* Reader                                                              *)
+(* ------------------------------------------------------------------ *)
+
+exception Corrupt of string
+
+(** A reader is a cursor over an immutable byte string; cheap to create, so
+    the demand loader makes one per block read. *)
+type reader = { data : string; mutable pos : int; limit : int }
+
+let reader ?(pos = 0) ?limit data =
+  let limit = match limit with Some l -> l | None -> String.length data in
+  { data; pos; limit }
+
+let check r n =
+  if r.pos + n > r.limit then raise (Corrupt "unexpected end of data")
+
+let ru8 r =
+  check r 1;
+  let v = Char.code r.data.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let ru32 r =
+  let a = ru8 r in
+  let b = ru8 r in
+  let c = ru8 r in
+  let d = ru8 r in
+  a lor (b lsl 8) lor (c lsl 16) lor (d lsl 24)
+
+let rvarint r =
+  let rec go shift acc =
+    let byte = ru8 r in
+    let acc = acc lor ((byte land 0x7f) lsl shift) in
+    if byte land 0x80 <> 0 then go (shift + 7) acc else acc
+  in
+  go 0 0
+
+let rbytes r =
+  let len = rvarint r in
+  check r len;
+  let s = String.sub r.data r.pos len in
+  r.pos <- r.pos + len;
+  s
+
+let at_end r = r.pos >= r.limit

@@ -1,0 +1,41 @@
+(** Binary encoding primitives for CLA object files (LEB128 varints,
+    length-prefixed byte strings, little-endian fixed words). *)
+
+(** {1 Writer} *)
+
+type writer = Buffer.t
+
+val writer : unit -> writer
+
+(** Current write position (section offsets). *)
+val wpos : writer -> int
+
+val u8 : writer -> int -> unit
+val u32 : writer -> int -> unit
+
+(** Unsigned LEB128; rejects negatives. *)
+val varint : writer -> int -> unit
+
+(** Length-prefixed bytes. *)
+val bytes_ : writer -> string -> unit
+
+val contents : writer -> string
+
+(** Patch a previously-written u32 (section tables whose offsets are only
+    known after serialization). *)
+val patch_u32 : Bytes.t -> pos:int -> int -> unit
+
+(** {1 Reader} *)
+
+exception Corrupt of string
+
+(** A cursor over an immutable byte string; cheap to create, so the
+    demand loader makes one per block read. *)
+type reader = { data : string; mutable pos : int; limit : int }
+
+val reader : ?pos:int -> ?limit:int -> string -> reader
+val ru8 : reader -> int
+val ru32 : reader -> int
+val rvarint : reader -> int
+val rbytes : reader -> string
+val at_end : reader -> bool

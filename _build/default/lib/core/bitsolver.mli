@@ -1,0 +1,9 @@
+(** Baseline: subset-based points-to analysis over bit vectors — the
+    paper mentions "an implementation based on bit-vectors" among the
+    analyses built on the CLA substrate (Section 4).
+
+    The location space is compressed to the address-taken objects; the
+    solver iterates all constraints to a fixpoint.  Simple and a useful
+    differential oracle for the pre-transitive solver. *)
+
+val solve : Objfile.view -> Solution.t

@@ -1,0 +1,162 @@
+(** The CLA compile phase: C source -> object file database.
+
+    "The compile phase parses source files, extracts assignments and
+    function calls/returns/definitions, and writes an object file that is
+    basically an indexed database structure of these basic program
+    components.  No analysis is performed yet." (Section 4) *)
+
+open Cla_ir
+open Cla_cfront
+
+type options = {
+  mode : Normalize.mode;
+  include_dirs : string list;
+  defines : (string * string) list;
+  virtual_fs : (string * string) list;
+}
+
+let default_options =
+  { mode = Normalize.Field_based; include_dirs = []; defines = []; virtual_fs = [] }
+
+(* Non-blank, non-# lines — the paper's source line count metric. *)
+let count_source_lines text =
+  let n = ref 0 in
+  List.iter
+    (fun line ->
+      let t = String.trim line in
+      if t <> "" && t.[0] <> '#' then incr n)
+    (String.split_on_char '\n' text);
+  !n
+
+let count_lines text =
+  List.length (String.split_on_char '\n' text)
+
+(** Lower a normalized translation unit to a serializable database. *)
+let db_of_prog ?(source_lines = 0) ?(preproc_lines = 0) (p : Prog.t) : Objfile.db
+    =
+  let nvars = Array.length p.vars in
+  let vars =
+    Array.map
+      (fun v ->
+        {
+          Objfile.vname = Var.display v;
+          vkind = Var.kind v;
+          vlinkage = Var.linkage v;
+          vtyp = v.Var.typ;
+          vloc = v.Var.loc;
+          vowner = Var.owner v;
+        })
+      p.vars
+  in
+  let keys =
+    Array.to_list p.vars
+    |> List.filter_map (fun v ->
+           if Var.linkage v = Var.Extern then
+             Some (Var.uid v, Var.key (Var.kind v) (Var.name v))
+           else None)
+  in
+  (* find the standardized arg/ret variables by (kind, owner name) *)
+  let std = Hashtbl.create 64 in
+  Array.iter
+    (fun v ->
+      match Var.kind v with
+      | Var.Arg i -> Hashtbl.replace std (`Arg i, Var.name v) (Var.uid v)
+      | Var.Ret -> Hashtbl.replace std (`Ret, Var.name v) (Var.uid v)
+      | _ -> ())
+    p.vars;
+  let statics = ref [] in
+  let blocks = Array.make nvars [] in
+  List.iter
+    (fun (a : Prim.t) ->
+      let dst = Var.uid a.dst and src = Var.uid a.src in
+      let rec_ pkind pop =
+        { Objfile.pkind; pdst = dst; psrc = src; pop; ploc = a.loc }
+      in
+      match a.kind with
+      | Prim.Addr -> statics := rec_ Objfile.Paddr None :: !statics
+      | Prim.Copy op ->
+          let pop =
+            Option.map (fun o -> (o.Prim.op, o.Prim.strength)) op
+          in
+          blocks.(src) <- rec_ Objfile.Pcopy pop :: blocks.(src)
+      | Prim.Store -> blocks.(src) <- rec_ Objfile.Pstore None :: blocks.(src)
+      | Prim.Load -> blocks.(src) <- rec_ Objfile.Pload None :: blocks.(src)
+      | Prim.Deref2 -> blocks.(src) <- rec_ Objfile.Pderef2 None :: blocks.(src))
+    p.assigns;
+  Array.iteri (fun i l -> blocks.(i) <- List.rev l) blocks;
+  let lookup_std what owner missing =
+    match Hashtbl.find_opt std (what, owner) with
+    | Some uid -> uid
+    | None -> missing
+  in
+  let fundefs =
+    List.map
+      (fun (f : Prog.fundef) ->
+        let fname = Var.name f.fvar in
+        {
+          Objfile.ffvar = Var.uid f.fvar;
+          farity = f.arity;
+          fret = lookup_std `Ret fname (-1);
+          fargs =
+            Array.init f.arity (fun i ->
+                lookup_std (`Arg (i + 1)) fname (-1));
+          ffloc = f.floc;
+        })
+      p.fundefs
+  in
+  let indirects =
+    List.map
+      (fun (i : Prog.indirect) ->
+        let owner = Fmt.str "ip%d" (Var.uid i.ptr) in
+        {
+          Objfile.iptr = Var.uid i.ptr;
+          inargs = i.nargs;
+          iret = lookup_std `Ret owner (-1);
+          iargs =
+            Array.init i.nargs (fun k ->
+                lookup_std (`Arg (k + 1)) owner (-1));
+          iiloc = i.iloc;
+        })
+      p.indirects
+  in
+  {
+    Objfile.vars;
+    keys;
+    statics = List.rev !statics;
+    blocks;
+    fundefs;
+    indirects;
+    consts =
+      List.map (fun (v, c) -> (Var.uid v, c)) p.consts;
+    meta =
+      {
+        mfiles = [ p.file ];
+        msource_lines = source_lines;
+        mpreproc_lines = preproc_lines;
+        mcounts = Prog.counts p;
+      };
+  }
+
+(** Compile C source text into a database. *)
+let compile_string ?(options = default_options) ~file source : Objfile.db =
+  let preprocessed =
+    Cpp.preprocess_string ~include_dirs:options.include_dirs
+      ~virtual_fs:options.virtual_fs ~defines:options.defines ~file source
+  in
+  let parsed = Cparser.parse_string ~file preprocessed in
+  let prog = Normalize.run ~mode:options.mode parsed in
+  db_of_prog
+    ~source_lines:(count_source_lines source)
+    ~preproc_lines:(count_lines preprocessed) prog
+
+(** Compile a C file from disk into a database. *)
+let compile_file ?(options = default_options) path : Objfile.db =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let source = really_input_string ic len in
+  close_in ic;
+  compile_string ~options ~file:path source
+
+(** Compile and serialize to an object file on disk (like [cc -c]). *)
+let compile_to ?(options = default_options) ~output path =
+  Objfile.save output (compile_file ~options path)

@@ -1,0 +1,29 @@
+(** The CLA compile phase: C source -> object-file database.
+
+    "The compile phase parses source files, extracts assignments and
+    function calls/returns/definitions, and writes an object file that is
+    basically an indexed database structure of these basic program
+    components.  No analysis is performed yet." (Section 4) *)
+
+type options = {
+  mode : Cla_cfront.Normalize.mode;
+      (** field-based (paper default) or field-independent structs *)
+  include_dirs : string list;
+  defines : (string * string) list;
+  virtual_fs : (string * string) list;  (** in-memory headers, for tests *)
+}
+
+val default_options : options
+
+(** Lower a normalized translation unit to a serializable database. *)
+val db_of_prog :
+  ?source_lines:int -> ?preproc_lines:int -> Cla_ir.Prog.t -> Objfile.db
+
+(** Compile C source text into a database. *)
+val compile_string : ?options:options -> file:string -> string -> Objfile.db
+
+(** Compile a C file from disk. *)
+val compile_file : ?options:options -> string -> Objfile.db
+
+(** Compile and serialize to an object file on disk (like [cc -c]). *)
+val compile_to : ?options:options -> output:string -> string -> unit

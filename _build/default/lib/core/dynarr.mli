@@ -1,0 +1,13 @@
+(** Growable int arrays (OCaml 5.1 predates the stdlib [Dynarray]); the
+    solver's adjacency lists and scratch buffers. *)
+
+type t = { mutable data : int array; mutable len : int }
+
+val create : ?capacity:int -> unit -> t
+val length : t -> int
+val get : t -> int -> int
+val push : t -> int -> unit
+val clear : t -> unit
+val iter : (int -> unit) -> t -> unit
+val unsafe_get : t -> int -> int
+val to_array : t -> int array

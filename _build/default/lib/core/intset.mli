@@ -1,0 +1,17 @@
+(** Open-addressing hash set of non-negative ints.
+
+    One cache miss per operation — the pre-transitive solver performs
+    millions of edge-dedup probes, where the stdlib [Hashtbl]'s chained
+    buckets and per-insert allocation dominate solver time. *)
+
+type t
+
+(** [create capacity] sizes the table for about [capacity] elements. *)
+val create : int -> t
+
+val length : t -> int
+
+(** [add t key] inserts; returns [true] iff the key was not present. *)
+val add : t -> int -> bool
+
+val mem : t -> int -> bool

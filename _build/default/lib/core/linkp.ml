@@ -1,0 +1,167 @@
+(** The CLA link phase: merge object files into one database.
+
+    "The link phase merges all of the database files into one database,
+    using the linking information present in the object files to link
+    global symbols ... During this process we must recompute indexing
+    information." (Section 4) *)
+
+open Cla_ir
+
+type stats = {
+  n_units : int;
+  n_extern_merged : int;  (** extern symbol occurrences unified away *)
+  n_vars_out : int;
+}
+
+(** Link several object-file views into a single database.  Extern objects
+    with the same canonical key are unified; unit-private objects are
+    renumbered. *)
+let link_views (views : Objfile.view list) : Objfile.db * stats =
+  let key_ids : (string, int) Hashtbl.t = Hashtbl.create 1024 in
+  let out_vars = ref [] in
+  (* reversed *)
+  let next = ref 0 in
+  let merged = ref 0 in
+  let alloc (vi : Objfile.varinfo) =
+    let id = !next in
+    incr next;
+    out_vars := vi :: !out_vars;
+    id
+  in
+  let unit_maps =
+    List.map
+      (fun (v : Objfile.view) ->
+        let n = Objfile.n_vars v in
+        let keys = Hashtbl.create 64 in
+        List.iter (fun (uid, key) -> Hashtbl.replace keys uid key) v.Objfile.rkeys;
+        let map = Array.make n (-1) in
+        for uid = 0 to n - 1 do
+          let vi = v.Objfile.rvars.(uid) in
+          match Hashtbl.find_opt keys uid with
+          | Some key -> (
+              match Hashtbl.find_opt key_ids key with
+              | Some id ->
+                  incr merged;
+                  map.(uid) <- id
+              | None ->
+                  let id = alloc vi in
+                  Hashtbl.replace key_ids key id;
+                  map.(uid) <- id)
+          | None -> map.(uid) <- alloc vi
+        done;
+        (v, map))
+      views
+  in
+  let nvars = !next in
+  let vars =
+    Array.make nvars
+      {
+        Objfile.vname = "";
+        vkind = Var.Temp;
+        vlinkage = Var.Intern;
+        vtyp = "";
+        vloc = Loc.none;
+        vowner = "";
+      }
+  in
+  List.iteri
+    (fun i vi -> vars.(nvars - 1 - i) <- vi)
+    !out_vars;
+  (* prefer a declaration that has a type over one that does not (the same
+     extern may be declared with and without type info in different units) *)
+  List.iter
+    (fun ((v : Objfile.view), map) ->
+      Array.iteri
+        (fun uid id ->
+          let vi = v.Objfile.rvars.(uid) in
+          if vars.(id).Objfile.vtyp = "" && vi.Objfile.vtyp <> "" then
+            vars.(id) <- vi)
+        map)
+    unit_maps;
+  let remap_prim map (p : Objfile.prim_rec) =
+    { p with Objfile.pdst = map.(p.pdst); psrc = map.(p.psrc) }
+  in
+  let statics = ref [] in
+  let blocks = Array.make nvars [] in
+  let fundefs = ref [] in
+  let seen_fun = Hashtbl.create 64 in
+  let indirects = ref [] in
+  let consts = ref [] in
+  let files = ref [] in
+  let src_lines = ref 0 in
+  let pre_lines = ref 0 in
+  let counts = ref Prim.zero_counts in
+  List.iter
+    (fun ((v : Objfile.view), map) ->
+      Array.iter
+        (fun p -> statics := remap_prim map p :: !statics)
+        v.Objfile.rstatics;
+      for uid = 0 to Objfile.n_vars v - 1 do
+        if Objfile.has_block v uid then begin
+          let prims = List.map (remap_prim map) (Objfile.read_block v uid) in
+          let id = map.(uid) in
+          blocks.(id) <- List.rev_append (List.rev prims) blocks.(id)
+        end
+      done;
+      Array.iter
+        (fun (f : Objfile.fund_rec) ->
+          let id = map.(f.ffvar) in
+          if not (Hashtbl.mem seen_fun id) then begin
+            Hashtbl.replace seen_fun id ();
+            fundefs :=
+              {
+                f with
+                Objfile.ffvar = id;
+                fret = (if f.fret >= 0 then map.(f.fret) else -1);
+                fargs =
+                  Array.map (fun a -> if a >= 0 then map.(a) else -1) f.fargs;
+              }
+              :: !fundefs
+          end)
+        v.Objfile.rfundefs;
+      Array.iter
+        (fun (i : Objfile.indir_rec) ->
+          indirects :=
+            {
+              i with
+              Objfile.iptr = map.(i.iptr);
+              iret = (if i.iret >= 0 then map.(i.iret) else -1);
+              iargs =
+                Array.map (fun a -> if a >= 0 then map.(a) else -1) i.iargs;
+            }
+            :: !indirects)
+        v.Objfile.rindirects;
+      List.iter
+        (fun (var, c) -> consts := (map.(var), c) :: !consts)
+        v.Objfile.rconsts;
+      files := List.rev_append v.Objfile.rmeta.Objfile.mfiles !files;
+      src_lines := !src_lines + v.Objfile.rmeta.Objfile.msource_lines;
+      pre_lines := !pre_lines + v.Objfile.rmeta.Objfile.mpreproc_lines;
+      counts := Prim.add_counts !counts v.Objfile.rmeta.Objfile.mcounts)
+    unit_maps;
+  let db =
+    {
+      Objfile.vars;
+      keys = Hashtbl.fold (fun key id acc -> (id, key) :: acc) key_ids [];
+      statics = List.rev !statics;
+      blocks;
+      fundefs = List.rev !fundefs;
+      indirects = List.rev !indirects;
+      consts = List.rev !consts;
+      meta =
+        {
+          mfiles = List.rev !files;
+          msource_lines = !src_lines;
+          mpreproc_lines = !pre_lines;
+          mcounts = !counts;
+        };
+    }
+  in
+  (db, { n_units = List.length views; n_extern_merged = !merged; n_vars_out = nvars })
+
+(** Link object files from disk and write the "executable" database. *)
+let link_files ~output paths =
+  let views = List.map Objfile.load paths in
+  let db, stats = link_views views in
+  Objfile.save output db;
+  stats

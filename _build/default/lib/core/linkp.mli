@@ -1,0 +1,18 @@
+(** The CLA link phase: merge object files into one database, linking
+    global symbols and recomputing the indexes (Section 4). *)
+
+type stats = {
+  n_units : int;
+  n_extern_merged : int;  (** extern symbol occurrences unified away *)
+  n_vars_out : int;
+}
+
+(** Link several object-file views into a single database.  Extern objects
+    with the same canonical key are unified; unit-private objects are
+    renumbered; dynamic blocks of merged objects are concatenated; Table 2
+    statistics are summed. *)
+val link_views : Objfile.view list -> Objfile.db * stats
+
+(** Link object files from disk and write the "executable" database
+    (which has the same format as the inputs, as in the paper). *)
+val link_files : output:string -> string list -> stats

@@ -1,0 +1,77 @@
+(** Demand loader over a linked object-file view (the "analyze" phase's
+    I/O layer, Section 4).
+
+    The static section is always loaded; dynamic blocks are decoded only
+    when the analysis asks for them, and the caller may discard decoded
+    records and re-read them later ("once we have read information from the
+    object file we can simply discard it and re-load it later if
+    necessary").  The loader keeps the Table 3 accounting: assignments
+    loaded, assignments retained in core, assignments in the file. *)
+
+open Cla_ir
+
+type t = {
+  view : Objfile.view;
+  loaded_flag : Bytes.t;  (* per var: block loaded at least once *)
+  mutable loaded : int;  (* primitive assignments decoded *)
+  mutable in_core : int;  (* primitive assignments retained in memory *)
+  mutable reloads : int;  (* blocks decoded again after a discard *)
+}
+
+let create (view : Objfile.view) =
+  {
+    view;
+    loaded_flag = Bytes.make (max 1 (Objfile.n_vars view)) '\000';
+    loaded = 0;
+    in_core = 0;
+    reloads = 0;
+  }
+
+(** The address-of assignments; counted as loaded (they are always read,
+    then discarded per the Section 6 strategy). *)
+let statics t =
+  t.loaded <- t.loaded + Array.length t.view.Objfile.rstatics;
+  t.view.Objfile.rstatics
+
+(** Decode the block of [src].  Every call reads from the file bytes; the
+    second and later calls on the same block count as re-loads. *)
+let block t src : Objfile.prim_rec list =
+  let prims = Objfile.read_block t.view src in
+  let n = List.length prims in
+  if n > 0 then begin
+    t.loaded <- t.loaded + n;
+    if Bytes.get t.loaded_flag src <> '\000' then t.reloads <- t.reloads + 1
+    else Bytes.set t.loaded_flag src '\001'
+  end;
+  prims
+
+(** Record that [n] decoded assignments are being kept in memory (complex
+    assignments are retained; [x = y] and [x = &y] are discarded). *)
+let retain t n = t.in_core <- t.in_core + n
+
+type stats = {
+  s_in_core : int;
+  s_loaded : int;
+  s_in_file : int;
+  s_reloads : int;
+}
+
+let stats t =
+  {
+    s_in_core = t.in_core;
+    s_loaded = t.loaded;
+    s_in_file = Prim.total t.view.Objfile.rmeta.Objfile.mcounts;
+    s_reloads = t.reloads;
+  }
+
+(** Operations through which points-to information survives: only these
+    copies are relevant to aliasing, and the loader skips the rest
+    ("non-pointer arithmetic assignments are usually ignored", Section 6). *)
+let pointer_relevant_op = function
+  | "+" | "-" | "u+" | "u-" | "cast" | "?:" -> true
+  | _ -> false
+
+let relevant_to_points_to (p : Objfile.prim_rec) =
+  match (p.Objfile.pkind, p.Objfile.pop) with
+  | Objfile.Pcopy, Some (op, _) -> pointer_relevant_op op
+  | _ -> true

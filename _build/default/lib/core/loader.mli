@@ -1,0 +1,40 @@
+(** Demand loader over a linked object-file view (the analyze phase's I/O
+    layer, Section 4).
+
+    The static section is always loaded; dynamic blocks are decoded only
+    when the analysis asks, and decoded records may be discarded and
+    re-read later.  The loader keeps Table 3's accounting: assignments
+    loaded, assignments retained in core, assignments in the file. *)
+
+type t
+
+val create : Objfile.view -> t
+
+(** The address-of assignments — always read, counted as loaded. *)
+val statics : t -> Objfile.prim_rec array
+
+(** Decode the dynamic block of a variable (the assignments in which it is
+    the source).  Each call re-reads the underlying bytes; repeat calls
+    count as re-loads (the load-and-throw-away strategy). *)
+val block : t -> int -> Objfile.prim_rec list
+
+(** Record that [n] decoded assignments are being kept in memory (complex
+    assignments are retained; [x = y] and [x = &y] are discarded after
+    use, Section 6). *)
+val retain : t -> int -> unit
+
+type stats = {
+  s_in_core : int;  (** assignments retained in memory *)
+  s_loaded : int;  (** assignments decoded from the file *)
+  s_in_file : int;  (** total assignments in the database *)
+  s_reloads : int;  (** blocks decoded again after a discard *)
+}
+
+val stats : t -> stats
+
+(** Operations through which points-to information survives ([+], [-],
+    casts, [?:]); everything else is skipped by the points-to loader
+    ("non-pointer arithmetic assignments are usually ignored"). *)
+val pointer_relevant_op : string -> bool
+
+val relevant_to_points_to : Objfile.prim_rec -> bool

@@ -1,0 +1,126 @@
+(** Shared sets of lvals, represented as sorted, duplicate-free int arrays.
+
+    "Since many lval sets are identical, a mechanism is implemented to
+    share common lvals sets.  Such sets are implemented as ordered lists,
+    and are linked into a hash table, based on set size." (Section 5)
+
+    The hash-cons pool is per-solver and is flushed at the beginning of
+    each pass through the complex assignments, exactly as in the paper
+    (after unifications, stale sets would otherwise pin memory). *)
+
+type t = int array
+
+let empty : t = [||]
+let cardinal (s : t) = Array.length s
+let mem x (s : t) =
+  let lo = ref 0 and hi = ref (Array.length s) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if s.(mid) < x then lo := mid + 1 else hi := mid
+  done;
+  !lo < Array.length s && s.(!lo) = x
+
+let iter = Array.iter
+let fold = Array.fold_left
+let to_list (s : t) = Array.to_list s
+let equal (a : t) (b : t) = a = b
+
+(** Iterate the elements of [cur] that are not in [prev] (both sorted).
+    Points-to sets only grow, so drivers remember the set they last
+    processed and visit just the delta — difference propagation. *)
+let iter_diff ~prev (cur : t) f =
+  let np = Array.length prev and nc = Array.length cur in
+  if np = 0 then Array.iter f cur
+  else begin
+    let i = ref 0 and j = ref 0 in
+    while !j < nc do
+      if !i >= np then begin
+        f cur.(!j);
+        incr j
+      end
+      else if prev.(!i) < cur.(!j) then incr i
+      else if prev.(!i) = cur.(!j) then begin
+        incr i;
+        incr j
+      end
+      else begin
+        f cur.(!j);
+        incr j
+      end
+    done
+  end
+
+(** The sharing pool: size-bucketed, content-hashed. *)
+type pool = { mutable tbl : (int, t list ref) Hashtbl.t; mutable hits : int; mutable misses : int }
+
+let create_pool () = { tbl = Hashtbl.create 256; hits = 0; misses = 0 }
+let flush_pool p = p.tbl <- Hashtbl.create 256
+
+let hash_arr (a : int array) =
+  let h = ref (Array.length a) in
+  Array.iter (fun x -> h := (!h * 31) + x + 1) a;
+  !h land max_int
+
+(** Return the pooled physical representative of [a] (which must already be
+    sorted and duplicate-free). *)
+let share pool (a : int array) : t =
+  if Array.length a = 0 then empty
+  else begin
+    let key = hash_arr a in
+    match Hashtbl.find_opt pool.tbl key with
+    | Some bucket -> (
+        match List.find_opt (fun b -> b == a || b = a) !bucket with
+        | Some b ->
+            pool.hits <- pool.hits + 1;
+            b
+        | None ->
+            pool.misses <- pool.misses + 1;
+            bucket := a :: !bucket;
+            a)
+    | None ->
+        pool.misses <- pool.misses + 1;
+        Hashtbl.add pool.tbl key (ref [ a ]);
+        a
+  end
+
+(** Sort + dedup a scratch buffer of candidate members into a shared set. *)
+let of_dyn pool (buf : int array) (len : int) : t =
+  if len = 0 then empty
+  else begin
+    let a = Array.sub buf 0 len in
+    Array.sort compare a;
+    let w = ref 1 in
+    for r = 1 to len - 1 do
+      if a.(r) <> a.(!w - 1) then begin
+        a.(!w) <- a.(r);
+        incr w
+      end
+    done;
+    share pool (if !w = len then a else Array.sub a 0 !w)
+  end
+
+let of_list pool l =
+  let a = Array.of_list l in
+  of_dyn pool a (Array.length a)
+
+(** Merge-union of two shared sets. *)
+let union pool (a : t) (b : t) : t =
+  if Array.length a = 0 then b
+  else if Array.length b = 0 then a
+  else if a == b then a
+  else begin
+    let out = Array.make (Array.length a + Array.length b) 0 in
+    let i = ref 0 and j = ref 0 and k = ref 0 in
+    while !i < Array.length a && !j < Array.length b do
+      let x = a.(!i) and y = b.(!j) in
+      if x < y then (out.(!k) <- x; incr i)
+      else if y < x then (out.(!k) <- y; incr j)
+      else (out.(!k) <- x; incr i; incr j);
+      incr k
+    done;
+    while !i < Array.length a do out.(!k) <- a.(!i); incr i; incr k done;
+    while !j < Array.length b do out.(!k) <- b.(!j); incr j; incr k done;
+    if !k = Array.length a then a
+    else if !k = Array.length b then b
+    else share pool (Array.sub out 0 !k)
+  end

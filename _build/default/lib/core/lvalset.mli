@@ -1,0 +1,51 @@
+(** Shared sets of lvals: sorted, duplicate-free int arrays with
+    hash-consing.
+
+    "Since many lval sets are identical, a mechanism is implemented to
+    share common lvals sets ... linked into a hash table, based on set
+    size" (Section 5).  Sharing is what makes the dense benchmarks cheap:
+    identical sets are physically equal, so unions short-circuit and a
+    whole benchmark's millions of points-to relations may live in a few
+    hundred distinct arrays. *)
+
+type t = private int array
+
+val empty : t
+val cardinal : t -> int
+
+(** Binary-search membership. *)
+val mem : int -> t -> bool
+
+val iter : (int -> unit) -> t -> unit
+val fold : ('a -> int -> 'a) -> 'a -> t -> 'a
+val to_list : t -> int list
+
+(** Structural equality (physically shared sets compare in O(1)). *)
+val equal : t -> t -> bool
+
+(** The sharing pool.  One per solver; flushed at the start of each pass
+    over the complex assignments, as in the paper. *)
+type pool
+
+val create_pool : unit -> pool
+val flush_pool : pool -> unit
+
+(** Return the pooled physical representative of a sorted, duplicate-free
+    array. *)
+val share : pool -> int array -> t
+
+(** Sort + dedup the first [len] elements of a scratch buffer into a
+    shared set. *)
+val of_dyn : pool -> int array -> int -> t
+
+val of_list : pool -> int list -> t
+
+(** Merge-union; returns one of its arguments physically when the other is
+    a subset. *)
+val union : pool -> t -> t -> t
+
+(** [iter_diff ~prev cur f] visits the elements of [cur] not in [prev]
+    (both sorted).  Points-to sets grow monotonically, so drivers remember
+    the set they last processed and visit just the delta — difference
+    propagation. *)
+val iter_diff : prev:t -> t -> (int -> unit) -> unit

@@ -1,0 +1,568 @@
+(** The CLA object file: an indexed database of primitive assignments
+    (Section 4, Figure 4 of the paper).
+
+    Layout (all little-endian, varint = LEB128):
+
+    {v
+    magic "CLA1"
+    u32 section_count
+    section table: (u8 id, u32 offset, u32 size) per section
+    sections:
+      STRTAB   common strings (Figure 4's "string section")
+      VARS     one record per object: name, kind, linkage, type, decl loc
+      GLOBALS  linking information: (var, canonical key) for extern objects
+      STATIC   address-of assignments x = &y — always loaded by points-to
+      DYNAMIC  per-object blocks: for each object, the primitive
+               assignments in which it is the *source*, preceded by an
+               index (var -> offset,count) so one lookup finds a block
+      FUNDEFS  per defined function: arity and its standardized arg/ret
+               variables (used to link indirect calls at analysis time)
+      INDIRECT per indirect call site: the pointer, arity, arg/ret vars
+      TARGETS  name -> object index, sorted, for the dependence analysis
+      META     provenance and Table 2 statistics
+    v}
+
+    The same format serves as both "object file" (per translation unit) and
+    "executable" (after linking) — exactly as in the paper, where the
+    linked file "has the same format as the object files". *)
+
+open Cla_ir
+
+let magic = "CLA1"
+
+(* Section ids *)
+let sec_strtab = 0
+let sec_vars = 1
+let sec_globals = 2
+let sec_static = 3
+let sec_dynamic = 4
+let sec_fundefs = 5
+let sec_indirect = 6
+let sec_targets = 7
+let sec_meta = 8
+let sec_consts = 9
+
+(* ------------------------------------------------------------------ *)
+(* In-memory database records                                          *)
+(* ------------------------------------------------------------------ *)
+
+type varinfo = {
+  vname : string;
+  vkind : Var.kind;
+  vlinkage : Var.linkage;
+  vtyp : string;
+  vloc : Loc.t;
+  vowner : string;  (** enclosing function, or [""] for file scope *)
+}
+
+(** The five primitive kinds, in Table 2 column order. *)
+type pkind = Pcopy | Paddr | Pstore | Pderef2 | Pload
+
+type prim_rec = {
+  pkind : pkind;
+  pdst : int;
+  psrc : int;
+  pop : (string * Strength.t) option;  (** operation provenance on copies *)
+  ploc : Loc.t;
+}
+
+type fund_rec = {
+  ffvar : int;
+  farity : int;
+  fret : int;
+  fargs : int array;  (** standardized argument variables, 1..arity *)
+  ffloc : Loc.t;
+}
+
+type indir_rec = {
+  iptr : int;
+  inargs : int;
+  iret : int;
+  iargs : int array;
+  iiloc : Loc.t;
+}
+
+type meta = {
+  mfiles : string list;  (** source files linked into this database *)
+  msource_lines : int;  (** non-blank, non-# source lines *)
+  mpreproc_lines : int;
+  mcounts : Prim.counts;  (** per-kind totals (Table 2) *)
+}
+
+(** A complete database, ready to serialize. *)
+type db = {
+  vars : varinfo array;
+  keys : (int * string) list;  (** extern var -> canonical linking key *)
+  statics : prim_rec list;  (** all [Paddr]; in source order *)
+  blocks : prim_rec list array;  (** indexed by source var; no [Paddr] *)
+  fundefs : fund_rec list;
+  indirects : indir_rec list;
+  consts : (int * int64) list;  (** integer constants assigned to objects *)
+  meta : meta;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let kind_code = function
+  | Var.Global -> 0
+  | Var.Filelocal -> 1
+  | Var.Temp -> 2
+  | Var.Field -> 3
+  | Var.Heap -> 4
+  | Var.Func -> 5
+  | Var.Arg _ -> 6
+  | Var.Ret -> 7
+
+let pkind_code = function
+  | Pcopy -> 0
+  | Paddr -> 1
+  | Pstore -> 2
+  | Pderef2 -> 3
+  | Pload -> 4
+
+let strength_code = function
+  | Strength.None_ -> 0
+  | Strength.Weak -> 1
+  | Strength.Strong -> 2
+
+(* zigzag-encode an int64 into two 32-bit varints *)
+let write_i64 w (v : int64) =
+  let z = Int64.logxor (Int64.shift_left v 1) (Int64.shift_right v 63) in
+  Binio.varint w (Int64.to_int (Int64.logand z 0xFFFFFFFFL));
+  Binio.varint w (Int64.to_int (Int64.shift_right_logical z 32))
+
+let read_i64 r =
+  let lo = Int64.of_int (Binio.rvarint r) in
+  let hi = Int64.of_int (Binio.rvarint r) in
+  let z = Int64.logor lo (Int64.shift_left hi 32) in
+  Int64.logxor (Int64.shift_right_logical z 1) (Int64.neg (Int64.logand z 1L))
+
+let write_loc w st (l : Loc.t) =
+  Binio.varint w (Strtab.intern st l.file);
+  Binio.varint w l.line;
+  Binio.varint w l.col
+
+(* A prim inside a block: the source is implicit (the block's owner). *)
+let write_block_prim w st p =
+  let tag =
+    pkind_code p.pkind lor (match p.pop with Some _ -> 0x8 | None -> 0)
+  in
+  Binio.u8 w tag;
+  Binio.varint w p.pdst;
+  (match p.pop with
+  | Some (op, s) ->
+      Binio.varint w (Strtab.intern st op);
+      Binio.u8 w (strength_code s)
+  | None -> ());
+  write_loc w st p.ploc
+
+(** Serialize a database to object-file bytes. *)
+let write (db : db) : string =
+  let st = Strtab.create () in
+  (* Pre-intern everything so the string table can be emitted first;
+     sections are built into their own buffers. *)
+  let b_vars = Binio.writer () in
+  Binio.u32 b_vars (Array.length db.vars);
+  Array.iter
+    (fun v ->
+      Binio.varint b_vars (Strtab.intern st v.vname);
+      Binio.u8 b_vars (kind_code v.vkind);
+      (match v.vkind with
+      | Var.Arg i -> Binio.varint b_vars i
+      | _ -> ());
+      Binio.u8 b_vars (match v.vlinkage with Var.Extern -> 0 | Var.Intern -> 1);
+      Binio.varint b_vars (Strtab.intern st v.vtyp);
+      Binio.varint b_vars (Strtab.intern st v.vowner);
+      write_loc b_vars st v.vloc)
+    db.vars;
+  let b_globals = Binio.writer () in
+  Binio.u32 b_globals (List.length db.keys);
+  List.iter
+    (fun (var, key) ->
+      Binio.varint b_globals var;
+      Binio.varint b_globals (Strtab.intern st key))
+    db.keys;
+  let b_static = Binio.writer () in
+  Binio.u32 b_static (List.length db.statics);
+  List.iter
+    (fun p ->
+      Binio.varint b_static p.pdst;
+      Binio.varint b_static p.psrc;
+      write_loc b_static st p.ploc)
+    db.statics;
+  (* dynamic: blob of blocks + index *)
+  let b_blob = Binio.writer () in
+  let index = ref [] in
+  Array.iteri
+    (fun src prims ->
+      match prims with
+      | [] -> ()
+      | prims ->
+          let off = Binio.wpos b_blob in
+          List.iter (fun p -> write_block_prim b_blob st p) prims;
+          index := (src, off, List.length prims) :: !index)
+    db.blocks;
+  let b_dynamic = Binio.writer () in
+  let index = List.rev !index in
+  Binio.u32 b_dynamic (List.length index);
+  List.iter
+    (fun (src, off, n) ->
+      Binio.varint b_dynamic src;
+      Binio.varint b_dynamic off;
+      Binio.varint b_dynamic n)
+    index;
+  Binio.u32 b_dynamic (Binio.wpos b_blob);
+  Buffer.add_buffer b_dynamic b_blob;
+  let b_fundefs = Binio.writer () in
+  Binio.u32 b_fundefs (List.length db.fundefs);
+  List.iter
+    (fun f ->
+      Binio.varint b_fundefs f.ffvar;
+      Binio.varint b_fundefs f.farity;
+      Binio.varint b_fundefs f.fret;
+      Array.iter (fun a -> Binio.varint b_fundefs a) f.fargs;
+      write_loc b_fundefs st f.ffloc)
+    db.fundefs;
+  let b_indirect = Binio.writer () in
+  Binio.u32 b_indirect (List.length db.indirects);
+  List.iter
+    (fun i ->
+      Binio.varint b_indirect i.iptr;
+      Binio.varint b_indirect i.inargs;
+      Binio.varint b_indirect i.iret;
+      Array.iter (fun a -> Binio.varint b_indirect a) i.iargs;
+      write_loc b_indirect st i.iiloc)
+    db.indirects;
+  (* targets: (display name, var) sorted by name for binary search *)
+  let b_targets = Binio.writer () in
+  let targets =
+    Array.to_list
+      (Array.mapi
+         (fun i v -> (v.vname, i))
+         db.vars)
+    |> List.filter (fun (_, i) ->
+           match db.vars.(i).vkind with
+           | Var.Temp | Var.Arg _ | Var.Ret -> false
+           | _ -> true)
+    |> List.sort compare
+  in
+  Binio.u32 b_targets (List.length targets);
+  List.iter
+    (fun (name, i) ->
+      Binio.varint b_targets (Strtab.intern st name);
+      Binio.varint b_targets i)
+    targets;
+  let b_meta = Binio.writer () in
+  Binio.u32 b_meta (List.length db.meta.mfiles);
+  List.iter (fun f -> Binio.varint b_meta (Strtab.intern st f)) db.meta.mfiles;
+  Binio.varint b_meta db.meta.msource_lines;
+  Binio.varint b_meta db.meta.mpreproc_lines;
+  let c = db.meta.mcounts in
+  Binio.varint b_meta c.Prim.n_copy;
+  Binio.varint b_meta c.Prim.n_addr;
+  Binio.varint b_meta c.Prim.n_store;
+  Binio.varint b_meta c.Prim.n_deref2;
+  Binio.varint b_meta c.Prim.n_load;
+  let b_consts = Binio.writer () in
+  Binio.u32 b_consts (List.length db.consts);
+  List.iter
+    (fun (var, v) ->
+      Binio.varint b_consts var;
+      write_i64 b_consts v)
+    db.consts;
+  (* strtab last to build, first to emit *)
+  let b_strtab = Binio.writer () in
+  Strtab.write b_strtab st;
+  let sections =
+    [
+      (sec_strtab, b_strtab); (sec_vars, b_vars); (sec_globals, b_globals);
+      (sec_static, b_static); (sec_dynamic, b_dynamic);
+      (sec_fundefs, b_fundefs); (sec_indirect, b_indirect);
+      (sec_targets, b_targets); (sec_meta, b_meta); (sec_consts, b_consts);
+    ]
+  in
+  let header = Binio.writer () in
+  Buffer.add_string header magic;
+  Binio.u32 header (List.length sections);
+  let table_pos = Binio.wpos header in
+  List.iter
+    (fun (id, _) ->
+      Binio.u8 header id;
+      Binio.u32 header 0;
+      Binio.u32 header 0)
+    sections;
+  let out = Buffer.create (1 lsl 16) in
+  Buffer.add_buffer out header;
+  let offsets =
+    List.map
+      (fun (id, b) ->
+        let off = Buffer.length out in
+        Buffer.add_buffer out b;
+        (id, off, Buffer.length b))
+      sections
+  in
+  let bytes = Buffer.to_bytes out in
+  List.iteri
+    (fun i (_, off, size) ->
+      let entry = table_pos + (i * 9) in
+      Binio.patch_u32 bytes ~pos:(entry + 1) off;
+      Binio.patch_u32 bytes ~pos:(entry + 5) size)
+    offsets;
+  Bytes.unsafe_to_string bytes
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** A view over serialized object-file bytes.  Cheap sections (vars,
+    globals, static, fundefs, indirect, targets, meta) are decoded eagerly;
+    the DYNAMIC blocks — the bulk of the file — are decoded on demand via
+    {!read_block}, which is what makes the load-on-demand /
+    load-and-throw-away strategies of Section 6 possible. *)
+type view = {
+  data : string;
+  strings : string array;
+  rvars : varinfo array;
+  rkeys : (int * string) list;
+  rstatics : prim_rec array;
+  block_index : (int * int) array;
+      (** per var: (absolute offset, count), or [(-1, 0)] if no block *)
+  rfundefs : fund_rec array;
+  rindirects : indir_rec array;
+  rtargets : (string * int) array;  (** sorted by name *)
+  rconsts : (int * int64) list;
+  rmeta : meta;
+}
+
+let decode_kind r =
+  match Binio.ru8 r with
+  | 0 -> Var.Global
+  | 1 -> Var.Filelocal
+  | 2 -> Var.Temp
+  | 3 -> Var.Field
+  | 4 -> Var.Heap
+  | 5 -> Var.Func
+  | 6 -> Var.Arg (Binio.rvarint r)
+  | 7 -> Var.Ret
+  | n -> raise (Binio.Corrupt (Fmt.str "bad var kind %d" n))
+
+let decode_strength = function
+  | 0 -> Strength.None_
+  | 1 -> Strength.Weak
+  | 2 -> Strength.Strong
+  | n -> raise (Binio.Corrupt (Fmt.str "bad strength %d" n))
+
+let read_loc r strings =
+  let file = strings.(Binio.rvarint r) in
+  let line = Binio.rvarint r in
+  let col = Binio.rvarint r in
+  Loc.make ~file ~line ~col
+
+let decode_pkind = function
+  | 0 -> Pcopy
+  | 1 -> Paddr
+  | 2 -> Pstore
+  | 3 -> Pderef2
+  | 4 -> Pload
+  | n -> raise (Binio.Corrupt (Fmt.str "bad prim kind %d" n))
+
+(** Parse the header and eager sections of object-file bytes. *)
+let view_of_string (data : string) : view =
+  if String.length data < 8 || String.sub data 0 4 <> magic then
+    raise (Binio.Corrupt "not a CLA object file");
+  let r = Binio.reader ~pos:4 data in
+  let nsec = Binio.ru32 r in
+  let sections = Hashtbl.create 16 in
+  for _ = 1 to nsec do
+    let id = Binio.ru8 r in
+    let off = Binio.ru32 r in
+    let size = Binio.ru32 r in
+    Hashtbl.replace sections id (off, size)
+  done;
+  let sec id =
+    match Hashtbl.find_opt sections id with
+    | Some (off, size) -> Binio.reader ~pos:off ~limit:(off + size) data
+    | None -> raise (Binio.Corrupt (Fmt.str "missing section %d" id))
+  in
+  let strings = Strtab.read (sec sec_strtab) in
+  let r = sec sec_vars in
+  let nvars = Binio.ru32 r in
+  let rvars =
+    Array.init nvars (fun _ ->
+        let vname = strings.(Binio.rvarint r) in
+        let vkind = decode_kind r in
+        let vlinkage = if Binio.ru8 r = 0 then Var.Extern else Var.Intern in
+        let vtyp = strings.(Binio.rvarint r) in
+        let vowner = strings.(Binio.rvarint r) in
+        let vloc = read_loc r strings in
+        { vname; vkind; vlinkage; vtyp; vloc; vowner })
+  in
+  let r = sec sec_globals in
+  let nkeys = Binio.ru32 r in
+  let rkeys =
+    List.init nkeys (fun _ ->
+        let var = Binio.rvarint r in
+        let key = strings.(Binio.rvarint r) in
+        (var, key))
+  in
+  let r = sec sec_static in
+  let nstat = Binio.ru32 r in
+  let rstatics =
+    Array.init nstat (fun _ ->
+        let pdst = Binio.rvarint r in
+        let psrc = Binio.rvarint r in
+        let ploc = read_loc r strings in
+        { pkind = Paddr; pdst; psrc; pop = None; ploc })
+  in
+  let r = sec sec_dynamic in
+  let nblocks = Binio.ru32 r in
+  let block_index = Array.make nvars (-1, 0) in
+  let entries =
+    Array.init nblocks (fun _ ->
+        let src = Binio.rvarint r in
+        let off = Binio.rvarint r in
+        let n = Binio.rvarint r in
+        (src, off, n))
+  in
+  let _blob_size = Binio.ru32 r in
+  let blob_start = r.Binio.pos in
+  Array.iter
+    (fun (src, off, n) ->
+      if src < nvars then block_index.(src) <- (blob_start + off, n))
+    entries;
+  let r = sec sec_fundefs in
+  let nfun = Binio.ru32 r in
+  let rfundefs =
+    Array.init nfun (fun _ ->
+        let ffvar = Binio.rvarint r in
+        let farity = Binio.rvarint r in
+        let fret = Binio.rvarint r in
+        let fargs = Array.init farity (fun _ -> Binio.rvarint r) in
+        let ffloc = read_loc r strings in
+        { ffvar; farity; fret; fargs; ffloc })
+  in
+  let r = sec sec_indirect in
+  let nind = Binio.ru32 r in
+  let rindirects =
+    Array.init nind (fun _ ->
+        let iptr = Binio.rvarint r in
+        let inargs = Binio.rvarint r in
+        let iret = Binio.rvarint r in
+        let iargs = Array.init inargs (fun _ -> Binio.rvarint r) in
+        let iiloc = read_loc r strings in
+        { iptr; inargs; iret; iargs; iiloc })
+  in
+  let r = sec sec_targets in
+  let ntgt = Binio.ru32 r in
+  let rtargets =
+    Array.init ntgt (fun _ ->
+        let name = strings.(Binio.rvarint r) in
+        let var = Binio.rvarint r in
+        (name, var))
+  in
+  let rconsts =
+    match Hashtbl.find_opt sections sec_consts with
+    | None -> [] (* object files written before the section existed *)
+    | Some (off, size) ->
+        let r = Binio.reader ~pos:off ~limit:(off + size) data in
+        let n = Binio.ru32 r in
+        List.init n (fun _ ->
+            let var = Binio.rvarint r in
+            let v = read_i64 r in
+            (var, v))
+  in
+  let r = sec sec_meta in
+  let nfiles = Binio.ru32 r in
+  let mfiles = List.init nfiles (fun _ -> strings.(Binio.rvarint r)) in
+  let msource_lines = Binio.rvarint r in
+  let mpreproc_lines = Binio.rvarint r in
+  let n_copy = Binio.rvarint r in
+  let n_addr = Binio.rvarint r in
+  let n_store = Binio.rvarint r in
+  let n_deref2 = Binio.rvarint r in
+  let n_load = Binio.rvarint r in
+  {
+    data;
+    strings;
+    rvars;
+    rkeys;
+    rstatics;
+    block_index;
+    rfundefs;
+    rindirects;
+    rtargets;
+    rconsts;
+    rmeta =
+      {
+        mfiles;
+        msource_lines;
+        mpreproc_lines;
+        mcounts = { Prim.n_copy; n_addr; n_store; n_deref2; n_load };
+      };
+  }
+
+(** Decode the dynamic block of [src]: the primitive assignments in which
+    [src] is the source.  Each call re-reads from the underlying bytes —
+    callers are free to discard the result and call again (the
+    load-and-throw-away strategy). *)
+let read_block (v : view) (src : int) : prim_rec list =
+  let off, n = v.block_index.(src) in
+  if off < 0 then []
+  else begin
+    let r = Binio.reader ~pos:off v.data in
+    List.init n (fun _ ->
+        let tag = Binio.ru8 r in
+        let pkind = decode_pkind (tag land 0x7) in
+        let pdst = Binio.rvarint r in
+        let pop =
+          if tag land 0x8 <> 0 then begin
+            let op = v.strings.(Binio.rvarint r) in
+            let s = decode_strength (Binio.ru8 r) in
+            Some (op, s)
+          end
+          else None
+        in
+        let ploc = read_loc r v.strings in
+        { pkind; pdst; psrc = src; pop; ploc })
+  end
+
+let has_block (v : view) (src : int) = fst v.block_index.(src) >= 0
+let n_vars (v : view) = Array.length v.rvars
+
+(** Look up objects by display name (the "target section" hashtable of
+    Figure 4; here a sorted array with binary search). *)
+let find_targets (v : view) name : int list =
+  let lo = ref 0 and hi = ref (Array.length v.rtargets) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if String.compare (fst v.rtargets.(mid)) name < 0 then lo := mid + 1
+    else hi := mid
+  done;
+  let acc = ref [] in
+  let i = ref !lo in
+  while
+    !i < Array.length v.rtargets && String.equal (fst v.rtargets.(!i)) name
+  do
+    acc := snd v.rtargets.(!i) :: !acc;
+    incr i
+  done;
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* File helpers                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let save path (db : db) =
+  let data = write db in
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
+let load path : view =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let data = really_input_string ic len in
+  close_in ic;
+  view_of_string data

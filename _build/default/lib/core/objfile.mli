@@ -1,0 +1,133 @@
+(** The CLA object file: an indexed database of primitive assignments
+    (Section 4, Figure 4 of the paper).
+
+    One format serves as both "object file" (per translation unit) and
+    "executable" (after linking), exactly as in the paper.  The layout is
+    COFF/ELF-like — a section table followed by sections — so that new
+    sections can be added without rewriting existing analyses:
+
+    - {b STRTAB}: interned common strings;
+    - {b VARS}: one record per object (name, kind, linkage, type, owner
+      function, declaration site);
+    - {b GLOBALS}: linking information — the canonical key of every
+      extern object;
+    - {b STATIC}: the address-of assignments [x = &y], always loaded by
+      points-to analysis;
+    - {b DYNAMIC}: per-object blocks — for each object, the primitive
+      assignments in which it is the {e source} — preceded by an index so
+      one lookup finds a block;
+    - {b FUNDEFS} / {b INDIRECT}: standardized argument/return variables
+      of function definitions and indirect call sites, linked at analysis
+      time;
+    - {b TARGETS}: name → object index, for the dependence analysis;
+    - {b META}: provenance and Table 2 statistics. *)
+
+open Cla_ir
+
+(* ------------------------------------------------------------------ *)
+(** {1 In-memory database} *)
+
+type varinfo = {
+  vname : string;  (** display name ([f@1] for standardized arguments) *)
+  vkind : Var.kind;
+  vlinkage : Var.linkage;
+  vtyp : string;  (** pretty-printed declared type, or [""] *)
+  vloc : Loc.t;  (** declaration site *)
+  vowner : string;  (** enclosing function for locals, or [""] *)
+}
+
+(** The five primitive kinds, in Table 2 column order. *)
+type pkind = Pcopy | Paddr | Pstore | Pderef2 | Pload
+
+type prim_rec = {
+  pkind : pkind;
+  pdst : int;
+  psrc : int;
+  pop : (string * Strength.t) option;
+      (** operation provenance on copies ([x =(+) y]) *)
+  ploc : Loc.t;
+}
+
+type fund_rec = {
+  ffvar : int;  (** the function object *)
+  farity : int;
+  fret : int;  (** standardized return variable, or [-1] *)
+  fargs : int array;  (** standardized argument variables (may hold [-1]) *)
+  ffloc : Loc.t;
+}
+
+type indir_rec = {
+  iptr : int;  (** the called pointer *)
+  inargs : int;
+  iret : int;
+  iargs : int array;
+  iiloc : Loc.t;
+}
+
+type meta = {
+  mfiles : string list;
+  msource_lines : int;  (** non-blank, non-# source lines (Table 2) *)
+  mpreproc_lines : int;
+  mcounts : Prim.counts;  (** per-kind totals (Table 2) *)
+}
+
+(** A complete database, ready to serialize.  Produced by the compile
+    phase, the linker, and the {!Transform} optimizers. *)
+type db = {
+  vars : varinfo array;
+  keys : (int * string) list;  (** extern object → canonical linking key *)
+  statics : prim_rec list;  (** all [Paddr], in source order *)
+  blocks : prim_rec list array;  (** indexed by source object *)
+  fundefs : fund_rec list;
+  indirects : indir_rec list;
+  consts : (int * int64) list;
+      (** integer constants assigned directly to objects — the paper's
+          constants section, used by the narrowing checker *)
+  meta : meta;
+}
+
+(* ------------------------------------------------------------------ *)
+(** {1 Serialization} *)
+
+(** Serialize a database to object-file bytes. *)
+val write : db -> string
+
+(** A view over serialized bytes.  Everything cheap is decoded eagerly;
+    the DYNAMIC blocks — the bulk of the file — decode on demand via
+    {!read_block}, which is what enables the load-on-demand and
+    load-and-throw-away strategies of Section 6. *)
+type view = {
+  data : string;
+  strings : string array;
+  rvars : varinfo array;
+  rkeys : (int * string) list;
+  rstatics : prim_rec array;
+  block_index : (int * int) array;
+      (** per object: (absolute offset, record count), or [(-1, 0)] *)
+  rfundefs : fund_rec array;
+  rindirects : indir_rec array;
+  rtargets : (string * int) array;  (** sorted by name *)
+  rconsts : (int * int64) list;
+  rmeta : meta;
+}
+
+(** Parse the header and eager sections.  Raises {!Binio.Corrupt} on a
+    malformed file. *)
+val view_of_string : string -> view
+
+(** Decode the dynamic block of an object: the assignments in which it is
+    the source.  Re-reads the underlying bytes on every call — callers are
+    free to discard results and ask again. *)
+val read_block : view -> int -> prim_rec list
+
+val has_block : view -> int -> bool
+val n_vars : view -> int
+
+(** Look up objects by display name (Figure 4's "target section"). *)
+val find_targets : view -> string -> int list
+
+(* ------------------------------------------------------------------ *)
+(** {1 Files} *)
+
+val save : string -> db -> unit
+val load : string -> view

@@ -1,0 +1,37 @@
+(** High-level façade: the full compile-link-analyze pipeline in one
+    call.  This is the entry point the examples, tools and tests use. *)
+
+(** Which points-to solver to run over the linked database.  All four are
+    implemented on the same object-file substrate — the architecture's
+    selling point (Section 4). *)
+type algorithm =
+  | Pretransitive  (** the paper's algorithm (Section 5) — default *)
+  | Worklist  (** transitively-closed Andersen baseline *)
+  | Bitvector  (** bit-vector subset baseline *)
+  | Steensgaard  (** unification-based baseline *)
+
+val algorithm_name : algorithm -> string
+val algorithm_of_string : string -> algorithm option
+
+(** Compile each [(name, source)] pair and link the results, all in
+    memory. *)
+val compile_link :
+  ?options:Compilep.options -> (string * string) list -> Objfile.view
+
+(** Compile and link C files from disk. *)
+val compile_link_files :
+  ?options:Compilep.options -> string list -> Objfile.view
+
+(** Run the selected points-to analysis over a linked view. *)
+val points_to :
+  ?algorithm:algorithm ->
+  ?config:Pretrans.config ->
+  ?demand:bool ->
+  Objfile.view ->
+  Solution.t
+
+(** Like {!points_to} with the pre-transitive solver, returning the full
+    result: pass count, loader statistics, graph statistics, and the
+    retained complex assignments the dependence analysis reuses. *)
+val points_to_result :
+  ?config:Pretrans.config -> ?demand:bool -> Objfile.view -> Andersen.result

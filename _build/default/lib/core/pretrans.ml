@@ -1,0 +1,335 @@
+(** The pre-transitive graph engine — the paper's second contribution
+    (Section 5, Figure 5).
+
+    The constraint graph [G] is *never* transitively closed.  An edge
+    [a -> b] means "everything derivable from [b] is derivable from [a]"
+    (i.e. [pts(a) ⊇ pts(b)]); each node carries its [baseElements] (the
+    [y]s of [x = &y] assignments).  The points-to set of a node is computed
+    on demand by graph reachability ([get_lvals]), made fast by:
+
+    - {b caching}: a reachability result is memoized and reused for the
+      rest of the current pass over the complex assignments; stale reads
+      are sound because the driver's [nochange] flag forces another pass;
+    - {b cycle elimination}: every cycle met during reachability is
+      collapsed by unifying its nodes ([skip] pointers with incremental
+      de-skipping).  Detection is free: we find exactly the cycles in the
+      parts of the graph we traverse — "the costly cycles".
+
+    Reachability runs an iterative Tarjan SCC walk (recursion would
+    overflow the OCaml stack on ~100k-node graphs), which detects each
+    traversed cycle once and lets us unify whole strongly-connected
+    components at a time; this realizes the paper's
+    [foreach n' in path, unifyNode(n', n)] without re-scanning paths. *)
+
+type config = {
+  cache : bool;  (** reuse reachability results within a pass *)
+  cycle_elim : bool;  (** unify the nodes of traversed cycles *)
+}
+
+let default_config = { cache = true; cycle_elim = true }
+
+type t = {
+  cfg : config;
+  pool : Lvalset.pool;
+  mutable n : int;  (* nodes allocated *)
+  mutable skip : int array;  (* skip.(n) >= 0: n was unified into skip.(n) *)
+  mutable succ : Dynarr.t array;
+  mutable base : Dynarr.t array;  (* baseElements (location ids, deduped) *)
+  mutable mark : int array;  (* memo validity stamp per node *)
+  mutable result : Lvalset.t array;  (* memoized reachability result *)
+  (* per-query Tarjan state, versioned by [query] *)
+  mutable disc : int array;
+  mutable low : int array;
+  mutable qid : int array;
+  mutable onstk : int array;  (* = query when the node is on the SCC stack *)
+  edge_tbl : Intset.t;
+  base_tbl : Intset.t;
+  mutable stamp : int;
+  mutable query : int;
+  (* statistics *)
+  mutable n_edges : int;
+  mutable n_unified : int;
+  mutable n_queries : int;
+  mutable n_visits : int;
+  mutable n_cache_hits : int;
+}
+
+let create ?(config = default_config) ~nodes () =
+  let cap = max 16 nodes in
+  {
+    cfg = config;
+    pool = Lvalset.create_pool ();
+    n = nodes;
+    skip = Array.make cap (-1);
+    succ = Array.init cap (fun _ -> Dynarr.create ~capacity:2 ());
+    base = Array.init cap (fun _ -> Dynarr.create ~capacity:2 ());
+    mark = Array.make cap (-1);
+    result = Array.make cap Lvalset.empty;
+    disc = Array.make cap 0;
+    low = Array.make cap 0;
+    qid = Array.make cap (-1);
+    onstk = Array.make cap (-1);
+    edge_tbl = Intset.create 4096;
+    base_tbl = Intset.create 1024;
+    stamp = 0;
+    query = 0;
+    n_edges = 0;
+    n_unified = 0;
+    n_queries = 0;
+    n_visits = 0;
+    n_cache_hits = 0;
+  }
+
+let n_nodes t = t.n
+
+let grow t needed =
+  let cap = Array.length t.skip in
+  if needed > cap then begin
+    let cap' = max needed (2 * cap) in
+    let extend a fill =
+      let a' = Array.make cap' fill in
+      Array.blit a 0 a' 0 cap;
+      a'
+    in
+    t.skip <- extend t.skip (-1);
+    let succ' = Array.init cap' (fun i -> if i < cap then t.succ.(i) else Dynarr.create ~capacity:2 ()) in
+    t.succ <- succ';
+    let base' = Array.init cap' (fun i -> if i < cap then t.base.(i) else Dynarr.create ~capacity:2 ()) in
+    t.base <- base';
+    t.mark <- extend t.mark (-1);
+    let r' = Array.make cap' Lvalset.empty in
+    Array.blit t.result 0 r' 0 cap;
+    t.result <- r';
+    t.disc <- extend t.disc 0;
+    t.low <- extend t.low 0;
+    t.qid <- extend t.qid (-1);
+    t.onstk <- extend t.onstk (-1)
+  end
+
+(** Allocate a fresh node (used for [*x = *y] splitting and [n_*y] deref
+    nodes). *)
+let fresh_node t =
+  let id = t.n in
+  grow t (id + 1);
+  t.n <- id + 1;
+  id
+
+(** Follow skip pointers with path compression ("an incremental algorithm
+    for updating graph edges to skip-nodes to their de-skipped
+    counterparts"). *)
+let rec deskip t n =
+  let s = t.skip.(n) in
+  if s < 0 then n
+  else begin
+    let r = deskip t s in
+    if r <> s then t.skip.(n) <- r;
+    r
+  end
+
+let edge_key a b = (a lsl 31) lor b
+
+(** Add edge [a -> b] ([pts(a) ⊇ pts(b)]).  Returns [true] if the edge is
+    new — the driver's [nochange] flag. *)
+let add_edge t a b =
+  let a = deskip t a and b = deskip t b in
+  if a = b then false
+  else begin
+    let key = edge_key a b in
+    if Intset.add t.edge_tbl key then begin
+      Dynarr.push t.succ.(a) b;
+      t.n_edges <- t.n_edges + 1;
+      true
+    end
+    else false
+  end
+
+(** Record [x = &z]: [z] joins [baseElements(x)]. *)
+let add_base t x z =
+  let x = deskip t x in
+  let key = edge_key x z in
+  if Intset.add t.base_tbl key then Dynarr.push t.base.(x) z
+
+(** Start a new pass over the complex assignments: flush the reachability
+    cache and the lval-set sharing pool. *)
+let new_pass t =
+  t.stamp <- t.stamp + 1;
+  Lvalset.flush_pool t.pool
+
+(* Merge [m]'s edges and base elements into representative [rep] and
+   install the skip pointer. *)
+let unify_into t m rep =
+  t.skip.(m) <- rep;
+  t.n_unified <- t.n_unified + 1;
+  Dynarr.iter
+    (fun s ->
+      let s = deskip t s in
+      ignore (add_edge t rep s))
+    t.succ.(m);
+  Dynarr.iter (fun z -> add_base t rep z) t.base.(m);
+  (* free the merged node's storage *)
+  t.succ.(m) <- Dynarr.create ~capacity:1 ();
+  t.base.(m) <- Dynarr.create ~capacity:1 ()
+
+(* ------------------------------------------------------------------ *)
+(* Reachability (getLvals)                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Iterative Tarjan.  Frames are parallel stacks; [sccs] collects the
+   components (size > 1) to unify after the walk completes. *)
+let tarjan t root =
+  t.query <- t.query + 1;
+  let q = t.query in
+  let counter = ref 0 in
+  let fnode = Dynarr.create ~capacity:64 () in
+  let fidx = Dynarr.create ~capacity:64 () in
+  let fidx_data = fidx in
+  let tstack = Dynarr.create ~capacity:64 () in
+  let sccs : int list list ref = ref [] in
+  let push_frame n =
+    t.qid.(n) <- q;
+    t.disc.(n) <- !counter;
+    t.low.(n) <- !counter;
+    incr counter;
+    t.onstk.(n) <- q;
+    Dynarr.push tstack n;
+    Dynarr.push fnode n;
+    Dynarr.push fidx_data 0;
+    t.n_visits <- t.n_visits + 1
+  in
+  push_frame root;
+  while Dynarr.length fnode > 0 do
+    let top = Dynarr.length fnode - 1 in
+    let n = Dynarr.get fnode top in
+    let i = Dynarr.get fidx_data top in
+    if i < Dynarr.length t.succ.(n) then begin
+      fidx_data.Dynarr.data.(top) <- i + 1;
+      let s = deskip t (Dynarr.unsafe_get t.succ.(n) i) in
+      if s = n then () (* self loop after de-skip *)
+      else if t.mark.(s) = t.stamp then
+        (* finished this pass/query: treat as leaf with known result *)
+        ()
+      else if t.qid.(s) = q then begin
+        if t.onstk.(s) = q && t.disc.(s) < t.low.(n) then
+          t.low.(n) <- t.disc.(s)
+      end
+      else push_frame s
+    end
+    else begin
+      (* node finished: pop frame *)
+      fnode.Dynarr.len <- top;
+      fidx_data.Dynarr.len <- top;
+      (* propagate lowlink to parent *)
+      if top > 0 then begin
+        let p = Dynarr.get fnode (top - 1) in
+        if t.low.(n) < t.low.(p) then t.low.(p) <- t.low.(n)
+      end;
+      if t.low.(n) = t.disc.(n) then begin
+        (* n roots an SCC: pop members, compute their common result *)
+        let members = ref [] in
+        let continue = ref true in
+        while !continue do
+          let m = Dynarr.get tstack (Dynarr.length tstack - 1) in
+          tstack.Dynarr.len <- Dynarr.length tstack - 1;
+          t.onstk.(m) <- -1;
+          members := m :: !members;
+          if m = n then continue := false
+        done;
+        let members = !members in
+        (* result = base elements of members ∪ results of out-of-SCC succs.
+           Successor results are hash-consed, so most of a node's (possibly
+           thousands of) successors carry the *same physical* set — dedup
+           by physical identity before paying for any union (the paper's
+           set-sharing enhancement is what makes this possible). *)
+        let acc = ref Lvalset.empty in
+        let distinct : Lvalset.t list ref = ref [] in
+        let n_distinct = ref 0 in
+        let add_set (s : Lvalset.t) =
+          if Lvalset.cardinal s <> 0 && not (List.memq s !distinct) then begin
+            distinct := s :: !distinct;
+            incr n_distinct;
+            if !n_distinct > 48 then begin
+              List.iter (fun x -> acc := Lvalset.union t.pool !acc x) !distinct;
+              distinct := [];
+              n_distinct := 0
+            end
+          end
+        in
+        let scratch = Dynarr.create ~capacity:16 () in
+        List.iter
+          (fun m ->
+            Dynarr.iter (fun z -> Dynarr.push scratch z) t.base.(m);
+            Dynarr.iter
+              (fun s ->
+                let s = deskip t s in
+                if t.mark.(s) = t.stamp && t.onstk.(s) <> q then
+                  add_set t.result.(s))
+              t.succ.(m))
+          members;
+        List.iter (fun x -> acc := Lvalset.union t.pool !acc x) !distinct;
+        let own = Lvalset.of_dyn t.pool (Dynarr.to_array scratch) (Dynarr.length scratch) in
+        let set = Lvalset.union t.pool !acc own in
+        List.iter
+          (fun m ->
+            t.mark.(m) <- t.stamp;
+            t.result.(m) <- set)
+          members;
+        match members with
+        | _ :: _ :: _ when t.cfg.cycle_elim -> sccs := members :: !sccs
+        | _ -> ()
+      end
+    end
+  done;
+  (* unify the traversed cycles (safe now that the walk is complete) *)
+  List.iter
+    (fun members ->
+      match members with
+      | rep :: rest ->
+          let rep = deskip t rep in
+          List.iter
+            (fun m ->
+              let m = deskip t m in
+              if m <> rep then unify_into t m rep)
+            rest
+      | [] -> ())
+    !sccs
+
+(** [get_lvals t n] — the set of locations [&z] derivable from [n]
+    (Figure 5's [getLvals]).  With [config.cache] the result is memoized
+    for the rest of the current pass. *)
+let get_lvals t node =
+  let node = deskip t node in
+  t.n_queries <- t.n_queries + 1;
+  if t.cfg.cache && t.mark.(node) = t.stamp then begin
+    t.n_cache_hits <- t.n_cache_hits + 1;
+    t.result.(node)
+  end
+  else begin
+    (* with caching off every top-level query recomputes from scratch; the
+       stamp bump invalidates the previous query's memo *)
+    if not t.cfg.cache then t.stamp <- t.stamp + 1;
+    tarjan t node;
+    t.result.(deskip t node)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Statistics                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  nodes : int;
+  edges : int;
+  unified : int;
+  queries : int;
+  visits : int;
+  cache_hits : int;
+}
+
+let stats t =
+  {
+    nodes = t.n;
+    edges = t.n_edges;
+    unified = t.n_unified;
+    queries = t.n_queries;
+    visits = t.n_visits;
+    cache_hits = t.n_cache_hits;
+  }

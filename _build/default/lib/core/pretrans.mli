@@ -1,0 +1,70 @@
+(** The pre-transitive graph engine — the paper's second contribution
+    (Section 5, Figure 5).
+
+    The constraint graph is {e never} transitively closed.  An edge
+    [a -> b] means [pts(a) ⊇ pts(b)]; each node carries the
+    [baseElements] contributed by [x = &y] assignments.  Points-to sets
+    are computed on demand by graph reachability ({!get_lvals}), made fast
+    by per-pass caching of reachability results and by unifying every
+    cycle met during a traversal (skip pointers with incremental
+    de-skipping — detection is free, and exactly the cycles in the parts
+    of the graph the analysis looks at are eliminated). *)
+
+type config = {
+  cache : bool;  (** reuse reachability results within a pass *)
+  cycle_elim : bool;  (** unify the nodes of traversed cycles *)
+}
+
+(** Both optimizations on — the paper's configuration.  Turning either off
+    reproduces the Section 5 ablation ("slow down by a factor in excess of
+    50K ... when both of these components are turned off"). *)
+val default_config : config
+
+type t
+
+(** [create ~config ~nodes ()] builds a graph whose node ids
+    [0 .. nodes-1] are pre-allocated (conventionally the variable ids of a
+    linked database); more nodes can be added with {!fresh_node}. *)
+val create : ?config:config -> nodes:int -> unit -> t
+
+(** Number of nodes allocated so far. *)
+val n_nodes : t -> int
+
+(** Allocate a fresh node (used for the [n_*y] dereference nodes and for
+    splitting [*x = *y]). *)
+val fresh_node : t -> int
+
+(** Follow skip pointers to a node's unification representative, with path
+    compression. *)
+val deskip : t -> int -> int
+
+(** [add_edge t a b] adds [a -> b] ([pts(a) ⊇ pts(b)]).  Returns [true] if
+    the edge is new — the driver's [nochange] flag (Figure 5).  Edges are
+    deduplicated against the canonical (de-skipped) endpoints. *)
+val add_edge : t -> int -> int -> bool
+
+(** [add_base t x z] records [x = &z]: location [z] joins
+    [baseElements(x)]. *)
+val add_base : t -> int -> int -> unit
+
+(** Start a new pass over the complex assignments: flushes the
+    reachability cache and the lval-set sharing pool.  Stale reads within
+    a pass are sound because the driver iterates until [nochange]. *)
+val new_pass : t -> unit
+
+(** [get_lvals t n] — Figure 5's [getLvals]: the set of locations [&z]
+    derivable from node [n], computed by reachability over the
+    pre-transitive graph.  With [config.cache] the result is memoized for
+    the rest of the current pass. *)
+val get_lvals : t -> int -> Lvalset.t
+
+type stats = {
+  nodes : int;
+  edges : int;
+  unified : int;  (** nodes eliminated by cycle unification *)
+  queries : int;  (** [get_lvals] calls *)
+  visits : int;  (** nodes visited during reachability *)
+  cache_hits : int;
+}
+
+val stats : t -> stats

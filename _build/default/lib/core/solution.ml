@@ -1,0 +1,73 @@
+(** Points-to analysis results over a linked database. *)
+
+open Cla_ir
+
+type t = {
+  view : Objfile.view;
+  pts : Lvalset.t array;  (** indexed by var id; locations are var ids *)
+}
+
+let create view pts = { view; pts }
+
+let points_to t v : Lvalset.t =
+  if v >= 0 && v < Array.length t.pts then t.pts.(v) else Lvalset.empty
+
+let var_name t v = t.view.Objfile.rvars.(v).Objfile.vname
+let var_kind t v = t.view.Objfile.rvars.(v).Objfile.vkind
+
+(* Temporaries introduced by the normalizer are excluded from reported
+   counts, as in Table 3 ("it does not include any temporary variables
+   introduced by the analysis"). *)
+let is_program_var t v = var_kind t v <> Var.Temp
+
+(** Table 3's "pointer variables": program objects with a non-empty
+    points-to set. *)
+let n_pointer_vars t =
+  let n = ref 0 in
+  Array.iteri
+    (fun v s ->
+      if Lvalset.cardinal s > 0 && is_program_var t v then incr n)
+    t.pts;
+  !n
+
+(** Table 3's "points-to relations": total size of all points-to sets of
+    program objects. *)
+let n_relations t =
+  let n = ref 0 in
+  Array.iteri
+    (fun v s -> if is_program_var t v then n := !n + Lvalset.cardinal s)
+    t.pts;
+  !n
+
+(** Resolve a variable by display name (first match). *)
+let find t name =
+  match Objfile.find_targets t.view name with v :: _ -> Some v | [] -> None
+
+let pp_var t ppf v = Fmt.string ppf (var_name t v)
+
+(** Print [x -> {a, b, c}]. *)
+let pp_entry t ppf v =
+  Fmt.pf ppf "%s -> {%a}" (var_name t v)
+    (Fmt.list ~sep:(Fmt.any ", ") (pp_var t))
+    (Lvalset.to_list (points_to t v))
+
+let pp ppf t =
+  Array.iteri
+    (fun v s ->
+      if Lvalset.cardinal s > 0 && is_program_var t v then
+        Fmt.pf ppf "%a@." (pp_entry t) v)
+    t.pts
+
+(** Compare two solutions on program variables (used by the equivalence
+    tests between solvers). *)
+let equal a b =
+  Array.length a.pts = Array.length b.pts
+  && begin
+       let ok = ref true in
+       Array.iteri
+         (fun v s ->
+           if is_program_var a v && not (Lvalset.equal s b.pts.(v)) then
+             ok := false)
+         a.pts;
+       !ok
+     end

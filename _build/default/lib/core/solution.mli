@@ -1,0 +1,43 @@
+(** Points-to analysis results over a linked database.
+
+    A solution maps every variable id of the database to the set of
+    locations it may point to.  Locations are themselves variable ids
+    (variables, struct fields, heap-allocation sites, functions). *)
+
+type t = {
+  view : Objfile.view;
+  pts : Lvalset.t array;  (** indexed by variable id *)
+}
+
+val create : Objfile.view -> Lvalset.t array -> t
+
+(** The points-to set of a variable ([empty] for out-of-range ids). *)
+val points_to : t -> int -> Lvalset.t
+
+val var_name : t -> int -> string
+val var_kind : t -> int -> Cla_ir.Var.kind
+
+(** Normalizer temporaries are excluded from reported counts, as in
+    Table 3. *)
+val is_program_var : t -> int -> bool
+
+(** Table 3's "pointer variables": program objects with a non-empty
+    points-to set. *)
+val n_pointer_vars : t -> int
+
+(** Table 3's "points-to relations": total size of all points-to sets of
+    program objects. *)
+val n_relations : t -> int
+
+(** Resolve a variable by display name (first match). *)
+val find : t -> string -> int option
+
+val pp_var : t -> Format.formatter -> int -> unit
+val pp_entry : t -> Format.formatter -> int -> unit
+
+(** Print every non-empty set, one line each. *)
+val pp : Format.formatter -> t -> unit
+
+(** Exact equality of two solutions on program variables — the contract
+    between the pre-transitive solver and the baselines. *)
+val equal : t -> t -> bool

@@ -1,0 +1,16 @@
+(** Baseline: unification-based (Steensgaard-style) points-to analysis —
+    near-linear time, coarser results.  The computed sets must be
+    supersets of Andersen's, a property the test suite checks.
+
+    Exposed pieces beyond {!solve} support white-box tests. *)
+
+type t
+
+val create : Objfile.view -> t
+
+(** Run the unification passes (assignments, then iterated indirect-call
+    linking). *)
+val process : t -> unit
+
+(** [pts(x)] is every address-taken object in the class [x] points to. *)
+val solve : Objfile.view -> Solution.t

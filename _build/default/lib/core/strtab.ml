@@ -1,0 +1,37 @@
+(** Interned string table — the "string section" of a CLA object file.
+
+    Variable names, type spellings, file names and operator spellings are
+    stored once and referenced by index everywhere else ("common strings",
+    Figure 4). *)
+
+type t = {
+  by_string : (string, int) Hashtbl.t;
+  mutable strings : string list;  (* reversed *)
+  mutable next : int;
+}
+
+let create () = { by_string = Hashtbl.create 256; strings = []; next = 0 }
+
+(** Intern [s], returning its stable index. *)
+let intern t s =
+  match Hashtbl.find_opt t.by_string s with
+  | Some i -> i
+  | None ->
+      let i = t.next in
+      t.next <- i + 1;
+      Hashtbl.add t.by_string s i;
+      t.strings <- s :: t.strings;
+      i
+
+let size t = t.next
+let to_array t = Array.of_list (List.rev t.strings)
+
+let write w t =
+  let arr = to_array t in
+  Binio.u32 w (Array.length arr);
+  Array.iter (fun s -> Binio.bytes_ w s) arr
+
+(** Read back as a plain array: readers index it directly. *)
+let read r =
+  let n = Binio.ru32 r in
+  Array.init n (fun _ -> Binio.rbytes r)

@@ -1,0 +1,375 @@
+(** Database-to-database transformers.
+
+    Section 4 of the paper: "we can write pre-analysis optimizers as
+    database to database transformers.  In fact, we have experimented with
+    context-sensitivity by writing a transformation that reads in databases
+    and simulates context-sensitivity by controlled duplication of
+    primitive assignments in the database — this requires no changes to
+    code in the compile, link or analyze components of our system."
+
+    Two transformers are provided:
+
+    - {!substitute_variables} — offline variable substitution in the style
+      of Rountev & Chandra (PLDI 2000, the paper's reference [21]): merge a
+      variable into its unique copy source when the two provably have equal
+      points-to sets, shrinking the constraint system before analysis.
+    - {!duplicate_contexts} — one-level context-sensitivity: clone a
+      function's primitive assignments per direct call site, so arguments
+      of different calls no longer join (Section 5's join-point effect,
+      attacked from the other side).
+
+    Both consume and produce {!Objfile.db} values, so they compose with
+    each other and slot between the link and analyze phases. *)
+
+open Cla_ir
+
+(* ------------------------------------------------------------------ *)
+(* Offline variable substitution                                       *)
+(* ------------------------------------------------------------------ *)
+
+type subst_stats = {
+  merged_vars : int;  (** variables eliminated *)
+  dropped_assignments : int;
+  mapping : int array;  (** old var id -> new var id (for result comparison) *)
+}
+
+(* union-find over var ids *)
+let rec find parent v =
+  if parent.(v) = v then v
+  else begin
+    let r = find parent parent.(v) in
+    parent.(v) <- r;
+    r
+  end
+
+(** Merge each variable whose points-to set provably equals another's.
+
+    [v] is merged into [u] when [v]'s only inflow is the single plain copy
+    [v = u] and [v] can never gain points-to elements any other way: it is
+    never address-taken (so no store can reach it), no load targets it,
+    and it is not a standardized argument/return variable (those gain
+    inflows when indirect calls are linked at analysis time). *)
+let substitute_variables (db : Objfile.db) : Objfile.db * subst_stats =
+  let n = Array.length db.Objfile.vars in
+  let addr_taken = Array.make n false in
+  let copies_in : int list array = Array.make n [] in
+  let other_inflow = Array.make n false in
+  List.iter
+    (fun (p : Objfile.prim_rec) -> addr_taken.(p.Objfile.psrc) <- true)
+    db.Objfile.statics;
+  List.iter
+    (fun (p : Objfile.prim_rec) -> other_inflow.(p.Objfile.pdst) <- true)
+    db.Objfile.statics;
+  Array.iter
+    (List.iter (fun (p : Objfile.prim_rec) ->
+         match (p.Objfile.pkind, p.Objfile.pop) with
+         | Objfile.Pcopy, None ->
+             copies_in.(p.Objfile.pdst) <- p.Objfile.psrc :: copies_in.(p.Objfile.pdst)
+         | Objfile.Pcopy, Some _ ->
+             (* operator copies are analysis-irrelevant unless pointer
+                preserving; treat conservatively as an extra inflow *)
+             other_inflow.(p.Objfile.pdst) <- true
+         | Objfile.Pload, _ -> other_inflow.(p.Objfile.pdst) <- true
+         | (Objfile.Pstore | Objfile.Pderef2 | Objfile.Paddr), _ -> ()))
+    db.Objfile.blocks;
+  let special = Array.make n false in
+  Array.iteri
+    (fun i (vi : Objfile.varinfo) ->
+      match vi.Objfile.vkind with
+      | Var.Arg _ | Var.Ret | Var.Func -> special.(i) <- true
+      | _ -> ())
+    db.Objfile.vars;
+  let parent = Array.init n (fun i -> i) in
+  let merged = ref 0 in
+  Array.iteri
+    (fun v srcs ->
+      match srcs with
+      | [ u ]
+        when (not addr_taken.(v)) && (not other_inflow.(v)) && not special.(v)
+        ->
+          let ru = find parent u and rv = find parent v in
+          if ru <> rv then begin
+            (* merge v into u's class (u keeps its own inflows) *)
+            parent.(rv) <- ru;
+            incr merged
+          end
+      | _ -> ())
+    copies_in;
+  (* compact renumbering of surviving representatives *)
+  let newid = Array.make n (-1) in
+  let kept = ref [] in
+  let next = ref 0 in
+  for v = 0 to n - 1 do
+    if find parent v = v then begin
+      newid.(v) <- !next;
+      incr next;
+      kept := db.Objfile.vars.(v) :: !kept
+    end
+  done;
+  let vars = Array.of_list (List.rev !kept) in
+  let remap v = newid.(find parent v) in
+  let dropped = ref 0 in
+  let remap_prim (p : Objfile.prim_rec) =
+    let pdst = remap p.Objfile.pdst and psrc = remap p.Objfile.psrc in
+    match p.Objfile.pkind with
+    | Objfile.Pcopy when pdst = psrc && p.Objfile.pop = None ->
+        incr dropped;
+        None
+    | _ -> Some { p with Objfile.pdst; psrc }
+  in
+  let statics = List.filter_map remap_prim db.Objfile.statics in
+  let blocks = Array.make !next [] in
+  Array.iter
+    (List.iter (fun p ->
+         match remap_prim p with
+         | Some p -> blocks.(p.Objfile.psrc) <- p :: blocks.(p.Objfile.psrc)
+         | None -> ()))
+    db.Objfile.blocks;
+  Array.iteri (fun i l -> blocks.(i) <- List.rev l) blocks;
+  let remap_opt v = if v >= 0 then remap v else v in
+  let fundefs =
+    List.map
+      (fun (f : Objfile.fund_rec) ->
+        {
+          f with
+          Objfile.ffvar = remap f.Objfile.ffvar;
+          fret = remap_opt f.Objfile.fret;
+          fargs = Array.map remap_opt f.Objfile.fargs;
+        })
+      db.Objfile.fundefs
+  in
+  let indirects =
+    List.map
+      (fun (r : Objfile.indir_rec) ->
+        {
+          r with
+          Objfile.iptr = remap r.Objfile.iptr;
+          iret = remap_opt r.Objfile.iret;
+          iargs = Array.map remap_opt r.Objfile.iargs;
+        })
+      db.Objfile.indirects
+  in
+  let keys = List.map (fun (v, key) -> (remap v, key)) db.Objfile.keys in
+  let consts = List.map (fun (v, c) -> (remap v, c)) db.Objfile.consts in
+  ( { db with Objfile.vars; keys; statics; blocks; fundefs; indirects; consts },
+    {
+      merged_vars = !merged;
+      dropped_assignments = !dropped;
+      mapping = Array.init n remap;
+    } )
+
+(* ------------------------------------------------------------------ *)
+(* Context-sensitivity by duplication                                  *)
+(* ------------------------------------------------------------------ *)
+
+type dup_stats = {
+  cloned_functions : int;  (** functions that received at least one clone *)
+  clones : int;  (** total clones created *)
+  added_assignments : int;
+}
+
+(* a mutable builder over an exploded database *)
+type builder = {
+  mutable bvars : Objfile.varinfo list;  (* reversed tail beyond original *)
+  mutable bnext : int;
+  mutable extra : Objfile.prim_rec list;  (* new assignments *)
+}
+
+let fresh_var b (vi : Objfile.varinfo) suffix =
+  let id = b.bnext in
+  b.bnext <- id + 1;
+  b.bvars <-
+    { vi with Objfile.vname = vi.Objfile.vname ^ suffix } :: b.bvars;
+  id
+
+(* base owner: block-scoped locals are tagged "f#3"; the function is the
+   part before '#' *)
+let base_owner s =
+  match String.index_opt s '#' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+(** Simulate one level of context-sensitivity for direct calls: for every
+    function with [2..max_sites] call sites, clone its primitive
+    assignments (and its local/argument/return variables) once per call
+    site, and retarget each call site's argument/return copies to its own
+    clone.  Self-recursive functions are left untouched (their calling
+    contexts genuinely merge).  Indirect calls keep using the original
+    (context-insensitive) body. *)
+let duplicate_contexts ?(max_sites = 8) (db : Objfile.db) : Objfile.db * dup_stats =
+  let n = Array.length db.Objfile.vars in
+  let b = { bvars = []; bnext = n; extra = [] } in
+  (* index the variables a function owns *)
+  let owned : (string, int list ref) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun i (vi : Objfile.varinfo) ->
+      let o = base_owner vi.Objfile.vowner in
+      if o <> "" then begin
+        let r =
+          match Hashtbl.find_opt owned o with
+          | Some r -> r
+          | None ->
+              let r = ref [] in
+              Hashtbl.replace owned o r;
+              r
+        in
+        r := i :: !r
+      end)
+    db.Objfile.vars;
+  (* every prim, flattened, indexed by the variables it touches so the
+     per-function scans below are proportional to the function's size *)
+  let all_prims =
+    List.concat (db.Objfile.statics :: Array.to_list db.Objfile.blocks)
+  in
+  let prims_of_var : Objfile.prim_rec list array = Array.make n [] in
+  List.iter
+    (fun (p : Objfile.prim_rec) ->
+      prims_of_var.(p.Objfile.pdst) <- p :: prims_of_var.(p.Objfile.pdst);
+      if p.Objfile.psrc <> p.Objfile.pdst then
+        prims_of_var.(p.Objfile.psrc) <- p :: prims_of_var.(p.Objfile.psrc))
+    all_prims;
+  let removed : (Objfile.prim_rec, unit) Hashtbl.t = Hashtbl.create 64 in
+  let stats = ref { cloned_functions = 0; clones = 0; added_assignments = 0 } in
+  List.iter
+    (fun (f : Objfile.fund_rec) ->
+      let fvi = db.Objfile.vars.(f.Objfile.ffvar) in
+      let fname = fvi.Objfile.vname in
+      let body_vars =
+        (match Hashtbl.find_opt owned fname with Some r -> !r | None -> [])
+        @ Array.to_list f.Objfile.fargs
+        @ (if f.Objfile.fret >= 0 then [ f.Objfile.fret ] else [])
+      in
+      let body_vars = List.filter (fun v -> v >= 0) body_vars in
+      let in_body = Hashtbl.create 16 in
+      List.iter (fun v -> Hashtbl.replace in_body v ()) body_vars;
+      let arg_set = Hashtbl.create 8 in
+      Array.iter
+        (fun a -> if a >= 0 then Hashtbl.replace arg_set a ())
+        f.Objfile.fargs;
+      (* all prims touching a body variable (deduplicated) *)
+      let touching =
+        let seen = Hashtbl.create 64 in
+        List.concat_map (fun v -> prims_of_var.(v)) body_vars
+        |> List.filter (fun p ->
+               if Hashtbl.mem seen (Obj.repr p) then false
+               else begin
+                 Hashtbl.replace seen (Obj.repr p) ();
+                 true
+               end)
+      in
+      (* a crossing prim belongs to a call site: it writes an argument
+         variable from outside the body (plain copies and address-of
+         arguments alike), or it reads the return variable from outside.
+         Everything else that touches the body is the body proper. *)
+      let crossing (p : Objfile.prim_rec) =
+        match p.Objfile.pkind with
+        | Objfile.Pcopy | Objfile.Paddr ->
+            (Hashtbl.mem arg_set p.Objfile.pdst
+             && not (Hashtbl.mem in_body p.Objfile.psrc))
+            || (p.Objfile.psrc = f.Objfile.fret
+               && not (Hashtbl.mem in_body p.Objfile.pdst))
+        | _ -> false
+      in
+      let site_prims, body_prims = List.partition crossing touching in
+      let sites = Hashtbl.create 8 in
+      List.iter
+        (fun (p : Objfile.prim_rec) ->
+          (* one call site per source line: the argument copies and the
+             return-value copy of a call share the line but not the
+             column.  Two calls of the same function on one line therefore
+             share a context — a sound (if coarser) grouping. *)
+          let key =
+            Fmt.str "%s:%d" p.Objfile.ploc.Loc.file p.Objfile.ploc.Loc.line
+          in
+          let prev = Option.value ~default:[] (Hashtbl.find_opt sites key) in
+          Hashtbl.replace sites key (p :: prev))
+        site_prims;
+      let site_list = Hashtbl.fold (fun _ ps acc -> ps :: acc) sites [] in
+      let n_sites = List.length site_list in
+      (* recursion check: a body-internal copy into the arguments or out
+         of the return means f calls itself *)
+      let recursive =
+        List.exists
+          (fun (p : Objfile.prim_rec) ->
+            match p.Objfile.pkind with
+            | Objfile.Pcopy | Objfile.Paddr ->
+                (Hashtbl.mem arg_set p.Objfile.pdst
+                && Hashtbl.mem in_body p.Objfile.psrc)
+                || (p.Objfile.psrc = f.Objfile.fret
+                   && Hashtbl.mem in_body p.Objfile.pdst
+                   && p.Objfile.pdst <> f.Objfile.fret)
+            | _ -> false)
+          body_prims
+      in
+      if n_sites >= 2 && n_sites <= max_sites && not recursive then begin
+        stats :=
+          {
+            !stats with
+            cloned_functions = !stats.cloned_functions + 1;
+          };
+        List.iteri
+          (fun site_idx site ->
+            if site_idx > 0 then begin
+              (* clone the body for this call site *)
+              let suffix = Fmt.str "$%d" site_idx in
+              let clone_map = Hashtbl.create 16 in
+              List.iter
+                (fun v ->
+                  Hashtbl.replace clone_map v
+                    (fresh_var b db.Objfile.vars.(v) suffix))
+                body_vars;
+              let remap v =
+                match Hashtbl.find_opt clone_map v with
+                | Some v' -> v'
+                | None -> v
+              in
+              List.iter
+                (fun (p : Objfile.prim_rec) ->
+                  b.extra <-
+                    {
+                      p with
+                      Objfile.pdst = remap p.Objfile.pdst;
+                      psrc = remap p.Objfile.psrc;
+                    }
+                    :: b.extra;
+                  stats :=
+                    { !stats with added_assignments = !stats.added_assignments + 1 })
+                body_prims;
+              (* retarget this call site to the clone *)
+              List.iter
+                (fun (p : Objfile.prim_rec) ->
+                  Hashtbl.replace removed p ();
+                  b.extra <-
+                    {
+                      p with
+                      Objfile.pdst = remap p.Objfile.pdst;
+                      psrc = remap p.Objfile.psrc;
+                    }
+                    :: b.extra)
+                site;
+              stats := { !stats with clones = !stats.clones + 1 }
+            end)
+          site_list
+      end)
+    db.Objfile.fundefs;
+  (* rebuild *)
+  let vars =
+    Array.append db.Objfile.vars (Array.of_list (List.rev b.bvars))
+  in
+  let nvars = Array.length vars in
+  let keep p = not (Hashtbl.mem removed p) in
+  let statics = ref (List.filter keep db.Objfile.statics) in
+  let blocks = Array.make nvars [] in
+  Array.iter
+    (List.iter (fun p ->
+         if keep p then blocks.(p.Objfile.psrc) <- p :: blocks.(p.Objfile.psrc)))
+    db.Objfile.blocks;
+  List.iter
+    (fun (p : Objfile.prim_rec) ->
+      match p.Objfile.pkind with
+      | Objfile.Paddr -> statics := p :: !statics
+      | _ -> blocks.(p.Objfile.psrc) <- p :: blocks.(p.Objfile.psrc))
+    b.extra;
+  Array.iteri (fun i l -> blocks.(i) <- List.rev l) blocks;
+  ( { db with Objfile.vars; statics = List.rev !statics; blocks },
+    !stats )

@@ -1,0 +1,37 @@
+(** Database-to-database transformers (Section 4: "we can write
+    pre-analysis optimizers as database to database transformers").
+
+    Both consume and produce {!Objfile.db} values, so they compose with
+    each other and slot between the link and analyze phases without any
+    change to the compile, link or analyze code — the paper's point. *)
+
+type subst_stats = {
+  merged_vars : int;  (** variables eliminated *)
+  dropped_assignments : int;
+  mapping : int array;  (** old variable id -> new variable id *)
+}
+
+(** Offline variable substitution in the style of the paper's reference
+    [21] (Rountev & Chandra, PLDI 2000): merge a variable into its unique
+    copy source when the two provably have equal points-to sets — the
+    variable's only inflow is that single plain copy, it is never
+    address-taken, no load targets it, and it is not a standardized
+    argument/return variable.  The solution on surviving variables is
+    unchanged (property-tested). *)
+val substitute_variables : Objfile.db -> Objfile.db * subst_stats
+
+type dup_stats = {
+  cloned_functions : int;
+  clones : int;
+  added_assignments : int;
+}
+
+(** Simulate one level of context-sensitivity for direct calls: clone a
+    function's primitive assignments (and its locals and standardized
+    argument/return variables) once per call site, retargeting each call
+    site to its own clone.  Self-recursive functions and functions with
+    more than [max_sites] call sites are left untouched; indirect calls
+    keep using the original body.  Call sites on the same source line
+    share a context (sound, coarser). *)
+val duplicate_contexts :
+  ?max_sites:int -> Objfile.db -> Objfile.db * dup_stats

@@ -1,0 +1,10 @@
+(** Baseline: Andersen's analysis with an explicitly transitively-closed
+    points-to representation and difference propagation — the style of
+    solver the paper improves on.  Points-to sets are enumerated per node
+    and every element flows along every copy edge: the O(n·E) propagation
+    cost the pre-transitive graph avoids (Section 5).
+
+    Cross-checked against the pre-transitive solver by property tests —
+    the two must produce identical solutions. *)
+
+val solve : Objfile.view -> Solution.t

@@ -1,0 +1,1 @@
+lib/depend/depend.ml: Andersen Array Cla_core Cla_ir Fmt Hashtbl List Loader Loc Lvalset Objfile Option Set Solution Strength String

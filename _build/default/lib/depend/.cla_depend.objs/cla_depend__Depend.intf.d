@@ -1,0 +1,1 @@
+lib/depend/depend.mli: Andersen Cla_core Cla_ir Format Hashtbl Loader Loc Objfile Solution

@@ -1,0 +1,351 @@
+(** Forward data-dependence analysis — the deployed application the
+    points-to system was built for (Section 2 of the paper).
+
+    Given a target object whose type must change (say [short x] to
+    [int x]), find every object that can take values from it, so that
+    implicit narrowing conversions cannot lose data.  Dependencies are
+    ranked by the Table 1 strength of the operations along the chain:
+    direct assignments matter most, [x = y >> 3] less, [z = !y] not at all.
+    For each dependent object we compute the most important dependence
+    chain (fewest weak links), breaking ties by shortest length, and we
+    support user-declared "non-targets" — objects known to be irrelevant —
+    which prune everything reachable only through them. *)
+
+open Cla_ir
+open Cla_core
+
+type t = {
+  view : Objfile.view;
+  solution : Solution.t;
+  loader : Loader.t;
+  (* z -> consumers of *q for z in pts(q): edges that fire when z is
+     reached (built from the complex assignments the points-to run kept in
+     core, plus its analysis-time indirect-call links) *)
+  deref_edges : (int, (int * string option * Loc.t) list) Hashtbl.t;
+}
+
+let add_deref_edge t z dst op loc =
+  let prev = Option.value ~default:[] (Hashtbl.find_opt t.deref_edges z) in
+  Hashtbl.replace t.deref_edges z ((dst, op, loc) :: prev)
+
+(** Prepare a dependence analysis from a linked view and a completed
+    points-to run. *)
+let prepare (view : Objfile.view) (pta : Andersen.result) : t =
+  let t =
+    {
+      view;
+      solution = pta.Andersen.solution;
+      loader = Loader.create view;
+      deref_edges = Hashtbl.create 256;
+    }
+  in
+  List.iter
+    (fun (p : Objfile.prim_rec) ->
+      match p.Objfile.pkind with
+      | Objfile.Pload ->
+          (* x = *q: every pointee of q feeds x *)
+          Lvalset.iter
+            (fun z -> add_deref_edge t z p.Objfile.pdst None p.Objfile.ploc)
+            (Solution.points_to t.solution p.Objfile.psrc)
+      | Objfile.Pderef2 ->
+          (* *p = *q: every pointee of q feeds every pointee of p *)
+          Lvalset.iter
+            (fun w ->
+              Lvalset.iter
+                (fun z -> add_deref_edge t w z None p.Objfile.ploc)
+                (Solution.points_to t.solution p.Objfile.pdst))
+            (Solution.points_to t.solution p.Objfile.psrc)
+      | _ -> ())
+    pta.Andersen.retained;
+  List.iter
+    (fun (dst, src, loc) -> add_deref_edge t src dst None loc)
+    pta.Andersen.linked_copies;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Query                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** One link of a dependence chain: the assignment through which the value
+    flowed, with the operation (if any) it passed through. *)
+type step = { s_var : int; s_op : string option; s_loc : Loc.t }
+
+type dependent = {
+  d_var : int;
+  d_weak : int;  (** number of weak links on the best chain *)
+  d_hops : int;  (** length of the best chain *)
+  d_chain : step list;
+      (** from the dependent object back to (and including) the target *)
+}
+
+type report = {
+  r_target : int;
+  r_dependents : dependent list;  (** sorted: most important chains first *)
+}
+
+module Pq = Set.Make (struct
+  type t = int * int * int (* weak, hops, var *)
+
+  let compare = compare
+end)
+
+let strength_of_op = function
+  | None -> Strength.Strong
+  | Some (op, s) ->
+      ignore op;
+      s
+
+(** Run a dependence query from [target] (a variable id).  [non_targets]
+    are never entered, pruning their downstream chains (Section 2's
+    mechanism for focusing the report). *)
+let query t ?(non_targets = []) (target : int) : report =
+  let blocked = Hashtbl.create 16 in
+  List.iter (fun v -> Hashtbl.replace blocked v ()) non_targets;
+  let dist : (int, int * int) Hashtbl.t = Hashtbl.create 256 in
+  let pred : (int, step) Hashtbl.t = Hashtbl.create 256 in
+  let pq = ref (Pq.singleton (0, 0, target)) in
+  Hashtbl.replace dist target (0, 0);
+  let relax ~from_ ~to_ ~weak ~hops ~op ~loc =
+    if not (Hashtbl.mem blocked to_) then begin
+      let better =
+        match Hashtbl.find_opt dist to_ with
+        | None -> true
+        | Some (w, h) -> (weak, hops) < (w, h)
+      in
+      if better then begin
+        (match Hashtbl.find_opt dist to_ with
+        | Some (w, h) -> pq := Pq.remove (w, h, to_) !pq
+        | None -> ());
+        Hashtbl.replace dist to_ (weak, hops);
+        Hashtbl.replace pred to_ { s_var = from_; s_op = op; s_loc = loc };
+        pq := Pq.add (weak, hops, to_) !pq
+      end
+    end
+  in
+  while not (Pq.is_empty !pq) do
+    let ((weak, hops, v) as item) = Pq.min_elt !pq in
+    pq := Pq.remove item !pq;
+    match Hashtbl.find_opt dist v with
+    | Some (w, h) when (w, h) < (weak, hops) -> () (* stale entry *)
+    | _ ->
+        (* forward edges out of v: demand-load v's block *)
+        List.iter
+          (fun (p : Objfile.prim_rec) ->
+            match p.Objfile.pkind with
+            | Objfile.Pcopy -> (
+                let s = strength_of_op p.Objfile.pop in
+                match s with
+                | Strength.None_ -> () (* e.g. x = !v : ignore (Section 2) *)
+                | _ ->
+                    let op = Option.map fst p.Objfile.pop in
+                    relax ~from_:v ~to_:p.Objfile.pdst
+                      ~weak:(weak + if s = Strength.Weak then 1 else 0)
+                      ~hops:(hops + 1) ~op ~loc:p.Objfile.ploc)
+            | Objfile.Pstore ->
+                (* *p = v: v flows into every pointee of p *)
+                Lvalset.iter
+                  (fun z ->
+                    relax ~from_:v ~to_:z ~weak ~hops:(hops + 1) ~op:None
+                      ~loc:p.Objfile.ploc)
+                  (Solution.points_to t.solution p.Objfile.pdst)
+            | Objfile.Pload | Objfile.Pderef2 | Objfile.Paddr -> ())
+          (Loader.block t.loader v);
+        (* deref consumers of v (x = *q / *p = *q with v in pts(q)) *)
+        (match Hashtbl.find_opt t.deref_edges v with
+        | Some edges ->
+            List.iter
+              (fun (dst, op, loc) ->
+                relax ~from_:v ~to_:dst ~weak ~hops:(hops + 1) ~op ~loc)
+              edges
+        | None -> ())
+  done;
+  let deps = ref [] in
+  Hashtbl.iter
+    (fun v (w, h) ->
+      if v <> target then begin
+        (* reconstruct the chain back to the target *)
+        let rec walk v acc =
+          match Hashtbl.find_opt pred v with
+          | Some s ->
+              let acc = { s with s_var = s.s_var } :: acc in
+              if s.s_var = target then List.rev acc else walk s.s_var acc
+          | None -> List.rev acc
+        in
+        let chain = walk v [] in
+        deps := { d_var = v; d_weak = w; d_hops = h; d_chain = chain } :: !deps
+      end)
+    dist;
+  let dependents =
+    List.sort
+      (fun a b -> compare (a.d_weak, a.d_hops, a.d_var) (b.d_weak, b.d_hops, b.d_var))
+      !deps
+  in
+  { r_target = target; r_dependents = dependents }
+
+(** Resolve variables by display name and run the query on the first
+    match; non-target names that do not resolve are ignored. *)
+let query_by_name t ?(non_targets = []) (target : string) : report option =
+  match Objfile.find_targets t.view target with
+  | [] -> None
+  | tv :: _ ->
+      let nts =
+        List.concat_map (fun n -> Objfile.find_targets t.view n) non_targets
+      in
+      Some (query t ~non_targets:nts tv)
+
+(* ------------------------------------------------------------------ *)
+(* Narrowing check (the motivating application, Section 2)             *)
+(* ------------------------------------------------------------------ *)
+
+(** Bit width of a C integer type, if it is one.  Pointer, struct and
+    floating types return [None] (widening an integer target does not
+    force them to change). *)
+let width_of_type t =
+  match String.trim t with
+  | "char" | "signed char" | "unsigned char" -> Some 8
+  | "short" | "unsigned short" -> Some 16
+  | "int" | "unsigned int" | "signed" | "unsigned" -> Some 32
+  | "long" | "unsigned long" | "long long" | "unsigned long long" -> Some 64
+  | _ -> None
+
+type verdict =
+  | Must_widen  (** narrower than the target's new type: data loss *)
+  | Wide_enough
+  | Not_integer  (** pointer/struct/unknown: flag for manual review *)
+
+type narrowing = {
+  nv_var : int;
+  nv_typ : string;
+  nv_verdict : verdict;
+}
+
+(** Integer constants known to flow directly into [var] (from the object
+    file's constants section) — evidence for why a widening is needed. *)
+let constants_of t var =
+  List.filter_map
+    (fun (v, c) -> if v = var then Some c else None)
+    t.view.Objfile.rconsts
+
+(** [check_narrowing t report ~new_type] classifies every dependent of the
+    report: if the target's type grows to [new_type], which dependents
+    must grow with it to avoid implicit narrowing conversions? *)
+let check_narrowing t (r : report) ~new_type : narrowing list =
+  let new_bits = width_of_type new_type in
+  List.map
+    (fun (d : dependent) ->
+      let typ = t.view.Objfile.rvars.(d.d_var).Objfile.vtyp in
+      let verdict =
+        match (width_of_type typ, new_bits) with
+        | Some w, Some nw -> if w < nw then Must_widen else Wide_enough
+        | _, _ -> Not_integer
+      in
+      { nv_var = d.d_var; nv_typ = typ; nv_verdict = verdict })
+    r.r_dependents
+
+let pp_verdict ppf = function
+  | Must_widen -> Fmt.string ppf "WIDEN"
+  | Wide_enough -> Fmt.string ppf "ok"
+  | Not_integer -> Fmt.string ppf "check"
+
+(* ------------------------------------------------------------------ *)
+(* Printing (Figure 1's chain format)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let pp_obj t ppf v =
+  let vi = t.view.Objfile.rvars.(v) in
+  if vi.Objfile.vtyp = "" then
+    Fmt.pf ppf "%s %a" vi.Objfile.vname Loc.pp vi.Objfile.vloc
+  else
+    Fmt.pf ppf "%s/%s %a" vi.Objfile.vname vi.Objfile.vtyp Loc.pp vi.Objfile.vloc
+
+(* "w/short <eg1.c:3> ! u/short <eg1.c:7> ! target/short <eg1.c:6>
+    where target/short <eg1.c:1>": the dependent object at its declaration,
+    then each source object at the assignment that forwarded the value,
+    ending with the target's declaration. *)
+let pp_dependent t ppf (d : dependent) =
+  let vi v = t.view.Objfile.rvars.(v) in
+  let name v =
+    let i = vi v in
+    if i.Objfile.vtyp = "" then i.Objfile.vname
+    else i.Objfile.vname ^ "/" ^ i.Objfile.vtyp
+  in
+  Fmt.pf ppf "%s %a" (name d.d_var) Loc.pp (vi d.d_var).Objfile.vloc;
+  List.iter
+    (fun s -> Fmt.pf ppf " ! %s %a" (name s.s_var) Loc.pp s.s_loc)
+    d.d_chain;
+  match List.rev d.d_chain with
+  | last :: _ ->
+      Fmt.pf ppf " where %s %a" (name last.s_var) Loc.pp (vi last.s_var).Objfile.vloc
+  | [] -> ()
+
+let pp_report t ppf (r : report) =
+  Fmt.pf ppf "target: %a@." (pp_obj t) r.r_target;
+  Fmt.pf ppf "%d dependent object(s)@." (List.length r.r_dependents);
+  List.iter (fun d -> Fmt.pf ppf "  %a@." (pp_dependent t) d) r.r_dependents
+
+(* "We also provide a collection of graphic user interface tools for
+   browsing the tree of chains" (Section 2): the best chains form a tree
+   rooted at the target (each dependent's chain's first hop is its
+   parent), printed here with box-drawing characters. *)
+
+(** Render the report's chains as a tree rooted at the target.  Each node
+    shows the object and the location of the assignment that feeds it;
+    weak links are marked with the operation. *)
+let pp_tree t ppf (r : report) =
+  (* children of v: dependents whose chain starts with a step from v *)
+  let children = Hashtbl.create 64 in
+  List.iter
+    (fun (d : dependent) ->
+      match d.d_chain with
+      | step :: _ ->
+          let parent = step.s_var in
+          let prev = Option.value ~default:[] (Hashtbl.find_opt children parent) in
+          Hashtbl.replace children parent ((d, step) :: prev)
+      | [] -> ())
+    r.r_dependents;
+  let label v =
+    let vi = t.view.Objfile.rvars.(v) in
+    if vi.Objfile.vtyp = "" then vi.Objfile.vname
+    else vi.Objfile.vname ^ "/" ^ vi.Objfile.vtyp
+  in
+  Fmt.pf ppf "%a@." (pp_obj t) r.r_target;
+  let rec walk prefix v =
+    let kids =
+      Option.value ~default:[] (Hashtbl.find_opt children v)
+      |> List.sort (fun ((a : dependent), _) (b, _) ->
+             compare (a.d_weak, a.d_hops, a.d_var) (b.d_weak, b.d_hops, b.d_var))
+    in
+    let n = List.length kids in
+    List.iteri
+      (fun i ((d : dependent), (step : step)) ->
+        let last = i = n - 1 in
+        let branch = if last then "`-- " else "|-- " in
+        let cont = if last then "    " else "|   " in
+        let op =
+          match step.s_op with Some o -> Fmt.str " [%s]" o | None -> ""
+        in
+        Fmt.pf ppf "%s%s%s%s %a@." prefix branch (label d.d_var) op Loc.pp
+          step.s_loc;
+        walk (prefix ^ cont) d.d_var)
+      kids
+  in
+  walk "" r.r_target
+
+(** Like {!pp_report}, with each chain annotated by the narrowing verdict
+    for a proposed retyping of the target. *)
+let pp_report_narrowing t ~new_type ppf (r : report) =
+  Fmt.pf ppf "target: %a, retyped to %s@." (pp_obj t) r.r_target new_type;
+  (match constants_of t r.r_target with
+  | [] -> ()
+  | cs ->
+      Fmt.pf ppf "constants observed flowing into the target: %a@."
+        Fmt.(list ~sep:(any ", ") int64)
+        cs);
+  let verdicts = check_narrowing t r ~new_type in
+  Fmt.pf ppf "%d dependent object(s)@." (List.length r.r_dependents);
+  List.iter2
+    (fun d n ->
+      Fmt.pf ppf "  [%-5s] %a@."
+        (Fmt.str "%a" pp_verdict n.nv_verdict)
+        (pp_dependent t) d)
+    r.r_dependents verdicts

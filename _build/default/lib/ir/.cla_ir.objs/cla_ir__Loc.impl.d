@@ -1,0 +1,1 @@
+lib/ir/loc.ml: Fmt Int String

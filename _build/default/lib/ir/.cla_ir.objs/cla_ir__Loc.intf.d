@@ -1,0 +1,1 @@
+lib/ir/loc.mli: Format

@@ -1,0 +1,1 @@
+lib/ir/prim.ml: Fmt List Loc Strength Var

@@ -1,0 +1,1 @@
+lib/ir/prim.mli: Format Loc Strength Var

@@ -1,0 +1,1 @@
+lib/ir/prog.ml: Array Fmt List Loc Prim Var

@@ -1,0 +1,1 @@
+lib/ir/prog.mli: Format Loc Prim Var

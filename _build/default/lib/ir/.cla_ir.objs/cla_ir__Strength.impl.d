@@ -1,0 +1,1 @@
+lib/ir/strength.ml: Fmt Int

@@ -1,0 +1,1 @@
+lib/ir/strength.mli: Format

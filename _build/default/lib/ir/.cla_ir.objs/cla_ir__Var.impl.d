@@ -1,0 +1,1 @@
+lib/ir/var.ml: Fmt Int Loc

@@ -1,0 +1,1 @@
+lib/ir/vartab.ml: Array Fmt Hashtbl List Loc Var

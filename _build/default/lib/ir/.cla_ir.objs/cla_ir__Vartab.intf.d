@@ -1,0 +1,1 @@
+lib/ir/vartab.mli: Loc Var

@@ -1,0 +1,32 @@
+(** Source locations.
+
+    Every primitive assignment and variable carries a location so that the
+    dependence analysis (Section 2 of the paper) can print chains of the form
+    [w/short <eg1.c:3> -> u/short <eg1.c:7> -> ...]. *)
+
+type t = {
+  file : string;  (** source file name, ["<none>"] when synthesized *)
+  line : int;  (** 1-based line number, [0] when unknown *)
+  col : int;  (** 1-based column number, [0] when unknown *)
+}
+
+let none = { file = "<none>"; line = 0; col = 0 }
+let make ~file ~line ~col = { file; line; col }
+let is_none l = l.line = 0 && l.file = "<none>"
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c else Int.compare a.col b.col
+
+let equal a b = compare a b = 0
+
+(* Printed as <file:line>, matching the paper's Figure 1 notation; the column
+   is kept internal because the paper never shows it. *)
+let pp ppf l =
+  if is_none l then Fmt.string ppf "<?>"
+  else Fmt.pf ppf "<%s:%d>" l.file l.line
+
+let to_string l = Fmt.str "%a" pp l

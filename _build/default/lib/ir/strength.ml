@@ -1,0 +1,46 @@
+(** Dependence-strength classification of operations (Table 1 of the paper).
+
+    A dependence edge arising from [x = y] is [Strong]; one arising from
+    [x = y * z] is [Weak] in both arguments; one arising from [x = !y] is
+    [None_] — changing the type of [y] cannot affect the range of [x].  The
+    dependence analysis uses the strength to rank chains and to drop
+    [None_]-strength edges entirely. *)
+
+type t =
+  | None_  (** the operation severs the dependence (e.g. [!], [&&]) *)
+  | Weak  (** the operation may preserve magnitude (e.g. [*], [>>]) *)
+  | Strong  (** the operation preserves the shape/size of data (e.g. [+]) *)
+
+let equal (a : t) (b : t) = a = b
+
+(* None_ < Weak < Strong *)
+let rank = function None_ -> 0 | Weak -> 1 | Strong -> 2
+let compare a b = Int.compare (rank a) (rank b)
+let min a b = if rank a <= rank b then a else b
+let max a b = if rank a >= rank b then a else b
+let pp ppf s = Fmt.string ppf (match s with None_ -> "none" | Weak -> "weak" | Strong -> "strong")
+let to_string s = Fmt.str "%a" pp s
+
+(** Which argument of an operation are we classifying? *)
+type position = Arg1 | Arg2
+
+(** [classify op pos] returns the strength of the dependence from argument
+    [pos] of operation [op] to the operation's result, per Table 1.
+
+    Operations absent from Table 1 are classified conservatively:
+    comparisons and logical operations yield [None_] (their result is 0/1);
+    division behaves like [%] (quotient magnitude is bounded by argument 1);
+    casts and conditional expressions are [Strong]. *)
+let classify op pos =
+  match (op, pos) with
+  | ("+" | "-" | "|" | "&" | "^"), _ -> Strong
+  | "*", _ -> Weak
+  | ("%" | ">>" | "<<" | "/"), Arg1 -> Weak
+  | ("%" | ">>" | "<<" | "/"), Arg2 -> None_
+  | ("u+" | "u-"), _ -> Strong (* unary +, - *)
+  | "~", _ -> Strong (* bitwise not preserves width *)
+  | ("&&" | "||" | "!"), _ -> None_
+  | ("==" | "!=" | "<" | ">" | "<=" | ">="), _ -> None_
+  | "cast", _ -> Strong
+  | "?:", _ -> Strong
+  | _, _ -> Weak (* unknown operations: assume they may matter *)

@@ -1,0 +1,29 @@
+(** Dependence-strength classification of operations (Table 1 of the
+    paper).
+
+    The dependence analysis ranks chains by how likely each operation is
+    to preserve the shape and size of the data flowing through it: a plain
+    assignment preserves it, [y >> 3] only partially, [!y] not at all. *)
+
+type t =
+  | None_  (** severs the dependence ([!], [&&], comparisons) *)
+  | Weak  (** may preserve magnitude ([*], [>>], [%]) *)
+  | Strong  (** preserves shape/size ([+], [-], [|], [&], [^]) *)
+
+val equal : t -> t -> bool
+
+(** Total order: [None_ < Weak < Strong]. *)
+val compare : t -> t -> int
+
+val min : t -> t -> t
+val max : t -> t -> t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Which argument of a binary operation is being classified. *)
+type position = Arg1 | Arg2
+
+(** [classify op pos] is Table 1, with conservative extensions for
+    operations the table omits (comparisons sever; division behaves like
+    [%]; casts and conditionals are strong; unknown operators are weak). *)
+val classify : string -> position -> t

@@ -1,0 +1,57 @@
+(** Per-translation-unit variable table.
+
+    Interns variables by their canonical key so that every occurrence of the
+    same source object maps to one {!Var.t} with a unit-local [uid].  The
+    compile phase writes the table into the object file; the linker merges
+    [Extern] entries by key. *)
+
+type t = {
+  by_key : (string, Var.t) Hashtbl.t;
+  mutable vars : Var.t list;  (* in reverse uid order *)
+  mutable next : int;
+  mutable ntemp : int;
+}
+
+let create () = { by_key = Hashtbl.create 512; vars = []; next = 0; ntemp = 0 }
+let size t = t.next
+
+(** [intern t ~scope ~kind ~name] returns the existing variable with the
+    same canonical key, or creates one.  [typ] and [loc] are recorded on
+    first creation only (the declaration wins over later uses). *)
+let intern ?(scope = "") ?(typ = "") ?(loc = Loc.none) ?(linkage : Var.linkage option) t ~kind ~name () =
+  let key = Var.key ~scope kind name in
+  match Hashtbl.find_opt t.by_key key with
+  | Some v -> v
+  | None ->
+      let linkage =
+        match linkage with
+        | Some l -> l
+        | None -> (
+            match (kind : Var.kind) with
+            | Global | Field | Func | Arg _ | Ret -> Var.Extern
+            | Filelocal | Temp | Heap -> Var.Intern)
+      in
+      let v = { Var.uid = t.next; name; kind; linkage; typ; loc; owner = scope } in
+      t.next <- t.next + 1;
+      Hashtbl.add t.by_key key v;
+      t.vars <- v :: t.vars;
+      v
+
+(** Fresh compiler temporary; never aliases an existing variable. *)
+let fresh_temp ?(loc = Loc.none) t =
+  let n = t.ntemp in
+  t.ntemp <- n + 1;
+  intern t ~kind:Temp ~name:(Fmt.str "#%d" n) ~loc ()
+
+let find_opt ?(scope = "") t ~kind ~name =
+  Hashtbl.find_opt t.by_key (Var.key ~scope kind name)
+
+(** All variables in increasing [uid] order. *)
+let to_array t =
+  let a = Array.make t.next None in
+  List.iter (fun v -> a.(Var.uid v) <- Some v) t.vars;
+  Array.map
+    (function Some v -> v | None -> invalid_arg "Vartab.to_array: hole")
+    a
+
+let iter f t = List.iter f (List.rev t.vars)

@@ -1,0 +1,34 @@
+(** Per-translation-unit variable table: interns variables by canonical
+    key so every occurrence of a source object maps to one {!Var.t} with
+    a unit-local uid.  The compile phase serializes the table; the linker
+    merges [Extern] entries by key. *)
+
+type t
+
+val create : unit -> t
+val size : t -> int
+
+(** Return the existing variable with the same canonical key, or create
+    one.  [typ] and [loc] are recorded on first creation only; [linkage]
+    defaults by kind (globals/fields/functions/args/rets extern, the rest
+    intern). *)
+val intern :
+  ?scope:string ->
+  ?typ:string ->
+  ?loc:Loc.t ->
+  ?linkage:Var.linkage ->
+  t ->
+  kind:Var.kind ->
+  name:string ->
+  unit ->
+  Var.t
+
+(** Fresh compiler temporary; never aliases an existing variable. *)
+val fresh_temp : ?loc:Loc.t -> t -> Var.t
+
+val find_opt : ?scope:string -> t -> kind:Var.kind -> name:string -> Var.t option
+
+(** All variables in increasing uid order. *)
+val to_array : t -> Var.t array
+
+val iter : (Var.t -> unit) -> t -> unit

@@ -1,0 +1,1 @@
+lib/workload/genc.ml: Array Buffer Cla_ir Float Fmt Fun Hashtbl Int64 List Prim Profile Rng String

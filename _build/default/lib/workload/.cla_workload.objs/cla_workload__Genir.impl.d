@@ -1,0 +1,1 @@
+lib/workload/genir.ml: Array Cla_core Cla_ir Fmt List Loc Objfile Prim Rng Var

@@ -1,0 +1,1 @@
+lib/workload/genir.mli: Cla_core

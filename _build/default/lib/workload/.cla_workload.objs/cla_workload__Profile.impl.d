@@ -1,0 +1,1 @@
+lib/workload/profile.ml: Cla_ir List Prim

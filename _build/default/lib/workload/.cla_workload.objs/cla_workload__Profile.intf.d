@@ -1,0 +1,1 @@
+lib/workload/profile.mli: Cla_ir Prim

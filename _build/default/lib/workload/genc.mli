@@ -1,0 +1,19 @@
+(** Synthetic C workload generator.
+
+    Produces a deterministic multi-file C program whose primitive
+    assignment mix matches a Table 2 profile: exactly the requested
+    numbers of [*x = y] / [x = *y] / [*x = *y], the requested address-of
+    count, and a copy budget shared between plain copies, arithmetic,
+    struct traffic, and function calls (which lower to argument/return
+    copies).
+
+    Shape matters as much as counts (DESIGN.md): variables live in
+    {e communities} (locality domains) with a small shared hub region;
+    the profile's hubbiness and its Table 3 targets control how many join
+    points connect them, which is what makes points-to sets large.  Each
+    struct's field 0 plays the "link field" role fed from hubs, so the
+    field-based/field-independent choice separates measurably (Table 4). *)
+
+(** Generate the program for a profile.  Returns [(filename, source)]
+    pairs ready for {!Cla_core.Pipeline.compile_link}. *)
+val generate : ?seed:int64 -> Profile.t -> (string * string) list

@@ -1,0 +1,153 @@
+(** Random constraint-program generator (database level, no C involved).
+
+    Used by the property-based tests — on any generated program the
+    pre-transitive, worklist and bit-vector solvers must produce identical
+    points-to sets, and Steensgaard's must be a superset — and by the
+    ablation benchmarks, which need pure solver workloads without parse
+    cost. *)
+
+open Cla_ir
+open Cla_core
+
+type params = {
+  n_vars : int;
+  n_addr : int;
+  n_copy : int;
+  n_store : int;
+  n_load : int;
+  n_deref2 : int;
+  n_funcs : int;  (** functions with standardized arg/ret vars *)
+  n_indirect : int;  (** indirect call sites *)
+}
+
+let default_params =
+  {
+    n_vars = 30;
+    n_addr = 15;
+    n_copy = 25;
+    n_store = 8;
+    n_load = 8;
+    n_deref2 = 3;
+    n_funcs = 2;
+    n_indirect = 2;
+  }
+
+(** Generate a database: plain variables [0, n_vars), then per function a
+    [Func] variable, [2] args and a ret. *)
+let generate ?(params = default_params) seed : Objfile.db =
+  let rng = Rng.create seed in
+  let vars = ref [] in
+  let nv = ref 0 in
+  let add_var name kind =
+    let id = !nv in
+    incr nv;
+    vars :=
+      {
+        Objfile.vname = name;
+        vkind = kind;
+        vlinkage = Var.Intern;
+        vtyp = "int*";
+        vloc = Loc.make ~file:"gen.c" ~line:(id + 1) ~col:0;
+        vowner = "";
+      }
+      :: !vars;
+    id
+  in
+  for i = 0 to params.n_vars - 1 do
+    ignore (add_var (Fmt.str "v%d" i) Var.Global)
+  done;
+  let fundefs = ref [] in
+  let funptr_pool = ref [] in
+  for f = 0 to params.n_funcs - 1 do
+    let fv = add_var (Fmt.str "f%d" f) Var.Func in
+    let a1 = add_var (Fmt.str "f%d@1" f) (Var.Arg 1) in
+    let a2 = add_var (Fmt.str "f%d@2" f) (Var.Arg 2) in
+    let ret = add_var (Fmt.str "f%d@ret" f) Var.Ret in
+    fundefs :=
+      {
+        Objfile.ffvar = fv;
+        farity = 2;
+        fret = ret;
+        fargs = [| a1; a2 |];
+        ffloc = Loc.none;
+      }
+      :: !fundefs;
+    funptr_pool := fv :: !funptr_pool
+  done;
+  let indirects = ref [] in
+  for i = 0 to params.n_indirect - 1 do
+    let p = Rng.int rng params.n_vars in
+    let a1 = add_var (Fmt.str "ip%d@1" i) (Var.Arg 1) in
+    let ret = add_var (Fmt.str "ip%d@ret" i) Var.Ret in
+    indirects :=
+      {
+        Objfile.iptr = p;
+        inargs = 1;
+        iret = ret;
+        iargs = [| a1 |];
+        iiloc = Loc.none;
+      }
+      :: !indirects
+  done;
+  let nvars = !nv in
+  let any () = Rng.int rng nvars in
+  let plain () = Rng.int rng params.n_vars in
+  let statics = ref [] in
+  let blocks = Array.make nvars [] in
+  let loc = Loc.make ~file:"gen.c" ~line:0 ~col:0 in
+  let prim pkind pdst psrc =
+    { Objfile.pkind; pdst; psrc; pop = None; ploc = loc }
+  in
+  for _ = 1 to params.n_addr do
+    (* occasionally take a function's address so indirect calls resolve *)
+    let src =
+      if params.n_funcs > 0 && Rng.flip rng 0.2 then
+        List.nth !funptr_pool (Rng.int rng (List.length !funptr_pool))
+      else plain ()
+    in
+    statics := prim Objfile.Paddr (any ()) src :: !statics
+  done;
+  let block pkind =
+    let dst = any () and src = any () in
+    blocks.(src) <- prim pkind dst src :: blocks.(src)
+  in
+  for _ = 1 to params.n_copy do
+    block Objfile.Pcopy
+  done;
+  for _ = 1 to params.n_store do
+    block Objfile.Pstore
+  done;
+  for _ = 1 to params.n_load do
+    block Objfile.Pload
+  done;
+  for _ = 1 to params.n_deref2 do
+    block Objfile.Pderef2
+  done;
+  let vars_arr = Array.of_list (List.rev !vars) in
+  {
+    Objfile.vars = vars_arr;
+    keys = [];
+    statics = List.rev !statics;
+    blocks;
+    fundefs = List.rev !fundefs;
+    indirects = List.rev !indirects;
+    consts = [];
+    meta =
+      {
+        Objfile.mfiles = [ "gen.c" ];
+        msource_lines = 0;
+        mpreproc_lines = 0;
+        mcounts =
+          {
+            Prim.n_copy = params.n_copy;
+            n_addr = params.n_addr;
+            n_store = params.n_store;
+            n_deref2 = params.n_deref2;
+            n_load = params.n_load;
+          };
+      };
+  }
+
+(** Generate and roundtrip through serialization (what the solvers see). *)
+let view ?params seed : Objfile.view =
+  Objfile.view_of_string (Objfile.write (generate ?params seed))

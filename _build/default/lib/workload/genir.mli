@@ -1,0 +1,25 @@
+(** Random constraint-program generator (database level, no C involved).
+
+    Used by the property-based tests — on any generated program the
+    pre-transitive, worklist and bit-vector solvers must agree exactly and
+    Steensgaard's must over-approximate — and by the ablation benchmarks,
+    which need dense pure-solver workloads without parse cost. *)
+
+type params = {
+  n_vars : int;
+  n_addr : int;
+  n_copy : int;
+  n_store : int;
+  n_load : int;
+  n_deref2 : int;
+  n_funcs : int;  (** functions with standardized arg/ret variables *)
+  n_indirect : int;  (** indirect call sites *)
+}
+
+val default_params : params
+
+(** Generate a database deterministically from the seed. *)
+val generate : ?params:params -> int64 -> Cla_core.Objfile.db
+
+(** Generate and roundtrip through serialization (what solvers consume). *)
+val view : ?params:params -> int64 -> Cla_core.Objfile.view

@@ -1,0 +1,62 @@
+(** Benchmark profiles from the paper's Table 2, with the Table 3/Table 4
+    reference results for side-by-side reporting in the benchmark
+    harness.
+
+    The original code bases are not shippable, so the harness generates
+    synthetic C whose primitive-assignment mix matches each profile — the
+    quantities that drive the solver's cost (DESIGN.md,
+    "Substitutions"). *)
+
+open Cla_ir
+
+(** Reference row of Table 3 (field-based analysis results). *)
+type table3 = {
+  t3_pointer_vars : int;
+  t3_relations : int;
+  t3_real_s : float;
+  t3_user_s : float;
+  t3_size_mb : float;
+  t3_in_core : int;
+  t3_loaded : int;
+  t3_in_file : int;
+}
+
+(** Reference row of Table 4 (field-independent, preliminary). *)
+type table4 = {
+  t4_pointer_vars : int;
+  t4_relations : int;
+  t4_user_s : float;
+  t4_size_mb : float;
+}
+
+type t = {
+  name : string;
+  loc_display : string;  (** Table 2's source-LOC column (or ["-"]) *)
+  preproc_display : string;
+  variables : int;  (** Table 2 "program variables" *)
+  counts : Prim.counts;  (** Table 2 per-kind assignment counts *)
+  hubbiness : float;
+      (** how concentrated the join-point structure is — drives how large
+          points-to sets grow (emacs ≫ nethack) *)
+  n_indirect : int;  (** indirect call sites *)
+  scale : float;  (** 1.0, or the factor passed to {!scaled} *)
+  table3 : table3;
+  table4 : table4;
+}
+
+val nethack : t
+val burlap : t
+val vortex : t
+val emacs : t
+val povray : t
+val gcc : t
+val gimp : t
+val lucent : t
+
+(** All eight, in the paper's order. *)
+val all : t list
+
+val find : string -> t option
+
+(** Uniformly scale a profile down (quick test runs). *)
+val scaled : float -> t -> t

@@ -1,0 +1,36 @@
+(** Deterministic splitmix64 PRNG.
+
+    Workload generation must be reproducible across runs and machines
+    (benchmarks compare configurations on the *same* synthetic program), so
+    we avoid the stdlib's self-seeding generator. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+let next t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** Uniform int in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int";
+  Int64.to_int (Int64.rem (Int64.logand (next t) Int64.max_int) (Int64.of_int bound))
+
+(** True with probability [p]. *)
+let flip t p = float_of_int (int t 1_000_000) < p *. 1_000_000.
+
+(** Pick a uniform element of a non-empty array. *)
+let choose t arr = arr.(int t (Array.length arr))
+
+(** Power-law-ish pick biased toward low indices: index
+    [n * u^k] for u uniform — models hub variables that real code bases
+    have (a few central objects referenced everywhere). *)
+let biased t n k =
+  if n <= 0 then invalid_arg "Rng.biased";
+  let u = float_of_int (int t 1_000_000) /. 1_000_000. in
+  let x = int_of_float (float_of_int n *. (u ** k)) in
+  if x >= n then n - 1 else x

@@ -1,0 +1,20 @@
+(** Deterministic splitmix64 PRNG — workloads must be reproducible across
+    runs and machines. *)
+
+type t
+
+val create : int64 -> t
+val next : t -> int64
+
+(** Uniform int in [\[0, bound)]. *)
+val int : t -> int -> int
+
+(** True with probability [p]. *)
+val flip : t -> float -> bool
+
+(** Uniform element of a non-empty array. *)
+val choose : t -> 'a array -> 'a
+
+(** Power-law pick biased toward low indices (index [n·u^k]): models the
+    hub variables real code bases have. *)
+val biased : t -> int -> float -> int

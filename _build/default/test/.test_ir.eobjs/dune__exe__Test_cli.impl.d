@@ -1,0 +1,1 @@
+test/test_cli.ml: Alcotest Buffer Filename Fmt List String Sys Unix

@@ -1,0 +1,1 @@
+test/test_cpp.ml: Alcotest Cla_cfront Cpp List String

@@ -1,0 +1,1 @@
+test/test_depend.ml: Alcotest Andersen Array Cla_core Cla_depend Compilep Fmt List Objfile String

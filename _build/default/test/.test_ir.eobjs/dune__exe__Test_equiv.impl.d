@@ -1,0 +1,1 @@
+test/test_equiv.ml: Alcotest Andersen Bitsolver Cla_core Cla_ir Cla_workload Int64 List Lvalset Objfile Pipeline Pretrans QCheck QCheck_alcotest Solution Steensgaard Worklist

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Cla_ir List Loc Prim Strength Var Vartab

@@ -1,0 +1,1 @@
+test/test_lexer.ml: Alcotest Cla_cfront Clexer Ctoken Fmt Lexing List

@@ -1,0 +1,1 @@
+test/test_link.ml: Alcotest Array Cla_core Cla_ir Compilep Filename Fmt Linkp List Lvalset Objfile Pipeline Solution Sys

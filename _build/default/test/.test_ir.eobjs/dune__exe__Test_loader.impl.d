@@ -1,0 +1,1 @@
+test/test_loader.ml: Alcotest Andersen Array Cla_core Compilep Fmt List Loader Lvalset Objfile Pipeline Solution

@@ -1,0 +1,1 @@
+test/test_normalize.ml: Alcotest Array Cla_cfront Cla_ir Fmt Frontend List Normalize Prim Prog String Var

@@ -1,0 +1,1 @@
+test/test_objfile.ml: Alcotest Array Binio Cla_core Cla_ir Cla_workload Filename Fmt Int64 List Objfile Prim QCheck QCheck_alcotest String Sys Var

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Cast Cla_cfront Cla_ir Clexer Cparser Fmt List String

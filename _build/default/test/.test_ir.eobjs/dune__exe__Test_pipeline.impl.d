@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Array Cla_core Fmt List Lvalset Objfile Pipeline Solution String

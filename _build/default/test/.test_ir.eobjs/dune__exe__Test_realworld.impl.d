@@ -1,0 +1,1 @@
+test/test_realworld.ml: Alcotest Andersen Array Bitsolver Cla_cfront Cla_core Cla_depend Compilep Fmt Lazy List Loader Lvalset Objfile Pipeline Solution String Worklist

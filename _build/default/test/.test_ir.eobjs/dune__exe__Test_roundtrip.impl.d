@@ -1,0 +1,1 @@
+test/test_roundtrip.ml: Alcotest Array Cast Cla_cfront Cla_ir Cparser Fmt Frontend Gen Int64 List QCheck QCheck_alcotest String

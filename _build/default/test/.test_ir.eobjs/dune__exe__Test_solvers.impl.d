@@ -1,0 +1,1 @@
+test/test_solvers.ml: Alcotest Andersen Cla_core Compilep Fmt Hashtbl Intset List Lvalset Objfile Pipeline Pretrans QCheck QCheck_alcotest Solution

@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Andersen Array Cla_core Cla_workload Compilep Fmt Int64 Linkp List Lvalset Objfile Pipeline QCheck QCheck_alcotest Solution Transform

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Andersen Array Cla_core Cla_ir Cla_workload Fmt Genc Genir List Objfile Pipeline Profile Rng Solution String

@@ -1,0 +1,135 @@
+(* End-to-end tests of the `cla` command-line driver: compile, link,
+   analyze, depend, transform, dump, gen — the tool a user actually runs. *)
+
+let cla =
+  (* dune declares the binary as a dep; it lands next to the test's cwd *)
+  let candidates =
+    [ "../bin/cla.exe"; "_build/default/bin/cla.exe"; "bin/cla.exe" ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> "../bin/cla.exe"
+
+let run_capture cmd =
+  let ic = Unix.open_process_in (cmd ^ " 2>&1") in
+  let buf = Buffer.create 256 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  let status = Unix.close_process_in ic in
+  let code = match status with Unix.WEXITED n -> n | _ -> 255 in
+  (code, Buffer.contents buf)
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+let tmpdir = Filename.temp_file "cla_cli" ""
+
+let () =
+  Sys.remove tmpdir;
+  Sys.mkdir tmpdir 0o755
+
+let in_tmp name = Filename.concat tmpdir name
+
+let write_file name content =
+  let oc = open_out (in_tmp name) in
+  output_string oc content;
+  close_out oc
+
+let () =
+  write_file "a.c"
+    "int x, *y;\nint **z;\nvoid main(void) { z = &y; *z = &x; }\n";
+  write_file "b.c" "extern int *y;\nint *alias;\nvoid g(void) { alias = y; }\n";
+  write_file "dep.c"
+    "short counter;\nshort mirror;\nint wide;\n\
+     void f(void) { counter = 40000; mirror = counter; wide = counter; }\n"
+
+let check_run name cmd expects =
+  Alcotest.test_case name `Quick (fun () ->
+      let code, out = run_capture cmd in
+      Alcotest.(check int) (name ^ ": exit code\n" ^ out) 0 code;
+      List.iter
+        (fun e ->
+          Alcotest.(check bool)
+            (Fmt.str "%s: output contains %S in:\n%s" name e out)
+            true (contains ~affix:e out))
+        expects)
+
+let q = Filename.quote
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "pipeline",
+        [
+          check_run "compile"
+            (Fmt.str "%s compile %s %s" cla (q (in_tmp "a.c")) (q (in_tmp "b.c")))
+            [ "a.clo"; "b.clo" ];
+          check_run "link"
+            (Fmt.str "%s link %s %s -o %s" cla
+               (q (in_tmp "a.clo"))
+               (q (in_tmp "b.clo"))
+               (q (in_tmp "prog.cla")))
+            [ "2 unit(s)"; "merged" ];
+          check_run "analyze"
+            (Fmt.str "%s analyze %s --print" cla (q (in_tmp "prog.cla")))
+            [ "y -> {x}"; "z -> {y}"; "alias -> {x}"; "pretransitive" ];
+          check_run "analyze json"
+            (Fmt.str "%s analyze %s --json" cla (q (in_tmp "prog.cla")))
+            [ "\"y\": [\"x\"]"; "\"z\": [\"y\"]" ];
+          check_run "analyze worklist"
+            (Fmt.str "%s analyze %s --algo worklist" cla (q (in_tmp "prog.cla")))
+            [ "worklist:" ];
+          check_run "analyze ablation flags"
+            (Fmt.str "%s analyze %s --no-cache --no-cycle-elim" cla
+               (q (in_tmp "prog.cla")))
+            [ "pretransitive:" ];
+          check_run "dump"
+            (Fmt.str "%s dump %s --blocks" cla (q (in_tmp "prog.cla")))
+            [ "static section"; "z = &y"; "dynamic section" ];
+        ] );
+      ( "applications",
+        [
+          check_run "depend setup"
+            (Fmt.str "%s compile %s -o %s && %s link %s -o %s" cla
+               (q (in_tmp "dep.c"))
+               (q (in_tmp "dep.clo"))
+               cla
+               (q (in_tmp "dep.clo"))
+               (q (in_tmp "dep.cla")))
+            [];
+          check_run "depend"
+            (Fmt.str "%s depend %s --target counter" cla (q (in_tmp "dep.cla")))
+            [ "dependent object(s)"; "mirror/short" ];
+          check_run "depend narrowing"
+            (Fmt.str "%s depend %s --target counter --new-type int" cla
+               (q (in_tmp "dep.cla")))
+            [ "[WIDEN]"; "[ok"; "40000" ];
+          check_run "transform"
+            (Fmt.str "%s transform %s --substitute -o %s" cla
+               (q (in_tmp "prog.cla"))
+               (q (in_tmp "prog2.cla")))
+            [ "substitute:" ];
+          check_run "gen"
+            (Fmt.str "%s gen nethack --scale 0.05 -d %s" cla (q tmpdir))
+            [ "nethack_00.c" ];
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "missing file" `Quick (fun () ->
+              let code, _ = run_capture (Fmt.str "%s analyze /nonexistent.cla" cla) in
+              Alcotest.(check bool) "nonzero exit" true (code <> 0));
+          Alcotest.test_case "parse error reported" `Quick (fun () ->
+              write_file "bad.c" "int x = ;\n";
+              let code, out =
+                run_capture (Fmt.str "%s compile %s" cla (q (in_tmp "bad.c")))
+              in
+              Alcotest.(check bool) "nonzero exit" true (code <> 0);
+              Alcotest.(check bool) ("mentions parse error: " ^ out) true
+                (contains ~affix:"parse error" out));
+        ] );
+    ]

@@ -1,0 +1,263 @@
+(* Tests for the forward data-dependence analysis (Section 2, Figure 1). *)
+
+open Cla_core
+module Depend = Cla_depend.Depend
+
+let prepare src =
+  let view =
+    Objfile.view_of_string (Objfile.write (Compilep.compile_string ~file:"eg1.c" src))
+  in
+  let pta = Andersen.solve view in
+  Depend.prepare view pta
+
+let name_of dep (d : Depend.dependent) =
+  dep.Depend.view.Objfile.rvars.(d.Depend.d_var).Objfile.vname
+
+let dependents dep ?(non_targets = []) target =
+  match Depend.query_by_name dep ~non_targets target with
+  | Some r -> List.map (name_of dep) r.Depend.r_dependents |> List.sort compare
+  | None -> Alcotest.fail ("no target " ^ target)
+
+let find_dependent dep target var =
+  match Depend.query_by_name dep target with
+  | Some r -> List.find (fun d -> name_of dep d = var) r.Depend.r_dependents
+  | None -> Alcotest.fail ("no target " ^ target)
+
+(* the paper's Figure 1 program *)
+let fig1 =
+  {|short target;
+struct S { short x; short y; };
+short u, *v, w;
+struct S s, t;
+void main(void) {
+v = &w;
+u = target;
+*v = u;
+s.x = w;
+}
+|}
+
+let test_figure1 () =
+  let dep = prepare fig1 in
+  Alcotest.(check (list string)) "u, w, S.x depend on target"
+    [ "S.x"; "u"; "w" ] (dependents dep "target")
+
+let test_figure1_chain_shape () =
+  let dep = prepare fig1 in
+  match Depend.query_by_name dep "target" with
+  | Some r ->
+      ignore r;
+      let sx = find_dependent dep "target" "S.x" in
+      (* S.x <- w <- u <- target: three steps *)
+      Alcotest.(check int) "chain length" 3 (List.length sx.Depend.d_chain);
+      Alcotest.(check int) "hops recorded" 3 sx.Depend.d_hops;
+      Alcotest.(check int) "all strong" 0 sx.Depend.d_weak;
+      let printed = Fmt.str "%a" (Depend.pp_dependent dep) sx in
+      Alcotest.(check bool)
+        (Fmt.str "figure-1 format: %s" printed)
+        true
+        (printed = "S.x/short <eg1.c:2> ! w/short <eg1.c:9> ! u/short <eg1.c:8> ! target/short <eg1.c:7> where target/short <eg1.c:1>")
+  | None -> Alcotest.fail "no target"
+
+let test_non_targets_prune () =
+  let dep = prepare fig1 in
+  Alcotest.(check (list string)) "pruning w kills downstream"
+    [ "u" ]
+    (dependents dep ~non_targets:[ "w" ] "target")
+
+let test_none_strength_ignored () =
+  let dep =
+    prepare "int y, z1, z2;\nvoid f(void) { z1 = !y; z2 = y && z1; }"
+  in
+  Alcotest.(check (list string)) "logical ops sever" [] (dependents dep "y")
+
+let test_weak_ranked_after_strong () =
+  let dep =
+    prepare
+      "int y, s1, w1;\nvoid f(void) { s1 = y + 1; w1 = y >> 3; }"
+  in
+  match Depend.query_by_name dep "y" with
+  | Some r ->
+      let names = List.map (name_of dep) r.Depend.r_dependents in
+      Alcotest.(check (list string)) "strong first" [ "s1"; "w1" ] names;
+      let w1 = List.nth r.Depend.r_dependents 1 in
+      Alcotest.(check int) "weak count" 1 w1.Depend.d_weak
+  | None -> Alcotest.fail "no y"
+
+let test_through_pointers () =
+  let dep =
+    prepare
+      "int t, sink, *p, buf;\n\
+       void f(void) { p = &buf; *p = t; sink = buf; }"
+  in
+  Alcotest.(check (list string)) "flows through *p"
+    [ "buf"; "sink" ] (dependents dep "t")
+
+let test_through_loads () =
+  let dep =
+    prepare
+      "int t, out, buf, *p;\n\
+       void f(void) { p = &buf; buf = t; out = *p; }"
+  in
+  Alcotest.(check (list string)) "x = *p picks up pointee deps"
+    [ "buf"; "out" ] (dependents dep "t")
+
+let test_through_calls () =
+  let dep =
+    prepare
+      "int t, r;\n\
+       int id(int v) { return v; }\n\
+       void f(void) { r = id(t); }"
+  in
+  let deps = dependents dep "t" in
+  Alcotest.(check bool) "r depends through the call" true (List.mem "r" deps)
+
+let test_through_indirect_calls () =
+  let dep =
+    prepare
+      "int t, r;\n\
+       int id(int v) { return v; }\n\
+       int (*fp)(int);\n\
+       void f(void) { fp = id; r = (*fp)(t); }"
+  in
+  let deps = dependents dep "t" in
+  Alcotest.(check bool)
+    (Fmt.str "r depends through the function pointer: [%s]"
+       (String.concat "; " deps))
+    true (List.mem "r" deps)
+
+let test_shortest_chain_preferred () =
+  let dep =
+    prepare
+      "int t, a, b, c, d;\n\
+       void f(void) { a = t; b = a; c = b; d = c; d = t; }"
+  in
+  let d = find_dependent dep "t" "d" in
+  Alcotest.(check int) "direct chain chosen" 1 d.Depend.d_hops
+
+let test_strong_path_beats_short_weak () =
+  (* d reachable in 1 weak hop or 2 strong hops: strong wins *)
+  let dep =
+    prepare
+      "int t, mid, d;\nvoid f(void) { d = t * 2; mid = t; d = mid; }"
+  in
+  let d = find_dependent dep "t" "d" in
+  Alcotest.(check int) "no weak links" 0 d.Depend.d_weak;
+  Alcotest.(check int) "two strong hops" 2 d.Depend.d_hops
+
+let narrowing_src =
+  {|short counter;
+short mirror, *ptr, sink;
+int already_wide;
+double rate;
+void tick(void) {
+counter = 40000;
+mirror = counter;
+ptr = &sink;
+*ptr = mirror;
+already_wide = counter;
+rate = counter * 2;
+}
+|}
+
+let test_narrowing_verdicts () =
+  let dep = prepare narrowing_src in
+  match Depend.query_by_name dep "counter" with
+  | None -> Alcotest.fail "no counter"
+  | Some r ->
+      let verdicts = Depend.check_narrowing dep r ~new_type:"int" in
+      let find name =
+        List.find
+          (fun (n : Depend.narrowing) ->
+            dep.Depend.view.Objfile.rvars.(n.Depend.nv_var).Objfile.vname = name)
+          verdicts
+      in
+      Alcotest.(check bool) "mirror must widen" true
+        ((find "mirror").Depend.nv_verdict = Depend.Must_widen);
+      Alcotest.(check bool) "sink must widen" true
+        ((find "sink").Depend.nv_verdict = Depend.Must_widen);
+      Alcotest.(check bool) "already_wide is fine" true
+        ((find "already_wide").Depend.nv_verdict = Depend.Wide_enough);
+      Alcotest.(check bool) "double flagged for review" true
+        ((find "rate").Depend.nv_verdict = Depend.Not_integer)
+
+let test_constants_recorded () =
+  let dep = prepare narrowing_src in
+  match Objfile.find_targets dep.Depend.view "counter" with
+  | t :: _ ->
+      Alcotest.(check (list int64)) "40000 observed" [ 40000L ]
+        (Depend.constants_of dep t)
+  | [] -> Alcotest.fail "no counter"
+
+let test_width_of_type () =
+  Alcotest.(check (option int)) "char" (Some 8) (Depend.width_of_type "char");
+  Alcotest.(check (option int)) "short" (Some 16) (Depend.width_of_type "short");
+  Alcotest.(check (option int)) "unsigned long" (Some 64)
+    (Depend.width_of_type "unsigned long");
+  Alcotest.(check (option int)) "pointer" None (Depend.width_of_type "int*");
+  Alcotest.(check (option int)) "struct" None (Depend.width_of_type "struct S")
+
+let test_negative_constants () =
+  let dep = prepare "int v;\nvoid f(void) { v = -7; v = 'A'; }" in
+  match Objfile.find_targets dep.Depend.view "v" with
+  | t :: _ ->
+      Alcotest.(check (list int64)) "both constants, signs preserved"
+        [ -7L; 65L ]
+        (List.sort compare (Depend.constants_of dep t))
+  | [] -> Alcotest.fail "no v"
+
+let test_tree_view () =
+  let dep = prepare narrowing_src in
+  match Depend.query_by_name dep "counter" with
+  | None -> Alcotest.fail "no counter"
+  | Some r ->
+      let out = Fmt.str "%a" (Depend.pp_tree dep) r in
+      let has affix =
+        let n = String.length affix and m = String.length out in
+        let rec go i = i + n <= m && (String.sub out i n = affix || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) ("root first:\n" ^ out) true (has "counter/short");
+      Alcotest.(check bool) "mirror is a child" true (has "|-- mirror/short");
+      Alcotest.(check bool) "sink nested under mirror" true (has "|   `-- sink/short");
+      Alcotest.(check bool) "weak op marked" true (has "[*]")
+
+let test_unknown_target () =
+  let dep = prepare "int x;" in
+  Alcotest.(check bool) "unknown target gives None" true
+    (Depend.query_by_name dep "missing" = None)
+
+let () =
+  Alcotest.run "depend"
+    [
+      ( "figure 1",
+        [
+          Alcotest.test_case "dependent set" `Quick test_figure1;
+          Alcotest.test_case "chain format" `Quick test_figure1_chain_shape;
+          Alcotest.test_case "non-targets" `Quick test_non_targets_prune;
+        ] );
+      ( "strength",
+        [
+          Alcotest.test_case "none severs" `Quick test_none_strength_ignored;
+          Alcotest.test_case "weak ranked last" `Quick test_weak_ranked_after_strong;
+          Alcotest.test_case "strong beats short weak" `Quick
+            test_strong_path_beats_short_weak;
+          Alcotest.test_case "shortest among equals" `Quick test_shortest_chain_preferred;
+        ] );
+      ( "pointer flows",
+        [
+          Alcotest.test_case "stores" `Quick test_through_pointers;
+          Alcotest.test_case "loads" `Quick test_through_loads;
+          Alcotest.test_case "calls" `Quick test_through_calls;
+          Alcotest.test_case "indirect calls" `Quick test_through_indirect_calls;
+        ] );
+      ( "narrowing",
+        [
+          Alcotest.test_case "verdicts" `Quick test_narrowing_verdicts;
+          Alcotest.test_case "constants" `Quick test_constants_recorded;
+          Alcotest.test_case "type widths" `Quick test_width_of_type;
+          Alcotest.test_case "negative constants" `Quick test_negative_constants;
+          Alcotest.test_case "tree view" `Quick test_tree_view;
+        ] );
+      ("api", [ Alcotest.test_case "unknown target" `Quick test_unknown_target ]);
+    ]

@@ -1,0 +1,170 @@
+(* Property-based cross-validation of the solvers.
+
+   On any random constraint program:
+   - the pre-transitive solver, the transitively-closed worklist solver and
+     the bit-vector solver must produce *identical* points-to sets;
+   - every ablation configuration of the pre-transitive solver (caching
+     off, cycle elimination off, both off) must agree with the default;
+   - demand loading must agree with full loading;
+   - Steensgaard's unification-based result must be a superset of
+     Andersen's on every variable. *)
+
+open Cla_core
+
+let params_small =
+  {
+    Cla_workload.Genir.n_vars = 12;
+    n_addr = 10;
+    n_copy = 15;
+    n_store = 5;
+    n_load = 5;
+    n_deref2 = 2;
+    n_funcs = 2;
+    n_indirect = 2;
+  }
+
+let params_medium =
+  {
+    Cla_workload.Genir.n_vars = 60;
+    n_addr = 45;
+    n_copy = 90;
+    n_store = 25;
+    n_load = 25;
+    n_deref2 = 10;
+    n_funcs = 4;
+    n_indirect = 5;
+  }
+
+let view ~params seed =
+  Cla_workload.Genir.view ~params (Int64.of_int seed)
+
+let agree name params count solve_b =
+  QCheck.Test.make ~count ~name
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let v = view ~params seed in
+      let a = (Andersen.solve v).Andersen.solution in
+      let b = solve_b v in
+      if not (Solution.equal a b) then
+        QCheck.Test.fail_reportf "solver mismatch on seed %d:@.A:@.%a@.B:@.%a"
+          seed Solution.pp a Solution.pp b
+      else true)
+
+let pretrans_eq_worklist =
+  agree "pretransitive = worklist (small)" params_small 150 Worklist.solve
+
+let pretrans_eq_worklist_medium =
+  agree "pretransitive = worklist (medium)" params_medium 50 Worklist.solve
+
+let pretrans_eq_bitvector =
+  agree "pretransitive = bitvector (small)" params_small 150 Bitsolver.solve
+
+let pretrans_eq_bitvector_medium =
+  agree "pretransitive = bitvector (medium)" params_medium 50 Bitsolver.solve
+
+let ablation name config =
+  agree name params_small 100 (fun v ->
+      (Andersen.solve ~config v).Andersen.solution)
+
+let no_cache = ablation "caching off agrees" { Pretrans.cache = false; cycle_elim = true }
+let no_cycle = ablation "cycle elim off agrees" { Pretrans.cache = true; cycle_elim = false }
+
+let neither =
+  ablation "both optimizations off agree"
+    { Pretrans.cache = false; cycle_elim = false }
+
+let full_load =
+  agree "demand = full load" params_small 100 (fun v ->
+      (Andersen.solve ~demand:false v).Andersen.solution)
+
+let steensgaard_superset =
+  QCheck.Test.make ~count:150 ~name:"steensgaard over-approximates andersen"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let v = view ~params:params_small seed in
+      let a = (Andersen.solve v).Andersen.solution in
+      let s = Steensgaard.solve v in
+      let ok = ref true in
+      for var = 0 to Objfile.n_vars v - 1 do
+        let pa = Solution.points_to a var in
+        let ps = Solution.points_to s var in
+        Lvalset.iter (fun z -> if not (Lvalset.mem z ps) then ok := false) pa
+      done;
+      if not !ok then
+        QCheck.Test.fail_reportf
+          "steensgaard not a superset on seed %d:@.andersen:@.%a@.steens:@.%a"
+          seed Solution.pp a Solution.pp s
+      else true)
+
+let monotone_under_extra_constraints =
+  (* adding one more base assignment can only grow the solution *)
+  QCheck.Test.make ~count:80 ~name:"solutions grow monotonically"
+    QCheck.(pair (int_bound 1_000_000) (pair (int_bound 11) (int_bound 11)))
+    (fun (seed, (x, z)) ->
+      let db = Cla_workload.Genir.generate ~params:params_small (Int64.of_int seed) in
+      let v1 = Objfile.view_of_string (Objfile.write db) in
+      let extra =
+        {
+          Objfile.pkind = Objfile.Paddr;
+          pdst = x;
+          psrc = z;
+          pop = None;
+          ploc = Cla_ir.Loc.none;
+        }
+      in
+      let db2 = { db with Objfile.statics = extra :: db.Objfile.statics } in
+      let v2 = Objfile.view_of_string (Objfile.write db2) in
+      let a = (Andersen.solve v1).Andersen.solution in
+      let b = (Andersen.solve v2).Andersen.solution in
+      let ok = ref true in
+      for var = 0 to Objfile.n_vars v1 - 1 do
+        Lvalset.iter
+          (fun l -> if not (Lvalset.mem l (Solution.points_to b var)) then ok := false)
+          (Solution.points_to a var)
+      done;
+      !ok)
+
+let c_workload_agreement =
+  (* the solvers must also agree on real generated C (frontend-shaped
+     constraints: fields, heap sites, standardized args, indirect calls) *)
+  QCheck.Test.make ~count:8 ~name:"solvers agree on generated C workloads"
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let p = Cla_workload.Profile.scaled 0.04 Cla_workload.Profile.burlap in
+      let files = Cla_workload.Genc.generate ~seed:(Int64.of_int seed) p in
+      let v = Pipeline.compile_link files in
+      let a = (Andersen.solve v).Andersen.solution in
+      let w = Worklist.solve v in
+      let b = Bitsolver.solve v in
+      Solution.equal a w && Solution.equal a b)
+
+let idempotent =
+  QCheck.Test.make ~count:60 ~name:"solving twice gives the same answer"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let v = view ~params:params_small seed in
+      Solution.equal (Andersen.solve v).Andersen.solution
+        (Andersen.solve v).Andersen.solution)
+
+let () =
+  Alcotest.run "equiv"
+    [
+      ( "exact equivalence",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            pretrans_eq_worklist;
+            pretrans_eq_worklist_medium;
+            pretrans_eq_bitvector;
+            pretrans_eq_bitvector_medium;
+          ] );
+      ( "ablations",
+        List.map QCheck_alcotest.to_alcotest [ no_cache; no_cycle; neither; full_load ] );
+      ( "semantic properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            steensgaard_superset;
+            monotone_under_extra_constraints;
+            idempotent;
+            c_workload_agreement;
+          ] );
+    ]

@@ -1,0 +1,214 @@
+(* Unit tests for the IR layer: locations, Table 1 strengths, variables,
+   the variable table, and primitive-assignment bookkeeping. *)
+
+open Cla_ir
+
+let check = Alcotest.check
+let str = Alcotest.string
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Loc                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_loc_pp () =
+  let l = Loc.make ~file:"eg1.c" ~line:3 ~col:7 in
+  check str "figure-1 format" "<eg1.c:3>" (Loc.to_string l);
+  check str "unknown location" "<?>" (Loc.to_string Loc.none)
+
+let test_loc_compare () =
+  let a = Loc.make ~file:"a.c" ~line:1 ~col:1 in
+  let b = Loc.make ~file:"a.c" ~line:2 ~col:1 in
+  let c = Loc.make ~file:"b.c" ~line:1 ~col:1 in
+  check bool "same file line order" true (Loc.compare a b < 0);
+  check bool "file order dominates" true (Loc.compare b c < 0);
+  check bool "equal" true (Loc.equal a a);
+  check bool "not equal" false (Loc.equal a b)
+
+(* ------------------------------------------------------------------ *)
+(* Strength (Table 1)                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let st = Alcotest.testable Strength.pp Strength.equal
+
+let test_table1_strong () =
+  List.iter
+    (fun op ->
+      check st (op ^ " arg1") Strength.Strong (Strength.classify op Strength.Arg1);
+      check st (op ^ " arg2") Strength.Strong (Strength.classify op Strength.Arg2))
+    [ "+"; "-"; "|"; "&"; "^" ]
+
+let test_table1_mul () =
+  check st "* arg1" Strength.Weak (Strength.classify "*" Strength.Arg1);
+  check st "* arg2" Strength.Weak (Strength.classify "*" Strength.Arg2)
+
+let test_table1_shift_mod () =
+  List.iter
+    (fun op ->
+      check st (op ^ " arg1") Strength.Weak (Strength.classify op Strength.Arg1);
+      check st (op ^ " arg2") Strength.None_ (Strength.classify op Strength.Arg2))
+    [ "%"; ">>"; "<<" ]
+
+let test_table1_unary () =
+  check st "unary +" Strength.Strong (Strength.classify "u+" Strength.Arg1);
+  check st "unary -" Strength.Strong (Strength.classify "u-" Strength.Arg1)
+
+let test_table1_logical () =
+  List.iter
+    (fun op ->
+      check st (op ^ " arg1") Strength.None_ (Strength.classify op Strength.Arg1))
+    [ "&&"; "||"; "!" ]
+
+let test_strength_order () =
+  check bool "none < weak" true (Strength.compare Strength.None_ Strength.Weak < 0);
+  check bool "weak < strong" true (Strength.compare Strength.Weak Strength.Strong < 0);
+  check st "min" Strength.None_ (Strength.min Strength.None_ Strength.Strong);
+  check st "max" Strength.Strong (Strength.max Strength.Weak Strength.Strong)
+
+let test_comparisons_sever () =
+  List.iter
+    (fun op ->
+      check st op Strength.None_ (Strength.classify op Strength.Arg1))
+    [ "=="; "!="; "<"; ">"; "<="; ">=" ]
+
+(* ------------------------------------------------------------------ *)
+(* Var / Vartab                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_var_display () =
+  let vt = Vartab.create () in
+  let x = Vartab.intern vt ~kind:Var.Global ~name:"x" () in
+  let a2 = Vartab.intern vt ~kind:(Var.Arg 2) ~name:"f" () in
+  let r = Vartab.intern vt ~kind:Var.Ret ~name:"f" () in
+  check str "plain" "x" (Var.display x);
+  check str "arg" "f@2" (Var.display a2);
+  check str "ret" "f@ret" (Var.display r)
+
+let test_vartab_interning () =
+  let vt = Vartab.create () in
+  let a = Vartab.intern vt ~kind:Var.Global ~name:"x" () in
+  let b = Vartab.intern vt ~kind:Var.Global ~name:"x" () in
+  check bool "same object" true (Var.equal a b);
+  let c = Vartab.intern vt ~kind:Var.Field ~name:"x" () in
+  check bool "field x is distinct from global x" false (Var.equal a c);
+  check int "two variables interned" 2 (Vartab.size vt)
+
+let test_vartab_scopes () =
+  let vt = Vartab.create () in
+  let f_x = Vartab.intern vt ~kind:Var.Filelocal ~scope:"f" ~name:"x" () in
+  let g_x = Vartab.intern vt ~kind:Var.Filelocal ~scope:"g" ~name:"x" () in
+  check bool "locals of different functions differ" false (Var.equal f_x g_x);
+  let f_x' = Vartab.intern vt ~kind:Var.Filelocal ~scope:"f" ~name:"x" () in
+  check bool "same scope same name" true (Var.equal f_x f_x')
+
+let test_vartab_temps () =
+  let vt = Vartab.create () in
+  let t1 = Vartab.fresh_temp vt in
+  let t2 = Vartab.fresh_temp vt in
+  check bool "temps always fresh" false (Var.equal t1 t2);
+  check bool "temps are intern" true (Var.linkage t1 = Var.Intern)
+
+let test_vartab_default_linkage () =
+  let vt = Vartab.create () in
+  let g = Vartab.intern vt ~kind:Var.Global ~name:"g" () in
+  let f = Vartab.intern vt ~kind:Var.Field ~name:"S.f" () in
+  let h = Vartab.intern vt ~kind:Var.Heap ~name:"h" () in
+  let l = Vartab.intern vt ~kind:Var.Filelocal ~name:"l" () in
+  check bool "globals extern" true (Var.linkage g = Var.Extern);
+  check bool "fields extern" true (Var.linkage f = Var.Extern);
+  check bool "heap intern" true (Var.linkage h = Var.Intern);
+  check bool "locals intern" true (Var.linkage l = Var.Intern)
+
+let test_vartab_to_array () =
+  let vt = Vartab.create () in
+  let a = Vartab.intern vt ~kind:Var.Global ~name:"a" () in
+  let b = Vartab.intern vt ~kind:Var.Global ~name:"b" () in
+  let arr = Vartab.to_array vt in
+  check int "array size" 2 (Array.length arr);
+  check bool "order by uid" true (Var.equal arr.(0) a && Var.equal arr.(1) b)
+
+(* ------------------------------------------------------------------ *)
+(* Prim                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let mk_vars () =
+  let vt = Vartab.create () in
+  let x = Vartab.intern vt ~kind:Var.Global ~name:"x" () in
+  let y = Vartab.intern vt ~kind:Var.Global ~name:"y" () in
+  (x, y)
+
+let test_prim_pp () =
+  let x, y = mk_vars () in
+  let loc = Loc.none in
+  check str "copy" "x = y" (Prim.to_string (Prim.copy ~loc x y));
+  check str "addr" "x = &y" (Prim.to_string (Prim.addr ~loc x y));
+  check str "store" "*x = y" (Prim.to_string (Prim.store ~loc x y));
+  check str "load" "x = *y" (Prim.to_string (Prim.load ~loc x y));
+  check str "deref2" "*x = *y" (Prim.to_string (Prim.deref2 ~loc x y));
+  check str "op copy" "x =[+] y"
+    (Prim.to_string (Prim.copy ?op:(Prim.opinfo "+" Strength.Arg1) ~loc x y))
+
+let test_prim_strength () =
+  let x, y = mk_vars () in
+  let loc = Loc.none in
+  check st "plain copy strong" Strength.Strong (Prim.strength (Prim.copy ~loc x y));
+  check st "store strong" Strength.Strong (Prim.strength (Prim.store ~loc x y));
+  check st "shift weak" Strength.Weak
+    (Prim.strength (Prim.copy ?op:(Prim.opinfo ">>" Strength.Arg1) ~loc x y));
+  check st "bang none" Strength.None_
+    (Prim.strength (Prim.copy ?op:(Prim.opinfo "!" Strength.Arg1) ~loc x y))
+
+let test_prim_counts () =
+  let x, y = mk_vars () in
+  let loc = Loc.none in
+  let l =
+    [
+      Prim.copy ~loc x y; Prim.copy ~loc y x; Prim.addr ~loc x y;
+      Prim.store ~loc x y; Prim.load ~loc x y; Prim.deref2 ~loc x y;
+    ]
+  in
+  let c = Prim.count_list l in
+  check int "copies" 2 c.Prim.n_copy;
+  check int "addrs" 1 c.Prim.n_addr;
+  check int "stores" 1 c.Prim.n_store;
+  check int "loads" 1 c.Prim.n_load;
+  check int "deref2s" 1 c.Prim.n_deref2;
+  check int "total" 6 (Prim.total c);
+  let c2 = Prim.add_counts c c in
+  check int "add_counts total" 12 (Prim.total c2)
+
+let () =
+  Alcotest.run "ir"
+    [
+      ( "loc",
+        [
+          Alcotest.test_case "pp" `Quick test_loc_pp;
+          Alcotest.test_case "compare" `Quick test_loc_compare;
+        ] );
+      ( "strength",
+        [
+          Alcotest.test_case "table1 strong ops" `Quick test_table1_strong;
+          Alcotest.test_case "table1 multiply" `Quick test_table1_mul;
+          Alcotest.test_case "table1 shift and mod" `Quick test_table1_shift_mod;
+          Alcotest.test_case "table1 unary" `Quick test_table1_unary;
+          Alcotest.test_case "table1 logical" `Quick test_table1_logical;
+          Alcotest.test_case "ordering" `Quick test_strength_order;
+          Alcotest.test_case "comparisons sever" `Quick test_comparisons_sever;
+        ] );
+      ( "var",
+        [
+          Alcotest.test_case "display names" `Quick test_var_display;
+          Alcotest.test_case "interning" `Quick test_vartab_interning;
+          Alcotest.test_case "scopes" `Quick test_vartab_scopes;
+          Alcotest.test_case "temps" `Quick test_vartab_temps;
+          Alcotest.test_case "default linkage" `Quick test_vartab_default_linkage;
+          Alcotest.test_case "to_array" `Quick test_vartab_to_array;
+        ] );
+      ( "prim",
+        [
+          Alcotest.test_case "printing" `Quick test_prim_pp;
+          Alcotest.test_case "strength" `Quick test_prim_strength;
+          Alcotest.test_case "counts" `Quick test_prim_counts;
+        ] );
+    ]

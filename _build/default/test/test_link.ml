@@ -1,0 +1,202 @@
+(* Tests for the link phase: extern merging, intern separation, index
+   recomputation, statistics. *)
+
+open Cla_core
+
+let compile src file =
+  Objfile.view_of_string (Objfile.write (Compilep.compile_string ~file src))
+
+let link views = fst (Linkp.link_views views)
+
+let test_extern_merged () =
+  let a = compile "int shared; void f(void) { shared = 1; }" "a.c" in
+  let b = compile "extern int shared; int use(void) { return shared; }" "b.c" in
+  let db, stats = Linkp.link_views [ a; b ] in
+  (* exactly one object named "shared" in the output *)
+  let count =
+    Array.fold_left
+      (fun n (v : Objfile.varinfo) ->
+        if v.Objfile.vname = "shared" then n + 1 else n)
+      0 db.Objfile.vars
+  in
+  Alcotest.(check int) "one shared" 1 count;
+  Alcotest.(check bool) "merges counted" true (stats.Linkp.n_extern_merged > 0)
+
+let test_statics_not_merged () =
+  let a = compile "static int priv; void f(void) { priv = 1; }" "a.c" in
+  let b = compile "static int priv; void g(void) { priv = 2; }" "b.c" in
+  let db = link [ a; b ] in
+  let count =
+    Array.fold_left
+      (fun n (v : Objfile.varinfo) ->
+        if v.Objfile.vname = "priv" then n + 1 else n)
+      0 db.Objfile.vars
+  in
+  Alcotest.(check int) "two private statics" 2 count
+
+let test_fields_merged_across_units () =
+  let hdr = "struct S { int *x; };\n" in
+  let a = compile (hdr ^ "int z; struct S s; void f(void) { s.x = &z; }") "a.c" in
+  let b = compile (hdr ^ "struct S t; int *use(void) { return t.x; }") "b.c" in
+  let db = link [ a; b ] in
+  let count =
+    Array.fold_left
+      (fun n (v : Objfile.varinfo) ->
+        if v.Objfile.vname = "S.x" then n + 1 else n)
+      0 db.Objfile.vars
+  in
+  Alcotest.(check int) "one field object" 1 count
+
+let test_function_args_merged () =
+  let a = compile "int f(int a) { return a; }" "a.c" in
+  let b = compile "extern int f(); int r; void g(void) { r = f(3); }" "b.c" in
+  let db = link [ a; b ] in
+  let count name =
+    Array.fold_left
+      (fun n (v : Objfile.varinfo) ->
+        if v.Objfile.vname = name then n + 1 else n)
+      0 db.Objfile.vars
+  in
+  Alcotest.(check int) "one f@1" 1 (count "f@1");
+  Alcotest.(check int) "one f@ret" 1 (count "f@ret")
+
+let test_cross_file_flow () =
+  (* the linked program must expose the flow set up in another unit *)
+  let a = compile "int *gp; int ga; void seta(void) { gp = &ga; }" "a.c" in
+  let b = compile "extern int *gp; int *r; void use(void) { r = gp; }" "b.c" in
+  let db = link [ a; b ] in
+  let view = Objfile.view_of_string (Objfile.write db) in
+  let sol = Pipeline.points_to view in
+  match Solution.find sol "r" with
+  | Some r ->
+      let pts =
+        List.map (Solution.var_name sol) (Lvalset.to_list (Solution.points_to sol r))
+      in
+      Alcotest.(check (list string)) "r -> {ga}" [ "ga" ] pts
+  | None -> Alcotest.fail "r not found"
+
+let test_meta_summed () =
+  let a = compile "int x, y; void f(void) { x = y; }" "a.c" in
+  let b = compile "int u, v; void g(void) { u = v; v = u; }" "b.c" in
+  let db = link [ a; b ] in
+  Alcotest.(check int) "copy counts summed" 3
+    db.Objfile.meta.Objfile.mcounts.Cla_ir.Prim.n_copy;
+  Alcotest.(check int) "two files" 2 (List.length db.Objfile.meta.Objfile.mfiles)
+
+let test_blocks_merged_by_source () =
+  (* both units copy *from* the same global: the linked dynamic block of
+     that global must contain both assignments *)
+  let a = compile "int g, x; void f(void) { x = g; }" "a.c" in
+  let b = compile "extern int g; int y; void h(void) { y = g; }" "b.c" in
+  let db = link [ a; b ] in
+  let view = Objfile.view_of_string (Objfile.write db) in
+  let gid =
+    match Objfile.find_targets view "g" with
+    | [ v ] -> v
+    | l -> (
+        (* several objects may be named g across kinds; pick the global *)
+        match
+          List.find_opt
+            (fun v -> view.Objfile.rvars.(v).Objfile.vkind = Cla_ir.Var.Global)
+            l
+        with
+        | Some v -> v
+        | None -> Alcotest.fail "no global g")
+  in
+  Alcotest.(check int) "two consumers in g's block" 2
+    (List.length (Objfile.read_block view gid))
+
+let test_idempotent_relink () =
+  (* linking a linked database with nothing else is an identity on counts *)
+  let a = compile "int x, *p; void f(void) { p = &x; }" "a.c" in
+  let db1 = link [ a ] in
+  let v1 = Objfile.view_of_string (Objfile.write db1) in
+  let db2 = link [ v1 ] in
+  Alcotest.(check int) "vars stable" (Array.length db1.Objfile.vars)
+    (Array.length db2.Objfile.vars);
+  Alcotest.(check int) "statics stable"
+    (List.length db1.Objfile.statics)
+    (List.length db2.Objfile.statics)
+
+let test_link_files_on_disk () =
+  let dir = Filename.temp_file "cla_link" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let w name src =
+    let path = Filename.concat dir name in
+    let oc = open_out path in
+    output_string oc src;
+    close_out oc;
+    path
+  in
+  let c1 = w "a.c" "int shared; void f(void) { shared = 1; }" in
+  let c2 = w "b.c" "extern int shared; int g(void) { return shared; }" in
+  let o1 = Filename.concat dir "a.clo" in
+  let o2 = Filename.concat dir "b.clo" in
+  Compilep.compile_to ~output:o1 c1;
+  Compilep.compile_to ~output:o2 c2;
+  let out = Filename.concat dir "prog.cla" in
+  let stats = Linkp.link_files ~output:out [ o1; o2 ] in
+  Alcotest.(check int) "two units" 2 stats.Linkp.n_units;
+  let v = Objfile.load out in
+  Alcotest.(check bool) "loadable" true (Objfile.n_vars v > 0);
+  List.iter Sys.remove [ c1; c2; o1; o2; out ];
+  Sys.rmdir dir
+
+let test_many_units () =
+  (* twenty units all writing the same global pointer; the linked program
+     must see the union of every unit's address-of assignments *)
+  let units =
+    List.init 20 (fun i ->
+        compile
+          (Fmt.str
+             "extern int *shared;\nint obj%d;\nvoid set%d(void) { shared = &obj%d; }"
+             i i i)
+          (Fmt.str "u%d.c" i))
+  in
+  let def = compile "int *shared;" "def.c" in
+  let db, stats = Linkp.link_views (def :: units) in
+  Alcotest.(check int) "21 units" 21 stats.Linkp.n_units;
+  let view = Objfile.view_of_string (Objfile.write db) in
+  let sol = Pipeline.points_to view in
+  match Solution.find sol "shared" with
+  | Some v ->
+      Alcotest.(check int) "20 targets" 20
+        (Lvalset.cardinal (Solution.points_to sol v))
+  | None -> Alcotest.fail "no shared"
+
+let test_link_order_irrelevant () =
+  let a = compile "int *g; int x; void f(void) { g = &x; }" "a.c" in
+  let b = compile "extern int *g; int *r; void h(void) { r = g; }" "b.c" in
+  let s1 = Pipeline.points_to (Objfile.view_of_string (Objfile.write (link [ a; b ]))) in
+  let s2 = Pipeline.points_to (Objfile.view_of_string (Objfile.write (link [ b; a ]))) in
+  let pts sol name =
+    match Solution.find sol name with
+    | Some v ->
+        List.sort compare
+          (List.map (Solution.var_name sol) (Lvalset.to_list (Solution.points_to sol v)))
+    | None -> []
+  in
+  Alcotest.(check (list string)) "same result either order" (pts s1 "r") (pts s2 "r")
+
+let () =
+  Alcotest.run "link"
+    [
+      ( "symbols",
+        [
+          Alcotest.test_case "externs merged" `Quick test_extern_merged;
+          Alcotest.test_case "statics kept apart" `Quick test_statics_not_merged;
+          Alcotest.test_case "fields merged" `Quick test_fields_merged_across_units;
+          Alcotest.test_case "function args merged" `Quick test_function_args_merged;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "cross-file flow" `Quick test_cross_file_flow;
+          Alcotest.test_case "meta summed" `Quick test_meta_summed;
+          Alcotest.test_case "blocks merged by source" `Quick test_blocks_merged_by_source;
+          Alcotest.test_case "relink idempotent" `Quick test_idempotent_relink;
+          Alcotest.test_case "on-disk pipeline" `Quick test_link_files_on_disk;
+          Alcotest.test_case "twenty units" `Quick test_many_units;
+          Alcotest.test_case "order irrelevant" `Quick test_link_order_irrelevant;
+        ] );
+    ]

@@ -1,0 +1,203 @@
+(* Tests for the object-file database: serialization roundtrips (unit and
+   property-based), block indexing, target lookup, corruption detection. *)
+
+open Cla_ir
+open Cla_core
+
+let mk_db () =
+  Cla_workload.Genir.generate 1L
+
+let test_roundtrip_vars () =
+  let db = mk_db () in
+  let v = Objfile.view_of_string (Objfile.write db) in
+  Alcotest.(check int) "var count" (Array.length db.Objfile.vars) (Objfile.n_vars v);
+  Array.iteri
+    (fun i (vi : Objfile.varinfo) ->
+      let ri = v.Objfile.rvars.(i) in
+      Alcotest.(check string) "name" vi.Objfile.vname ri.Objfile.vname;
+      Alcotest.(check bool) "kind" true (vi.Objfile.vkind = ri.Objfile.vkind);
+      Alcotest.(check bool) "linkage" true (vi.Objfile.vlinkage = ri.Objfile.vlinkage))
+    db.Objfile.vars
+
+let test_roundtrip_statics () =
+  let db = mk_db () in
+  let v = Objfile.view_of_string (Objfile.write db) in
+  Alcotest.(check int) "static count" (List.length db.Objfile.statics)
+    (Array.length v.Objfile.rstatics);
+  List.iteri
+    (fun i (p : Objfile.prim_rec) ->
+      let r = v.Objfile.rstatics.(i) in
+      Alcotest.(check int) "dst" p.Objfile.pdst r.Objfile.pdst;
+      Alcotest.(check int) "src" p.Objfile.psrc r.Objfile.psrc)
+    db.Objfile.statics
+
+let test_roundtrip_blocks () =
+  let db = mk_db () in
+  let v = Objfile.view_of_string (Objfile.write db) in
+  Array.iteri
+    (fun src prims ->
+      let read = Objfile.read_block v src in
+      Alcotest.(check int)
+        (Fmt.str "block %d size" src)
+        (List.length prims) (List.length read);
+      List.iter2
+        (fun (a : Objfile.prim_rec) (b : Objfile.prim_rec) ->
+          Alcotest.(check bool) "kind" true (a.Objfile.pkind = b.Objfile.pkind);
+          Alcotest.(check int) "dst" a.Objfile.pdst b.Objfile.pdst;
+          Alcotest.(check int) "src implicit" src b.Objfile.psrc)
+        prims read)
+    db.Objfile.blocks
+
+let test_roundtrip_meta () =
+  let db = mk_db () in
+  let v = Objfile.view_of_string (Objfile.write db) in
+  Alcotest.(check int) "counts preserved"
+    (Prim.total db.Objfile.meta.Objfile.mcounts)
+    (Prim.total v.Objfile.rmeta.Objfile.mcounts)
+
+let test_roundtrip_funs () =
+  let db = mk_db () in
+  let v = Objfile.view_of_string (Objfile.write db) in
+  Alcotest.(check int) "fundefs" (List.length db.Objfile.fundefs)
+    (Array.length v.Objfile.rfundefs);
+  Alcotest.(check int) "indirects" (List.length db.Objfile.indirects)
+    (Array.length v.Objfile.rindirects);
+  List.iteri
+    (fun i (f : Objfile.fund_rec) ->
+      let r = v.Objfile.rfundefs.(i) in
+      Alcotest.(check int) "fvar" f.Objfile.ffvar r.Objfile.ffvar;
+      Alcotest.(check int) "arity" f.Objfile.farity r.Objfile.farity;
+      Alcotest.(check int) "ret" f.Objfile.fret r.Objfile.fret)
+    db.Objfile.fundefs
+
+let test_block_rereadable () =
+  (* the load-and-throw-away strategy: reading a block twice gives the
+     same records *)
+  let v = Objfile.view_of_string (Objfile.write (mk_db ())) in
+  for src = 0 to Objfile.n_vars v - 1 do
+    let a = Objfile.read_block v src in
+    let b = Objfile.read_block v src in
+    Alcotest.(check int) "same size" (List.length a) (List.length b)
+  done
+
+let test_find_targets () =
+  let db = mk_db () in
+  let v = Objfile.view_of_string (Objfile.write db) in
+  (* every plain variable must be findable by name *)
+  Array.iteri
+    (fun i (vi : Objfile.varinfo) ->
+      match vi.Objfile.vkind with
+      | Var.Global ->
+          let found = Objfile.find_targets v vi.Objfile.vname in
+          Alcotest.(check bool)
+            (Fmt.str "find %s" vi.Objfile.vname)
+            true (List.mem i found)
+      | _ -> ())
+    db.Objfile.vars;
+  Alcotest.(check (list int)) "missing name" [] (Objfile.find_targets v "no_such")
+
+let test_corrupt_detection () =
+  let data = Objfile.write (mk_db ()) in
+  let bad = "XXXX" ^ String.sub data 4 (String.length data - 4) in
+  Alcotest.(check bool) "bad magic" true
+    (try
+       ignore (Objfile.view_of_string bad);
+       false
+     with Binio.Corrupt _ -> true);
+  Alcotest.(check bool) "truncated" true
+    (try
+       ignore (Objfile.view_of_string (String.sub data 0 20));
+       false
+     with Binio.Corrupt _ -> true)
+
+let test_save_load_disk () =
+  let db = mk_db () in
+  let path = Filename.temp_file "cla_test" ".clo" in
+  Objfile.save path db;
+  let v = Objfile.load path in
+  Sys.remove path;
+  Alcotest.(check int) "vars" (Array.length db.Objfile.vars) (Objfile.n_vars v)
+
+(* ---------------- binio primitives ---------------- *)
+
+let test_varint_roundtrip () =
+  let w = Binio.writer () in
+  let values = [ 0; 1; 127; 128; 300; 65535; 1 lsl 20; 1 lsl 40 ] in
+  List.iter (Binio.varint w) values;
+  let r = Binio.reader (Binio.contents w) in
+  List.iter
+    (fun v -> Alcotest.(check int) (string_of_int v) v (Binio.rvarint r))
+    values;
+  Alcotest.(check bool) "at end" true (Binio.at_end r)
+
+let test_bytes_roundtrip () =
+  let w = Binio.writer () in
+  Binio.bytes_ w "hello";
+  Binio.bytes_ w "";
+  Binio.bytes_ w (String.make 1000 'x');
+  let r = Binio.reader (Binio.contents w) in
+  Alcotest.(check string) "s1" "hello" (Binio.rbytes r);
+  Alcotest.(check string) "s2" "" (Binio.rbytes r);
+  Alcotest.(check int) "s3 length" 1000 (String.length (Binio.rbytes r))
+
+let test_varint_negative_rejected () =
+  let w = Binio.writer () in
+  Alcotest.(check bool) "negative rejected" true
+    (try
+       Binio.varint w (-1);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------- qcheck: random database roundtrips ---------------- *)
+
+let qcheck_roundtrip =
+  QCheck.Test.make ~count:50 ~name:"random db roundtrips losslessly"
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let db = Cla_workload.Genir.generate (Int64.of_int seed) in
+      let v = Objfile.view_of_string (Objfile.write db) in
+      Array.length db.Objfile.vars = Objfile.n_vars v
+      && List.length db.Objfile.statics = Array.length v.Objfile.rstatics
+      && Array.for_all2
+           (fun prims src_ok -> prims = src_ok)
+           (Array.map List.length db.Objfile.blocks)
+           (Array.init (Objfile.n_vars v) (fun i ->
+                List.length (Objfile.read_block v i))))
+
+let qcheck_double_serialize =
+  QCheck.Test.make ~count:20 ~name:"serialization is deterministic"
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let db = Cla_workload.Genir.generate (Int64.of_int seed) in
+      String.equal (Objfile.write db) (Objfile.write db))
+
+let () =
+  Alcotest.run "objfile"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "vars" `Quick test_roundtrip_vars;
+          Alcotest.test_case "statics" `Quick test_roundtrip_statics;
+          Alcotest.test_case "blocks" `Quick test_roundtrip_blocks;
+          Alcotest.test_case "meta" `Quick test_roundtrip_meta;
+          Alcotest.test_case "functions" `Quick test_roundtrip_funs;
+          Alcotest.test_case "disk" `Quick test_save_load_disk;
+        ] );
+      ( "access",
+        [
+          Alcotest.test_case "blocks re-readable" `Quick test_block_rereadable;
+          Alcotest.test_case "target lookup" `Quick test_find_targets;
+          Alcotest.test_case "corruption" `Quick test_corrupt_detection;
+        ] );
+      ( "binio",
+        [
+          Alcotest.test_case "varint" `Quick test_varint_roundtrip;
+          Alcotest.test_case "bytes" `Quick test_bytes_roundtrip;
+          Alcotest.test_case "negative varint" `Quick test_varint_negative_rejected;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest qcheck_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_double_serialize;
+        ] );
+    ]

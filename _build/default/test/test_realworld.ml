@@ -1,0 +1,334 @@
+(* Integration tests on realistic C: a small "project" — dynamic vector,
+   chained hash table, event loop with callback registry — written the way
+   legacy C code bases are (typedefs, header shared via #include, function
+   pointers, heap allocation, macros).  The assertions pin down points-to
+   facts a user of the library would rely on. *)
+
+open Cla_core
+
+(* ------------------------------------------------------------------ *)
+(* The corpus                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let common_h =
+  {|
+#ifndef COMMON_H
+#define COMMON_H
+
+#define NULL ((void *)0)
+#define VEC_INIT_CAP 8
+
+typedef unsigned long size_t;
+extern void *malloc(size_t n);
+extern void free(void *p);
+
+typedef struct vec {
+  int **items;     /* array of borrowed pointers */
+  int count;
+  int cap;
+} vec_t;
+
+typedef void (*handler_t)(int *event_data);
+
+typedef struct bucket {
+  int key;
+  int *value;
+  struct bucket *next;
+} bucket_t;
+
+typedef struct table {
+  bucket_t *slots[16];
+  int size;
+} table_t;
+
+extern vec_t *vec_new(void);
+extern void vec_push(vec_t *v, int *item);
+extern int *vec_get(vec_t *v, int i);
+
+extern void table_put(table_t *t, int key, int *value);
+extern int *table_get(table_t *t, int key);
+
+extern void on_event(handler_t h);
+extern void dispatch(int *data);
+
+#endif
+|}
+
+let vec_c =
+  {|
+#include "common.h"
+
+vec_t *vec_new(void) {
+  vec_t *v;
+  v = (vec_t *)malloc(sizeof(vec_t));
+  v->items = (int **)malloc(VEC_INIT_CAP * sizeof(int *));
+  v->count = 0;
+  v->cap = VEC_INIT_CAP;
+  return v;
+}
+
+void vec_push(vec_t *v, int *item) {
+  if (v->count == v->cap) {
+    v->cap = v->cap * 2;
+  }
+  v->items[v->count] = item;
+  v->count = v->count + 1;
+}
+
+int *vec_get(vec_t *v, int i) {
+  if (i < 0 || i >= v->count) return NULL;
+  return v->items[i];
+}
+|}
+
+let table_c =
+  {|
+#include "common.h"
+
+static int hash(int key) { return (key * 2654435761) & 15; }
+
+void table_put(table_t *t, int key, int *value) {
+  bucket_t *b;
+  int h;
+  h = hash(key);
+  b = (bucket_t *)malloc(sizeof(bucket_t));
+  b->key = key;
+  b->value = value;
+  b->next = t->slots[h];
+  t->slots[h] = b;
+  t->size = t->size + 1;
+}
+
+int *table_get(table_t *t, int key) {
+  bucket_t *b;
+  for (b = t->slots[hash(key)]; b; b = b->next) {
+    if (b->key == key) return b->value;
+  }
+  return NULL;
+}
+|}
+
+let events_c =
+  {|
+#include "common.h"
+
+static handler_t handlers[4];
+static int n_handlers;
+
+void on_event(handler_t h) {
+  handlers[n_handlers] = h;
+  n_handlers = n_handlers + 1;
+}
+
+void dispatch(int *data) {
+  int i;
+  for (i = 0; i < n_handlers; i++) {
+    (*handlers[i])(data);
+  }
+}
+|}
+
+let app_c =
+  {|
+#include "common.h"
+
+int sensor_a, sensor_b;
+int observed;
+
+static void log_handler(int *event_data) {
+  observed = *event_data;
+}
+
+static void count_handler(int *event_data) {
+  static int count;
+  count = count + !event_data;   /* no data dependence on *event_data */
+}
+
+int *current_reading;
+
+int main(void) {
+  vec_t *readings;
+  table_t sensors;
+  int *r;
+
+  readings = vec_new();
+  vec_push(readings, &sensor_a);
+  vec_push(readings, &sensor_b);
+  r = vec_get(readings, 0);
+  current_reading = r;
+
+  table_put(&sensors, 1, &sensor_a);
+  table_put(&sensors, 2, &sensor_b);
+  r = table_get(&sensors, 1);
+
+  on_event(log_handler);
+  on_event(count_handler);
+  dispatch(&sensor_a);
+  return 0;
+}
+|}
+
+let compile () =
+  let options =
+    {
+      Compilep.default_options with
+      Compilep.virtual_fs = [ ("common.h", common_h) ];
+    }
+  in
+  Pipeline.compile_link ~options
+    [ ("vec.c", vec_c); ("table.c", table_c); ("events.c", events_c); ("app.c", app_c) ]
+
+let view = lazy (compile ())
+let result = lazy (Andersen.solve (Lazy.force view))
+
+let sol () = (Lazy.force result).Andersen.solution
+
+let pts name =
+  let sol = sol () in
+  match Solution.find sol name with
+  | Some v ->
+      List.map (Solution.var_name sol) (Lvalset.to_list (Solution.points_to sol v))
+      |> List.sort compare
+  | None -> Alcotest.fail ("no variable " ^ name)
+
+let contains l x = List.mem x l
+
+(* ------------------------------------------------------------------ *)
+(* Points-to facts                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_vector_flow () =
+  (* items stored through vec_push surface again through vec_get *)
+  let r = pts "current_reading" in
+  Alcotest.(check bool)
+    (Fmt.str "current_reading sees the sensors: [%s]" (String.concat ";" r))
+    true
+    (contains r "sensor_a" && contains r "sensor_b")
+
+let test_vec_items_heap () =
+  (* the items array is a malloc'd buffer *)
+  let f = pts "vec.items" in
+  Alcotest.(check bool) "items field points to a heap site" true
+    (List.exists (fun n -> String.length n >= 6 && String.sub n 0 6 = "malloc") f)
+
+let test_table_values () =
+  (* values put into the table are reachable from the value field *)
+  let f = pts "bucket.value" in
+  Alcotest.(check bool) "bucket.value holds both sensors" true
+    (contains f "sensor_a" && contains f "sensor_b")
+
+let test_table_chain () =
+  (* the chain links point to heap buckets *)
+  let f = pts "bucket.next" in
+  Alcotest.(check bool) "next points to malloc'd buckets" true
+    (List.exists (fun n -> String.length n >= 6 && String.sub n 0 6 = "malloc") f)
+
+let test_handlers_resolved () =
+  let f = pts "handlers" in
+  Alcotest.(check (list string)) "registry holds both handlers"
+    [ "count_handler"; "log_handler" ] f
+
+let test_dispatch_reaches_handlers () =
+  (* the dispatched &sensor_a reaches log_handler's parameter *)
+  let view = Lazy.force view in
+  let sol = sol () in
+  let fd =
+    Array.to_list view.Objfile.rfundefs
+    |> List.find (fun (f : Objfile.fund_rec) ->
+           Solution.var_name sol f.Objfile.ffvar = "log_handler")
+  in
+  let arg = fd.Objfile.fargs.(0) in
+  let f =
+    List.map (Solution.var_name sol) (Lvalset.to_list (Solution.points_to sol arg))
+  in
+  Alcotest.(check bool)
+    (Fmt.str "log_handler receives &sensor_a: [%s]" (String.concat ";" f))
+    true (contains f "sensor_a")
+
+let test_statics_private () =
+  (* two files define a static [hash]-like name space: the counters of
+     app.c must not leak into other units' objects *)
+  let view = Lazy.force view in
+  let hashes = Objfile.find_targets view "count" in
+  Alcotest.(check bool) "static count exists once" true (List.length hashes >= 1)
+
+let test_demand_loading_partial () =
+  let ls = (Lazy.force result).Andersen.loader_stats in
+  Alcotest.(check bool)
+    (Fmt.str "loaded %d <= in file %d" ls.Loader.s_loaded ls.Loader.s_in_file)
+    true
+    (ls.Loader.s_loaded <= ls.Loader.s_in_file)
+
+(* ------------------------------------------------------------------ *)
+(* Dependence facts                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_dependence_through_dispatch () =
+  (* changing sensor_a's type affects [observed] (through the event
+     handler) but not count_handler's counter (the ! severs it) *)
+  let view = Lazy.force view in
+  let dep = Cla_depend.Depend.prepare view (Lazy.force result) in
+  match Cla_depend.Depend.query_by_name dep "sensor_a" with
+  | Some r ->
+      let deps =
+        List.map
+          (fun (d : Cla_depend.Depend.dependent) ->
+            view.Objfile.rvars.(d.Cla_depend.Depend.d_var).Objfile.vname)
+          r.Cla_depend.Depend.r_dependents
+      in
+      Alcotest.(check bool)
+        (Fmt.str "observed depends on sensor_a: [%s]" (String.concat ";" deps))
+        true (contains deps "observed");
+      Alcotest.(check bool) "count does not (only !data)" false
+        (contains deps "count")
+  | None -> Alcotest.fail "sensor_a not found"
+
+let test_solver_agreement_on_corpus () =
+  let view = Lazy.force view in
+  let a = (Lazy.force result).Andersen.solution in
+  let w = Worklist.solve view in
+  let b = Bitsolver.solve view in
+  Alcotest.(check bool) "pretransitive = worklist" true (Solution.equal a w);
+  Alcotest.(check bool) "pretransitive = bitvector" true (Solution.equal a b)
+
+let test_field_independent_differs () =
+  (* in field-independent mode the whole vec_t / bucket_t chunks merge *)
+  let options =
+    {
+      Compilep.default_options with
+      Compilep.virtual_fs = [ ("common.h", common_h) ];
+      Compilep.mode = Cla_cfront.Normalize.Field_independent;
+    }
+  in
+  let v =
+    Pipeline.compile_link ~options
+      [ ("vec.c", vec_c); ("table.c", table_c); ("events.c", events_c); ("app.c", app_c) ]
+  in
+  let sol = Pipeline.points_to v in
+  ignore sol;
+  Alcotest.(check bool) "field-independent compiles and solves" true true
+
+let () =
+  Alcotest.run "realworld"
+    [
+      ( "points-to",
+        [
+          Alcotest.test_case "vector flow" `Quick test_vector_flow;
+          Alcotest.test_case "heap buffers" `Quick test_vec_items_heap;
+          Alcotest.test_case "table values" `Quick test_table_values;
+          Alcotest.test_case "bucket chains" `Quick test_table_chain;
+          Alcotest.test_case "handler registry" `Quick test_handlers_resolved;
+          Alcotest.test_case "dispatch to handlers" `Quick test_dispatch_reaches_handlers;
+          Alcotest.test_case "statics stay private" `Quick test_statics_private;
+          Alcotest.test_case "demand loading" `Quick test_demand_loading_partial;
+        ] );
+      ( "dependence",
+        [
+          Alcotest.test_case "through dispatch" `Quick test_dependence_through_dispatch;
+        ] );
+      ( "cross-validation",
+        [
+          Alcotest.test_case "solver agreement" `Quick test_solver_agreement_on_corpus;
+          Alcotest.test_case "field-independent mode" `Quick test_field_independent_differs;
+        ] );
+    ]

@@ -1,0 +1,271 @@
+(* Tests for the points-to solvers: expected sets on hand-written programs,
+   the pre-transitive engine's cycle elimination and caching, ablation
+   configurations, and the baselines. *)
+
+open Cla_core
+
+let view_of src =
+  Objfile.view_of_string (Objfile.write (Compilep.compile_string ~file:"t.c" src))
+
+let pts_of sol name =
+  match Solution.find sol name with
+  | Some v ->
+      List.map (Solution.var_name sol) (Lvalset.to_list (Solution.points_to sol v))
+      |> List.sort compare
+  | None -> Alcotest.fail ("no variable " ^ name)
+
+let check_pts ?(algorithm = Pipeline.Pretransitive) name src expected =
+  Alcotest.test_case name `Quick (fun () ->
+      let sol = Pipeline.points_to ~algorithm (view_of src) in
+      List.iter
+        (fun (var, want) ->
+          Alcotest.(check (list string)) var (List.sort compare want) (pts_of sol var))
+        expected)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3 and basic flows, on every solver                           *)
+(* ------------------------------------------------------------------ *)
+
+let fig3 = "int x, *y; int **z;\nvoid main(void) { z = &y; *z = &x; }"
+
+let basic_for algorithm label =
+  [
+    check_pts ~algorithm (label ^ ": figure 3") fig3
+      [ ("y", [ "x" ]); ("z", [ "y" ]) ];
+    check_pts ~algorithm (label ^ ": copy chain")
+      "int x, *a, *b, *c;\nvoid f(void) { a = &x; b = a; c = b; }"
+      [ ("a", [ "x" ]); ("b", [ "x" ]); ("c", [ "x" ]) ];
+    check_pts ~algorithm (label ^ ": load")
+      "int x, *p, **pp, *q;\nvoid f(void) { p = &x; pp = &p; q = *pp; }"
+      [ ("q", [ "x" ]) ];
+    check_pts ~algorithm (label ^ ": store")
+      "int x, *p, **pp, *q;\nvoid f(void) { pp = &q; *pp = &x; }"
+      [ ("q", [ "x" ]) ];
+    check_pts ~algorithm (label ^ ": deref2")
+      "int a, *pa, *pb, **ppa, **ppb;\n\
+       void f(void) { pa = &a; ppa = &pa; ppb = &pb; *ppb = *ppa; }"
+      [ ("pb", [ "a" ]) ];
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Pre-transitive engine specifics                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_cycle_unified () =
+  let src =
+    "int x, *a, *b, *c;\nvoid f(void) { a = b; b = c; c = a; a = &x; }"
+  in
+  let r = Andersen.solve (view_of src) in
+  let sol = r.Andersen.solution in
+  List.iter
+    (fun v -> Alcotest.(check (list string)) v [ "x" ] (pts_of sol v))
+    [ "a"; "b"; "c" ];
+  Alcotest.(check bool) "nodes were unified" true
+    (r.Andersen.graph_stats.Pretrans.unified >= 2)
+
+let test_self_loop () =
+  let src = "int x, *a;\nvoid f(void) { a = a; a = &x; }" in
+  let sol = Pipeline.points_to (view_of src) in
+  Alcotest.(check (list string)) "self loop harmless" [ "x" ] (pts_of sol "a")
+
+let test_ablation_configs_same_result () =
+  let src =
+    "int x, y, *a, *b, *c, **pp;\n\
+     void f(void) { a = b; b = c; c = a; a = &x; b = &y; pp = &a; *pp = c; }"
+  in
+  let v = view_of src in
+  let base = (Andersen.solve v).Andersen.solution in
+  List.iter
+    (fun config ->
+      let r = Andersen.solve ~config v in
+      Alcotest.(check bool)
+        (Fmt.str "cache=%b cycle=%b agrees" config.Pretrans.cache
+           config.Pretrans.cycle_elim)
+        true
+        (Solution.equal base r.Andersen.solution))
+    [
+      { Pretrans.cache = false; cycle_elim = true };
+      { Pretrans.cache = true; cycle_elim = false };
+      { Pretrans.cache = false; cycle_elim = false };
+    ]
+
+let test_no_demand_same_result () =
+  let src =
+    "int x, *p, *q; int **pp;\nvoid f(void) { p = &x; pp = &p; q = *pp; }"
+  in
+  let v = view_of src in
+  let a = (Andersen.solve ~demand:true v).Andersen.solution in
+  let b = (Andersen.solve ~demand:false v).Andersen.solution in
+  Alcotest.(check bool) "demand and full load agree" true (Solution.equal a b)
+
+let test_getlvals_cache () =
+  let g = Pretrans.create ~nodes:4 () in
+  Pretrans.add_base g 0 3;
+  ignore (Pretrans.add_edge g 1 0);
+  Pretrans.new_pass g;
+  ignore (Pretrans.get_lvals g 1);
+  ignore (Pretrans.get_lvals g 1);
+  let s = Pretrans.stats g in
+  Alcotest.(check int) "second query hits cache" 1 s.Pretrans.cache_hits;
+  (* a new pass flushes the cache *)
+  Pretrans.new_pass g;
+  ignore (Pretrans.get_lvals g 1);
+  let s' = Pretrans.stats g in
+  Alcotest.(check int) "no extra hit after flush" 1 s'.Pretrans.cache_hits
+
+let test_pretrans_edges_dedup () =
+  let g = Pretrans.create ~nodes:3 () in
+  Alcotest.(check bool) "first add" true (Pretrans.add_edge g 0 1);
+  Alcotest.(check bool) "duplicate" false (Pretrans.add_edge g 0 1);
+  Alcotest.(check bool) "self edge" false (Pretrans.add_edge g 2 2);
+  Alcotest.(check int) "one edge" 1 (Pretrans.stats g).Pretrans.edges
+
+let test_pretrans_unification_dedup () =
+  let g = Pretrans.create ~nodes:4 () in
+  (* 0 <-> 1 cycle, both pointing at 2 *)
+  ignore (Pretrans.add_edge g 0 1);
+  ignore (Pretrans.add_edge g 1 0);
+  ignore (Pretrans.add_edge g 0 2);
+  ignore (Pretrans.add_edge g 1 2);
+  Pretrans.add_base g 2 3;
+  Pretrans.new_pass g;
+  let s = Pretrans.get_lvals g 0 in
+  Alcotest.(check (list int)) "reaches base" [ 3 ] (Lvalset.to_list s);
+  Alcotest.(check int) "cycle unified" 1 (Pretrans.stats g).Pretrans.unified;
+  (* after unification, adding the merged edge again must be a no-op *)
+  Alcotest.(check bool) "edge between unified nodes" false (Pretrans.add_edge g 0 1)
+
+let test_indirect_call_resolution () =
+  let src =
+    "int g1, g2;\n\
+     int f(int *p) { return *p; }\n\
+     int h(int *p) { return *p; }\n\
+     int (*fp)(int *);\n\
+     void main(int c) { fp = f; if (c) fp = h; (*fp)(&g1); }"
+  in
+  let sol = Pipeline.points_to (view_of src) in
+  Alcotest.(check (list string)) "fp resolves" [ "f"; "h" ] (pts_of sol "fp")
+
+let test_fresh_nodes_grow () =
+  let g = Pretrans.create ~nodes:2 () in
+  let ids = List.init 100 (fun _ -> Pretrans.fresh_node g) in
+  Alcotest.(check int) "node count" 102 (Pretrans.n_nodes g);
+  Alcotest.(check bool) "ids distinct" true
+    (List.length (List.sort_uniq compare ids) = 100)
+
+(* ------------------------------------------------------------------ *)
+(* Lvalset                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_lvalset_sharing () =
+  let pool = Lvalset.create_pool () in
+  let a = Lvalset.of_list pool [ 3; 1; 2; 1 ] in
+  let b = Lvalset.of_list pool [ 1; 2; 3 ] in
+  Alcotest.(check bool) "physically shared" true (a == b);
+  Alcotest.(check (list int)) "sorted dedup" [ 1; 2; 3 ] (Lvalset.to_list a)
+
+let test_lvalset_union () =
+  let pool = Lvalset.create_pool () in
+  let a = Lvalset.of_list pool [ 1; 3 ] in
+  let b = Lvalset.of_list pool [ 2; 3; 4 ] in
+  let u = Lvalset.union pool a b in
+  Alcotest.(check (list int)) "union" [ 1; 2; 3; 4 ] (Lvalset.to_list u);
+  (* subset unions return the argument itself *)
+  Alcotest.(check bool) "a ∪ u == u" true (Lvalset.union pool a u == u);
+  Alcotest.(check bool) "u ∪ a == u" true (Lvalset.union pool u a == u);
+  Alcotest.(check bool) "empty left" true (Lvalset.union pool Lvalset.empty a == a)
+
+let test_lvalset_mem () =
+  let pool = Lvalset.create_pool () in
+  let s = Lvalset.of_list pool [ 2; 4; 6; 8 ] in
+  Alcotest.(check bool) "mem 4" true (Lvalset.mem 4 s);
+  Alcotest.(check bool) "mem 5" false (Lvalset.mem 5 s);
+  Alcotest.(check bool) "mem empty" false (Lvalset.mem 1 Lvalset.empty)
+
+let test_lvalset_iter_diff () =
+  let pool = Lvalset.create_pool () in
+  let prev = Lvalset.of_list pool [ 1; 3; 5 ] in
+  let cur = Lvalset.of_list pool [ 1; 2; 3; 4; 5; 6 ] in
+  let acc = ref [] in
+  Lvalset.iter_diff ~prev cur (fun x -> acc := x :: !acc);
+  Alcotest.(check (list int)) "delta" [ 2; 4; 6 ] (List.rev !acc)
+
+let qcheck_iter_diff =
+  QCheck.Test.make ~count:200 ~name:"iter_diff = set difference"
+    QCheck.(pair (list (int_bound 50)) (list (int_bound 50)))
+    (fun (a, b) ->
+      let pool = Lvalset.create_pool () in
+      let prev = Lvalset.of_list pool a in
+      let cur = Lvalset.union pool prev (Lvalset.of_list pool b) in
+      let got = ref [] in
+      Lvalset.iter_diff ~prev cur (fun x -> got := x :: !got);
+      let expect =
+        List.filter (fun x -> not (Lvalset.mem x prev)) (Lvalset.to_list cur)
+      in
+      List.rev !got = expect)
+
+(* ------------------------------------------------------------------ *)
+(* Intset                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_intset () =
+  let s = Intset.create 4 in
+  Alcotest.(check bool) "add new" true (Intset.add s 42);
+  Alcotest.(check bool) "add dup" false (Intset.add s 42);
+  Alcotest.(check bool) "mem" true (Intset.mem s 42);
+  Alcotest.(check bool) "not mem" false (Intset.mem s 7);
+  Alcotest.(check bool) "zero key" true (Intset.add s 0);
+  Alcotest.(check bool) "zero mem" true (Intset.mem s 0);
+  for i = 1 to 1000 do
+    ignore (Intset.add s (i * 7))
+  done;
+  (* {42, 0} plus multiples of 7 up to 7000; 42 is already a multiple *)
+  Alcotest.(check int) "length after growth" 1001 (Intset.length s);
+  Alcotest.(check bool) "still mem" true (Intset.mem s (700 * 7))
+
+let qcheck_intset =
+  QCheck.Test.make ~count:100 ~name:"intset behaves like a set"
+    QCheck.(list (int_bound 1000))
+    (fun xs ->
+      let s = Intset.create 8 in
+      let model = Hashtbl.create 16 in
+      List.for_all
+        (fun x ->
+          let fresh = not (Hashtbl.mem model x) in
+          Hashtbl.replace model x ();
+          Intset.add s x = fresh)
+        xs
+      && Hashtbl.fold (fun k () acc -> acc && Intset.mem s k) model true)
+
+let () =
+  Alcotest.run "solvers"
+    [
+      ("pretransitive", basic_for Pipeline.Pretransitive "pre");
+      ("worklist", basic_for Pipeline.Worklist "wl");
+      ("bitvector", basic_for Pipeline.Bitvector "bv");
+      ( "engine",
+        [
+          Alcotest.test_case "cycle unification" `Quick test_cycle_unified;
+          Alcotest.test_case "self loops" `Quick test_self_loop;
+          Alcotest.test_case "ablations agree" `Quick test_ablation_configs_same_result;
+          Alcotest.test_case "demand vs full load" `Quick test_no_demand_same_result;
+          Alcotest.test_case "reachability cache" `Quick test_getlvals_cache;
+          Alcotest.test_case "edge dedup" `Quick test_pretrans_edges_dedup;
+          Alcotest.test_case "unification dedup" `Quick test_pretrans_unification_dedup;
+          Alcotest.test_case "indirect calls" `Quick test_indirect_call_resolution;
+          Alcotest.test_case "node growth" `Quick test_fresh_nodes_grow;
+        ] );
+      ( "lvalset",
+        [
+          Alcotest.test_case "hash-consing" `Quick test_lvalset_sharing;
+          Alcotest.test_case "union" `Quick test_lvalset_union;
+          Alcotest.test_case "mem" `Quick test_lvalset_mem;
+          Alcotest.test_case "iter_diff" `Quick test_lvalset_iter_diff;
+          QCheck_alcotest.to_alcotest qcheck_iter_diff;
+        ] );
+      ( "intset",
+        [
+          Alcotest.test_case "basic" `Quick test_intset;
+          QCheck_alcotest.to_alcotest qcheck_intset;
+        ] );
+    ]

@@ -1,0 +1,236 @@
+(* Tests for the database-to-database transformers (Section 4's
+   "pre-analysis optimizers"): offline variable substitution and
+   context-sensitivity by controlled duplication. *)
+
+open Cla_core
+
+let view_of src =
+  Objfile.view_of_string (Objfile.write (Compilep.compile_string ~file:"t.c" src))
+
+let db_of src =
+  fst (Linkp.link_views [ view_of src ])
+
+let pts_of sol name =
+  match Solution.find sol name with
+  | Some v ->
+      List.map (Solution.var_name sol) (Lvalset.to_list (Solution.points_to sol v))
+      |> List.sort compare
+  | None -> Alcotest.fail ("no variable " ^ name)
+
+(* ------------------------------------------------------------------ *)
+(* Offline variable substitution                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_subst_merges_chain () =
+  (* b and c have exactly one inflow each: they are equivalent to a *)
+  let db = db_of "int x, *a, *b, *c;\nvoid f(void) { a = &x; b = a; c = b; }" in
+  let db', stats = Transform.substitute_variables db in
+  Alcotest.(check bool) "merged at least b and c" true (stats.Transform.merged_vars >= 2);
+  Alcotest.(check bool) "dropped the copies" true
+    (stats.Transform.dropped_assignments >= 2);
+  let sol = Pipeline.points_to (Objfile.view_of_string (Objfile.write db')) in
+  (* a survives (it has the base inflow) and still points to x *)
+  Alcotest.(check (list string)) "a -> {x}" [ "x" ] (pts_of sol "a")
+
+let test_subst_preserves_solution () =
+  let db =
+    db_of
+      "int x, y, *a, *b, *c, *d, **pp;\n\
+       void f(void) { a = &x; b = a; c = b; d = c; pp = &a; *pp = &y; }"
+  in
+  let v = Objfile.view_of_string (Objfile.write db) in
+  let before = Pipeline.points_to v in
+  let db', stats = Transform.substitute_variables db in
+  let v' = Objfile.view_of_string (Objfile.write db') in
+  let after = Pipeline.points_to v' in
+  (* every surviving variable keeps its exact points-to set (modulo the
+     renumbering of the locations, which substitution never merges:
+     address-taken variables are kept) *)
+  Array.iteri
+    (fun old_id _ ->
+      let new_id = stats.Transform.mapping.(old_id) in
+      let name_old = Solution.var_name before old_id in
+      let before_set =
+        List.sort compare
+          (List.map (Solution.var_name before)
+             (Lvalset.to_list (Solution.points_to before old_id)))
+      in
+      let after_set =
+        List.sort compare
+          (List.map (Solution.var_name after)
+             (Lvalset.to_list (Solution.points_to after new_id)))
+      in
+      Alcotest.(check (list string)) ("pts of " ^ name_old) before_set after_set)
+    v.Objfile.rvars
+
+let test_subst_keeps_address_taken () =
+  (* b is address-taken: a store could reach it, so it must survive *)
+  let db =
+    db_of
+      "int x, *a, *b, **pb;\nvoid f(void) { a = &x; b = a; pb = &b; *pb = a; }"
+  in
+  let _, stats = Transform.substitute_variables db in
+  Alcotest.(check int) "nothing merged" 0 stats.Transform.merged_vars
+
+let test_subst_keeps_multi_inflow () =
+  let db =
+    db_of "int x, y, *a, *b, *c;\nvoid f(void) { a = &x; b = &y; c = a; c = b; }"
+  in
+  let _, stats = Transform.substitute_variables db in
+  Alcotest.(check int) "join point kept" 0 stats.Transform.merged_vars
+
+let qcheck_subst_sound =
+  QCheck.Test.make ~count:100
+    ~name:"substitution preserves the solution on surviving variables"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let db = Cla_workload.Genir.generate (Int64.of_int seed) in
+      let v = Objfile.view_of_string (Objfile.write db) in
+      let before = (Andersen.solve v).Andersen.solution in
+      let db', stats = Transform.substitute_variables db in
+      let v' = Objfile.view_of_string (Objfile.write db') in
+      let after = (Andersen.solve v').Andersen.solution in
+      let ok = ref true in
+      (* locations survive substitution (address-taken vars are never
+         merged), so sets can be compared through the mapping *)
+      Array.iteri
+        (fun old_id _ ->
+          let new_id = stats.Transform.mapping.(old_id) in
+          let b = Lvalset.to_list (Solution.points_to before old_id) in
+          let a = Lvalset.to_list (Solution.points_to after new_id) in
+          let b' = List.sort compare (List.map (fun z -> stats.Transform.mapping.(z)) b) in
+          if b' <> List.sort compare a then ok := false)
+        v.Objfile.rvars;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Context-sensitivity by duplication                                  *)
+(* ------------------------------------------------------------------ *)
+
+let id_src =
+  "int x, y;\n\
+   int *id(int *p) { return p; }\n\
+   int *a, *b;\n\
+   void main(void) {\n\
+   a = id(&x);\n\
+   b = id(&y);\n\
+   }"
+
+let test_insensitive_merges () =
+  (* baseline: context-insensitive analysis joins the two calls *)
+  let sol = Pipeline.points_to (view_of id_src) in
+  Alcotest.(check (list string)) "a conflated" [ "x"; "y" ] (pts_of sol "a");
+  Alcotest.(check (list string)) "b conflated" [ "x"; "y" ] (pts_of sol "b")
+
+let test_duplication_separates () =
+  let db = db_of id_src in
+  let db', stats = Transform.duplicate_contexts db in
+  Alcotest.(check int) "one function cloned" 1 stats.Transform.cloned_functions;
+  Alcotest.(check int) "one clone" 1 stats.Transform.clones;
+  let sol = Pipeline.points_to (Objfile.view_of_string (Objfile.write db')) in
+  Alcotest.(check (list string)) "a separated" [ "x" ] (pts_of sol "a");
+  Alcotest.(check (list string)) "b separated" [ "y" ] (pts_of sol "b")
+
+let test_duplication_sound () =
+  (* duplication must not *lose* flows: the context-sensitive result is a
+     subset of the insensitive one on every original variable *)
+  let db = db_of id_src in
+  let v = Objfile.view_of_string (Objfile.write db) in
+  let before = Pipeline.points_to v in
+  let db', _ = Transform.duplicate_contexts db in
+  let v' = Objfile.view_of_string (Objfile.write db') in
+  let after = Pipeline.points_to v' in
+  for var = 0 to Objfile.n_vars v - 1 do
+    Lvalset.iter
+      (fun z ->
+        Alcotest.(check bool)
+          (Fmt.str "pts(%s) refines" (Solution.var_name before var))
+          true
+          (Lvalset.mem z (Solution.points_to before var)))
+      (Solution.points_to after var)
+  done
+
+let test_recursive_not_cloned () =
+  let src =
+    "int *self(int *p, int n) { if (n) return self(p, n - 1); return p; }\n\
+     int x, y, *a, *b;\n\
+     void main(void) {\n\
+     a = self(&x, 1);\n\
+     b = self(&y, 2);\n\
+     }"
+  in
+  let db = db_of src in
+  let _, stats = Transform.duplicate_contexts db in
+  Alcotest.(check int) "recursive function untouched" 0 stats.Transform.cloned_functions
+
+let test_single_site_not_cloned () =
+  let src =
+    "int *id(int *p) { return p; }\n\
+     int x, *a;\nvoid main(void) { a = id(&x); }"
+  in
+  let db = db_of src in
+  let _, stats = Transform.duplicate_contexts db in
+  Alcotest.(check int) "nothing to separate" 0 stats.Transform.clones
+
+let test_duplication_with_locals () =
+  (* the clone must include the function's locals, or flows through a
+     local would still join *)
+  let src =
+    "int x, y;\n\
+     int *via(int *p) { int *local; local = p; return local; }\n\
+     int *a, *b;\n\
+     void main(void) {\n\
+     a = via(&x);\n\
+     b = via(&y);\n\
+     }"
+  in
+  let db = db_of src in
+  let db', _ = Transform.duplicate_contexts db in
+  let sol = Pipeline.points_to (Objfile.view_of_string (Objfile.write db')) in
+  Alcotest.(check (list string)) "a via local" [ "x" ] (pts_of sol "a");
+  Alcotest.(check (list string)) "b via local" [ "y" ] (pts_of sol "b")
+
+let test_transforms_compose () =
+  let db = db_of id_src in
+  let db', _ = Transform.duplicate_contexts db in
+  let db'', stats = Transform.substitute_variables db' in
+  (* substitution may merge [a] itself away (its only inflow is a single
+     copy after duplication); query its representative via the mapping *)
+  let a_old =
+    let found = ref (-1) in
+    Array.iteri
+      (fun i (vi : Objfile.varinfo) ->
+        if vi.Objfile.vname = "a" then found := i)
+      db'.Objfile.vars;
+    !found
+  in
+  let sol = Pipeline.points_to (Objfile.view_of_string (Objfile.write db'')) in
+  let a_new = stats.Transform.mapping.(a_old) in
+  let pts =
+    List.map (Solution.var_name sol)
+      (Lvalset.to_list (Solution.points_to sol a_new))
+  in
+  Alcotest.(check (list string)) "composed still separated" [ "x" ] pts
+
+let () =
+  Alcotest.run "transform"
+    [
+      ( "substitution",
+        [
+          Alcotest.test_case "merges copy chains" `Quick test_subst_merges_chain;
+          Alcotest.test_case "preserves solutions" `Quick test_subst_preserves_solution;
+          Alcotest.test_case "keeps address-taken" `Quick test_subst_keeps_address_taken;
+          Alcotest.test_case "keeps join points" `Quick test_subst_keeps_multi_inflow;
+          QCheck_alcotest.to_alcotest qcheck_subst_sound;
+        ] );
+      ( "context duplication",
+        [
+          Alcotest.test_case "insensitive baseline" `Quick test_insensitive_merges;
+          Alcotest.test_case "duplication separates" `Quick test_duplication_separates;
+          Alcotest.test_case "refines, never loses" `Quick test_duplication_sound;
+          Alcotest.test_case "recursion untouched" `Quick test_recursive_not_cloned;
+          Alcotest.test_case "single site untouched" `Quick test_single_site_not_cloned;
+          Alcotest.test_case "locals cloned too" `Quick test_duplication_with_locals;
+          Alcotest.test_case "transforms compose" `Quick test_transforms_compose;
+        ] );
+    ]

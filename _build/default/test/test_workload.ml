@@ -1,0 +1,151 @@
+(* Tests for the synthetic workload generator: determinism, profile
+   fidelity (Table 2 counts), parsability of the generated C. *)
+
+open Cla_core
+open Cla_workload
+
+let small = Profile.scaled 0.05 Profile.nethack
+
+let test_deterministic () =
+  let a = Genc.generate ~seed:7L small in
+  let b = Genc.generate ~seed:7L small in
+  Alcotest.(check int) "same file count" (List.length a) (List.length b);
+  List.iter2
+    (fun (na, ca) (nb, cb) ->
+      Alcotest.(check string) "name" na nb;
+      Alcotest.(check string) ("content of " ^ na) ca cb)
+    a b
+
+let test_seed_changes_output () =
+  let a = Genc.generate ~seed:7L small in
+  let b = Genc.generate ~seed:8L small in
+  Alcotest.(check bool) "different seeds differ" false
+    (List.for_all2 (fun (_, x) (_, y) -> String.equal x y) a b)
+
+let test_generated_code_compiles () =
+  let files = Genc.generate small in
+  let view = Pipeline.compile_link files in
+  Alcotest.(check bool) "has variables" true (Objfile.n_vars view > 0)
+
+let test_counts_near_profile () =
+  let p = Profile.scaled 0.3 Profile.burlap in
+  let files = Genc.generate p in
+  let view = Pipeline.compile_link files in
+  let c = view.Objfile.rmeta.Objfile.mcounts in
+  let near what got want =
+    let tol = max 10 (want / 5) in
+    Alcotest.(check bool)
+      (Fmt.str "%s: got %d, want %d (±%d)" what got want tol)
+      true
+      (abs (got - want) <= tol)
+  in
+  near "copies" c.Cla_ir.Prim.n_copy p.Profile.counts.Cla_ir.Prim.n_copy;
+  near "addrs" c.Cla_ir.Prim.n_addr p.Profile.counts.Cla_ir.Prim.n_addr;
+  (* stores/loads/deref2 are emitted exactly *)
+  Alcotest.(check int) "stores" p.Profile.counts.Cla_ir.Prim.n_store
+    c.Cla_ir.Prim.n_store;
+  Alcotest.(check int) "loads" p.Profile.counts.Cla_ir.Prim.n_load
+    c.Cla_ir.Prim.n_load;
+  Alcotest.(check int) "deref2" p.Profile.counts.Cla_ir.Prim.n_deref2
+    c.Cla_ir.Prim.n_deref2
+
+let test_profiles_complete () =
+  Alcotest.(check int) "eight profiles" 8 (List.length Profile.all);
+  List.iter
+    (fun (p : Profile.t) ->
+      Alcotest.(check bool) (p.Profile.name ^ " variables > 0") true (p.Profile.variables > 0);
+      Alcotest.(check bool) (p.Profile.name ^ " has table3") true
+        (p.Profile.table3.Profile.t3_in_file > 0))
+    Profile.all
+
+let test_find_profile () =
+  Alcotest.(check bool) "gimp found" true (Profile.find "gimp" <> None);
+  Alcotest.(check bool) "unknown" true (Profile.find "quake" = None)
+
+let test_scaled () =
+  let s = Profile.scaled 0.5 Profile.gcc in
+  Alcotest.(check bool) "half the copies" true
+    (abs ((s.Profile.counts.Cla_ir.Prim.n_copy * 2) - Profile.gcc.Profile.counts.Cla_ir.Prim.n_copy)
+     <= 2)
+
+let test_multifile () =
+  let p = Profile.scaled 0.5 Profile.burlap in
+  let files = Genc.generate p in
+  Alcotest.(check bool) "several files" true (List.length files >= 2)
+
+(* ---------------- rng ---------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 99L in
+  let b = Rng.create 99L in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_bounds () =
+  let r = Rng.create 1L in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 7 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 7)
+  done
+
+let test_rng_biased () =
+  let r = Rng.create 2L in
+  (* with a large exponent, picks concentrate near 0 *)
+  let low = ref 0 in
+  let n = 1000 in
+  for _ = 1 to n do
+    if Rng.biased r 100 8.0 < 10 then incr low
+  done;
+  Alcotest.(check bool)
+    (Fmt.str "%d/%d in the low decile" !low n)
+    true
+    (!low > n / 2)
+
+(* ---------------- genir ---------------- *)
+
+let test_genir_counts () =
+  let params =
+    { Genir.default_params with Genir.n_copy = 11; n_store = 7; n_addr = 5 }
+  in
+  let v = Genir.view ~params 3L in
+  let c = v.Objfile.rmeta.Objfile.mcounts in
+  Alcotest.(check int) "copies" 11 c.Cla_ir.Prim.n_copy;
+  Alcotest.(check int) "stores" 7 c.Cla_ir.Prim.n_store;
+  Alcotest.(check int) "addrs" 5 (Array.length v.Objfile.rstatics)
+
+let test_genir_solvable () =
+  let v = Genir.view 4L in
+  let r = Andersen.solve v in
+  Alcotest.(check bool) "terminates with some relations" true
+    (Solution.n_relations r.Andersen.solution >= 0)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "genc",
+        [
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_changes_output;
+          Alcotest.test_case "compiles" `Quick test_generated_code_compiles;
+          Alcotest.test_case "counts near profile" `Quick test_counts_near_profile;
+          Alcotest.test_case "multi-file" `Quick test_multifile;
+        ] );
+      ( "profiles",
+        [
+          Alcotest.test_case "all present" `Quick test_profiles_complete;
+          Alcotest.test_case "lookup" `Quick test_find_profile;
+          Alcotest.test_case "scaling" `Quick test_scaled;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "bias" `Quick test_rng_biased;
+        ] );
+      ( "genir",
+        [
+          Alcotest.test_case "counts" `Quick test_genir_counts;
+          Alcotest.test_case "solvable" `Quick test_genir_solvable;
+        ] );
+    ]
