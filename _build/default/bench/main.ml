@@ -25,6 +25,9 @@
 
 open Cla_core
 open Cla_workload
+module Obs = Cla_obs.Obs
+module Span = Cla_obs.Span
+module Json = Cla_obs.Json
 
 let quick = ref false
 let sections = ref []
@@ -53,7 +56,32 @@ let heap_mb () =
   let s = Gc.quick_stat () in
   float_of_int (s.Gc.heap_words * 8) /. 1e6
 
-let user_time () = (Unix.times ()).Unix.tms_utime
+(* All timing below goes through Cla_obs spans: run [f] with recording
+   on and return its result plus the recorded top-level spans. *)
+let with_recording f =
+  Obs.enable ();
+  Obs.reset ();
+  let r = f () in
+  Obs.disable ();
+  (r, Span.roots ())
+
+(* Wall-clock a thunk that carries no spans of its own. *)
+let time f =
+  let (), spans =
+    with_recording (fun () -> Obs.with_span "run" (fun () -> ignore (f ())))
+  in
+  match Span.find "run" spans with Some s -> s.Span.wall_s | None -> 0.
+
+(* The analyze span of a recorded Andersen.solve run. *)
+let analyze_span spans =
+  match Span.find "analyze" spans with
+  | Some s -> s
+  | None -> failwith "no analyze span recorded"
+
+(* One row per profile run lands here and is written to
+   BENCH_pipeline.json at exit — the start of the repo's perf
+   trajectory. *)
+let bench_rows : Json.t list ref = ref []
 
 (* Per-profile workload cache: generating + compiling gimp takes a while,
    so each (profile, mode) is compiled once and reused across sections. *)
@@ -111,6 +139,65 @@ let table2 () =
 (* Table 3: analysis results                                           *)
 (* ------------------------------------------------------------------ *)
 
+(* The Table-3 row of one profile run, as a BENCH_pipeline.json record:
+   profile identity, per-phase span timings, the paper's Table 3 metrics,
+   and the pre-transitive graph statistics with per-pass convergence. *)
+let bench_row (p : Profile.t) ~compile_link_s ~heap_mb (a : Span.t)
+    (r : Andersen.result) : Json.t =
+  let sol = r.Andersen.solution in
+  let ls = r.Andersen.loader_stats in
+  let gs = r.Andersen.graph_stats in
+  Json.Obj
+    [
+      ("profile", Json.Str p.Profile.name);
+      ("scale", Json.Float p.Profile.scale);
+      ( "phases",
+        Json.Obj
+          [
+            ("compile_link_wall_s", Json.Float compile_link_s);
+            ("analyze_wall_s", Json.Float a.Span.wall_s);
+            ("analyze_user_s", Json.Float a.Span.user_s);
+            ("analyze_gc_minor_words", Json.Float a.Span.gc_minor_words);
+            ("analyze_gc_major_words", Json.Float a.Span.gc_major_words);
+          ] );
+      ( "table3",
+        Json.Obj
+          [
+            ("pointer_vars", Json.Int (Solution.n_pointer_vars sol));
+            ("relations", Json.Int (Solution.n_relations sol));
+            ("heap_mb", Json.Float heap_mb);
+            ("in_core", Json.Int ls.Loader.s_in_core);
+            ("loaded", Json.Int ls.Loader.s_loaded);
+            ("in_file", Json.Int ls.Loader.s_in_file);
+            ("reloads", Json.Int ls.Loader.s_reloads);
+          ] );
+      ( "graph",
+        Json.Obj
+          [
+            ("nodes", Json.Int gs.Pretrans.nodes);
+            ("edges", Json.Int gs.Pretrans.edges);
+            ("unified", Json.Int gs.Pretrans.unified);
+            ("queries", Json.Int gs.Pretrans.queries);
+            ("visits", Json.Int gs.Pretrans.visits);
+            ("cache_hits", Json.Int gs.Pretrans.cache_hits);
+          ] );
+      ("passes", Json.Int r.Andersen.passes);
+      ( "pass_log",
+        Json.Arr
+          (List.map
+             (fun (ps : Andersen.pass_stats) ->
+               Json.Obj
+                 [
+                   ("pass", Json.Int ps.Andersen.ps_pass);
+                   ("edges_added", Json.Int ps.Andersen.ps_edges_added);
+                   ( "lvals_discovered",
+                     Json.Int ps.Andersen.ps_lvals_discovered );
+                   ("unified", Json.Int ps.Andersen.ps_unified);
+                   ("queries", Json.Int ps.Andersen.ps_queries);
+                 ])
+             r.Andersen.pass_log) );
+    ]
+
 let table3 () =
   hr ();
   Fmt.pr "TABLE 3: field-based points-to analysis, demand loading@.";
@@ -119,29 +206,32 @@ let table3 () =
     "relations" "real" "user" "heap MB" "in core" "loaded" "in file";
   List.iter
     (fun (p : Profile.t) ->
-      let v = compiled p in
+      (* record compile+link spans too (zero if the workload is cached) *)
+      let v, cspans = with_recording (fun () -> compiled p) in
+      let compile_link_s =
+        Span.total_wall "compile" cspans +. Span.total_wall "link" cspans
+      in
       Gc.compact ();
       let h0 = heap_mb () in
-      let t0 = Unix.gettimeofday () in
-      let u0 = user_time () in
-      let r = Andersen.solve v in
-      let t1 = Unix.gettimeofday () in
-      let u1 = user_time () in
+      let r, aspans = with_recording (fun () -> Andersen.solve v) in
       let h1 = heap_mb () in
+      let a = analyze_span aspans in
+      let heap = Float.max 0. (h1 -. h0) in
       let ls = r.Andersen.loader_stats in
       Fmt.pr "%-10s %2s %8d %10s %7.2fs %7.2fs %8.1f %9d %9d %9d@."
         p.Profile.name "m:"
         (Solution.n_pointer_vars r.Andersen.solution)
         (k (Solution.n_relations r.Andersen.solution))
-        (t1 -. t0) (u1 -. u0)
-        (Float.max 0. (h1 -. h0))
-        ls.Loader.s_in_core ls.Loader.s_loaded ls.Loader.s_in_file;
+        a.Span.wall_s a.Span.user_s heap ls.Loader.s_in_core
+        ls.Loader.s_loaded ls.Loader.s_in_file;
       let t3 = p.Profile.table3 in
       Fmt.pr "%-10s %2s %8d %10s %7.2fs %7.2fs %8.1f %9d %9d %9d@." "" "p:"
         t3.Profile.t3_pointer_vars
         (k t3.Profile.t3_relations)
         t3.Profile.t3_real_s t3.Profile.t3_user_s t3.Profile.t3_size_mb
-        t3.Profile.t3_in_core t3.Profile.t3_loaded t3.Profile.t3_in_file)
+        t3.Profile.t3_in_core t3.Profile.t3_loaded t3.Profile.t3_in_file;
+      bench_rows :=
+        bench_row p ~compile_link_s ~heap_mb:heap a r :: !bench_rows)
     (profiles ())
 
 (* ------------------------------------------------------------------ *)
@@ -158,12 +248,10 @@ let table4 () =
     (fun (p : Profile.t) ->
       let run mode =
         let v = compiled ~mode p in
-        let u0 = user_time () in
-        let r = Andersen.solve v in
-        let u1 = user_time () in
+        let r, spans = with_recording (fun () -> Andersen.solve v) in
         ( Solution.n_pointer_vars r.Andersen.solution,
           Solution.n_relations r.Andersen.solution,
-          u1 -. u0 )
+          (analyze_span spans).Span.user_s )
       in
       let fb_p, fb_r, fb_t = run Cla_cfront.Normalize.Field_based in
       let fi_p, fi_r, fi_t = run Cla_cfront.Normalize.Field_independent in
@@ -267,11 +355,6 @@ let solvers () =
   hr ();
   Fmt.pr "%-10s %14s %14s %14s %14s@." "bench" "pretransitive" "worklist"
     "bitvector" "steensgaard";
-  let time f =
-    let t0 = Unix.gettimeofday () in
-    ignore (f ());
-    Unix.gettimeofday () -. t0
-  in
   List.iter
     (fun (p : Profile.t) ->
       let v = compiled p in
@@ -304,14 +387,10 @@ let transforms () =
         List.length d.Objfile.statics
         + Array.fold_left (fun a l -> a + List.length l) 0 d.Objfile.blocks
       in
-      let t0 = Unix.gettimeofday () in
-      ignore (Andersen.solve v);
-      let t_before = Unix.gettimeofday () -. t0 in
+      let t_before = time (fun () -> Andersen.solve v) in
       let db', _ = Transform.substitute_variables db in
       let v' = Objfile.view_of_string (Objfile.write db') in
-      let t1 = Unix.gettimeofday () in
-      ignore (Andersen.solve v');
-      let t_after = Unix.gettimeofday () -. t1 in
+      let t_after = time (fun () -> Andersen.solve v') in
       Fmt.pr "%-10s %10d %10d %10d %10d %9.3fs %9.3fs@." p.Profile.name
         (Array.length db.Objfile.vars)
         (Array.length db'.Objfile.vars)
@@ -450,5 +529,16 @@ let () =
   if want "transforms" then transforms ();
   if want "figures" then figures ();
   if want "bechamel" then bechamel ();
+  if !bench_rows <> [] then begin
+    Json.write_file "BENCH_pipeline.json"
+      (Json.Obj
+         [
+           ("schema", Json.Str "cla.bench.pipeline/v1");
+           ("quick", Json.Bool !quick);
+           ("rows", Json.Arr (List.rev !bench_rows));
+         ]);
+    Fmt.pr "wrote BENCH_pipeline.json (%d row(s))@."
+      (List.length !bench_rows)
+  end;
   hr ();
   Fmt.pr "total bench time: %.1fs@." (Unix.gettimeofday () -. t0)

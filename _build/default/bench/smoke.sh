@@ -1,0 +1,30 @@
+#!/bin/sh
+# Pipeline smoke test for the observability export path: generate a
+# small synthetic workload, run it through compile -> link -> analyze
+# with --stats-json, and check the export carries the expected metrics.
+# Wired into `dune runtest` (see bench/dune); takes the cla binary as $1.
+set -eu
+
+cla=${1:?usage: smoke.sh path/to/cla.exe}
+case "$cla" in
+  /*) : ;;
+  *) cla=$(pwd)/$cla ;;
+esac
+
+dir=$(mktemp -d)
+trap 'rm -rf "$dir"' EXIT INT TERM
+cd "$dir"
+
+"$cla" gen nethack --scale 0.05 --dir src >/dev/null
+"$cla" compile src/*.c >/dev/null
+"$cla" link src/*.clo -o prog.cla >/dev/null
+"$cla" analyze prog.cla --stats-json stats.json >/dev/null
+
+for key in '"analyze.passes"' '"analyze.pretrans.cache_hits"' '"load.blocks.in_core"'; do
+  grep -q "$key" stats.json || {
+    echo "smoke.sh: $key missing from stats.json" >&2
+    cat stats.json >&2
+    exit 1
+  }
+done
+echo "smoke.sh: ok"

@@ -36,6 +36,65 @@ let to_exit = function
       1
 
 (* ------------------------------------------------------------------ *)
+(* Observability options (compile, link, analyze)                      *)
+(* ------------------------------------------------------------------ *)
+
+type obs_opts = {
+  o_stats : bool;
+  o_stats_json : string option;
+  o_trace : string option;
+}
+
+let obs_term =
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Print the span tree and metrics registry after the command.")
+  in
+  let stats_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats-json" ] ~docv:"FILE"
+          ~doc:
+            "Dump the full metrics registry and span tree as JSON to \
+             $(docv).")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write Chrome trace_event JSON to $(docv) (load in \
+             chrome://tracing or ui.perfetto.dev).")
+  in
+  Term.(
+    const (fun o_stats o_stats_json o_trace ->
+        { o_stats; o_stats_json; o_trace })
+    $ stats $ stats_json $ trace)
+
+(* Enable span recording iff some sink asked for it (spans are no-ops
+   otherwise), run, then emit to every requested sink. *)
+let with_obs o f =
+  let active = o.o_stats || o.o_stats_json <> None || o.o_trace <> None in
+  if active then Cla_obs.Obs.enable ();
+  let r = f () in
+  match r with
+  | Ok () when active -> (
+      if o.o_stats then
+        Fmt.pr "%a" (fun ppf () -> Cla_obs.Export.pp_table ppf ()) ();
+      try
+        Option.iter (fun p -> Cla_obs.Export.write_json p) o.o_stats_json;
+        Option.iter
+          (fun p -> Cla_obs.Trace.write p (Cla_obs.Span.roots ()))
+          o.o_trace;
+        r
+      with Sys_error msg -> Error msg)
+  | _ -> r
+
+(* ------------------------------------------------------------------ *)
 (* Common options                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -98,24 +157,25 @@ let compile_cmd =
       & info [ "o"; "output" ] ~docv:"FILE.clo"
           ~doc:"Output object file (default: source with .clo extension).")
   in
-  let run options sources output =
-    handle_errors (fun () ->
-        List.iter
-          (fun src ->
-            let out =
-              match (output, sources) with
-              | Some o, [ _ ] -> o
-              | _ -> Filename.remove_extension src ^ ".clo"
-            in
-            Compilep.compile_to ~options ~output:out src;
-            Fmt.pr "%s -> %s@." src out)
-          sources;
-        Ok ())
+  let run options sources output obs =
+    with_obs obs (fun () ->
+        handle_errors (fun () ->
+            List.iter
+              (fun src ->
+                let out =
+                  match (output, sources) with
+                  | Some o, [ _ ] -> o
+                  | _ -> Filename.remove_extension src ^ ".clo"
+                in
+                Compilep.compile_to ~options ~output:out src;
+                Fmt.pr "%s -> %s@." src out)
+              sources;
+            Ok ()))
     |> to_exit
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Parse C sources into CLA object files (no analysis).")
-    Term.(const run $ options_term $ sources $ output)
+    Term.(const run $ options_term $ sources $ output $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* link                                                                *)
@@ -129,18 +189,19 @@ let link_cmd =
       & opt string "prog.cla"
       & info [ "o"; "output" ] ~docv:"FILE.cla" ~doc:"Linked database output.")
   in
-  let run objects output =
-    handle_errors (fun () ->
-        let stats = Linkp.link_files ~output objects in
-        Fmt.pr "%d unit(s) -> %s: %d objects (%d extern references merged)@."
-          stats.Linkp.n_units output stats.Linkp.n_vars_out
-          stats.Linkp.n_extern_merged;
-        Ok ())
+  let run objects output obs =
+    with_obs obs (fun () ->
+        handle_errors (fun () ->
+            let stats = Linkp.link_files ~output objects in
+            Fmt.pr "%d unit(s) -> %s: %d objects (%d extern references merged)@."
+              stats.Linkp.n_units output stats.Linkp.n_vars_out
+              stats.Linkp.n_extern_merged;
+            Ok ()))
     |> to_exit
   in
   Cmd.v
     (Cmd.info "link" ~doc:"Merge object files into one database, linking global symbols.")
-    Term.(const run $ objects $ output)
+    Term.(const run $ objects $ output $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* analyze                                                             *)
@@ -202,44 +263,49 @@ let analyze_cmd =
     done;
     Fmt.pr "@.}@."
   in
-  let run db algo print_sets json no_cache no_cycle =
-    handle_errors (fun () ->
-        let* algorithm =
-          match Pipeline.algorithm_of_string algo with
-          | Some a -> Ok a
-          | None -> Error (Fmt.str "unknown algorithm %S" algo)
-        in
-        let view = Objfile.load db in
-        let t0 = Unix.gettimeofday () in
-        let sol, extra =
-          match algorithm with
-          | Pipeline.Pretransitive ->
-              let config =
-                { Pretrans.cache = not no_cache; cycle_elim = not no_cycle }
-              in
-              let r = Andersen.solve ~config view in
-              let ls = r.Andersen.loader_stats in
-              ( r.Andersen.solution,
-                Fmt.str " passes=%d in-core=%d loaded=%d in-file=%d"
-                  r.Andersen.passes ls.Loader.s_in_core ls.Loader.s_loaded
-                  ls.Loader.s_in_file )
-          | _ -> (Pipeline.points_to ~algorithm view, "")
-        in
-        let dt = Unix.gettimeofday () -. t0 in
-        if json then print_json sol
-        else begin
-          if print_sets then Fmt.pr "%a" Solution.pp sol;
-          Fmt.pr "%s: %d pointer variables, %d points-to relations, %.3fs%s@."
-            (Pipeline.algorithm_name algorithm)
-            (Solution.n_pointer_vars sol)
-            (Solution.n_relations sol) dt extra
-        end;
-        Ok ())
+  let run db algo print_sets json no_cache no_cycle obs =
+    with_obs obs (fun () ->
+        handle_errors (fun () ->
+            let* algorithm =
+              match Pipeline.algorithm_of_string algo with
+              | Some a -> Ok a
+              | None -> Error (Fmt.str "unknown algorithm %S" algo)
+            in
+            Cla_obs.Metrics.set_str "analyze.algorithm"
+              (Pipeline.algorithm_name algorithm);
+            let view =
+              Cla_obs.Obs.with_span "load" ~label:db (fun () -> Objfile.load db)
+            in
+            let t0 = Unix.gettimeofday () in
+            let sol, extra =
+              match algorithm with
+              | Pipeline.Pretransitive ->
+                  let config =
+                    { Pretrans.cache = not no_cache; cycle_elim = not no_cycle }
+                  in
+                  let r = Andersen.solve ~config view in
+                  let ls = r.Andersen.loader_stats in
+                  ( r.Andersen.solution,
+                    Fmt.str " passes=%d in-core=%d loaded=%d in-file=%d"
+                      r.Andersen.passes ls.Loader.s_in_core ls.Loader.s_loaded
+                      ls.Loader.s_in_file )
+              | _ -> (Pipeline.points_to ~algorithm view, "")
+            in
+            let dt = Unix.gettimeofday () -. t0 in
+            if json then print_json sol
+            else begin
+              if print_sets then Fmt.pr "%a" Solution.pp sol;
+              Fmt.pr "%s: %d pointer variables, %d points-to relations, %.3fs%s@."
+                (Pipeline.algorithm_name algorithm)
+                (Solution.n_pointer_vars sol)
+                (Solution.n_relations sol) dt extra
+            end;
+            Ok ()))
     |> to_exit
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Run a points-to analysis over a linked database.")
-    Term.(const run $ db $ algo $ print_sets $ json $ no_cache $ no_cycle)
+    Term.(const run $ db $ algo $ print_sets $ json $ no_cache $ no_cycle $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* depend                                                              *)

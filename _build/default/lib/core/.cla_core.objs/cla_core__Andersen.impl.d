@@ -1,1 +1,1 @@
-lib/core/andersen.ml: Array Bytes Cla_ir Hashtbl List Loader Lvalset Objfile Pretrans Solution
+lib/core/andersen.ml: Array Bytes Cla_ir Cla_obs Hashtbl List Loader Lvalset Objfile Pretrans Solution

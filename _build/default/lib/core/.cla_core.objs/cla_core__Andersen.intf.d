@@ -1,1 +1,1 @@
-lib/core/andersen.mli: Bytes Cla_ir Hashtbl Loader Lvalset Objfile Pretrans Solution
+lib/core/andersen.mli: Bytes Cla_ir Cla_obs Hashtbl Loader Lvalset Objfile Pretrans Solution

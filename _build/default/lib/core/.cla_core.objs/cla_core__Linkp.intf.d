@@ -1,1 +1,1 @@
-lib/core/linkp.mli: Objfile
+lib/core/linkp.mli: Cla_obs Objfile

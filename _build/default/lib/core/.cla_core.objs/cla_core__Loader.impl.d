@@ -1,1 +1,1 @@
-lib/core/loader.ml: Array Bytes Cla_ir List Objfile Prim
+lib/core/loader.ml: Array Bytes Cla_ir Cla_obs List Objfile Prim

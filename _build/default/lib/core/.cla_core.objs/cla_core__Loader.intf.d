@@ -1,1 +1,1 @@
-lib/core/loader.mli: Objfile
+lib/core/loader.mli: Cla_obs Objfile

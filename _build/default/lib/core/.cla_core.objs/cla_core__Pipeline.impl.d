@@ -1,1 +1,1 @@
-lib/core/pipeline.ml: Andersen Bitsolver Compilep Linkp List Objfile Solution Steensgaard Worklist
+lib/core/pipeline.ml: Andersen Bitsolver Cla_obs Compilep Linkp List Objfile Solution Steensgaard Worklist

@@ -1,1 +1,1 @@
-lib/core/pretrans.ml: Array Dynarr Intset List Lvalset
+lib/core/pretrans.ml: Array Cla_obs Dynarr Intset List Lvalset

@@ -1,1 +1,1 @@
-lib/core/pretrans.mli: Lvalset
+lib/core/pretrans.mli: Cla_obs Lvalset

@@ -1,1 +1,1 @@
-lib/core/solution.ml: Array Cla_ir Fmt Lvalset Objfile Var
+lib/core/solution.ml: Array Cla_ir Fmt Lvalset Objfile Printf Var

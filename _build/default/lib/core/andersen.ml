@@ -44,6 +44,19 @@ type t = {
   mutable linked_copies : (int * int * Cla_ir.Loc.t) list;
       (* analysis-time copies (dst, src) from indirect-call linking *)
   iseen : Lvalset.t array;  (* per indirect record: lvals already linked *)
+  mutable pass_log : pass_stats list;
+      (* per-pass convergence counters, reverse order *)
+}
+
+(* Convergence counters for one pass of Figure 5's loop — the visible
+   shape of the fixpoint iteration. *)
+and pass_stats = {
+  ps_pass : int;  (* 1-based pass number *)
+  ps_edges_added : int;
+  ps_lvals_discovered : int;  (* new lvals fed to difference propagation *)
+  ps_unified : int;
+  ps_queries : int;
+  ps_changed : bool;
 }
 
 let deref_node st y =
@@ -137,6 +150,7 @@ let init ?(config = Pretrans.default_config) ?(demand = true) view =
         Array.make
           (max 1 (Array.length view.Objfile.rindirects))
           Lvalset.empty;
+      pass_log = [];
     }
   in
   Array.iter
@@ -160,8 +174,12 @@ let init ?(config = Pretrans.default_config) ?(demand = true) view =
    changed. *)
 let pass st =
   st.passes <- st.passes + 1;
+  Cla_obs.Obs.with_span "analyze.pass" ~label:(string_of_int st.passes)
+  @@ fun () ->
+  let before = Pretrans.stats st.g in
   Pretrans.new_pass st.g;
   let changed = ref false in
+  let discovered = ref 0 in
   List.iter
     (fun c ->
       let lv = Pretrans.get_lvals st.g c.cptr in
@@ -172,6 +190,7 @@ let pass st =
         | Kstore ->
             (* for each new &z in getLvals(n_x): add edge n_z -> n_y *)
             Lvalset.iter_diff ~prev:c.cseen lv (fun z ->
+                incr discovered;
                 if Pretrans.add_edge st.g z c.cother then begin
                   changed := true;
                   if st.demand then activate st z
@@ -179,6 +198,7 @@ let pass st =
         | Kload ->
             (* for each new &z in getLvals(n_y): add edge n_*y -> n_z *)
             Lvalset.iter_diff ~prev:c.cseen lv (fun z ->
+                incr discovered;
                 if Pretrans.add_edge st.g c.cother z then changed := true));
         c.cseen <- lv
       end)
@@ -190,6 +210,7 @@ let pass st =
       if Lvalset.cardinal lv > Lvalset.cardinal st.iseen.(idx) then begin
       Lvalset.iter_diff ~prev:st.iseen.(idx) lv
         (fun gv ->
+          incr discovered;
           match Hashtbl.find_opt st.fundef_by_var gv with
           | None -> ()
           | Some fd ->
@@ -220,6 +241,17 @@ let pass st =
       st.iseen.(idx) <- lv
       end)
     st.view.Objfile.rindirects;
+  let after = Pretrans.stats st.g in
+  st.pass_log <-
+    {
+      ps_pass = st.passes;
+      ps_edges_added = after.Pretrans.edges - before.Pretrans.edges;
+      ps_lvals_discovered = !discovered;
+      ps_unified = after.Pretrans.unified - before.Pretrans.unified;
+      ps_queries = after.Pretrans.queries - before.Pretrans.queries;
+      ps_changed = !changed;
+    }
+    :: st.pass_log;
   !changed
 
 type result = {
@@ -227,28 +259,60 @@ type result = {
   passes : int;
   loader_stats : Loader.stats;
   graph_stats : Pretrans.stats;
+  pass_log : pass_stats list;
+      (** per-pass convergence counters, first pass first *)
   retained : Objfile.prim_rec list;
       (** complex assignments kept in core; input to {!Cla_depend} *)
   linked_copies : (int * int * Cla_ir.Loc.t) list;
       (** analysis-time copies added while linking indirect calls *)
 }
 
+(** Publish a result into the metrics registry: [analyze.passes], the
+    [analyze.pretrans.*] graph counters, the [load.blocks.*] residency
+    counters, and the per-pass convergence series [analyze.pass.*]
+    (Figure 5's loop, one entry per pass). *)
+let publish_result ?reg (r : result) =
+  Cla_obs.Metrics.set ?reg "analyze.passes" r.passes;
+  Cla_obs.Metrics.set ?reg "analyze.complex.retained"
+    (List.length r.retained);
+  Cla_obs.Metrics.set ?reg "analyze.indirect.linked_copies"
+    (List.length r.linked_copies);
+  Pretrans.publish_stats ?reg r.graph_stats;
+  Loader.publish_stats ?reg r.loader_stats;
+  let series f name =
+    Cla_obs.Metrics.set_series ?reg ("analyze.pass." ^ name)
+      (List.map f r.pass_log)
+  in
+  series (fun p -> p.ps_edges_added) "edges_added";
+  series (fun p -> p.ps_lvals_discovered) "lvals_discovered";
+  series (fun p -> p.ps_unified) "unified";
+  series (fun p -> p.ps_queries) "queries"
+
 (** Run the analysis to fixpoint and extract points-to sets for every
     program variable (cheap at the end thanks to cycle elimination and
     caching — the paper's observation in Section 5). *)
 let solve ?config ?demand view : result =
-  let st = init ?config ?demand view in
+  Cla_obs.Obs.with_span "analyze" @@ fun () ->
+  let st =
+    Cla_obs.Obs.with_span "analyze.init" (fun () -> init ?config ?demand view)
+  in
   while pass st do
     ()
   done;
-  Pretrans.new_pass st.g;
-  let nvars = Objfile.n_vars view in
-  let pts = Array.init nvars (fun v -> Pretrans.get_lvals st.g v) in
-  {
-    solution = Solution.create view pts;
-    passes = st.passes;
-    loader_stats = Loader.stats st.loader;
-    graph_stats = Pretrans.stats st.g;
-    retained = st.retained;
-    linked_copies = st.linked_copies;
-  }
+  let r =
+    Cla_obs.Obs.with_span "analyze.extract" @@ fun () ->
+    Pretrans.new_pass st.g;
+    let nvars = Objfile.n_vars view in
+    let pts = Array.init nvars (fun v -> Pretrans.get_lvals st.g v) in
+    {
+      solution = Solution.create view pts;
+      passes = st.passes;
+      loader_stats = Loader.stats st.loader;
+      graph_stats = Pretrans.stats st.g;
+      pass_log = List.rev st.pass_log;
+      retained = st.retained;
+      linked_copies = st.linked_copies;
+    }
+  in
+  publish_result r;
+  r

@@ -33,6 +33,20 @@ type t = {
   mutable retained : Objfile.prim_rec list;
   mutable linked_copies : (int * int * Cla_ir.Loc.t) list;
   iseen : Lvalset.t array;
+  mutable pass_log : pass_stats list;
+      (** per-pass convergence counters, reverse order *)
+}
+
+(** Convergence counters for one pass of Figure 5's loop. *)
+and pass_stats = {
+  ps_pass : int;  (** 1-based pass number *)
+  ps_edges_added : int;
+  ps_lvals_discovered : int;
+      (** new lvals fed to difference propagation (complex assignments
+          and indirect-call linking) *)
+  ps_unified : int;  (** nodes unified away by cycle elimination *)
+  ps_queries : int;  (** [get_lvals] calls issued during the pass *)
+  ps_changed : bool;
 }
 
 (** Load the static section (and, in demand mode, the blocks it activates)
@@ -50,6 +64,8 @@ type result = {
   passes : int;
   loader_stats : Loader.stats;
   graph_stats : Pretrans.stats;
+  pass_log : pass_stats list;
+      (** per-pass convergence counters, first pass first *)
   retained : Objfile.prim_rec list;
       (** complex assignments kept in core; input to the dependence
           analysis *)
@@ -57,6 +73,15 @@ type result = {
       (** analysis-time copies added while linking indirect calls *)
 }
 
-(** Run to fixpoint and extract the points-to set of every variable. *)
+(** Publish a result into the metrics registry (default
+    {!Cla_obs.Metrics.default}): [analyze.passes],
+    [analyze.pretrans.*], [load.blocks.*], and the per-pass convergence
+    series [analyze.pass.*].  {!solve} calls this itself. *)
+val publish_result : ?reg:Cla_obs.Metrics.t -> result -> unit
+
+(** Run to fixpoint and extract the points-to set of every variable.
+    Recorded as an ["analyze"] span (children ["analyze.init"], one
+    ["analyze.pass"] per pass, ["analyze.extract"]); the result is
+    published into the metrics registry. *)
 val solve :
   ?config:Pretrans.config -> ?demand:bool -> Objfile.view -> result

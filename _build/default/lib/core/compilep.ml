@@ -137,17 +137,27 @@ let db_of_prog ?(source_lines = 0) ?(preproc_lines = 0) (p : Prog.t) : Objfile.d
       };
   }
 
-(** Compile C source text into a database. *)
+(** Compile C source text into a database.  Recorded as a ["compile"]
+    span (labelled with the file) and published as [compile.*] metrics. *)
 let compile_string ?(options = default_options) ~file source : Objfile.db =
-  let preprocessed =
-    Cpp.preprocess_string ~include_dirs:options.include_dirs
-      ~virtual_fs:options.virtual_fs ~defines:options.defines ~file source
-  in
-  let parsed = Cparser.parse_string ~file preprocessed in
-  let prog = Normalize.run ~mode:options.mode parsed in
-  db_of_prog
-    ~source_lines:(count_source_lines source)
-    ~preproc_lines:(count_lines preprocessed) prog
+  Cla_obs.Obs.with_span "compile" ~label:file (fun () ->
+      let preprocessed =
+        Cpp.preprocess_string ~include_dirs:options.include_dirs
+          ~virtual_fs:options.virtual_fs ~defines:options.defines ~file source
+      in
+      let parsed = Cparser.parse_string ~file preprocessed in
+      let prog = Normalize.run ~mode:options.mode parsed in
+      let db =
+        db_of_prog
+          ~source_lines:(count_source_lines source)
+          ~preproc_lines:(count_lines preprocessed) prog
+      in
+      Cla_obs.Metrics.incr "compile.units";
+      Cla_obs.Metrics.incr ~by:db.Objfile.meta.Objfile.msource_lines
+        "compile.source_lines";
+      Cla_obs.Metrics.incr ~by:db.Objfile.meta.Objfile.mpreproc_lines
+        "compile.preproc_lines";
+      db)
 
 (** Compile a C file from disk into a database. *)
 let compile_file ?(options = default_options) path : Objfile.db =

@@ -159,6 +159,22 @@ let link_views (views : Objfile.view list) : Objfile.db * stats =
   in
   (db, { n_units = List.length views; n_extern_merged = !merged; n_vars_out = nvars })
 
+(** Publish a stats record into the metrics registry under [link.*]. *)
+let publish_stats ?reg (s : stats) =
+  let set k v = Cla_obs.Metrics.set ?reg ("link." ^ k) v in
+  set "units" s.n_units;
+  set "extern_merged" s.n_extern_merged;
+  set "vars_out" s.n_vars_out
+
+(* Shadow the raw implementation with the instrumented entry point. *)
+let link_views views =
+  Cla_obs.Obs.with_span "link"
+    ~label:(string_of_int (List.length views) ^ " unit(s)")
+    (fun () ->
+      let db, stats = link_views views in
+      publish_stats stats;
+      (db, stats))
+
 (** Link object files from disk and write the "executable" database. *)
 let link_files ~output paths =
   let views = List.map Objfile.load paths in

@@ -7,10 +7,15 @@ type stats = {
   n_vars_out : int;
 }
 
+(** Publish a stats record into the metrics registry (default
+    {!Cla_obs.Metrics.default}) under [link.*]. *)
+val publish_stats : ?reg:Cla_obs.Metrics.t -> stats -> unit
+
 (** Link several object-file views into a single database.  Extern objects
     with the same canonical key are unified; unit-private objects are
     renumbered; dynamic blocks of merged objects are concatenated; Table 2
-    statistics are summed. *)
+    statistics are summed.  Recorded as a ["link"] span and published as
+    [link.*] metrics. *)
 val link_views : Objfile.view list -> Objfile.db * stats
 
 (** Link object files from disk and write the "executable" database

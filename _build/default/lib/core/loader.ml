@@ -64,6 +64,15 @@ let stats t =
     s_reloads = t.reloads;
   }
 
+(** Publish a stats record into the metrics registry under
+    [load.blocks.*] — Table 3's block-residency accounting. *)
+let publish_stats ?reg (s : stats) =
+  let set k v = Cla_obs.Metrics.set ?reg ("load.blocks." ^ k) v in
+  set "in_core" s.s_in_core;
+  set "loaded" s.s_loaded;
+  set "in_file" s.s_in_file;
+  set "reloads" s.s_reloads
+
 (** Operations through which points-to information survives: only these
     copies are relevant to aliasing, and the loader skips the rest
     ("non-pointer arithmetic assignments are usually ignored", Section 6). *)

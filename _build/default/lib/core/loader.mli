@@ -32,6 +32,11 @@ type stats = {
 
 val stats : t -> stats
 
+(** Publish a stats record into the metrics registry (default
+    {!Cla_obs.Metrics.default}) under [load.blocks.*] — Table 3's
+    block-residency accounting. *)
+val publish_stats : ?reg:Cla_obs.Metrics.t -> stats -> unit
+
 (** Operations through which points-to information survives ([+], [-],
     casts, [?:]); everything else is skipped by the points-to loader
     ("non-pointer arithmetic assignments are usually ignored"). *)

@@ -53,14 +53,22 @@ let compile_link_files ?(options = Compilep.default_options) paths : Objfile.vie
   let db, _stats = Linkp.link_views views in
   Objfile.view_of_string (Objfile.write db)
 
-(** Run the selected points-to analysis over a linked view. *)
+(** Run the selected points-to analysis over a linked view.  Each solver
+    runs under an ["analyze"] span (the pre-transitive solver records its
+    own, with per-pass children). *)
 let points_to ?(algorithm = Pretransitive) ?config ?demand (view : Objfile.view) :
     Solution.t =
   match algorithm with
   | Pretransitive -> (Andersen.solve ?config ?demand view).Andersen.solution
-  | Worklist -> Worklist.solve view
-  | Bitvector -> Bitsolver.solve view
-  | Steensgaard -> Steensgaard.solve view
+  | Worklist ->
+      Cla_obs.Obs.with_span "analyze" ~label:"worklist" (fun () ->
+          Worklist.solve view)
+  | Bitvector ->
+      Cla_obs.Obs.with_span "analyze" ~label:"bitvector" (fun () ->
+          Bitsolver.solve view)
+  | Steensgaard ->
+      Cla_obs.Obs.with_span "analyze" ~label:"steensgaard" (fun () ->
+          Steensgaard.solve view)
 
 (** Like {!points_to} with the pre-transitive solver, returning the full
     result (pass count, loader statistics, graph statistics). *)

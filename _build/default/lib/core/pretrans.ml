@@ -324,6 +324,11 @@ type stats = {
   cache_hits : int;
 }
 
+(* The structural counters ([nodes], [edges], [unified]) mirror the live
+   graph and are monotonic over its lifetime; the query-side counters
+   ([queries], [visits], [cache_hits]) are monotonic between calls to
+   [reset_stats].  Invariants (see the .mli): cache_hits <= queries,
+   unified <= nodes, and visits >= queries - cache_hits. *)
 let stats t =
   {
     nodes = t.n;
@@ -333,3 +338,22 @@ let stats t =
     visits = t.n_visits;
     cache_hits = t.n_cache_hits;
   }
+
+(** Zero the query-side counters ([queries], [visits], [cache_hits]).
+    The structural counters describe the graph itself and are not
+    resettable. *)
+let reset_stats t =
+  t.n_queries <- 0;
+  t.n_visits <- 0;
+  t.n_cache_hits <- 0
+
+(** Publish a stats record into the metrics registry under
+    [analyze.pretrans.*]. *)
+let publish_stats ?reg (s : stats) =
+  let set k v = Cla_obs.Metrics.set ?reg ("analyze.pretrans." ^ k) v in
+  set "nodes" s.nodes;
+  set "edges" s.edges;
+  set "unified" s.unified;
+  set "queries" s.queries;
+  set "visits" s.visits;
+  set "cache_hits" s.cache_hits

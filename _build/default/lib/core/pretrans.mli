@@ -58,13 +58,32 @@ val new_pass : t -> unit
     the rest of the current pass. *)
 val get_lvals : t -> int -> Lvalset.t
 
+(** Graph and query statistics.  The structural counters ([nodes],
+    [edges], [unified]) mirror the live graph and grow monotonically over
+    its lifetime; the query-side counters ([queries], [visits],
+    [cache_hits]) grow monotonically between calls to {!reset_stats}.
+
+    Invariants:
+    - [cache_hits <= queries] — a hit is one kind of query outcome;
+    - [unified <= nodes] — a node is unified away at most once;
+    - [visits >= queries - cache_hits] — every non-cached query visits at
+      least its root node. *)
 type stats = {
   nodes : int;
   edges : int;
   unified : int;  (** nodes eliminated by cycle unification *)
   queries : int;  (** [get_lvals] calls *)
   visits : int;  (** nodes visited during reachability *)
-  cache_hits : int;
+  cache_hits : int;  (** queries answered from the per-pass memo *)
 }
 
 val stats : t -> stats
+
+(** Zero the query-side counters ([queries], [visits], [cache_hits]); the
+    structural counters describe the graph itself and are not
+    resettable. *)
+val reset_stats : t -> unit
+
+(** Publish a stats record into the metrics registry (default
+    {!Cla_obs.Metrics.default}) under [analyze.pretrans.*]. *)
+val publish_stats : ?reg:Cla_obs.Metrics.t -> stats -> unit

@@ -9,8 +9,15 @@ type t = {
 
 let create view pts = { view; pts }
 
+(* A negative id can only come from an uninitialized slot (linker -1
+   sentinels) or a corrupted database — fail loudly rather than analyze
+   as empty.  Ids beyond the table are fresh solver-internal nodes with
+   genuinely empty sets. *)
 let points_to t v : Lvalset.t =
-  if v >= 0 && v < Array.length t.pts then t.pts.(v) else Lvalset.empty
+  if v < 0 then
+    invalid_arg (Printf.sprintf "Solution.points_to: negative variable id %d" v)
+  else if v < Array.length t.pts then t.pts.(v)
+  else Lvalset.empty
 
 let var_name t v = t.view.Objfile.rvars.(v).Objfile.vname
 let var_kind t v = t.view.Objfile.rvars.(v).Objfile.vkind

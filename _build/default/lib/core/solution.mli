@@ -11,7 +11,11 @@ type t = {
 
 val create : Objfile.view -> Lvalset.t array -> t
 
-(** The points-to set of a variable ([empty] for out-of-range ids). *)
+(** The points-to set of a variable.  Ids beyond the variable table
+    (fresh solver-internal nodes) yield [empty]; a negative id can only
+    come from an uninitialized linker sentinel or a corrupted database
+    and raises [Invalid_argument] so corruption fails loudly instead of
+    analyzing as empty. *)
 val points_to : t -> int -> Lvalset.t
 
 val var_name : t -> int -> string

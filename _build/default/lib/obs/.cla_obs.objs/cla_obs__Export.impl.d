@@ -1,0 +1,1 @@
+lib/obs/export.ml: Fmt Json List Metrics Span String

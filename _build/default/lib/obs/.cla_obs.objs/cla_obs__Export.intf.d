@@ -1,0 +1,1 @@
+lib/obs/export.mli: Format Json Metrics Span

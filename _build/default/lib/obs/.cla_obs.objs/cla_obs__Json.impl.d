@@ -1,0 +1,1 @@
+lib/obs/json.ml: Buffer Char Float List Printf String

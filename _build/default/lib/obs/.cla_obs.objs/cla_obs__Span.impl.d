@@ -1,0 +1,1 @@
+lib/obs/span.ml: Gc List Unix

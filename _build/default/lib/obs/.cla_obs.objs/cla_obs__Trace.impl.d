@@ -1,0 +1,1 @@
+lib/obs/trace.ml: Float Json List Span

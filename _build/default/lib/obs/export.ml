@@ -1,0 +1,75 @@
+(** Export: the registry plus the span tree, as a human-readable table
+    ([--stats]) or a machine-readable JSON document ([--stats-json]). *)
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let metric_json : Metrics.value -> Json.t = function
+  | Metrics.Int v -> Json.Int v
+  | Metrics.Float v -> Json.Float v
+  | Metrics.Str v -> Json.Str v
+  | Metrics.Series l -> Json.Arr (List.map (fun v -> Json.Int v) l)
+
+let rec span_json (s : Span.t) : Json.t =
+  Json.Obj
+    ((match s.Span.label with
+     | Some l -> [ ("label", Json.Str l) ]
+     | None -> [])
+    @ [
+        ("name", Json.Str s.Span.name);
+        ("wall_s", Json.Float s.Span.wall_s);
+        ("user_s", Json.Float s.Span.user_s);
+        ("gc_minor_words", Json.Float s.Span.gc_minor_words);
+        ("gc_major_words", Json.Float s.Span.gc_major_words);
+        ("children", Json.Arr (List.map span_json s.Span.children));
+      ])
+
+(** The full export: [{"metrics": {...}, "spans": [...]}], metrics sorted
+    by name, spans in execution order. *)
+let to_json ?reg () : Json.t =
+  Json.Obj
+    [
+      ( "metrics",
+        Json.Obj
+          (List.map
+             (fun (k, v) -> (k, metric_json v))
+             (Metrics.snapshot ?reg ())) );
+      ("spans", Json.Arr (List.map span_json (Span.roots ())));
+    ]
+
+let write_json ?reg path = Json.write_file path (to_json ?reg ())
+
+(* ------------------------------------------------------------------ *)
+(* Human table                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let pp_value ppf : Metrics.value -> unit = function
+  | Metrics.Int v -> Fmt.int ppf v
+  | Metrics.Float v -> Fmt.pf ppf "%.6g" v
+  | Metrics.Str v -> Fmt.string ppf v
+  | Metrics.Series l ->
+      Fmt.pf ppf "[%a]" Fmt.(list ~sep:(any " ") int) l
+
+let rec pp_span depth ppf (s : Span.t) =
+  Fmt.pf ppf "%s%-*s %8.3fs wall %8.3fs user %10.0f minor w %10.0f major w%s@."
+    (String.make (2 * depth) ' ')
+    (max 1 (24 - (2 * depth)))
+    s.Span.name s.Span.wall_s s.Span.user_s s.Span.gc_minor_words
+    s.Span.gc_major_words
+    (match s.Span.label with Some l -> " (" ^ l ^ ")" | None -> "");
+  List.iter (pp_span (depth + 1) ppf) s.Span.children
+
+let pp_table ?reg ppf () =
+  let spans = Span.roots () in
+  if spans <> [] then begin
+    Fmt.pf ppf "spans:@.";
+    List.iter (pp_span 1 ppf) spans
+  end;
+  let metrics = Metrics.snapshot ?reg () in
+  if metrics <> [] then begin
+    Fmt.pf ppf "metrics:@.";
+    List.iter
+      (fun (k, v) -> Fmt.pf ppf "  %-36s %a@." k pp_value v)
+      metrics
+  end

@@ -1,0 +1,88 @@
+(** The unified metrics registry.
+
+    Every pipeline phase publishes its statistics here under stable dotted
+    names ([analyze.pretrans.cache_hits], [load.blocks.in_core], ...), so
+    one [--stats] / [--stats-json] export covers the whole run regardless
+    of which subcommand produced it.
+
+    A name is bound to exactly one kind of value for the lifetime of a
+    registry; re-publishing under the same name with the same kind
+    overwrites (phases republish on every run), but publishing a
+    different kind under an existing name raises [Invalid_argument] — a
+    registry-wide uniqueness guarantee that catches dotted-name typos and
+    collisions between subsystems early. *)
+
+type value =
+  | Int of int  (** counters and integer gauges *)
+  | Float of float  (** float gauges (seconds, ratios) *)
+  | Str of string  (** labels (profile names, algorithm names) *)
+  | Series of int list  (** per-pass counter series, oldest first *)
+
+let kind_name = function
+  | Int _ -> "int"
+  | Float _ -> "float"
+  | Str _ -> "string"
+  | Series _ -> "series"
+
+type t = { tbl : (string, value) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 64 }
+
+(** The process-wide registry the pipeline publishes into. *)
+let default = create ()
+
+let same_kind a b =
+  match (a, b) with
+  | Int _, Int _ | Float _, Float _ | Str _, Str _ | Series _, Series _ ->
+      true
+  | _ -> false
+
+let put reg name v =
+  match Hashtbl.find_opt reg.tbl name with
+  | Some old when not (same_kind old v) ->
+      invalid_arg
+        (Printf.sprintf "Metrics: %S is a %s metric, cannot rebind as %s"
+           name (kind_name old) (kind_name v))
+  | _ -> Hashtbl.replace reg.tbl name v
+
+let set ?(reg = default) name v = put reg name (Int v)
+let setf ?(reg = default) name v = put reg name (Float v)
+let set_str ?(reg = default) name v = put reg name (Str v)
+let set_series ?(reg = default) name v = put reg name (Series v)
+
+let incr ?(reg = default) ?(by = 1) name =
+  match Hashtbl.find_opt reg.tbl name with
+  | None -> Hashtbl.replace reg.tbl name (Int by)
+  | Some (Int v) -> Hashtbl.replace reg.tbl name (Int (v + by))
+  | Some old ->
+      invalid_arg
+        (Printf.sprintf "Metrics: %S is a %s metric, cannot incr" name
+           (kind_name old))
+
+(** Append one observation to a series (creating it if absent).  Series
+    are kept oldest-first. *)
+let observe ?(reg = default) name v =
+  match Hashtbl.find_opt reg.tbl name with
+  | None -> Hashtbl.replace reg.tbl name (Series [ v ])
+  | Some (Series l) -> Hashtbl.replace reg.tbl name (Series (l @ [ v ]))
+  | Some old ->
+      invalid_arg
+        (Printf.sprintf "Metrics: %S is a %s metric, cannot observe" name
+           (kind_name old))
+
+let find ?(reg = default) name = Hashtbl.find_opt reg.tbl name
+
+let get_int ?(reg = default) name =
+  match Hashtbl.find_opt reg.tbl name with Some (Int v) -> Some v | _ -> None
+
+let get_series ?(reg = default) name =
+  match Hashtbl.find_opt reg.tbl name with
+  | Some (Series l) -> Some l
+  | _ -> None
+
+(** All metrics, sorted by name — the stable export order. *)
+let snapshot ?(reg = default) () =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) reg.tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let reset ?(reg = default) () = Hashtbl.reset reg.tbl

@@ -1,0 +1,42 @@
+(** The unified metrics registry: every pipeline phase publishes its
+    statistics under stable dotted names ([analyze.pretrans.cache_hits],
+    [load.blocks.in_core], ...), so one [--stats] / [--stats-json] export
+    covers the whole run.
+
+    A name is bound to exactly one kind of value per registry;
+    re-publishing with the same kind overwrites, a different kind raises
+    [Invalid_argument] (catches dotted-name collisions early). *)
+
+type value =
+  | Int of int  (** counters and integer gauges *)
+  | Float of float  (** float gauges (seconds, ratios) *)
+  | Str of string  (** labels (profile names, algorithm names) *)
+  | Series of int list  (** per-pass counter series, oldest first *)
+
+type t
+
+val create : unit -> t
+
+(** The process-wide registry the pipeline publishes into; all functions
+    default to it. *)
+val default : t
+
+val set : ?reg:t -> string -> int -> unit
+val setf : ?reg:t -> string -> float -> unit
+val set_str : ?reg:t -> string -> string -> unit
+val set_series : ?reg:t -> string -> int list -> unit
+
+(** Add [by] (default 1) to an [Int] metric, creating it at [by]. *)
+val incr : ?reg:t -> ?by:int -> string -> unit
+
+(** Append one observation to a [Series] metric, creating it if absent. *)
+val observe : ?reg:t -> string -> int -> unit
+
+val find : ?reg:t -> string -> value option
+val get_int : ?reg:t -> string -> int option
+val get_series : ?reg:t -> string -> int list option
+
+(** All metrics, sorted by name — the stable export order. *)
+val snapshot : ?reg:t -> unit -> (string * value) list
+
+val reset : ?reg:t -> unit -> unit

@@ -1,0 +1,116 @@
+(** Nestable named timers over the compile-link-analyze pipeline.
+
+    A span records wall time ([Unix.gettimeofday]), user CPU time
+    ([Unix.times]) and GC activity ([Gc.quick_stat] minor/major word
+    deltas) between its open and close, plus its children in execution
+    order.  Completed top-level spans accumulate in a process-wide list
+    ({!roots}) that the exporters read.
+
+    Cost discipline: when recording is off (the default), {!with_span} is
+    a single mutable-bool load before the thunk — no clock reads, no
+    allocation — so instrumented code paths pay effectively nothing
+    unless a sink ([--stats], [--stats-json], [--trace], the bench
+    harness) has switched recording on. *)
+
+type t = {
+  name : string;
+  label : string option;  (** free-form qualifier (file name, pass number) *)
+  start_s : float;  (** wall-clock open time (epoch seconds) *)
+  wall_s : float;
+  user_s : float;
+  gc_minor_words : float;
+  gc_major_words : float;
+  children : t list;  (** execution order *)
+}
+
+type frame = {
+  fname : string;
+  flabel : string option;
+  fstart : float;
+  fuser0 : float;
+  fminor0 : float;
+  fmajor0 : float;
+  mutable fchildren : t list;  (* reverse execution order *)
+}
+
+let enabled_flag = ref false
+let stack : frame list ref = ref []
+let completed : t list ref = ref []  (* reverse execution order *)
+
+let enabled () = !enabled_flag
+let set_enabled v = enabled_flag := v
+
+let reset () =
+  stack := [];
+  completed := []
+
+let user_time () = (Unix.times ()).Unix.tms_utime
+
+let with_span ?label name f =
+  if not !enabled_flag then f ()
+  else begin
+    let gc0 = Gc.quick_stat () in
+    let fr =
+      {
+        fname = name;
+        flabel = label;
+        fstart = Unix.gettimeofday ();
+        fuser0 = user_time ();
+        fminor0 = gc0.Gc.minor_words;
+        fmajor0 = gc0.Gc.major_words;
+        fchildren = [];
+      }
+    in
+    stack := fr :: !stack;
+    let finish () =
+      let gc1 = Gc.quick_stat () in
+      let span =
+        {
+          name = fr.fname;
+          label = fr.flabel;
+          start_s = fr.fstart;
+          wall_s = Unix.gettimeofday () -. fr.fstart;
+          user_s = user_time () -. fr.fuser0;
+          gc_minor_words = gc1.Gc.minor_words -. fr.fminor0;
+          gc_major_words = gc1.Gc.major_words -. fr.fmajor0;
+          children = List.rev fr.fchildren;
+        }
+      in
+      (* pop up to and including our frame — tolerates an unbalanced
+         stack if an inner span escaped via an exception we didn't see *)
+      let rec pop = function
+        | f :: rest when f == fr -> rest
+        | _ :: rest -> pop rest
+        | [] -> []
+      in
+      stack := pop !stack;
+      match !stack with
+      | parent :: _ -> parent.fchildren <- span :: parent.fchildren
+      | [] -> completed := span :: !completed
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
+  end
+
+let roots () = List.rev !completed
+
+(** First span named [name], depth-first over a span forest. *)
+let rec find name = function
+  | [] -> None
+  | s :: rest ->
+      if s.name = name then Some s
+      else (
+        match find name s.children with
+        | Some _ as r -> r
+        | None -> find name rest)
+
+(** Total wall time of the top-level spans named [name]. *)
+let total_wall name spans =
+  List.fold_left
+    (fun acc s -> if s.name = name then acc +. s.wall_s else acc)
+    0. spans

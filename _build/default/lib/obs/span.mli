@@ -1,0 +1,37 @@
+(** Nestable named timers over the compile-link-analyze pipeline.
+
+    A span records wall time, user CPU time ([Unix.times]) and GC
+    minor/major word deltas between open and close, plus its children in
+    execution order.  When recording is off (the default), {!with_span}
+    costs a single boolean load — instrumented code paths are free unless
+    a sink switched recording on. *)
+
+type t = {
+  name : string;
+  label : string option;  (** free-form qualifier (file name, pass number) *)
+  start_s : float;  (** wall-clock open time (epoch seconds) *)
+  wall_s : float;
+  user_s : float;
+  gc_minor_words : float;
+  gc_major_words : float;
+  children : t list;  (** execution order *)
+}
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+(** Drop all recorded and in-flight spans. *)
+val reset : unit -> unit
+
+(** [with_span name f] runs [f], recording a span around it when enabled.
+    Exceptions propagate; the span is still closed. *)
+val with_span : ?label:string -> string -> (unit -> 'a) -> 'a
+
+(** Completed top-level spans, in execution order. *)
+val roots : unit -> t list
+
+(** First span named [name], depth-first over a span forest. *)
+val find : string -> t list -> t option
+
+(** Total wall time of the top-level spans named [name]. *)
+val total_wall : string -> t list -> float

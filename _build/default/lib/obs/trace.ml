@@ -1,0 +1,48 @@
+(** Chrome [trace_event] export: turn a span forest into a JSON document
+    loadable by [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}.
+
+    Each span becomes one complete event ([ph = "X"]) with microsecond
+    timestamps relative to the earliest root span; GC word deltas and the
+    optional label ride along in [args]. *)
+
+let rec events t0 (s : Span.t) acc =
+  let args =
+    (match s.Span.label with
+    | Some l -> [ ("label", Json.Str l) ]
+    | None -> [])
+    @ [
+        ("user_s", Json.Float s.Span.user_s);
+        ("gc_minor_words", Json.Float s.Span.gc_minor_words);
+        ("gc_major_words", Json.Float s.Span.gc_major_words);
+      ]
+  in
+  let ev =
+    Json.Obj
+      [
+        ("name", Json.Str s.Span.name);
+        ("cat", Json.Str "cla");
+        ("ph", Json.Str "X");
+        ("ts", Json.Float ((s.Span.start_s -. t0) *. 1e6));
+        ("dur", Json.Float (s.Span.wall_s *. 1e6));
+        ("pid", Json.Int 1);
+        ("tid", Json.Int 1);
+        ("args", Json.Obj args);
+      ]
+  in
+  List.fold_left (fun acc c -> events t0 c acc) (ev :: acc) s.Span.children
+
+let to_json (spans : Span.t list) : Json.t =
+  let t0 =
+    List.fold_left
+      (fun acc (s : Span.t) -> Float.min acc s.Span.start_s)
+      Float.infinity spans
+  in
+  let t0 = if Float.is_finite t0 then t0 else 0. in
+  let evs = List.fold_left (fun acc s -> events t0 s acc) [] spans in
+  Json.Obj
+    [
+      ("traceEvents", Json.Arr (List.rev evs));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let write path spans = Json.write_file path (to_json spans)

@@ -1,0 +1,9 @@
+(** Chrome [trace_event] export: a span forest as a JSON document
+    loadable by [chrome://tracing] or Perfetto.  Each span becomes one
+    complete event ([ph = "X"]) with microsecond timestamps relative to
+    the earliest root span. *)
+
+val to_json : Span.t list -> Json.t
+
+(** Write the trace document (plus trailing newline) to [path]. *)
+val write : string -> Span.t list -> unit

@@ -1,0 +1,1 @@
+test/test_obs.ml: Alcotest Andersen Cla_core Cla_obs Fmt List Loader Lvalset Option Pipeline Pretrans Solution Sys

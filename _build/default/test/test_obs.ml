@@ -1,0 +1,343 @@
+(* Tests for the observability layer (Cla_obs): span nesting and
+   ordering, metrics-registry name uniqueness, JSON export round-trips,
+   Pretrans stats invariants, and an end-to-end pipeline smoke test of
+   the --stats-json export content. *)
+
+open Cla_core
+module Obs = Cla_obs.Obs
+module Span = Cla_obs.Span
+module Metrics = Cla_obs.Metrics
+module Json = Cla_obs.Json
+module Export = Cla_obs.Export
+module Trace = Cla_obs.Trace
+
+(* Every test drives the process-wide recorder; start from a clean
+   slate and leave recording off. *)
+let fresh () =
+  Obs.disable ();
+  Obs.reset ()
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_nesting () =
+  fresh ();
+  Obs.enable ();
+  Obs.with_span "outer" (fun () ->
+      Obs.with_span "first" (fun () -> ignore (Sys.opaque_identity 1));
+      Obs.with_span "second" ~label:"x" (fun () ->
+          Obs.with_span "inner" (fun () -> ())));
+  Obs.disable ();
+  match Span.roots () with
+  | [ outer ] ->
+      Alcotest.(check string) "root name" "outer" outer.Span.name;
+      Alcotest.(check (list string))
+        "children in execution order" [ "first"; "second" ]
+        (List.map (fun s -> s.Span.name) outer.Span.children);
+      let second = List.nth outer.Span.children 1 in
+      Alcotest.(check (option string)) "label" (Some "x") second.Span.label;
+      Alcotest.(check (list string))
+        "grandchild" [ "inner" ]
+        (List.map (fun s -> s.Span.name) second.Span.children);
+      Alcotest.(check bool) "wall time non-negative" true
+        (outer.Span.wall_s >= 0.);
+      Alcotest.(check bool) "outer at least as long as children" true
+        (outer.Span.wall_s
+        >= List.fold_left
+             (fun a c -> a +. c.Span.wall_s)
+             0. outer.Span.children
+           -. 1e-6)
+  | spans ->
+      Alcotest.fail (Fmt.str "expected one root span, got %d" (List.length spans))
+
+let test_span_sibling_order () =
+  fresh ();
+  Obs.enable ();
+  List.iter (fun n -> Obs.with_span n (fun () -> ())) [ "a"; "b"; "c" ];
+  Obs.disable ();
+  Alcotest.(check (list string))
+    "roots in execution order" [ "a"; "b"; "c" ]
+    (List.map (fun s -> s.Span.name) (Span.roots ()))
+
+let test_span_disabled_is_noop () =
+  fresh ();
+  let v = Obs.with_span "ghost" (fun () -> 42) in
+  Alcotest.(check int) "value passes through" 42 v;
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Span.roots ()))
+
+let test_span_survives_exception () =
+  fresh ();
+  Obs.enable ();
+  (try Obs.with_span "boom" (fun () -> failwith "x") with Failure _ -> ());
+  Obs.with_span "after" (fun () -> ());
+  Obs.disable ();
+  Alcotest.(check (list string))
+    "span closed on exception, recorder still consistent" [ "boom"; "after" ]
+    (List.map (fun s -> s.Span.name) (Span.roots ()))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_basics () =
+  let reg = Metrics.create () in
+  Metrics.set ~reg "a.count" 3;
+  Metrics.incr ~reg "a.count";
+  Metrics.incr ~reg ~by:2 "a.count";
+  Metrics.setf ~reg "a.seconds" 1.5;
+  Metrics.set_str ~reg "a.name" "gimp";
+  Metrics.observe ~reg "a.series" 1;
+  Metrics.observe ~reg "a.series" 2;
+  Alcotest.(check (option int)) "incr" (Some 6) (Metrics.get_int ~reg "a.count");
+  Alcotest.(check (option (list int)))
+    "series order" (Some [ 1; 2 ])
+    (Metrics.get_series ~reg "a.series");
+  Alcotest.(check (list string))
+    "snapshot sorted by name"
+    [ "a.count"; "a.name"; "a.seconds"; "a.series" ]
+    (List.map fst (Metrics.snapshot ~reg ()))
+
+let test_metrics_name_uniqueness () =
+  let reg = Metrics.create () in
+  Metrics.set ~reg "x" 1;
+  Alcotest.check_raises "rebind int as series"
+    (Invalid_argument "Metrics: \"x\" is a int metric, cannot rebind as series")
+    (fun () -> Metrics.set_series ~reg "x" [ 1 ]);
+  Alcotest.check_raises "observe an int metric"
+    (Invalid_argument "Metrics: \"x\" is a int metric, cannot observe")
+    (fun () -> Metrics.observe ~reg "x" 1);
+  Metrics.setf ~reg "y" 1.0;
+  Alcotest.check_raises "incr a float metric"
+    (Invalid_argument "Metrics: \"y\" is a float metric, cannot incr")
+    (fun () -> Metrics.incr ~reg "y");
+  (* same-kind republish overwrites *)
+  Metrics.set ~reg "x" 9;
+  Alcotest.(check (option int)) "overwrite" (Some 9) (Metrics.get_int ~reg "x")
+
+(* ------------------------------------------------------------------ *)
+(* JSON round-trips                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_roundtrip () =
+  let doc =
+    Json.Obj
+      [
+        ("null", Json.Null);
+        ("flag", Json.Bool true);
+        ("n", Json.Int (-42));
+        ("f", Json.Float 0.125);
+        ("s", Json.Str "quote \" backslash \\ newline \n done");
+        ("arr", Json.Arr [ Json.Int 1; Json.Str "two"; Json.Arr [] ]);
+        ("obj", Json.Obj [ ("k", Json.Obj []) ]);
+      ]
+  in
+  List.iter
+    (fun indent ->
+      let s = Json.to_string ~indent doc in
+      Alcotest.(check bool)
+        (Fmt.str "round-trip (indent=%b)" indent)
+        true
+        (Json.equal doc (Json.of_string s)))
+    [ true; false ]
+
+let test_json_number_kinds () =
+  (match Json.of_string "[1, 1.0, 2e3]" with
+  | Json.Arr [ Json.Int 1; Json.Float 1.0; Json.Float 2000.0 ] -> ()
+  | _ -> Alcotest.fail "number parsing kinds");
+  (* floats always re-parse as floats *)
+  match Json.of_string (Json.to_string (Json.Float 3.0)) with
+  | Json.Float 3.0 -> ()
+  | _ -> Alcotest.fail "integral float must stay a float"
+
+let test_export_roundtrip () =
+  fresh ();
+  Obs.enable ();
+  Obs.with_span "phase" (fun () -> Obs.with_span "sub" (fun () -> ()));
+  Obs.disable ();
+  Metrics.set "m.count" 7;
+  Metrics.set_series "m.series" [ 3; 2; 1 ];
+  let parsed = Json.of_string (Json.to_string (Export.to_json ())) in
+  let metrics = Option.get (Json.member "metrics" parsed) in
+  Alcotest.(check (option int))
+    "metric value" (Some 7)
+    (Option.bind (Json.member "m.count" metrics) Json.to_int);
+  (match Json.member "m.series" metrics with
+  | Some (Json.Arr [ Json.Int 3; Json.Int 2; Json.Int 1 ]) -> ()
+  | _ -> Alcotest.fail "series exported in order");
+  (match Json.member "spans" parsed with
+  | Some (Json.Arr [ span ]) -> (
+      Alcotest.(check bool)
+        "span name" true
+        (Json.member "name" span = Some (Json.Str "phase"));
+      match Json.member "children" span with
+      | Some (Json.Arr [ child ]) ->
+          Alcotest.(check bool)
+            "child name" true
+            (Json.member "name" child = Some (Json.Str "sub"))
+      | _ -> Alcotest.fail "child span missing")
+  | _ -> Alcotest.fail "spans missing");
+  (* the Chrome trace export parses too, one event per span *)
+  match Json.member "traceEvents" (Json.of_string (Json.to_string (Trace.to_json (Span.roots ())))) with
+  | Some (Json.Arr events) ->
+      Alcotest.(check int) "trace events" 2 (List.length events)
+  | _ -> Alcotest.fail "traceEvents missing"
+
+(* ------------------------------------------------------------------ *)
+(* Pretrans stats invariants                                           *)
+(* ------------------------------------------------------------------ *)
+
+let solved_workload () =
+  fresh ();
+  let view =
+    Pipeline.compile_link
+      [
+        ( "w.c",
+          {|
+int o1, o2, o3;
+int *p, *q, *r, **pp;
+void f(void) {
+  p = &o1; q = &o2; r = &o3;
+  pp = &p; *pp = q; p = *pp;
+  q = p; r = q; p = r;  /* a cycle */
+}
+|}
+        );
+      ]
+  in
+  Andersen.solve view
+
+let test_pretrans_invariants () =
+  let r = solved_workload () in
+  let s = r.Andersen.graph_stats in
+  Alcotest.(check bool) "cache_hits <= queries" true
+    (s.Pretrans.cache_hits <= s.Pretrans.queries);
+  Alcotest.(check bool) "unified <= nodes" true
+    (s.Pretrans.unified <= s.Pretrans.nodes);
+  Alcotest.(check bool) "visits >= queries - cache_hits" true
+    (s.Pretrans.visits >= s.Pretrans.queries - s.Pretrans.cache_hits);
+  Alcotest.(check bool) "did some work" true (s.Pretrans.queries > 0)
+
+let test_pretrans_reset_stats () =
+  let g = Pretrans.create ~nodes:4 () in
+  ignore (Pretrans.add_edge g 0 1);
+  ignore (Pretrans.add_edge g 1 2);
+  Pretrans.add_base g 2 3;
+  ignore (Pretrans.get_lvals g 0);
+  ignore (Pretrans.get_lvals g 0);
+  let before = Pretrans.stats g in
+  Alcotest.(check bool) "queries counted" true (before.Pretrans.queries = 2);
+  Alcotest.(check bool) "second query hit the cache" true
+    (before.Pretrans.cache_hits = 1);
+  Pretrans.reset_stats g;
+  let after = Pretrans.stats g in
+  Alcotest.(check int) "queries reset" 0 after.Pretrans.queries;
+  Alcotest.(check int) "visits reset" 0 after.Pretrans.visits;
+  Alcotest.(check int) "cache_hits reset" 0 after.Pretrans.cache_hits;
+  Alcotest.(check int) "structure kept: nodes" before.Pretrans.nodes
+    after.Pretrans.nodes;
+  Alcotest.(check int) "structure kept: edges" before.Pretrans.edges
+    after.Pretrans.edges
+
+(* ------------------------------------------------------------------ *)
+(* Solution.points_to guard                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_points_to_guards () =
+  let r = solved_workload () in
+  let sol = r.Andersen.solution in
+  Alcotest.check_raises "negative id fails loudly"
+    (Invalid_argument "Solution.points_to: negative variable id -1")
+    (fun () -> ignore (Solution.points_to sol (-1)));
+  Alcotest.(check int) "beyond-table id is empty" 0
+    (Lvalset.cardinal (Solution.points_to sol 1_000_000))
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline smoke: the --stats-json content contract                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_pipeline_stats_export () =
+  fresh ();
+  Obs.enable ();
+  let view =
+    Pipeline.compile_link
+      [
+        ("a.c", "int x, *y; int **z;\nvoid main(void) { z = &y; *z = &x; }");
+        ("b.c", "extern int *y;\nint *alias;\nvoid g(void) { alias = y; }");
+      ]
+  in
+  let r = Pipeline.points_to_result view in
+  Obs.disable ();
+  let parsed = Json.of_string (Json.to_string (Export.to_json ())) in
+  let metrics = Option.get (Json.member "metrics" parsed) in
+  let metric name = Option.bind (Json.member name metrics) Json.to_int in
+  (match metric "analyze.passes" with
+  | Some n -> Alcotest.(check bool) "analyze.passes >= 1" true (n >= 1)
+  | None -> Alcotest.fail "analyze.passes missing");
+  (* the registry mirrors the result's own stats records *)
+  let gs = r.Andersen.graph_stats in
+  Alcotest.(check (option int))
+    "analyze.pretrans.queries matches Pretrans.stats"
+    (Some gs.Pretrans.queries)
+    (metric "analyze.pretrans.queries");
+  Alcotest.(check (option int))
+    "analyze.pretrans.cache_hits matches"
+    (Some gs.Pretrans.cache_hits)
+    (metric "analyze.pretrans.cache_hits");
+  let ls = r.Andersen.loader_stats in
+  Alcotest.(check (option int))
+    "load.blocks.in_core matches Loader.stats"
+    (Some ls.Loader.s_in_core)
+    (metric "load.blocks.in_core");
+  (* per-pass convergence series, one entry per pass *)
+  (match Json.member "analyze.pass.edges_added" metrics with
+  | Some (Json.Arr entries) ->
+      Alcotest.(check int) "one series entry per pass" r.Andersen.passes
+        (List.length entries)
+  | _ -> Alcotest.fail "analyze.pass.edges_added missing");
+  (* per-phase spans: compile and link recorded, analyze with children *)
+  let span_names =
+    List.map (fun s -> s.Span.name) (Span.roots ())
+  in
+  Alcotest.(check bool) "compile spans" true (List.mem "compile" span_names);
+  Alcotest.(check bool) "link span" true (List.mem "link" span_names);
+  match Span.find "analyze" (Span.roots ()) with
+  | Some a ->
+      Alcotest.(check bool) "analyze has pass children" true
+        (List.exists (fun c -> c.Span.name = "analyze.pass") a.Span.children)
+  | None -> Alcotest.fail "analyze span missing"
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "spans",
+        [
+          Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "sibling order" `Quick test_span_sibling_order;
+          Alcotest.test_case "disabled no-op" `Quick test_span_disabled_is_noop;
+          Alcotest.test_case "exception safety" `Quick test_span_survives_exception;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "basics" `Quick test_metrics_basics;
+          Alcotest.test_case "name uniqueness" `Quick test_metrics_name_uniqueness;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "number kinds" `Quick test_json_number_kinds;
+          Alcotest.test_case "export round-trip" `Quick test_export_roundtrip;
+        ] );
+      ( "pretrans stats",
+        [
+          Alcotest.test_case "invariants" `Quick test_pretrans_invariants;
+          Alcotest.test_case "reset_stats" `Quick test_pretrans_reset_stats;
+        ] );
+      ( "solution",
+        [ Alcotest.test_case "points_to guards" `Quick test_points_to_guards ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "stats export content" `Quick
+            test_pipeline_stats_export;
+        ] );
+    ]

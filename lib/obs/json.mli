@@ -1,0 +1,36 @@
+(** Minimal JSON values for the observability exports ([--stats-json],
+    [--trace], [BENCH_pipeline.json]) — emit and parse, no external
+    dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(** Render to a string.  [indent] (default [true]) pretty-prints with two
+    spaces per level.  Non-finite floats are emitted as [null]. *)
+val to_string : ?indent:bool -> t -> string
+
+(** Write [to_string] plus a trailing newline to [path]. *)
+val write_file : string -> t -> unit
+
+(** Parse a complete JSON document.  Numbers with a ['.'] or exponent
+    become [Float], others [Int].  Raises {!Parse_error}. *)
+val of_string : string -> t
+
+(** Field lookup on [Obj]; [None] on other values or missing keys. *)
+val member : string -> t -> t option
+
+val to_int : t -> int option
+
+(** [Int] values coerce to float. *)
+val to_float : t -> float option
+
+(** Structural equality, with tolerance for float round-tripping. *)
+val equal : t -> t -> bool

@@ -1,0 +1,21 @@
+(** Façade over the observability layer.
+
+    Instrumented code does
+
+    {[ Cla_obs.Obs.with_span "link" (fun () -> ...) ]}
+
+    and pays one boolean load when no sink has called {!enable}.  Sinks
+    ([--stats], [--stats-json], [--trace], the bench harness) call
+    {!enable}/{!reset}, run the pipeline, then read {!Span.roots} and
+    {!Metrics.snapshot} through {!Export} or {!Trace}. *)
+
+let enable () = Span.set_enabled true
+let disable () = Span.set_enabled false
+let enabled = Span.enabled
+
+(** Drop recorded spans and clear the default metrics registry. *)
+let reset () =
+  Span.reset ();
+  Metrics.reset ()
+
+let with_span = Span.with_span

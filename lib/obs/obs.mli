@@ -1,0 +1,18 @@
+(** Façade over the observability layer: span recording on/off, combined
+    reset, and the {!with_span} timer used throughout the pipeline.  When
+    recording is off (the default) {!with_span} costs one boolean load. *)
+
+(** Start recording spans. *)
+val enable : unit -> unit
+
+(** Stop recording spans (already-recorded spans are kept). *)
+val disable : unit -> unit
+
+val enabled : unit -> bool
+
+(** Drop recorded spans and clear the default metrics registry. *)
+val reset : unit -> unit
+
+(** [with_span name f] runs [f], recording a nested span when enabled.
+    Exceptions propagate; the span still closes. *)
+val with_span : ?label:string -> string -> (unit -> 'a) -> 'a
