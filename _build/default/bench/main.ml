@@ -21,6 +21,8 @@
      dune exec bench/main.exe                 # every section, full scale
      dune exec bench/main.exe -- --quick      # scale the big profiles down
      dune exec bench/main.exe -- table3       # one section
+     dune exec bench/main.exe -- --budget=N table3
+                # bound retained assignments in core (LRU block eviction)
 *)
 
 open Cla_core
@@ -30,6 +32,7 @@ module Span = Cla_obs.Span
 module Json = Cla_obs.Json
 
 let quick = ref false
+let budget = ref None
 let sections = ref []
 
 let () =
@@ -38,6 +41,10 @@ let () =
       if i > 0 then
         match arg with
         | "--quick" -> quick := true
+        | s when String.length s > 9 && String.sub s 0 9 = "--budget=" -> (
+            match int_of_string_opt (String.sub s 9 (String.length s - 9)) with
+            | Some n when n > 0 -> budget := Some n
+            | _ -> Fmt.epr "bad --budget value %S, ignored@." s)
         | s -> sections := s :: !sections)
     Sys.argv
 
@@ -213,7 +220,9 @@ let table3 () =
       in
       Gc.compact ();
       let h0 = heap_mb () in
-      let r, aspans = with_recording (fun () -> Andersen.solve v) in
+      let r, aspans =
+        with_recording (fun () -> Andersen.solve ?budget:!budget v)
+      in
       let h1 = heap_mb () in
       let a = analyze_span aspans in
       let heap = Float.max 0. (h1 -. h0) in
@@ -224,6 +233,11 @@ let table3 () =
         (k (Solution.n_relations r.Andersen.solution))
         a.Span.wall_s a.Span.user_s heap ls.Loader.s_in_core
         ls.Loader.s_loaded ls.Loader.s_in_file;
+      Option.iter
+        (fun b ->
+          Fmt.pr "%-10s     budget=%d: evictions=%d reloads=%d@." "" b
+            ls.Loader.s_evictions ls.Loader.s_reloads)
+        !budget;
       let t3 = p.Profile.table3 in
       Fmt.pr "%-10s %2s %8d %10s %7.2fs %7.2fs %8.1f %9d %9d %9d@." "" "p:"
         t3.Profile.t3_pointer_vars

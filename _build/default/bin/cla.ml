@@ -16,24 +16,51 @@ open Cla_core
 
 let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
 
+(* Bad input (exit 2) is separated from internal failure (exit 3):
+   scripts driving a keep-going build want to know whether to fix their
+   sources or file a bug.  Usage errors keep cmdliner's 124. *)
+let err_input msg = Error (msg, Diag.exit_input)
+
 let handle_errors f =
   try f () with
   | Cla_cfront.Cparser.Parse_error (msg, loc) ->
-      Error (Fmt.str "parse error: %s at %a" msg Cla_ir.Loc.pp loc)
+      err_input (Fmt.str "parse error: %s at %a" msg Cla_ir.Loc.pp loc)
   | Cla_cfront.Cpp.Cpp_error (msg, file, line) ->
-      Error (Fmt.str "cpp error: %s at %s:%d" msg file line)
+      err_input (Fmt.str "cpp error: %s at %s:%d" msg file line)
   | Cla_cfront.Clexer.Error (msg, pos) ->
-      Error
+      err_input
         (Fmt.str "lex error: %s at %s:%d" msg pos.Lexing.pos_fname
            pos.Lexing.pos_lnum)
-  | Binio.Corrupt msg -> Error ("corrupt object file: " ^ msg)
-  | Sys_error msg -> Error msg
+  | Binio.Corrupt msg -> err_input ("corrupt object file: " ^ msg)
+  | Diag.Fail d -> err_input (Diag.to_string d)
+  | Sys_error msg -> err_input msg
+  | Stack_overflow ->
+      Error ("internal error: stack overflow", Diag.exit_internal)
+  | e -> Error ("internal error: " ^ Printexc.to_string e, Diag.exit_internal)
 
 let to_exit = function
-  | Ok () -> 0
-  | Error msg ->
+  | Ok () -> Diag.exit_ok
+  | Error (msg, code) ->
       Fmt.epr "cla: %s@." msg;
-      1
+      code
+
+(* Open a database, turning corruption into a one-line diagnostic that
+   names the offending file. *)
+let load_view path =
+  Cla_obs.Obs.with_span "load" ~label:path @@ fun () ->
+  match Objfile.load_result path with
+  | Ok v -> v
+  | Error d ->
+      Cla_obs.Metrics.incr (Diag.metric_of_phase d.Diag.phase);
+      raise (Diag.Fail d)
+
+let keep_going_arg =
+  Arg.(
+    value & flag
+    & info [ "k"; "keep-going" ]
+        ~doc:
+          "Report failing inputs as diagnostics and continue with the \
+           rest instead of stopping at the first failure.")
 
 (* ------------------------------------------------------------------ *)
 (* Observability options (compile, link, analyze)                      *)
@@ -76,23 +103,26 @@ let obs_term =
     $ stats $ stats_json $ trace)
 
 (* Enable span recording iff some sink asked for it (spans are no-ops
-   otherwise), run, then emit to every requested sink. *)
+   otherwise), run, then emit to every requested sink.  Sinks are
+   written even when the command fails: a keep-going run's error
+   counters ([compile.errors], [load.corrupt], ...) are part of its
+   result. *)
 let with_obs o f =
   let active = o.o_stats || o.o_stats_json <> None || o.o_trace <> None in
   if active then Cla_obs.Obs.enable ();
   let r = f () in
-  match r with
-  | Ok () when active -> (
-      if o.o_stats then
-        Fmt.pr "%a" (fun ppf () -> Cla_obs.Export.pp_table ppf ()) ();
-      try
-        Option.iter (fun p -> Cla_obs.Export.write_json p) o.o_stats_json;
-        Option.iter
-          (fun p -> Cla_obs.Trace.write p (Cla_obs.Span.roots ()))
-          o.o_trace;
-        r
-      with Sys_error msg -> Error msg)
-  | _ -> r
+  if not active then r
+  else begin
+    if o.o_stats then
+      Fmt.pr "%a" (fun ppf () -> Cla_obs.Export.pp_table ppf ()) ();
+    try
+      Option.iter (fun p -> Cla_obs.Export.write_json p) o.o_stats_json;
+      Option.iter
+        (fun p -> Cla_obs.Trace.write p (Cla_obs.Span.roots ()))
+        o.o_trace;
+      r
+    with Sys_error msg -> ( match r with Ok () -> err_input msg | Error _ -> r)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Common options                                                      *)
@@ -157,9 +187,10 @@ let compile_cmd =
       & info [ "o"; "output" ] ~docv:"FILE.clo"
           ~doc:"Output object file (default: source with .clo extension).")
   in
-  let run options sources output obs =
+  let run options sources output keep_going obs =
     with_obs obs (fun () ->
         handle_errors (fun () ->
+            let c = Diag.collector () in
             List.iter
               (fun src ->
                 let out =
@@ -167,15 +198,27 @@ let compile_cmd =
                   | Some o, [ _ ] -> o
                   | _ -> Filename.remove_extension src ^ ".clo"
                 in
-                Compilep.compile_to ~options ~output:out src;
-                Fmt.pr "%s -> %s@." src out)
+                match Compilep.compile_file_result ~options src with
+                | Ok db ->
+                    Objfile.save out db;
+                    Fmt.pr "%s -> %s@." src out
+                | Error d ->
+                    if keep_going then begin
+                      Diag.add c d;
+                      Fmt.epr "cla: %a@." Diag.pp d
+                    end
+                    else raise (Diag.Fail d))
               sources;
-            Ok ()))
+            match Diag.error_count c with
+            | 0 -> Ok ()
+            | n ->
+                err_input
+                  (Fmt.str "%d of %d unit(s) failed" n (List.length sources))))
     |> to_exit
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Parse C sources into CLA object files (no analysis).")
-    Term.(const run $ options_term $ sources $ output $ obs_term)
+    Term.(const run $ options_term $ sources $ output $ keep_going_arg $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* link                                                                *)
@@ -189,19 +232,29 @@ let link_cmd =
       & opt string "prog.cla"
       & info [ "o"; "output" ] ~docv:"FILE.cla" ~doc:"Linked database output.")
   in
-  let run objects output obs =
+  let run objects output keep_going obs =
     with_obs obs (fun () ->
         handle_errors (fun () ->
-            let stats = Linkp.link_files ~output objects in
-            Fmt.pr "%d unit(s) -> %s: %d objects (%d extern references merged)@."
-              stats.Linkp.n_units output stats.Linkp.n_vars_out
-              stats.Linkp.n_extern_merged;
-            Ok ()))
+            let stats, diags =
+              Linkp.link_files_result ~keep_going ~output objects
+            in
+            List.iter (fun d -> Fmt.epr "cla: %a@." Diag.pp d) diags;
+            match stats with
+            | None -> err_input "no usable object files"
+            | Some stats ->
+                Fmt.pr
+                  "%d unit(s) -> %s: %d objects (%d extern references merged)@."
+                  stats.Linkp.n_units output stats.Linkp.n_vars_out
+                  stats.Linkp.n_extern_merged;
+                if diags = [] then Ok ()
+                else
+                  err_input
+                    (Fmt.str "%d object file(s) skipped" (List.length diags))))
     |> to_exit
   in
   Cmd.v
     (Cmd.info "link" ~doc:"Merge object files into one database, linking global symbols.")
-    Term.(const run $ objects $ output $ obs_term)
+    Term.(const run $ objects $ output $ keep_going_arg $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* analyze                                                             *)
@@ -233,6 +286,16 @@ let analyze_cmd =
   let no_cycle =
     Arg.(value & flag & info [ "no-cycle-elim" ] ~doc:"Disable cycle elimination (ablation).")
   in
+  let budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget" ] ~docv:"N"
+          ~doc:
+            "Keep at most $(docv) retained assignments in core; \
+             least-recently-used blocks are discarded and re-loaded on \
+             demand (pretransitive solver only).")
+  in
   let json_escape s =
     let b = Buffer.create (String.length s + 8) in
     String.iter
@@ -263,19 +326,17 @@ let analyze_cmd =
     done;
     Fmt.pr "@.}@."
   in
-  let run db algo print_sets json no_cache no_cycle obs =
+  let run db algo print_sets json no_cache no_cycle budget obs =
     with_obs obs (fun () ->
         handle_errors (fun () ->
             let* algorithm =
               match Pipeline.algorithm_of_string algo with
               | Some a -> Ok a
-              | None -> Error (Fmt.str "unknown algorithm %S" algo)
+              | None -> err_input (Fmt.str "unknown algorithm %S" algo)
             in
             Cla_obs.Metrics.set_str "analyze.algorithm"
               (Pipeline.algorithm_name algorithm);
-            let view =
-              Cla_obs.Obs.with_span "load" ~label:db (fun () -> Objfile.load db)
-            in
+            let view = load_view db in
             let t0 = Unix.gettimeofday () in
             let sol, extra =
               match algorithm with
@@ -283,12 +344,13 @@ let analyze_cmd =
                   let config =
                     { Pretrans.cache = not no_cache; cycle_elim = not no_cycle }
                   in
-                  let r = Andersen.solve ~config view in
+                  let r = Andersen.solve ~config ?budget view in
                   let ls = r.Andersen.loader_stats in
                   ( r.Andersen.solution,
-                    Fmt.str " passes=%d in-core=%d loaded=%d in-file=%d"
+                    Fmt.str
+                      " passes=%d in-core=%d loaded=%d in-file=%d evictions=%d"
                       r.Andersen.passes ls.Loader.s_in_core ls.Loader.s_loaded
-                      ls.Loader.s_in_file )
+                      ls.Loader.s_in_file ls.Loader.s_evictions )
               | _ -> (Pipeline.points_to ~algorithm view, "")
             in
             let dt = Unix.gettimeofday () -. t0 in
@@ -305,7 +367,9 @@ let analyze_cmd =
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Run a points-to analysis over a linked database.")
-    Term.(const run $ db $ algo $ print_sets $ json $ no_cache $ no_cycle $ obs_term)
+    Term.(
+      const run $ db $ algo $ print_sets $ json $ no_cache $ no_cycle $ budget
+      $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* depend                                                              *)
@@ -347,11 +411,11 @@ let depend_cmd =
   in
   let run db target non_targets limit new_type tree =
     handle_errors (fun () ->
-        let view = Objfile.load db in
+        let view = load_view db in
         let pta = Andersen.solve view in
         let dep = Cla_depend.Depend.prepare view pta in
         match Cla_depend.Depend.query_by_name dep ~non_targets target with
-        | None -> Error (Fmt.str "target %S not found" target)
+        | None -> err_input (Fmt.str "target %S not found" target)
         | Some r ->
             let r =
               {
@@ -403,7 +467,7 @@ let transform_cmd =
   in
   let run db output substitute duplicate =
     handle_errors (fun () ->
-        let view = Objfile.load db in
+        let view = load_view db in
         let d = fst (Linkp.link_views [ view ]) in
         let d =
           if duplicate then begin
@@ -444,7 +508,7 @@ let dump_cmd =
   in
   let run db blocks =
     handle_errors (fun () ->
-        let view = Objfile.load db in
+        let view = load_view db in
         let m = view.Objfile.rmeta in
         Fmt.pr "files: %a@." Fmt.(list ~sep:comma string) m.Objfile.mfiles;
         Fmt.pr "source lines: %d, preprocessed lines: %d@."
@@ -499,6 +563,59 @@ let dump_cmd =
     Term.(const run $ db $ blocks)
 
 (* ------------------------------------------------------------------ *)
+(* faults                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let faults_cmd =
+  let db = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.cla") in
+  let n =
+    Arg.(
+      value & opt int 500
+      & info [ "n"; "mutations" ] ~docv:"N"
+          ~doc:"Number of random mutations to inject.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Mutation seed.")
+  in
+  let run db n seed obs =
+    with_obs obs (fun () ->
+        handle_errors (fun () ->
+            let ic = open_in_bin db in
+            let data = really_input_string ic (in_channel_length ic) in
+            close_in ic;
+            (* the unmutated file must be sound before we corrupt it *)
+            let baseline =
+              (Andersen.solve ~demand:false (Objfile.view_of_string data))
+                .Andersen.solution
+            in
+            match
+              Cla_workload.Faults.sweep ~baseline ~seed:(Int64.of_int seed) ~n
+                data
+            with
+            | stats ->
+                Fmt.pr
+                  "%s: %d mutation(s), %d accepted (identical solution), %d \
+                   rejected as corrupt@."
+                  db stats.Cla_workload.Faults.n_total
+                  stats.Cla_workload.Faults.n_accepted
+                  stats.Cla_workload.Faults.n_rejected;
+                Ok ()
+            | exception Cla_workload.Faults.Invariant_violation (m, e) ->
+                Error
+                  ( Fmt.str "fault invariant violated on %S: %s raised %s" db
+                      (Cla_workload.Faults.describe m)
+                      (Printexc.to_string e),
+                    Diag.exit_internal )))
+    |> to_exit
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Fault-injection sweep: corrupt the database N ways and check \
+          every mutant is either analyzed identically or rejected cleanly.")
+    Term.(const run $ db $ n $ seed $ obs_term)
+
+(* ------------------------------------------------------------------ *)
 (* gen                                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -528,7 +645,7 @@ let gen_cmd =
         let* p =
           match Cla_workload.Profile.find profile with
           | Some p -> Ok p
-          | None -> Error (Fmt.str "unknown profile %S" profile)
+          | None -> err_input (Fmt.str "unknown profile %S" profile)
         in
         let p =
           if scale < 1.0 then Cla_workload.Profile.scaled scale p else p
@@ -554,6 +671,9 @@ let main =
   Cmd.group
     (Cmd.info "cla" ~version:"1.0.0"
        ~doc:"Compile-link-analyze points-to and dependence analysis for C.")
-    [ compile_cmd; link_cmd; analyze_cmd; depend_cmd; transform_cmd; dump_cmd; gen_cmd ]
+    [
+      compile_cmd; link_cmd; analyze_cmd; depend_cmd; transform_cmd; dump_cmd;
+      faults_cmd; gen_cmd;
+    ]
 
 let () = exit (Cmd.eval' main)

@@ -1,1 +1,1 @@
-lib/core/binio.ml: Buffer Bytes Char String
+lib/core/binio.ml: Buffer Bytes Char Fmt String

@@ -1,1 +1,1 @@
-lib/core/compilep.ml: Array Cla_cfront Cla_ir Cla_obs Cparser Cpp Fmt Hashtbl List Normalize Objfile Option Prim Prog String Var
+lib/core/compilep.ml: Array Cla_cfront Cla_ir Cla_obs Cparser Cpp Diag Fmt Hashtbl List Normalize Objfile Option Prim Prog String Var

@@ -1,1 +1,1 @@
-lib/core/compilep.mli: Cla_cfront Cla_ir Objfile
+lib/core/compilep.mli: Cla_cfront Cla_ir Diag Objfile

@@ -1,0 +1,1 @@
+lib/core/crc32.ml: Array Char Lazy String

@@ -1,0 +1,1 @@
+lib/core/diag.ml: Binio Cla_cfront Cla_ir Cla_obs Fmt Lexing List Loc

@@ -1,0 +1,1 @@
+lib/core/diag.mli: Cla_ir Format Loc

@@ -1,1 +1,1 @@
-lib/core/linkp.ml: Array Cla_ir Cla_obs Hashtbl List Loc Objfile Prim Var
+lib/core/linkp.ml: Array Cla_ir Cla_obs Diag Hashtbl List Loc Objfile Prim Var

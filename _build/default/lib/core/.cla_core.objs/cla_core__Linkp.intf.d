@@ -1,1 +1,1 @@
-lib/core/linkp.mli: Cla_obs Objfile
+lib/core/linkp.mli: Cla_obs Diag Objfile

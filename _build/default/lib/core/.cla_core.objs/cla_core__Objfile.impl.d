@@ -1,1 +1,1 @@
-lib/core/objfile.ml: Array Binio Buffer Bytes Cla_ir Fmt Hashtbl Int64 List Loc Prim Strength String Strtab Var
+lib/core/objfile.ml: Array Binio Buffer Bytes Cla_ir Crc32 Diag Fmt Hashtbl Int64 List Loc Prim Strength String Strtab Var

@@ -1,1 +1,1 @@
-lib/core/objfile.mli: Cla_ir Loc Prim Strength Var
+lib/core/objfile.mli: Cla_ir Diag Loc Prim Strength Var

@@ -16,13 +16,17 @@
     [getLvals(cptr)] add edge [z -> cother]; [Load]: for each [&z] add
     edge [cother -> z] ([cother] is the deref node [n_*y]).  [cseen]
     remembers the set processed last pass — sets grow monotonically, so
-    only the delta needs new edges. *)
+    only the delta needs new edges.  [corigin] is the block the record
+    was decoded from: when the loader evicts that block to stay within
+    its budget, the complex is dropped from core and re-created when the
+    block is re-loaded. *)
 type ckind = Kstore | Kload
 
 type complex = {
   ckind : ckind;
   cptr : int;
   cother : int;
+  corigin : int;
   mutable cseen : Lvalset.t;
 }
 
@@ -35,17 +39,30 @@ type t = {
   mutable complexes : complex list;
   mutable n_complex : int;
   deref_nodes : (int, int) Hashtbl.t;  (* y -> n_*y *)
+  deref2_tnodes : (int * int, int) Hashtbl.t;
+      (* (dst, src) -> the split node of *dst = *src; memoized so a
+         re-load of the block reuses the node instead of growing the
+         graph *)
   fundef_by_var : (int, Objfile.fund_rec) Hashtbl.t;
   linked : (int, unit) Hashtbl.t;  (* (indirect idx, func var) pairs *)
   mutable passes : int;
-  mutable retained : Objfile.prim_rec list;
+  retained_by_block : (int, Objfile.prim_rec list) Hashtbl.t;
       (* the complex assignments kept in core (Section 6's discard
-         strategy) — reused by the dependence analysis *)
+         strategy), grouped by origin block so eviction can drop a
+         block's records — flattened into [result.retained] for the
+         dependence analysis *)
   mutable linked_copies : (int * int * Cla_ir.Loc.t) list;
       (* analysis-time copies (dst, src) from indirect-call linking *)
   iseen : Lvalset.t array;  (* per indirect record: lvals already linked *)
   mutable pass_log : pass_stats list;
       (* per-pass convergence counters, reverse order *)
+  mutable pending_evict : int list;
+      (* blocks the loader evicted since the last pass boundary; their
+         complexes are dropped at the end of the pass (after the pass's
+         iteration snapshot has processed them) and re-loaded at the
+         start of the next one *)
+  evicted : (int, unit) Hashtbl.t;
+      (* blocks whose complexes are currently out of core *)
 }
 
 (* Convergence counters for one pass of Figure 5's loop — the visible
@@ -67,6 +84,18 @@ let deref_node st y =
       Hashtbl.replace st.deref_nodes y d;
       d
 
+(* The split node of [*dst = *src] (Section 5 rewrites it into
+   [*dst = t; t = *src]).  Memoized per (dst, src) so that re-loading an
+   evicted block reuses the node — a re-load must reconstruct exactly
+   the constraints of the first load, not grow the graph. *)
+let deref2_tnode st dst src =
+  match Hashtbl.find_opt st.deref2_tnodes (dst, src) with
+  | Some n -> n
+  | None ->
+      let n = Pretrans.fresh_node st.g in
+      Hashtbl.replace st.deref2_tnodes (dst, src) n;
+      n
+
 let rec activate st v =
   if Bytes.get st.active v = '\000' then begin
     Bytes.set st.active v '\001';
@@ -75,6 +104,7 @@ let rec activate st v =
 
 and load_block st v =
   let prims = Loader.block st.loader v in
+  let kept = ref [] in
   List.iter
     (fun (p : Objfile.prim_rec) ->
       if Loader.relevant_to_points_to p then
@@ -90,11 +120,17 @@ and load_block st v =
             let d = deref_node st v in
             ignore (Pretrans.add_edge st.g p.Objfile.pdst d);
             st.complexes <-
-              { ckind = Kload; cptr = v; cother = d; cseen = Lvalset.empty }
+              {
+                ckind = Kload;
+                cptr = v;
+                cother = d;
+                corigin = v;
+                cseen = Lvalset.empty;
+              }
               :: st.complexes;
             st.n_complex <- st.n_complex + 1;
-            st.retained <- p :: st.retained;
-            Loader.retain st.loader 1;
+            kept := p :: !kept;
+            Loader.retain st.loader ~src:v 1;
             activate st p.Objfile.pdst
         | Objfile.Pstore ->
             (* *x = v *)
@@ -103,56 +139,108 @@ and load_block st v =
                 ckind = Kstore;
                 cptr = p.Objfile.pdst;
                 cother = v;
+                corigin = v;
                 cseen = Lvalset.empty;
               }
               :: st.complexes;
             st.n_complex <- st.n_complex + 1;
-            st.retained <- p :: st.retained;
-            Loader.retain st.loader 1
+            kept := p :: !kept;
+            Loader.retain st.loader ~src:v 1
         | Objfile.Pderef2 ->
-            (* *x = *v, split through a fresh node t (Section 5 splits it
-               into [*x = t; t = *v]) *)
-            st.retained <- p :: st.retained;
-            let tnode = Pretrans.fresh_node st.g in
+            (* *x = *v, split through node t: [*x = t; t = *v] *)
+            kept := p :: !kept;
+            let tnode = deref2_tnode st p.Objfile.pdst v in
             let d = deref_node st v in
             ignore (Pretrans.add_edge st.g tnode d);
             st.complexes <-
-              { ckind = Kload; cptr = v; cother = d; cseen = Lvalset.empty }
+              {
+                ckind = Kload;
+                cptr = v;
+                cother = d;
+                corigin = v;
+                cseen = Lvalset.empty;
+              }
               :: {
                    ckind = Kstore;
                    cptr = p.Objfile.pdst;
                    cother = tnode;
+                   corigin = v;
                    cseen = Lvalset.empty;
                  }
               :: st.complexes;
             st.n_complex <- st.n_complex + 2;
-            Loader.retain st.loader 2)
-    prims
+            Loader.retain st.loader ~src:v 2)
+    prims;
+  if !kept <> [] then Hashtbl.replace st.retained_by_block v (List.rev !kept)
 
-let init ?(config = Pretrans.default_config) ?(demand = true) view =
+(* Apply evictions the loader signalled since the last pass boundary:
+   drop the evicted blocks' complexes and retained records from core and
+   remember to re-load them.  Deferred to pass boundaries so that the
+   pass's iteration snapshot — which already contains those complexes —
+   stays the authority on what was processed; a block that was retained
+   again after its eviction (evict-then-reload inside one boundary) is
+   left alone. *)
+let apply_evictions st =
+  match st.pending_evict with
+  | [] -> ()
+  | pending ->
+      st.pending_evict <- [];
+      let dead = Hashtbl.create 16 in
+      List.iter
+        (fun v ->
+          if not (Loader.is_retained st.loader v) then begin
+            Hashtbl.replace dead v ();
+            Hashtbl.remove st.retained_by_block v;
+            Hashtbl.replace st.evicted v ()
+          end)
+        pending;
+      if Hashtbl.length dead > 0 then begin
+        st.complexes <-
+          List.filter (fun c -> not (Hashtbl.mem dead c.corigin)) st.complexes;
+        st.n_complex <- List.length st.complexes
+      end
+
+(* Re-load every evicted block before a pass iterates, so the pass again
+   sees the complete constraint set — the re-load re-creates the same
+   complexes (with a cleared [cseen], so they are re-checked against the
+   full current points-to sets) and counts in the loader's re-load and
+   eviction accounting. *)
+let reload_evicted st =
+  if Hashtbl.length st.evicted > 0 then begin
+    let vs = Hashtbl.fold (fun v () acc -> v :: acc) st.evicted [] in
+    Hashtbl.reset st.evicted;
+    List.iter (fun v -> load_block st v) vs
+  end
+
+let init ?(config = Pretrans.default_config) ?(demand = true) ?budget view =
   let nvars = Objfile.n_vars view in
   let st =
     {
       g = Pretrans.create ~config ~nodes:nvars ();
-      loader = Loader.create view;
+      loader = Loader.create ?budget view;
       view;
       demand;
       active = Bytes.make (max 1 nvars) '\000';
       complexes = [];
       n_complex = 0;
       deref_nodes = Hashtbl.create 256;
+      deref2_tnodes = Hashtbl.create 64;
       fundef_by_var = Hashtbl.create 256;
       linked = Hashtbl.create 256;
       passes = 0;
-      retained = [];
+      retained_by_block = Hashtbl.create 256;
       linked_copies = [];
       iseen =
         Array.make
           (max 1 (Array.length view.Objfile.rindirects))
           Lvalset.empty;
       pass_log = [];
+      pending_evict = [];
+      evicted = Hashtbl.create 16;
     }
   in
+  Loader.set_on_evict st.loader (fun v ->
+      st.pending_evict <- v :: st.pending_evict);
   Array.iter
     (fun (f : Objfile.fund_rec) ->
       Hashtbl.replace st.fundef_by_var f.Objfile.ffvar f)
@@ -168,6 +256,7 @@ let init ?(config = Pretrans.default_config) ?(demand = true) view =
       Bytes.set st.active v '\001';
       load_block st v
     done;
+  apply_evictions st;
   st
 
 (* One pass of Figure 5's iteration algorithm; returns [true] if the graph
@@ -176,6 +265,11 @@ let pass st =
   st.passes <- st.passes + 1;
   Cla_obs.Obs.with_span "analyze.pass" ~label:(string_of_int st.passes)
   @@ fun () ->
+  (* bounded-memory mode: blocks evicted since the last boundary come
+     back first, so every pass checks the complete constraint set — the
+     no-change pass that ends the iteration has therefore verified every
+     constraint, resident or re-loaded *)
+  reload_evicted st;
   let before = Pretrans.stats st.g in
   Pretrans.new_pass st.g;
   let changed = ref false in
@@ -241,6 +335,7 @@ let pass st =
       st.iseen.(idx) <- lv
       end)
     st.view.Objfile.rindirects;
+  apply_evictions st;
   let after = Pretrans.stats st.g in
   st.pass_log <-
     {
@@ -291,16 +386,22 @@ let publish_result ?reg (r : result) =
 (** Run the analysis to fixpoint and extract points-to sets for every
     program variable (cheap at the end thanks to cycle elimination and
     caching — the paper's observation in Section 5). *)
-let solve ?config ?demand view : result =
+let solve ?config ?demand ?budget view : result =
   Cla_obs.Obs.with_span "analyze" @@ fun () ->
   let st =
-    Cla_obs.Obs.with_span "analyze.init" (fun () -> init ?config ?demand view)
+    Cla_obs.Obs.with_span "analyze.init" (fun () ->
+        init ?config ?demand ?budget view)
   in
   while pass st do
     ()
   done;
   let r =
     Cla_obs.Obs.with_span "analyze.extract" @@ fun () ->
+    (* blocks evicted during the final pass come back so [retained] is
+       the complete complex-assignment set (the dependence analysis
+       consumes it); blocks this displaces stay in [retained_by_block],
+       so the flattened list below misses nothing *)
+    reload_evicted st;
     Pretrans.new_pass st.g;
     let nvars = Objfile.n_vars view in
     let pts = Array.init nvars (fun v -> Pretrans.get_lvals st.g v) in
@@ -310,7 +411,10 @@ let solve ?config ?demand view : result =
       loader_stats = Loader.stats st.loader;
       graph_stats = Pretrans.stats st.g;
       pass_log = List.rev st.pass_log;
-      retained = st.retained;
+      retained =
+        Hashtbl.fold
+          (fun _ prims acc -> List.rev_append prims acc)
+          st.retained_by_block [];
       linked_copies = st.linked_copies;
     }
   in

@@ -7,13 +7,16 @@
 (** A retained complex assignment.  [Kstore]: for each new [&z] in
     [getLvals(cptr)], add edge [z -> cother].  [Kload]: add
     [cother -> z] ([cother] is the dereference node [n_*y]).  [cseen]
-    remembers the set processed last pass (difference propagation). *)
+    remembers the set processed last pass (difference propagation).
+    [corigin] is the block the record was decoded from — the unit of
+    eviction under a loader budget. *)
 type ckind = Kstore | Kload
 
 type complex = {
   ckind : ckind;
   cptr : int;
   cother : int;
+  corigin : int;
   mutable cseen : Lvalset.t;
 }
 
@@ -27,14 +30,22 @@ type t = {
   mutable complexes : complex list;  (** kept in core (Section 6) *)
   mutable n_complex : int;
   deref_nodes : (int, int) Hashtbl.t;
+  deref2_tnodes : (int * int, int) Hashtbl.t;
+      (** memoized split nodes of [*x = *y], so re-loading an evicted
+          block reuses nodes instead of growing the graph *)
   fundef_by_var : (int, Objfile.fund_rec) Hashtbl.t;
   linked : (int, unit) Hashtbl.t;
   mutable passes : int;
-  mutable retained : Objfile.prim_rec list;
+  retained_by_block : (int, Objfile.prim_rec list) Hashtbl.t;
+      (** complex assignments kept in core, grouped by origin block *)
   mutable linked_copies : (int * int * Cla_ir.Loc.t) list;
   iseen : Lvalset.t array;
   mutable pass_log : pass_stats list;
       (** per-pass convergence counters, reverse order *)
+  mutable pending_evict : int list;
+      (** blocks evicted by the loader since the last pass boundary *)
+  evicted : (int, unit) Hashtbl.t;
+      (** blocks whose complexes are currently out of core *)
 }
 
 (** Convergence counters for one pass of Figure 5's loop. *)
@@ -51,8 +62,13 @@ and pass_stats = {
 
 (** Load the static section (and, in demand mode, the blocks it activates)
     and set up the iteration state.  [demand=false] loads every block up
-    front. *)
-val init : ?config:Pretrans.config -> ?demand:bool -> Objfile.view -> t
+    front.  [budget] bounds the retained assignments kept in core (see
+    {!Loader.create}): blocks evicted by the loader are dropped at pass
+    boundaries and transparently re-loaded before the next pass, so every
+    pass still checks the complete constraint set and the fixpoint — a
+    pass with no change — is identical to the unbounded run. *)
+val init :
+  ?config:Pretrans.config -> ?demand:bool -> ?budget:int -> Objfile.view -> t
 
 (** One pass of Figure 5's iteration algorithm (complex assignments, then
     analysis-time indirect-call linking).  Returns [true] if the graph
@@ -84,4 +100,8 @@ val publish_result : ?reg:Cla_obs.Metrics.t -> result -> unit
     ["analyze.pass"] per pass, ["analyze.extract"]); the result is
     published into the metrics registry. *)
 val solve :
-  ?config:Pretrans.config -> ?demand:bool -> Objfile.view -> result
+  ?config:Pretrans.config ->
+  ?demand:bool ->
+  ?budget:int ->
+  Objfile.view ->
+  result

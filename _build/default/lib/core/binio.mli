@@ -36,6 +36,18 @@ type reader = { data : string; mutable pos : int; limit : int }
 val reader : ?pos:int -> ?limit:int -> string -> reader
 val ru8 : reader -> int
 val ru32 : reader -> int
+
+(** Unsigned LEB128.  Raises {!Corrupt} on truncation, on encodings
+    longer than 9 data bytes, and on values that do not fit OCaml's
+    non-negative 63-bit int range — hostile input can never produce
+    silent garbage (or a negative id) through shift overflow. *)
 val rvarint : reader -> int
+
 val rbytes : reader -> string
+
+(** Read a u32 record count, rejecting (as {!Corrupt}) any count larger
+    than the remaining bytes divided by [min_size] (default 1) — a
+    corrupt count must fail before the allocation it would size. *)
+val rcount : ?min_size:int -> reader -> int
+
 val at_end : reader -> bool

@@ -170,3 +170,31 @@ let compile_file ?(options = default_options) path : Objfile.db =
 (** Compile and serialize to an object file on disk (like [cc -c]). *)
 let compile_to ?(options = default_options) ~output path =
   Objfile.save output (compile_file ~options path)
+
+(** Like {!compile_file}, surfacing front-end failures (parse, cpp, lex,
+    missing file) as a structured {!Diag.t} instead of an exception. *)
+let compile_file_result ?(options = default_options) path :
+    (Objfile.db, Diag.t) result =
+  Diag.capture ~file:path ~phase:Diag.Compile (fun () ->
+      compile_file ~options path)
+
+(** Compile a batch of files.  Failures are recorded as diagnostics
+    (bumping [compile.errors]); with [keep_going] the remaining files are
+    still compiled, without it the first failure raises {!Diag.Fail}.
+    Returns the units that did compile, in input order, with their
+    paths. *)
+let compile_many ?(options = default_options) ?(keep_going = false) paths :
+    (string * Objfile.db) list * Diag.t list =
+  let c = Diag.collector () in
+  let dbs =
+    List.filter_map
+      (fun path ->
+        match compile_file_result ~options path with
+        | Ok db -> Some (path, db)
+        | Error d ->
+            Diag.add c d;
+            if not keep_going then raise (Diag.Fail d);
+            None)
+      paths
+  in
+  (dbs, Diag.to_list c)

@@ -27,3 +27,19 @@ val compile_file : ?options:options -> string -> Objfile.db
 
 (** Compile and serialize to an object file on disk (like [cc -c]). *)
 val compile_to : ?options:options -> output:string -> string -> unit
+
+(** Like {!compile_file}, surfacing front-end failures (parse, cpp, lex,
+    missing file) as a structured {!Diag.t} instead of an exception. *)
+val compile_file_result :
+  ?options:options -> string -> (Objfile.db, Diag.t) result
+
+(** Compile a batch of files.  Failures are recorded as diagnostics
+    (bumping [compile.errors]); with [keep_going] the remaining files
+    are still compiled, without it the first failure raises
+    {!Diag.Fail}.  Returns the units that did compile, in input order,
+    with their paths. *)
+val compile_many :
+  ?options:options ->
+  ?keep_going:bool ->
+  string list ->
+  (string * Objfile.db) list * Diag.t list

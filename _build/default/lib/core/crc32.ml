@@ -1,0 +1,38 @@
+(** CRC-32 (IEEE 802.3 polynomial, reflected), pure OCaml.
+
+    Used by the CLA2 object-file format for per-section integrity
+    checksums.  The table is computed once at module load; no external
+    dependency is involved — object files must stay readable on a bare
+    toolchain. *)
+
+(* Reflected polynomial 0xEDB88320; the classic 256-entry table. *)
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           if !c land 1 <> 0 then c := 0xEDB88320 lxor (!c lsr 1)
+           else c := !c lsr 1
+         done;
+         !c))
+
+(** Feed [len] bytes of [s] starting at [pos] into a running CRC.
+    [crc] is the current state as returned by a previous call (start
+    from [0]). *)
+let update crc s ~pos ~len =
+  let t = Lazy.force table in
+  let c = ref (crc lxor 0xFFFFFFFF) in
+  for i = pos to pos + len - 1 do
+    c := t.((!c lxor Char.code (String.unsafe_get s i)) land 0xff)
+         lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+(** CRC-32 of a substring. *)
+let sub s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Crc32.sub";
+  update 0 s ~pos ~len
+
+(** CRC-32 of a whole string. *)
+let string s = update 0 s ~pos:0 ~len:(String.length s)

@@ -181,3 +181,32 @@ let link_files ~output paths =
   let db, stats = link_views views in
   Objfile.save output db;
   stats
+
+(** Like {!link_files}, surfacing corrupt or unreadable inputs as
+    structured diagnostics (bumping [load.corrupt]).  With [keep_going]
+    the bad object files are skipped and the rest are linked; without it
+    the first failure raises {!Diag.Fail}.  [None] means no input
+    survived, in which case no output is written. *)
+let link_files_result ?(keep_going = false) ~output paths :
+    stats option * Diag.t list =
+  let c = Diag.collector () in
+  let views =
+    List.filter_map
+      (fun path ->
+        match Objfile.load_result path with
+        | Ok v -> Some v
+        | Error d ->
+            Diag.add c d;
+            if not keep_going then raise (Diag.Fail d);
+            None)
+      paths
+  in
+  let stats =
+    if views = [] then None
+    else begin
+      let db, stats = link_views views in
+      Objfile.save output db;
+      Some stats
+    end
+  in
+  (stats, Diag.to_list c)

@@ -21,3 +21,14 @@ val link_views : Objfile.view list -> Objfile.db * stats
 (** Link object files from disk and write the "executable" database
     (which has the same format as the inputs, as in the paper). *)
 val link_files : output:string -> string list -> stats
+
+(** Like {!link_files}, surfacing corrupt or unreadable inputs as
+    structured diagnostics (bumping [load.corrupt]).  With [keep_going]
+    the bad object files are skipped and the rest are linked; without it
+    the first failure raises {!Diag.Fail}.  [None] means no input
+    survived, in which case no output is written. *)
+val link_files_result :
+  ?keep_going:bool ->
+  output:string ->
+  string list ->
+  stats option * Diag.t list

@@ -6,7 +6,15 @@
     records and re-read them later ("once we have read information from the
     object file we can simply discard it and re-load it later if
     necessary").  The loader keeps the Table 3 accounting: assignments
-    loaded, assignments retained in core, assignments in the file. *)
+    loaded, assignments retained in core, assignments in the file.
+
+    With [~budget], retention is {e bounded}: the loader tracks which
+    blocks hold retained assignments in LRU order, and when a [retain]
+    would push the in-core total past the budget it discards
+    least-recently-used blocks — notifying the analysis through
+    [on_evict] so it can drop the decoded records and re-load them later.
+    This makes the paper's discard-and-re-load strategy real rather than
+    an accounting fiction. *)
 
 open Cla_ir
 
@@ -16,16 +24,94 @@ type t = {
   mutable loaded : int;  (* primitive assignments decoded *)
   mutable in_core : int;  (* primitive assignments retained in memory *)
   mutable reloads : int;  (* blocks decoded again after a discard *)
+  budget : int option;  (* max retained assignments, if bounded *)
+  mutable evictions : int;  (* blocks discarded to stay within budget *)
+  retained_n : int array;  (* per var: assignments currently retained *)
+  (* LRU doubly-linked list over blocks with retained assignments;
+     index [sentinel] (= n_vars) is the list head/tail anchor, [-1]
+     marks "not in list". *)
+  lru_prev : int array;
+  lru_next : int array;
+  sentinel : int;
+  mutable on_evict : int -> unit;
 }
 
-let create (view : Objfile.view) =
+let create ?budget (view : Objfile.view) =
+  let n = Objfile.n_vars view in
+  let s = n in
+  let prev = Array.make (n + 1) (-1) and next = Array.make (n + 1) (-1) in
+  prev.(s) <- s;
+  next.(s) <- s;
   {
     view;
-    loaded_flag = Bytes.make (max 1 (Objfile.n_vars view)) '\000';
+    loaded_flag = Bytes.make (max 1 n) '\000';
     loaded = 0;
     in_core = 0;
     reloads = 0;
+    budget;
+    evictions = 0;
+    retained_n = Array.make (max 1 n) 0;
+    lru_prev = prev;
+    lru_next = next;
+    sentinel = s;
+    on_evict = ignore;
   }
+
+(** Install the callback invoked with a block's object id when its
+    retained assignments are discarded to stay within the budget. *)
+let set_on_evict t f = t.on_evict <- f
+
+let budget t = t.budget
+
+(** [true] while the block of [src] still holds retained assignments
+    (i.e. it has been retained and not evicted since). *)
+let is_retained t src = t.retained_n.(src) > 0
+
+(* ---------------- LRU bookkeeping ---------------- *)
+
+let in_lru t v = t.lru_next.(v) >= 0
+
+let lru_remove t v =
+  if in_lru t v then begin
+    let p = t.lru_prev.(v) and n = t.lru_next.(v) in
+    t.lru_next.(p) <- n;
+    t.lru_prev.(n) <- p;
+    t.lru_next.(v) <- -1;
+    t.lru_prev.(v) <- -1
+  end
+
+(* Most-recently-used position is right after the sentinel. *)
+let lru_touch t v =
+  lru_remove t v;
+  let s = t.sentinel in
+  let n = t.lru_next.(s) in
+  t.lru_next.(s) <- v;
+  t.lru_prev.(v) <- s;
+  t.lru_next.(v) <- n;
+  t.lru_prev.(n) <- v
+
+let evict t v =
+  t.in_core <- t.in_core - t.retained_n.(v);
+  t.retained_n.(v) <- 0;
+  lru_remove t v;
+  t.evictions <- t.evictions + 1;
+  t.on_evict v
+
+(* Discard LRU blocks (never [keep], the block being retained right now)
+   until the budget holds again.  If [keep] alone exceeds the budget
+   there is nothing left to evict and the overshoot stands — a budget
+   smaller than one block cannot be honored. *)
+let enforce_budget t ~keep limit =
+  let continue_ = ref true in
+  while t.in_core > limit && !continue_ do
+    let v = ref (t.lru_prev.(t.sentinel)) in
+    while !v <> t.sentinel && !v = keep do
+      v := t.lru_prev.(!v)
+    done;
+    if !v = t.sentinel then continue_ := false else evict t !v
+  done
+
+(* ---------------- loading & accounting ---------------- *)
 
 (** The address-of assignments; counted as loaded (they are always read,
     then discarded per the Section 6 strategy). *)
@@ -41,19 +127,31 @@ let block t src : Objfile.prim_rec list =
   if n > 0 then begin
     t.loaded <- t.loaded + n;
     if Bytes.get t.loaded_flag src <> '\000' then t.reloads <- t.reloads + 1
-    else Bytes.set t.loaded_flag src '\001'
+    else Bytes.set t.loaded_flag src '\001';
+    if is_retained t src then lru_touch t src
   end;
   prims
 
-(** Record that [n] decoded assignments are being kept in memory (complex
-    assignments are retained; [x = y] and [x = &y] are discarded). *)
-let retain t n = t.in_core <- t.in_core + n
+(** Record that [n] decoded assignments of the block of [src] are being
+    kept in memory (complex assignments are retained; [x = y] and
+    [x = &y] are discarded).  May evict other blocks to honor the
+    budget. *)
+let retain t ~src n =
+  if n > 0 then begin
+    t.in_core <- t.in_core + n;
+    t.retained_n.(src) <- t.retained_n.(src) + n;
+    lru_touch t src;
+    match t.budget with
+    | None -> ()
+    | Some limit -> enforce_budget t ~keep:src limit
+  end
 
 type stats = {
   s_in_core : int;
   s_loaded : int;
   s_in_file : int;
   s_reloads : int;
+  s_evictions : int;
 }
 
 let stats t =
@@ -62,16 +160,19 @@ let stats t =
     s_loaded = t.loaded;
     s_in_file = Prim.total t.view.Objfile.rmeta.Objfile.mcounts;
     s_reloads = t.reloads;
+    s_evictions = t.evictions;
   }
 
 (** Publish a stats record into the metrics registry under
-    [load.blocks.*] — Table 3's block-residency accounting. *)
+    [load.blocks.*] — Table 3's block-residency accounting — plus the
+    eviction counter [load.evictions]. *)
 let publish_stats ?reg (s : stats) =
   let set k v = Cla_obs.Metrics.set ?reg ("load.blocks." ^ k) v in
   set "in_core" s.s_in_core;
   set "loaded" s.s_loaded;
   set "in_file" s.s_in_file;
-  set "reloads" s.s_reloads
+  set "reloads" s.s_reloads;
+  Cla_obs.Metrics.set ?reg "load.evictions" s.s_evictions
 
 (** Operations through which points-to information survives: only these
     copies are relevant to aliasing, and the loader skips the rest

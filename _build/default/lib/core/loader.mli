@@ -4,11 +4,31 @@
     The static section is always loaded; dynamic blocks are decoded only
     when the analysis asks, and decoded records may be discarded and
     re-read later.  The loader keeps Table 3's accounting: assignments
-    loaded, assignments retained in core, assignments in the file. *)
+    loaded, assignments retained in core, assignments in the file.
+
+    With [~budget], retention is bounded: blocks holding retained
+    assignments are tracked in LRU order and discarded — with an
+    [on_evict] notification — whenever a [retain] would push the in-core
+    total past the budget.  The analysis re-loads discarded blocks on
+    demand (the paper's discard-and-re-load strategy, Section 6). *)
 
 type t
 
-val create : Objfile.view -> t
+(** [create ?budget view].  [budget] is the maximum number of retained
+    assignments kept in core; omitted means unbounded (the seed
+    behavior).  A budget smaller than a single block's retention cannot
+    be honored — the lone block is never evicted mid-retention. *)
+val create : ?budget:int -> Objfile.view -> t
+
+(** Install the callback invoked with a block's object id when its
+    retained assignments are discarded to stay within the budget. *)
+val set_on_evict : t -> (int -> unit) -> unit
+
+val budget : t -> int option
+
+(** [true] while the block of [src] holds retained assignments (retained
+    and not evicted since). *)
+val is_retained : t -> int -> bool
 
 (** The address-of assignments — always read, counted as loaded. *)
 val statics : t -> Objfile.prim_rec array
@@ -18,23 +38,26 @@ val statics : t -> Objfile.prim_rec array
     count as re-loads (the load-and-throw-away strategy). *)
 val block : t -> int -> Objfile.prim_rec list
 
-(** Record that [n] decoded assignments are being kept in memory (complex
-    assignments are retained; [x = y] and [x = &y] are discarded after
-    use, Section 6). *)
-val retain : t -> int -> unit
+(** Record that [n] decoded assignments of the block of [src] are being
+    kept in memory (complex assignments are retained; [x = y] and
+    [x = &y] are discarded after use, Section 6).  May evict
+    least-recently-used blocks — never [src] itself — to honor the
+    budget. *)
+val retain : t -> src:int -> int -> unit
 
 type stats = {
   s_in_core : int;  (** assignments retained in memory *)
   s_loaded : int;  (** assignments decoded from the file *)
   s_in_file : int;  (** total assignments in the database *)
   s_reloads : int;  (** blocks decoded again after a discard *)
+  s_evictions : int;  (** blocks discarded to stay within the budget *)
 }
 
 val stats : t -> stats
 
 (** Publish a stats record into the metrics registry (default
     {!Cla_obs.Metrics.default}) under [load.blocks.*] — Table 3's
-    block-residency accounting. *)
+    block-residency accounting — plus [load.evictions]. *)
 val publish_stats : ?reg:Cla_obs.Metrics.t -> stats -> unit
 
 (** Operations through which points-to information survives ([+], [-],

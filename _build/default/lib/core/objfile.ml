@@ -4,9 +4,11 @@
     Layout (all little-endian, varint = LEB128):
 
     {v
-    magic "CLA1"
+    magic "CLA2"  (version byte is the 4th magic character)
     u32 section_count
-    section table: (u8 id, u32 offset, u32 size) per section
+    section table: (u8 id, u32 offset, u32 size, u32 crc32) per section
+    u32 table_crc32: checksum of section_count + table
+                     (CLA1 files carry neither crc field; checks skipped)
     sections:
       STRTAB   common strings (Figure 4's "string section")
       VARS     one record per object: name, kind, linkage, type, decl loc
@@ -28,7 +30,16 @@
 
 open Cla_ir
 
-let magic = "CLA1"
+(* Format versions.  CLA2 adds a per-section CRC32 to every section-table
+   entry; CLA1 files (written before checksums existed) are still read,
+   with verification skipped. *)
+let magic_v1 = "CLA1"
+let magic = "CLA2"
+let current_version = 2
+
+(* Section-table entry sizes: (u8 id, u32 off, u32 size) in CLA1, plus a
+   u32 crc in CLA2. *)
+let entry_size = function 1 -> 9 | _ -> 13
 
 (* Section ids *)
 let sec_strtab = 0
@@ -158,8 +169,12 @@ let write_block_prim w st p =
   | None -> ());
   write_loc w st p.ploc
 
-(** Serialize a database to object-file bytes. *)
-let write (db : db) : string =
+(** Serialize a database to object-file bytes.  [version] defaults to
+    the current CLA2 format; [~version:1] writes the legacy checksum-free
+    CLA1 layout (kept for compatibility tests and downgrade paths). *)
+let write ?(version = current_version) (db : db) : string =
+  if version <> 1 && version <> 2 then
+    invalid_arg (Fmt.str "Objfile.write: unsupported version %d" version);
   let st = Strtab.create () in
   (* Pre-intern everything so the string table can be emitted first;
      sections are built into their own buffers. *)
@@ -284,15 +299,21 @@ let write (db : db) : string =
     ]
   in
   let header = Binio.writer () in
-  Buffer.add_string header magic;
+  Buffer.add_string header (if version = 1 then magic_v1 else magic);
   Binio.u32 header (List.length sections);
   let table_pos = Binio.wpos header in
+  let esize = entry_size version in
   List.iter
     (fun (id, _) ->
       Binio.u8 header id;
       Binio.u32 header 0;
-      Binio.u32 header 0)
+      Binio.u32 header 0;
+      if version >= 2 then Binio.u32 header 0)
     sections;
+  (* v2: checksum over the table itself (count + entries), so corruption
+     of the header — a flipped section count or id — cannot silently
+     drop or retarget sections. *)
+  if version >= 2 then Binio.u32 header 0;
   let out = Buffer.create (1 lsl 16) in
   Buffer.add_buffer out header;
   let offsets =
@@ -304,13 +325,24 @@ let write (db : db) : string =
       sections
   in
   let bytes = Buffer.to_bytes out in
+  let data = Bytes.unsafe_to_string bytes in
   List.iteri
     (fun i (_, off, size) ->
-      let entry = table_pos + (i * 9) in
+      let entry = table_pos + (i * esize) in
       Binio.patch_u32 bytes ~pos:(entry + 1) off;
-      Binio.patch_u32 bytes ~pos:(entry + 5) size)
+      Binio.patch_u32 bytes ~pos:(entry + 5) size;
+      if version >= 2 then
+        (* [data] aliases [bytes], already carrying the section payloads;
+           only the table itself is still being patched. *)
+        Binio.patch_u32 bytes ~pos:(entry + 9)
+          (Crc32.sub data ~pos:off ~len:size))
     offsets;
-  Bytes.unsafe_to_string bytes
+  if version >= 2 then begin
+    let table_end = table_pos + (List.length sections * esize) in
+    Binio.patch_u32 bytes ~pos:table_end
+      (Crc32.sub data ~pos:4 ~len:(table_end - 4))
+  end;
+  data
 
 (* ------------------------------------------------------------------ *)
 (* Reading                                                             *)
@@ -323,12 +355,15 @@ let write (db : db) : string =
     load-and-throw-away strategies of Section 6 possible. *)
 type view = {
   data : string;
+  rversion : int;  (** format version the file was written with (1 or 2) *)
   strings : string array;
   rvars : varinfo array;
   rkeys : (int * string) list;
   rstatics : prim_rec array;
   block_index : (int * int) array;
       (** per var: (absolute offset, count), or [(-1, 0)] if no block *)
+  blob_limit : int;
+      (** absolute end of the DYNAMIC blob — block reads never cross it *)
   rfundefs : fund_rec array;
   rindirects : indir_rec array;
   rtargets : (string * int) array;  (** sorted by name *)
@@ -354,8 +389,15 @@ let decode_strength = function
   | 2 -> Strength.Strong
   | n -> raise (Binio.Corrupt (Fmt.str "bad strength %d" n))
 
+(* Checked string-table access: a corrupt index must surface as [Corrupt],
+   never as [Invalid_argument] from a raw array access. *)
+let str strings i =
+  if i >= Array.length strings then
+    raise (Binio.Corrupt (Fmt.str "string index %d out of range" i))
+  else strings.(i)
+
 let read_loc r strings =
-  let file = strings.(Binio.rvarint r) in
+  let file = str strings (Binio.rvarint r) in
   let line = Binio.rvarint r in
   let col = Binio.rvarint r in
   Loc.make ~file ~line ~col
@@ -368,114 +410,187 @@ let decode_pkind = function
   | 4 -> Pload
   | n -> raise (Binio.Corrupt (Fmt.str "bad prim kind %d" n))
 
-(** Parse the header and eager sections of object-file bytes. *)
+(** Parse the header and eager sections of object-file bytes.
+
+    Defensive by design: the section table is bounds-checked (entries
+    must lie inside the file, past the header, and must not overlap),
+    every record count is checked against the bytes that remain, and —
+    for CLA2 files — each section's CRC32 is verified the first time it
+    is opened.  Any violation raises {!Binio.Corrupt}; no input may
+    produce [Invalid_argument], out-of-bounds access, or an attempted
+    huge allocation. *)
 let view_of_string (data : string) : view =
-  if String.length data < 8 || String.sub data 0 4 <> magic then
-    raise (Binio.Corrupt "not a CLA object file");
+  let len = String.length data in
+  let version =
+    if len < 8 then raise (Binio.Corrupt "not a CLA object file (too short)")
+    else if String.sub data 0 4 = magic then 2
+    else if String.sub data 0 4 = magic_v1 then 1
+    else raise (Binio.Corrupt "not a CLA object file (bad magic)")
+  in
   let r = Binio.reader ~pos:4 data in
-  let nsec = Binio.ru32 r in
+  let esize = entry_size version in
+  let nsec = Binio.rcount ~min_size:esize r in
+  let table_end = 8 + (nsec * esize) in
+  (* v2 appends a u32 checksum of the table after the entries *)
+  let header_end = if version >= 2 then table_end + 4 else table_end in
   let sections = Hashtbl.create 16 in
+  let entries = ref [] in
   for _ = 1 to nsec do
     let id = Binio.ru8 r in
     let off = Binio.ru32 r in
     let size = Binio.ru32 r in
-    Hashtbl.replace sections id (off, size)
+    let crc = if version >= 2 then Binio.ru32 r else 0 in
+    if Hashtbl.mem sections id then
+      raise (Binio.Corrupt (Fmt.str "duplicate section %d" id));
+    if off < header_end || off + size > len then
+      raise
+        (Binio.Corrupt
+           (Fmt.str "section %d out of range (%d+%d of %d)" id off size len));
+    Hashtbl.replace sections id (off, size, crc);
+    entries := (id, off, size) :: !entries
   done;
+  (* the table checksum covers the count and every entry: a flipped
+     section count, id, offset or size is caught here even when the
+     mutated table would otherwise parse cleanly *)
+  if version >= 2 && Binio.ru32 r <> Crc32.sub data ~pos:4 ~len:(table_end - 4)
+  then raise (Binio.Corrupt "section table checksum mismatch");
+  (* sections may be laid out in any order but must not overlap *)
+  let sorted =
+    List.sort (fun (_, a, _) (_, b, _) -> compare a b) !entries
+  in
+  ignore
+    (List.fold_left
+       (fun prev_end (id, off, size) ->
+         if off < prev_end then
+           raise (Binio.Corrupt (Fmt.str "section %d overlaps" id));
+         off + size)
+       header_end sorted);
+  let verified = Array.make 256 false in
   let sec id =
     match Hashtbl.find_opt sections id with
-    | Some (off, size) -> Binio.reader ~pos:off ~limit:(off + size) data
+    | Some (off, size, crc) ->
+        if version >= 2 && not verified.(id) then begin
+          if Crc32.sub data ~pos:off ~len:size <> crc then
+            raise
+              (Binio.Corrupt (Fmt.str "section %d checksum mismatch" id));
+          verified.(id) <- true
+        end;
+        Binio.reader ~pos:off ~limit:(off + size) data
     | None -> raise (Binio.Corrupt (Fmt.str "missing section %d" id))
   in
   let strings = Strtab.read (sec sec_strtab) in
   let r = sec sec_vars in
-  let nvars = Binio.ru32 r in
+  let nvars = Binio.rcount ~min_size:8 r in
   let rvars =
     Array.init nvars (fun _ ->
-        let vname = strings.(Binio.rvarint r) in
+        let vname = str strings (Binio.rvarint r) in
         let vkind = decode_kind r in
         let vlinkage = if Binio.ru8 r = 0 then Var.Extern else Var.Intern in
-        let vtyp = strings.(Binio.rvarint r) in
-        let vowner = strings.(Binio.rvarint r) in
+        let vtyp = str strings (Binio.rvarint r) in
+        let vowner = str strings (Binio.rvarint r) in
         let vloc = read_loc r strings in
         { vname; vkind; vlinkage; vtyp; vloc; vowner })
   in
+  (* Object ids decoded from here on must index [rvars]. *)
+  let check_var what v =
+    if v >= nvars then
+      raise (Binio.Corrupt (Fmt.str "%s id %d out of range (%d objects)" what v nvars))
+    else v
+  in
   let r = sec sec_globals in
-  let nkeys = Binio.ru32 r in
+  let nkeys = Binio.rcount ~min_size:2 r in
   let rkeys =
     List.init nkeys (fun _ ->
-        let var = Binio.rvarint r in
-        let key = strings.(Binio.rvarint r) in
+        let var = check_var "extern" (Binio.rvarint r) in
+        let key = str strings (Binio.rvarint r) in
         (var, key))
   in
   let r = sec sec_static in
-  let nstat = Binio.ru32 r in
+  let nstat = Binio.rcount ~min_size:5 r in
   let rstatics =
     Array.init nstat (fun _ ->
-        let pdst = Binio.rvarint r in
-        let psrc = Binio.rvarint r in
+        let pdst = check_var "static dst" (Binio.rvarint r) in
+        let psrc = check_var "static src" (Binio.rvarint r) in
         let ploc = read_loc r strings in
         { pkind = Paddr; pdst; psrc; pop = None; ploc })
   in
   let r = sec sec_dynamic in
-  let nblocks = Binio.ru32 r in
+  let nblocks = Binio.rcount ~min_size:3 r in
   let block_index = Array.make nvars (-1, 0) in
   let entries =
     Array.init nblocks (fun _ ->
-        let src = Binio.rvarint r in
+        let src = check_var "block" (Binio.rvarint r) in
         let off = Binio.rvarint r in
         let n = Binio.rvarint r in
         (src, off, n))
   in
-  let _blob_size = Binio.ru32 r in
+  let blob_size = Binio.ru32 r in
   let blob_start = r.Binio.pos in
+  if blob_start + blob_size > r.Binio.limit then
+    raise (Binio.Corrupt "dynamic blob larger than its section");
+  let blob_limit = blob_start + blob_size in
   Array.iter
     (fun (src, off, n) ->
-      if src < nvars then block_index.(src) <- (blob_start + off, n))
+      (* each record is at least 5 bytes (tag, dst, 3-varint loc) *)
+      if off > blob_size || n * 5 > blob_size - off then
+        raise
+          (Binio.Corrupt (Fmt.str "block of object %d outside the blob" src));
+      block_index.(src) <- (blob_start + off, n))
     entries;
   let r = sec sec_fundefs in
-  let nfun = Binio.ru32 r in
+  let nfun = Binio.rcount ~min_size:6 r in
+  let check_args r n =
+    if n * 1 > r.Binio.limit - r.Binio.pos then
+      raise (Binio.Corrupt (Fmt.str "implausible arity %d" n))
+    else n
+  in
   let rfundefs =
     Array.init nfun (fun _ ->
-        let ffvar = Binio.rvarint r in
-        let farity = Binio.rvarint r in
-        let fret = Binio.rvarint r in
-        let fargs = Array.init farity (fun _ -> Binio.rvarint r) in
+        let ffvar = check_var "fundef" (Binio.rvarint r) in
+        let farity = check_args r (Binio.rvarint r) in
+        let fret = check_var "fundef ret" (Binio.rvarint r) in
+        let fargs =
+          Array.init farity (fun _ -> check_var "fundef arg" (Binio.rvarint r))
+        in
         let ffloc = read_loc r strings in
         { ffvar; farity; fret; fargs; ffloc })
   in
   let r = sec sec_indirect in
-  let nind = Binio.ru32 r in
+  let nind = Binio.rcount ~min_size:6 r in
   let rindirects =
     Array.init nind (fun _ ->
-        let iptr = Binio.rvarint r in
-        let inargs = Binio.rvarint r in
-        let iret = Binio.rvarint r in
-        let iargs = Array.init inargs (fun _ -> Binio.rvarint r) in
+        let iptr = check_var "indirect ptr" (Binio.rvarint r) in
+        let inargs = check_args r (Binio.rvarint r) in
+        let iret = check_var "indirect ret" (Binio.rvarint r) in
+        let iargs =
+          Array.init inargs (fun _ ->
+              check_var "indirect arg" (Binio.rvarint r))
+        in
         let iiloc = read_loc r strings in
         { iptr; inargs; iret; iargs; iiloc })
   in
   let r = sec sec_targets in
-  let ntgt = Binio.ru32 r in
+  let ntgt = Binio.rcount ~min_size:2 r in
   let rtargets =
     Array.init ntgt (fun _ ->
-        let name = strings.(Binio.rvarint r) in
-        let var = Binio.rvarint r in
+        let name = str strings (Binio.rvarint r) in
+        let var = check_var "target" (Binio.rvarint r) in
         (name, var))
   in
   let rconsts =
     match Hashtbl.find_opt sections sec_consts with
     | None -> [] (* object files written before the section existed *)
-    | Some (off, size) ->
-        let r = Binio.reader ~pos:off ~limit:(off + size) data in
-        let n = Binio.ru32 r in
+    | Some _ ->
+        let r = sec sec_consts in
+        let n = Binio.rcount ~min_size:3 r in
         List.init n (fun _ ->
-            let var = Binio.rvarint r in
+            let var = check_var "const" (Binio.rvarint r) in
             let v = read_i64 r in
             (var, v))
   in
   let r = sec sec_meta in
-  let nfiles = Binio.ru32 r in
-  let mfiles = List.init nfiles (fun _ -> strings.(Binio.rvarint r)) in
+  let nfiles = Binio.rcount r in
+  let mfiles = List.init nfiles (fun _ -> str strings (Binio.rvarint r)) in
   let msource_lines = Binio.rvarint r in
   let mpreproc_lines = Binio.rvarint r in
   let n_copy = Binio.rvarint r in
@@ -485,11 +600,13 @@ let view_of_string (data : string) : view =
   let n_load = Binio.rvarint r in
   {
     data;
+    rversion = version;
     strings;
     rvars;
     rkeys;
     rstatics;
     block_index;
+    blob_limit;
     rfundefs;
     rindirects;
     rtargets;
@@ -511,14 +628,17 @@ let read_block (v : view) (src : int) : prim_rec list =
   let off, n = v.block_index.(src) in
   if off < 0 then []
   else begin
-    let r = Binio.reader ~pos:off v.data in
+    let nvars = Array.length v.rvars in
+    let r = Binio.reader ~pos:off ~limit:v.blob_limit v.data in
     List.init n (fun _ ->
         let tag = Binio.ru8 r in
         let pkind = decode_pkind (tag land 0x7) in
         let pdst = Binio.rvarint r in
+        if pdst >= nvars then
+          raise (Binio.Corrupt (Fmt.str "block dst %d out of range" pdst));
         let pop =
           if tag land 0x8 <> 0 then begin
-            let op = v.strings.(Binio.rvarint r) in
+            let op = str v.strings (Binio.rvarint r) in
             let s = decode_strength (Binio.ru8 r) in
             Some (op, s)
           end
@@ -566,3 +686,8 @@ let load path : view =
   let data = really_input_string ic len in
   close_in ic;
   view_of_string data
+
+(** Like {!load}, but surfacing corruption and I/O failures as a
+    structured {!Diag.t} naming the offending file. *)
+let load_result path : (view, Diag.t) result =
+  Diag.capture ~file:path ~phase:Diag.Load (fun () -> load path)

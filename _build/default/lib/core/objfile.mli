@@ -89,8 +89,14 @@ type db = {
 (* ------------------------------------------------------------------ *)
 (** {1 Serialization} *)
 
-(** Serialize a database to object-file bytes. *)
-val write : db -> string
+(** The format version {!write} emits by default (2, magic ["CLA2"]). *)
+val current_version : int
+
+(** Serialize a database to object-file bytes.  The default CLA2 format
+    carries a per-section CRC32 in the section table; [~version:1]
+    writes the legacy checksum-free CLA1 layout (compatibility tests,
+    downgrade paths).  Raises [Invalid_argument] on any other version. *)
+val write : ?version:int -> db -> string
 
 (** A view over serialized bytes.  Everything cheap is decoded eagerly;
     the DYNAMIC blocks — the bulk of the file — decode on demand via
@@ -98,12 +104,15 @@ val write : db -> string
     load-and-throw-away strategies of Section 6. *)
 type view = {
   data : string;
+  rversion : int;  (** format version the file was written with (1 or 2) *)
   strings : string array;
   rvars : varinfo array;
   rkeys : (int * string) list;
   rstatics : prim_rec array;
   block_index : (int * int) array;
       (** per object: (absolute offset, record count), or [(-1, 0)] *)
+  blob_limit : int;
+      (** absolute end of the DYNAMIC blob — block reads never cross it *)
   rfundefs : fund_rec array;
   rindirects : indir_rec array;
   rtargets : (string * int) array;  (** sorted by name *)
@@ -112,7 +121,12 @@ type view = {
 }
 
 (** Parse the header and eager sections.  Raises {!Binio.Corrupt} on a
-    malformed file. *)
+    malformed file — and only {!Binio.Corrupt}: the section table is
+    bounds-checked (in-range, non-overlapping entries), CLA2 checksums
+    are verified at section open, record counts are validated against
+    the bytes available, and every decoded object/string index is range
+    checked, so hostile bytes cannot surface as [Invalid_argument],
+    out-of-bounds access, or a huge allocation. *)
 val view_of_string : string -> view
 
 (** Decode the dynamic block of an object: the assignments in which it is
@@ -131,3 +145,7 @@ val find_targets : view -> string -> int list
 
 val save : string -> db -> unit
 val load : string -> view
+
+(** Like {!load}, but surfacing corruption and I/O failures as a
+    structured {!Diag.t} naming the offending file. *)
+val load_result : string -> (view, Diag.t) result

@@ -56,10 +56,11 @@ let compile_link_files ?(options = Compilep.default_options) paths : Objfile.vie
 (** Run the selected points-to analysis over a linked view.  Each solver
     runs under an ["analyze"] span (the pre-transitive solver records its
     own, with per-pass children). *)
-let points_to ?(algorithm = Pretransitive) ?config ?demand (view : Objfile.view) :
-    Solution.t =
+let points_to ?(algorithm = Pretransitive) ?config ?demand ?budget
+    (view : Objfile.view) : Solution.t =
   match algorithm with
-  | Pretransitive -> (Andersen.solve ?config ?demand view).Andersen.solution
+  | Pretransitive ->
+      (Andersen.solve ?config ?demand ?budget view).Andersen.solution
   | Worklist ->
       Cla_obs.Obs.with_span "analyze" ~label:"worklist" (fun () ->
           Worklist.solve view)
@@ -72,5 +73,5 @@ let points_to ?(algorithm = Pretransitive) ?config ?demand (view : Objfile.view)
 
 (** Like {!points_to} with the pre-transitive solver, returning the full
     result (pass count, loader statistics, graph statistics). *)
-let points_to_result ?config ?demand view : Andersen.result =
-  Andersen.solve ?config ?demand view
+let points_to_result ?config ?demand ?budget view : Andersen.result =
+  Andersen.solve ?config ?demand ?budget view

@@ -22,11 +22,14 @@ val compile_link :
 val compile_link_files :
   ?options:Compilep.options -> string list -> Objfile.view
 
-(** Run the selected points-to analysis over a linked view. *)
+(** Run the selected points-to analysis over a linked view.  [budget]
+    bounds the retained assignments kept in core (pre-transitive solver
+    only; see {!Loader.create}). *)
 val points_to :
   ?algorithm:algorithm ->
   ?config:Pretrans.config ->
   ?demand:bool ->
+  ?budget:int ->
   Objfile.view ->
   Solution.t
 
@@ -34,4 +37,8 @@ val points_to :
     result: pass count, loader statistics, graph statistics, and the
     retained complex assignments the dependence analysis reuses. *)
 val points_to_result :
-  ?config:Pretrans.config -> ?demand:bool -> Objfile.view -> Andersen.result
+  ?config:Pretrans.config ->
+  ?demand:bool ->
+  ?budget:int ->
+  Objfile.view ->
+  Andersen.result

@@ -33,5 +33,5 @@ let write w t =
 
 (** Read back as a plain array: readers index it directly. *)
 let read r =
-  let n = Binio.ru32 r in
+  let n = Binio.rcount r in
   Array.init n (fun _ -> Binio.rbytes r)

@@ -1,0 +1,1 @@
+lib/workload/faults.ml: Andersen Binio Bytes Char Cla_core Crc32 Diag Fmt Objfile Rng Solution String

@@ -1,0 +1,1 @@
+lib/workload/faults.mli: Cla_core Rng Solution

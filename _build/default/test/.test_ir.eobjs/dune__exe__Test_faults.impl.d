@@ -1,0 +1,1 @@
+test/test_faults.ml: Alcotest Andersen Cla_core Cla_workload Compilep Diag Faults Filename Fmt Genc Linkp List Loader Objfile Pipeline Profile Rng Solution String Sys

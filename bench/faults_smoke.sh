@@ -1,0 +1,79 @@
+#!/bin/sh
+# Robustness smoke test, mirroring smoke.sh: build a small database, then
+#   1. run the in-process fault-injection sweep (`cla faults`) — 200
+#      seeded mutations, each of which must analyze identically or be
+#      rejected as corrupt;
+#   2. drive truncated and bit-flipped copies through `cla analyze` as a
+#      real subprocess — the exit code must be 0 (accepted) or 2 (bad
+#      input), never 3 (internal error) or a signal;
+#   3. check bounded-memory analysis: --budget must report evictions in
+#      --stats-json and leave the solution line unchanged.
+# Wired into `dune runtest` (see bench/dune); takes the cla binary as $1.
+set -eu
+
+cla=${1:?usage: faults_smoke.sh path/to/cla.exe}
+case "$cla" in
+  /*) : ;;
+  *) cla=$(pwd)/$cla ;;
+esac
+
+dir=$(mktemp -d)
+trap 'rm -rf "$dir"' EXIT INT TERM
+cd "$dir"
+
+"$cla" gen burlap --scale 0.1 --dir src >/dev/null
+"$cla" compile src/*.c >/dev/null
+"$cla" link src/*.clo -o prog.cla >/dev/null
+
+# 1. in-process sweep: exits 3 on any fault-invariant violation
+"$cla" faults prog.cla -n 200 --seed 7 >/dev/null || {
+  echo "faults_smoke.sh: in-process sweep failed (exit $?)" >&2
+  exit 1
+}
+
+# 2. mutants through the real CLI: accepted (0) or rejected as input (2)
+size=$(wc -c < prog.cla)
+check_analyze() {
+  rc=0
+  "$cla" analyze "$1" >/dev/null 2>&1 || rc=$?
+  case $rc in
+    0|2) : ;;
+    *)
+      echo "faults_smoke.sh: $2 made 'cla analyze' exit $rc (want 0 or 2)" >&2
+      exit 1
+      ;;
+  esac
+}
+i=1
+while [ "$i" -le 20 ]; do
+  n=$(( size * i / 21 ))
+  head -c "$n" prog.cla > trunc.cla
+  check_analyze trunc.cla "truncation to $n bytes"
+  off=$(( (i * 7919) % size ))
+  cp prog.cla flip.cla
+  printf '\251' | dd of=flip.cla bs=1 seek="$off" conv=notrunc 2>/dev/null
+  check_analyze flip.cla "byte flip at offset $off"
+  i=$(( i + 1 ))
+done
+
+# 3. bounded-memory run: evictions recorded, solution line unchanged
+"$cla" analyze prog.cla --stats-json full.json > full.out
+"$cla" analyze prog.cla --budget 50 --stats-json budget.json > budget.out
+grep -q '"load.evictions"' budget.json || {
+  echo "faults_smoke.sh: load.evictions missing from budget stats" >&2
+  exit 1
+}
+evictions=$(sed -n 's/.*"load.evictions": *\([0-9]*\).*/\1/p' budget.json)
+[ "${evictions:-0}" -gt 0 ] || {
+  echo "faults_smoke.sh: expected load.evictions > 0 under --budget 50" >&2
+  exit 1
+}
+sol_full=$(sed 's/, [0-9.]*s.*$//' full.out)
+sol_budget=$(sed 's/, [0-9.]*s.*$//' budget.out)
+[ "$sol_full" = "$sol_budget" ] || {
+  echo "faults_smoke.sh: solution changed under --budget:" >&2
+  echo "  unbounded: $sol_full" >&2
+  echo "  bounded:   $sol_budget" >&2
+  exit 1
+}
+echo "faults_smoke.sh: ok"

@@ -73,13 +73,33 @@ let ru32 r =
   let d = ru8 r in
   a lor (b lsl 8) lor (c lsl 16) lor (d lsl 24)
 
+(* Decoded values must fit OCaml's non-negative int range (62 value
+   bits), so an encoding is at most 9 data bytes; a 10th continuation
+   byte — or high bits that would shift past bit 61 — is corruption, not
+   undefined [lsl] behavior. *)
 let rvarint r =
   let rec go shift acc =
     let byte = ru8 r in
-    let acc = acc lor ((byte land 0x7f) lsl shift) in
-    if byte land 0x80 <> 0 then go (shift + 7) acc else acc
+    let bits = byte land 0x7f in
+    if shift >= 63 then raise (Corrupt "varint too long")
+    else if shift > 62 - 7 && bits lsr (62 - shift) <> 0 then
+      raise (Corrupt "varint overflows 63-bit int")
+    else begin
+      let acc = acc lor (bits lsl shift) in
+      if byte land 0x80 <> 0 then go (shift + 7) acc else acc
+    end
   in
   go 0 0
+
+(** Read a u32 record count that must be plausible for the remaining
+    bytes of the reader: every record occupies at least [min_size]
+    (default 1) byte(s), so a count exceeding the remainder can only
+    come from a corrupt file — reject it before any allocation. *)
+let rcount ?(min_size = 1) r =
+  let n = ru32 r in
+  if n < 0 || n * min_size > r.limit - r.pos then
+    raise (Corrupt (Fmt.str "implausible count %d" n))
+  else n
 
 let rbytes r =
   let len = rvarint r in
