@@ -296,6 +296,37 @@ let analyze_cmd =
              least-recently-used blocks are discarded and re-loaded on \
              demand (pretransitive solver only).")
   in
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Abort the analysis after $(docv) milliseconds of wall-clock \
+             time (monotonic).  Without $(b,--ladder) a blown deadline \
+             exits with code 4; with it the solve degrades to a cheaper \
+             rung instead.")
+  in
+  let ladder =
+    Arg.(
+      value & flag
+      & info [ "ladder" ]
+          ~doc:
+            "On deadline expiry, fall back through the degradation \
+             ladder (pretransitive, bitvector, steensgaard) instead of \
+             failing; the final rung runs deadline-exempt, so the \
+             command always reports a sound solution labeled with the \
+             rung that produced it.")
+  in
+  let strict_deadline =
+    Arg.(
+      value & flag
+      & info [ "strict-deadline" ]
+          ~doc:
+            "With $(b,--ladder): the final rung also honors the \
+             deadline, so the whole ladder may time out (exit code 4) \
+             instead of always answering.")
+  in
   let json_escape s =
     let b = Buffer.create (String.length s + 8) in
     String.iter
@@ -326,50 +357,114 @@ let analyze_cmd =
     done;
     Fmt.pr "@.}@."
   in
-  let run db algo print_sets json no_cache no_cycle budget obs =
+  let run db algo print_sets json no_cache no_cycle budget deadline_ms ladder
+      strict_deadline obs =
     with_obs obs (fun () ->
         handle_errors (fun () ->
             let* algorithm =
               match Pipeline.algorithm_of_string algo with
               | Some a -> Ok a
-              | None -> err_input (Fmt.str "unknown algorithm %S" algo)
+              | None ->
+                  err_input
+                    (Fmt.str "unknown algorithm %S (valid: %s)" algo
+                       (String.concat ", " Pipeline.algorithm_names))
             in
+            (* --budget only reaches the pre-transitive solver's loader;
+               warn instead of silently ignoring it *)
+            if budget <> None && (ladder || algorithm <> Pipeline.Pretransitive)
+            then
+              Fmt.epr "cla: %a@." Diag.pp
+                (Diag.warning ~phase:Diag.Analyze
+                   (if ladder then
+                      "--budget applies to the pretransitive rung only; \
+                       fallback rungs ignore it"
+                    else
+                      Fmt.str "--budget is ignored by the %s solver \
+                               (pretransitive only)"
+                        (Pipeline.algorithm_name algorithm)));
             Cla_obs.Metrics.set_str "analyze.algorithm"
               (Pipeline.algorithm_name algorithm);
             let view = load_view db in
+            let deadline =
+              match deadline_ms with
+              | Some ms -> Cla_resilience.Deadline.of_ms ms
+              | None -> Cla_resilience.Deadline.never
+            in
             let t0 = Unix.gettimeofday () in
-            let sol, extra =
-              match algorithm with
-              | Pipeline.Pretransitive ->
-                  let config =
-                    { Pretrans.cache = not no_cache; cycle_elim = not no_cycle }
-                  in
-                  let r = Andersen.solve ~config ?budget view in
-                  let ls = r.Andersen.loader_stats in
-                  ( r.Andersen.solution,
-                    Fmt.str
-                      " passes=%d in-core=%d loaded=%d in-file=%d evictions=%d"
-                      r.Andersen.passes ls.Loader.s_in_core ls.Loader.s_loaded
-                      ls.Loader.s_in_file ls.Loader.s_evictions )
-              | _ -> (Pipeline.points_to ~algorithm view, "")
+            let outcome =
+              if ladder then
+                match
+                  Pipeline.points_to_ladder ~strict:strict_deadline ?budget
+                    ~deadline view
+                with
+                | o ->
+                    List.iter
+                      (fun (a, p) ->
+                        Fmt.epr "cla: %a@." Diag.pp
+                          (Diag.warning ~phase:Diag.Analyze
+                             (Fmt.str
+                                "deadline: %s rung timed out (%a); degrading"
+                                (Pipeline.algorithm_name a)
+                                Cla_resilience.Progress.pp p)))
+                      o.Pipeline.lo_timeouts;
+                    Ok
+                      ( o.Pipeline.lo_solution,
+                        o.Pipeline.lo_algorithm,
+                        if o.Pipeline.lo_degraded then
+                          Fmt.str " [degraded: %s]" o.Pipeline.lo_note
+                        else "" )
+                | exception Cla_resilience.Deadline.Timed_out p -> Error p
+              else
+                match algorithm with
+                | Pipeline.Pretransitive -> (
+                    let config =
+                      { Pretrans.cache = not no_cache; cycle_elim = not no_cycle }
+                    in
+                    match Andersen.solve ~config ?budget ~deadline view with
+                    | r ->
+                        let ls = r.Andersen.loader_stats in
+                        Ok
+                          ( r.Andersen.solution,
+                            algorithm,
+                            Fmt.str
+                              " passes=%d in-core=%d loaded=%d in-file=%d \
+                               evictions=%d"
+                              r.Andersen.passes ls.Loader.s_in_core
+                              ls.Loader.s_loaded ls.Loader.s_in_file
+                              ls.Loader.s_evictions )
+                    | exception Cla_resilience.Deadline.Timed_out p -> Error p)
+                | _ -> (
+                    match Pipeline.points_to ~algorithm ~deadline view with
+                    | sol -> Ok (sol, algorithm, "")
+                    | exception Cla_resilience.Deadline.Timed_out p -> Error p)
             in
             let dt = Unix.gettimeofday () -. t0 in
-            if json then print_json sol
-            else begin
-              if print_sets then Fmt.pr "%a" Solution.pp sol;
-              Fmt.pr "%s: %d pointer variables, %d points-to relations, %.3fs%s@."
-                (Pipeline.algorithm_name algorithm)
-                (Solution.n_pointer_vars sol)
-                (Solution.n_relations sol) dt extra
-            end;
-            Ok ()))
+            match outcome with
+            | Error p ->
+                Error
+                  ( Fmt.str "deadline of %dms expired (%a)"
+                      (Option.value ~default:0 deadline_ms)
+                      Cla_resilience.Progress.pp p,
+                    Diag.exit_deadline )
+            | Ok (sol, answered_by, extra) ->
+                if json then print_json sol
+                else begin
+                  if print_sets then Fmt.pr "%a" Solution.pp sol;
+                  Fmt.pr
+                    "%s: %d pointer variables, %d points-to relations, \
+                     %.3fs%s@."
+                    (Pipeline.algorithm_name answered_by)
+                    (Solution.n_pointer_vars sol)
+                    (Solution.n_relations sol) dt extra
+                end;
+                Ok ()))
     |> to_exit
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Run a points-to analysis over a linked database.")
     Term.(
       const run $ db $ algo $ print_sets $ json $ no_cache $ no_cycle $ budget
-      $ obs_term)
+      $ deadline_ms $ ladder $ strict_deadline $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* depend                                                              *)
@@ -667,13 +762,342 @@ let gen_cmd =
     (Cmd.info "gen" ~doc:"Generate a synthetic C workload matching a Table 2 profile.")
     Term.(const run $ profile $ dir $ seed $ scale)
 
+(* ------------------------------------------------------------------ *)
+(* serve / query / serve-bench                                         *)
+(* ------------------------------------------------------------------ *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "cla.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let serve_cmd =
+  let db = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.cla") in
+  let max_inflight =
+    Arg.(
+      value & opt int 4
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:"Queries executing at once; more wait in the queue.")
+  in
+  let max_queue =
+    Arg.(
+      value & opt int 16
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:"Queries allowed to wait for a slot; beyond this, shed.")
+  in
+  let default_deadline =
+    Arg.(
+      value & opt int 2000
+      & info [ "default-deadline-ms" ] ~docv:"MS"
+          ~doc:"Deadline for queries that do not name one.")
+  in
+  let watchdog_grace =
+    Arg.(
+      value & opt int 200
+      & info [ "watchdog-grace-ms" ] ~docv:"MS"
+          ~doc:
+            "The watchdog cancels a query this long after its deadline \
+             if it has not unwound on its own.")
+  in
+  let allow_sleep =
+    Arg.(
+      value & flag
+      & info [ "allow-sleep" ]
+          ~doc:"Enable the debug sleep op (load tests drive it).")
+  in
+  let run db socket max_inflight max_queue default_deadline watchdog_grace
+      allow_sleep =
+    handle_errors (fun () ->
+        let view = load_view db in
+        let config =
+          {
+            Cla_serve.Server.socket_path = socket;
+            max_inflight;
+            max_queue;
+            default_deadline_ms = default_deadline;
+            max_deadline_ms = 60_000;
+            watchdog_grace_ms = watchdog_grace;
+            allow_sleep;
+          }
+        in
+        Fmt.pr "cla serve: %s on %s (inflight<=%d queue<=%d)@." db socket
+          max_inflight max_queue;
+        let stats = Cla_serve.Server.run ~config view in
+        Fmt.pr "cla serve: drained.";
+        List.iter
+          (fun (k, v) -> Fmt.pr " %s=%d" k v)
+          (Cla_serve.Server.stats_counters stats);
+        Fmt.pr "@.";
+        Ok ())
+    |> to_exit
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve points-to and alias queries over a linked database until \
+          SIGINT/SIGTERM, then drain gracefully.")
+    Term.(
+      const run $ db $ socket_arg $ max_inflight $ max_queue $ default_deadline
+      $ watchdog_grace $ allow_sleep)
+
+let query_cmd =
+  let points_to =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "points-to" ] ~docv:"VAR" ~doc:"Ask for $(docv)'s points-to set.")
+  in
+  let alias =
+    Arg.(
+      value
+      & opt (some (pair ~sep:',' string string)) None
+      & info [ "alias" ] ~docv:"V1,V2" ~doc:"Ask whether $(docv) may alias.")
+  in
+  let ping = Arg.(value & flag & info [ "ping" ] ~doc:"Liveness check.") in
+  let stats =
+    Arg.(value & flag & info [ "server-stats" ] ~doc:"Fetch server counters.")
+  in
+  let raw =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "raw" ] ~docv:"JSON" ~doc:"Send $(docv) verbatim as the request line.")
+  in
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS" ~doc:"Per-query deadline.")
+  in
+  let fresh =
+    Arg.(
+      value & flag
+      & info [ "fresh" ] ~doc:"Bypass the server's cached solution and re-solve.")
+  in
+  let retry =
+    Arg.(
+      value & flag
+      & info [ "retry" ]
+          ~doc:
+            "Retry transient failures (connection refused, shed, \
+             draining) with exponential backoff and jitter.")
+  in
+  let attempts =
+    Arg.(
+      value & opt int 5
+      & info [ "attempts" ] ~docv:"N"
+          ~doc:"Total tries with $(b,--retry), including the first.")
+  in
+  let run socket points_to alias ping stats raw deadline_ms fresh retry attempts
+      =
+    handle_errors (fun () ->
+        let base op extra =
+          let fields =
+            (("id", Cla_obs.Json.Int (Unix.getpid ()))
+            :: ("op", Cla_obs.Json.Str op)
+            :: extra)
+            @ (match deadline_ms with
+              | Some ms -> [ ("deadline_ms", Cla_obs.Json.Int ms) ]
+              | None -> [])
+            @ if fresh then [ ("fresh", Cla_obs.Json.Bool true) ] else []
+          in
+          Cla_obs.Json.to_string ~indent:false (Cla_obs.Json.Obj fields)
+        in
+        let* line =
+          match (points_to, alias, ping, stats, raw) with
+          | Some v, None, false, false, None ->
+              Ok (base "points-to" [ ("var", Cla_obs.Json.Str v) ])
+          | None, Some (a, b), false, false, None ->
+              Ok
+                (base "alias"
+                   [ ("var", Cla_obs.Json.Str a); ("var2", Cla_obs.Json.Str b) ])
+          | None, None, true, false, None -> Ok (base "ping" [])
+          | None, None, false, true, None -> Ok (base "stats" [])
+          | None, None, false, false, Some l -> Ok l
+          | None, None, false, false, None ->
+              err_input
+                "nothing to ask: pass --points-to, --alias, --ping, \
+                 --server-stats or --raw"
+          | _ -> err_input "pass exactly one of --points-to/--alias/--ping/--server-stats/--raw"
+        in
+        let reply, tries =
+          if retry then begin
+            let policy =
+              { Cla_serve.Client.default_policy with attempts = max 1 attempts }
+            in
+            let o = Cla_serve.Client.with_retry ~policy ~socket line in
+            (o.Cla_serve.Client.reply, o.Cla_serve.Client.tries)
+          end
+          else (Cla_serve.Client.round_trip ~socket line, 1)
+        in
+        match reply with
+        | Error e ->
+            Error
+              ( Fmt.str "%s (%d attempt(s); is `cla serve` running on %s?)"
+                  (Cla_serve.Client.describe e) tries socket,
+                Diag.exit_input )
+        | Ok l -> (
+            print_endline l;
+            match Cla_serve.Protocol.status_of_line l with
+            | Cla_serve.Protocol.S_ok -> Ok ()
+            | Cla_serve.Protocol.S_error -> Error ("query rejected", Diag.exit_input)
+            | Cla_serve.Protocol.S_timeout ->
+                Error ("query timed out", Diag.exit_deadline)
+            | Cla_serve.Protocol.S_shed | Cla_serve.Protocol.S_bye ->
+                Error ("server refused the query", Diag.exit_deadline)
+            | Cla_serve.Protocol.S_malformed ->
+                Error ("malformed server response", Diag.exit_internal)))
+    |> to_exit
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "Ask a running `cla serve` one question.  Exit: 0 answered, 2 \
+          rejected, 4 timed out or refused for capacity.")
+    Term.(
+      const run $ socket_arg $ points_to $ alias $ ping $ stats $ raw
+      $ deadline_ms $ fresh $ retry $ attempts)
+
+(* Drive a serve instance with Servebench's mixed good/poison/slow
+   stream from [clients] threads and tally what comes back.  The checked
+   invariant: every query gets exactly one classified response — the
+   sum of the tallies equals the stream length, with zero malformed
+   replies and zero transport errors. *)
+let serve_bench_cmd =
+  let n =
+    Arg.(
+      value & opt int 60
+      & info [ "n"; "queries" ] ~docv:"N" ~doc:"Stream length.")
+  in
+  let clients =
+    Arg.(
+      value & opt int 4
+      & info [ "clients" ] ~docv:"N" ~doc:"Concurrent client threads.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Stream seed.")
+  in
+  let deadline_ms =
+    Arg.(
+      value & opt int 2000
+      & info [ "deadline-ms" ] ~docv:"MS" ~doc:"Deadline on good queries.")
+  in
+  let slow_ms =
+    Arg.(
+      value & opt int 120
+      & info [ "slow-ms" ] ~docv:"MS" ~doc:"How long slow queries sleep.")
+  in
+  let vars =
+    Arg.(
+      value & opt_all string []
+      & info [ "var" ] ~docv:"NAME"
+          ~doc:
+            "Variable names for good queries (repeatable; default: a \
+             sample of the database's globals).")
+  in
+  let run socket db n clients seed deadline_ms slow_ms vars =
+    handle_errors (fun () ->
+        let view = load_view db in
+        let vars =
+          match vars with
+          | _ :: _ -> Array.of_list vars
+          | [] ->
+              (* sample named program variables for the good queries *)
+              let out = ref [] and count = ref 0 in
+              Array.iter
+                (fun (vi : Objfile.varinfo) ->
+                  if
+                    !count < 32 && vi.Objfile.vname <> ""
+                    && (not (String.contains vi.Objfile.vname '$'))
+                    && vi.Objfile.vkind <> Cla_ir.Var.Temp
+                  then begin
+                    incr count;
+                    out := vi.Objfile.vname :: !out
+                  end)
+                view.Objfile.rvars;
+              Array.of_list (List.rev !out)
+        in
+        let* () =
+          if Array.length vars = 0 then
+            err_input "database has no named variables to query"
+          else Ok ()
+        in
+        let queries =
+          Cla_workload.Servebench.generate ~seed:(Int64.of_int seed) ~n ~vars
+            ~deadline_ms ~slow_ms ()
+        in
+        (* one tally slot per query, filled by whichever client ran it *)
+        let results = Array.make (List.length queries) None in
+        let qs = Array.of_list queries in
+        let next = Atomic.make 0 in
+        let worker _ =
+          let rec loop () =
+            let i = Atomic.fetch_and_add next 1 in
+            if i < Array.length qs then begin
+              let q = qs.(i) in
+              let o =
+                Cla_serve.Client.with_retry
+                  ~policy:
+                    { Cla_serve.Client.default_policy with seed = seed + i }
+                  ~socket q.Cla_workload.Servebench.q_line
+              in
+              results.(i) <- Some (q, o);
+              loop ()
+            end
+          in
+          loop ()
+        in
+        let threads = List.init (max 1 clients) (Thread.create worker) in
+        List.iter Thread.join threads;
+        let tally = Hashtbl.create 8 in
+        let bump k = Hashtbl.replace tally k (1 + Option.value ~default:0 (Hashtbl.find_opt tally k)) in
+        let transport_errors = ref 0 and answered = ref 0 in
+        Array.iter
+          (function
+            | None -> ()
+            | Some (_, o) -> (
+                incr answered;
+                match o.Cla_serve.Client.reply with
+                | Error _ -> incr transport_errors
+                | Ok l ->
+                    bump (Cla_serve.Protocol.status_name (Cla_serve.Protocol.status_of_line l))))
+          results;
+        let shown k = Option.value ~default:0 (Hashtbl.find_opt tally k) in
+        Fmt.pr
+          "serve-bench: %d queries via %d client(s): ok=%d error=%d \
+           timeout=%d shed=%d bye=%d malformed=%d transport-errors=%d@."
+          n clients (shown "ok") (shown "error") (shown "timeout")
+          (shown "shed") (shown "bye") (shown "malformed") !transport_errors;
+        if !answered <> n then
+          Error
+            ( Fmt.str "%d of %d queries got no verdict" (n - !answered) n,
+              Diag.exit_internal )
+        else if !transport_errors > 0 || shown "malformed" > 0 then
+          Error
+            ( "server dropped connections or emitted malformed replies",
+              Diag.exit_internal )
+        else Ok ())
+    |> to_exit
+  in
+  let db = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.cla") in
+  Cmd.v
+    (Cmd.info "serve-bench"
+       ~doc:
+         "Drive a running `cla serve` with a mixed good/poisoned/slow query \
+          stream and check every query is answered, shed, or timed out — \
+          never dropped.")
+    Term.(
+      const run $ socket_arg $ db $ n $ clients $ seed $ deadline_ms $ slow_ms
+      $ vars)
+
 let main =
   Cmd.group
     (Cmd.info "cla" ~version:"1.0.0"
        ~doc:"Compile-link-analyze points-to and dependence analysis for C.")
     [
       compile_cmd; link_cmd; analyze_cmd; depend_cmd; transform_cmd; dump_cmd;
-      faults_cmd; gen_cmd;
+      faults_cmd; gen_cmd; serve_cmd; query_cmd; serve_bench_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

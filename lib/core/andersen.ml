@@ -63,6 +63,9 @@ type t = {
          start of the next one *)
   evicted : (int, unit) Hashtbl.t;
       (* blocks whose complexes are currently out of core *)
+  deadline : Cla_resilience.Deadline.t;
+  cancel : Cla_resilience.Cancel.t option;
+  t_start : float;  (* monotonic start, for abort progress reports *)
 }
 
 (* Convergence counters for one pass of Figure 5's loop — the visible
@@ -75,6 +78,31 @@ and pass_stats = {
   ps_queries : int;
   ps_changed : bool;
 }
+
+(* Progress carried by a typed abort: the pass we were in plus the last
+   completed pass's convergence line from [pass_log]. *)
+let progress st () =
+  let detail =
+    match st.pass_log with
+    | [] -> "before first pass"
+    | p :: _ ->
+        Fmt.str "pass %d: +%d edges, %d lvals discovered" p.ps_pass
+          p.ps_edges_added p.ps_lvals_discovered
+  in
+  Cla_resilience.Progress.make ~at_pass:st.passes
+    ~elapsed_s:(Cla_resilience.Deadline.now_s () -. st.t_start)
+    detail
+
+(* Deadline and cancel are polled here at every pass boundary, and — via
+   the [Pretrans.set_interrupt] hook installed in [init] — inside the
+   [get_lvals] traversal loops.  Both abort points sit where no
+   invariant is in flight: the graph, the loader, and the retained
+   complexes stay internally consistent, they are simply discarded with
+   the state. *)
+let check_tokens st =
+  let progress = progress st in
+  Cla_resilience.Deadline.check ~progress st.deadline;
+  Option.iter (Cla_resilience.Cancel.check ~progress) st.cancel
 
 let deref_node st y =
   match Hashtbl.find_opt st.deref_nodes y with
@@ -212,7 +240,8 @@ let reload_evicted st =
     List.iter (fun v -> load_block st v) vs
   end
 
-let init ?(config = Pretrans.default_config) ?(demand = true) ?budget view =
+let init ?(config = Pretrans.default_config) ?(demand = true) ?budget
+    ?(deadline = Cla_resilience.Deadline.never) ?cancel view =
   let nvars = Objfile.n_vars view in
   let st =
     {
@@ -237,8 +266,13 @@ let init ?(config = Pretrans.default_config) ?(demand = true) ?budget view =
       pass_log = [];
       pending_evict = [];
       evicted = Hashtbl.create 16;
+      deadline;
+      cancel;
+      t_start = Cla_resilience.Deadline.now_s ();
     }
   in
+  if not (Cla_resilience.Deadline.is_never deadline) || cancel <> None then
+    Pretrans.set_interrupt st.g (Some (fun () -> check_tokens st));
   Loader.set_on_evict st.loader (fun v ->
       st.pending_evict <- v :: st.pending_evict);
   Array.iter
@@ -262,6 +296,7 @@ let init ?(config = Pretrans.default_config) ?(demand = true) ?budget view =
 (* One pass of Figure 5's iteration algorithm; returns [true] if the graph
    changed. *)
 let pass st =
+  check_tokens st;
   st.passes <- st.passes + 1;
   Cla_obs.Obs.with_span "analyze.pass" ~label:(string_of_int st.passes)
   @@ fun () ->
@@ -386,17 +421,20 @@ let publish_result ?reg (r : result) =
 (** Run the analysis to fixpoint and extract points-to sets for every
     program variable (cheap at the end thanks to cycle elimination and
     caching — the paper's observation in Section 5). *)
-let solve ?config ?demand ?budget view : result =
+let solve ?config ?demand ?budget ?deadline ?cancel view : result =
   Cla_obs.Obs.with_span "analyze" @@ fun () ->
   let st =
     Cla_obs.Obs.with_span "analyze.init" (fun () ->
-        init ?config ?demand ?budget view)
+        init ?config ?demand ?budget ?deadline ?cancel view)
   in
   while pass st do
     ()
   done;
   let r =
     Cla_obs.Obs.with_span "analyze.extract" @@ fun () ->
+    (* the extraction sweep below issues one [get_lvals] per variable;
+       the interrupt hook keeps it abortable too *)
+    check_tokens st;
     (* blocks evicted during the final pass come back so [retained] is
        the complete complex-assignment set (the dependence analysis
        consumes it); blocks this displaces stay in [retained_by_block],

@@ -46,6 +46,9 @@ type t = {
       (** blocks evicted by the loader since the last pass boundary *)
   evicted : (int, unit) Hashtbl.t;
       (** blocks whose complexes are currently out of core *)
+  deadline : Cla_resilience.Deadline.t;
+  cancel : Cla_resilience.Cancel.t option;
+  t_start : float;  (** monotonic start, for abort progress reports *)
 }
 
 (** Convergence counters for one pass of Figure 5's loop. *)
@@ -66,9 +69,23 @@ and pass_stats = {
     {!Loader.create}): blocks evicted by the loader are dropped at pass
     boundaries and transparently re-loaded before the next pass, so every
     pass still checks the complete constraint set and the fixpoint — a
-    pass with no change — is identical to the unbounded run. *)
+    pass with no change — is identical to the unbounded run.
+
+    [deadline] and [cancel] make the iteration abortable: both tokens
+    are polled at every pass boundary and, via the {!Pretrans}
+    interruption hook, inside the [get_lvals] traversal loops.  On
+    expiry or cancellation the analysis unwinds with a typed
+    {!Cla_resilience.Deadline.Timed_out} /
+    {!Cla_resilience.Cancel.Cancelled} carrying the pass count and the
+    last pass's convergence counters — never a partial solution. *)
 val init :
-  ?config:Pretrans.config -> ?demand:bool -> ?budget:int -> Objfile.view -> t
+  ?config:Pretrans.config ->
+  ?demand:bool ->
+  ?budget:int ->
+  ?deadline:Cla_resilience.Deadline.t ->
+  ?cancel:Cla_resilience.Cancel.t ->
+  Objfile.view ->
+  t
 
 (** One pass of Figure 5's iteration algorithm (complex assignments, then
     analysis-time indirect-call linking).  Returns [true] if the graph
@@ -103,5 +120,7 @@ val solve :
   ?config:Pretrans.config ->
   ?demand:bool ->
   ?budget:int ->
+  ?deadline:Cla_resilience.Deadline.t ->
+  ?cancel:Cla_resilience.Cancel.t ->
   Objfile.view ->
   result

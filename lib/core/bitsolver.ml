@@ -46,7 +46,28 @@ type constraint_ =
   | Cload of int * int  (* dst ⊇ *src *)
   | Cstore of int * int  (* *dst ⊇ src *)
 
-let solve (view : Objfile.view) : Solution.t =
+let solve ?(deadline = Cla_resilience.Deadline.never) ?cancel
+    (view : Objfile.view) : Solution.t =
+  let t_start = Cla_resilience.Deadline.now_s () in
+  let rounds = ref 0 in
+  let applied = ref 0 in
+  let progress () =
+    Cla_resilience.Progress.make ~at_pass:!rounds
+      ~elapsed_s:(Cla_resilience.Deadline.now_s () -. t_start)
+      (Fmt.str "bitvector: round %d, %d constraints applied" !rounds !applied)
+  in
+  let check () =
+    Cla_resilience.Deadline.check ~progress deadline;
+    Option.iter (Cla_resilience.Cancel.check ~progress) cancel
+  in
+  (* polled at every fixpoint round and every few hundred constraint
+     applications; aborting between applications is safe (the bit
+     matrices are discarded with the state) *)
+  let tick () =
+    incr applied;
+    if !applied land 255 = 0 then check ()
+  in
+  check ();
   let nvars = Objfile.n_vars view in
   let loader = Loader.create view in
   let statics = Loader.statics loader in
@@ -97,9 +118,12 @@ let solve (view : Objfile.view) : Solution.t =
   let loc_of = Dynarr.to_array locs in
   let changed = ref true in
   while !changed do
+    incr rounds;
+    check ();
     changed := false;
     Array.iter
       (fun c ->
+        tick ();
         match c with
         | Ccopy (dst, src) ->
             if Bits.union_into ~dst:pts.(dst) ~src:pts.(src) then changed := true

@@ -6,4 +6,11 @@
     solver iterates all constraints to a fixpoint.  Simple and a useful
     differential oracle for the pre-transitive solver. *)
 
-val solve : Objfile.view -> Solution.t
+(** [deadline]/[cancel] are polled at every fixpoint round and every few
+    hundred constraint applications, aborting with a typed
+    {!Cla_resilience.Deadline.Timed_out} / {!Cla_resilience.Cancel.Cancelled}. *)
+val solve :
+  ?deadline:Cla_resilience.Deadline.t ->
+  ?cancel:Cla_resilience.Cancel.t ->
+  Objfile.view ->
+  Solution.t

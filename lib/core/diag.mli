@@ -77,4 +77,8 @@ val exit_input : int  (** 2 — malformed source or corrupt database *)
 
 val exit_internal : int  (** 3 — unexpected internal failure *)
 
+val exit_deadline : int
+(** 4 — the analysis deadline expired (or a served query was refused
+    for capacity) and no fallback was allowed to answer *)
+
 val exit_usage : int  (** 124 — cmdliner usage error, unchanged *)

@@ -23,7 +23,10 @@ let algorithm_name = function
   | Bitvector -> "bitvector"
   | Steensgaard -> "steensgaard"
 
-let algorithm_of_string = function
+let algorithm_names = [ "pretransitive"; "worklist"; "bitvector"; "steensgaard" ]
+
+let algorithm_of_string s =
+  match String.lowercase_ascii s with
   | "pretransitive" | "pretrans" -> Some Pretransitive
   | "worklist" -> Some Worklist
   | "bitvector" | "bitvec" -> Some Bitvector
@@ -55,23 +58,111 @@ let compile_link_files ?(options = Compilep.default_options) paths : Objfile.vie
 
 (** Run the selected points-to analysis over a linked view.  Each solver
     runs under an ["analyze"] span (the pre-transitive solver records its
-    own, with per-pass children). *)
-let points_to ?(algorithm = Pretransitive) ?config ?demand ?budget
-    (view : Objfile.view) : Solution.t =
+    own, with per-pass children).  [deadline]/[cancel] abort with the
+    typed {!Cla_resilience} exceptions — never a partial solution. *)
+let points_to ?(algorithm = Pretransitive) ?config ?demand ?budget ?deadline
+    ?cancel (view : Objfile.view) : Solution.t =
   match algorithm with
   | Pretransitive ->
-      (Andersen.solve ?config ?demand ?budget view).Andersen.solution
+      (Andersen.solve ?config ?demand ?budget ?deadline ?cancel view)
+        .Andersen.solution
   | Worklist ->
       Cla_obs.Obs.with_span "analyze" ~label:"worklist" (fun () ->
-          Worklist.solve view)
+          Worklist.solve ?deadline ?cancel view)
   | Bitvector ->
       Cla_obs.Obs.with_span "analyze" ~label:"bitvector" (fun () ->
-          Bitsolver.solve view)
+          Bitsolver.solve ?deadline ?cancel view)
   | Steensgaard ->
       Cla_obs.Obs.with_span "analyze" ~label:"steensgaard" (fun () ->
-          Steensgaard.solve view)
+          Steensgaard.solve ?deadline ?cancel view)
 
 (** Like {!points_to} with the pre-transitive solver, returning the full
     result (pass count, loader statistics, graph statistics). *)
-let points_to_result ?config ?demand ?budget view : Andersen.result =
-  Andersen.solve ?config ?demand ?budget view
+let points_to_result ?config ?demand ?budget ?deadline ?cancel view :
+    Andersen.result =
+  Andersen.solve ?config ?demand ?budget ?deadline ?cancel view
+
+(* ------------------------------------------------------------------ *)
+(* Graceful degradation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** What a rung's answer means.  The worklist and bit-vector baselines
+    compute the same subset-based solution as the pre-transitive solver
+    (the equivalence tests enforce it); Steensgaard's unification is a
+    sound over-approximation — every reported set is a superset of the
+    subset-based one. *)
+let soundness_note = function
+  | Pretransitive -> "exact subset-based (Andersen) solution"
+  | Worklist | Bitvector -> "exact subset-based (Andersen) baseline"
+  | Steensgaard ->
+      "sound over-approximation (unification; supersets of the \
+       subset-based sets)"
+
+(** The default ladder: the paper's solver, then the cheaper bit-vector
+    formulation of the same subset problem, then the near-linear
+    unification analysis that always finishes. *)
+let default_ladder = [ Pretransitive; Bitvector; Steensgaard ]
+
+type ladder_outcome = {
+  lo_solution : Solution.t;
+  lo_algorithm : algorithm;  (** the rung that answered *)
+  lo_degraded : bool;
+  lo_note : string;  (** soundness statement for that rung *)
+  lo_timeouts : (algorithm * Cla_resilience.Progress.t) list;
+      (** rungs that timed out, with how far each got *)
+}
+
+(** Run the degradation ladder under one deadline token.  Each rung gets
+    the remaining slice; the final rung runs deadline-exempt (unless
+    [strict]) so the ladder always returns a sound solution, labeled
+    with its rung via {!Solution.set_provenance}.  A [cancel] token
+    aborts the whole ladder.  Publishes [analyze.degraded],
+    [analyze.deadline_ms], [analyze.rung] and [analyze.rung_timeouts]
+    into the metrics registry. *)
+let points_to_ladder ?(ladder = default_ladder) ?strict ?config ?demand
+    ?budget ?(deadline = Cla_resilience.Deadline.never) ?cancel
+    (view : Objfile.view) : ladder_outcome =
+  if ladder = [] then invalid_arg "Pipeline.points_to_ladder: empty ladder";
+  Cla_obs.Metrics.set "analyze.deadline_ms"
+    (if Cla_resilience.Deadline.is_never deadline then -1
+     else
+       int_of_float (Float.max 0. (Cla_resilience.Deadline.remaining_ms deadline)));
+  let rungs =
+    List.map
+      (fun a ->
+        ( algorithm_name a,
+          fun ~deadline ->
+            points_to ~algorithm:a ?config ?demand ?budget ~deadline ?cancel
+              view ))
+      ladder
+  in
+  let o = Cla_resilience.Degrade.run ?strict ~deadline ~rungs () in
+  let lo_algorithm = List.nth ladder o.Cla_resilience.Degrade.rung_index in
+  let lo_note = soundness_note lo_algorithm in
+  let lo_timeouts =
+    List.map2
+      (fun alg (a : Cla_resilience.Degrade.attempt) ->
+        (alg, a.Cla_resilience.Degrade.a_progress))
+      (List.filteri
+         (fun i _ -> i < List.length o.Cla_resilience.Degrade.attempts)
+         ladder)
+      o.Cla_resilience.Degrade.attempts
+  in
+  let sol = o.Cla_resilience.Degrade.value in
+  Solution.set_provenance sol
+    {
+      Solution.p_rung = algorithm_name lo_algorithm;
+      p_degraded = o.Cla_resilience.Degrade.degraded;
+      p_note = lo_note;
+    };
+  Cla_obs.Metrics.set "analyze.degraded"
+    (if o.Cla_resilience.Degrade.degraded then 1 else 0);
+  Cla_obs.Metrics.set_str "analyze.rung" (algorithm_name lo_algorithm);
+  Cla_obs.Metrics.set "analyze.rung_timeouts" (List.length lo_timeouts);
+  {
+    lo_solution = sol;
+    lo_algorithm;
+    lo_degraded = o.Cla_resilience.Degrade.degraded;
+    lo_note;
+    lo_timeouts;
+  }

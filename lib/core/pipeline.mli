@@ -11,6 +11,12 @@ type algorithm =
   | Steensgaard  (** unification-based baseline *)
 
 val algorithm_name : algorithm -> string
+
+(** The canonical names, in ladder order — for CLI error messages. *)
+val algorithm_names : string list
+
+(** Case-insensitive; also accepts the short forms [pretrans], [bitvec],
+    [steens]. *)
 val algorithm_of_string : string -> algorithm option
 
 (** Compile each [(name, source)] pair and link the results, all in
@@ -24,12 +30,17 @@ val compile_link_files :
 
 (** Run the selected points-to analysis over a linked view.  [budget]
     bounds the retained assignments kept in core (pre-transitive solver
-    only; see {!Loader.create}). *)
+    only; see {!Loader.create}).  [deadline]/[cancel] make the solve
+    abortable: on expiry or cancellation it unwinds with a typed
+    {!Cla_resilience.Deadline.Timed_out} /
+    {!Cla_resilience.Cancel.Cancelled} — never a partial solution. *)
 val points_to :
   ?algorithm:algorithm ->
   ?config:Pretrans.config ->
   ?demand:bool ->
   ?budget:int ->
+  ?deadline:Cla_resilience.Deadline.t ->
+  ?cancel:Cla_resilience.Cancel.t ->
   Objfile.view ->
   Solution.t
 
@@ -40,5 +51,43 @@ val points_to_result :
   ?config:Pretrans.config ->
   ?demand:bool ->
   ?budget:int ->
+  ?deadline:Cla_resilience.Deadline.t ->
+  ?cancel:Cla_resilience.Cancel.t ->
   Objfile.view ->
   Andersen.result
+
+(** The default degradation ladder:
+    [Pretransitive -> Bitvector -> Steensgaard] — the paper's solver,
+    then the cheaper bit-vector formulation of the same subset problem,
+    then the near-linear unification analysis that always finishes. *)
+val default_ladder : algorithm list
+
+type ladder_outcome = {
+  lo_solution : Solution.t;
+  lo_algorithm : algorithm;  (** the rung that answered *)
+  lo_degraded : bool;
+  lo_note : string;  (** soundness statement for that rung *)
+  lo_timeouts : (algorithm * Cla_resilience.Progress.t) list;
+      (** rungs that timed out, with how far each got *)
+}
+
+(** Run the degradation ladder under one deadline token: each rung gets
+    the remaining slice of the budget, and the final rung runs
+    deadline-exempt (unless [strict]) so the ladder always returns a
+    {e sound} solution, labeled with its rung via
+    {!Solution.set_provenance}.  Every answer is safe to act on: the
+    subset-based rungs are exact and the unification rung
+    over-approximates — a degraded answer may report {e more} aliases,
+    never fewer.  A [cancel] token aborts the whole ladder with
+    {!Cla_resilience.Cancel.Cancelled}.  Publishes [analyze.degraded],
+    [analyze.deadline_ms], [analyze.rung] and [analyze.rung_timeouts]. *)
+val points_to_ladder :
+  ?ladder:algorithm list ->
+  ?strict:bool ->
+  ?config:Pretrans.config ->
+  ?demand:bool ->
+  ?budget:int ->
+  ?deadline:Cla_resilience.Deadline.t ->
+  ?cancel:Cla_resilience.Cancel.t ->
+  Objfile.view ->
+  ladder_outcome

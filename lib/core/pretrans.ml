@@ -46,6 +46,11 @@ type t = {
   base_tbl : Intset.t;
   mutable stamp : int;
   mutable query : int;
+  (* cooperative interruption: called every [interrupt_mask+1] visits of
+     the reachability walk so a deadline or cancel token can abort a long
+     [get_lvals] traversal, not just a pass boundary *)
+  mutable interrupt : (unit -> unit) option;
+  mutable ticks : int;
   (* statistics *)
   mutable n_edges : int;
   mutable n_unified : int;
@@ -73,6 +78,8 @@ let create ?(config = default_config) ~nodes () =
     base_tbl = Intset.create 1024;
     stamp = 0;
     query = 0;
+    interrupt = None;
+    ticks = 0;
     n_edges = 0;
     n_unified = 0;
     n_queries = 0;
@@ -81,6 +88,20 @@ let create ?(config = default_config) ~nodes () =
   }
 
 let n_nodes t = t.n
+
+(* Poll the interrupt this often inside the Tarjan walk.  Aborting
+   mid-walk is safe: unification is deferred to the end of the walk,
+   memo entries are only written for completed SCCs (whose results are
+   complete for the current stamp), and the per-query versioning of the
+   Tarjan arrays invalidates everything else on the next query. *)
+let interrupt_mask = 1023
+
+let set_interrupt t f = t.interrupt <- f
+
+let tick t =
+  t.ticks <- t.ticks + 1;
+  if t.ticks land interrupt_mask = 0 then
+    match t.interrupt with Some f -> f () | None -> ()
 
 let grow t needed =
   let cap = Array.length t.skip in
@@ -198,6 +219,7 @@ let tarjan t root =
   in
   push_frame root;
   while Dynarr.length fnode > 0 do
+    tick t;
     let top = Dynarr.length fnode - 1 in
     let n = Dynarr.get fnode top in
     let i = Dynarr.get fidx_data top in

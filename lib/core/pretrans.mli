@@ -58,6 +58,16 @@ val new_pass : t -> unit
     the rest of the current pass. *)
 val get_lvals : t -> int -> Lvalset.t
 
+(** Install (or clear) the cooperative-interruption hook: a callback
+    polled periodically {e inside} the {!get_lvals} reachability walk, so
+    a deadline or cancel token can abort a long traversal and not just a
+    pass boundary.  The callback aborts by raising; aborting mid-walk is
+    safe — cycle unification is deferred to the end of the walk, memo
+    entries are only written for completed SCCs, and the per-query
+    versioning of the traversal state invalidates the rest on the next
+    query. *)
+val set_interrupt : t -> (unit -> unit) option -> unit
+
 (** Graph and query statistics.  The structural counters ([nodes],
     [edges], [unified]) mirror the live graph and grow monotonically over
     its lifetime; the query-side counters ([queries], [visits],

@@ -2,12 +2,24 @@
 
 open Cla_ir
 
+(* Which rung of a degradation ladder produced this solution.  A plain
+   (non-ladder) solve leaves it [None]. *)
+type provenance = {
+  p_rung : string;  (* algorithm that answered, e.g. "steensgaard" *)
+  p_degraded : bool;  (* true when a more precise rung timed out first *)
+  p_note : string;  (* soundness statement for the rung *)
+}
+
 type t = {
   view : Objfile.view;
   pts : Lvalset.t array;  (** indexed by var id; locations are var ids *)
+  mutable prov : provenance option;
 }
 
-let create view pts = { view; pts }
+let create view pts = { view; pts; prov = None }
+
+let set_provenance t p = t.prov <- Some p
+let provenance t = t.prov
 
 (* A negative id can only come from an uninitialized slot (linker -1
    sentinels) or a corrupted database — fail loudly rather than analyze

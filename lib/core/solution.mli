@@ -4,12 +4,24 @@
     locations it may point to.  Locations are themselves variable ids
     (variables, struct fields, heap-allocation sites, functions). *)
 
+(** Which rung of a degradation ladder produced this solution (see
+    {!Pipeline.points_to_ladder}); [None] for a plain solve. *)
+type provenance = {
+  p_rung : string;  (** algorithm that answered, e.g. ["steensgaard"] *)
+  p_degraded : bool;
+      (** [true] when a more precise rung timed out first *)
+  p_note : string;  (** soundness statement for the rung *)
+}
+
 type t = {
   view : Objfile.view;
   pts : Lvalset.t array;  (** indexed by variable id *)
+  mutable prov : provenance option;
 }
 
 val create : Objfile.view -> Lvalset.t array -> t
+val set_provenance : t -> provenance -> unit
+val provenance : t -> provenance option
 
 (** The points-to set of a variable.  Ids beyond the variable table
     (fresh solver-internal nodes) yield [empty]; a negative id can only

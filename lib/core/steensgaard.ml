@@ -98,7 +98,7 @@ let create (view : Objfile.view) =
   in
   st
 
-let process st =
+let process ?(tick = fun () -> ()) st =
   let loader = Loader.create st.view in
   Array.iter
     (fun (p : Objfile.prim_rec) ->
@@ -107,6 +107,7 @@ let process st =
       settle st)
     (Loader.statics loader);
   for v = 0 to Objfile.n_vars st.view - 1 do
+    tick ();
     List.iter
       (fun (p : Objfile.prim_rec) ->
         (if Loader.relevant_to_points_to p then
@@ -141,6 +142,7 @@ let process st =
     changed := false;
     Array.iteri
       (fun idx (r : Objfile.indir_rec) ->
+        tick ();
         let tclass = deref st r.Objfile.iptr in
         List.iter
           (fun gv ->
@@ -169,10 +171,30 @@ let process st =
   done
 
 (** Run the unification-based analysis.  [pts(x)] is every address-taken
-    object in the class [x] points to. *)
-let solve (view : Objfile.view) : Solution.t =
+    object in the class [x] points to.  [deadline]/[cancel] are polled
+    between constraint blocks; near-linear cost makes this the ladder's
+    always-answers final rung, but a cancel token must still be able to
+    stop it. *)
+let solve ?(deadline = Cla_resilience.Deadline.never) ?cancel
+    (view : Objfile.view) : Solution.t =
+  let t_start = Cla_resilience.Deadline.now_s () in
+  let steps = ref 0 in
+  let progress () =
+    Cla_resilience.Progress.make
+      ~elapsed_s:(Cla_resilience.Deadline.now_s () -. t_start)
+      (Fmt.str "steensgaard: %d blocks processed" !steps)
+  in
+  let check () =
+    Cla_resilience.Deadline.check ~progress deadline;
+    Option.iter (Cla_resilience.Cancel.check ~progress) cancel
+  in
+  let tick () =
+    incr steps;
+    if !steps land 255 = 0 then check ()
+  in
+  check ();
   let st = create view in
-  process st;
+  process ~tick st;
   (* group address-taken objects by class *)
   let groups : (int, Dynarr.t) Hashtbl.t = Hashtbl.create 256 in
   Array.iter

@@ -9,8 +9,16 @@ type t
 val create : Objfile.view -> t
 
 (** Run the unification passes (assignments, then iterated indirect-call
-    linking). *)
-val process : t -> unit
+    linking).  [tick] is called between constraint blocks (the
+    deadline/cancel poll point). *)
+val process : ?tick:(unit -> unit) -> t -> unit
 
-(** [pts(x)] is every address-taken object in the class [x] points to. *)
-val solve : Objfile.view -> Solution.t
+(** [pts(x)] is every address-taken object in the class [x] points to.
+    [deadline]/[cancel] are polled between constraint blocks; near-linear
+    cost makes this the degradation ladder's always-answers final rung,
+    but a cancel token can still stop it. *)
+val solve :
+  ?deadline:Cla_resilience.Deadline.t ->
+  ?cancel:Cla_resilience.Cancel.t ->
+  Objfile.view ->
+  Solution.t

@@ -175,8 +175,9 @@ let link_indirect st idx r gv =
           add_copy st ~dst:r.Objfile.iret ~src:fd.Objfile.fret
       end
 
-let propagate st =
+let propagate ?(tick = fun () -> ()) st =
   while not (Queue.is_empty st.queue) do
+    tick ();
     let n = Queue.pop st.queue in
     Bytes.set st.inqueue n '\000';
     let d = Dynarr.to_array st.delta.(n) in
@@ -212,11 +213,30 @@ let propagate st =
     end
   done
 
-(** Run the transitively-closed baseline to fixpoint. *)
-let solve (view : Objfile.view) : Solution.t =
+(** Run the transitively-closed baseline to fixpoint.  [deadline] and
+    [cancel] are polled every few hundred worklist pops; aborting between
+    pops is safe (the queue is simply discarded with the state). *)
+let solve ?(deadline = Cla_resilience.Deadline.never) ?cancel
+    (view : Objfile.view) : Solution.t =
+  let t_start = Cla_resilience.Deadline.now_s () in
+  let pops = ref 0 in
+  let progress () =
+    Cla_resilience.Progress.make
+      ~elapsed_s:(Cla_resilience.Deadline.now_s () -. t_start)
+      (Fmt.str "worklist: %d pops" !pops)
+  in
+  let check () =
+    Cla_resilience.Deadline.check ~progress deadline;
+    Option.iter (Cla_resilience.Cancel.check ~progress) cancel
+  in
+  let tick () =
+    incr pops;
+    if !pops land 255 = 0 then check ()
+  in
+  check ();
   let st = create view in
   load_all st;
-  propagate st;
+  propagate ~tick st;
   let pool = Lvalset.create_pool () in
   let pts =
     Array.init st.nvars (fun v -> Lvalset.share pool st.pts.(v))

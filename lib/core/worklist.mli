@@ -7,4 +7,11 @@
     Cross-checked against the pre-transitive solver by property tests —
     the two must produce identical solutions. *)
 
-val solve : Objfile.view -> Solution.t
+(** [deadline]/[cancel] are polled every few hundred worklist pops and
+    abort with a typed
+    {!Cla_resilience.Deadline.Timed_out} / {!Cla_resilience.Cancel.Cancelled}. *)
+val solve :
+  ?deadline:Cla_resilience.Deadline.t ->
+  ?cancel:Cla_resilience.Cancel.t ->
+  Objfile.view ->
+  Solution.t

@@ -1,0 +1,20 @@
+(** Cooperative cancellation tokens.
+
+    A token is a single atomic flag: one party (a watchdog thread, a
+    signal handler, a draining server) calls [set]; the analysis polls
+    [check] at the same points it polls its deadline and unwinds with
+    {!Cancelled}.  [Atomic] makes the flag safe to set from another
+    systhread or domain. *)
+
+type t = bool Atomic.t
+
+exception Cancelled of Progress.t
+
+let create () : t = Atomic.make false
+let set t = Atomic.set t true
+let is_set t = Atomic.get t
+
+let default_progress () = Progress.none
+
+let check ?(progress = default_progress) t =
+  if Atomic.get t then raise (Cancelled (progress ()))

@@ -1,0 +1,23 @@
+(** Cooperative cancellation tokens.
+
+    One party sets the flag (a watchdog, a signal handler, a draining
+    server); the analysis polls {!check} wherever it polls its deadline
+    and unwinds with {!Cancelled}.  Setting is an atomic store, safe
+    from another thread. *)
+
+type t
+
+(** Raised by {!check} once the token has been set. *)
+exception Cancelled of Progress.t
+
+val create : unit -> t
+
+(** Request cancellation.  Idempotent; never blocks. *)
+val set : t -> unit
+
+val is_set : t -> bool
+
+(** Raise [Cancelled (progress ())] if the token is set.  [progress]
+    defaults to {!Progress.none} and is only evaluated on
+    cancellation. *)
+val check : ?progress:(unit -> Progress.t) -> t -> unit

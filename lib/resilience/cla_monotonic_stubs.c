@@ -1,0 +1,16 @@
+/* Monotonic clock for deadline tokens.  Wall-clock time
+   (gettimeofday) can jump backwards under NTP adjustment, which would
+   make a deadline fire early or never; CLOCK_MONOTONIC only moves
+   forward. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value cla_monotonic_now_s(value unit)
+{
+  struct timespec ts;
+  (void) unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_double((double) ts.tv_sec + (double) ts.tv_nsec * 1e-9);
+}

@@ -1,0 +1,34 @@
+(** Deadline tokens over a monotonic clock.
+
+    A token is an absolute expiry instant; [never] is the infinite
+    deadline and costs nothing to check.  Solvers poll [check] at their
+    pass boundaries and inside their traversal loops; when the clock
+    passes the expiry the token raises {!Timed_out} carrying whatever
+    {!Progress.t} the solver can report.  The same token threads through
+    a whole degradation ladder, so each rung naturally runs in the
+    remaining slice of the original budget. *)
+
+external now_s : unit -> float = "cla_monotonic_now_s"
+
+type t = float (* absolute monotonic expiry; [infinity] = never *)
+
+exception Timed_out of Progress.t
+
+let never : t = infinity
+let is_never t = t = infinity
+
+let after ~seconds : t = now_s () +. Float.max 0. seconds
+let of_ms ms = after ~seconds:(float_of_int ms /. 1000.)
+
+let remaining_s t = if is_never t then infinity else t -. now_s ()
+let remaining_ms t = remaining_s t *. 1000.
+let expired t = (not (is_never t)) && now_s () >= t
+
+let default_progress () = Progress.none
+
+let check ?(progress = default_progress) t =
+  if expired t then raise (Timed_out (progress ()))
+
+let pp ppf t =
+  if is_never t then Fmt.string ppf "never"
+  else Fmt.pf ppf "%.1fms remaining" (remaining_ms t)

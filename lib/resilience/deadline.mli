@@ -1,0 +1,41 @@
+(** Deadline tokens over a monotonic clock.
+
+    A token is an absolute expiry instant on [CLOCK_MONOTONIC] (wall
+    clocks can jump under NTP; a monotonic deadline cannot fire early or
+    never).  Solvers poll {!check} at pass boundaries and inside
+    traversal loops; threading one token through a degradation ladder
+    gives each rung the remaining slice of the original budget. *)
+
+type t
+
+(** Raised by {!check} when the deadline has passed. *)
+exception Timed_out of Progress.t
+
+(** The infinite deadline: {!check} on it never raises. *)
+val never : t
+
+val is_never : t -> bool
+
+(** Monotonic now, in seconds (the clock deadlines are measured on). *)
+val now_s : unit -> float
+
+(** A deadline [seconds] from now (negative values clamp to "already
+    expired"). *)
+val after : seconds:float -> t
+
+val of_ms : int -> t
+
+(** Seconds until expiry ([infinity] for {!never}; negative once
+    expired). *)
+val remaining_s : t -> float
+
+val remaining_ms : t -> float
+val expired : t -> bool
+
+(** Raise [Timed_out (progress ())] if the deadline has passed.
+    [progress] defaults to {!Progress.none}; it is only evaluated on
+    expiry, so passing a closure over live solver state is free on the
+    fast path. *)
+val check : ?progress:(unit -> Progress.t) -> t -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,64 @@
+(** The graceful-degradation ladder.
+
+    A ladder is an ordered list of rungs — ways to compute the same kind
+    of answer, from most precise to cheapest sound over-approximation.
+    [run] tries each rung in order under one shared deadline token (so
+    every rung gets the remaining slice of the original budget); a rung
+    that raises {!Deadline.Timed_out} is recorded as an attempt and the
+    next rung is tried.
+
+    By default the {e last} rung runs with {!Deadline.never}: the ladder
+    trades the deadline for an answer, on the grounds that its final rung
+    is cheap enough to always finish (Steensgaard's analysis is
+    near-linear).  [~strict:true] enforces the deadline on every rung and
+    lets the final [Timed_out] escape.
+
+    {!Cancel.Cancelled} always propagates — cancellation means "stop
+    working", not "answer worse". *)
+
+type attempt = {
+  a_rung : string;  (** rung that timed out *)
+  a_progress : Progress.t;  (** how far it got *)
+}
+
+type 'a outcome = {
+  value : 'a;
+  rung : string;  (** name of the rung that answered *)
+  rung_index : int;  (** 0-based position in the ladder *)
+  degraded : bool;  (** [rung_index > 0] *)
+  attempts : attempt list;  (** timed-out rungs, in order *)
+}
+
+let run ?(strict = false) ~(deadline : Deadline.t)
+    ~(rungs : (string * (deadline:Deadline.t -> 'a)) list) () : 'a outcome =
+  if rungs = [] then invalid_arg "Degrade.run: empty ladder";
+  let rec go idx attempts = function
+    | [] -> assert false
+    | [ (name, f) ] when not strict ->
+        (* final rung: exempt from the deadline so the ladder always
+           answers; a cancel token threaded through [f] still aborts *)
+        let value = f ~deadline:Deadline.never in
+        {
+          value;
+          rung = name;
+          rung_index = idx;
+          degraded = idx > 0;
+          attempts = List.rev attempts;
+        }
+    | (name, f) :: rest -> (
+        match f ~deadline with
+        | value ->
+            {
+              value;
+              rung = name;
+              rung_index = idx;
+              degraded = idx > 0;
+              attempts = List.rev attempts;
+            }
+        | exception Deadline.Timed_out p when rest <> [] || not strict ->
+            go (idx + 1) ({ a_rung = name; a_progress = p } :: attempts) rest)
+  in
+  go 0 [] rungs
+
+let pp_attempt ppf a =
+  Fmt.pf ppf "%s timed out at %a" a.a_rung Progress.pp a.a_progress

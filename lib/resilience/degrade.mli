@@ -1,0 +1,35 @@
+(** The graceful-degradation ladder: try rungs in order, from most
+    precise to cheapest sound over-approximation, under one shared
+    deadline token.
+
+    A rung that raises {!Deadline.Timed_out} is recorded and the next
+    rung runs in the remaining slice.  By default the final rung runs
+    with {!Deadline.never} — the ladder trades the deadline for an
+    answer; [~strict:true] enforces the deadline everywhere and lets the
+    last [Timed_out] escape.  {!Cancel.Cancelled} always propagates:
+    cancellation means "stop working", not "answer worse". *)
+
+type attempt = {
+  a_rung : string;  (** rung that timed out *)
+  a_progress : Progress.t;  (** how far it got *)
+}
+
+type 'a outcome = {
+  value : 'a;
+  rung : string;  (** name of the rung that answered *)
+  rung_index : int;  (** 0-based position in the ladder *)
+  degraded : bool;  (** [rung_index > 0] *)
+  attempts : attempt list;  (** timed-out rungs, in order *)
+}
+
+(** Raises [Invalid_argument] on an empty ladder; re-raises
+    {!Deadline.Timed_out} only with [~strict:true] and every rung timed
+    out. *)
+val run :
+  ?strict:bool ->
+  deadline:Deadline.t ->
+  rungs:(string * (deadline:Deadline.t -> 'a)) list ->
+  unit ->
+  'a outcome
+
+val pp_attempt : Format.formatter -> attempt -> unit

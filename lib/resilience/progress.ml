@@ -1,0 +1,21 @@
+(** What an aborted analysis had accomplished when it was cut short.
+    Carried by {!Deadline.Timed_out} and {!Cancel.Cancelled} so callers
+    (the degradation ladder, the query server, the CLI) can report how
+    far the precise solver got before giving up. *)
+
+type t = {
+  at_pass : int;  (** passes completed or in flight; 0 when none started *)
+  elapsed_s : float;  (** monotonic seconds since the analysis began *)
+  detail : string;  (** free-form, e.g. the last pass's convergence line *)
+}
+
+let none = { at_pass = 0; elapsed_s = 0.; detail = "" }
+
+let make ?(at_pass = 0) ?(elapsed_s = 0.) detail =
+  { at_pass; elapsed_s; detail }
+
+let pp ppf p =
+  Fmt.pf ppf "pass %d, %.1fms elapsed" p.at_pass (p.elapsed_s *. 1000.);
+  if p.detail <> "" then Fmt.pf ppf " (%s)" p.detail
+
+let to_string p = Fmt.str "%a" pp p

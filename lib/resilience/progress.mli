@@ -1,0 +1,15 @@
+(** What an aborted analysis had accomplished when it was cut short.
+    Carried by {!Deadline.Timed_out} and {!Cancel.Cancelled}. *)
+
+type t = {
+  at_pass : int;  (** passes completed or in flight; 0 when none started *)
+  elapsed_s : float;  (** monotonic seconds since the analysis began *)
+  detail : string;  (** free-form, e.g. the last pass's convergence line *)
+}
+
+(** No progress at all — used when an abort fires before any work. *)
+val none : t
+
+val make : ?at_pass:int -> ?elapsed_s:float -> string -> t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,121 @@
+(** Client side of the [cla serve] protocol: one-shot round trips and a
+    retrying wrapper with exponential backoff and equal jitter.
+
+    Retries cover the two transient outcomes — connection refused (the
+    server is starting, restarting, or draining) and ["shed"] (admission
+    control refused the query under load).  ["timeout"] and ["error"]
+    are final: retrying a timed-out query would just burn another
+    deadline, and a malformed query never becomes well-formed. *)
+
+type attempt_error = Connect_failed of string | Io_failed of string
+
+let describe = function
+  | Connect_failed m -> "connect failed: " ^ m
+  | Io_failed m -> "i/o failed: " ^ m
+
+let round_trip ~socket line : (string, attempt_error) result =
+  match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Connect_failed (Unix.error_message e))
+  | fd -> (
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      @@ fun () ->
+      match Unix.connect fd (Unix.ADDR_UNIX socket) with
+      | exception Unix.Unix_error (e, _, _) ->
+          Error (Connect_failed (Unix.error_message e))
+      | () -> (
+          let ic = Unix.in_channel_of_descr fd in
+          let oc = Unix.out_channel_of_descr fd in
+          match
+            output_string oc line;
+            output_char oc '\n';
+            flush oc;
+            input_line ic
+          with
+          | reply -> Ok reply
+          | exception End_of_file -> Error (Io_failed "connection closed")
+          | exception Sys_error m -> Error (Io_failed m)
+          | exception Unix.Unix_error (e, _, _) ->
+              Error (Io_failed (Unix.error_message e))))
+
+(* Deterministic per-client jitter stream (splitmix64) — no wall-clock
+   seeding, so tests can pin the schedule. *)
+type rng = { mutable s : int64 }
+
+let rng_make seed = { s = Int64.of_int seed }
+
+let rng_next r =
+  let open Int64 in
+  r.s <- add r.s 0x9E3779B97F4A7C15L;
+  let z = r.s in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(* uniform int in [0, bound) *)
+let rng_below r bound =
+  if bound <= 0 then 0
+  else Int64.to_int (Int64.rem (Int64.shift_right_logical (rng_next r) 1)
+                       (Int64.of_int bound))
+
+type retry_policy = {
+  attempts : int;  (** total tries, including the first *)
+  base_delay_ms : int;  (** backoff starts here and doubles *)
+  max_delay_ms : int;  (** backoff cap *)
+  seed : int;  (** jitter stream seed *)
+}
+
+let default_policy =
+  { attempts = 5; base_delay_ms = 25; max_delay_ms = 1000; seed = 1 }
+
+type outcome = {
+  reply : (string, attempt_error) result;  (** last attempt's result *)
+  tries : int;
+  retried_sheds : int;
+  retried_connects : int;
+}
+
+(* Equal jitter: sleep half the exponential step plus a random half, so
+   synchronized clients fan out instead of retrying in lockstep. *)
+let backoff_ms rng policy ~try_idx ~retry_after =
+  let exp_ms =
+    min policy.max_delay_ms (policy.base_delay_ms lsl min try_idx 16)
+  in
+  let base = match retry_after with Some ms -> max ms (exp_ms / 2) | None -> exp_ms / 2 in
+  base + rng_below rng (max 1 (exp_ms / 2))
+
+let with_retry ?(policy = default_policy) ~socket line : outcome =
+  let rng = rng_make policy.seed in
+  let retried_sheds = ref 0 and retried_connects = ref 0 in
+  let rec go try_idx =
+    let reply = round_trip ~socket line in
+    let retry kind ~retry_after =
+      if try_idx + 1 >= policy.attempts then
+        { reply; tries = try_idx + 1;
+          retried_sheds = !retried_sheds;
+          retried_connects = !retried_connects }
+      else begin
+        incr kind;
+        Thread.delay
+          (float_of_int (backoff_ms rng policy ~try_idx ~retry_after) /. 1000.);
+        go (try_idx + 1)
+      end
+    in
+    match reply with
+    | Error _ -> retry retried_connects ~retry_after:None
+    | Ok l -> (
+        match Protocol.status_of_line l with
+        | Protocol.S_shed ->
+            retry retried_sheds
+              ~retry_after:(Protocol.retry_after_ms_of_line l)
+        | Protocol.S_bye ->
+            (* draining server: connecting again may reach its
+               replacement *)
+            retry retried_connects ~retry_after:None
+        | _ ->
+            { reply; tries = try_idx + 1;
+              retried_sheds = !retried_sheds;
+              retried_connects = !retried_connects })
+  in
+  go 0

@@ -1,0 +1,513 @@
+(** The resilient query server behind [cla serve].
+
+    A Unix-domain-socket, line-oriented JSON server over one linked CLA
+    database.  Resilience machinery, in the order a query meets it:
+
+    - {b admission control}: at most [max_inflight] queries execute at
+      once; up to [max_queue] more may wait (polling their own
+      deadlines); beyond that the query is refused immediately with a
+      429-style ["shed"] response — overload degrades into fast
+      refusals, never into unbounded queueing;
+    - {b per-query deadline}: every admitted query carries a
+      {!Cla_resilience.Deadline} token (client-requested, capped), which
+      the solver ladder polls at pass boundaries and traversal loops;
+    - {b watchdog}: a background thread sets the query's
+      {!Cla_resilience.Cancel} token [watchdog_grace_ms] after the
+      deadline — if a poisoned query somehow outruns its deadline
+      checks, the cancel token aborts it at the next poll point and the
+      slot is recycled;
+    - {b graceful drain}: SIGINT/SIGTERM stop the accept loop, let
+      in-flight queries finish (new lines get a ["bye"]), then the
+      socket is removed and [run] returns its final counters.
+
+    Solves are serialized behind one lock (the solvers and the metrics
+    registry are not re-entrant); the first non-degraded ladder outcome
+    is cached, so steady-state queries are lock-free lookups.  A query
+    blocked behind a long solve keeps polling its own deadline while it
+    waits, so a stuck solve delays answers but cannot wedge them. *)
+
+open Cla_core
+module R = Cla_resilience
+module Json = Cla_obs.Json
+
+type config = {
+  socket_path : string;
+  max_inflight : int;  (** queries executing at once *)
+  max_queue : int;  (** queries allowed to wait; beyond -> shed *)
+  default_deadline_ms : int;  (** when the request names none *)
+  max_deadline_ms : int;  (** cap on client-requested deadlines *)
+  watchdog_grace_ms : int;  (** cancel fires this long after the deadline *)
+  allow_sleep : bool;  (** enable the debug [sleep] op (load tests) *)
+}
+
+let default_config =
+  {
+    socket_path = "cla.sock";
+    max_inflight = 4;
+    max_queue = 16;
+    default_deadline_ms = 2000;
+    max_deadline_ms = 60_000;
+    watchdog_grace_ms = 200;
+    allow_sleep = false;
+  }
+
+type stats = {
+  mutable s_queries : int;  (** request lines received *)
+  mutable s_ok : int;
+  mutable s_shed : int;
+  mutable s_timeout : int;  (** deadline and watchdog aborts *)
+  mutable s_error : int;
+  mutable s_bye : int;  (** requests refused during drain *)
+  mutable s_degraded : int;  (** ok answers from a fallback rung *)
+  mutable s_watchdog_cancels : int;
+  mutable s_connections : int;
+}
+
+let stats_counters s =
+  [
+    ("serve.queries", s.s_queries);
+    ("serve.ok", s.s_ok);
+    ("serve.shed", s.s_shed);
+    ("serve.timeouts", s.s_timeout);
+    ("serve.errors", s.s_error);
+    ("serve.bye", s.s_bye);
+    ("serve.degraded", s.s_degraded);
+    ("serve.watchdog_cancels", s.s_watchdog_cancels);
+    ("serve.connections", s.s_connections);
+  ]
+
+type t = {
+  cfg : config;
+  view : Objfile.view;
+  stats : stats;
+  stats_m : Mutex.t;
+  (* admission gate *)
+  adm_m : Mutex.t;
+  mutable inflight : int;
+  mutable waiting : int;
+  (* watchdog registry: query serial -> (cancel token, abort instant) *)
+  wd_m : Mutex.t;
+  wd : (int, R.Cancel.t * float) Hashtbl.t;
+  mutable serial : int;
+  (* solve lock + cached ladder outcome *)
+  solve_m : Mutex.t;
+  mutable cache : Pipeline.ladder_outcome option;
+  shutdown : bool Atomic.t;
+  stopped : bool Atomic.t;  (* watchdog terminator, set after drain *)
+  conns_m : Mutex.t;
+  mutable live_conns : int;
+}
+
+let bump t f =
+  Mutex.lock t.stats_m;
+  f t.stats;
+  Mutex.unlock t.stats_m
+
+(* ------------------------------------------------------------------ *)
+(* Admission control                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let admit t ~deadline =
+  Mutex.lock t.adm_m;
+  if t.inflight < t.cfg.max_inflight then begin
+    t.inflight <- t.inflight + 1;
+    Mutex.unlock t.adm_m;
+    `Admitted
+  end
+  else if t.waiting >= t.cfg.max_queue then begin
+    Mutex.unlock t.adm_m;
+    `Shed
+  end
+  else begin
+    t.waiting <- t.waiting + 1;
+    (* waiting queries poll: a slot, their own deadline, or drain —
+       whichever comes first.  Bounded by the query's deadline, which is
+       always finite (the server fills in a default). *)
+    let rec poll () =
+      if t.inflight < t.cfg.max_inflight then begin
+        t.waiting <- t.waiting - 1;
+        t.inflight <- t.inflight + 1;
+        Mutex.unlock t.adm_m;
+        `Admitted
+      end
+      else if Atomic.get t.shutdown then begin
+        t.waiting <- t.waiting - 1;
+        Mutex.unlock t.adm_m;
+        `Bye
+      end
+      else if R.Deadline.expired deadline then begin
+        t.waiting <- t.waiting - 1;
+        Mutex.unlock t.adm_m;
+        `Queued_past_deadline
+      end
+      else begin
+        Mutex.unlock t.adm_m;
+        Thread.delay 0.002;
+        Mutex.lock t.adm_m;
+        poll ()
+      end
+    in
+    poll ()
+  end
+
+let release t =
+  Mutex.lock t.adm_m;
+  t.inflight <- t.inflight - 1;
+  Mutex.unlock t.adm_m
+
+(* ------------------------------------------------------------------ *)
+(* Watchdog                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let with_watchdog t ~abort_at cancel f =
+  Mutex.lock t.wd_m;
+  t.serial <- t.serial + 1;
+  let key = t.serial in
+  Hashtbl.replace t.wd key (cancel, abort_at);
+  Mutex.unlock t.wd_m;
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock t.wd_m;
+      Hashtbl.remove t.wd key;
+      Mutex.unlock t.wd_m)
+    f
+
+let watchdog_loop t =
+  while not (Atomic.get t.stopped) do
+    Thread.delay 0.02;
+    let now = R.Deadline.now_s () in
+    Mutex.lock t.wd_m;
+    Hashtbl.iter
+      (fun _ (c, abort_at) ->
+        if now >= abort_at && not (R.Cancel.is_set c) then begin
+          R.Cancel.set c;
+          bump t (fun s -> s.s_watchdog_cancels <- s.s_watchdog_cancels + 1)
+        end)
+      t.wd;
+    Mutex.unlock t.wd_m
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Query execution                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Serialize actual solves; a waiter keeps polling its own deadline and
+   cancel token so a long solve ahead of it cannot wedge it. *)
+let acquire_solve_lock t ~deadline ~cancel =
+  let rec go () =
+    if Mutex.try_lock t.solve_m then `Locked
+    else if R.Cancel.is_set cancel then `Aborted
+    else if R.Deadline.expired deadline then `Aborted
+    else begin
+      Thread.delay 0.002;
+      go ()
+    end
+  in
+  go ()
+
+let solution t ~fresh ~deadline ~cancel :
+    (Pipeline.ladder_outcome, R.Progress.t) result =
+  let cached = if fresh then None else t.cache in
+  match cached with
+  | Some o -> Ok o
+  | None -> (
+      let t0 = R.Deadline.now_s () in
+      match acquire_solve_lock t ~deadline ~cancel with
+      | `Aborted ->
+          Error
+            (R.Progress.make
+               ~elapsed_s:(R.Deadline.now_s () -. t0)
+               "aborted while waiting for the solver")
+      | `Locked -> (
+          Fun.protect ~finally:(fun () -> Mutex.unlock t.solve_m) @@ fun () ->
+          (* someone may have filled the cache while we waited *)
+          match (if fresh then None else t.cache) with
+          | Some o -> Ok o
+          | None -> (
+              match Pipeline.points_to_ladder ~deadline ~cancel t.view with
+              | o ->
+                  (* degraded answers serve this query but never poison
+                     the cache: the next unhurried query recomputes *)
+                  if not o.Pipeline.lo_degraded then t.cache <- Some o;
+                  Ok o
+              | exception R.Deadline.Timed_out p -> Error p
+              | exception R.Cancel.Cancelled p -> Error p)))
+
+let find_var t name = Objfile.find_targets t.view name
+
+let pts_of (o : Pipeline.ladder_outcome) v =
+  Solution.points_to o.Pipeline.lo_solution v
+
+let target_names (o : Pipeline.ladder_outcome) set =
+  Lvalset.fold
+    (fun acc z -> Solution.var_name o.Pipeline.lo_solution z :: acc)
+    [] set
+  |> List.rev
+
+let sets_intersect (a : Lvalset.t) (b : Lvalset.t) =
+  let small, big =
+    if Lvalset.cardinal a <= Lvalset.cardinal b then (a, b) else (b, a)
+  in
+  let hit = ref false in
+  Lvalset.iter (fun z -> if (not !hit) && Lvalset.mem z big then hit := true) small;
+  !hit
+
+let timeout_response ~id (p : R.Progress.t) =
+  Protocol.timeout ~id ~at_pass:p.R.Progress.at_pass
+    ~elapsed_ms:(p.R.Progress.elapsed_s *. 1000.)
+    ~detail:p.R.Progress.detail
+
+(* Interruptible sleep (debug op for load tests): honors deadline and
+   cancel in 5ms slices, holding its admission slot throughout — the
+   deterministic way to make the server busy. *)
+let do_sleep ~deadline ~cancel ms =
+  let until = R.Deadline.now_s () +. (float_of_int ms /. 1000.) in
+  let rec nap () =
+    if R.Deadline.expired deadline || R.Cancel.is_set cancel then
+      Error
+        (R.Progress.make
+           ~elapsed_s:(float_of_int ms /. 1000.)
+           "sleep interrupted")
+    else if R.Deadline.now_s () >= until then Ok ()
+    else begin
+      Thread.delay 0.005;
+      nap ()
+    end
+  in
+  nap ()
+
+let run_admitted t (req : Protocol.request) ~deadline ~cancel =
+  let id = req.Protocol.r_id in
+  match req.Protocol.r_op with
+  | Protocol.Ping ->
+      bump t (fun s -> s.s_ok <- s.s_ok + 1);
+      Protocol.ok_ping ~id
+  | Protocol.Stats ->
+      Mutex.lock t.stats_m;
+      t.stats.s_ok <- t.stats.s_ok + 1;
+      let cs = stats_counters t.stats in
+      Mutex.unlock t.stats_m;
+      Protocol.ok_stats ~id cs
+  | Protocol.Sleep ms -> (
+      if not t.cfg.allow_sleep then begin
+        bump t (fun s -> s.s_error <- s.s_error + 1);
+        Protocol.error ~id "sleep op disabled (start the server with --allow-sleep)"
+      end
+      else
+        match do_sleep ~deadline ~cancel ms with
+        | Ok () ->
+            bump t (fun s -> s.s_ok <- s.s_ok + 1);
+            Protocol.ok_sleep ~id ~ms
+        | Error p ->
+            bump t (fun s -> s.s_timeout <- s.s_timeout + 1);
+            timeout_response ~id p)
+  | Protocol.Points_to name -> (
+      match find_var t name with
+      | [] ->
+          bump t (fun s -> s.s_error <- s.s_error + 1);
+          Protocol.error ~id ~code:404 (Printf.sprintf "unknown variable %S" name)
+      | v :: _ -> (
+          match solution t ~fresh:req.Protocol.r_fresh ~deadline ~cancel with
+          | Error p ->
+              bump t (fun s -> s.s_timeout <- s.s_timeout + 1);
+              timeout_response ~id p
+          | Ok o ->
+              bump t (fun s ->
+                  s.s_ok <- s.s_ok + 1;
+                  if o.Pipeline.lo_degraded then s.s_degraded <- s.s_degraded + 1);
+              Protocol.ok_points_to ~id
+                ~rung:(Pipeline.algorithm_name o.Pipeline.lo_algorithm)
+                ~degraded:o.Pipeline.lo_degraded ~var:name
+                ~targets:(target_names o (pts_of o v))))
+  | Protocol.Alias (n1, n2) -> (
+      match (find_var t n1, find_var t n2) with
+      | [], _ ->
+          bump t (fun s -> s.s_error <- s.s_error + 1);
+          Protocol.error ~id ~code:404 (Printf.sprintf "unknown variable %S" n1)
+      | _, [] ->
+          bump t (fun s -> s.s_error <- s.s_error + 1);
+          Protocol.error ~id ~code:404 (Printf.sprintf "unknown variable %S" n2)
+      | v1 :: _, v2 :: _ -> (
+          match solution t ~fresh:req.Protocol.r_fresh ~deadline ~cancel with
+          | Error p ->
+              bump t (fun s -> s.s_timeout <- s.s_timeout + 1);
+              timeout_response ~id p
+          | Ok o ->
+              bump t (fun s ->
+                  s.s_ok <- s.s_ok + 1;
+                  if o.Pipeline.lo_degraded then s.s_degraded <- s.s_degraded + 1);
+              Protocol.ok_alias ~id
+                ~rung:(Pipeline.algorithm_name o.Pipeline.lo_algorithm)
+                ~degraded:o.Pipeline.lo_degraded ~var:n1 ~var2:n2
+                ~aliased:(sets_intersect (pts_of o v1) (pts_of o v2))))
+
+let handle_line t line =
+  bump t (fun s -> s.s_queries <- s.s_queries + 1);
+  match Protocol.parse line with
+  | Error (id, msg) ->
+      bump t (fun s -> s.s_error <- s.s_error + 1);
+      Protocol.error ~id msg
+  | Ok req -> (
+      let id = req.Protocol.r_id in
+      if Atomic.get t.shutdown then begin
+        bump t (fun s -> s.s_bye <- s.s_bye + 1);
+        Protocol.bye ~id
+      end
+      else
+        let dl_ms =
+          match req.Protocol.r_deadline_ms with
+          | Some d -> max 1 (min d t.cfg.max_deadline_ms)
+          | None -> t.cfg.default_deadline_ms
+        in
+        let deadline = R.Deadline.of_ms dl_ms in
+        match admit t ~deadline with
+        | `Shed ->
+            bump t (fun s -> s.s_shed <- s.s_shed + 1);
+            Protocol.shed ~id ~retry_after_ms:(max 10 (dl_ms / 4))
+        | `Bye ->
+            bump t (fun s -> s.s_bye <- s.s_bye + 1);
+            Protocol.bye ~id
+        | `Queued_past_deadline ->
+            bump t (fun s -> s.s_timeout <- s.s_timeout + 1);
+            timeout_response ~id
+              (R.Progress.make
+                 ~elapsed_s:(float_of_int dl_ms /. 1000.)
+                 "deadline passed while queued for admission")
+        | `Admitted ->
+            Fun.protect ~finally:(fun () -> release t) @@ fun () ->
+            let cancel = R.Cancel.create () in
+            let abort_at =
+              R.Deadline.now_s ()
+              +. Float.max 0. (R.Deadline.remaining_s deadline)
+              +. (float_of_int t.cfg.watchdog_grace_ms /. 1000.)
+            in
+            with_watchdog t ~abort_at cancel @@ fun () ->
+            (* last-resort catch: a query must answer, not kill its
+               connection *)
+            (try run_admitted t req ~deadline ~cancel with
+            | R.Deadline.Timed_out p | R.Cancel.Cancelled p ->
+                bump t (fun s -> s.s_timeout <- s.s_timeout + 1);
+                timeout_response ~id p
+            | e ->
+                bump t (fun s -> s.s_error <- s.s_error + 1);
+                Protocol.error ~id ~code:500
+                  ("internal error: " ^ Printexc.to_string e)))
+
+(* ------------------------------------------------------------------ *)
+(* Connections                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let handle_conn t fd =
+  bump t (fun s -> s.s_connections <- s.s_connections + 1);
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  (try
+     let rec loop () =
+       match input_line ic with
+       | exception End_of_file -> ()
+       | line ->
+           let line = String.trim line in
+           if line = "" then loop ()
+           else begin
+             let response = handle_line t line in
+             output_string oc response;
+             output_char oc '\n';
+             flush oc;
+             (* during drain, answer the line that was already in flight
+                and close; new connections are not accepted anyway *)
+             if not (Atomic.get t.shutdown) then loop ()
+           end
+     in
+     loop ()
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Mutex.lock t.conns_m;
+  t.live_conns <- t.live_conns - 1;
+  Mutex.unlock t.conns_m
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let create ?(config = default_config) view =
+  {
+    cfg = config;
+    view;
+    stats =
+      {
+        s_queries = 0;
+        s_ok = 0;
+        s_shed = 0;
+        s_timeout = 0;
+        s_error = 0;
+        s_bye = 0;
+        s_degraded = 0;
+        s_watchdog_cancels = 0;
+        s_connections = 0;
+      };
+    stats_m = Mutex.create ();
+    adm_m = Mutex.create ();
+    inflight = 0;
+    waiting = 0;
+    wd_m = Mutex.create ();
+    wd = Hashtbl.create 32;
+    serial = 0;
+    solve_m = Mutex.create ();
+    cache = None;
+    shutdown = Atomic.make false;
+    stopped = Atomic.make false;
+    conns_m = Mutex.create ();
+    live_conns = 0;
+  }
+
+(** Ask a running server to drain (what the SIGINT/SIGTERM handlers
+    call). *)
+let request_shutdown t = Atomic.set t.shutdown true
+
+let run ?(config = default_config) ?(on_ready = fun _ -> ()) view : stats =
+  let t = create ~config view in
+  (* a client that disconnects mid-response must not kill the server *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  List.iter
+    (fun sg ->
+      try Sys.set_signal sg (Sys.Signal_handle (fun _ -> request_shutdown t))
+      with Invalid_argument _ -> ())
+    [ Sys.sigint; Sys.sigterm ];
+  if Sys.file_exists config.socket_path then Sys.remove config.socket_path;
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_UNIX config.socket_path);
+  Unix.listen sock 64;
+  let wd_thread = Thread.create watchdog_loop t in
+  on_ready t;
+  (* accept loop: select with a short timeout so SIGTERM (which flips
+     [shutdown] from the handler) is noticed promptly *)
+  while not (Atomic.get t.shutdown) do
+    match Unix.select [ sock ] [] [] 0.1 with
+    | [], _, _ -> ()
+    | _ -> (
+        match Unix.accept sock with
+        | fd, _ ->
+            Mutex.lock t.conns_m;
+            t.live_conns <- t.live_conns + 1;
+            Mutex.unlock t.conns_m;
+            ignore (Thread.create (handle_conn t) fd)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  (try Unix.close sock with Unix.Unix_error _ -> ());
+  (try Sys.remove config.socket_path with Sys_error _ -> ());
+  (* drain: in-flight queries finish (their watchdogs still armed);
+     bounded so a wedged connection cannot hold the exit hostage *)
+  let drain_deadline = R.Deadline.after ~seconds:10. in
+  let live () =
+    Mutex.lock t.conns_m;
+    let n = t.live_conns in
+    Mutex.unlock t.conns_m;
+    n
+  in
+  while live () > 0 && not (R.Deadline.expired drain_deadline) do
+    Thread.delay 0.02
+  done;
+  Atomic.set t.stopped true;
+  Thread.join wd_thread;
+  t.stats

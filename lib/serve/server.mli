@@ -1,0 +1,54 @@
+(** The resilient query server behind [cla serve]: a Unix-domain-socket,
+    line-oriented JSON server over one linked CLA database.
+
+    Resilience layers, in the order a query meets them: bounded
+    admission (429-style shedding past [max_inflight]+[max_queue]); a
+    per-query {!Cla_resilience.Deadline} polled by the solver ladder; a
+    watchdog thread that fires the query's {!Cla_resilience.Cancel}
+    token [watchdog_grace_ms] past the deadline so even a query that
+    dodges its deadline checks is aborted and its slot recycled; and
+    graceful drain on SIGINT/SIGTERM.  Solves are serialized and the
+    first non-degraded ladder outcome is cached, so steady-state queries
+    are lock-free lookups. *)
+
+type config = {
+  socket_path : string;
+  max_inflight : int;  (** queries executing at once *)
+  max_queue : int;  (** queries allowed to wait; beyond -> shed *)
+  default_deadline_ms : int;  (** when the request names none *)
+  max_deadline_ms : int;  (** cap on client-requested deadlines *)
+  watchdog_grace_ms : int;  (** cancel fires this long after the deadline *)
+  allow_sleep : bool;  (** enable the debug [sleep] op (load tests) *)
+}
+
+val default_config : config
+
+type stats = {
+  mutable s_queries : int;  (** request lines received *)
+  mutable s_ok : int;
+  mutable s_shed : int;
+  mutable s_timeout : int;  (** deadline and watchdog aborts *)
+  mutable s_error : int;
+  mutable s_bye : int;  (** requests refused during drain *)
+  mutable s_degraded : int;  (** ok answers from a fallback rung *)
+  mutable s_watchdog_cancels : int;
+  mutable s_connections : int;
+}
+
+(** The stats as labeled counters, for reports and the [stats] op. *)
+val stats_counters : stats -> (string * int) list
+
+type t
+
+(** Flip the drain flag: the accept loop stops, in-flight queries
+    finish, further request lines get a ["bye"].  Safe to call from a
+    signal handler or another thread. *)
+val request_shutdown : t -> unit
+
+(** Serve queries over [view] until SIGINT/SIGTERM (or
+    {!request_shutdown}), then drain and return the final counters.
+    [on_ready] runs once the socket is listening — tests use it to
+    launch clients, and it receives the server handle so an embedded
+    caller can stop the server without a signal.  Installs handlers for
+    SIGINT/SIGTERM and ignores SIGPIPE. *)
+val run : ?config:config -> ?on_ready:(t -> unit) -> Cla_core.Objfile.view -> stats

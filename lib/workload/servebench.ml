@@ -1,0 +1,92 @@
+(** Load generator for [cla serve-bench]: a deterministic mixed stream
+    of good, poisoned, and slow queries.
+
+    The stream is the server's resilience exam in miniature: good
+    queries must be answered, poisoned ones must come back as clean
+    ["error"] responses (never a dead connection), and slow ones must
+    either time out within their deadline or, by hogging execution
+    slots, force admission control to shed the queries behind them.  The
+    bench driver tallies the responses; the invariant it checks is that
+    {e every} query gets exactly one classified answer and the server
+    survives the whole stream. *)
+
+open Cla_obs
+
+type kind =
+  | Good  (** well-formed points-to/alias/ping/stats over known vars *)
+  | Poison  (** malformed json, unknown ops, unknown variables *)
+  | Slow  (** [sleep] ops that outlive their deadline or hog a slot *)
+
+let kind_name = function Good -> "good" | Poison -> "poison" | Slow -> "slow"
+
+type query = { q_id : int; q_kind : kind; q_line : string }
+
+type mix = { m_good : int; m_poison : int; m_slow : int }
+(** Relative weights; they need not sum to anything in particular. *)
+
+let default_mix = { m_good = 6; m_poison = 2; m_slow = 2 }
+
+let obj fields = Json.to_string ~indent:false (Json.Obj fields)
+
+let base id op = [ ("id", Json.Int id); ("op", Json.Str op) ]
+
+let with_deadline ms fields = fields @ [ ("deadline_ms", Json.Int ms) ]
+
+let good rng ~id ~vars ~deadline_ms =
+  match Rng.int rng 10 with
+  | 0 -> obj (base id "ping")
+  | 1 -> obj (base id "stats")
+  | 2 | 3 | 4 ->
+      let a = Rng.choose rng vars and b = Rng.choose rng vars in
+      obj
+        (with_deadline deadline_ms
+           (base id "alias" @ [ ("var", Json.Str a); ("var2", Json.Str b) ]))
+  | _ ->
+      obj
+        (with_deadline deadline_ms
+           (base id "points-to" @ [ ("var", Json.Str (Rng.choose rng vars)) ]))
+
+let poison rng ~id ~vars =
+  match Rng.int rng 6 with
+  | 0 -> "{\"id\":" ^ string_of_int id ^ ",\"op\":\"points-to\""  (* truncated *)
+  | 1 -> "not json at all"
+  | 2 -> obj (base id "frobnicate")
+  | 3 -> obj (base id "points-to")  (* missing "var" *)
+  | 4 -> obj (base id "sleep" @ [ ("ms", Json.Int (-5)) ])
+  | _ ->
+      (* well-formed but naming a variable the program does not have *)
+      let ghost = "no_such_var_" ^ string_of_int (Rng.int rng 1000) in
+      ignore vars;
+      obj (base id "points-to" @ [ ("var", Json.Str ghost) ])
+
+let slow rng ~id ~slow_ms =
+  if Rng.flip rng 0.5 then
+    (* sleeps past its own deadline: must come back as a timeout *)
+    obj
+      (with_deadline (max 1 (slow_ms / 4))
+         (base id "sleep" @ [ ("ms", Json.Int slow_ms) ]))
+  else
+    (* sleeps within its deadline: hogs a slot so queries behind it
+       queue up and, past the queue bound, get shed *)
+    obj
+      (with_deadline (slow_ms * 4)
+         (base id "sleep" @ [ ("ms", Json.Int slow_ms) ]))
+
+let generate ?(mix = default_mix) ~seed ~n ~vars ~deadline_ms ~slow_ms () =
+  if Array.length vars = 0 then invalid_arg "Servebench.generate: no variables";
+  let rng = Rng.create seed in
+  let total = max 1 (mix.m_good + mix.m_poison + mix.m_slow) in
+  List.init n (fun id ->
+      let roll = Rng.int rng total in
+      let q_kind =
+        if roll < mix.m_good then Good
+        else if roll < mix.m_good + mix.m_poison then Poison
+        else Slow
+      in
+      let q_line =
+        match q_kind with
+        | Good -> good rng ~id ~vars ~deadline_ms
+        | Poison -> poison rng ~id ~vars
+        | Slow -> slow rng ~id ~slow_ms
+      in
+      { q_id = id; q_kind; q_line })

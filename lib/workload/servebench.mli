@@ -1,0 +1,36 @@
+(** Load generator for [cla serve-bench]: a deterministic mixed stream
+    of good, poisoned, and slow queries.  Good queries must be answered,
+    poisoned ones must come back as clean ["error"] responses, slow ones
+    must time out or force shedding — and the server must survive the
+    whole stream, answering every line exactly once. *)
+
+type kind =
+  | Good  (** well-formed points-to/alias/ping/stats over known vars *)
+  | Poison  (** malformed json, unknown ops, unknown variables *)
+  | Slow  (** [sleep] ops that outlive their deadline or hog a slot *)
+
+val kind_name : kind -> string
+
+type query = { q_id : int; q_kind : kind; q_line : string }
+
+type mix = { m_good : int; m_poison : int; m_slow : int }
+(** Relative weights; they need not sum to anything in particular. *)
+
+(** 6 good : 2 poison : 2 slow. *)
+val default_mix : mix
+
+(** [generate ~seed ~n ~vars ~deadline_ms ~slow_ms ()] builds [n]
+    request lines: good queries draw variables from [vars] and carry
+    [deadline_ms]; slow queries sleep [slow_ms] (half with a deadline
+    they will blow, half with room to spare so they hog a slot).
+    Deterministic in [seed].  Raises [Invalid_argument] when [vars] is
+    empty. *)
+val generate :
+  ?mix:mix ->
+  seed:int64 ->
+  n:int ->
+  vars:string array ->
+  deadline_ms:int ->
+  slow_ms:int ->
+  unit ->
+  query list

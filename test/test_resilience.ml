@@ -1,0 +1,433 @@
+(* Tests for the resilience layer: deadline sweeps over the solvers (a
+   solve either returns the exact solution or unwinds with a typed
+   timeout — never a crash, never a partial answer), the degradation
+   ladder's always-answers + soundness contract, cooperative
+   cancellation, and the query server surviving a mixed
+   good/poisoned/slow stream. *)
+
+open Cla_core
+open Cla_resilience
+
+let view_of src =
+  Objfile.view_of_string (Objfile.write (Compilep.compile_string ~file:"t.c" src))
+
+(* A workload big enough that tight deadlines actually interrupt it. *)
+let big_view =
+  lazy
+    (let p =
+       Cla_workload.Profile.scaled 0.08
+         (Option.get (Cla_workload.Profile.find "burlap"))
+     in
+     let files = Cla_workload.Genc.generate ~seed:7L p in
+     Pipeline.compile_link files)
+
+let baseline = lazy (Andersen.solve ~demand:false (Lazy.force big_view))
+
+(* For every program variable, the candidate's answer must contain the
+   exact (Andersen) points-to set: subset rungs are exact and the
+   unification rung over-approximates, so a missing target would be a
+   soundness bug, not a precision loss. *)
+let check_sound_superset base (sol : Solution.t) =
+  let ok = ref true in
+  for v = 0 to Array.length base.Solution.pts - 1 do
+    if Solution.is_program_var base v then
+      Lvalset.iter
+        (fun tgt -> if not (Lvalset.mem tgt (Solution.points_to sol v)) then ok := false)
+        (Solution.points_to base v)
+  done;
+  !ok
+
+(* ------------------------------------------------------------------ *)
+(* Deadline sweep                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Sweep deadlines from "instantly expired" to "effectively infinite":
+   every solve must either agree with the unhurried baseline (exactly
+   for the subset-based solvers, as a sound superset for unification) or
+   unwind with [Timed_out] carrying sane progress.  Catching anything
+   else (or a partial solution) fails the test. *)
+let sweep_one ?(exact = true) solve =
+  let view = Lazy.force big_view in
+  let base = (Lazy.force baseline).Andersen.solution in
+  let timeouts = ref 0 and completions = ref 0 in
+  List.iter
+    (fun seconds ->
+      let deadline =
+        if seconds = infinity then Deadline.never else Deadline.after ~seconds
+      in
+      match solve ~deadline view with
+      | (sol : Solution.t) ->
+          incr completions;
+          if exact then
+            Alcotest.(check bool)
+              (Fmt.str "deadline %g: completed solve is exact" seconds)
+              true (Solution.equal base sol)
+          else
+            Alcotest.(check bool)
+              (Fmt.str "deadline %g: completed solve is a sound superset"
+                 seconds)
+              true
+              (check_sound_superset base sol)
+      | exception Deadline.Timed_out p ->
+          incr timeouts;
+          Alcotest.(check bool)
+            (Fmt.str "deadline %g: progress is sane" seconds)
+            true
+            (p.Progress.at_pass >= 0 && p.Progress.elapsed_s >= 0.))
+    [ 0.; 1e-5; 1e-4; 1e-3; 5e-3; 0.05; infinity ];
+  (* the extremes must behave: 0 always times out, infinity never *)
+  Alcotest.(check bool) "zero deadline timed out" true (!timeouts >= 1);
+  Alcotest.(check bool) "unbounded solve completed" true (!completions >= 1)
+
+let test_sweep_pretransitive () =
+  sweep_one (fun ~deadline view ->
+      (Andersen.solve ~demand:false ~deadline view).Andersen.solution)
+
+let test_sweep_worklist () =
+  sweep_one (fun ~deadline view ->
+      Pipeline.points_to ~algorithm:Pipeline.Worklist ~deadline view)
+
+let test_sweep_bitvector () =
+  sweep_one (fun ~deadline view ->
+      Pipeline.points_to ~algorithm:Pipeline.Bitvector ~deadline view)
+
+let test_sweep_steensgaard () =
+  sweep_one ~exact:false (fun ~deadline view ->
+      Pipeline.points_to ~algorithm:Pipeline.Steensgaard ~deadline view)
+
+(* ------------------------------------------------------------------ *)
+(* Degradation ladder                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_ladder_always_answers () =
+  let view = Lazy.force big_view in
+  let base = (Lazy.force baseline).Andersen.solution in
+  let saw_degraded = ref false in
+  List.iter
+    (fun seconds ->
+      let deadline =
+        if seconds = infinity then Deadline.never else Deadline.after ~seconds
+      in
+      let o = Pipeline.points_to_ladder ~deadline view in
+      if o.Pipeline.lo_degraded then saw_degraded := true;
+      Alcotest.(check bool)
+        (Fmt.str "deadline %g: ladder answer is a sound superset" seconds)
+        true
+        (check_sound_superset base o.Pipeline.lo_solution);
+      (* the answer is labeled with the rung that produced it *)
+      match Solution.provenance o.Pipeline.lo_solution with
+      | None -> Alcotest.fail "ladder solution has no provenance"
+      | Some p ->
+          Alcotest.(check string)
+            (Fmt.str "deadline %g: provenance rung" seconds)
+            (Pipeline.algorithm_name o.Pipeline.lo_algorithm)
+            p.Solution.p_rung;
+          Alcotest.(check bool)
+            (Fmt.str "deadline %g: degraded flags agree" seconds)
+            o.Pipeline.lo_degraded p.Solution.p_degraded)
+    [ 0.; 1e-4; 1e-3; infinity ];
+  (* the zero deadline must actually exercise the fallback path *)
+  Alcotest.(check bool) "some deadline degraded" true !saw_degraded
+
+let test_ladder_zero_deadline_lands_on_final_rung () =
+  let view = Lazy.force big_view in
+  let o = Pipeline.points_to_ladder ~deadline:(Deadline.of_ms 0) view in
+  Alcotest.(check bool) "degraded" true o.Pipeline.lo_degraded;
+  Alcotest.(check string) "answered by the final rung" "steensgaard"
+    (Pipeline.algorithm_name o.Pipeline.lo_algorithm);
+  (* every earlier rung reported a timeout with its progress *)
+  Alcotest.(check int) "two rungs timed out" 2
+    (List.length o.Pipeline.lo_timeouts)
+
+let test_ladder_strict_can_time_out () =
+  let view = Lazy.force big_view in
+  match
+    Pipeline.points_to_ladder ~strict:true ~deadline:(Deadline.of_ms 0) view
+  with
+  | _ -> Alcotest.fail "strict ladder with zero deadline should time out"
+  | exception Deadline.Timed_out _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Cancellation                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_cancel_preset () =
+  let view = Lazy.force big_view in
+  let cancel = Cancel.create () in
+  Cancel.set cancel;
+  match Andersen.solve ~demand:false ~cancel view with
+  | _ -> Alcotest.fail "pre-set cancel token should abort the solve"
+  | exception Cancel.Cancelled p ->
+      (* checked at solve entry: no pass may run after cancellation *)
+      Alcotest.(check int) "aborted before the first pass" 0
+        p.Progress.at_pass
+
+let test_cancel_from_another_thread () =
+  let view = Lazy.force big_view in
+  let cancel = Cancel.create () in
+  let killer = Thread.create (fun () -> Thread.delay 0.005; Cancel.set cancel) () in
+  let outcome =
+    match Andersen.solve ~demand:false ~cancel view with
+    | r -> `Finished r.Andersen.passes
+    | exception Cancel.Cancelled p -> `Cancelled p.Progress.at_pass
+  in
+  Thread.join killer;
+  match outcome with
+  | `Finished _ -> () (* small machine won the race: fine, solve was exact *)
+  | `Cancelled at_pass ->
+      (* the token is polled inside every pass, so the abort lands
+         during the pass in flight when it was set — it never runs the
+         solve to completion first *)
+      Alcotest.(check bool) "aborted at a real pass" true (at_pass >= 0)
+
+(* ------------------------------------------------------------------ *)
+(* Degrade.run plumbing                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_degrade_order_and_attempts () =
+  let calls = ref [] in
+  let rung name result ~deadline =
+    calls := name :: !calls;
+    if Deadline.expired deadline then
+      raise (Deadline.Timed_out (Progress.make name))
+    else result
+  in
+  let o =
+    Degrade.run
+      ~deadline:(Deadline.of_ms 0)
+      ~rungs:[ ("a", rung "a" 1); ("b", rung "b" 2); ("c", rung "c" 3) ]
+      ()
+  in
+  (* a and b time out against the expired deadline; c runs exempt *)
+  Alcotest.(check (list string)) "call order" [ "a"; "b"; "c" ] (List.rev !calls);
+  Alcotest.(check int) "final rung answered" 3 o.Degrade.value;
+  Alcotest.(check string) "rung name" "c" o.Degrade.rung;
+  Alcotest.(check bool) "degraded" true o.Degrade.degraded;
+  Alcotest.(check int) "two failed attempts" 2 (List.length o.Degrade.attempts)
+
+let test_algorithm_of_string_case_insensitive () =
+  List.iter
+    (fun (s, want) ->
+      Alcotest.(check bool)
+        s true
+        (Pipeline.algorithm_of_string s = want))
+    [
+      ("Pretransitive", Some Pipeline.Pretransitive);
+      ("BITVECTOR", Some Pipeline.Bitvector);
+      ("Steensgaard", Some Pipeline.Steensgaard);
+      ("WorkList", Some Pipeline.Worklist);
+      ("bitvec", Some Pipeline.Bitvector);
+      ("nope", None);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Server under a hostile stream                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Boot an in-process server over a small database, drive the Servebench
+   mixed good/poison/slow stream through real sockets from several
+   client threads, then drain.  The server must answer every line with
+   a well-formed classified response and survive to return its stats. *)
+let test_server_survives_mixed_stream () =
+  let view =
+    view_of
+      "int x, y; int *p, *q;\n\
+       void f(void) { p = &x; q = p; }\n\
+       void g(void) { q = &y; }"
+  in
+  let dir = Filename.temp_file "cla_serve" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let socket = Filename.concat dir "s.sock" in
+  let config =
+    {
+      Cla_serve.Server.default_config with
+      socket_path = socket;
+      max_inflight = 1;
+      max_queue = 1;
+      default_deadline_ms = 500;
+      watchdog_grace_ms = 50;
+      allow_sleep = true;
+    }
+  in
+  let handle = ref None in
+  let ready_m = Mutex.create () and ready_c = Condition.create () in
+  let server =
+    Thread.create
+      (fun () ->
+        Cla_serve.Server.run ~config
+          ~on_ready:(fun t ->
+            Mutex.lock ready_m;
+            handle := Some t;
+            Condition.signal ready_c;
+            Mutex.unlock ready_m)
+          view)
+      ()
+  in
+  Mutex.lock ready_m;
+  while !handle = None do
+    Condition.wait ready_c ready_m
+  done;
+  Mutex.unlock ready_m;
+  let queries =
+    Cla_workload.Servebench.generate ~seed:11L ~n:40
+      ~vars:[| "p"; "q"; "x" |] ~deadline_ms:400 ~slow_ms:60 ()
+  in
+  let qs = Array.of_list queries in
+  let replies = Array.make (Array.length qs) None in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < Array.length qs then begin
+        replies.(i) <-
+          Some
+            (Cla_serve.Client.with_retry
+               ~policy:{ Cla_serve.Client.default_policy with seed = i }
+               ~socket qs.(i).Cla_workload.Servebench.q_line);
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let clients = List.init 4 (fun _ -> Thread.create worker ()) in
+  List.iter Thread.join clients;
+  (match !handle with
+  | Some t -> Cla_serve.Server.request_shutdown t
+  | None -> ());
+  Thread.join server;
+  (* every query got exactly one well-formed, classified response *)
+  Array.iteri
+    (fun i r ->
+      match r with
+      | None -> Alcotest.fail (Fmt.str "query %d never ran" i)
+      | Some o -> (
+          match o.Cla_serve.Client.reply with
+          | Error e ->
+              Alcotest.fail
+                (Fmt.str "query %d: transport error: %s" i
+                   (Cla_serve.Client.describe e))
+          | Ok line -> (
+              match Cla_serve.Protocol.status_of_line line with
+              | Cla_serve.Protocol.S_malformed ->
+                  Alcotest.fail (Fmt.str "query %d: malformed reply %s" i line)
+              | _ -> ())))
+    replies;
+  (* poisoned queries must have come back as clean errors *)
+  let poison_errors = ref 0 and n_poison = ref 0 in
+  Array.iteri
+    (fun i q ->
+      if q.Cla_workload.Servebench.q_kind = Cla_workload.Servebench.Poison then begin
+        incr n_poison;
+        match replies.(i) with
+        | Some { Cla_serve.Client.reply = Ok line; _ }
+          when Cla_serve.Protocol.status_of_line line = Cla_serve.Protocol.S_error
+          ->
+            incr poison_errors
+        | _ -> ()
+      end)
+    qs;
+  Alcotest.(check int) "every poisoned query rejected cleanly" !n_poison
+    !poison_errors;
+  (* the server unlinks its socket during drain; tolerate either order *)
+  (try Sys.remove socket with Sys_error _ -> ());
+  Unix.rmdir dir
+
+(* A server with no waiting room sheds immediately while its only slot
+   is busy — and the shed response names a retry delay. *)
+let test_server_sheds_when_full () =
+  let view = view_of "int x; int *p;\nvoid f(void) { p = &x; }" in
+  let dir = Filename.temp_file "cla_serve" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let socket = Filename.concat dir "s.sock" in
+  let config =
+    {
+      Cla_serve.Server.default_config with
+      socket_path = socket;
+      max_inflight = 1;
+      max_queue = 0;
+      allow_sleep = true;
+    }
+  in
+  let handle = ref None in
+  let ready_m = Mutex.create () and ready_c = Condition.create () in
+  let server =
+    Thread.create
+      (fun () ->
+        Cla_serve.Server.run ~config
+          ~on_ready:(fun t ->
+            Mutex.lock ready_m;
+            handle := Some t;
+            Condition.signal ready_c;
+            Mutex.unlock ready_m)
+          view)
+      ()
+  in
+  Mutex.lock ready_m;
+  while !handle = None do
+    Condition.wait ready_c ready_m
+  done;
+  Mutex.unlock ready_m;
+  (* occupy the slot with an in-deadline sleep... *)
+  let slow =
+    Thread.create
+      (fun () ->
+        Cla_serve.Client.round_trip ~socket
+          "{\"id\":0,\"op\":\"sleep\",\"ms\":300,\"deadline_ms\":2000}")
+      ()
+  in
+  Thread.delay 0.05;
+  (* ...and the next query must be shed, not queued or dropped *)
+  (match Cla_serve.Client.round_trip ~socket "{\"id\":1,\"op\":\"ping\"}" with
+  | Error e -> Alcotest.fail (Cla_serve.Client.describe e)
+  | Ok line ->
+      Alcotest.(check bool) "shed" true
+        (Cla_serve.Protocol.status_of_line line = Cla_serve.Protocol.S_shed);
+      Alcotest.(check bool) "carries retry_after_ms" true
+        (Cla_serve.Protocol.retry_after_ms_of_line line <> None));
+  Thread.join slow;
+  (match !handle with
+  | Some t -> Cla_serve.Server.request_shutdown t
+  | None -> ());
+  Thread.join server;
+  (try Sys.remove socket with Sys_error _ -> ());
+  Unix.rmdir dir
+
+let () =
+  Alcotest.run "resilience"
+    [
+      ( "deadline-sweep",
+        [
+          Alcotest.test_case "pretransitive" `Quick test_sweep_pretransitive;
+          Alcotest.test_case "worklist" `Quick test_sweep_worklist;
+          Alcotest.test_case "bitvector" `Quick test_sweep_bitvector;
+          Alcotest.test_case "steensgaard" `Quick test_sweep_steensgaard;
+        ] );
+      ( "ladder",
+        [
+          Alcotest.test_case "always answers soundly" `Quick
+            test_ladder_always_answers;
+          Alcotest.test_case "zero deadline lands on final rung" `Quick
+            test_ladder_zero_deadline_lands_on_final_rung;
+          Alcotest.test_case "strict ladder can time out" `Quick
+            test_ladder_strict_can_time_out;
+          Alcotest.test_case "degrade order and attempts" `Quick
+            test_degrade_order_and_attempts;
+          Alcotest.test_case "algorithm_of_string case-insensitive" `Quick
+            test_algorithm_of_string_case_insensitive;
+        ] );
+      ( "cancel",
+        [
+          Alcotest.test_case "pre-set token aborts before pass 1" `Quick
+            test_cancel_preset;
+          Alcotest.test_case "cross-thread cancel aborts mid-solve" `Quick
+            test_cancel_from_another_thread;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "survives mixed good/poison/slow stream" `Quick
+            test_server_survives_mixed_stream;
+          Alcotest.test_case "sheds when full" `Quick test_server_sheds_when_full;
+        ] );
+    ]
