@@ -10,6 +10,8 @@
      transforms offline variable substitution (reference [21])
      figures   the worked examples (Figures 1, 3, 4)
      bechamel  one Bechamel micro-benchmark per table
+     parallel  compile fan-out / CRC-verify sweep over --jobs=N,N,...
+               (writes BENCH_parallel.json; -jN bytes must match -j1)
 
    Every table prints the paper's reported row (p:) next to the measured
    row (m:).  Absolute times are not comparable (the paper used an 800MHz
@@ -34,6 +36,7 @@ module Json = Cla_obs.Json
 let quick = ref false
 let budget = ref None
 let sections = ref []
+let jobs_sweep = ref [ 1; 2; 4 ]
 
 let () =
   Array.iteri
@@ -45,6 +48,18 @@ let () =
             match int_of_string_opt (String.sub s 9 (String.length s - 9)) with
             | Some n when n > 0 -> budget := Some n
             | _ -> Fmt.epr "bad --budget value %S, ignored@." s)
+        | s when String.length s > 7 && String.sub s 0 7 = "--jobs=" -> (
+            let body = String.sub s 7 (String.length s - 7) in
+            match
+              List.map int_of_string_opt (String.split_on_char ',' body)
+            with
+            | js
+              when js <> []
+                   && List.for_all
+                        (function Some j -> j >= 0 | None -> false)
+                        js ->
+                jobs_sweep := List.map Option.get js
+            | _ -> Fmt.epr "bad --jobs value %S, ignored@." s)
         | s -> sections := s :: !sections)
     Sys.argv
 
@@ -533,6 +548,103 @@ let bechamel () =
       | _ -> Fmt.pr "%-45s (no estimate)@." name)
     results
 
+(* ------------------------------------------------------------------ *)
+(* Parallel: compile fan-out + CRC-verify sweep over job counts        *)
+(* ------------------------------------------------------------------ *)
+
+(* For each --jobs entry (default 1,2,4; 0 = auto): compile the corpus
+   across a domain pool, byte-compare every object file and the linked
+   database against a fresh -j1 baseline, then time the pooled
+   per-section CRC verify of the linked database.  Any byte divergence
+   from -j1 is a hard failure (exit 1).  Speedup is recorded in
+   BENCH_parallel.json informationally only — a single-core CI box
+   cannot assert it. *)
+let parallel () =
+  hr ();
+  Fmt.pr "PARALLEL: compile fan-out / verify sweep (--jobs=%s)@."
+    (String.concat "," (List.map string_of_int !jobs_sweep));
+  hr ();
+  let p =
+    if !quick then Profile.scaled 0.1 Profile.nethack else Profile.nethack
+  in
+  let files = Genc.generate p in
+  let options = Compilep.default_options in
+  let compile_one (file, src) =
+    Objfile.write (Compilep.compile_string ~options ~file src)
+  in
+  let compile_all ~jobs =
+    if jobs <= 1 then List.map compile_one files
+    else
+      Cla_par.Pool.with_pool ~jobs (fun pool ->
+          Cla_par.Pool.map pool compile_one files)
+  in
+  let link objs =
+    let views = List.map Objfile.view_of_string objs in
+    let db, _stats = Linkp.link_views views in
+    Objfile.write db
+  in
+  let t0 = Unix.gettimeofday () in
+  let base_objs = compile_all ~jobs:1 in
+  let base_compile_s = Unix.gettimeofday () -. t0 in
+  let base_db = link base_objs in
+  Fmt.pr "%-10s %-6s %12s %10s %10s %9s  %s@." "requested" "jobs"
+    "compile_s" "link_s" "verify_s" "speedup" "identical";
+  let rows = ref [] in
+  let divergent = ref false in
+  List.iter
+    (fun jobs_requested ->
+      let jobs = Cla_par.Pool.resolve_jobs jobs_requested in
+      let t0 = Unix.gettimeofday () in
+      let objs = compile_all ~jobs in
+      let compile_s = Unix.gettimeofday () -. t0 in
+      let t1 = Unix.gettimeofday () in
+      let db = link objs in
+      let link_s = Unix.gettimeofday () -. t1 in
+      let t2 = Unix.gettimeofday () in
+      (if jobs <= 1 then ignore (Objfile.view_of_string db)
+       else
+         Cla_par.Pool.with_pool ~jobs (fun pool ->
+             ignore (Loader.view_par ~pool db)));
+      let verify_s = Unix.gettimeofday () -. t2 in
+      let identical =
+        List.equal String.equal objs base_objs && String.equal db base_db
+      in
+      if not identical then divergent := true;
+      let speedup =
+        if compile_s > 0. then base_compile_s /. compile_s else 0.
+      in
+      Fmt.pr "%-10d %-6d %12.3f %10.3f %10.3f %8.2fx  %s@." jobs_requested
+        jobs compile_s link_s verify_s speedup
+        (if identical then "yes" else "NO — DIVERGED");
+      rows :=
+        Json.Obj
+          [
+            ("jobs_requested", Json.Int jobs_requested);
+            ("jobs", Json.Int jobs);
+            ("compile_wall_s", Json.Float compile_s);
+            ("link_wall_s", Json.Float link_s);
+            ("verify_wall_s", Json.Float verify_s);
+            ("speedup_vs_j1", Json.Float speedup);
+            ("identical", Json.Bool identical);
+          ]
+        :: !rows)
+    !jobs_sweep;
+  Json.write_file "BENCH_parallel.json"
+    (Json.Obj
+       [
+         ("schema", Json.Str "cla.bench.parallel/v1");
+         ("quick", Json.Bool !quick);
+         ("profile", Json.Str p.Profile.name);
+         ("units", Json.Int (List.length files));
+         ("rows", Json.Arr (List.rev !rows));
+       ]);
+  Fmt.pr "wrote BENCH_parallel.json (%d row(s))@." (List.length !rows);
+  if !divergent then begin
+    Fmt.epr
+      "parallel: FAIL — a -jN run produced different bytes than -j1@.";
+    exit 1
+  end
+
 let () =
   let t0 = Unix.gettimeofday () in
   if want "table2" then table2 ();
@@ -543,6 +655,7 @@ let () =
   if want "transforms" then transforms ();
   if want "figures" then figures ();
   if want "bechamel" then bechamel ();
+  if want "parallel" then parallel ();
   if !bench_rows <> [] then begin
     Json.write_file "BENCH_pipeline.json"
       (Json.Obj

@@ -1,0 +1,68 @@
+#!/bin/sh
+# Parallelism smoke test: the bench --jobs sweep must report identical
+# bytes for every job count (and write a parseable BENCH_parallel.json),
+# `cla compile -j2` must produce objects byte-identical to -j1, and a
+# negative job count must be a clean usage error, not a crash.
+# Wired into `dune runtest` (see bench/dune); takes the cla binary as $1
+# and the bench binary as $2.
+set -eu
+
+cla=${1:?usage: par_smoke.sh path/to/cla.exe path/to/main.exe}
+bench=${2:?usage: par_smoke.sh path/to/cla.exe path/to/main.exe}
+case "$cla" in
+  /*) : ;;
+  *) cla=$(pwd)/$cla ;;
+esac
+case "$bench" in
+  /*) : ;;
+  *) bench=$(pwd)/$bench ;;
+esac
+
+dir=$(mktemp -d)
+trap 'rm -rf "$dir"' EXIT INT TERM
+cd "$dir"
+
+# 1. Tiny sweep: exits 1 on any byte divergence from -j1 and writes
+#    BENCH_parallel.json.
+"$bench" parallel --jobs=1,2 --quick >/dev/null
+grep -q 'cla\.bench\.parallel/v1' BENCH_parallel.json || {
+  echo "par_smoke.sh: schema missing from BENCH_parallel.json" >&2
+  cat BENCH_parallel.json >&2
+  exit 1
+}
+if grep -q '"identical": false' BENCH_parallel.json; then
+  echo "par_smoke.sh: a sweep row reports identical=false" >&2
+  cat BENCH_parallel.json >&2
+  exit 1
+fi
+
+# 2. cla compile -j2 object bytes must match -j1 exactly.  Compile the
+#    same sources twice (objects embed the source path, so the paths
+#    must not change between runs), stashing the -j1 outputs in between.
+"$cla" gen nethack --scale 0.05 --dir srcA >/dev/null
+"$cla" compile -j 1 srcA/*.c >/dev/null
+mkdir j1 && mv srcA/*.clo j1/
+"$cla" compile -j 2 srcA/*.c >/dev/null
+for a in srcA/*.clo; do
+  b=j1/$(basename "$a")
+  cmp -s "$a" "$b" || {
+    echo "par_smoke.sh: $a and $b differ (-j2 vs -j1)" >&2
+    exit 1
+  }
+done
+
+# 3. Negative job counts are a usage error (exit 2), not a crash.
+rc=0
+"$cla" compile --jobs=-2 srcA/*.c >/dev/null 2>err.txt || rc=$?
+if [ "$rc" -ne 2 ]; then
+  echo "par_smoke.sh: cla compile --jobs=-2 exited $rc, want 2" >&2
+  cat err.txt >&2
+  exit 1
+fi
+grep -q 'invalid job count' err.txt || {
+  echo "par_smoke.sh: missing 'invalid job count' message" >&2
+  cat err.txt >&2
+  exit 1
+}
+
+echo "par_smoke.sh: ok"

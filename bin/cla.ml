@@ -54,6 +54,19 @@ let load_view path =
       Cla_obs.Metrics.incr (Diag.metric_of_phase d.Diag.phase);
       raise (Diag.Fail d)
 
+(* Like [load_view], with the per-section checksum sweep fanned out
+   across [jobs] domains ([cla analyze -j N]). *)
+let load_view_jobs ~jobs path =
+  if jobs <= 1 then load_view path
+  else
+    Cla_obs.Obs.with_span "load" ~label:path @@ fun () ->
+    Cla_par.Pool.with_pool ~jobs @@ fun pool ->
+    match Loader.load_file_par ~pool path with
+    | Ok v -> v
+    | Error d ->
+        Cla_obs.Metrics.incr (Diag.metric_of_phase d.Diag.phase);
+        raise (Diag.Fail d)
+
 let keep_going_arg =
   Arg.(
     value & flag
@@ -61,6 +74,32 @@ let keep_going_arg =
         ~doc:
           "Report failing inputs as diagnostics and continue with the \
            rest instead of stopping at the first failure.")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Use $(docv) worker domains for the parallel phases (unit \
+           compilation, section checksum verification).  0 means auto: \
+           one domain per core.  Output is byte-identical regardless of \
+           $(docv).")
+
+(* Resolve a [-j N] request once per run, publishing the requested and
+   resolved widths so [--stats-json] records what actually ran.  A
+   negative count is a clean input error (exit 2), not an exception
+   trace. *)
+let resolve_jobs jobs =
+  if jobs < 0 then
+    err_input
+      (Fmt.str "invalid job count %d: -j expects N >= 0 (0 = auto-detect)"
+         jobs)
+  else begin
+    let j = Cla_par.Pool.resolve_jobs jobs in
+    Cla_obs.Metrics.set "par.jobs_requested" jobs;
+    Cla_obs.Metrics.set "par.jobs" j;
+    Ok j
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Observability options (compile, link, analyze)                      *)
@@ -187,18 +226,34 @@ let compile_cmd =
       & info [ "o"; "output" ] ~docv:"FILE.clo"
           ~doc:"Output object file (default: source with .clo extension).")
   in
-  let run options sources output keep_going obs =
+  let run options sources output keep_going jobs obs =
     with_obs obs (fun () ->
         handle_errors (fun () ->
+            let* jobs = resolve_jobs jobs in
+            (* Compile every unit (fanning out across a domain pool when
+               -j > 1; compilation is file-local, so units are
+               independent and each unit's bytes are scheduling-
+               independent), then write outputs and report diagnostics
+               strictly in input order — -jN output is byte-identical
+               and diagnostic-identical to -j1. *)
+            let results =
+              let compile src = (src, Compilep.compile_file_result ~options src) in
+              if jobs <= 1 then List.map compile sources
+              else
+                Cla_obs.Obs.with_span "compile"
+                  ~label:(Fmt.str "fan-out -j%d" jobs) (fun () ->
+                    Cla_par.Pool.with_pool ~jobs (fun pool ->
+                        Cla_par.Pool.map pool compile sources))
+            in
             let c = Diag.collector () in
             List.iter
-              (fun src ->
+              (fun (src, result) ->
                 let out =
                   match (output, sources) with
                   | Some o, [ _ ] -> o
                   | _ -> Filename.remove_extension src ^ ".clo"
                 in
-                match Compilep.compile_file_result ~options src with
+                match result with
                 | Ok db ->
                     Objfile.save out db;
                     Fmt.pr "%s -> %s@." src out
@@ -208,7 +263,7 @@ let compile_cmd =
                       Fmt.epr "cla: %a@." Diag.pp d
                     end
                     else raise (Diag.Fail d))
-              sources;
+              results;
             match Diag.error_count c with
             | 0 -> Ok ()
             | n ->
@@ -218,7 +273,9 @@ let compile_cmd =
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Parse C sources into CLA object files (no analysis).")
-    Term.(const run $ options_term $ sources $ output $ keep_going_arg $ obs_term)
+    Term.(
+      const run $ options_term $ sources $ output $ keep_going_arg $ jobs_arg
+      $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* link                                                                *)
@@ -327,6 +384,18 @@ let analyze_cmd =
              deadline, so the whole ladder may time out (exit code 4) \
              instead of always answering.")
   in
+  let hedge =
+    Arg.(
+      value & flag
+      & info [ "hedge" ]
+          ~doc:
+            "With $(b,--ladder) and $(b,--deadline-ms): run the final \
+             (cheapest, always-sound) rung concurrently on its own \
+             domain from the start; the first sound answer wins and the \
+             loser is cancelled.  Eliminates the latency cliff of \
+             starting the fallback only after the precise rungs time \
+             out.")
+  in
   let json_escape s =
     let b = Buffer.create (String.length s + 8) in
     String.iter
@@ -358,9 +427,10 @@ let analyze_cmd =
     Fmt.pr "@.}@."
   in
   let run db algo print_sets json no_cache no_cycle budget deadline_ms ladder
-      strict_deadline obs =
+      strict_deadline hedge jobs obs =
     with_obs obs (fun () ->
         handle_errors (fun () ->
+            let* jobs = resolve_jobs jobs in
             let* algorithm =
               match Pipeline.algorithm_of_string algo with
               | Some a -> Ok a
@@ -382,9 +452,19 @@ let analyze_cmd =
                       Fmt.str "--budget is ignored by the %s solver \
                                (pretransitive only)"
                         (Pipeline.algorithm_name algorithm)));
+            (* --hedge is meaningful only for a deadlined ladder run;
+               warn instead of silently ignoring it *)
+            if hedge && (not ladder || deadline_ms = None) then
+              Fmt.epr "cla: %a@." Diag.pp
+                (Diag.warning ~phase:Diag.Analyze
+                   (if not ladder then
+                      "--hedge requires --ladder; ignoring it"
+                    else
+                      "--hedge is inactive without --deadline-ms (there \
+                       is nothing to hedge against)"));
             Cla_obs.Metrics.set_str "analyze.algorithm"
               (Pipeline.algorithm_name algorithm);
-            let view = load_view db in
+            let view = load_view_jobs ~jobs db in
             let deadline =
               match deadline_ms with
               | Some ms -> Cla_resilience.Deadline.of_ms ms
@@ -394,8 +474,8 @@ let analyze_cmd =
             let outcome =
               if ladder then
                 match
-                  Pipeline.points_to_ladder ~strict:strict_deadline ?budget
-                    ~deadline view
+                  Pipeline.points_to_ladder ~strict:strict_deadline ~hedge
+                    ?budget ~deadline view
                 with
                 | o ->
                     List.iter
@@ -464,7 +544,7 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc:"Run a points-to analysis over a linked database.")
     Term.(
       const run $ db $ algo $ print_sets $ json $ no_cache $ no_cycle $ budget
-      $ deadline_ms $ ladder $ strict_deadline $ obs_term)
+      $ deadline_ms $ ladder $ strict_deadline $ hedge $ jobs_arg $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* depend                                                              *)
@@ -806,9 +886,25 @@ let serve_cmd =
       & info [ "allow-sleep" ]
           ~doc:"Enable the debug sleep op (load tests drive it).")
   in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Run $(docv) solver replicas, each with its own cache on its \
+             own domain, fed round-robin.  1 (the default) keeps the \
+             single serialized solver.")
+  in
   let run db socket max_inflight max_queue default_deadline watchdog_grace
-      allow_sleep =
+      allow_sleep shards =
     handle_errors (fun () ->
+        let* () =
+          if shards < 1 then
+            err_input
+              (Fmt.str "invalid shard count %d: --shards expects N >= 1"
+                 shards)
+          else Ok ()
+        in
         let view = load_view db in
         let config =
           {
@@ -819,10 +915,11 @@ let serve_cmd =
             max_deadline_ms = 60_000;
             watchdog_grace_ms = watchdog_grace;
             allow_sleep;
+            shards;
           }
         in
-        Fmt.pr "cla serve: %s on %s (inflight<=%d queue<=%d)@." db socket
-          max_inflight max_queue;
+        Fmt.pr "cla serve: %s on %s (inflight<=%d queue<=%d shards=%d)@." db
+          socket max_inflight max_queue shards;
         let stats = Cla_serve.Server.run ~config view in
         Fmt.pr "cla serve: drained.";
         List.iter
@@ -839,7 +936,7 @@ let serve_cmd =
           SIGINT/SIGTERM, then drain gracefully.")
     Term.(
       const run $ db $ socket_arg $ max_inflight $ max_queue $ default_deadline
-      $ watchdog_grace $ allow_sleep)
+      $ watchdog_grace $ allow_sleep $ shards)
 
 let query_cmd =
   let points_to =

@@ -5,26 +5,31 @@
     dependency is involved — object files must stay readable on a bare
     toolchain. *)
 
-(* Reflected polynomial 0xEDB88320; the classic 256-entry table. *)
+(* Reflected polynomial 0xEDB88320; the classic 256-entry table.
+   Computed eagerly at module load: [update] runs over every section of
+   every object file, and a [Lazy.force] per call is both a branch in
+   the hot loop and a race under parallel verification (forcing a lazy
+   from two domains at once raises [Lazy.Undefined]). *)
 let table =
-  lazy
-    (Array.init 256 (fun n ->
-         let c = ref n in
-         for _ = 0 to 7 do
-           if !c land 1 <> 0 then c := 0xEDB88320 lxor (!c lsr 1)
-           else c := !c lsr 1
-         done;
-         !c))
+  Array.init 256 (fun n ->
+      let c = ref n in
+      for _ = 0 to 7 do
+        if !c land 1 <> 0 then c := 0xEDB88320 lxor (!c lsr 1)
+        else c := !c lsr 1
+      done;
+      !c)
 
 (** Feed [len] bytes of [s] starting at [pos] into a running CRC.
     [crc] is the current state as returned by a previous call (start
-    from [0]). *)
+    from [0]).  The table index is masked to [0..255], so the unsafe
+    read cannot go out of bounds. *)
 let update crc s ~pos ~len =
-  let t = Lazy.force table in
   let c = ref (crc lxor 0xFFFFFFFF) in
   for i = pos to pos + len - 1 do
-    c := t.((!c lxor Char.code (String.unsafe_get s i)) land 0xff)
-         lxor (!c lsr 8)
+    c :=
+      Array.unsafe_get table
+        ((!c lxor Char.code (String.unsafe_get s i)) land 0xff)
+      lxor (!c lsr 8)
   done;
   !c lxor 0xFFFFFFFF
 

@@ -174,6 +174,35 @@ let publish_stats ?reg (s : stats) =
   set "reloads" s.s_reloads;
   Cla_obs.Metrics.set ?reg "load.evictions" s.s_evictions
 
+(* ---------------- parallel integrity verification ---------------- *)
+
+(** Open a database from bytes with the per-section CRC sweep fanned out
+    across [pool] instead of running lazily at first section open.  The
+    header (magic, table bounds, table checksum) is validated on the
+    calling domain first; section payload checksums — the dominant cost
+    on a large linked database — then run as one pool task per section,
+    and the view is built with [~verify:false] since every section has
+    already been checked.  A corrupt section raises {!Binio.Corrupt}
+    exactly as the sequential path does; the pool cancels the remaining
+    in-flight checksums via the batch token. *)
+let view_par ~pool (data : string) : Objfile.view =
+  let entries = Objfile.section_table data in
+  ignore
+    (Cla_par.Pool.map pool (fun e -> Objfile.verify_section data e) entries);
+  Objfile.view_of_string ~verify:false data
+
+(** Like {!Objfile.load_result}, but verifying section checksums across
+    [pool]. *)
+let load_file_par ~pool path : (Objfile.view, Diag.t) result =
+  Diag.capture ~file:path ~phase:Diag.Load (fun () ->
+      let ic = open_in_bin path in
+      let data =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      view_par ~pool data)
+
 (** Operations through which points-to information survives: only these
     copies are relevant to aliasing, and the loader skips the rest
     ("non-pointer arithmetic assignments are usually ignored", Section 6). *)

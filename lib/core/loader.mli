@@ -60,6 +60,17 @@ val stats : t -> stats
     block-residency accounting — plus [load.evictions]. *)
 val publish_stats : ?reg:Cla_obs.Metrics.t -> stats -> unit
 
+(** Open a database from bytes with the per-section CRC sweep fanned
+    out across a domain pool, instead of lazily at first section open.
+    Raises {!Binio.Corrupt} on a bad header or section, exactly like
+    {!Objfile.view_of_string}; a corrupt section cancels the remaining
+    in-flight checksums. *)
+val view_par : pool:Cla_par.Pool.t -> string -> Objfile.view
+
+(** Like {!Objfile.load_result}, but verifying section checksums across
+    the pool. *)
+val load_file_par : pool:Cla_par.Pool.t -> string -> (Objfile.view, Diag.t) result
+
 (** Operations through which points-to information survives ([+], [-],
     casts, [?:]); everything else is skipped by the points-to loader
     ("non-pointer arithmetic assignments are usually ignored"). *)

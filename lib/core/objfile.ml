@@ -410,16 +410,19 @@ let decode_pkind = function
   | 4 -> Pload
   | n -> raise (Binio.Corrupt (Fmt.str "bad prim kind %d" n))
 
-(** Parse the header and eager sections of object-file bytes.
+type section_entry = {
+  sec_id : int;
+  sec_off : int;
+  sec_size : int;
+  sec_crc : int option;  (** [None] for checksum-free CLA1 files *)
+}
 
-    Defensive by design: the section table is bounds-checked (entries
-    must lie inside the file, past the header, and must not overlap),
-    every record count is checked against the bytes that remain, and —
-    for CLA2 files — each section's CRC32 is verified the first time it
-    is opened.  Any violation raises {!Binio.Corrupt}; no input may
-    produce [Invalid_argument], out-of-bounds access, or an attempted
-    huge allocation. *)
-let view_of_string (data : string) : view =
+(* Parse and fully validate the header: magic, section table bounds
+   (entries inside the file, past the header, non-overlapping), and —
+   for CLA2 — the table's own checksum.  Shared by [view_of_string] and
+   [section_table] so the parallel verifier walks exactly the same
+   validated table as the sequential loader. *)
+let parse_header (data : string) =
   let len = String.length data in
   let version =
     if len < 8 then raise (Binio.Corrupt "not a CLA object file (too short)")
@@ -439,7 +442,7 @@ let view_of_string (data : string) : view =
     let id = Binio.ru8 r in
     let off = Binio.ru32 r in
     let size = Binio.ru32 r in
-    let crc = if version >= 2 then Binio.ru32 r else 0 in
+    let crc = if version >= 2 then Some (Binio.ru32 r) else None in
     if Hashtbl.mem sections id then
       raise (Binio.Corrupt (Fmt.str "duplicate section %d" id));
     if off < header_end || off + size > len then
@@ -447,7 +450,8 @@ let view_of_string (data : string) : view =
         (Binio.Corrupt
            (Fmt.str "section %d out of range (%d+%d of %d)" id off size len));
     Hashtbl.replace sections id (off, size, crc);
-    entries := (id, off, size) :: !entries
+    entries := { sec_id = id; sec_off = off; sec_size = size; sec_crc = crc }
+               :: !entries
   done;
   (* the table checksum covers the count and every entry: a flipped
      section count, id, offset or size is caught here even when the
@@ -456,25 +460,60 @@ let view_of_string (data : string) : view =
   then raise (Binio.Corrupt "section table checksum mismatch");
   (* sections may be laid out in any order but must not overlap *)
   let sorted =
-    List.sort (fun (_, a, _) (_, b, _) -> compare a b) !entries
+    List.sort (fun a b -> compare a.sec_off b.sec_off) !entries
   in
   ignore
     (List.fold_left
-       (fun prev_end (id, off, size) ->
-         if off < prev_end then
-           raise (Binio.Corrupt (Fmt.str "section %d overlaps" id));
-         off + size)
+       (fun prev_end e ->
+         if e.sec_off < prev_end then
+           raise (Binio.Corrupt (Fmt.str "section %d overlaps" e.sec_id));
+         e.sec_off + e.sec_size)
        header_end sorted);
+  (version, sections, List.rev !entries)
+
+let section_table data =
+  let _, _, entries = parse_header data in
+  entries
+
+(** Checksum one section against its table entry (no-op for CLA1
+    entries, which carry no checksum).  Raises {!Binio.Corrupt} on
+    mismatch.  Pure over immutable bytes, so entries of the same file
+    may be verified from concurrent domains. *)
+let verify_section data e =
+  match e.sec_crc with
+  | None -> ()
+  | Some crc ->
+      if Crc32.sub data ~pos:e.sec_off ~len:e.sec_size <> crc then
+        raise
+          (Binio.Corrupt (Fmt.str "section %d checksum mismatch" e.sec_id))
+
+(** Parse the header and eager sections of object-file bytes.
+
+    Defensive by design: the section table is bounds-checked (entries
+    must lie inside the file, past the header, and must not overlap),
+    every record count is checked against the bytes that remain, and —
+    for CLA2 files — each section's CRC32 is verified the first time it
+    is opened.  Any violation raises {!Binio.Corrupt}; no input may
+    produce [Invalid_argument], out-of-bounds access, or an attempted
+    huge allocation.
+
+    [~verify:false] skips the per-section checksums — for callers that
+    have already verified them, e.g. {!Loader.view_par}, which fans the
+    CRC sweep out across a domain pool before parsing. *)
+let view_of_string ?(verify = true) (data : string) : view =
+  let version, sections, _ = parse_header data in
   let verified = Array.make 256 false in
   let sec id =
     match Hashtbl.find_opt sections id with
     | Some (off, size, crc) ->
-        if version >= 2 && not verified.(id) then begin
-          if Crc32.sub data ~pos:off ~len:size <> crc then
-            raise
-              (Binio.Corrupt (Fmt.str "section %d checksum mismatch" id));
-          verified.(id) <- true
-        end;
+        (if verify && not verified.(id) then begin
+           (match crc with
+           | Some crc when Crc32.sub data ~pos:off ~len:size <> crc ->
+               raise
+                 (Binio.Corrupt (Fmt.str "section %d checksum mismatch" id))
+           | _ -> ());
+           verified.(id) <- true
+         end);
         Binio.reader ~pos:off ~limit:(off + size) data
     | None -> raise (Binio.Corrupt (Fmt.str "missing section %d" id))
   in

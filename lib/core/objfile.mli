@@ -120,14 +120,38 @@ type view = {
   rmeta : meta;
 }
 
+(** One validated section-table entry, as returned by {!section_table}. *)
+type section_entry = {
+  sec_id : int;
+  sec_off : int;
+  sec_size : int;
+  sec_crc : int option;  (** [None] for checksum-free CLA1 files *)
+}
+
+(** Parse and validate the section table alone (magic, bounds,
+    non-overlap, table checksum) without decoding any section.  Raises
+    {!Binio.Corrupt} on a malformed header.  Feed the entries to
+    {!verify_section} — possibly from several domains at once — to
+    checksum the payloads. *)
+val section_table : string -> section_entry list
+
+(** Checksum one section's bytes against its table entry; no-op for
+    CLA1 entries.  Raises {!Binio.Corrupt} on mismatch.  Pure over
+    immutable bytes: safe to call concurrently from worker domains. *)
+val verify_section : string -> section_entry -> unit
+
 (** Parse the header and eager sections.  Raises {!Binio.Corrupt} on a
     malformed file — and only {!Binio.Corrupt}: the section table is
     bounds-checked (in-range, non-overlapping entries), CLA2 checksums
     are verified at section open, record counts are validated against
     the bytes available, and every decoded object/string index is range
     checked, so hostile bytes cannot surface as [Invalid_argument],
-    out-of-bounds access, or a huge allocation. *)
-val view_of_string : string -> view
+    out-of-bounds access, or a huge allocation.
+
+    [~verify:false] skips the per-section checksums, for callers that
+    have already run them — e.g. {!Loader.view_par}, which fans the CRC
+    sweep out across a domain pool before parsing. *)
+val view_of_string : ?verify:bool -> string -> view
 
 (** Decode the dynamic block of an object: the assignments in which it is
     the source.  Re-reads the underlying bytes on every call — callers are

@@ -33,26 +33,46 @@ let algorithm_of_string s =
   | "steensgaard" | "steens" -> Some Steensgaard
   | _ -> None
 
-(** Compile each (name, source) pair and link the results, all in memory. *)
-let compile_link ?(options = Compilep.default_options) (sources : (string * string) list) :
-    Objfile.view =
-  let views =
-    List.map
+(* Map [compile] over the translation units, fanning out across a domain
+   pool when [jobs > 1].  Compilation is file-local (per-invocation
+   front-end state, no shared mutable tables), so units are independent
+   tasks; [Pool.map] preserves input order and each unit's output bytes
+   do not depend on scheduling — [-j N] object bytes are byte-identical
+   to [-j 1].  The main domain wraps the whole fan-out in one
+   ["compile"] span (worker domains skip span recording). *)
+let compile_units ~jobs compile units =
+  let jobs = Cla_par.Pool.resolve_jobs jobs in
+  if jobs <= 1 then List.map compile units
+  else
+    Cla_obs.Obs.with_span "compile" ~label:(Fmt.str "fan-out -j%d" jobs)
+      (fun () ->
+        Cla_par.Pool.with_pool ~jobs (fun pool ->
+            Cla_par.Pool.map pool compile units))
+
+(** Compile each (name, source) pair and link the results, all in memory.
+    [jobs > 1] compiles translation units across a domain pool; the
+    linked database is byte-identical to a sequential run. *)
+let compile_link ?(options = Compilep.default_options) ?(jobs = 1)
+    (sources : (string * string) list) : Objfile.view =
+  let objs =
+    compile_units ~jobs
       (fun (file, src) ->
-        let db = Compilep.compile_string ~options ~file src in
-        Objfile.view_of_string (Objfile.write db))
+        Objfile.write (Compilep.compile_string ~options ~file src))
       sources
   in
+  let views = List.map Objfile.view_of_string objs in
   let db, _stats = Linkp.link_views views in
   Objfile.view_of_string (Objfile.write db)
 
 (** Compile-link from disk paths. *)
-let compile_link_files ?(options = Compilep.default_options) paths : Objfile.view =
-  let views =
-    List.map
-      (fun path -> Objfile.view_of_string (Objfile.write (Compilep.compile_file ~options path)))
+let compile_link_files ?(options = Compilep.default_options) ?(jobs = 1) paths :
+    Objfile.view =
+  let objs =
+    compile_units ~jobs
+      (fun path -> Objfile.write (Compilep.compile_file ~options path))
       paths
   in
+  let views = List.map Objfile.view_of_string objs in
   let db, _stats = Linkp.link_views views in
   Objfile.view_of_string (Objfile.write db)
 
@@ -112,57 +132,158 @@ type ladder_outcome = {
       (** rungs that timed out, with how far each got *)
 }
 
+(* Stamp the answering rung onto the solution, publish the ladder
+   metrics, and build the outcome record — shared by the sequential
+   (Degrade.run) and hedged paths so both report identically. *)
+let finish_outcome ~alg ~degraded ~timeouts sol =
+  let lo_note = soundness_note alg in
+  Solution.set_provenance sol
+    { Solution.p_rung = algorithm_name alg; p_degraded = degraded; p_note = lo_note };
+  Cla_obs.Metrics.set "analyze.degraded" (if degraded then 1 else 0);
+  Cla_obs.Metrics.set_str "analyze.rung" (algorithm_name alg);
+  Cla_obs.Metrics.set "analyze.rung_timeouts" (List.length timeouts);
+  {
+    lo_solution = sol;
+    lo_algorithm = alg;
+    lo_degraded = degraded;
+    lo_note;
+    lo_timeouts = timeouts;
+  }
+
+(* The hedged ladder: run the cheap final rung on its own domain from
+   the start, while the main domain climbs the precise rungs under the
+   deadline.  First sound answer wins — a precise rung finishing in time
+   cancels the hedge; every precise rung timing out means the hedge's
+   answer (usually already done, Steensgaard being near-linear) is
+   returned without the sequential ladder's "time out, then start the
+   fallback from zero" latency cliff.  Unless [strict], the hedge runs
+   deadline-exempt, like Degrade.run's final rung. *)
+let hedged_ladder ~ladder ~strict ?config ?demand ?budget ~deadline ?cancel
+    (view : Objfile.view) : ladder_outcome =
+  let init_rungs, final_rung =
+    let rec split acc = function
+      | [ last ] -> (List.rev acc, last)
+      | x :: rest -> split (x :: acc) rest
+      | [] -> assert false (* caller checked length >= 2 *)
+    in
+    split [] ladder
+  in
+  let hedge_cancel = Cla_resilience.Cancel.create () in
+  let hedge_done = Atomic.make false in
+  let hedge_deadline = if strict then deadline else Cla_resilience.Deadline.never in
+  let hedge =
+    Domain.spawn (fun () ->
+        let r =
+          match
+            points_to ~algorithm:final_rung ?config ?demand ?budget
+              ~deadline:hedge_deadline ~cancel:hedge_cancel view
+          with
+          | sol -> Ok sol
+          | exception e -> Error e
+        in
+        Atomic.set hedge_done true;
+        r)
+  in
+  let discard_hedge () =
+    Cla_resilience.Cancel.set hedge_cancel;
+    ignore (Domain.join hedge)
+  in
+  let timeouts = ref [] in
+  let rec run_init idx = function
+    | [] -> None
+    | alg :: rest -> (
+        match
+          points_to ~algorithm:alg ?config ?demand ?budget ~deadline ?cancel
+            view
+        with
+        | sol -> Some (alg, idx, sol)
+        | exception Cla_resilience.Deadline.Timed_out p ->
+            timeouts := (alg, p) :: !timeouts;
+            run_init (idx + 1) rest)
+  in
+  match run_init 0 init_rungs with
+  | Some (alg, idx, sol) ->
+      discard_hedge ();
+      Cla_obs.Metrics.set "analyze.hedge_won" 0;
+      finish_outcome ~alg ~degraded:(idx > 0) ~timeouts:(List.rev !timeouts)
+        sol
+  | None -> (
+      (* Every precise rung timed out; the hedge's answer is the result.
+         While it is still running, keep relaying an external
+         cancellation onto the hedge's own token so a watchdog can still
+         abort the whole solve. *)
+      (match cancel with
+      | Some c ->
+          while not (Atomic.get hedge_done) do
+            if Cla_resilience.Cancel.is_set c then
+              Cla_resilience.Cancel.set hedge_cancel;
+            Unix.sleepf 0.002
+          done
+      | None -> ());
+      match Domain.join hedge with
+      | Ok sol ->
+          Cla_obs.Metrics.set "analyze.hedge_won" 1;
+          finish_outcome ~alg:final_rung ~degraded:true
+            ~timeouts:(List.rev !timeouts) sol
+      | Error e -> raise e)
+  | exception e ->
+      (* external cancellation or a genuine solver error: stop the hedge
+         before unwinding *)
+      discard_hedge ();
+      raise e
+
 (** Run the degradation ladder under one deadline token.  Each rung gets
     the remaining slice; the final rung runs deadline-exempt (unless
     [strict]) so the ladder always returns a sound solution, labeled
     with its rung via {!Solution.set_provenance}.  A [cancel] token
     aborts the whole ladder.  Publishes [analyze.degraded],
-    [analyze.deadline_ms], [analyze.rung] and [analyze.rung_timeouts]
-    into the metrics registry. *)
-let points_to_ladder ?(ladder = default_ladder) ?strict ?config ?demand
-    ?budget ?(deadline = Cla_resilience.Deadline.never) ?cancel
-    (view : Objfile.view) : ladder_outcome =
+    [analyze.deadline_ms], [analyze.rung], [analyze.rung_timeouts] and
+    [analyze.hedge]/[analyze.hedge_won] into the metrics registry.
+
+    [~hedge:true] with a finite deadline and at least two rungs runs the
+    final (cheapest, always-sound) rung concurrently on its own domain
+    from the start; the first sound answer wins and the loser is
+    cancelled. *)
+let points_to_ladder ?(ladder = default_ladder) ?strict ?(hedge = false)
+    ?config ?demand ?budget ?(deadline = Cla_resilience.Deadline.never)
+    ?cancel (view : Objfile.view) : ladder_outcome =
   if ladder = [] then invalid_arg "Pipeline.points_to_ladder: empty ladder";
   Cla_obs.Metrics.set "analyze.deadline_ms"
     (if Cla_resilience.Deadline.is_never deadline then -1
      else
        int_of_float (Float.max 0. (Cla_resilience.Deadline.remaining_ms deadline)));
-  let rungs =
-    List.map
-      (fun a ->
-        ( algorithm_name a,
-          fun ~deadline ->
-            points_to ~algorithm:a ?config ?demand ?budget ~deadline ?cancel
-              view ))
-      ladder
+  let hedge_active =
+    hedge
+    && (not (Cla_resilience.Deadline.is_never deadline))
+    && List.length ladder >= 2
   in
-  let o = Cla_resilience.Degrade.run ?strict ~deadline ~rungs () in
-  let lo_algorithm = List.nth ladder o.Cla_resilience.Degrade.rung_index in
-  let lo_note = soundness_note lo_algorithm in
-  let lo_timeouts =
-    List.map2
-      (fun alg (a : Cla_resilience.Degrade.attempt) ->
-        (alg, a.Cla_resilience.Degrade.a_progress))
-      (List.filteri
-         (fun i _ -> i < List.length o.Cla_resilience.Degrade.attempts)
-         ladder)
-      o.Cla_resilience.Degrade.attempts
-  in
-  let sol = o.Cla_resilience.Degrade.value in
-  Solution.set_provenance sol
-    {
-      Solution.p_rung = algorithm_name lo_algorithm;
-      p_degraded = o.Cla_resilience.Degrade.degraded;
-      p_note = lo_note;
-    };
-  Cla_obs.Metrics.set "analyze.degraded"
-    (if o.Cla_resilience.Degrade.degraded then 1 else 0);
-  Cla_obs.Metrics.set_str "analyze.rung" (algorithm_name lo_algorithm);
-  Cla_obs.Metrics.set "analyze.rung_timeouts" (List.length lo_timeouts);
-  {
-    lo_solution = sol;
-    lo_algorithm;
-    lo_degraded = o.Cla_resilience.Degrade.degraded;
-    lo_note;
-    lo_timeouts;
-  }
+  Cla_obs.Metrics.set "analyze.hedge" (if hedge_active then 1 else 0);
+  if hedge_active then
+    hedged_ladder ~ladder
+      ~strict:(Option.value strict ~default:false)
+      ?config ?demand ?budget ~deadline ?cancel view
+  else begin
+    let rungs =
+      List.map
+        (fun a ->
+          ( algorithm_name a,
+            fun ~deadline ->
+              points_to ~algorithm:a ?config ?demand ?budget ~deadline ?cancel
+                view ))
+        ladder
+    in
+    let o = Cla_resilience.Degrade.run ?strict ~deadline ~rungs () in
+    let lo_algorithm = List.nth ladder o.Cla_resilience.Degrade.rung_index in
+    let lo_timeouts =
+      List.map2
+        (fun alg (a : Cla_resilience.Degrade.attempt) ->
+          (alg, a.Cla_resilience.Degrade.a_progress))
+        (List.filteri
+           (fun i _ -> i < List.length o.Cla_resilience.Degrade.attempts)
+           ladder)
+        o.Cla_resilience.Degrade.attempts
+    in
+    finish_outcome ~alg:lo_algorithm
+      ~degraded:o.Cla_resilience.Degrade.degraded ~timeouts:lo_timeouts
+      o.Cla_resilience.Degrade.value
+  end

@@ -20,13 +20,19 @@ val algorithm_names : string list
 val algorithm_of_string : string -> algorithm option
 
 (** Compile each [(name, source)] pair and link the results, all in
-    memory. *)
+    memory.  [jobs > 1] compiles translation units across a domain pool
+    (compilation is file-local, so units are independent); [jobs = 0]
+    means auto ({!Cla_par.Pool.resolve_jobs}).  Object and linked bytes
+    are byte-identical to a sequential run regardless of [jobs]. *)
 val compile_link :
-  ?options:Compilep.options -> (string * string) list -> Objfile.view
+  ?options:Compilep.options ->
+  ?jobs:int ->
+  (string * string) list ->
+  Objfile.view
 
-(** Compile and link C files from disk. *)
+(** Compile and link C files from disk; [jobs] as in {!compile_link}. *)
 val compile_link_files :
-  ?options:Compilep.options -> string list -> Objfile.view
+  ?options:Compilep.options -> ?jobs:int -> string list -> Objfile.view
 
 (** Run the selected points-to analysis over a linked view.  [budget]
     bounds the retained assignments kept in core (pre-transitive solver
@@ -80,10 +86,23 @@ type ladder_outcome = {
     over-approximates — a degraded answer may report {e more} aliases,
     never fewer.  A [cancel] token aborts the whole ladder with
     {!Cla_resilience.Cancel.Cancelled}.  Publishes [analyze.degraded],
-    [analyze.deadline_ms], [analyze.rung] and [analyze.rung_timeouts]. *)
+    [analyze.deadline_ms], [analyze.rung], [analyze.rung_timeouts] and
+    [analyze.hedge]/[analyze.hedge_won].
+
+    [~hedge:true] (with a finite deadline and at least two rungs) runs
+    the final — cheapest, always-sound — rung concurrently on its own
+    domain from the start, instead of only after every precise rung has
+    timed out.  The first sound answer wins: a precise rung finishing
+    within the deadline cancels the hedge and the outcome is exactly the
+    sequential one; if every precise rung times out, the hedge's answer
+    (typically already computed) is returned immediately, eliminating
+    the "time out, then start the fallback from zero" latency cliff.
+    Hedging never changes {e which} answer a given rung computes, only
+    when the fallback starts. *)
 val points_to_ladder :
   ?ladder:algorithm list ->
   ?strict:bool ->
+  ?hedge:bool ->
   ?config:Pretrans.config ->
   ?demand:bool ->
   ?budget:int ->

@@ -24,12 +24,26 @@ let kind_name = function
   | Str _ -> "string"
   | Series _ -> "series"
 
-type t = { tbl : (string, value) Hashtbl.t }
+(* The mutex makes a registry safe to publish into from worker domains
+   (parallel compile tasks bump [compile.units], sharded solvers publish
+   [analyze.*]); contention is negligible next to the work being
+   measured. *)
+type t = { tbl : (string, value) Hashtbl.t; lock : Mutex.t }
 
-let create () = { tbl = Hashtbl.create 64 }
+let create () = { tbl = Hashtbl.create 64; lock = Mutex.create () }
 
 (** The process-wide registry the pipeline publishes into. *)
 let default = create ()
+
+let locked reg f =
+  Mutex.lock reg.lock;
+  match f () with
+  | v ->
+      Mutex.unlock reg.lock;
+      v
+  | exception e ->
+      Mutex.unlock reg.lock;
+      raise e
 
 let same_kind a b =
   match (a, b) with
@@ -38,6 +52,7 @@ let same_kind a b =
   | _ -> false
 
 let put reg name v =
+  locked reg @@ fun () ->
   match Hashtbl.find_opt reg.tbl name with
   | Some old when not (same_kind old v) ->
       invalid_arg
@@ -51,6 +66,7 @@ let set_str ?(reg = default) name v = put reg name (Str v)
 let set_series ?(reg = default) name v = put reg name (Series v)
 
 let incr ?(reg = default) ?(by = 1) name =
+  locked reg @@ fun () ->
   match Hashtbl.find_opt reg.tbl name with
   | None -> Hashtbl.replace reg.tbl name (Int by)
   | Some (Int v) -> Hashtbl.replace reg.tbl name (Int (v + by))
@@ -62,6 +78,7 @@ let incr ?(reg = default) ?(by = 1) name =
 (** Append one observation to a series (creating it if absent).  Series
     are kept oldest-first. *)
 let observe ?(reg = default) name v =
+  locked reg @@ fun () ->
   match Hashtbl.find_opt reg.tbl name with
   | None -> Hashtbl.replace reg.tbl name (Series [ v ])
   | Some (Series l) -> Hashtbl.replace reg.tbl name (Series (l @ [ v ]))
@@ -70,19 +87,18 @@ let observe ?(reg = default) name v =
         (Printf.sprintf "Metrics: %S is a %s metric, cannot observe" name
            (kind_name old))
 
-let find ?(reg = default) name = Hashtbl.find_opt reg.tbl name
+let find ?(reg = default) name =
+  locked reg @@ fun () -> Hashtbl.find_opt reg.tbl name
 
 let get_int ?(reg = default) name =
-  match Hashtbl.find_opt reg.tbl name with Some (Int v) -> Some v | _ -> None
+  match find ~reg name with Some (Int v) -> Some v | _ -> None
 
 let get_series ?(reg = default) name =
-  match Hashtbl.find_opt reg.tbl name with
-  | Some (Series l) -> Some l
-  | _ -> None
+  match find ~reg name with Some (Series l) -> Some l | _ -> None
 
 (** All metrics, sorted by name — the stable export order. *)
 let snapshot ?(reg = default) () =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) reg.tbl []
+  locked reg (fun () -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) reg.tbl [])
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
-let reset ?(reg = default) () = Hashtbl.reset reg.tbl
+let reset ?(reg = default) () = locked reg @@ fun () -> Hashtbl.reset reg.tbl

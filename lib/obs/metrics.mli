@@ -5,7 +5,11 @@
 
     A name is bound to exactly one kind of value per registry;
     re-publishing with the same kind overwrites, a different kind raises
-    [Invalid_argument] (catches dotted-name collisions early). *)
+    [Invalid_argument] (catches dotted-name collisions early).
+
+    Every operation is protected by a per-registry mutex, so worker
+    domains (parallel compile tasks, sharded solver replicas) may
+    publish into the same registry as the main domain. *)
 
 type value =
   | Int of int  (** counters and integer gauges *)

@@ -10,7 +10,14 @@
     a single mutable-bool load before the thunk — no clock reads, no
     allocation — so instrumented code paths pay effectively nothing
     unless a sink ([--stats], [--stats-json], [--trace], the bench
-    harness) has switched recording on. *)
+    harness) has switched recording on.
+
+    Spans are a {e main-domain} narrative: the frame stack and the
+    completed-roots list are plain refs, so {!with_span} runs the thunk
+    without recording when called from a worker domain (parallel compile
+    tasks, sharded solvers).  Parallel phases are measured by the span
+    the main domain wraps around the whole fan-out, plus the [par.*]
+    metrics, which {e are} domain-safe. *)
 
 type t = {
   name : string;
@@ -47,7 +54,7 @@ let reset () =
 let user_time () = (Unix.times ()).Unix.tms_utime
 
 let with_span ?label name f =
-  if not !enabled_flag then f ()
+  if (not !enabled_flag) || not (Domain.is_main_domain ()) then f ()
   else begin
     let gc0 = Gc.quick_stat () in
     let fr =

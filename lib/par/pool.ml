@@ -1,0 +1,185 @@
+(** Fixed-size domain pool.  See the interface for the contract.
+
+    Shape: one shared FIFO of [unit -> unit] closures guarded by a
+    mutex/condition pair; [jobs - 1] worker domains block on the
+    condition when idle.  The submitting domain is the last lane: after
+    enqueueing a batch it drains the queue itself, so a width-1 pool
+    spawns no domains and runs tasks inline in submission order — the
+    sequential baseline and the parallel path are the same code.
+
+    Each {!map} batch carries its own completion latch (mutex, condition,
+    remaining-count) and its own {!Cla_resilience.Cancel} token.  Task
+    closures never let an exception escape into a worker: failures are
+    recorded per index and the lowest-indexed one is re-raised by the
+    caller once the batch settles, so the observed error does not depend
+    on scheduling. *)
+
+module Cancel = Cla_resilience.Cancel
+module Progress = Cla_resilience.Progress
+module Metrics = Cla_obs.Metrics
+
+type t = {
+  width : int;
+  m : Mutex.t;
+  c : Condition.t;  (* signalled on enqueue and on shutdown *)
+  q : (unit -> unit) Queue.t;
+  mutable closing : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let jobs t = t.width
+
+(* Upper clamp: a pool wider than any plausible machine is a config
+   error, not a request we should honour with 10k domains. *)
+let max_width = 64
+
+let clamp jobs = if jobs < 1 then 1 else if jobs > max_width then max_width else jobs
+
+let resolve_jobs n =
+  if n < 0 then
+    invalid_arg
+      (Printf.sprintf "job count must be >= 0 (got %d; 0 means auto)" n)
+  else if n = 0 then Domain.recommended_domain_count ()
+  else n
+
+(* Pop-and-run one queued task; [false] when the queue is empty.  Task
+   closures handle their own exceptions, but a belt-and-braces catch
+   keeps a bug in one batch from killing an unrelated worker domain. *)
+let run_one pool =
+  Mutex.lock pool.m;
+  match Queue.take_opt pool.q with
+  | Some task ->
+      Mutex.unlock pool.m;
+      (try task () with _ -> ());
+      true
+  | None ->
+      Mutex.unlock pool.m;
+      false
+
+let rec worker_loop pool =
+  Mutex.lock pool.m;
+  while Queue.is_empty pool.q && not pool.closing do
+    Condition.wait pool.c pool.m
+  done;
+  match Queue.take_opt pool.q with
+  | Some task ->
+      Mutex.unlock pool.m;
+      (try task () with _ -> ());
+      worker_loop pool
+  | None ->
+      (* closing, and the queue is drained *)
+      Mutex.unlock pool.m
+
+let create ~jobs =
+  let width = clamp jobs in
+  let pool =
+    {
+      width;
+      m = Mutex.create ();
+      c = Condition.create ();
+      q = Queue.create ();
+      closing = false;
+      workers = [];
+    }
+  in
+  pool.workers <-
+    List.init (width - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  Metrics.set "par.jobs" width;
+  pool
+
+let shutdown pool =
+  Mutex.lock pool.m;
+  pool.closing <- true;
+  Condition.broadcast pool.c;
+  Mutex.unlock pool.m;
+  let ws = pool.workers in
+  pool.workers <- [];
+  List.iter Domain.join ws
+
+let with_pool ~jobs f =
+  let pool = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+(* Per-batch completion latch. *)
+type latch = { lm : Mutex.t; lc : Condition.t; mutable remaining : int }
+
+let latch_count_down l =
+  Mutex.lock l.lm;
+  l.remaining <- l.remaining - 1;
+  if l.remaining = 0 then Condition.broadcast l.lc;
+  Mutex.unlock l.lm
+
+let latch_wait l =
+  Mutex.lock l.lm;
+  while l.remaining > 0 do
+    Condition.wait l.lc l.lm
+  done;
+  Mutex.unlock l.lm
+
+let map_token ?cancel pool f xs =
+  let n = List.length xs in
+  if n = 0 then (
+    Metrics.incr "par.batches";
+    [])
+  else begin
+    let results = Array.make n None in
+    let errors = Array.make n None in
+    let batch = Cancel.create () in
+    let latch = { lm = Mutex.create (); lc = Condition.create (); remaining = n } in
+    let ext_set () =
+      match cancel with Some c -> Cancel.is_set c | None -> false
+    in
+    let task i x () =
+      (if Cancel.is_set batch || ext_set () then ()
+         (* skipped: leave both cells empty; the caller raises for the
+            whole batch, so the hole is never read as a result *)
+       else
+         match f batch x with
+         | v -> results.(i) <- Some v
+         | exception e ->
+             errors.(i) <- Some e;
+             Cancel.set batch);
+      latch_count_down latch
+    in
+    Mutex.lock pool.m;
+    List.iteri (fun i x -> Queue.add (task i x) pool.q) xs;
+    Condition.broadcast pool.c;
+    Mutex.unlock pool.m;
+    (* The submitting domain is a full lane: drain the queue, then wait
+       for tasks still in flight on the workers. *)
+    while run_one pool do
+      ()
+    done;
+    latch_wait latch;
+    let errs = ref 0 and skipped = ref 0 in
+    Array.iteri
+      (fun i r ->
+        match (r, errors.(i)) with
+        | None, None -> incr skipped
+        | _, Some _ -> incr errs
+        | Some _, None -> ())
+      results;
+    Metrics.incr "par.batches";
+    Metrics.incr ~by:n "par.tasks";
+    if !errs > 0 then Metrics.incr ~by:!errs "par.task_errors";
+    if !skipped > 0 then Metrics.incr ~by:!skipped "par.tasks_skipped";
+    (match cancel with Some c -> Cancel.check c | None -> ());
+    let rec first_error i =
+      if i >= n then None
+      else match errors.(i) with Some e -> Some e | None -> first_error (i + 1)
+    in
+    match first_error 0 with
+    | Some e -> raise e
+    | None ->
+        List.init n (fun i ->
+            match results.(i) with
+            | Some v -> v
+            | None ->
+                (* only reachable if a task body set the batch token
+                   itself without raising — surface it as cancellation *)
+                raise
+                  (Cancel.Cancelled
+                     (Progress.make "task skipped: batch token set by a task body")))
+  end
+
+let map ?cancel pool f xs = map_token ?cancel pool (fun _tok x -> f x) xs

@@ -1,0 +1,69 @@
+(** A fixed-size domain pool for the embarrassingly parallel phases of
+    the pipeline (per-unit compilation, per-section integrity checks,
+    independent queries).
+
+    The pool owns [jobs - 1] worker domains plus the submitting domain,
+    which helps drain the queue — so [~jobs:1] spawns no domains at all
+    and runs every task inline, in order: the sequential and parallel
+    code paths are literally the same code, which is what makes the
+    "[-j N] output is byte-identical to [-j 1]" guarantee cheap to keep.
+
+    {!map} preserves input order, propagates the first (lowest-index)
+    task error after the batch settles, and cancels in-flight peers
+    through a per-batch {!Cla_resilience.Cancel} token: once a task
+    fails, queued tasks are skipped and running tasks that poll the
+    token unwind early.
+
+    Publishes [par.*] metrics into the default registry: [par.jobs]
+    (pool width), [par.batches], [par.tasks], [par.task_errors],
+    [par.tasks_skipped].
+
+    Not reentrant: do not call {!map} from inside a task of the same
+    pool. *)
+
+type t
+
+(** Spawn a pool of width [jobs] (clamped to [1 .. 64]; [~jobs:1] spawns
+    nothing).  Idle workers block on a condition variable — an idle pool
+    costs no CPU. *)
+val create : jobs:int -> t
+
+(** The pool's width (after clamping), i.e. the maximum number of tasks
+    running at once. *)
+val jobs : t -> int
+
+(** [map pool f xs] applies [f] to every element of [xs] across the
+    pool and returns the results {e in input order}.
+
+    If any task raises, the remaining queued tasks of the batch are
+    skipped, the batch's cancel token is set (so running peers that
+    poll it unwind), and — once every task has settled — the exception
+    of the {e lowest-indexed} failed task is re-raised, making the
+    error deterministic regardless of scheduling.
+
+    [cancel] aborts the whole batch from outside: queued tasks are
+    skipped and {!Cla_resilience.Cancel.Cancelled} is raised. *)
+val map : ?cancel:Cla_resilience.Cancel.t -> t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** Like {!map}, but each task also receives the batch's cancel token so
+    long-running task bodies can poll it ({!Cla_resilience.Cancel.check})
+    and unwind as soon as a peer fails. *)
+val map_token :
+  ?cancel:Cla_resilience.Cancel.t ->
+  t ->
+  (Cla_resilience.Cancel.t -> 'a -> 'b) ->
+  'a list ->
+  'b list
+
+(** Stop the workers and join their domains.  Idempotent.  Must not be
+    called while a {!map} is in flight. *)
+val shutdown : t -> unit
+
+(** [with_pool ~jobs f]: create, run [f], always shut down. *)
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+
+(** Resolve a [-j N] request: [0] means "auto" —
+    [Domain.recommended_domain_count ()] — and anything negative raises
+    [Invalid_argument] (CLI layers turn that into a clean [Diag]).
+    Positive values pass through unchanged. *)
+val resolve_jobs : int -> int

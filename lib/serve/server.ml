@@ -38,6 +38,7 @@ type config = {
   max_deadline_ms : int;  (** cap on client-requested deadlines *)
   watchdog_grace_ms : int;  (** cancel fires this long after the deadline *)
   allow_sleep : bool;  (** enable the debug [sleep] op (load tests) *)
+  shards : int;  (** solver replicas, each on its own domain; 1 = in-thread *)
 }
 
 let default_config =
@@ -49,6 +50,7 @@ let default_config =
     max_deadline_ms = 60_000;
     watchdog_grace_ms = 200;
     allow_sleep = false;
+    shards = 1;
   }
 
 type stats = {
@@ -76,6 +78,31 @@ let stats_counters s =
     ("serve.connections", s.s_connections);
   ]
 
+(* One query handed to a solver shard.  The submitting connection thread
+   polls [j_reply] (2ms, the server's polling idiom); before the shard
+   picks the job up ([j_started]) the waiter may abandon it on its own
+   deadline/cancel, after which the shard skips it. *)
+type job = {
+  j_deadline : R.Deadline.t;
+  j_cancel : R.Cancel.t;
+  j_fresh : bool;
+  j_m : Mutex.t;
+  mutable j_started : bool;
+  mutable j_reply : (Pipeline.ladder_outcome, R.Progress.t) result option;
+}
+
+(* A solver replica: its own queue, cache and worker domain.  Each solve
+   builds fresh solver state over the shared immutable view, so shards
+   solve truly concurrently — systhreads share one runtime lock per
+   domain, which is why replicas must be domains to parallelize. *)
+type shard = {
+  sh_m : Mutex.t;
+  sh_c : Condition.t;
+  sh_q : job Queue.t;
+  mutable sh_cache : Pipeline.ladder_outcome option;
+  mutable sh_closing : bool;
+}
+
 type t = {
   cfg : config;
   view : Objfile.view;
@@ -89,9 +116,12 @@ type t = {
   wd_m : Mutex.t;
   wd : (int, R.Cancel.t * float) Hashtbl.t;
   mutable serial : int;
-  (* solve lock + cached ladder outcome *)
+  (* solve lock + cached ladder outcome (single-shard path) *)
   solve_m : Mutex.t;
   mutable cache : Pipeline.ladder_outcome option;
+  (* sharded path: empty array when [cfg.shards <= 1] *)
+  shard_tab : shard array;
+  rr : int Atomic.t;  (* round-robin dispatch counter *)
   shutdown : bool Atomic.t;
   stopped : bool Atomic.t;  (* watchdog terminator, set after drain *)
   conns_m : Mutex.t;
@@ -205,7 +235,7 @@ let acquire_solve_lock t ~deadline ~cancel =
   in
   go ()
 
-let solution t ~fresh ~deadline ~cancel :
+let solution_single t ~fresh ~deadline ~cancel :
     (Pipeline.ladder_outcome, R.Progress.t) result =
   let cached = if fresh then None else t.cache in
   match cached with
@@ -232,6 +262,125 @@ let solution t ~fresh ~deadline ~cancel :
                   Ok o
               | exception R.Deadline.Timed_out p -> Error p
               | exception R.Cancel.Cancelled p -> Error p)))
+
+(* One shard's worker domain: pop a job, solve, reply.  Jobs abandoned
+   by their waiter (cancel token already set) are answered and skipped.
+   On [sh_closing] the queue is drained — every queued job still gets a
+   reply — before the domain exits. *)
+let shard_loop t sh =
+  let reply job r =
+    Mutex.lock job.j_m;
+    job.j_reply <- Some r;
+    Mutex.unlock job.j_m
+  in
+  let rec loop () =
+    Mutex.lock sh.sh_m;
+    while Queue.is_empty sh.sh_q && not sh.sh_closing do
+      Condition.wait sh.sh_c sh.sh_m
+    done;
+    match Queue.take_opt sh.sh_q with
+    | None -> Mutex.unlock sh.sh_m (* closing, queue drained *)
+    | Some job ->
+        let cached = if job.j_fresh then None else sh.sh_cache in
+        Mutex.unlock sh.sh_m;
+        Mutex.lock job.j_m;
+        job.j_started <- true;
+        Mutex.unlock job.j_m;
+        (if R.Cancel.is_set job.j_cancel then
+           reply job (Error (R.Progress.make "cancelled while queued for a solver shard"))
+         else
+           match cached with
+           | Some o -> reply job (Ok o)
+           | None -> (
+               Cla_obs.Metrics.incr "serve.shard_solves";
+               match
+                 Pipeline.points_to_ladder ~deadline:job.j_deadline
+                   ~cancel:job.j_cancel t.view
+               with
+               | o ->
+                   if not o.Pipeline.lo_degraded then begin
+                     Mutex.lock sh.sh_m;
+                     sh.sh_cache <- Some o;
+                     Mutex.unlock sh.sh_m
+                   end;
+                   reply job (Ok o)
+               | exception R.Deadline.Timed_out p -> reply job (Error p)
+               | exception R.Cancel.Cancelled p -> reply job (Error p)
+               | exception e ->
+                   reply job
+                     (Error
+                        (R.Progress.make
+                           ("solver error: " ^ Printexc.to_string e)))));
+        loop ()
+  in
+  loop ()
+
+(* Dispatch a query to a shard, round-robin.  A waiter that has not been
+   picked up yet gives up on its own deadline/cancel (setting the job's
+   cancel token so the shard skips it); once started, the solve bounds
+   itself through the same deadline/cancel the in-thread path uses —
+   including the watchdog, which fires the cancel token past the
+   deadline grace. *)
+let solution_sharded t ~fresh ~deadline ~cancel :
+    (Pipeline.ladder_outcome, R.Progress.t) result =
+  let n = Array.length t.shard_tab in
+  let sh = t.shard_tab.(Atomic.fetch_and_add t.rr 1 mod n) in
+  let cached =
+    if fresh then None
+    else begin
+      Mutex.lock sh.sh_m;
+      let c = sh.sh_cache in
+      Mutex.unlock sh.sh_m;
+      c
+    end
+  in
+  match cached with
+  | Some o -> Ok o
+  | None ->
+      let t0 = R.Deadline.now_s () in
+      let job =
+        {
+          j_deadline = deadline;
+          j_cancel = cancel;
+          j_fresh = fresh;
+          j_m = Mutex.create ();
+          j_started = false;
+          j_reply = None;
+        }
+      in
+      Mutex.lock sh.sh_m;
+      Queue.add job sh.sh_q;
+      Condition.broadcast sh.sh_c;
+      Mutex.unlock sh.sh_m;
+      let rec wait () =
+        Mutex.lock job.j_m;
+        let r = job.j_reply and started = job.j_started in
+        Mutex.unlock job.j_m;
+        match r with
+        | Some r -> r
+        | None ->
+            if
+              (not started)
+              && (R.Cancel.is_set cancel || R.Deadline.expired deadline)
+            then begin
+              (* abandon: mark the job so the shard skips it when popped *)
+              R.Cancel.set cancel;
+              Error
+                (R.Progress.make
+                   ~elapsed_s:(R.Deadline.now_s () -. t0)
+                   "aborted while queued for a solver shard")
+            end
+            else begin
+              Thread.delay 0.002;
+              wait ()
+            end
+      in
+      wait ()
+
+let solution t ~fresh ~deadline ~cancel =
+  if Array.length t.shard_tab = 0 then
+    solution_single t ~fresh ~deadline ~cancel
+  else solution_sharded t ~fresh ~deadline ~cancel
 
 let find_var t name = Objfile.find_targets t.view name
 
@@ -454,6 +603,20 @@ let create ?(config = default_config) view =
     serial = 0;
     solve_m = Mutex.create ();
     cache = None;
+    shard_tab =
+      (if config.shards <= 1 then [||]
+       else
+         Array.init
+           (min config.shards 64)
+           (fun _ ->
+             {
+               sh_m = Mutex.create ();
+               sh_c = Condition.create ();
+               sh_q = Queue.create ();
+               sh_cache = None;
+               sh_closing = false;
+             }));
+    rr = Atomic.make 0;
     shutdown = Atomic.make false;
     stopped = Atomic.make false;
     conns_m = Mutex.create ();
@@ -478,6 +641,11 @@ let run ?(config = default_config) ?(on_ready = fun _ -> ()) view : stats =
   Unix.bind sock (Unix.ADDR_UNIX config.socket_path);
   Unix.listen sock 64;
   let wd_thread = Thread.create watchdog_loop t in
+  Cla_obs.Metrics.set "serve.shards" (max 1 (Array.length t.shard_tab));
+  let shard_domains =
+    Array.to_list
+      (Array.map (fun sh -> Domain.spawn (fun () -> shard_loop t sh)) t.shard_tab)
+  in
   on_ready t;
   (* accept loop: select with a short timeout so SIGTERM (which flips
      [shutdown] from the handler) is noticed promptly *)
@@ -508,6 +676,16 @@ let run ?(config = default_config) ?(on_ready = fun _ -> ()) view : stats =
   while live () > 0 && not (R.Deadline.expired drain_deadline) do
     Thread.delay 0.02
   done;
+  (* stop the solver shards: each drains its queue (every queued job
+     still answers) and exits *)
+  Array.iter
+    (fun sh ->
+      Mutex.lock sh.sh_m;
+      sh.sh_closing <- true;
+      Condition.broadcast sh.sh_c;
+      Mutex.unlock sh.sh_m)
+    t.shard_tab;
+  List.iter Domain.join shard_domains;
   Atomic.set t.stopped true;
   Thread.join wd_thread;
   t.stats

@@ -19,6 +19,11 @@ type config = {
   max_deadline_ms : int;  (** cap on client-requested deadlines *)
   watchdog_grace_ms : int;  (** cancel fires this long after the deadline *)
   allow_sleep : bool;  (** enable the debug [sleep] op (load tests) *)
+  shards : int;
+      (** solver replicas, each with its own cache on its own domain,
+          fed round-robin.  [1] (the default) keeps the in-thread
+          serialized-solve path; systhreads share one runtime lock per
+          domain, so replicas must be domains to solve concurrently. *)
 }
 
 val default_config : config
