@@ -12,6 +12,10 @@
      bechamel  one Bechamel micro-benchmark per table
      parallel  compile fan-out / CRC-verify sweep over --jobs=N,N,...
                (writes BENCH_parallel.json; -jN bytes must match -j1)
+     solver    solver micro-bench: sparse/dense/cyclic workloads x every
+               solver and Pretrans.config cell, hybrid lval-sets vs the
+               sorted-array baseline (writes BENCH_solver.json; any
+               divergence from the baseline solution is a hard failure)
 
    Every table prints the paper's reported row (p:) next to the measured
    row (m:).  Absolute times are not comparable (the paper used an 800MHz
@@ -25,6 +29,11 @@
      dune exec bench/main.exe -- table3       # one section
      dune exec bench/main.exe -- --budget=N table3
                 # bound retained assignments in core (LRU block eviction)
+     dune exec bench/main.exe -- --scale=0.5 solver
+                # scale the solver workloads (default 1.0; --quick: 0.25)
+     dune exec bench/main.exe -- --check-against=BENCH_solver.json solver
+                # warn when a cell regresses > 25% vs a previous run
+                # (add --check-hard to turn the warning into exit 1)
 *)
 
 open Cla_core
@@ -37,6 +46,10 @@ let quick = ref false
 let budget = ref None
 let sections = ref []
 let jobs_sweep = ref [ 1; 2; 4 ]
+let solver_scale = ref None
+let check_against = ref None
+let check_hard = ref false
+let inject_divergence = ref false
 
 let () =
   Array.iteri
@@ -44,6 +57,15 @@ let () =
       if i > 0 then
         match arg with
         | "--quick" -> quick := true
+        | "--check-hard" -> check_hard := true
+        | "--inject-divergence" -> inject_divergence := true
+        | s when String.length s > 8 && String.sub s 0 8 = "--scale=" -> (
+            match float_of_string_opt (String.sub s 8 (String.length s - 8)) with
+            | Some f when f > 0. -> solver_scale := Some f
+            | _ -> Fmt.epr "bad --scale value %S, ignored@." s)
+        | s
+          when String.length s > 16 && String.sub s 0 16 = "--check-against=" ->
+            check_against := Some (String.sub s 16 (String.length s - 16))
         | s when String.length s > 9 && String.sub s 0 9 = "--budget=" -> (
             match int_of_string_opt (String.sub s 9 (String.length s - 9)) with
             | Some n when n > 0 -> budget := Some n
@@ -645,6 +667,259 @@ let parallel () =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* Solver micro-bench: hybrid lval-sets + allocation-free reachability *)
+(* ------------------------------------------------------------------ *)
+
+(* Sweep the sparse/dense/cyclic Genir shapes over every solver and
+   every Pretrans.config cell, at the hybrid lval-set threshold and at
+   the sorted-array baseline (threshold = max_int).  The baseline
+   solution is the correctness oracle: any exact solver or configuration
+   that diverges from it is a hard failure (exit 1); Steensgaard is
+   checked as a sound superset.  Wall time, allocation per query, and
+   the pool's set-representation histogram land in BENCH_solver.json
+   (schema cla.bench.solver/v1).  --check-against=FILE compares each
+   cell's wall time against a previous run and warns on > 25%
+   regressions (informational; --check-hard exits 1 instead).
+   --inject-divergence deliberately perturbs one solution to prove the
+   hard-fail path fires — the smoke script asserts exit 1. *)
+
+let solver () =
+  hr ();
+  let scale =
+    match !solver_scale with
+    | Some s -> s
+    | None -> if !quick then 0.25 else 1.0
+  in
+  Fmt.pr
+    "SOLVER: micro-bench over shaped workloads (scale %.2f, dense threshold %d)@."
+    scale
+    (Lvalset.default_dense_threshold ());
+  hr ();
+  let saved_threshold = Lvalset.default_dense_threshold () in
+  let rows = ref [] in
+  let divergent = ref false in
+  let dense_hybrid_t = ref None and dense_array_t = ref None in
+  let alloc_timed f =
+    let a0 = Gc.allocated_bytes () in
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0, Gc.allocated_bytes () -. a0)
+  in
+  let superset (big : Solution.t) (small : Solution.t) nvars =
+    let ok = ref true in
+    for var = 0 to nvars - 1 do
+      Lvalset.iter
+        (fun z -> if not (Lvalset.mem z (Solution.points_to big var)) then ok := false)
+        (Solution.points_to small var)
+    done;
+    !ok
+  in
+  let perturb v (sol : Solution.t) =
+    let pool = Lvalset.create_pool () in
+    let pts = Array.copy sol.Solution.pts in
+    if Array.length pts > 0 then
+      pts.(0) <-
+        (if Lvalset.cardinal pts.(0) = 0 then Lvalset.of_list pool [ 0 ]
+         else Lvalset.empty);
+    Solution.create v pts
+  in
+  Fmt.pr "%-8s %-22s %9s %6s %8s %12s %8s %8s  %s@." "workload" "cell"
+    "wall_s" "passes" "queries" "alloc/query" "arrays" "bitmaps" "ok";
+  List.iter
+    (fun shape ->
+      let wname = Genir.shape_name shape in
+      let v = Genir.shaped ~scale shape 42L in
+      let nvars = Objfile.n_vars v in
+      (* histogram of the solution's set representations *)
+      let sol_histo (sol : Solution.t) =
+        let arrays = ref 0 and bitmaps = ref 0 in
+        Array.iter
+          (fun s ->
+            if Lvalset.cardinal s > 0 then
+              if Lvalset.is_bitmap s then incr bitmaps else incr arrays)
+          sol.Solution.pts;
+        (!arrays, !bitmaps)
+      in
+      let emit ~cell ~wall_s ~alloc ~sol ~ok ?result () =
+        let arrays, bitmaps = sol_histo sol in
+        let queries, passes, pool_fields, pass_wall =
+          match result with
+          | Some (r : Andersen.result) ->
+              let gs = r.Andersen.graph_stats in
+              ( gs.Pretrans.queries,
+                r.Andersen.passes,
+                [
+                  ( "pool",
+                    Json.Obj
+                      [
+                        ("hits", Json.Int gs.Pretrans.pool_hits);
+                        ("misses", Json.Int gs.Pretrans.pool_misses);
+                        ("small_sets", Json.Int gs.Pretrans.pool_small);
+                        ("dense_sets", Json.Int gs.Pretrans.pool_dense);
+                      ] );
+                ],
+                [
+                  ( "pass_wall_s",
+                    Json.Arr
+                      (List.map
+                         (fun (ps : Andersen.pass_stats) ->
+                           Json.Float ps.Andersen.ps_wall_s)
+                         r.Andersen.pass_log) );
+                ] )
+          | None -> (0, 0, [], [])
+        in
+        let alloc_per_query =
+          if queries > 0 then alloc /. float_of_int queries else Float.nan
+        in
+        Fmt.pr "%-8s %-22s %8.3fs %6d %8d %12s %8d %8d  %s@." wname cell
+          wall_s passes queries
+          (if queries > 0 then Fmt.str "%.0fB" alloc_per_query else "-")
+          arrays bitmaps
+          (if ok then "yes" else "NO — DIVERGED");
+        if not ok then divergent := true;
+        rows :=
+          Json.Obj
+            ([
+               ("workload", Json.Str wname);
+               ("cell", Json.Str cell);
+               ("scale", Json.Float scale);
+               ("wall_s", Json.Float wall_s);
+               ("passes", Json.Int passes);
+               ("queries", Json.Int queries);
+               ("alloc_bytes", Json.Float alloc);
+               ("alloc_bytes_per_query", Json.Float alloc_per_query);
+               ("solution_arrays", Json.Int arrays);
+               ("solution_bitmaps", Json.Int bitmaps);
+               ("equal_to_baseline", Json.Bool ok);
+             ]
+            @ pool_fields @ pass_wall)
+          :: !rows
+      in
+      (* correctness oracle: pre-transitive, pure sorted-array pool *)
+      Lvalset.set_default_dense_threshold max_int;
+      let base_r, base_t, base_alloc =
+        alloc_timed (fun () -> Andersen.solve v)
+      in
+      Lvalset.set_default_dense_threshold saved_threshold;
+      let base_sol = base_r.Andersen.solution in
+      if shape = Genir.Dense then dense_array_t := Some base_t;
+      emit ~cell:"pretrans/full/array" ~wall_s:base_t ~alloc:base_alloc
+        ~sol:base_sol ~ok:true ~result:base_r ();
+      (* pre-transitive ablation cells, hybrid sets *)
+      List.iter
+        (fun (cname, config) ->
+          let r, t, alloc =
+            alloc_timed (fun () -> Andersen.solve ~config v)
+          in
+          let sol = r.Andersen.solution in
+          if cname = "pretrans/full" && shape = Genir.Dense then
+            dense_hybrid_t := Some t;
+          emit ~cell:cname ~wall_s:t ~alloc ~sol
+            ~ok:(Solution.equal base_sol sol)
+            ~result:r ())
+        [
+          ("pretrans/full", { Pretrans.cache = true; cycle_elim = true });
+          ("pretrans/nocache", { Pretrans.cache = false; cycle_elim = true });
+          ("pretrans/nocycle", { Pretrans.cache = true; cycle_elim = false });
+          ("pretrans/neither", { Pretrans.cache = false; cycle_elim = false });
+        ];
+      (* the other exact solvers *)
+      let wl, wl_t, wl_alloc = alloc_timed (fun () -> Worklist.solve v) in
+      let wl = if !inject_divergence then perturb v wl else wl in
+      emit ~cell:"worklist" ~wall_s:wl_t ~alloc:wl_alloc ~sol:wl
+        ~ok:(Solution.equal base_sol wl) ();
+      let bv, bv_t, bv_alloc = alloc_timed (fun () -> Bitsolver.solve v) in
+      emit ~cell:"bitvector" ~wall_s:bv_t ~alloc:bv_alloc ~sol:bv
+        ~ok:(Solution.equal base_sol bv) ();
+      (* unification: sound over-approximation, checked as a superset *)
+      let st, st_t, st_alloc = alloc_timed (fun () -> Steensgaard.solve v) in
+      emit ~cell:"steensgaard" ~wall_s:st_t ~alloc:st_alloc ~sol:st
+        ~ok:(superset st base_sol nvars) ())
+    Genir.all_shapes;
+  let speedup =
+    match (!dense_array_t, !dense_hybrid_t) with
+    | Some a, Some h when h > 1e-6 -> a /. h
+    | _ -> Float.nan
+  in
+  if not (Float.is_nan speedup) then
+    Fmt.pr
+      "dense profile: hybrid pretransitive %.2fx vs sorted-array baseline \
+       (target >= 1.5x, informational)@."
+      speedup;
+  Json.write_file "BENCH_solver.json"
+    (Json.Obj
+       [
+         ("schema", Json.Str "cla.bench.solver/v1");
+         ("quick", Json.Bool !quick);
+         ("scale", Json.Float scale);
+         ("dense_threshold", Json.Int saved_threshold);
+         ("rows", Json.Arr (List.rev !rows));
+         ( "summary",
+           Json.Obj
+             [
+               ("dense_speedup_vs_array", Json.Float speedup);
+               ("dense_speedup_target", Json.Float 1.5);
+             ] );
+       ]);
+  Fmt.pr "wrote BENCH_solver.json (%d row(s))@." (List.length !rows);
+  (* regression gate against a previous run *)
+  (match !check_against with
+  | None -> ()
+  | Some file ->
+      let prev =
+        try Some (Json.of_string (In_channel.with_open_bin file In_channel.input_all))
+        with _ ->
+          Fmt.epr "solver: cannot read %s, skipping regression check@." file;
+          None
+      in
+      Option.iter
+        (fun prev ->
+          let prev_rows =
+            match Json.member "rows" prev with
+            | Some (Json.Arr rs) -> rs
+            | _ -> []
+          in
+          let key r =
+            match (Json.member "workload" r, Json.member "cell" r) with
+            | Some (Json.Str w), Some (Json.Str c) -> Some (w ^ "/" ^ c)
+            | _ -> None
+          in
+          let prev_wall = Hashtbl.create 32 in
+          List.iter
+            (fun r ->
+              match (key r, Option.bind (Json.member "wall_s" r) Json.to_float) with
+              | Some k, Some t -> Hashtbl.replace prev_wall k t
+              | _ -> ())
+            prev_rows;
+          let regressions = ref [] in
+          List.iter
+            (fun r ->
+              match (key r, Option.bind (Json.member "wall_s" r) Json.to_float) with
+              | Some k, Some t -> (
+                  match Hashtbl.find_opt prev_wall k with
+                  (* ignore sub-5ms cells: pure timer noise *)
+                  | Some t0 when t0 > 0.005 && t > t0 *. 1.25 ->
+                      regressions := (k, t0, t) :: !regressions
+                  | _ -> ())
+              | _ -> ())
+            (List.rev !rows);
+          match !regressions with
+          | [] -> Fmt.pr "regression check vs %s: clean@." file
+          | rs ->
+              List.iter
+                (fun (k, t0, t) ->
+                  Fmt.epr
+                    "solver: REGRESSION %s: %.3fs -> %.3fs (+%.0f%%)@." k t0 t
+                    ((t /. t0 -. 1.) *. 100.))
+                rs;
+              if !check_hard then exit 1)
+        prev);
+  if !divergent then begin
+    Fmt.epr "solver: FAIL — a solver diverged from the sorted-array baseline@.";
+    exit 1
+  end
+
 let () =
   let t0 = Unix.gettimeofday () in
   if want "table2" then table2 ();
@@ -656,6 +931,7 @@ let () =
   if want "figures" then figures ();
   if want "bechamel" then bechamel ();
   if want "parallel" then parallel ();
+  if want "solver" then solver ();
   if !bench_rows <> [] then begin
     Json.write_file "BENCH_pipeline.json"
       (Json.Obj

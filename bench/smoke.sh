@@ -20,7 +20,9 @@ cd "$dir"
 "$cla" link src/*.clo -o prog.cla >/dev/null
 "$cla" analyze prog.cla --stats-json stats.json >/dev/null
 
-for key in '"analyze.passes"' '"analyze.pretrans.cache_hits"' '"load.blocks.in_core"'; do
+for key in '"analyze.passes"' '"analyze.pretrans.cache_hits"' \
+           '"analyze.pool.hits"' '"analyze.pool.misses"' \
+           '"analyze.alloc_bytes"' '"load.blocks.in_core"'; do
   grep -q "$key" stats.json || {
     echo "smoke.sh: $key missing from stats.json" >&2
     cat stats.json >&2

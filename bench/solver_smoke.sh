@@ -1,0 +1,55 @@
+#!/bin/sh
+# Solver micro-bench smoke test: a tiny --scale sweep must report zero
+# divergence and write a schema-tagged BENCH_solver.json whose regression
+# check round-trips cleanly against itself, and --inject-divergence must
+# make the hard-fail path fire (exit 1) — proving the gate is live, not
+# decorative.  Wired into `dune runtest` (see bench/dune); takes the
+# bench binary as $1.
+set -eu
+
+bench=${1:?usage: solver_smoke.sh path/to/main.exe}
+case "$bench" in
+  /*) : ;;
+  *) bench=$(pwd)/$bench ;;
+esac
+
+dir=$(mktemp -d)
+trap 'rm -rf "$dir"' EXIT INT TERM
+cd "$dir"
+
+# 1. Tiny sweep: every solver and config cell must match the sorted-array
+#    baseline, and the JSON must carry the schema tag and the summary.
+"$bench" --scale=0.05 solver >out.txt
+grep -q 'cla\.bench\.solver/v1' BENCH_solver.json || {
+  echo "solver_smoke.sh: schema missing from BENCH_solver.json" >&2
+  cat BENCH_solver.json >&2
+  exit 1
+}
+grep -q 'dense_speedup_vs_array' BENCH_solver.json || {
+  echo "solver_smoke.sh: summary missing from BENCH_solver.json" >&2
+  exit 1
+}
+if grep -q '"equal_to_baseline": false' BENCH_solver.json; then
+  echo "solver_smoke.sh: a sweep row reports equal_to_baseline=false" >&2
+  cat BENCH_solver.json >&2
+  exit 1
+fi
+
+# 2. The divergence gate must actually exit 1 when a solution is
+#    deliberately perturbed.
+rc=0
+"$bench" --scale=0.05 --inject-divergence solver >/dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 1 ]; then
+  echo "solver_smoke.sh: --inject-divergence exited $rc, want 1" >&2
+  exit 1
+fi
+
+# 3. Regression check against the run's own JSON must be clean (and must
+#    not crash on re-parse — proves the file is well-formed).
+"$bench" --scale=0.05 --check-against=BENCH_solver.json solver | \
+  grep -q 'regression check .*: clean' || {
+  echo "solver_smoke.sh: self check-against not clean" >&2
+  exit 1
+}
+
+echo "solver_smoke.sh: ok"

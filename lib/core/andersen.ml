@@ -77,6 +77,7 @@ and pass_stats = {
   ps_unified : int;
   ps_queries : int;
   ps_changed : bool;
+  ps_wall_s : float;  (* wall-clock time of the pass *)
 }
 
 (* Progress carried by a typed abort: the pass we were in plus the last
@@ -297,6 +298,7 @@ let init ?(config = Pretrans.default_config) ?(demand = true) ?budget
    changed. *)
 let pass st =
   check_tokens st;
+  let t0 = Cla_resilience.Deadline.now_s () in
   st.passes <- st.passes + 1;
   Cla_obs.Obs.with_span "analyze.pass" ~label:(string_of_int st.passes)
   @@ fun () ->
@@ -343,7 +345,7 @@ let pass st =
           match Hashtbl.find_opt st.fundef_by_var gv with
           | None -> ()
           | Some fd ->
-              let key = (idx lsl 31) lor gv in
+              let key = Intset.pair_key idx gv in
               if not (Hashtbl.mem st.linked key) then begin
                 Hashtbl.replace st.linked key ();
                 changed := true;
@@ -380,6 +382,7 @@ let pass st =
       ps_unified = after.Pretrans.unified - before.Pretrans.unified;
       ps_queries = after.Pretrans.queries - before.Pretrans.queries;
       ps_changed = !changed;
+      ps_wall_s = Cla_resilience.Deadline.now_s () -. t0;
     }
     :: st.pass_log;
   !changed
@@ -395,6 +398,10 @@ type result = {
       (** complex assignments kept in core; input to {!Cla_depend} *)
   linked_copies : (int * int * Cla_ir.Loc.t) list;
       (** analysis-time copies added while linking indirect calls *)
+  alloc_bytes : float;
+      (** bytes allocated on the OCaml heap over the whole solve
+          ([Gc.allocated_bytes] delta) — the allocation-rate metric the
+          solver bench divides by query count *)
 }
 
 (** Publish a result into the metrics registry: [analyze.passes], the
@@ -403,6 +410,7 @@ type result = {
     (Figure 5's loop, one entry per pass). *)
 let publish_result ?reg (r : result) =
   Cla_obs.Metrics.set ?reg "analyze.passes" r.passes;
+  Cla_obs.Metrics.setf ?reg "analyze.alloc_bytes" r.alloc_bytes;
   Cla_obs.Metrics.set ?reg "analyze.complex.retained"
     (List.length r.retained);
   Cla_obs.Metrics.set ?reg "analyze.indirect.linked_copies"
@@ -423,6 +431,7 @@ let publish_result ?reg (r : result) =
     caching — the paper's observation in Section 5). *)
 let solve ?config ?demand ?budget ?deadline ?cancel view : result =
   Cla_obs.Obs.with_span "analyze" @@ fun () ->
+  let a0 = Gc.allocated_bytes () in
   let st =
     Cla_obs.Obs.with_span "analyze.init" (fun () ->
         init ?config ?demand ?budget ?deadline ?cancel view)
@@ -454,6 +463,7 @@ let solve ?config ?demand ?budget ?deadline ?cancel view : result =
           (fun _ prims acc -> List.rev_append prims acc)
           st.retained_by_block [];
       linked_copies = st.linked_copies;
+      alloc_bytes = Gc.allocated_bytes () -. a0;
     }
   in
   publish_result r;

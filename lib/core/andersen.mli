@@ -61,6 +61,7 @@ and pass_stats = {
   ps_unified : int;  (** nodes unified away by cycle elimination *)
   ps_queries : int;  (** [get_lvals] calls issued during the pass *)
   ps_changed : bool;
+  ps_wall_s : float;  (** wall-clock time of the pass *)
 }
 
 (** Load the static section (and, in demand mode, the blocks it activates)
@@ -104,12 +105,17 @@ type result = {
           analysis *)
   linked_copies : (int * int * Cla_ir.Loc.t) list;
       (** analysis-time copies added while linking indirect calls *)
+  alloc_bytes : float;
+      (** bytes allocated on the OCaml heap over the whole solve
+          ([Gc.allocated_bytes] delta); published as
+          [analyze.alloc_bytes] *)
 }
 
 (** Publish a result into the metrics registry (default
-    {!Cla_obs.Metrics.default}): [analyze.passes],
-    [analyze.pretrans.*], [load.blocks.*], and the per-pass convergence
-    series [analyze.pass.*].  {!solve} calls this itself. *)
+    {!Cla_obs.Metrics.default}): [analyze.passes], [analyze.alloc_bytes],
+    [analyze.pretrans.*], [analyze.pool.*], [load.blocks.*], and the
+    per-pass convergence series [analyze.pass.*].  {!solve} calls this
+    itself. *)
 val publish_result : ?reg:Cla_obs.Metrics.t -> result -> unit
 
 (** Run to fixpoint and extract the points-to set of every variable.

@@ -163,10 +163,12 @@ let solve ?(deadline = Cla_resilience.Deadline.never) ?cancel
       view.Objfile.rindirects
   done;
   let pool = Lvalset.create_pool () in
+  (* one reusable buffer: [of_dyn] never retains it *)
+  let acc = Dynarr.create ~capacity:64 () in
   let out =
     Array.init nvars (fun v ->
-        let acc = Dynarr.create ~capacity:8 () in
+        Dynarr.clear acc;
         Bits.iter (fun li -> Dynarr.push acc loc_of.(li)) pts.(v);
-        Lvalset.of_dyn pool (Dynarr.to_array acc) (Dynarr.length acc))
+        Lvalset.of_dyn pool acc.Dynarr.data (Dynarr.length acc))
   in
   Solution.create view out

@@ -55,6 +55,21 @@ let add t key =
   if 2 * (t.count + 1) > Array.length t.keys then grow t;
   add_raw t (key + 1)
 
+(* Packed (a, b) pair keys — see the .mli for the 31-bit invariant.
+   Shared by every edge table (pretransitive graph, worklist baseline,
+   indirect-call link dedup) so the packing exists in exactly one
+   place. *)
+let max_node_id = (1 lsl 31) - 1
+let pair_key a b = (a lsl 31) lor b
+
+let check_node_bound n =
+  if n < 0 || n > max_node_id then
+    invalid_arg
+      (Printf.sprintf
+         "node id %d outside [0, %d]: the packed edge-key encoding holds \
+          31 bits per endpoint"
+         n max_node_id)
+
 let mem t key =
   let k = key + 1 in
   let i = ref (slot t key) in

@@ -1,0 +1,105 @@
+(** Monomorphic int-prefix sorting: insertion sort for the short scratch
+    buffers the solver usually sees, introsort beyond that. *)
+
+(* Below this length, insertion sort beats any partitioning scheme (the
+   scratch buffers [Lvalset.of_dyn] sees are mostly this short). *)
+let insertion_cutoff = 24
+
+let insertion (a : int array) lo hi =
+  for i = lo + 1 to hi do
+    let x = Array.unsafe_get a i in
+    let j = ref (i - 1) in
+    while !j >= lo && Array.unsafe_get a !j > x do
+      Array.unsafe_set a (!j + 1) (Array.unsafe_get a !j);
+      decr j
+    done;
+    Array.unsafe_set a (!j + 1) x
+  done
+
+(* Binary-heap sort on [a.(lo..hi)] — the depth-limit fallback that
+   bounds the worst case at O(n log n). *)
+let heapsort (a : int array) lo hi =
+  let n = hi - lo + 1 in
+  let get i = Array.unsafe_get a (lo + i) in
+  let set i x = Array.unsafe_set a (lo + i) x in
+  let sift_down root last =
+    let x = get root in
+    let i = ref root in
+    let continue = ref true in
+    while !continue do
+      let child = (2 * !i) + 1 in
+      if child > last then continue := false
+      else begin
+        let child =
+          if child + 1 <= last && get (child + 1) > get child then child + 1
+          else child
+        in
+        if get child <= x then continue := false
+        else begin
+          set !i (get child);
+          i := child
+        end
+      end
+    done;
+    set !i x
+  in
+  for root = (n / 2) - 1 downto 0 do
+    sift_down root (n - 1)
+  done;
+  for last = n - 1 downto 1 do
+    let x = get last in
+    set last (get 0);
+    set 0 x;
+    sift_down 0 (last - 1)
+  done
+
+let rec intro (a : int array) lo hi depth =
+  if hi - lo + 1 <= insertion_cutoff then insertion a lo hi
+  else if depth = 0 then heapsort a lo hi
+  else begin
+    (* median of three as the pivot, stored at [lo] *)
+    let mid = lo + ((hi - lo) / 2) in
+    let swap i j =
+      let x = Array.unsafe_get a i in
+      Array.unsafe_set a i (Array.unsafe_get a j);
+      Array.unsafe_set a j x
+    in
+    if Array.unsafe_get a mid < Array.unsafe_get a lo then swap mid lo;
+    if Array.unsafe_get a hi < Array.unsafe_get a lo then swap hi lo;
+    if Array.unsafe_get a hi < Array.unsafe_get a mid then swap hi mid;
+    swap lo mid;
+    let pivot = Array.unsafe_get a lo in
+    let i = ref lo and j = ref (hi + 1) in
+    let continue = ref true in
+    while !continue do
+      incr i;
+      while !i <= hi && Array.unsafe_get a !i < pivot do incr i done;
+      decr j;
+      while Array.unsafe_get a !j > pivot do decr j done;
+      if !i >= !j then continue := false else swap !i !j
+    done;
+    swap lo !j;
+    (* recurse into the smaller side, loop on the larger (bounded stack) *)
+    let j = !j in
+    if j - lo < hi - j then begin
+      intro a lo (j - 1) (depth - 1);
+      intro a (j + 1) hi (depth - 1)
+    end
+    else begin
+      intro a (j + 1) hi (depth - 1);
+      intro a lo (j - 1) (depth - 1)
+    end
+  end
+
+let sort (a : int array) len =
+  if len < 0 || len > Array.length a then invalid_arg "Intsort.sort";
+  if len > 1 then begin
+    (* depth limit ~ 2*log2 len, the classic introsort bound *)
+    let depth = ref 0 in
+    let n = ref len in
+    while !n > 0 do
+      incr depth;
+      n := !n lsr 1
+    done;
+    intro a 0 (len - 1) (2 * !depth)
+  end

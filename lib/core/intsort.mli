@@ -1,0 +1,14 @@
+(** Monomorphic sorting of int-array prefixes.
+
+    [Array.sort compare] on an [int array] pays a polymorphic-compare
+    call per comparison — a measurable constant factor on the solver's
+    hot paths ({!Lvalset.of_dyn}, the worklist's delta dedup), where the
+    buffers are usually short and already nearly sorted.  This sorter is
+    specialized to ints: insertion sort for short prefixes, introsort
+    (median-of-three quicksort with a heapsort fallback at depth limit)
+    beyond that, so the worst case stays O(n log n). *)
+
+(** [sort a len] sorts the first [len] cells of [a] in place, ascending.
+    Cells at [len] and beyond are untouched.
+    @raise Invalid_argument if [len < 0] or [len > Array.length a]. *)
+val sort : int array -> int -> unit

@@ -19,7 +19,14 @@
     overflow the OCaml stack on ~100k-node graphs), which detects each
     traversed cycle once and lets us unify whole strongly-connected
     components at a time; this realizes the paper's
-    [foreach n' in path, unifyNode(n', n)] without re-scanning paths. *)
+    [foreach n' in path, unifyNode(n', n)] without re-scanning paths.
+
+    The walk itself is allocation-free in steady state: the frame stacks,
+    the SCC accumulator, and the distinct-successor-result buffer are all
+    per-solver scratch reused across queries; distinct-set dedup is an
+    O(1) stamp on the hash-consed set ({!Lvalset.try_stamp}) instead of a
+    [List.memq] scan; and the successor edge lists are path-compressed in
+    place as the walk de-skips them. *)
 
 type config = {
   cache : bool;  (** reuse reachability results within a pass *)
@@ -46,6 +53,16 @@ type t = {
   base_tbl : Intset.t;
   mutable stamp : int;
   mutable query : int;
+  (* reusable traversal scratch — one of each per solver, never per query *)
+  fnode : Dynarr.t;  (* Tarjan frame stack: node per frame *)
+  fidx : Dynarr.t;  (* Tarjan frame stack: next successor index *)
+  tstack : Dynarr.t;  (* Tarjan SCC stack *)
+  scc_buf : Dynarr.t;  (* members of cycles awaiting unification ... *)
+  scc_ends : Dynarr.t;  (* ... flattened; end offset per cycle *)
+  base_scratch : Dynarr.t;  (* base elements gathered per SCC *)
+  mutable set_buf : Lvalset.t array;  (* distinct successor results *)
+  mutable set_len : int;
+  mutable accum : int;  (* fresh stamp per SCC-result accumulation *)
   (* cooperative interruption: called every [interrupt_mask+1] visits of
      the reachability walk so a deadline or cancel token can abort a long
      [get_lvals] traversal, not just a pass boundary *)
@@ -59,11 +76,12 @@ type t = {
   mutable n_cache_hits : int;
 }
 
-let create ?(config = default_config) ~nodes () =
+let create ?(config = default_config) ?dense_threshold ~nodes () =
+  Intset.check_node_bound (max 0 (nodes - 1));
   let cap = max 16 nodes in
   {
     cfg = config;
-    pool = Lvalset.create_pool ();
+    pool = Lvalset.create_pool ?dense_threshold ();
     n = nodes;
     skip = Array.make cap (-1);
     succ = Array.init cap (fun _ -> Dynarr.create ~capacity:2 ());
@@ -78,6 +96,15 @@ let create ?(config = default_config) ~nodes () =
     base_tbl = Intset.create 1024;
     stamp = 0;
     query = 0;
+    fnode = Dynarr.create ~capacity:64 ();
+    fidx = Dynarr.create ~capacity:64 ();
+    tstack = Dynarr.create ~capacity:64 ();
+    scc_buf = Dynarr.create ~capacity:16 ();
+    scc_ends = Dynarr.create ~capacity:8 ();
+    base_scratch = Dynarr.create ~capacity:64 ();
+    set_buf = Array.make 64 Lvalset.empty;
+    set_len = 0;
+    accum = 0;
     interrupt = None;
     ticks = 0;
     n_edges = 0;
@@ -106,6 +133,9 @@ let tick t =
 let grow t needed =
   let cap = Array.length t.skip in
   if needed > cap then begin
+    (* the packed edge keys hold 31 bits per endpoint; enforce the bound
+       once here so [Intset.pair_key] stays unchecked on the hot path *)
+    Intset.check_node_bound (needed - 1);
     let cap' = max needed (2 * cap) in
     let extend a fill =
       let a' = Array.make cap' fill in
@@ -147,15 +177,13 @@ let rec deskip t n =
     r
   end
 
-let edge_key a b = (a lsl 31) lor b
-
 (** Add edge [a -> b] ([pts(a) ⊇ pts(b)]).  Returns [true] if the edge is
     new — the driver's [nochange] flag. *)
 let add_edge t a b =
   let a = deskip t a and b = deskip t b in
   if a = b then false
   else begin
-    let key = edge_key a b in
+    let key = Intset.pair_key a b in
     if Intset.add t.edge_tbl key then begin
       Dynarr.push t.succ.(a) b;
       t.n_edges <- t.n_edges + 1;
@@ -167,7 +195,7 @@ let add_edge t a b =
 (** Record [x = &z]: [z] joins [baseElements(x)]. *)
 let add_base t x z =
   let x = deskip t x in
-  let key = edge_key x z in
+  let key = Intset.pair_key x z in
   if Intset.add t.base_tbl key then Dynarr.push t.base.(x) z
 
 (** Start a new pass over the complex assignments: flush the reachability
@@ -195,17 +223,30 @@ let unify_into t m rep =
 (* Reachability (getLvals)                                             *)
 (* ------------------------------------------------------------------ *)
 
-(* Iterative Tarjan.  Frames are parallel stacks; [sccs] collects the
-   components (size > 1) to unify after the walk completes. *)
+let push_set t s =
+  if t.set_len = Array.length t.set_buf then begin
+    let b = Array.make (2 * t.set_len) Lvalset.empty in
+    Array.blit t.set_buf 0 b 0 t.set_len;
+    t.set_buf <- b
+  end;
+  t.set_buf.(t.set_len) <- s;
+  t.set_len <- t.set_len + 1
+
+(* Iterative Tarjan over the per-solver scratch stacks.  Zero allocation
+   in steady state: frames live in [t.fnode]/[t.fidx], the SCC stack in
+   [t.tstack], cycles awaiting unification in [t.scc_buf]/[t.scc_ends],
+   and each SCC's result is built by one [Lvalset.union_many] over the
+   stamped-distinct successor results plus the members' base elements. *)
 let tarjan t root =
   t.query <- t.query + 1;
   let q = t.query in
   let counter = ref 0 in
-  let fnode = Dynarr.create ~capacity:64 () in
-  let fidx = Dynarr.create ~capacity:64 () in
-  let fidx_data = fidx in
-  let tstack = Dynarr.create ~capacity:64 () in
-  let sccs : int list list ref = ref [] in
+  let fnode = t.fnode and fidx = t.fidx and tstack = t.tstack in
+  Dynarr.clear fnode;
+  Dynarr.clear fidx;
+  Dynarr.clear tstack;
+  Dynarr.clear t.scc_buf;
+  Dynarr.clear t.scc_ends;
   let push_frame n =
     t.qid.(n) <- q;
     t.disc.(n) <- !counter;
@@ -214,7 +255,7 @@ let tarjan t root =
     t.onstk.(n) <- q;
     Dynarr.push tstack n;
     Dynarr.push fnode n;
-    Dynarr.push fidx_data 0;
+    Dynarr.push fidx 0;
     t.n_visits <- t.n_visits + 1
   in
   push_frame root;
@@ -222,10 +263,22 @@ let tarjan t root =
     tick t;
     let top = Dynarr.length fnode - 1 in
     let n = Dynarr.get fnode top in
-    let i = Dynarr.get fidx_data top in
-    if i < Dynarr.length t.succ.(n) then begin
-      fidx_data.Dynarr.data.(top) <- i + 1;
-      let s = deskip t (Dynarr.unsafe_get t.succ.(n) i) in
+    let i = Dynarr.get fidx top in
+    let sn = t.succ.(n) in
+    if i < Dynarr.length sn then begin
+      fidx.Dynarr.data.(top) <- i + 1;
+      (* de-skip the edge and compress it in place — the paper's
+         incremental updating of edges to skip-nodes, hoisted out of
+         future traversals of this edge *)
+      let raw = Dynarr.unsafe_get sn i in
+      let s =
+        if t.skip.(raw) < 0 then raw
+        else begin
+          let r = deskip t raw in
+          sn.Dynarr.data.(i) <- r;
+          r
+        end
+      in
       if s = n then () (* self loop after de-skip *)
       else if t.mark.(s) = t.stamp then
         (* finished this pass/query: treat as leaf with known result *)
@@ -239,81 +292,82 @@ let tarjan t root =
     else begin
       (* node finished: pop frame *)
       fnode.Dynarr.len <- top;
-      fidx_data.Dynarr.len <- top;
+      fidx.Dynarr.len <- top;
       (* propagate lowlink to parent *)
       if top > 0 then begin
         let p = Dynarr.get fnode (top - 1) in
         if t.low.(n) < t.low.(p) then t.low.(p) <- t.low.(n)
       end;
       if t.low.(n) = t.disc.(n) then begin
-        (* n roots an SCC: pop members, compute their common result *)
-        let members = ref [] in
-        let continue = ref true in
-        while !continue do
-          let m = Dynarr.get tstack (Dynarr.length tstack - 1) in
-          tstack.Dynarr.len <- Dynarr.length tstack - 1;
-          t.onstk.(m) <- -1;
-          members := m :: !members;
-          if m = n then continue := false
+        (* [n] roots an SCC whose members sit contiguously at the top of
+           [tstack]: locate the root, process the slice in place. *)
+        let tlen = Dynarr.length tstack in
+        let mstart = ref (tlen - 1) in
+        while Dynarr.get tstack !mstart <> n do decr mstart done;
+        let mstart = !mstart in
+        for k = mstart to tlen - 1 do
+          t.onstk.(Dynarr.unsafe_get tstack k) <- -1
         done;
-        let members = !members in
-        (* result = base elements of members ∪ results of out-of-SCC succs.
-           Successor results are hash-consed, so most of a node's (possibly
-           thousands of) successors carry the *same physical* set — dedup
-           by physical identity before paying for any union (the paper's
-           set-sharing enhancement is what makes this possible). *)
-        let acc = ref Lvalset.empty in
-        let distinct : Lvalset.t list ref = ref [] in
-        let n_distinct = ref 0 in
-        let add_set (s : Lvalset.t) =
-          if Lvalset.cardinal s <> 0 && not (List.memq s !distinct) then begin
-            distinct := s :: !distinct;
-            incr n_distinct;
-            if !n_distinct > 48 then begin
-              List.iter (fun x -> acc := Lvalset.union t.pool !acc x) !distinct;
-              distinct := [];
-              n_distinct := 0
+        (* result = base elements of members ∪ results of out-of-SCC
+           succs.  Successor results are hash-consed, so most of a node's
+           (possibly thousands of) successors carry the *same physical*
+           set — dedup by an O(1) stamp before paying for any union (the
+           paper's set-sharing enhancement is what makes this possible). *)
+        t.accum <- t.accum + 1;
+        let aid = t.accum in
+        t.set_len <- 0;
+        Dynarr.clear t.base_scratch;
+        for k = mstart to tlen - 1 do
+          let m = Dynarr.unsafe_get tstack k in
+          Dynarr.iter (fun z -> Dynarr.push t.base_scratch z) t.base.(m);
+          let sm = t.succ.(m) in
+          for j = 0 to Dynarr.length sm - 1 do
+            let raw = Dynarr.unsafe_get sm j in
+            let s =
+              if t.skip.(raw) < 0 then raw
+              else begin
+                let r = deskip t raw in
+                sm.Dynarr.data.(j) <- r;
+                r
+              end
+            in
+            if t.mark.(s) = t.stamp && t.onstk.(s) <> q then begin
+              let rs = t.result.(s) in
+              if Lvalset.try_stamp rs aid then push_set t rs
             end
-          end
+          done
+        done;
+        let set =
+          Lvalset.union_many t.pool t.set_buf t.set_len
+            t.base_scratch.Dynarr.data
+            (Dynarr.length t.base_scratch)
         in
-        let scratch = Dynarr.create ~capacity:16 () in
-        List.iter
-          (fun m ->
-            Dynarr.iter (fun z -> Dynarr.push scratch z) t.base.(m);
-            Dynarr.iter
-              (fun s ->
-                let s = deskip t s in
-                if t.mark.(s) = t.stamp && t.onstk.(s) <> q then
-                  add_set t.result.(s))
-              t.succ.(m))
-          members;
-        List.iter (fun x -> acc := Lvalset.union t.pool !acc x) !distinct;
-        let own = Lvalset.of_dyn t.pool (Dynarr.to_array scratch) (Dynarr.length scratch) in
-        let set = Lvalset.union t.pool !acc own in
-        List.iter
-          (fun m ->
-            t.mark.(m) <- t.stamp;
-            t.result.(m) <- set)
-          members;
-        match members with
-        | _ :: _ :: _ when t.cfg.cycle_elim -> sccs := members :: !sccs
-        | _ -> ()
+        for k = mstart to tlen - 1 do
+          let m = Dynarr.unsafe_get tstack k in
+          t.mark.(m) <- t.stamp;
+          t.result.(m) <- set
+        done;
+        if tlen - mstart > 1 && t.cfg.cycle_elim then begin
+          for k = mstart to tlen - 1 do
+            Dynarr.push t.scc_buf (Dynarr.unsafe_get tstack k)
+          done;
+          Dynarr.push t.scc_ends (Dynarr.length t.scc_buf)
+        end;
+        tstack.Dynarr.len <- mstart
       end
     end
   done;
   (* unify the traversed cycles (safe now that the walk is complete) *)
-  List.iter
-    (fun members ->
-      match members with
-      | rep :: rest ->
-          let rep = deskip t rep in
-          List.iter
-            (fun m ->
-              let m = deskip t m in
-              if m <> rep then unify_into t m rep)
-            rest
-      | [] -> ())
-    !sccs
+  let start = ref 0 in
+  for c = 0 to Dynarr.length t.scc_ends - 1 do
+    let stop = Dynarr.get t.scc_ends c in
+    let rep = deskip t (Dynarr.get t.scc_buf !start) in
+    for k = !start + 1 to stop - 1 do
+      let m = deskip t (Dynarr.get t.scc_buf k) in
+      if m <> rep then unify_into t m rep
+    done;
+    start := stop
+  done
 
 (** [get_lvals t n] — the set of locations [&z] derivable from [n]
     (Figure 5's [getLvals]).  With [config.cache] the result is memoized
@@ -344,6 +398,10 @@ type stats = {
   queries : int;
   visits : int;
   cache_hits : int;
+  pool_hits : int;
+  pool_misses : int;
+  pool_small : int;
+  pool_dense : int;
 }
 
 (* The structural counters ([nodes], [edges], [unified]) mirror the live
@@ -352,6 +410,7 @@ type stats = {
    [reset_stats].  Invariants (see the .mli): cache_hits <= queries,
    unified <= nodes, and visits >= queries - cache_hits. *)
 let stats t =
+  let p = Lvalset.pool_stats t.pool in
   {
     nodes = t.n;
     edges = t.n_edges;
@@ -359,6 +418,10 @@ let stats t =
     queries = t.n_queries;
     visits = t.n_visits;
     cache_hits = t.n_cache_hits;
+    pool_hits = p.Lvalset.p_hits;
+    pool_misses = p.Lvalset.p_misses;
+    pool_small = p.Lvalset.p_small_sets;
+    pool_dense = p.Lvalset.p_dense_sets;
   }
 
 (** Zero the query-side counters ([queries], [visits], [cache_hits]).
@@ -370,7 +433,8 @@ let reset_stats t =
   t.n_cache_hits <- 0
 
 (** Publish a stats record into the metrics registry under
-    [analyze.pretrans.*]. *)
+    [analyze.pretrans.*] (graph/query counters) and [analyze.pool.*]
+    (lval-set sharing-pool counters). *)
 let publish_stats ?reg (s : stats) =
   let set k v = Cla_obs.Metrics.set ?reg ("analyze.pretrans." ^ k) v in
   set "nodes" s.nodes;
@@ -378,4 +442,9 @@ let publish_stats ?reg (s : stats) =
   set "unified" s.unified;
   set "queries" s.queries;
   set "visits" s.visits;
-  set "cache_hits" s.cache_hits
+  set "cache_hits" s.cache_hits;
+  let setp k v = Cla_obs.Metrics.set ?reg ("analyze.pool." ^ k) v in
+  setp "hits" s.pool_hits;
+  setp "misses" s.pool_misses;
+  setp "small_sets" s.pool_small;
+  setp "dense_sets" s.pool_dense

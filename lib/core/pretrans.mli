@@ -24,8 +24,13 @@ type t
 
 (** [create ~config ~nodes ()] builds a graph whose node ids
     [0 .. nodes-1] are pre-allocated (conventionally the variable ids of a
-    linked database); more nodes can be added with {!fresh_node}. *)
-val create : ?config:config -> nodes:int -> unit -> t
+    linked database); more nodes can be added with {!fresh_node}.
+    [dense_threshold] is forwarded to the solver's lval-set pool (see
+    {!Lvalset.create_pool}); node ids are bounds-checked against
+    {!Intset.max_node_id} here and in {!fresh_node} so the packed edge
+    keys stay collision-free.
+    @raise Invalid_argument if [nodes - 1] exceeds [Intset.max_node_id]. *)
+val create : ?config:config -> ?dense_threshold:int -> nodes:int -> unit -> t
 
 (** Number of nodes allocated so far. *)
 val n_nodes : t -> int
@@ -85,6 +90,10 @@ type stats = {
   queries : int;  (** [get_lvals] calls *)
   visits : int;  (** nodes visited during reachability *)
   cache_hits : int;  (** queries answered from the per-pass memo *)
+  pool_hits : int;  (** lval-set pool lookups answered by sharing *)
+  pool_misses : int;  (** distinct lval sets interned *)
+  pool_small : int;  (** interned sets in the sorted-array representation *)
+  pool_dense : int;  (** interned sets in the bitmap representation *)
 }
 
 val stats : t -> stats
@@ -95,5 +104,7 @@ val stats : t -> stats
 val reset_stats : t -> unit
 
 (** Publish a stats record into the metrics registry (default
-    {!Cla_obs.Metrics.default}) under [analyze.pretrans.*]. *)
+    {!Cla_obs.Metrics.default}) under [analyze.pretrans.*] (graph and
+    query counters) and [analyze.pool.*] (lval-set sharing-pool
+    counters). *)
 val publish_stats : ?reg:Cla_obs.Metrics.t -> stats -> unit

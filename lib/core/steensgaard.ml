@@ -217,7 +217,7 @@ let solve ?(deadline = Cla_resilience.Deadline.never) ?cancel
   Hashtbl.iter
     (fun root d ->
       Hashtbl.replace group_sets root
-        (Lvalset.of_dyn pool (Dynarr.to_array d) (Dynarr.length d)))
+        (Lvalset.of_dyn pool d.Dynarr.data (Dynarr.length d)))
     groups;
   let nvars = Objfile.n_vars view in
   let pts =

@@ -29,6 +29,9 @@ type t = {
 let grow st needed =
   let cap = Array.length st.pts in
   if needed > cap then begin
+    (* packed edge keys hold 31 bits per endpoint (see Intset.pair_key);
+       enforce the bound once, at node allocation *)
+    Intset.check_node_bound (needed - 1);
     let cap' = max needed (2 * cap) in
     let arr_arr =
       Array.init cap' (fun i -> if i < cap then st.pts.(i) else [||])
@@ -90,17 +93,16 @@ let add_elems st n (elems : int array) =
 
 let add_one st n z = add_elems st n [| z |]
 
-let edge_key a b = (a lsl 31) lor b
-
 (* m ⊇ n; on creation, everything already at n flows to m. *)
 let add_copy st ~dst:m ~src:n =
-  if m <> n && Intset.add st.edge_tbl (edge_key m n) then begin
+  if m <> n && Intset.add st.edge_tbl (Intset.pair_key m n) then begin
     Dynarr.push st.copy_out.(n) m;
     add_elems st m st.pts.(n)
   end
 
 let create (view : Objfile.view) =
   let nvars = Objfile.n_vars view in
+  Intset.check_node_bound (max 0 (nvars - 1));
   let cap = max 16 nvars in
   let st =
     {
@@ -183,7 +185,7 @@ let propagate ?(tick = fun () -> ()) st =
     let d = Dynarr.to_array st.delta.(n) in
     Dynarr.clear st.delta.(n);
     if Array.length d > 0 then begin
-      Array.sort compare d;
+      Intsort.sort d (Array.length d);
       (* dedup *)
       let w = ref 1 in
       for r = 1 to Array.length d - 1 do

@@ -23,3 +23,22 @@ val generate : ?params:params -> int64 -> Cla_core.Objfile.db
 
 (** Generate and roundtrip through serialization (what solvers consume). *)
 val view : ?params:params -> int64 -> Cla_core.Objfile.view
+
+(** {2 Shaped solver workloads}
+
+    Deterministic pure-solver profiles for the solver micro-benchmark:
+    - [Sparse]: many variables, few constraints each — points-to sets
+      stay small (sorted-array regime);
+    - [Dense]: a layered DAG with wide fan-in over a compact base-location
+      pool — upper layers accumulate large dense sets (bitmap regime);
+    - [Cyclic]: rings of copy edges with cross-ring chords — every
+      reachability walk meets cycles (Tarjan/unification stress). *)
+type shape = Sparse | Dense | Cyclic
+
+val all_shapes : shape list
+val shape_name : shape -> string
+
+(** [shaped ?scale shape seed] generates a view of the given profile.
+    [scale] (default 1.0) multiplies every size knob; small fractions make
+    smoke-test workloads. *)
+val shaped : ?scale:float -> shape -> int64 -> Cla_core.Objfile.view

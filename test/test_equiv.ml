@@ -77,6 +77,36 @@ let full_load =
   agree "demand = full load" params_small 100 (fun v ->
       (Andersen.solve ~demand:false v).Andersen.solution)
 
+let with_threshold th f =
+  let saved = Lvalset.default_dense_threshold () in
+  Lvalset.set_default_dense_threshold th;
+  Fun.protect ~finally:(fun () -> Lvalset.set_default_dense_threshold saved) f
+
+(* force the bitmap representation even on these small workloads (dense
+   threshold 4) and compare against the pure sorted-array pool — the
+   hybrid representation must be invisible to the solution *)
+let hybrid_eq_array name params count =
+  QCheck.Test.make ~count ~name
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let v = view ~params seed in
+      let a =
+        with_threshold max_int (fun () -> (Andersen.solve v).Andersen.solution)
+      in
+      let b =
+        with_threshold 4 (fun () -> (Andersen.solve v).Andersen.solution)
+      in
+      let w = with_threshold 4 (fun () -> Worklist.solve v) in
+      let bv = with_threshold 4 (fun () -> Bitsolver.solve v) in
+      if not (Solution.equal a b && Solution.equal a w && Solution.equal a bv)
+      then
+        QCheck.Test.fail_reportf
+          "hybrid pool diverged from array pool on seed %d" seed
+      else true)
+
+let hybrid_small = hybrid_eq_array "bitmap pool = array pool (small)" params_small 100
+let hybrid_medium = hybrid_eq_array "bitmap pool = array pool (medium)" params_medium 40
+
 let steensgaard_superset =
   QCheck.Test.make ~count:150 ~name:"steensgaard over-approximates andersen"
     QCheck.(int_bound 1_000_000)
@@ -158,7 +188,8 @@ let () =
             pretrans_eq_bitvector_medium;
           ] );
       ( "ablations",
-        List.map QCheck_alcotest.to_alcotest [ no_cache; no_cycle; neither; full_load ] );
+        List.map QCheck_alcotest.to_alcotest
+          [ no_cache; no_cycle; neither; full_load; hybrid_small; hybrid_medium ] );
       ( "semantic properties",
         List.map QCheck_alcotest.to_alcotest
           [

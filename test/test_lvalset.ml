@@ -1,0 +1,165 @@
+(* Property-based validation of the hybrid lval-set representation.
+
+   Every operation is checked against a reference model (OCaml's
+   [Set.Make (Int)]) under three pool thresholds — [max_int] (pure
+   sorted arrays), [4] (almost everything becomes a bitmap), and the
+   default — plus the pool invariants the solvers lean on: canonical
+   representation, physical sharing of equal sets, buffer non-retention
+   in [of_dyn], and the stamp-based distinctness protocol. *)
+
+open Cla_core
+module IS = Set.Make (Int)
+
+let model l = IS.of_list l
+let mk pool l = Lvalset.of_list pool l
+
+(* elements drawn from a small range so bitmap density is reachable,
+   mixed with an occasional large outlier to exercise sparse tails *)
+let elems =
+  QCheck.(
+    list_of_size Gen.(0 -- 150)
+      (map
+         (fun (big, x) -> if big then 5000 + (x mod 200) else x mod 300)
+         (pair bool (int_bound 100_000))))
+
+let thresholds = [ ("array", max_int); ("hybrid", 4); ("default", 64) ]
+
+let per_threshold name prop =
+  List.map
+    (fun (tn, th) ->
+      QCheck.Test.make ~count:200 ~name:(Fmt.str "%s [%s]" name tn) elems
+        (fun l -> prop (Lvalset.create_pool ~dense_threshold:th ()) l))
+    thresholds
+
+let contents_match =
+  per_threshold "of_list matches reference model" (fun pool l ->
+      let s = mk pool l and m = model l in
+      Lvalset.cardinal s = IS.cardinal m
+      && Lvalset.to_list s = IS.elements m
+      && IS.for_all (fun x -> Lvalset.mem x s) m
+      && (not (Lvalset.mem (-1) s))
+      && not (Lvalset.mem 200_001 s))
+
+let iter_ascending =
+  per_threshold "iter is ascending and complete" (fun pool l ->
+      let s = mk pool l in
+      let seen = ref [] in
+      Lvalset.iter (fun x -> seen := x :: !seen) s;
+      List.rev !seen = IS.elements (model l))
+
+let union_matches =
+  per_threshold "union matches reference model" (fun pool l ->
+      let n = List.length l / 2 in
+      let a = List.filteri (fun i _ -> i < n) l in
+      let b = List.filteri (fun i _ -> i >= n) l in
+      let u = Lvalset.union pool (mk pool a) (mk pool b) in
+      Lvalset.to_list u = IS.elements (IS.union (model a) (model b)))
+
+let union_many_matches =
+  per_threshold "union_many = fold of unions + raw buffer" (fun pool l ->
+      let third = max 1 (List.length l / 3) in
+      let part i = List.filteri (fun j _ -> j / third = i) l in
+      let sets = [| mk pool (part 0); mk pool (part 1); Lvalset.empty |] in
+      let buf = Array.of_list (part 2 @ part 2) in
+      let u = Lvalset.union_many pool sets 3 buf (Array.length buf) in
+      let expect = IS.union (model (part 0)) (IS.union (model (part 1)) (model (part 2))) in
+      Lvalset.to_list u = IS.elements expect)
+
+let diff_matches =
+  per_threshold "iter_diff visits exactly cur minus prev" (fun pool l ->
+      let n = List.length l / 2 in
+      let prev_l = List.filteri (fun i _ -> i < n) l in
+      let prev = mk pool prev_l in
+      let cur = Lvalset.union pool prev (mk pool l) in
+      let seen = ref IS.empty in
+      Lvalset.iter_diff ~prev cur (fun x -> seen := IS.add x !seen);
+      IS.equal !seen (IS.diff (model l) (model prev_l)))
+
+let physically_shared =
+  per_threshold "equal sets share one pooled representative" (fun pool l ->
+      let a = mk pool l and b = mk pool (List.rev l) in
+      a == b)
+
+let cross_representation_equal =
+  QCheck.Test.make ~count:200
+    ~name:"equal holds across array and bitmap pools" elems (fun l ->
+      let pa = Lvalset.create_pool ~dense_threshold:max_int () in
+      let pb = Lvalset.create_pool ~dense_threshold:4 () in
+      let a = mk pa l and b = mk pb l in
+      Lvalset.equal a b && Lvalset.equal b a
+      && (not (Lvalset.equal a (mk pb (0 :: List.map (fun x -> x + 1) l)))))
+
+let union_canonical =
+  (* a union's result must be the same pooled object as interning its
+     contents directly — canonicality across construction paths *)
+  per_threshold "union result is canonical" (fun pool l ->
+      let n = List.length l / 2 in
+      let a = List.filteri (fun i _ -> i < n) l in
+      let b = List.filteri (fun i _ -> i >= n) l in
+      Lvalset.union pool (mk pool a) (mk pool b) == mk pool l)
+
+let of_dyn_no_retention =
+  QCheck.Test.make ~count:200 ~name:"of_dyn never retains the buffer" elems
+    (fun l ->
+      let pool = Lvalset.create_pool ~dense_threshold:4 () in
+      let buf = Array.of_list l in
+      let s = Lvalset.of_dyn pool buf (Array.length buf) in
+      let before = Lvalset.to_list s in
+      Array.fill buf 0 (Array.length buf) (-42);
+      Lvalset.to_list s = before)
+
+let unit_tests =
+  let open Alcotest in
+  [
+    test_case "empty basics" `Quick (fun () ->
+        check int "cardinal" 0 (Lvalset.cardinal Lvalset.empty);
+        check bool "mem" false (Lvalset.mem 0 Lvalset.empty);
+        check bool "bitmap" false (Lvalset.is_bitmap Lvalset.empty);
+        check (list int) "to_list" [] (Lvalset.to_list Lvalset.empty));
+    test_case "try_stamp protocol" `Quick (fun () ->
+        let pool = Lvalset.create_pool () in
+        let s = Lvalset.of_list pool [ 3; 1; 2 ] in
+        check bool "fresh stamp answers" true (Lvalset.try_stamp s 7);
+        check bool "repeat stamp refused" false (Lvalset.try_stamp s 7);
+        check bool "new stamp answers" true (Lvalset.try_stamp s 8);
+        check bool "empty never stamps" false (Lvalset.try_stamp Lvalset.empty 9));
+    test_case "dense sets become bitmaps, sparse stay arrays" `Quick (fun () ->
+        let pool = Lvalset.create_pool ~dense_threshold:4 () in
+        let dense = Lvalset.of_list pool (List.init 40 Fun.id) in
+        check bool "dense is bitmap" true (Lvalset.is_bitmap dense);
+        let sparse = Lvalset.of_list pool (List.init 8 (fun i -> i * 10_000)) in
+        check bool "sparse stays array" false (Lvalset.is_bitmap sparse);
+        check int "dense cardinal" 40 (Lvalset.cardinal dense);
+        check int "sparse cardinal" 8 (Lvalset.cardinal sparse));
+    test_case "pool stats count hits and misses" `Quick (fun () ->
+        let pool = Lvalset.create_pool () in
+        ignore (Lvalset.of_list pool [ 1; 2 ]);
+        ignore (Lvalset.of_list pool [ 1; 2 ]);
+        ignore (Lvalset.of_list pool [ 3 ]);
+        let st = Lvalset.pool_stats pool in
+        check int "misses" 2 st.Lvalset.p_misses;
+        check int "hits" 1 st.Lvalset.p_hits;
+        Lvalset.flush_pool pool;
+        ignore (Lvalset.of_list pool [ 1; 2 ]);
+        let st = Lvalset.pool_stats pool in
+        check int "counters survive flush" 3 st.Lvalset.p_misses);
+    test_case "share returns the pooled representative" `Quick (fun () ->
+        let pool = Lvalset.create_pool () in
+        let a = Lvalset.share pool [| 1; 5; 9 |] in
+        let b = Lvalset.of_list pool [ 9; 1; 5 ] in
+        check bool "physical" true (a == b));
+  ]
+
+let () =
+  Alcotest.run "lvalset"
+    [
+      ("units", unit_tests);
+      ( "model properties",
+        List.map QCheck_alcotest.to_alcotest
+          (contents_match @ iter_ascending @ union_matches @ union_many_matches
+         @ diff_matches) );
+      ( "sharing and canonicality",
+        List.map QCheck_alcotest.to_alcotest
+          (physically_shared @ union_canonical
+          @ [ cross_representation_equal; of_dyn_no_retention ]) );
+    ]
