@@ -16,6 +16,11 @@
                solver and Pretrans.config cell, hybrid lval-sets vs the
                sorted-array baseline (writes BENCH_solver.json; any
                divergence from the baseline solution is a hard failure)
+     serve     serving sweep: shard count (--shards=N,N,...) x offered
+               load (--load=N,N,... concurrent closed-loop clients) over
+               an in-process server driven by the Servebench stream;
+               client-measured latency percentiles + throughput per cell
+               land in BENCH_serve.json (schema cla.bench.serve/v1)
 
    Every table prints the paper's reported row (p:) next to the measured
    row (m:).  Absolute times are not comparable (the paper used an 800MHz
@@ -46,10 +51,20 @@ let quick = ref false
 let budget = ref None
 let sections = ref []
 let jobs_sweep = ref [ 1; 2; 4 ]
+let serve_shards = ref [ 1; 2; 4 ]
+let serve_load = ref [ 2; 8 ]
 let solver_scale = ref None
 let check_against = ref None
 let check_hard = ref false
 let inject_divergence = ref false
+
+let int_list_arg s prefix tgt =
+  let body = String.sub s (String.length prefix) (String.length s - String.length prefix) in
+  match List.map int_of_string_opt (String.split_on_char ',' body) with
+  | js when js <> [] && List.for_all (function Some j -> j >= 1 | None -> false) js
+    ->
+      tgt := List.map Option.get js
+  | _ -> Fmt.epr "bad %s value %S, ignored@." prefix s
 
 let () =
   Array.iteri
@@ -70,6 +85,10 @@ let () =
             match int_of_string_opt (String.sub s 9 (String.length s - 9)) with
             | Some n when n > 0 -> budget := Some n
             | _ -> Fmt.epr "bad --budget value %S, ignored@." s)
+        | s when String.length s > 9 && String.sub s 0 9 = "--shards=" ->
+            int_list_arg s "--shards=" serve_shards
+        | s when String.length s > 7 && String.sub s 0 7 = "--load=" ->
+            int_list_arg s "--load=" serve_load
         | s when String.length s > 7 && String.sub s 0 7 = "--jobs=" -> (
             let body = String.sub s 7 (String.length s - 7) in
             match
@@ -920,6 +939,194 @@ let solver () =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* Serve: shard-count x offered-load sweep (BENCH_serve.json)          *)
+(* ------------------------------------------------------------------ *)
+
+(* Each cell boots an in-process server ([shards] solver replicas) and
+   drives it with the Servebench stream from [load] closed-loop client
+   threads; latency is measured client-side on the monotonic clock into
+   a Histo, so the percentiles carry the same bucket error bound as the
+   server's own telemetry.  Before shutdown the cell asks the live
+   server for a [stats] snapshot and embeds its merged latency block —
+   the before/after baseline the ROADMAP's shared-snapshot refactor
+   needs, and proof live introspection survives load. *)
+let serve () =
+  hr ();
+  Fmt.pr "SERVE: shard x load sweep (shards=%s, load=%s)@."
+    (String.concat "," (List.map string_of_int !serve_shards))
+    (String.concat "," (List.map string_of_int !serve_load));
+  hr ();
+  let module Sv = Cla_serve.Server in
+  let module Cl = Cla_serve.Client in
+  let module Pr = Cla_serve.Protocol in
+  let module D = Cla_resilience.Deadline in
+  let module H = Cla_obs.Histo in
+  let p =
+    Profile.scaled (if !quick then 0.05 else 0.1) Profile.nethack
+  in
+  let view = compiled p in
+  (* named program variables for the good queries *)
+  let vars =
+    let out = ref [] and count = ref 0 in
+    Array.iter
+      (fun (vi : Objfile.varinfo) ->
+        if
+          !count < 32 && vi.Objfile.vname <> ""
+          && (not (String.contains vi.Objfile.vname '$'))
+          && vi.Objfile.vkind <> Cla_ir.Var.Temp
+        then begin
+          incr count;
+          out := vi.Objfile.vname :: !out
+        end)
+      view.Objfile.rvars;
+    Array.of_list (List.rev !out)
+  in
+  if Array.length vars = 0 then failwith "serve: no named variables to query";
+  let n = if !quick then 80 else 240 in
+  let slow_ms = if !quick then 40 else 80 in
+  let rows = ref [] in
+  let cell_idx = ref 0 in
+  Fmt.pr "%-7s %-5s %6s %8s %10s %9s %9s %9s %9s  %s@." "shards" "load" "n"
+    "wall_s" "qps" "p50_ms" "p90_ms" "p99_ms" "max_ms" "ok/shed/tmo/err";
+  List.iter
+    (fun shards ->
+      List.iter
+        (fun load ->
+          incr cell_idx;
+          let socket =
+            Filename.concat
+              (Filename.get_temp_dir_name ())
+              (Fmt.str "cla-bs-%d-%d.sock" (Unix.getpid ()) !cell_idx)
+          in
+          let config =
+            {
+              Sv.default_config with
+              Sv.socket_path = socket;
+              shards;
+              allow_sleep = true;
+            }
+          in
+          let ready_m = Mutex.create () and ready_c = Condition.create () in
+          let handle = ref None in
+          let on_ready t =
+            Mutex.lock ready_m;
+            handle := Some t;
+            Condition.broadcast ready_c;
+            Mutex.unlock ready_m
+          in
+          let srv =
+            Thread.create (fun () -> ignore (Sv.run ~config ~on_ready view)) ()
+          in
+          Mutex.lock ready_m;
+          while !handle = None do
+            Condition.wait ready_c ready_m
+          done;
+          Mutex.unlock ready_m;
+          let queries =
+            Array.of_list
+              (Servebench.generate
+                 ~mix:{ Servebench.m_good = 8; m_poison = 1; m_slow = 1 }
+                 ~seed:(Int64.of_int (1000 + !cell_idx))
+                 ~n ~vars ~deadline_ms:2000 ~slow_ms ())
+          in
+          let histo = H.create () in
+          let next = Atomic.make 0 in
+          let results = Array.make n None in
+          let worker _ =
+            let rec loop () =
+              let i = Atomic.fetch_and_add next 1 in
+              if i < n then begin
+                let t0 = D.now_ns () in
+                let r = Cl.round_trip ~socket queries.(i).Servebench.q_line in
+                H.record histo (D.now_ns () - t0);
+                results.(i) <- Some r;
+                loop ()
+              end
+            in
+            loop ()
+          in
+          let t0 = D.now_s () in
+          let threads = List.init (max 1 load) (Thread.create worker) in
+          List.iter Thread.join threads;
+          let wall_s = D.now_s () -. t0 in
+          (* live introspection under this cell's residue, pre-shutdown *)
+          let stats_reply =
+            Cl.round_trip ~socket "{\"id\":0,\"op\":\"stats\"}"
+          in
+          (match !handle with Some t -> Sv.request_shutdown t | None -> ());
+          Thread.join srv;
+          let ok = ref 0 and shed = ref 0 and tmo = ref 0 and err = ref 0 in
+          let transport = ref 0 in
+          Array.iter
+            (function
+              | None -> ()
+              | Some (Error _) -> incr transport
+              | Some (Ok l) -> (
+                  match Pr.status_of_line l with
+                  | Pr.S_ok -> incr ok
+                  | Pr.S_shed -> incr shed
+                  | Pr.S_timeout -> incr tmo
+                  | Pr.S_error -> incr err
+                  | Pr.S_bye | Pr.S_malformed -> incr transport))
+            results;
+          let answered = !ok + !shed + !tmo + !err in
+          let qps = if wall_s > 0. then float_of_int answered /. wall_s else 0. in
+          let pms q = float_of_int (H.quantile histo q) /. 1e6 in
+          let server_latency =
+            match stats_reply with
+            | Error _ -> Json.Null
+            | Ok l -> (
+                match Json.of_string l with
+                | exception Json.Parse_error _ -> Json.Null
+                | j -> Option.value ~default:Json.Null (Json.member "latency" j))
+          in
+          Fmt.pr "%-7d %-5d %6d %8.3f %10.1f %9.3f %9.3f %9.3f %9.3f  %d/%d/%d/%d@."
+            shards load n wall_s qps (pms 0.5) (pms 0.9) (pms 0.99)
+            (float_of_int (H.max_value histo) /. 1e6)
+            !ok !shed !tmo !err;
+          rows :=
+            Json.Obj
+              [
+                ("shards", Json.Int shards);
+                ("load", Json.Int load);
+                ("n", Json.Int n);
+                ("wall_s", Json.Float wall_s);
+                ("throughput_qps", Json.Float qps);
+                ("ok", Json.Int !ok);
+                ("shed", Json.Int !shed);
+                ("timeout", Json.Int !tmo);
+                ("error", Json.Int !err);
+                ("transport_errors", Json.Int !transport);
+                ( "latency",
+                  Json.Obj
+                    [
+                      ("count", Json.Int (H.count histo));
+                      ("mean_ms", Json.Float (H.mean histo /. 1e6));
+                      ("p50_ms", Json.Float (pms 0.5));
+                      ("p90_ms", Json.Float (pms 0.9));
+                      ("p99_ms", Json.Float (pms 0.99));
+                      ("p999_ms", Json.Float (pms 0.999));
+                      ( "max_ms",
+                        Json.Float (float_of_int (H.max_value histo) /. 1e6) );
+                    ] );
+                ("server_latency", server_latency);
+              ]
+            :: !rows)
+        !serve_load)
+    !serve_shards;
+  Json.write_file "BENCH_serve.json"
+    (Json.Obj
+       [
+         ("schema", Json.Str "cla.bench.serve/v1");
+         ("quick", Json.Bool !quick);
+         ("profile", Json.Str p.Profile.name);
+         ("scale", Json.Float p.Profile.scale);
+         ("queries_per_cell", Json.Int n);
+         ("rows", Json.Arr (List.rev !rows));
+       ]);
+  Fmt.pr "wrote BENCH_serve.json (%d row(s))@." (List.length !rows)
+
 let () =
   let t0 = Unix.gettimeofday () in
   if want "table2" then table2 ();
@@ -932,6 +1139,7 @@ let () =
   if want "bechamel" then bechamel ();
   if want "parallel" then parallel ();
   if want "solver" then solver ();
+  if want "serve" then serve ();
   if !bench_rows <> [] then begin
     Json.write_file "BENCH_pipeline.json"
       (Json.Obj

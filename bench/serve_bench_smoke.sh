@@ -1,0 +1,63 @@
+#!/bin/sh
+# Serving-sweep smoke test: a tiny shard x load sweep must write a
+# schema-tagged BENCH_serve.json where every cell carries throughput and
+# latency percentile fields, with p50 <= p99 per cell (the quantile
+# walk is monotone; a violation means the histogram is broken).  Wired
+# into `dune runtest` (see bench/dune); takes the bench binary as $1.
+set -eu
+
+bench=${1:?usage: serve_bench_smoke.sh path/to/main.exe}
+case "$bench" in
+  /*) : ;;
+  *) bench=$(pwd)/$bench ;;
+esac
+
+dir=$(mktemp -d)
+trap 'rm -rf "$dir"' EXIT INT TERM
+cd "$dir"
+
+"$bench" --quick --shards=1,2 --load=2 serve >out.txt || {
+  echo "serve_bench_smoke.sh: bench serve failed" >&2
+  cat out.txt >&2
+  exit 1
+}
+
+grep -q 'cla\.bench\.serve/v1' BENCH_serve.json || {
+  echo "serve_bench_smoke.sh: schema missing from BENCH_serve.json" >&2
+  cat BENCH_serve.json >&2
+  exit 1
+}
+
+# every cell must carry the percentile fields and throughput
+cells=$(grep -c '"shards":' BENCH_serve.json)
+[ "$cells" -eq 2 ] || {
+  echo "serve_bench_smoke.sh: want 2 cells, got $cells" >&2
+  exit 1
+}
+for field in throughput_qps p50_ms p90_ms p99_ms p999_ms; do
+  n=$(grep -c "\"$field\":" BENCH_serve.json)
+  [ "$n" -ge "$cells" ] || {
+    echo "serve_bench_smoke.sh: field $field present in $n of $cells cells" >&2
+    cat BENCH_serve.json >&2
+    exit 1
+  }
+done
+
+# p50 <= p99 in every latency block (client-side and server-reported)
+awk '
+  /"p50_ms":/ { gsub(/[",]/, ""); p50 = $2 }
+  /"p99_ms":/ {
+    gsub(/[",]/, "");
+    if (p50 == "") { print "p99 before p50?"; exit 1 }
+    if (p50 + 0 > $2 + 0) {
+      printf "p50 %s > p99 %s\n", p50, $2; exit 1
+    }
+    p50 = ""
+  }
+' BENCH_serve.json || {
+  echo "serve_bench_smoke.sh: p50 > p99 in a latency block" >&2
+  cat BENCH_serve.json >&2
+  exit 1
+}
+
+echo "serve_bench_smoke.sh: ok"

@@ -9,7 +9,10 @@
 #      (exit 4) and `cla query --retry` rides the backoff to an answer;
 #   3. `cla serve-bench` drives a mixed good/poisoned/slow stream and
 #      must report zero transport errors and zero malformed replies;
-#   4. SIGTERM drains gracefully: the server exits 0 and prints its
+#   4. `cla stats` snapshots the live server without restarting it:
+#      uptime, per-shard latency percentiles, and the query counters
+#      the run just generated;
+#   5. SIGTERM drains gracefully: the server exits 0 and prints its
 #      final counters.
 # Wired into `dune runtest` (see bench/dune); takes the cla binary as $1.
 set -eu
@@ -93,7 +96,50 @@ wait "$slow_pid" || { echo "serve_smoke.sh: slow query failed" >&2; exit 1; }
   exit 1
 }
 
-# 4. graceful drain: exit 0, socket unlinked, counters printed
+# 4. live introspection: `cla stats` snapshots the running server.
+#    The table view must answer at all; the raw view must carry uptime,
+#    per-shard percentile blocks, and the counters the stream above
+#    just generated.  And the numbers must be sane: the server has
+#    answered dozens of queries by now, so serve.queries >= 40 and
+#    p50 <= p99 in every latency block.
+expect 0 "$cla" stats --socket s.sock
+"$cla" stats --socket s.sock --json > stats.json
+for field in '"uptime_s"' '"shards"' '"p50_ms"' '"p99_ms"' '"serve.queries"'; do
+  grep -q "$field" stats.json || {
+    echo "serve_smoke.sh: stats snapshot missing $field" >&2
+    cat stats.json >&2
+    exit 1
+  }
+done
+queries=$(sed -n 's/.*"serve\.queries": \([0-9]*\).*/\1/p' stats.json)
+[ -n "$queries" ] && [ "$queries" -ge 40 ] || {
+  echo "serve_smoke.sh: stats reports serve.queries=$queries, want >= 40" >&2
+  cat stats.json >&2
+  exit 1
+}
+awk '
+  BEGIN { RS = "," }
+  /"p50_ms":/ { gsub(/[^0-9.eE+-]/, "", $0); p50 = $0 }
+  /"p99_ms":/ {
+    gsub(/[^0-9.eE+-]/, "", $0)
+    if (p50 == "") { print "p99 before p50?"; exit 1 }
+    if (p50 + 0 > $0 + 0) { printf "p50 %s > p99 %s\n", p50, $0; exit 1 }
+    p50 = ""
+  }
+' stats.json || {
+  echo "serve_smoke.sh: p50 > p99 in a stats latency block" >&2
+  cat stats.json >&2
+  exit 1
+}
+# a verbose query must surface the server-side telemetry on stderr
+"$cla" query --socket s.sock --points-to p --verbose 2> verbose.err >/dev/null
+grep -q '^server: shard=' verbose.err || {
+  echo "serve_smoke.sh: query --verbose printed no server telemetry" >&2
+  cat verbose.err >&2
+  exit 1
+}
+
+# 5. graceful drain: exit 0, socket unlinked, counters printed
 kill -TERM "$srv_pid"
 rc=0
 wait "$srv_pid" || rc=$?

@@ -895,9 +895,27 @@ let serve_cmd =
              own domain, fed round-robin.  1 (the default) keeps the \
              single serialized solver.")
   in
+  let query_log =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "query-log" ] ~docv:"FILE"
+          ~doc:"Append one JSON line per finished query to $(docv).")
+  in
+  let ring =
+    Arg.(
+      value & opt int 256
+      & info [ "ring" ] ~docv:"N"
+          ~doc:
+            "Keep the last $(docv) queries in memory (feeds --trace and \
+             the serve.recent_total_us series).")
+  in
   let run db socket max_inflight max_queue default_deadline watchdog_grace
-      allow_sleep shards =
+      allow_sleep shards query_log ring obs =
     handle_errors (fun () ->
+        (* [--trace] here means the serving timeline (per-query lanes,
+           written by the server at drain), not the batch span tree *)
+        with_obs { obs with o_trace = None } @@ fun () ->
         let* () =
           if shards < 1 then
             err_input
@@ -916,6 +934,9 @@ let serve_cmd =
             watchdog_grace_ms = watchdog_grace;
             allow_sleep;
             shards;
+            query_log;
+            trace_path = obs.o_trace;
+            ring_capacity = max 1 ring;
           }
         in
         Fmt.pr "cla serve: %s on %s (inflight<=%d queue<=%d shards=%d)@." db
@@ -933,10 +954,12 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Serve points-to and alias queries over a linked database until \
-          SIGINT/SIGTERM, then drain gracefully.")
+          SIGINT/SIGTERM, then drain gracefully.  --stats/--stats-json \
+          report the merged per-shard latency histograms at exit; --trace \
+          writes the recent-query serving timeline.")
     Term.(
       const run $ db $ socket_arg $ max_inflight $ max_queue $ default_deadline
-      $ watchdog_grace $ allow_sleep $ shards)
+      $ watchdog_grace $ allow_sleep $ shards $ query_log $ ring $ obs_term)
 
 let query_cmd =
   let points_to =
@@ -972,6 +995,15 @@ let query_cmd =
       value & flag
       & info [ "fresh" ] ~doc:"Bypass the server's cached solution and re-solve.")
   in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "verbose"; "v" ]
+          ~doc:
+            "After the reply, print the server-reported timing (queue, \
+             solve, total), shard id, and ladder provenance for the \
+             answered query.")
+  in
   let retry =
     Arg.(
       value & flag
@@ -986,8 +1018,8 @@ let query_cmd =
       & info [ "attempts" ] ~docv:"N"
           ~doc:"Total tries with $(b,--retry), including the first.")
   in
-  let run socket points_to alias ping stats raw deadline_ms fresh retry attempts
-      =
+  let run socket points_to alias ping stats raw deadline_ms fresh verbose retry
+      attempts =
     handle_errors (fun () ->
         let base op extra =
           let fields =
@@ -1036,6 +1068,49 @@ let query_cmd =
                 Diag.exit_input )
         | Ok l -> (
             print_endline l;
+            if verbose then begin
+              (* server-reported per-query telemetry; absent on old
+                 servers and non-query ops, in which case say so *)
+              match Cla_obs.Json.of_string l with
+              | exception Cla_obs.Json.Parse_error _ -> ()
+              | j -> (
+                  let jf o k =
+                    Option.bind (Cla_obs.Json.member k o) Cla_obs.Json.to_float
+                  in
+                  let js o k =
+                    match Cla_obs.Json.member k o with
+                    | Some (Cla_obs.Json.Str s) -> Some s
+                    | _ -> None
+                  in
+                  match Cla_obs.Json.member "server" j with
+                  | Some srv ->
+                      let shard =
+                        Option.bind (Cla_obs.Json.member "shard" srv)
+                          Cla_obs.Json.to_int
+                      in
+                      let cache_hit =
+                        match Cla_obs.Json.member "cache_hit" srv with
+                        | Some (Cla_obs.Json.Bool b) -> b
+                        | _ -> false
+                      in
+                      Fmt.epr "server: shard=%s queue=%.3fms solve=%.3fms \
+                               total=%.3fms cache=%s rung=%s degraded=%b@."
+                        (match shard with
+                        | Some s when s >= 0 -> string_of_int s
+                        | _ -> "-")
+                        (Option.value ~default:0. (jf srv "queue_ms"))
+                        (Option.value ~default:0. (jf srv "solve_ms"))
+                        (Option.value ~default:0. (jf srv "server_ms"))
+                        (if cache_hit then "hit" else "miss")
+                        (Option.value ~default:"-" (js j "rung"))
+                        (match Cla_obs.Json.member "degraded" j with
+                        | Some (Cla_obs.Json.Bool b) -> b
+                        | _ -> false)
+                  | None ->
+                      Fmt.epr
+                        "server: no telemetry in reply (old server or \
+                         non-query op)@.")
+            end;
             match Cla_serve.Protocol.status_of_line l with
             | Cla_serve.Protocol.S_ok -> Ok ()
             | Cla_serve.Protocol.S_error -> Error ("query rejected", Diag.exit_input)
@@ -1054,7 +1129,106 @@ let query_cmd =
           rejected, 4 timed out or refused for capacity.")
     Term.(
       const run $ socket_arg $ points_to $ alias $ ping $ stats $ raw
-      $ deadline_ms $ fresh $ retry $ attempts)
+      $ deadline_ms $ fresh $ verbose $ retry $ attempts)
+
+(* Live server introspection: one stats round-trip rendered as the usual
+   metrics table (or raw JSON), optionally repeated --watch style.  The
+   reply is flattened into a private registry so Export.pp_table does
+   the rendering — the same look as --stats everywhere else. *)
+let stats_cmd =
+  let watch =
+    Arg.(
+      value & flag
+      & info [ "watch" ]
+          ~doc:"Refresh the snapshot every --interval-ms until interrupted.")
+  in
+  let interval_ms =
+    Arg.(
+      value & opt int 1000
+      & info [ "interval-ms" ] ~docv:"MS" ~doc:"Refresh period for --watch.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the raw stats reply instead of a table.")
+  in
+  let flatten_reply reg reply =
+    let rec go prefix (j : Cla_obs.Json.t) =
+      let join k = if prefix = "" then k else prefix ^ "." ^ k in
+      match j with
+      | Cla_obs.Json.Obj fields ->
+          List.iter (fun (k, v) -> go (join k) v) fields
+      | Cla_obs.Json.Arr items ->
+          List.iteri (fun i v -> go (join (string_of_int i)) v) items
+      | Cla_obs.Json.Int n -> Cla_obs.Metrics.set ~reg prefix n
+      | Cla_obs.Json.Float f -> Cla_obs.Metrics.setf ~reg prefix f
+      | Cla_obs.Json.Str s -> Cla_obs.Metrics.set_str ~reg prefix s
+      | Cla_obs.Json.Bool b ->
+          Cla_obs.Metrics.set_str ~reg prefix (string_of_bool b)
+      | Cla_obs.Json.Null -> ()
+    in
+    match reply with
+    | Cla_obs.Json.Obj fields ->
+        List.iter
+          (fun (k, v) ->
+            match k with
+            | "id" | "status" | "code" | "op" -> ()
+            | "counters" -> go "" v (* counters carry their own dotted names *)
+            | k -> go k v)
+          fields
+    | j -> go "" j
+  in
+  let snapshot ~socket ~json () =
+    let line =
+      Cla_obs.Json.to_string ~indent:false
+        (Cla_obs.Json.Obj
+           [
+             ("id", Cla_obs.Json.Int (Unix.getpid ()));
+             ("op", Cla_obs.Json.Str "stats");
+           ])
+    in
+    match Cla_serve.Client.round_trip ~socket line with
+    | Error e ->
+        Error
+          ( Fmt.str "%s (is `cla serve` running on %s?)"
+              (Cla_serve.Client.describe e) socket,
+            Diag.exit_input )
+    | Ok reply -> (
+        match Cla_serve.Protocol.status_of_line reply with
+        | Cla_serve.Protocol.S_ok ->
+            if json then print_endline reply
+            else begin
+              let reg = Cla_obs.Metrics.create () in
+              (match Cla_obs.Json.of_string reply with
+              | j -> flatten_reply reg j
+              | exception Cla_obs.Json.Parse_error _ -> ());
+              Fmt.pr "%a" (fun ppf () -> Cla_obs.Export.pp_table ~reg ppf ()) ()
+            end;
+            Ok ()
+        | _ -> Error ("server refused the stats query", Diag.exit_deadline))
+  in
+  let run socket watch interval_ms json =
+    handle_errors (fun () ->
+        if not watch then snapshot ~socket ~json ()
+        else
+          let rec loop () =
+            (* clear + home, like watch(1) *)
+            Fmt.pr "\027[2J\027[H";
+            let* () = snapshot ~socket ~json () in
+            Fmt.pr "%!";
+            Unix.sleepf (float_of_int (max 100 interval_ms) /. 1000.);
+            loop ()
+          in
+          loop ())
+    |> to_exit
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Fetch a live stats snapshot (uptime, inflight, per-shard \
+          counters and latency percentiles) from a running `cla serve` \
+          without restarting it.")
+    Term.(const run $ socket_arg $ watch $ interval_ms $ json)
 
 (* Drive a serve instance with Servebench's mixed good/poison/slow
    stream from [clients] threads and tally what comes back.  The checked
@@ -1194,7 +1368,7 @@ let main =
        ~doc:"Compile-link-analyze points-to and dependence analysis for C.")
     [
       compile_cmd; link_cmd; analyze_cmd; depend_cmd; transform_cmd; dump_cmd;
-      faults_cmd; gen_cmd; serve_cmd; query_cmd; serve_bench_cmd;
+      faults_cmd; gen_cmd; serve_cmd; query_cmd; stats_cmd; serve_bench_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

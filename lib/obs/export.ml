@@ -10,6 +10,7 @@ let metric_json : Metrics.value -> Json.t = function
   | Metrics.Float v -> Json.Float v
   | Metrics.Str v -> Json.Str v
   | Metrics.Series l -> Json.Arr (List.map (fun v -> Json.Int v) l)
+  | Metrics.Histo h -> Histo.to_json h
 
 let rec span_json (s : Span.t) : Json.t =
   Json.Obj
@@ -50,6 +51,7 @@ let pp_value ppf : Metrics.value -> unit = function
   | Metrics.Str v -> Fmt.string ppf v
   | Metrics.Series l ->
       Fmt.pf ppf "[%a]" Fmt.(list ~sep:(any " ") int) l
+  | Metrics.Histo h -> Histo.pp ppf h
 
 let rec pp_span depth ppf (s : Span.t) =
   Fmt.pf ppf "%s%-*s %8.3fs wall %8.3fs user %10.0f minor w %10.0f major w%s@."

@@ -1,0 +1,181 @@
+(** Fixed-size log-bucketed (HDR-style) histograms.
+
+    Layout: values in [0, linear_limit) get one bucket each; every
+    larger power-of-two octave [2^m, 2^(m+1)) is split into [sub]
+    equal sub-buckets, so bucket width / lower bound <= 1/sub — the
+    relative-error bound on quantile estimates.  The index function is
+    monotone in the value, which is what lets tests compare a quantile
+    estimate against an exact sorted-sample oracle bucket-for-bucket.
+
+    Counters are [Atomic.t], so [record] is lock-free: several domains
+    (server shards) and several systhreads within a domain (connection
+    handlers) can record into one histogram with no mutex and no lost
+    updates; readers pay the aggregation cost at snapshot time. *)
+
+let sub_bits = 5
+let sub = 1 lsl sub_bits (* 32 sub-buckets per octave *)
+let linear_limit = sub
+let relative_error = 1.0 /. float_of_int sub
+
+(* Octaves m = sub_bits .. 62 cover every non-negative OCaml int. *)
+let n_buckets = sub + ((62 - sub_bits + 1) * sub)
+
+type t = {
+  counts : int Atomic.t array;
+  count : int Atomic.t;
+  total : int Atomic.t;
+  min_v : int Atomic.t; (* max_int when empty *)
+  max_v : int Atomic.t; (* -1 when empty *)
+}
+
+let create () =
+  {
+    counts = Array.init n_buckets (fun _ -> Atomic.make 0);
+    count = Atomic.make 0;
+    total = Atomic.make 0;
+    min_v = Atomic.make max_int;
+    max_v = Atomic.make (-1);
+  }
+
+(* Position of the highest set bit of [v > 0]. *)
+let msb v =
+  let r = ref 0 and v = ref v in
+  if !v lsr 32 <> 0 then begin r := !r + 32; v := !v lsr 32 end;
+  if !v lsr 16 <> 0 then begin r := !r + 16; v := !v lsr 16 end;
+  if !v lsr 8 <> 0 then begin r := !r + 8; v := !v lsr 8 end;
+  if !v lsr 4 <> 0 then begin r := !r + 4; v := !v lsr 4 end;
+  if !v lsr 2 <> 0 then begin r := !r + 2; v := !v lsr 2 end;
+  if !v lsr 1 <> 0 then incr r;
+  !r
+
+let index v =
+  let v = if v < 0 then 0 else v in
+  if v < linear_limit then v
+  else
+    let m = msb v in
+    (* sub-bucket within the octave: the sub_bits bits below the msb *)
+    let j = (v lsr (m - sub_bits)) - sub in
+    sub + (((m - sub_bits) * sub) + j)
+
+let bounds i =
+  if i < linear_limit then (i, i + 1)
+  else
+    let o = (i - sub) / sub and j = (i - sub) mod sub in
+    let step = 1 lsl o in
+    let lo = (sub + j) * step in
+    (lo, lo + step)
+
+(* Saturating CAS loops for the extrema; uncontended in practice. *)
+let rec atomic_min a v =
+  let cur = Atomic.get a in
+  if v < cur && not (Atomic.compare_and_set a cur v) then atomic_min a v
+
+let rec atomic_max a v =
+  let cur = Atomic.get a in
+  if v > cur && not (Atomic.compare_and_set a cur v) then atomic_max a v
+
+let record t v =
+  let v = if v < 0 then 0 else v in
+  ignore (Atomic.fetch_and_add t.counts.(index v) 1);
+  ignore (Atomic.fetch_and_add t.count 1);
+  ignore (Atomic.fetch_and_add t.total v);
+  atomic_min t.min_v v;
+  atomic_max t.max_v v
+
+let count t = Atomic.get t.count
+let total t = Atomic.get t.total
+let min_value t = if count t = 0 then 0 else Atomic.get t.min_v
+let max_value t = if count t = 0 then 0 else Atomic.get t.max_v
+
+let mean t =
+  let n = count t in
+  if n = 0 then 0. else float_of_int (total t) /. float_of_int n
+
+(* Midpoint of bucket [i], clamped to the recorded extrema so estimates
+   never fall outside the observed range. *)
+let bucket_estimate t i =
+  let lo, hi = bounds i in
+  let mid = (lo + hi - 1) / 2 in
+  let mid = if mid < Atomic.get t.min_v then Atomic.get t.min_v else mid in
+  if Atomic.get t.max_v >= 0 && mid > Atomic.get t.max_v then
+    Atomic.get t.max_v
+  else mid
+
+let quantile t q =
+  let n = count t in
+  if n = 0 then 0
+  else begin
+    let q = if q < 0. then 0. else if q > 1. then 1. else q in
+    (* nearest-rank: 0-based index of the target observation *)
+    let rank =
+      let r = int_of_float (ceil (q *. float_of_int n)) - 1 in
+      if r < 0 then 0 else if r >= n then n - 1 else r
+    in
+    let cum = ref 0 and i = ref 0 and found = ref (n_buckets - 1) in
+    (try
+       while !i < n_buckets do
+         cum := !cum + Atomic.get t.counts.(!i);
+         if !cum > rank then begin
+           found := !i;
+           raise Exit
+         end;
+         incr i
+       done
+     with Exit -> ());
+    bucket_estimate t !found
+  end
+
+let buckets t =
+  let acc = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    let c = Atomic.get t.counts.(i) in
+    if c > 0 then acc := (i, c) :: !acc
+  done;
+  !acc
+
+let merge_into ~into src =
+  Array.iteri
+    (fun i c ->
+      let n = Atomic.get c in
+      if n > 0 then ignore (Atomic.fetch_and_add into.counts.(i) n))
+    src.counts;
+  ignore (Atomic.fetch_and_add into.count (count src));
+  ignore (Atomic.fetch_and_add into.total (total src));
+  atomic_min into.min_v (Atomic.get src.min_v);
+  atomic_max into.max_v (Atomic.get src.max_v)
+
+let merge a b =
+  let t = create () in
+  merge_into ~into:t a;
+  merge_into ~into:t b;
+  t
+
+let equal a b =
+  count a = count b && total a = total b
+  && min_value a = min_value b
+  && max_value a = max_value b
+  && buckets a = buckets b
+
+let to_json t =
+  Json.Obj
+    [
+      ("count", Json.Int (count t));
+      ("min", Json.Int (min_value t));
+      ("max", Json.Int (max_value t));
+      ("mean", Json.Float (mean t));
+      ("p50", Json.Int (quantile t 0.5));
+      ("p90", Json.Int (quantile t 0.9));
+      ("p99", Json.Int (quantile t 0.99));
+      ("p999", Json.Int (quantile t 0.999));
+      ( "buckets",
+        Json.Arr
+          (List.map
+             (fun (i, c) -> Json.Arr [ Json.Int i; Json.Int c ])
+             (buckets t)) );
+    ]
+
+let pp ppf t =
+  if count t = 0 then Format.fprintf ppf "empty"
+  else
+    Format.fprintf ppf "count=%d p50=%d p90=%d p99=%d max=%d" (count t)
+      (quantile t 0.5) (quantile t 0.9) (quantile t 0.99) (max_value t)

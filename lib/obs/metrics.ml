@@ -16,19 +16,54 @@ type value =
   | Int of int  (** counters and integer gauges *)
   | Float of float  (** float gauges (seconds, ratios) *)
   | Str of string  (** labels (profile names, algorithm names) *)
-  | Series of int list  (** per-pass counter series, oldest first *)
+  | Series of int list  (** observation series, oldest first *)
+  | Histo of Histo.t  (** log-bucketed latency histogram *)
 
 let kind_name = function
   | Int _ -> "int"
   | Float _ -> "float"
   | Str _ -> "string"
   | Series _ -> "series"
+  | Histo _ -> "histogram"
+
+(* Series are accumulated newest-first with a length counter so
+   [observe] is O(1) — the seed implementation's [l @ [v]] was O(n) per
+   observation and grew without bound, which leaks in a long-running
+   [cla serve].  A capped series keeps (at least) the [cap] most recent
+   observations and compacts lazily at 2*cap, so the bound costs
+   amortized O(1) too. *)
+type series_acc = {
+  mutable sa_rev : int list; (* newest first *)
+  mutable sa_len : int;
+  mutable sa_cap : int option;
+}
+
+type entry = Plain of value | Acc of series_acc
+
+let entry_kind = function
+  | Plain v -> kind_name v
+  | Acc _ -> kind_name (Series [])
+
+let rec take n = function
+  | x :: rest when n > 0 -> x :: take (n - 1) rest
+  | _ -> []
+
+let materialize = function
+  | Plain v -> v
+  | Acc a ->
+      let rev =
+        match a.sa_cap with
+        | Some cap when a.sa_len > cap -> take cap a.sa_rev
+        | _ -> a.sa_rev
+      in
+      Series (List.rev rev)
 
 (* The mutex makes a registry safe to publish into from worker domains
    (parallel compile tasks bump [compile.units], sharded solvers publish
    [analyze.*]); contention is negligible next to the work being
-   measured. *)
-type t = { tbl : (string, value) Hashtbl.t; lock : Mutex.t }
+   measured.  Hot serving paths avoid even that: they fetch a [Histo]
+   handle once via {!histo} and record through its lock-free counters. *)
+type t = { tbl : (string, entry) Hashtbl.t; lock : Mutex.t }
 
 let create () = { tbl = Hashtbl.create 64; lock = Mutex.create () }
 
@@ -47,18 +82,19 @@ let locked reg f =
 
 let same_kind a b =
   match (a, b) with
-  | Int _, Int _ | Float _, Float _ | Str _, Str _ | Series _, Series _ ->
+  | Int _, Int _ | Float _, Float _ | Str _, Str _ | Series _, Series _
+  | Histo _, Histo _ ->
       true
   | _ -> false
 
 let put reg name v =
   locked reg @@ fun () ->
   match Hashtbl.find_opt reg.tbl name with
-  | Some old when not (same_kind old v) ->
+  | Some old when not (same_kind (materialize old) v) ->
       invalid_arg
         (Printf.sprintf "Metrics: %S is a %s metric, cannot rebind as %s"
-           name (kind_name old) (kind_name v))
-  | _ -> Hashtbl.replace reg.tbl name v
+           name (entry_kind old) (kind_name v))
+  | _ -> Hashtbl.replace reg.tbl name (Plain v)
 
 let set ?(reg = default) name v = put reg name (Int v)
 let setf ?(reg = default) name v = put reg name (Float v)
@@ -68,27 +104,61 @@ let set_series ?(reg = default) name v = put reg name (Series v)
 let incr ?(reg = default) ?(by = 1) name =
   locked reg @@ fun () ->
   match Hashtbl.find_opt reg.tbl name with
-  | None -> Hashtbl.replace reg.tbl name (Int by)
-  | Some (Int v) -> Hashtbl.replace reg.tbl name (Int (v + by))
+  | None -> Hashtbl.replace reg.tbl name (Plain (Int by))
+  | Some (Plain (Int v)) -> Hashtbl.replace reg.tbl name (Plain (Int (v + by)))
   | Some old ->
       invalid_arg
         (Printf.sprintf "Metrics: %S is a %s metric, cannot incr" name
-           (kind_name old))
+           (entry_kind old))
 
 (** Append one observation to a series (creating it if absent).  Series
-    are kept oldest-first. *)
-let observe ?(reg = default) name v =
+    are kept oldest-first.  [cap], when given, bounds the series to its
+    most recent [cap] observations (and sticks for later uncapped
+    observes) — serve-path series must pass it, or a long-running server
+    accumulates forever. *)
+let observe ?(reg = default) ?cap name v =
   locked reg @@ fun () ->
   match Hashtbl.find_opt reg.tbl name with
-  | None -> Hashtbl.replace reg.tbl name (Series [ v ])
-  | Some (Series l) -> Hashtbl.replace reg.tbl name (Series (l @ [ v ]))
+  | None ->
+      Hashtbl.replace reg.tbl name
+        (Acc { sa_rev = [ v ]; sa_len = 1; sa_cap = cap })
+  | Some (Acc a) ->
+      (match cap with Some _ -> a.sa_cap <- cap | None -> ());
+      a.sa_rev <- v :: a.sa_rev;
+      a.sa_len <- a.sa_len + 1;
+      (match a.sa_cap with
+      | Some c when a.sa_len >= 2 * c && c > 0 ->
+          a.sa_rev <- take c a.sa_rev;
+          a.sa_len <- c
+      | _ -> ())
+  | Some (Plain (Series l)) ->
+      (* a series published whole via [set_series] keeps accumulating *)
+      Hashtbl.replace reg.tbl name
+        (Acc { sa_rev = v :: List.rev l; sa_len = List.length l + 1; sa_cap = cap })
   | Some old ->
       invalid_arg
         (Printf.sprintf "Metrics: %S is a %s metric, cannot observe" name
-           (kind_name old))
+           (entry_kind old))
+
+(** The histogram registered under [name], created on first use — fetch
+    the handle once and record through it: {!Histo.record} is lock-free,
+    so the registry mutex is never touched on the recording path. *)
+let histo ?(reg = default) name =
+  locked reg @@ fun () ->
+  match Hashtbl.find_opt reg.tbl name with
+  | Some (Plain (Histo h)) -> h
+  | None ->
+      let h = Histo.create () in
+      Hashtbl.replace reg.tbl name (Plain (Histo h));
+      h
+  | Some old ->
+      invalid_arg
+        (Printf.sprintf "Metrics: %S is a %s metric, cannot use as histogram"
+           name (entry_kind old))
 
 let find ?(reg = default) name =
-  locked reg @@ fun () -> Hashtbl.find_opt reg.tbl name
+  locked reg @@ fun () ->
+  Option.map materialize (Hashtbl.find_opt reg.tbl name)
 
 let get_int ?(reg = default) name =
   match find ~reg name with Some (Int v) -> Some v | _ -> None
@@ -96,9 +166,47 @@ let get_int ?(reg = default) name =
 let get_series ?(reg = default) name =
   match find ~reg name with Some (Series l) -> Some l | _ -> None
 
+let get_histo ?(reg = default) name =
+  match find ~reg name with Some (Histo h) -> Some h | _ -> None
+
 (** All metrics, sorted by name — the stable export order. *)
 let snapshot ?(reg = default) () =
-  locked reg (fun () -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) reg.tbl [])
+  locked reg (fun () ->
+      Hashtbl.fold (fun k v acc -> (k, materialize v) :: acc) reg.tbl [])
   |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(** Fold every metric of [src] into [into] (used to merge per-shard
+    server registries at snapshot time): [Int]s add, [Float]s add,
+    [Series] concatenate (src appended), [Histo]s merge, [Str] keeps
+    [into]'s binding when both exist.  Same-name kind mismatches raise
+    [Invalid_argument], like every other registry operation. *)
+let merge_into ~into src =
+  let entries = snapshot ~reg:src () in
+  List.iter
+    (fun (name, v) ->
+      locked into @@ fun () ->
+      match (Hashtbl.find_opt into.tbl name, v) with
+      | None, Histo h ->
+          (* never share the live histogram: [into] gets its own copy *)
+          let fresh = Histo.create () in
+          Histo.merge_into ~into:fresh h;
+          Hashtbl.replace into.tbl name (Plain (Histo fresh))
+      | None, v -> Hashtbl.replace into.tbl name (Plain v)
+      | Some old, v -> (
+          match (materialize old, v) with
+          | Int a, Int b -> Hashtbl.replace into.tbl name (Plain (Int (a + b)))
+          | Float a, Float b ->
+              Hashtbl.replace into.tbl name (Plain (Float (a +. b)))
+          | Str _, Str _ -> ()
+          | Series a, Series b ->
+              Hashtbl.replace into.tbl name (Plain (Series (a @ b)))
+          | Histo a, Histo b -> Histo.merge_into ~into:a b
+          | old_v, v ->
+              invalid_arg
+                (Printf.sprintf
+                   "Metrics.merge_into: %S is a %s metric in the target, \
+                    cannot merge a %s"
+                   name (kind_name old_v) (kind_name v))))
+    entries
 
 let reset ?(reg = default) () = locked reg @@ fun () -> Hashtbl.reset reg.tbl

@@ -9,13 +9,17 @@
 
     Every operation is protected by a per-registry mutex, so worker
     domains (parallel compile tasks, sharded solver replicas) may
-    publish into the same registry as the main domain. *)
+    publish into the same registry as the main domain.  Hot serving
+    paths sidestep even that: {!histo} hands out a lock-free
+    {!Histo.t} handle once, and recording through it never touches the
+    registry mutex. *)
 
 type value =
   | Int of int  (** counters and integer gauges *)
   | Float of float  (** float gauges (seconds, ratios) *)
   | Str of string  (** labels (profile names, algorithm names) *)
   | Series of int list  (** per-pass counter series, oldest first *)
+  | Histo of Histo.t  (** log-bucketed latency histogram *)
 
 type t
 
@@ -33,14 +37,35 @@ val set_series : ?reg:t -> string -> int list -> unit
 (** Add [by] (default 1) to an [Int] metric, creating it at [by]. *)
 val incr : ?reg:t -> ?by:int -> string -> unit
 
-(** Append one observation to a [Series] metric, creating it if absent. *)
-val observe : ?reg:t -> string -> int -> unit
+(** Append one observation to a [Series] metric, creating it if absent.
+    [observe] is O(1) amortized regardless of series length.  [cap],
+    when given, bounds the series to its most recent [cap] observations
+    (the bound sticks for later uncapped observes on the same name) —
+    series fed from a long-running server must pass it or they grow
+    without bound. *)
+val observe : ?reg:t -> ?cap:int -> string -> int -> unit
+
+(** [histo name] is the histogram registered under [name], created on
+    first use.  Fetch the handle once and record through it —
+    {!Histo.record} is lock-free, so the registry mutex is never touched
+    on the recording path.  Raises [Invalid_argument] if [name] is bound
+    to a different kind. *)
+val histo : ?reg:t -> string -> Histo.t
 
 val find : ?reg:t -> string -> value option
 val get_int : ?reg:t -> string -> int option
 val get_series : ?reg:t -> string -> int list option
+val get_histo : ?reg:t -> string -> Histo.t option
 
 (** All metrics, sorted by name — the stable export order. *)
 val snapshot : ?reg:t -> unit -> (string * value) list
+
+(** [merge_into ~into src] folds every metric of [src] into [into]:
+    [Int]/[Float] add, [Series] concatenate, [Histo]s merge (into a
+    private copy, never sharing [src]'s live counters), [Str] keeps the
+    target's binding.  Used to aggregate per-shard server registries at
+    snapshot time.  Raises [Invalid_argument] on a same-name kind
+    mismatch. *)
+val merge_into : into:t -> t -> unit
 
 val reset : ?reg:t -> unit -> unit

@@ -5,7 +5,7 @@
     timestamps relative to the earliest root span; GC word deltas and the
     optional label ride along in [args]. *)
 
-let rec events t0 (s : Span.t) acc =
+let rec events ?(tid = 1) t0 (s : Span.t) acc =
   let args =
     (match s.Span.label with
     | Some l -> [ ("label", Json.Str l) ]
@@ -25,11 +25,11 @@ let rec events t0 (s : Span.t) acc =
         ("ts", Json.Float ((s.Span.start_s -. t0) *. 1e6));
         ("dur", Json.Float (s.Span.wall_s *. 1e6));
         ("pid", Json.Int 1);
-        ("tid", Json.Int 1);
+        ("tid", Json.Int tid);
         ("args", Json.Obj args);
       ]
   in
-  List.fold_left (fun acc c -> events t0 c acc) (ev :: acc) s.Span.children
+  List.fold_left (fun acc c -> events ~tid t0 c acc) (ev :: acc) s.Span.children
 
 let to_json (spans : Span.t list) : Json.t =
   let t0 =
@@ -46,3 +46,23 @@ let to_json (spans : Span.t list) : Json.t =
     ]
 
 let write path spans = Json.write_file path (to_json spans)
+
+(* Serving traces are lane-addressed: one Chrome thread row per shard, so
+   the per-shard interleaving of queries is visible at a glance. *)
+let to_json_lanes (spans : (int * Span.t) list) : Json.t =
+  let t0 =
+    List.fold_left
+      (fun acc (_, (s : Span.t)) -> Float.min acc s.Span.start_s)
+      Float.infinity spans
+  in
+  let t0 = if Float.is_finite t0 then t0 else 0. in
+  let evs =
+    List.fold_left (fun acc (lane, s) -> events ~tid:lane t0 s acc) [] spans
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.Arr (List.rev evs));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let write_lanes path spans = Json.write_file path (to_json_lanes spans)

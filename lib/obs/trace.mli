@@ -7,3 +7,9 @@ val to_json : Span.t list -> Json.t
 
 (** Write the trace document (plus trailing newline) to [path]. *)
 val write : string -> Span.t list -> unit
+
+(** Lane-addressed variant for serving traces: each [(lane, span)] pair
+    renders on Chrome thread row [lane] (one row per server shard). *)
+val to_json_lanes : (int * Span.t) list -> Json.t
+
+val write_lanes : string -> (int * Span.t) list -> unit

@@ -14,3 +14,14 @@ CAMLprim value cla_monotonic_now_s(value unit)
   clock_gettime(CLOCK_MONOTONIC, &ts);
   return caml_copy_double((double) ts.tv_sec + (double) ts.tv_nsec * 1e-9);
 }
+
+/* Integer nanoseconds for latency histograms: a double holds ns exactly
+   only up to 2^53 (~104 days of uptime); a 63-bit OCaml int holds ns
+   for ~292 years and allocates nothing. */
+CAMLprim value cla_monotonic_now_ns(value unit)
+{
+  struct timespec ts;
+  (void) unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((long) ts.tv_sec * 1000000000L + (long) ts.tv_nsec);
+}

@@ -9,6 +9,7 @@
     remaining slice of the original budget. *)
 
 external now_s : unit -> float = "cla_monotonic_now_s"
+external now_ns : unit -> int = "cla_monotonic_now_ns" [@@noalloc]
 
 type t = float (* absolute monotonic expiry; [infinity] = never *)
 

@@ -19,6 +19,11 @@ val is_never : t -> bool
 (** Monotonic now, in seconds (the clock deadlines are measured on). *)
 val now_s : unit -> float
 
+(** Monotonic now, in integer nanoseconds — the timestamp source for
+    latency histograms.  Allocation-free, and exact where a double
+    derived from {!now_s} would round past ~104 days of uptime. *)
+val now_ns : unit -> int
+
 (** A deadline [seconds] from now (negative values clamp to "already
     expired"). *)
 val after : seconds:float -> t

@@ -95,38 +95,68 @@ let resp id status code extra =
        :: ("code", Json.Int code)
        :: extra))
 
-let ok_points_to ~id ~rung ~degraded ~var ~targets =
-  resp id "ok" 200
+(* Per-query server-side telemetry, attached to ok responses under a
+   "server" field.  Additive: clients that predate it ignore unknown
+   fields, so old clients keep working against new servers. *)
+type telemetry = {
+  t_shard : int;  (** -1 when answered without a shard (single mode) *)
+  t_queue_ms : float;
+  t_solve_ms : float;
+  t_server_ms : float;
+  t_cache_hit : bool;
+}
+
+let telemetry_json t =
+  Json.Obj
     [
-      ("op", Json.Str "points-to");
-      ("var", Json.Str var);
-      ("rung", Json.Str rung);
-      ("degraded", Json.Bool degraded);
-      ("targets", Json.Arr (List.map (fun s -> Json.Str s) targets));
+      ("shard", Json.Int t.t_shard);
+      ("queue_ms", Json.Float t.t_queue_ms);
+      ("solve_ms", Json.Float t.t_solve_ms);
+      ("server_ms", Json.Float t.t_server_ms);
+      ("cache_hit", Json.Bool t.t_cache_hit);
     ]
 
-let ok_alias ~id ~rung ~degraded ~var ~var2 ~aliased =
+let telemetry_field = function
+  | None -> []
+  | Some t -> [ ("server", telemetry_json t) ]
+
+let ok_points_to ~id ?telemetry ~rung ~degraded ~var ~targets () =
   resp id "ok" 200
-    [
-      ("op", Json.Str "alias");
-      ("var", Json.Str var);
-      ("var2", Json.Str var2);
-      ("rung", Json.Str rung);
-      ("degraded", Json.Bool degraded);
-      ("aliased", Json.Bool aliased);
-    ]
+    ([
+       ("op", Json.Str "points-to");
+       ("var", Json.Str var);
+       ("rung", Json.Str rung);
+       ("degraded", Json.Bool degraded);
+       ("targets", Json.Arr (List.map (fun s -> Json.Str s) targets));
+     ]
+    @ telemetry_field telemetry)
+
+let ok_alias ~id ?telemetry ~rung ~degraded ~var ~var2 ~aliased () =
+  resp id "ok" 200
+    ([
+       ("op", Json.Str "alias");
+       ("var", Json.Str var);
+       ("var2", Json.Str var2);
+       ("rung", Json.Str rung);
+       ("degraded", Json.Bool degraded);
+       ("aliased", Json.Bool aliased);
+     ]
+    @ telemetry_field telemetry)
 
 let ok_ping ~id = resp id "ok" 200 [ ("op", Json.Str "ping") ]
 
 let ok_sleep ~id ~ms =
   resp id "ok" 200 [ ("op", Json.Str "sleep"); ("ms", Json.Int ms) ]
 
-let ok_stats ~id counters =
+(* [extra] carries the live-introspection payload (uptime, inflight,
+   per-shard percentiles) next to the flat counters kept for old
+   clients. *)
+let ok_stats ~id ?(extra = []) counters =
   resp id "ok" 200
-    [
-      ("op", Json.Str "stats");
-      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) counters));
-    ]
+    (( "op", Json.Str "stats")
+    :: ( "counters",
+         Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) counters) )
+    :: extra)
 
 let timeout ~id ~at_pass ~elapsed_ms ~detail =
   resp id "timeout" 504

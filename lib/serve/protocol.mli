@@ -25,26 +25,44 @@ type request = {
     correlated. *)
 val parse : string -> (request, Json.t * string) result
 
+(** Per-query server-side timing, attached to ok responses under a
+    ["server"] field.  Additive — old clients ignore it. *)
+type telemetry = {
+  t_shard : int;  (** -1 when answered without a shard (single mode) *)
+  t_queue_ms : float;
+  t_solve_ms : float;
+  t_server_ms : float;
+  t_cache_hit : bool;
+}
+
 val ok_points_to :
   id:Json.t ->
+  ?telemetry:telemetry ->
   rung:string ->
   degraded:bool ->
   var:string ->
   targets:string list ->
+  unit ->
   string
 
 val ok_alias :
   id:Json.t ->
+  ?telemetry:telemetry ->
   rung:string ->
   degraded:bool ->
   var:string ->
   var2:string ->
   aliased:bool ->
+  unit ->
   string
 
 val ok_ping : id:Json.t -> string
 val ok_sleep : id:Json.t -> ms:int -> string
-val ok_stats : id:Json.t -> (string * int) list -> string
+
+(** [extra] rides next to the flat [counters] object (kept for old
+    clients): uptime, inflight, per-shard percentile blocks. *)
+val ok_stats :
+  id:Json.t -> ?extra:(string * Json.t) list -> (string * int) list -> string
 
 val timeout :
   id:Json.t -> at_pass:int -> elapsed_ms:float -> detail:string -> string

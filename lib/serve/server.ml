@@ -39,6 +39,9 @@ type config = {
   watchdog_grace_ms : int;  (** cancel fires this long after the deadline *)
   allow_sleep : bool;  (** enable the debug [sleep] op (load tests) *)
   shards : int;  (** solver replicas, each on its own domain; 1 = in-thread *)
+  query_log : string option;  (** JSONL sink, one line per query *)
+  trace_path : string option;  (** Chrome trace of recent queries at drain *)
+  ring_capacity : int;  (** recent-query ring (query log + trace + series) *)
 }
 
 let default_config =
@@ -51,6 +54,9 @@ let default_config =
     watchdog_grace_ms = 200;
     allow_sleep = false;
     shards = 1;
+    query_log = None;
+    trace_path = None;
+    ring_capacity = 256;
   }
 
 type stats = {
@@ -78,6 +84,32 @@ let stats_counters s =
     ("serve.connections", s.s_connections);
   ]
 
+(* Per-query telemetry, filled in as the query moves through admission,
+   dispatch and solve; durations in monotonic nanoseconds
+   ([R.Deadline.now_ns]). *)
+type qctx = {
+  mutable qc_shard : int;  (* -1: answered without a shard *)
+  mutable qc_queue_ns : int;  (* admission wait *)
+  mutable qc_solve_ns : int;  (* 0 when no solve ran (cache hit, ping) *)
+  mutable qc_cache_hit : bool;
+  mutable qc_rung : string;  (* "" when no ladder ran *)
+  mutable qc_degraded : bool;
+}
+
+(* One finished query, as kept in the recent ring / query log / trace. *)
+type query_event = {
+  qe_start_ns : int;  (* monotonic *)
+  qe_op : string;
+  qe_outcome : string;  (* ok / shed / timeout / error / bye *)
+  qe_shard : int;
+  qe_queue_ns : int;
+  qe_solve_ns : int;
+  qe_total_ns : int;
+  qe_rung : string;
+  qe_degraded : bool;
+  qe_cache_hit : bool;
+}
+
 (* One query handed to a solver shard.  The submitting connection thread
    polls [j_reply] (2ms, the server's polling idiom); before the shard
    picks the job up ([j_started]) the waiter may abandon it on its own
@@ -88,6 +120,8 @@ type job = {
   j_fresh : bool;
   j_m : Mutex.t;
   mutable j_started : bool;
+  mutable j_cache_hit : bool;
+  mutable j_solve_ns : int;
   mutable j_reply : (Pipeline.ladder_outcome, R.Progress.t) result option;
 }
 
@@ -96,6 +130,7 @@ type job = {
    solve truly concurrently — systhreads share one runtime lock per
    domain, which is why replicas must be domains to parallelize. *)
 type shard = {
+  sh_id : int;
   sh_m : Mutex.t;
   sh_c : Condition.t;
   sh_q : job Queue.t;
@@ -126,12 +161,138 @@ type t = {
   stopped : bool Atomic.t;  (* watchdog terminator, set after drain *)
   conns_m : Mutex.t;
   mutable live_conns : int;
+  (* telemetry: one registry per shard (index 0 doubles as the
+     single-mode registry) so recording never touches the global
+     [Metrics.default] mutex; histogram handles are fetched once here so
+     the per-query path is lock-free atomic increments *)
+  started_s : float;  (* monotonic, for uptime *)
+  shard_regs : Cla_obs.Metrics.t array;
+  lat_h : Cla_obs.Histo.t array;  (* total latency, ns *)
+  queue_h : Cla_obs.Histo.t array;  (* admission wait, ns *)
+  solve_h : Cla_obs.Histo.t array;  (* solver wall, ns *)
+  tel_m : Mutex.t;  (* ring + query-log writes *)
+  ring : query_event option array;
+  mutable ring_pos : int;
+  mutable ring_len : int;
+  log_oc : out_channel option;
 }
 
 let bump t f =
   Mutex.lock t.stats_m;
   f t.stats;
   Mutex.unlock t.stats_m
+
+(* ------------------------------------------------------------------ *)
+(* Per-query telemetry                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let op_name = function
+  | Protocol.Points_to _ -> "points-to"
+  | Protocol.Alias _ -> "alias"
+  | Protocol.Ping -> "ping"
+  | Protocol.Stats -> "stats"
+  | Protocol.Sleep _ -> "sleep"
+
+let event_json ev =
+  Json.Obj
+    [
+      ("ts_s", Json.Float (float_of_int ev.qe_start_ns /. 1e9));
+      ("op", Json.Str ev.qe_op);
+      ("outcome", Json.Str ev.qe_outcome);
+      ("shard", Json.Int ev.qe_shard);
+      ("queue_us", Json.Int (ev.qe_queue_ns / 1000));
+      ("solve_us", Json.Int (ev.qe_solve_ns / 1000));
+      ("total_us", Json.Int (ev.qe_total_ns / 1000));
+      ("rung", Json.Str ev.qe_rung);
+      ("degraded", Json.Bool ev.qe_degraded);
+      ("cache_hit", Json.Bool ev.qe_cache_hit);
+    ]
+
+(* Record one finished query: per-shard histograms (lock-free), the
+   bounded recent-series, the ring, and the JSONL sink.  Events from a
+   query no shard answered (ping, shed, parse errors) attribute to
+   registry 0. *)
+let record_event t ev =
+  let i = if ev.qe_shard >= 0 then ev.qe_shard else 0 in
+  Cla_obs.Histo.record t.lat_h.(i) ev.qe_total_ns;
+  Cla_obs.Histo.record t.queue_h.(i) ev.qe_queue_ns;
+  if ev.qe_solve_ns > 0 then Cla_obs.Histo.record t.solve_h.(i) ev.qe_solve_ns;
+  Cla_obs.Metrics.observe ~reg:t.shard_regs.(i)
+    ~cap:(max 1 t.cfg.ring_capacity)
+    "serve.recent_total_us" (ev.qe_total_ns / 1000);
+  Mutex.lock t.tel_m;
+  let cap = Array.length t.ring in
+  if cap > 0 then begin
+    t.ring.(t.ring_pos) <- Some ev;
+    t.ring_pos <- (t.ring_pos + 1) mod cap;
+    if t.ring_len < cap then t.ring_len <- t.ring_len + 1
+  end;
+  (match t.log_oc with
+  | Some oc ->
+      output_string oc (Json.to_string ~indent:false (event_json ev));
+      output_char oc '\n';
+      flush oc
+  | None -> ());
+  Mutex.unlock t.tel_m
+
+(* Ring contents, oldest first. *)
+let ring_events t =
+  Mutex.lock t.tel_m;
+  let cap = Array.length t.ring in
+  let out = ref [] in
+  for k = t.ring_len - 1 downto 0 do
+    let idx = (t.ring_pos - t.ring_len + k + (2 * cap)) mod cap in
+    match t.ring.(idx) with Some ev -> out := ev :: !out | None -> ()
+  done;
+  Mutex.unlock t.tel_m;
+  !out
+
+(* Percentile block for one histogram of nanoseconds, reported in ms. *)
+let pct_json h =
+  let ms v = Json.Float (float_of_int v /. 1e6) in
+  Json.Obj
+    [
+      ("count", Json.Int (Cla_obs.Histo.count h));
+      ("mean_ms", Json.Float (Cla_obs.Histo.mean h /. 1e6));
+      ("p50_ms", ms (Cla_obs.Histo.quantile h 0.5));
+      ("p90_ms", ms (Cla_obs.Histo.quantile h 0.9));
+      ("p99_ms", ms (Cla_obs.Histo.quantile h 0.99));
+      ("p999_ms", ms (Cla_obs.Histo.quantile h 0.999));
+      ("max_ms", ms (Cla_obs.Histo.max_value h));
+    ]
+
+(* The live-introspection payload of the [stats] op: uptime, admission
+   occupancy, per-shard percentile blocks, and the merged latency
+   distribution.  Histograms are merged at snapshot time only — this is
+   the one place the per-shard data meets. *)
+let stats_extra t =
+  let uptime_s = R.Deadline.now_s () -. t.started_s in
+  Mutex.lock t.adm_m;
+  let inflight = t.inflight and waiting = t.waiting in
+  Mutex.unlock t.adm_m;
+  let shard_json i =
+    Json.Obj
+      [
+        ("shard", Json.Int i);
+        ( "solves",
+          Json.Int
+            (Option.value ~default:0
+               (Cla_obs.Metrics.get_int ~reg:t.shard_regs.(i)
+                  "serve.shard_solves")) );
+        ("latency", pct_json t.lat_h.(i));
+        ("queue", pct_json t.queue_h.(i));
+        ("solve", pct_json t.solve_h.(i));
+      ]
+  in
+  let merged = Cla_obs.Histo.create () in
+  Array.iter (fun h -> Cla_obs.Histo.merge_into ~into:merged h) t.lat_h;
+  [
+    ("uptime_s", Json.Float uptime_s);
+    ("inflight", Json.Int inflight);
+    ("waiting", Json.Int waiting);
+    ("shards", Json.Arr (List.init (Array.length t.lat_h) shard_json));
+    ("latency", pct_json merged);
+  ]
 
 (* ------------------------------------------------------------------ *)
 (* Admission control                                                   *)
@@ -235,11 +396,13 @@ let acquire_solve_lock t ~deadline ~cancel =
   in
   go ()
 
-let solution_single t ~fresh ~deadline ~cancel :
+let solution_single t qc ~fresh ~deadline ~cancel :
     (Pipeline.ladder_outcome, R.Progress.t) result =
   let cached = if fresh then None else t.cache in
   match cached with
-  | Some o -> Ok o
+  | Some o ->
+      qc.qc_cache_hit <- true;
+      Ok o
   | None -> (
       let t0 = R.Deadline.now_s () in
       match acquire_solve_lock t ~deadline ~cancel with
@@ -252,16 +415,24 @@ let solution_single t ~fresh ~deadline ~cancel :
           Fun.protect ~finally:(fun () -> Mutex.unlock t.solve_m) @@ fun () ->
           (* someone may have filled the cache while we waited *)
           match (if fresh then None else t.cache) with
-          | Some o -> Ok o
+          | Some o ->
+              qc.qc_cache_hit <- true;
+              Ok o
           | None -> (
+              let s0 = R.Deadline.now_ns () in
               match Pipeline.points_to_ladder ~deadline ~cancel t.view with
               | o ->
+                  qc.qc_solve_ns <- R.Deadline.now_ns () - s0;
                   (* degraded answers serve this query but never poison
                      the cache: the next unhurried query recomputes *)
                   if not o.Pipeline.lo_degraded then t.cache <- Some o;
                   Ok o
-              | exception R.Deadline.Timed_out p -> Error p
-              | exception R.Cancel.Cancelled p -> Error p)))
+              | exception R.Deadline.Timed_out p ->
+                  qc.qc_solve_ns <- R.Deadline.now_ns () - s0;
+                  Error p
+              | exception R.Cancel.Cancelled p ->
+                  qc.qc_solve_ns <- R.Deadline.now_ns () - s0;
+                  Error p)))
 
 (* One shard's worker domain: pop a job, solve, reply.  Jobs abandoned
    by their waiter (cancel token already set) are answered and skipped.
@@ -290,23 +461,37 @@ let shard_loop t sh =
            reply job (Error (R.Progress.make "cancelled while queued for a solver shard"))
          else
            match cached with
-           | Some o -> reply job (Ok o)
+           | Some o ->
+               job.j_cache_hit <- true;
+               reply job (Ok o)
            | None -> (
                Cla_obs.Metrics.incr "serve.shard_solves";
+               Cla_obs.Metrics.incr ~reg:t.shard_regs.(sh.sh_id)
+                 "serve.shard_solves";
+               let s0 = R.Deadline.now_ns () in
+               let done_solving () =
+                 job.j_solve_ns <- R.Deadline.now_ns () - s0
+               in
                match
                  Pipeline.points_to_ladder ~deadline:job.j_deadline
                    ~cancel:job.j_cancel t.view
                with
                | o ->
+                   done_solving ();
                    if not o.Pipeline.lo_degraded then begin
                      Mutex.lock sh.sh_m;
                      sh.sh_cache <- Some o;
                      Mutex.unlock sh.sh_m
                    end;
                    reply job (Ok o)
-               | exception R.Deadline.Timed_out p -> reply job (Error p)
-               | exception R.Cancel.Cancelled p -> reply job (Error p)
+               | exception R.Deadline.Timed_out p ->
+                   done_solving ();
+                   reply job (Error p)
+               | exception R.Cancel.Cancelled p ->
+                   done_solving ();
+                   reply job (Error p)
                | exception e ->
+                   done_solving ();
                    reply job
                      (Error
                         (R.Progress.make
@@ -321,10 +506,11 @@ let shard_loop t sh =
    itself through the same deadline/cancel the in-thread path uses —
    including the watchdog, which fires the cancel token past the
    deadline grace. *)
-let solution_sharded t ~fresh ~deadline ~cancel :
+let solution_sharded t qc ~fresh ~deadline ~cancel :
     (Pipeline.ladder_outcome, R.Progress.t) result =
   let n = Array.length t.shard_tab in
   let sh = t.shard_tab.(Atomic.fetch_and_add t.rr 1 mod n) in
+  qc.qc_shard <- sh.sh_id;
   let cached =
     if fresh then None
     else begin
@@ -335,7 +521,9 @@ let solution_sharded t ~fresh ~deadline ~cancel :
     end
   in
   match cached with
-  | Some o -> Ok o
+  | Some o ->
+      qc.qc_cache_hit <- true;
+      Ok o
   | None ->
       let t0 = R.Deadline.now_s () in
       let job =
@@ -345,6 +533,8 @@ let solution_sharded t ~fresh ~deadline ~cancel :
           j_fresh = fresh;
           j_m = Mutex.create ();
           j_started = false;
+          j_cache_hit = false;
+          j_solve_ns = 0;
           j_reply = None;
         }
       in
@@ -357,7 +547,10 @@ let solution_sharded t ~fresh ~deadline ~cancel :
         let r = job.j_reply and started = job.j_started in
         Mutex.unlock job.j_m;
         match r with
-        | Some r -> r
+        | Some r ->
+            qc.qc_cache_hit <- job.j_cache_hit;
+            qc.qc_solve_ns <- job.j_solve_ns;
+            r
         | None ->
             if
               (not started)
@@ -377,10 +570,10 @@ let solution_sharded t ~fresh ~deadline ~cancel :
       in
       wait ()
 
-let solution t ~fresh ~deadline ~cancel =
+let solution t qc ~fresh ~deadline ~cancel =
   if Array.length t.shard_tab = 0 then
-    solution_single t ~fresh ~deadline ~cancel
-  else solution_sharded t ~fresh ~deadline ~cancel
+    solution_single t qc ~fresh ~deadline ~cancel
+  else solution_sharded t qc ~fresh ~deadline ~cancel
 
 let find_var t name = Objfile.find_targets t.view name
 
@@ -425,8 +618,18 @@ let do_sleep ~deadline ~cancel ms =
   in
   nap ()
 
-let run_admitted t (req : Protocol.request) ~deadline ~cancel =
+let run_admitted t (req : Protocol.request) qc ~start_ns ~deadline ~cancel =
   let id = req.Protocol.r_id in
+  (* server-side timing attached to ok answers, built at reply time *)
+  let telemetry () =
+    {
+      Protocol.t_shard = qc.qc_shard;
+      t_queue_ms = float_of_int qc.qc_queue_ns /. 1e6;
+      t_solve_ms = float_of_int qc.qc_solve_ns /. 1e6;
+      t_server_ms = float_of_int (R.Deadline.now_ns () - start_ns) /. 1e6;
+      t_cache_hit = qc.qc_cache_hit;
+    }
+  in
   match req.Protocol.r_op with
   | Protocol.Ping ->
       bump t (fun s -> s.s_ok <- s.s_ok + 1);
@@ -436,7 +639,7 @@ let run_admitted t (req : Protocol.request) ~deadline ~cancel =
       t.stats.s_ok <- t.stats.s_ok + 1;
       let cs = stats_counters t.stats in
       Mutex.unlock t.stats_m;
-      Protocol.ok_stats ~id cs
+      Protocol.ok_stats ~id ~extra:(stats_extra t) cs
   | Protocol.Sleep ms -> (
       if not t.cfg.allow_sleep then begin
         bump t (fun s -> s.s_error <- s.s_error + 1);
@@ -456,7 +659,7 @@ let run_admitted t (req : Protocol.request) ~deadline ~cancel =
           bump t (fun s -> s.s_error <- s.s_error + 1);
           Protocol.error ~id ~code:404 (Printf.sprintf "unknown variable %S" name)
       | v :: _ -> (
-          match solution t ~fresh:req.Protocol.r_fresh ~deadline ~cancel with
+          match solution t qc ~fresh:req.Protocol.r_fresh ~deadline ~cancel with
           | Error p ->
               bump t (fun s -> s.s_timeout <- s.s_timeout + 1);
               timeout_response ~id p
@@ -464,10 +667,13 @@ let run_admitted t (req : Protocol.request) ~deadline ~cancel =
               bump t (fun s ->
                   s.s_ok <- s.s_ok + 1;
                   if o.Pipeline.lo_degraded then s.s_degraded <- s.s_degraded + 1);
-              Protocol.ok_points_to ~id
-                ~rung:(Pipeline.algorithm_name o.Pipeline.lo_algorithm)
+              let rung = Pipeline.algorithm_name o.Pipeline.lo_algorithm in
+              qc.qc_rung <- rung;
+              qc.qc_degraded <- o.Pipeline.lo_degraded;
+              Protocol.ok_points_to ~id ~telemetry:(telemetry ()) ~rung
                 ~degraded:o.Pipeline.lo_degraded ~var:name
-                ~targets:(target_names o (pts_of o v))))
+                ~targets:(target_names o (pts_of o v))
+                ()))
   | Protocol.Alias (n1, n2) -> (
       match (find_var t n1, find_var t n2) with
       | [], _ ->
@@ -477,7 +683,7 @@ let run_admitted t (req : Protocol.request) ~deadline ~cancel =
           bump t (fun s -> s.s_error <- s.s_error + 1);
           Protocol.error ~id ~code:404 (Printf.sprintf "unknown variable %S" n2)
       | v1 :: _, v2 :: _ -> (
-          match solution t ~fresh:req.Protocol.r_fresh ~deadline ~cancel with
+          match solution t qc ~fresh:req.Protocol.r_fresh ~deadline ~cancel with
           | Error p ->
               bump t (fun s -> s.s_timeout <- s.s_timeout + 1);
               timeout_response ~id p
@@ -485,62 +691,97 @@ let run_admitted t (req : Protocol.request) ~deadline ~cancel =
               bump t (fun s ->
                   s.s_ok <- s.s_ok + 1;
                   if o.Pipeline.lo_degraded then s.s_degraded <- s.s_degraded + 1);
-              Protocol.ok_alias ~id
-                ~rung:(Pipeline.algorithm_name o.Pipeline.lo_algorithm)
+              let rung = Pipeline.algorithm_name o.Pipeline.lo_algorithm in
+              qc.qc_rung <- rung;
+              qc.qc_degraded <- o.Pipeline.lo_degraded;
+              Protocol.ok_alias ~id ~telemetry:(telemetry ()) ~rung
                 ~degraded:o.Pipeline.lo_degraded ~var:n1 ~var2:n2
-                ~aliased:(sets_intersect (pts_of o v1) (pts_of o v2))))
+                ~aliased:(sets_intersect (pts_of o v1) (pts_of o v2))
+                ()))
 
 let handle_line t line =
+  let start_ns = R.Deadline.now_ns () in
+  let qc =
+    {
+      qc_shard = -1;
+      qc_queue_ns = 0;
+      qc_solve_ns = 0;
+      qc_cache_hit = false;
+      qc_rung = "";
+      qc_degraded = false;
+    }
+  in
+  let opn = ref "parse" in
   bump t (fun s -> s.s_queries <- s.s_queries + 1);
-  match Protocol.parse line with
-  | Error (id, msg) ->
-      bump t (fun s -> s.s_error <- s.s_error + 1);
-      Protocol.error ~id msg
-  | Ok req -> (
-      let id = req.Protocol.r_id in
-      if Atomic.get t.shutdown then begin
-        bump t (fun s -> s.s_bye <- s.s_bye + 1);
-        Protocol.bye ~id
-      end
-      else
-        let dl_ms =
-          match req.Protocol.r_deadline_ms with
-          | Some d -> max 1 (min d t.cfg.max_deadline_ms)
-          | None -> t.cfg.default_deadline_ms
-        in
-        let deadline = R.Deadline.of_ms dl_ms in
-        match admit t ~deadline with
-        | `Shed ->
-            bump t (fun s -> s.s_shed <- s.s_shed + 1);
-            Protocol.shed ~id ~retry_after_ms:(max 10 (dl_ms / 4))
-        | `Bye ->
-            bump t (fun s -> s.s_bye <- s.s_bye + 1);
-            Protocol.bye ~id
-        | `Queued_past_deadline ->
-            bump t (fun s -> s.s_timeout <- s.s_timeout + 1);
-            timeout_response ~id
-              (R.Progress.make
-                 ~elapsed_s:(float_of_int dl_ms /. 1000.)
-                 "deadline passed while queued for admission")
-        | `Admitted ->
-            Fun.protect ~finally:(fun () -> release t) @@ fun () ->
-            let cancel = R.Cancel.create () in
-            let abort_at =
-              R.Deadline.now_s ()
-              +. Float.max 0. (R.Deadline.remaining_s deadline)
-              +. (float_of_int t.cfg.watchdog_grace_ms /. 1000.)
-            in
-            with_watchdog t ~abort_at cancel @@ fun () ->
-            (* last-resort catch: a query must answer, not kill its
-               connection *)
-            (try run_admitted t req ~deadline ~cancel with
-            | R.Deadline.Timed_out p | R.Cancel.Cancelled p ->
-                bump t (fun s -> s.s_timeout <- s.s_timeout + 1);
-                timeout_response ~id p
-            | e ->
-                bump t (fun s -> s.s_error <- s.s_error + 1);
-                Protocol.error ~id ~code:500
-                  ("internal error: " ^ Printexc.to_string e)))
+  let response =
+    match Protocol.parse line with
+    | Error (id, msg) ->
+        bump t (fun s -> s.s_error <- s.s_error + 1);
+        Protocol.error ~id msg
+    | Ok req -> (
+        opn := op_name req.Protocol.r_op;
+        let id = req.Protocol.r_id in
+        if Atomic.get t.shutdown then begin
+          bump t (fun s -> s.s_bye <- s.s_bye + 1);
+          Protocol.bye ~id
+        end
+        else
+          let dl_ms =
+            match req.Protocol.r_deadline_ms with
+            | Some d -> max 1 (min d t.cfg.max_deadline_ms)
+            | None -> t.cfg.default_deadline_ms
+          in
+          let deadline = R.Deadline.of_ms dl_ms in
+          let adm0 = R.Deadline.now_ns () in
+          match admit t ~deadline with
+          | `Shed ->
+              bump t (fun s -> s.s_shed <- s.s_shed + 1);
+              Protocol.shed ~id ~retry_after_ms:(max 10 (dl_ms / 4))
+          | `Bye ->
+              bump t (fun s -> s.s_bye <- s.s_bye + 1);
+              Protocol.bye ~id
+          | `Queued_past_deadline ->
+              qc.qc_queue_ns <- R.Deadline.now_ns () - adm0;
+              bump t (fun s -> s.s_timeout <- s.s_timeout + 1);
+              timeout_response ~id
+                (R.Progress.make
+                   ~elapsed_s:(float_of_int dl_ms /. 1000.)
+                   "deadline passed while queued for admission")
+          | `Admitted ->
+              qc.qc_queue_ns <- R.Deadline.now_ns () - adm0;
+              Fun.protect ~finally:(fun () -> release t) @@ fun () ->
+              let cancel = R.Cancel.create () in
+              let abort_at =
+                R.Deadline.now_s ()
+                +. Float.max 0. (R.Deadline.remaining_s deadline)
+                +. (float_of_int t.cfg.watchdog_grace_ms /. 1000.)
+              in
+              with_watchdog t ~abort_at cancel @@ fun () ->
+              (* last-resort catch: a query must answer, not kill its
+                 connection *)
+              (try run_admitted t req qc ~start_ns ~deadline ~cancel with
+              | R.Deadline.Timed_out p | R.Cancel.Cancelled p ->
+                  bump t (fun s -> s.s_timeout <- s.s_timeout + 1);
+                  timeout_response ~id p
+              | e ->
+                  bump t (fun s -> s.s_error <- s.s_error + 1);
+                  Protocol.error ~id ~code:500
+                    ("internal error: " ^ Printexc.to_string e)))
+  in
+  record_event t
+    {
+      qe_start_ns = start_ns;
+      qe_op = !opn;
+      qe_outcome = Protocol.(status_name (status_of_line response));
+      qe_shard = qc.qc_shard;
+      qe_queue_ns = qc.qc_queue_ns;
+      qe_solve_ns = qc.qc_solve_ns;
+      qe_total_ns = R.Deadline.now_ns () - start_ns;
+      qe_rung = qc.qc_rung;
+      qe_degraded = qc.qc_degraded;
+      qe_cache_hit = qc.qc_cache_hit;
+    };
+  response
 
 (* ------------------------------------------------------------------ *)
 (* Connections                                                         *)
@@ -579,6 +820,13 @@ let handle_conn t fd =
 (* ------------------------------------------------------------------ *)
 
 let create ?(config = default_config) view =
+  (* one registry (and one handle per histogram) per shard; single mode
+     gets exactly one of each *)
+  let n_regs = if config.shards <= 1 then 1 else min config.shards 64 in
+  let shard_regs = Array.init n_regs (fun _ -> Cla_obs.Metrics.create ()) in
+  let histos name =
+    Array.init n_regs (fun i -> Cla_obs.Metrics.histo ~reg:shard_regs.(i) name)
+  in
   {
     cfg = config;
     view;
@@ -608,8 +856,9 @@ let create ?(config = default_config) view =
        else
          Array.init
            (min config.shards 64)
-           (fun _ ->
+           (fun i ->
              {
+               sh_id = i;
                sh_m = Mutex.create ();
                sh_c = Condition.create ();
                sh_q = Queue.create ();
@@ -621,6 +870,20 @@ let create ?(config = default_config) view =
     stopped = Atomic.make false;
     conns_m = Mutex.create ();
     live_conns = 0;
+    started_s = R.Deadline.now_s ();
+    shard_regs;
+    lat_h = histos "serve.latency_ns";
+    queue_h = histos "serve.queue_ns";
+    solve_h = histos "serve.solve_ns";
+    tel_m = Mutex.create ();
+    ring = Array.make (max 1 config.ring_capacity) None;
+    ring_pos = 0;
+    ring_len = 0;
+    log_oc =
+      Option.map
+        (fun p ->
+          open_out_gen [ Open_creat; Open_append; Open_wronly ] 0o644 p)
+        config.query_log;
   }
 
 (** Ask a running server to drain (what the SIGINT/SIGTERM handlers
@@ -688,4 +951,35 @@ let run ?(config = default_config) ?(on_ready = fun _ -> ()) view : stats =
   List.iter Domain.join shard_domains;
   Atomic.set t.stopped true;
   Thread.join wd_thread;
+  (* the per-shard registries meet the global one exactly once, here —
+     [--stats] / [--stats-json] at exit show the aggregated histograms *)
+  Array.iter
+    (fun reg -> Cla_obs.Metrics.merge_into ~into:Cla_obs.Metrics.default reg)
+    t.shard_regs;
+  (match config.trace_path with
+  | None -> ()
+  | Some path ->
+      (* the ring as a Chrome trace: one complete event per recent query,
+         one lane per shard (lane 0 doubles as the shardless lane) *)
+      let lanes =
+        List.map
+          (fun ev ->
+            ( max 0 ev.qe_shard,
+              {
+                Cla_obs.Span.name = ev.qe_op;
+                label =
+                  Some
+                    (if ev.qe_rung = "" then ev.qe_outcome
+                     else ev.qe_outcome ^ ":" ^ ev.qe_rung);
+                start_s = float_of_int ev.qe_start_ns /. 1e9;
+                wall_s = float_of_int ev.qe_total_ns /. 1e9;
+                user_s = float_of_int ev.qe_solve_ns /. 1e9;
+                gc_minor_words = 0.;
+                gc_major_words = 0.;
+                children = [];
+              } ))
+          (ring_events t)
+      in
+      try Cla_obs.Trace.write_lanes path lanes with Sys_error _ -> ());
+  (match t.log_oc with Some oc -> (try close_out oc with Sys_error _ -> ()) | None -> ());
   t.stats

@@ -24,6 +24,15 @@ type config = {
           fed round-robin.  [1] (the default) keeps the in-thread
           serialized-solve path; systhreads share one runtime lock per
           domain, so replicas must be domains to solve concurrently. *)
+  query_log : string option;
+      (** append one JSONL line per finished query (op, outcome, shard,
+          queue/solve/total timings, rung, cache hit) *)
+  trace_path : string option;
+      (** at drain, write the recent-query ring as a Chrome trace, one
+          lane per shard *)
+  ring_capacity : int;
+      (** recent-query ring size; also bounds the serve-path series
+          ([serve.recent_total_us]) *)
 }
 
 val default_config : config

@@ -116,6 +116,237 @@ let test_metrics_name_uniqueness () =
   Alcotest.(check (option int)) "overwrite" (Some 9) (Metrics.get_int ~reg "x")
 
 (* ------------------------------------------------------------------ *)
+(* Histograms                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Histo = Cla_obs.Histo
+
+(* Deterministic xorshift so the oracle comparison is reproducible. *)
+let xorshift seed =
+  let s = ref seed in
+  fun () ->
+    let x = !s in
+    let x = x lxor (x lsl 13) in
+    let x = x lxor (x lsr 7) in
+    let x = x lxor (x lsl 17) in
+    s := x land max_int;
+    !s
+
+(* Exact nearest-rank quantile over a sample, mirroring Histo.quantile's
+   documented rank choice. *)
+let exact_quantile samples q =
+  let a = Array.of_list samples in
+  Array.sort compare a;
+  let n = Array.length a in
+  let rank = int_of_float (ceil (q *. float n)) - 1 in
+  a.(max 0 (min (n - 1) rank))
+
+let test_histo_bucket_geometry () =
+  (* index is monotone and bounds really bracket the value, across the
+     unit region, the first octaves, and some large values *)
+  let probes =
+    [ 0; 1; 31; 32; 33; 63; 64; 100; 1_000; 123_456; 10_000_000;
+      1_000_000_000; max_int / 2 ]
+  in
+  List.iter
+    (fun v ->
+      let i = Histo.index v in
+      let lo, hi = Histo.bounds i in
+      Alcotest.(check bool) (Fmt.str "bounds bracket %d" v) true
+        (lo <= v && v < hi))
+    probes;
+  let rec pairs = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check bool) (Fmt.str "index monotone at %d<%d" a b) true
+          (Histo.index a <= Histo.index b);
+        pairs rest
+    | _ -> ()
+  in
+  pairs probes;
+  (* below linear_limit buckets are exact unit buckets *)
+  for v = 0 to Histo.linear_limit - 1 do
+    Alcotest.(check int) (Fmt.str "unit bucket %d" v) v (Histo.index v)
+  done
+
+let test_histo_quantile_oracle () =
+  (* the histogram's quantile must land in the same bucket as the exact
+     sample quantile — i.e. within relative_error — for a spread of
+     distributions the serving path actually produces *)
+  let rand = xorshift 0x5eed in
+  let distributions =
+    [
+      ("uniform-small", List.init 500 (fun _ -> rand () mod 31));
+      ("uniform-wide", List.init 1000 (fun _ -> rand () mod 5_000_000));
+      ( "bimodal",
+        List.init 1000 (fun i ->
+            if i mod 10 = 0 then 2_000_000 + (rand () mod 50_000)
+            else 1_000 + (rand () mod 500)) );
+      ("heavy-tail", List.init 800 (fun _ ->
+           let r = rand () mod 1000 in
+           r * r * 37));
+      ("constant", List.init 100 (fun _ -> 777));
+    ]
+  in
+  List.iter
+    (fun (name, samples) ->
+      let h = Histo.create () in
+      List.iter (Histo.record h) samples;
+      Alcotest.(check int) (name ^ " count") (List.length samples)
+        (Histo.count h);
+      Alcotest.(check int) (name ^ " total")
+        (List.fold_left ( + ) 0 samples)
+        (Histo.total h);
+      List.iter
+        (fun q ->
+          let exact = exact_quantile samples q in
+          let est = Histo.quantile h q in
+          Alcotest.(check int)
+            (Fmt.str "%s p%g same bucket" name (q *. 100.))
+            (Histo.index exact) (Histo.index est);
+          (* and below the unit region the estimate is literally exact *)
+          if exact < Histo.linear_limit then
+            Alcotest.(check int)
+              (Fmt.str "%s p%g exact below linear_limit" name (q *. 100.))
+              exact est)
+        [ 0.; 0.5; 0.9; 0.99; 0.999; 1.0 ])
+    distributions
+
+let test_histo_min_max_mean () =
+  let h = Histo.create () in
+  Alcotest.(check int) "empty quantile" 0 (Histo.quantile h 0.5);
+  Alcotest.(check int) "empty min" 0 (Histo.min_value h);
+  List.iter (Histo.record h) [ 5; 100; 42 ];
+  Alcotest.(check int) "min" 5 (Histo.min_value h);
+  Alcotest.(check int) "max" 100 (Histo.max_value h);
+  Alcotest.(check (float 1e-9)) "mean" 49.0 (Histo.mean h);
+  (* quantile estimates are clamped to the observed range *)
+  Alcotest.(check bool) "p100 <= max" true (Histo.quantile h 1.0 <= 100);
+  Alcotest.(check bool) "p0 >= min" true (Histo.quantile h 0.0 >= 5);
+  (* negative values clamp to 0 rather than crash *)
+  Histo.record h (-7);
+  Alcotest.(check int) "negative clamps to 0" 0 (Histo.min_value h)
+
+let test_histo_merge_laws () =
+  let fill seed n spread =
+    let rand = xorshift seed in
+    let h = Histo.create () in
+    for _ = 1 to n do
+      Histo.record h (rand () mod spread)
+    done;
+    h
+  in
+  let a () = fill 1 300 1_000 in
+  let b () = fill 2 500 1_000_000 in
+  let c () = fill 3 200 50 in
+  (* commutative *)
+  Alcotest.(check bool) "merge commutes" true
+    (Histo.equal (Histo.merge (a ()) (b ())) (Histo.merge (b ()) (a ())));
+  (* associative *)
+  Alcotest.(check bool) "merge associates" true
+    (Histo.equal
+       (Histo.merge (Histo.merge (a ()) (b ())) (c ()))
+       (Histo.merge (a ()) (Histo.merge (b ()) (c ()))));
+  (* merge_into agrees with merge, and sums counts/totals *)
+  let tgt = a () and src = b () in
+  let expect = Histo.merge (a ()) (b ()) in
+  Histo.merge_into ~into:tgt src;
+  Alcotest.(check bool) "merge_into = merge" true (Histo.equal tgt expect);
+  Alcotest.(check int) "merged count" 800 (Histo.count tgt);
+  Alcotest.(check int) "merged total"
+    (Histo.total (a ()) + Histo.total (b ()))
+    (Histo.total tgt);
+  (* src is untouched by the merge *)
+  Alcotest.(check bool) "src unchanged" true (Histo.equal src (b ()))
+
+let test_histo_cross_domain () =
+  (* 4 domains hammering one histogram: lock-free recording must lose
+     nothing — count and total land exactly *)
+  let h = Histo.create () in
+  let per_domain = 10_000 in
+  let doms =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              Histo.record h ((d * per_domain) + i)
+            done))
+  in
+  List.iter Domain.join doms;
+  Alcotest.(check int) "no lost counts" (4 * per_domain) (Histo.count h);
+  let expect_total =
+    let n = 4 * per_domain in
+    n * (n + 1) / 2
+  in
+  Alcotest.(check int) "no lost total" expect_total (Histo.total h);
+  Alcotest.(check int) "min survived the races" 1 (Histo.min_value h);
+  Alcotest.(check int) "max survived the races" (4 * per_domain)
+    (Histo.max_value h)
+
+let test_histo_json_export () =
+  let h = Histo.create () in
+  List.iter (Histo.record h) (List.init 100 (fun i -> i * 1000));
+  let parsed = Json.of_string (Json.to_string (Histo.to_json h)) in
+  let geti name = Option.bind (Json.member name parsed) Json.to_int in
+  Alcotest.(check (option int)) "count" (Some 100) (geti "count");
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) (f ^ " present") true
+        (Json.member f parsed <> None))
+    [ "min"; "max"; "mean"; "p50"; "p90"; "p99"; "p999"; "buckets" ];
+  (* a Histo-valued metric flows through the registry export too *)
+  let reg = Metrics.create () in
+  let hm = Metrics.histo ~reg "t.lat" in
+  Histo.record hm 12345;
+  match Metrics.snapshot ~reg () with
+  | [ ("t.lat", Metrics.Histo h') ] ->
+      Alcotest.(check int) "registry histo live" 1 (Histo.count h')
+  | _ -> Alcotest.fail "histo metric missing from snapshot"
+
+let test_metrics_bounded_series () =
+  let reg = Metrics.create () in
+  (* capped observation keeps only the newest [cap] points, in order *)
+  for i = 1 to 100 do
+    Metrics.observe ~reg ~cap:8 "s" i
+  done;
+  Alcotest.(check (option (list int)))
+    "newest 8, oldest first"
+    (Some [ 93; 94; 95; 96; 97; 98; 99; 100 ])
+    (Metrics.get_series ~reg "s");
+  (* uncapped keeps everything, still in order *)
+  for i = 1 to 50 do
+    Metrics.observe ~reg "u" i
+  done;
+  Alcotest.(check (option int))
+    "uncapped length" (Some 50)
+    (Option.map List.length (Metrics.get_series ~reg "u"))
+
+let test_metrics_merge_into () =
+  let a = Metrics.create () and b = Metrics.create () in
+  Metrics.set ~reg:a "n" 3;
+  Metrics.set ~reg:b "n" 4;
+  Metrics.setf ~reg:a "f" 1.5;
+  Metrics.setf ~reg:b "f" 2.5;
+  Metrics.set_str ~reg:a "s" "keep";
+  Metrics.set_str ~reg:b "s" "drop";
+  Metrics.observe ~reg:a "ser" 1;
+  Metrics.observe ~reg:b "ser" 2;
+  Metrics.set ~reg:b "only_b" 9;
+  let hb = Metrics.histo ~reg:b "h" in
+  Histo.record hb 50;
+  Metrics.merge_into ~into:a b;
+  Alcotest.(check (option int)) "ints add" (Some 7) (Metrics.get_int ~reg:a "n");
+  Alcotest.(check (option int)) "absent copies" (Some 9)
+    (Metrics.get_int ~reg:a "only_b");
+  Alcotest.(check (option (list int)))
+    "series concat" (Some [ 1; 2 ])
+    (Metrics.get_series ~reg:a "ser");
+  (* the merged histogram is a private copy: recording into b's handle
+     afterwards must not leak into a's view *)
+  Histo.record hb 60;
+  match Metrics.get_histo ~reg:a "h" with
+  | Some ha -> Alcotest.(check int) "histo copied, not shared" 1 (Histo.count ha)
+  | None -> Alcotest.fail "merged histogram missing"
+
+(* ------------------------------------------------------------------ *)
 (* JSON round-trips                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -321,6 +552,19 @@ let () =
         [
           Alcotest.test_case "basics" `Quick test_metrics_basics;
           Alcotest.test_case "name uniqueness" `Quick test_metrics_name_uniqueness;
+          Alcotest.test_case "bounded series" `Quick test_metrics_bounded_series;
+          Alcotest.test_case "merge_into" `Quick test_metrics_merge_into;
+        ] );
+      ( "histo",
+        [
+          Alcotest.test_case "bucket geometry" `Quick test_histo_bucket_geometry;
+          Alcotest.test_case "quantile vs oracle" `Quick
+            test_histo_quantile_oracle;
+          Alcotest.test_case "min/max/mean" `Quick test_histo_min_max_mean;
+          Alcotest.test_case "merge laws" `Quick test_histo_merge_laws;
+          Alcotest.test_case "cross-domain recording" `Quick
+            test_histo_cross_domain;
+          Alcotest.test_case "json export" `Quick test_histo_json_export;
         ] );
       ( "json",
         [

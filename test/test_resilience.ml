@@ -394,6 +394,128 @@ let test_server_sheds_when_full () =
   (try Sys.remove socket with Sys_error _ -> ());
   Unix.rmdir dir
 
+(* A sharded server answers a live Stats query mid-flight: after a
+   hostile Servebench stream, the snapshot must carry the query
+   counters, an uptime, one percentile block per shard, and quantiles
+   that are internally consistent (p50 <= p99) — all without restarting
+   or draining the server. *)
+let test_server_stats_introspection () =
+  let module Json = Cla_obs.Json in
+  let view =
+    view_of
+      "int x, y; int *p, *q;\n\
+       void f(void) { p = &x; q = p; }\n\
+       void g(void) { q = &y; }"
+  in
+  let dir = Filename.temp_file "cla_serve" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let socket = Filename.concat dir "s.sock" in
+  let config =
+    {
+      Cla_serve.Server.default_config with
+      socket_path = socket;
+      shards = 2;
+      default_deadline_ms = 1000;
+      allow_sleep = true;
+    }
+  in
+  let handle = ref None in
+  let ready_m = Mutex.create () and ready_c = Condition.create () in
+  let server =
+    Thread.create
+      (fun () ->
+        Cla_serve.Server.run ~config
+          ~on_ready:(fun t ->
+            Mutex.lock ready_m;
+            handle := Some t;
+            Condition.signal ready_c;
+            Mutex.unlock ready_m)
+          view)
+      ()
+  in
+  Mutex.lock ready_m;
+  while !handle = None do
+    Condition.wait ready_c ready_m
+  done;
+  Mutex.unlock ready_m;
+  let queries =
+    Cla_workload.Servebench.generate ~seed:23L ~n:40
+      ~vars:[| "p"; "q"; "x" |] ~deadline_ms:800 ~slow_ms:20 ()
+  in
+  let qs = Array.of_list queries in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < Array.length qs then begin
+        ignore
+          (Cla_serve.Client.with_retry
+             ~policy:{ Cla_serve.Client.default_policy with seed = i }
+             ~socket qs.(i).Cla_workload.Servebench.q_line);
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let clients = List.init 4 (fun _ -> Thread.create worker ()) in
+  List.iter Thread.join clients;
+  (* the server is still live: snapshot it *)
+  let reply =
+    match
+      Cla_serve.Client.round_trip ~socket "{\"id\":99,\"op\":\"stats\"}"
+    with
+    | Error e -> Alcotest.fail (Cla_serve.Client.describe e)
+    | Ok line ->
+        Alcotest.(check bool) "stats is ok" true
+          (Cla_serve.Protocol.status_of_line line = Cla_serve.Protocol.S_ok);
+        Json.of_string line
+  in
+  (* the flat counters saw the stream *)
+  let counters = Option.get (Json.member "counters" reply) in
+  (match Option.bind (Json.member "serve.queries" counters) Json.to_int with
+  | Some n ->
+      Alcotest.(check bool) "serve.queries counted the stream" true (n >= 40)
+  | None -> Alcotest.fail "serve.queries missing from counters");
+  (* live introspection: uptime, per-shard percentile blocks *)
+  (match Option.bind (Json.member "uptime_s" reply) Json.to_float with
+  | Some u -> Alcotest.(check bool) "uptime_s >= 0" true (u >= 0.)
+  | None -> Alcotest.fail "uptime_s missing");
+  let pcts block =
+    let f name =
+      match Option.bind (Json.member name block) Json.to_float with
+      | Some v -> v
+      | None -> Alcotest.fail (Fmt.str "%s missing from latency block" name)
+    in
+    (f "p50_ms", f "p99_ms")
+  in
+  (match Json.member "shards" reply with
+  | Some (Json.Arr blocks) ->
+      Alcotest.(check int) "one block per shard" 2 (List.length blocks);
+      List.iter
+        (fun b ->
+          let lat = Option.get (Json.member "latency" b) in
+          let p50, p99 = pcts lat in
+          Alcotest.(check bool) "shard p50 <= p99" true (p50 <= p99))
+        blocks
+  | _ -> Alcotest.fail "shards array missing");
+  (* the merged cross-shard block is consistent and saw every query *)
+  (match Json.member "latency" reply with
+  | Some merged ->
+      let p50, p99 = pcts merged in
+      Alcotest.(check bool) "merged p50 <= p99" true (p50 <= p99);
+      (match Option.bind (Json.member "count" merged) Json.to_int with
+      | Some n ->
+          Alcotest.(check bool) "merged count covers the stream" true (n >= 40)
+      | None -> Alcotest.fail "merged latency count missing")
+  | None -> Alcotest.fail "merged latency block missing");
+  (match !handle with
+  | Some t -> Cla_serve.Server.request_shutdown t
+  | None -> ());
+  Thread.join server;
+  (try Sys.remove socket with Sys_error _ -> ());
+  Unix.rmdir dir
+
 let () =
   Alcotest.run "resilience"
     [
@@ -429,5 +551,7 @@ let () =
           Alcotest.test_case "survives mixed good/poison/slow stream" `Quick
             test_server_survives_mixed_stream;
           Alcotest.test_case "sheds when full" `Quick test_server_sheds_when_full;
+          Alcotest.test_case "live stats introspection" `Quick
+            test_server_stats_introspection;
         ] );
     ]
