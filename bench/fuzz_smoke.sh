@@ -1,0 +1,34 @@
+#!/bin/sh
+# Differential fuzzer smoke test: 200 seeded random C programs must
+# normalize to exactly the points-to sets a tiny reference model
+# predicts — zero divergences, zero crashes.  On failure `cla fuzz`
+# writes a minimized reproducer and exits 1; promote that file into
+# examples/fuzz/ as a regression input.  Wired into `dune runtest`
+# (see bench/dune); takes the cla binary as $1.
+set -eu
+
+cla=${1:?usage: fuzz_smoke.sh path/to/cla.exe}
+case "$cla" in
+  /*) : ;;
+  *) cla=$(pwd)/$cla ;;
+esac
+
+dir=$(mktemp -d)
+trap 'rm -rf "$dir"' EXIT INT TERM
+cd "$dir"
+
+rc=0
+"$cla" fuzz --cases 200 --seed 42 -o repro.c >out.txt 2>&1 || rc=$?
+if [ "$rc" -ne 0 ]; then
+  echo "fuzz_smoke.sh: cla fuzz exited $rc" >&2
+  cat out.txt >&2
+  [ -f repro.c ] && { echo "--- minimized reproducer ---" >&2; cat repro.c >&2; }
+  exit 1
+fi
+grep -q '0 divergences, 0 crashes' out.txt || {
+  echo "fuzz_smoke.sh: missing clean summary line" >&2
+  cat out.txt >&2
+  exit 1
+}
+
+echo "fuzz_smoke.sh: ok"

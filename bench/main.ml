@@ -21,6 +21,10 @@
                an in-process server driven by the Servebench stream;
                client-measured latency percentiles + throughput per cell
                land in BENCH_serve.json (schema cla.bench.serve/v1)
+     openworld open-world soundness gate: delete function bodies from a
+               complete Genc program in a seeded stream and check the
+               havocked analysis keeps every surviving closed-world fact
+               (⊇ at every step; --inject-unsound must make it exit 1)
 
    Every table prints the paper's reported row (p:) next to the measured
    row (m:).  Absolute times are not comparable (the paper used an 800MHz
@@ -57,6 +61,7 @@ let solver_scale = ref None
 let check_against = ref None
 let check_hard = ref false
 let inject_divergence = ref false
+let inject_unsound = ref false
 
 let int_list_arg s prefix tgt =
   let body = String.sub s (String.length prefix) (String.length s - String.length prefix) in
@@ -74,6 +79,7 @@ let () =
         | "--quick" -> quick := true
         | "--check-hard" -> check_hard := true
         | "--inject-divergence" -> inject_divergence := true
+        | "--inject-unsound" -> inject_unsound := true
         | s when String.length s > 8 && String.sub s 0 8 = "--scale=" -> (
             match float_of_string_opt (String.sub s 8 (String.length s - 8)) with
             | Some f when f > 0. -> solver_scale := Some f
@@ -940,6 +946,38 @@ let solver () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Open world: the body-deletion soundness gate                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Delete function bodies from a complete program in a seeded stream and
+   check at every step that open-world havoc keeps the closed-world
+   facts (set inclusion over surviving objects, Deletion's contract).
+   --inject-unsound analyzes the stripped fragments closed-world
+   instead, which must make the gate fail (exit 1) — the smoke script
+   asserts both directions. *)
+let openworld () =
+  let profile = Profile.scaled 0.12 Profile.nethack in
+  let seed = 42L in
+  Fmt.pr "openworld: deletion gate on %s (scale %.2f, seed %Ld%s)@."
+    profile.Profile.name profile.Profile.scale seed
+    (if !inject_unsound then ", INJECTING unsoundness" else "");
+  match Deletion.run ~inject_unsound:!inject_unsound ~seed profile with
+  | Ok o ->
+      Fmt.pr
+        "openworld: ok — %d step(s), %d/%d bodies deleted by the last, %d \
+         inclusion check(s)@."
+        o.Deletion.n_steps o.Deletion.n_dropped o.Deletion.n_funcs
+        o.Deletion.n_checked
+  | Error v ->
+      Fmt.epr
+        "openworld: FAIL — step %d (%d bodies deleted): %s lost {%s}@."
+        v.Deletion.v_step
+        (List.length v.Deletion.v_dropped)
+        v.Deletion.v_var
+        (String.concat ", " v.Deletion.v_missing);
+      exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Serve: shard-count x offered-load sweep (BENCH_serve.json)          *)
 (* ------------------------------------------------------------------ *)
 
@@ -1139,6 +1177,7 @@ let () =
   if want "bechamel" then bechamel ();
   if want "parallel" then parallel ();
   if want "solver" then solver ();
+  if want "openworld" then openworld ();
   if want "serve" then serve ();
   if !bench_rows <> [] then begin
     Json.write_file "BENCH_pipeline.json"

@@ -209,6 +209,7 @@ let options_term =
           include_dirs;
           defines = parse_defines defines;
           virtual_fs = [];
+          drop_bodies = (fun _ -> false);
         })
     $ mode_arg $ include_dirs_arg $ defines_arg)
 
@@ -281,6 +282,15 @@ let compile_cmd =
 (* link                                                                *)
 (* ------------------------------------------------------------------ *)
 
+let open_world_arg =
+  Arg.(
+    value & flag
+    & info [ "open-world" ]
+        ~doc:
+          "Treat the program as an incomplete fragment: synthesize havoc \
+           constraints for declared-but-undefined functions and escaping \
+           externs so the analysis stays sound.")
+
 let link_cmd =
   let objects = Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE.clo") in
   let output =
@@ -289,29 +299,49 @@ let link_cmd =
       & opt string "prog.cla"
       & info [ "o"; "output" ] ~docv:"FILE.cla" ~doc:"Linked database output.")
   in
-  let run objects output keep_going obs =
+  let run objects output keep_going open_world obs =
     with_obs obs (fun () ->
         handle_errors (fun () ->
-            let stats, diags =
-              Linkp.link_files_result ~keep_going ~output objects
+            let undefined =
+              if open_world then Linkp.Open_world else Linkp.Error
             in
-            List.iter (fun d -> Fmt.epr "cla: %a@." Diag.pp d) diags;
-            match stats with
-            | None -> err_input "no usable object files"
-            | Some stats ->
-                Fmt.pr
-                  "%d unit(s) -> %s: %d objects (%d extern references merged)@."
-                  stats.Linkp.n_units output stats.Linkp.n_vars_out
-                  stats.Linkp.n_extern_merged;
-                if diags = [] then Ok ()
-                else
-                  err_input
-                    (Fmt.str "%d object file(s) skipped" (List.length diags))))
+            (* A Link-phase failure is the strict linker refusing an
+               incomplete program — the closed-world contract cannot be
+               met, which the taxonomy files under exit 3 (internal),
+               not exit 2 (the inputs themselves are fine). *)
+            match Linkp.link_files_result ~keep_going ~undefined ~output objects with
+            | exception Diag.Fail d when d.Diag.phase = Diag.Link ->
+                Error (Diag.to_string d, Diag.exit_internal)
+            | stats, diags -> (
+                List.iter (fun d -> Fmt.epr "cla: %a@." Diag.pp d) diags;
+                match stats with
+                | None -> err_input "no usable object files"
+                | Some stats ->
+                    Fmt.pr
+                      "%d unit(s) -> %s: %d objects (%d extern references \
+                       merged)@."
+                      stats.Linkp.n_units output stats.Linkp.n_vars_out
+                      stats.Linkp.n_extern_merged;
+                    if open_world then
+                      Fmt.pr
+                        "open world: %d undefined function(s) havocked@."
+                        stats.Linkp.n_undefined;
+                    if diags = [] then Ok ()
+                    else
+                      err_input
+                        (Fmt.str "%d object file(s) skipped"
+                           (List.length diags)))))
     |> to_exit
   in
   Cmd.v
-    (Cmd.info "link" ~doc:"Merge object files into one database, linking global symbols.")
-    Term.(const run $ objects $ output $ keep_going_arg $ obs_term)
+    (Cmd.info "link"
+       ~doc:
+         "Merge object files into one database, linking global symbols.  \
+          Without $(b,--open-world), declared-but-undefined functions are \
+          a link failure (exit 3); with it they are havocked soundly.")
+    Term.(
+      const run $ objects $ output $ keep_going_arg $ open_world_arg
+      $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* analyze                                                             *)
@@ -427,7 +457,7 @@ let analyze_cmd =
     Fmt.pr "@.}@."
   in
   let run db algo print_sets json no_cache no_cycle budget deadline_ms ladder
-      strict_deadline hedge jobs obs =
+      strict_deadline hedge open_world jobs obs =
     with_obs obs (fun () ->
         handle_errors (fun () ->
             let* jobs = resolve_jobs jobs in
@@ -438,6 +468,22 @@ let analyze_cmd =
                   err_input
                     (Fmt.str "unknown algorithm %S (valid: %s)" algo
                        (String.concat ", " Pipeline.algorithm_names))
+            in
+            (* Steensgaard unifies, and unification would collapse the
+               open-world blob with every escaping object — reject the
+               combination up front, like an unknown algorithm name. *)
+            let* () =
+              if open_world && algorithm = Pipeline.Steensgaard then
+                err_input
+                  (Fmt.str
+                     "algorithm %S cannot analyze an open-world database \
+                      (valid with --open-world: %s)"
+                     algo
+                     (String.concat ", "
+                        (List.filter
+                           (fun n -> n <> "steensgaard")
+                           Pipeline.algorithm_names)))
+              else Ok ()
             in
             (* --budget only reaches the pre-transitive solver's loader;
                warn instead of silently ignoring it *)
@@ -465,6 +511,20 @@ let analyze_cmd =
             Cla_obs.Metrics.set_str "analyze.algorithm"
               (Pipeline.algorithm_name algorithm);
             let view = load_view_jobs ~jobs db in
+            let* () =
+              if open_world && view.Objfile.ropenworld = None then
+                err_input
+                  (Fmt.str
+                     "%s carries no open-world section: re-link with `cla \
+                      link --open-world`"
+                     db)
+              else Ok ()
+            in
+            (match view.Objfile.ropenworld with
+            | Some ow ->
+                Cla_obs.Metrics.set "analyze.open_world.undefined"
+                  (List.length ow.Objfile.owundef)
+            | None -> ());
             let deadline =
               match deadline_ms with
               | Some ms -> Cla_resilience.Deadline.of_ms ms
@@ -544,7 +604,8 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc:"Run a points-to analysis over a linked database.")
     Term.(
       const run $ db $ algo $ print_sets $ json $ no_cache $ no_cycle $ budget
-      $ deadline_ms $ ladder $ strict_deadline $ hedge $ jobs_arg $ obs_term)
+      $ deadline_ms $ ladder $ strict_deadline $ hedge $ open_world_arg
+      $ jobs_arg $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* depend                                                              *)
@@ -789,6 +850,76 @@ let faults_cmd =
          "Fault-injection sweep: corrupt the database N ways and check \
           every mutant is either analyzed identically or rejected cleanly.")
     Term.(const run $ db $ n $ seed $ obs_term)
+
+(* ------------------------------------------------------------------ *)
+(* fuzz                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz_cmd =
+  let cases =
+    Arg.(
+      value & opt int 200
+      & info [ "cases" ] ~docv:"N" ~doc:"Number of random programs to try.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Stream seed.")
+  in
+  let out =
+    Arg.(
+      value & opt string "fuzz-repro.c"
+      & info [ "o"; "output" ] ~docv:"FILE.c"
+          ~doc:"Where to write the minimized reproducer on failure.")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "verbose"; "v" ] ~doc:"Print a dot per finished case.")
+  in
+  let run cases seed out verbose obs =
+    with_obs obs (fun () ->
+        handle_errors (fun () ->
+            let on_progress i =
+              if verbose then begin
+                Fmt.pr ".";
+                if (i + 1) mod 50 = 0 then Fmt.pr "@.";
+                Fmt.pr "%!"
+              end
+            in
+            match
+              Cla_workload.Fuzzc.run ~on_progress ~seed:(Int64.of_int seed)
+                ~cases ()
+            with
+            | Ok s ->
+                if verbose then Fmt.pr "@.";
+                Fmt.pr
+                  "fuzz: %d case(s), %d points-to set(s) compared, 0 \
+                   divergences, 0 crashes@."
+                  s.Cla_workload.Fuzzc.n_cases s.Cla_workload.Fuzzc.n_probes;
+                Ok ()
+            | Error f ->
+                if verbose then Fmt.pr "@.";
+                let oc = open_out out in
+                output_string oc f.Cla_workload.Fuzzc.f_source;
+                close_out oc;
+                (* exit 1: a divergence is a normalizer bug, not bad
+                   input (2) or an infrastructure failure (3) *)
+                Error
+                  ( Fmt.str "case %d (seed %d) failed — %a@.reproducer: %s"
+                      f.Cla_workload.Fuzzc.f_index seed
+                      Cla_workload.Fuzzc.pp_kind f.Cla_workload.Fuzzc.f_kind
+                      out,
+                    1 )))
+    |> to_exit
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential frontend fuzzing: random C programs stressing \
+          function pointers through structs, multi-level arrays and \
+          varargs are normalized and solved, then checked against an \
+          independent reference normalizer.  Exit 1 with a minimized \
+          reproducer on the first divergence or crash.")
+    Term.(const run $ cases $ seed $ out $ verbose $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* gen                                                                 *)
@@ -1368,7 +1499,8 @@ let main =
        ~doc:"Compile-link-analyze points-to and dependence analysis for C.")
     [
       compile_cmd; link_cmd; analyze_cmd; depend_cmd; transform_cmd; dump_cmd;
-      faults_cmd; gen_cmd; serve_cmd; query_cmd; stats_cmd; serve_bench_cmd;
+      faults_cmd; fuzz_cmd; gen_cmd; serve_cmd; query_cmd; stats_cmd;
+      serve_bench_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

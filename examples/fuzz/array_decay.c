@@ -1,0 +1,17 @@
+/* Fuzzer regression: multi-level array decay.
+   Arrays are index-independent — arr[i] denotes the object arr — and
+   that must survive nesting: m[i][j], m[i] and m all denote the
+   object m, so a store through a decayed row pointer lands in the
+   same object as a direct element store.  Inner rows used to decay
+   to a dropped temporary. */
+int g0, g1;
+int *arr[3];
+int *m[2][2];
+
+void start(void) {
+  int **row;
+  arr[1] = &g0;
+  m[0][1] = &g1;
+  row = m[1];
+  row[0] = &g0;
+}

@@ -1,0 +1,21 @@
+/* Fuzzer regression: function pointers through struct fields.
+   Field-based analysis keys one object per (struct, field) — "S.h0"
+   here — shared by every instance, so both the plain-member store and
+   the indirect calls through s and sp must meet at that object.  The
+   frontend used to drop indirect calls whose callee was a field
+   access rather than a bare identifier. */
+int g0;
+
+struct S {
+  void (*h0)(int *);
+};
+
+void f0(int *p) { *p = 0; }
+
+void start(void) {
+  struct S s;
+  struct S *sp = &s;
+  s.h0 = f0;
+  (*sp->h0)(&g0);
+  sp->h0(&g0);
+}

@@ -1,0 +1,18 @@
+/* Fuzzer regression: varargs call sites.
+   Arguments past a callee's fixed arity land in its varargs bucket
+   v0@...; va_start aims ap at the bucket and va_arg loads through it,
+   so &g0 and &g1 both flow to t and back out through v0's return.
+   The call-site copy into the bucket used to be dropped. */
+int g0, g1;
+int *t0;
+
+int *v0(int n, ...) {
+  __builtin_va_list ap;
+  int *t;
+  __builtin_va_start(ap, n);
+  t = __builtin_va_arg(ap, int *);
+  __builtin_va_end(ap);
+  return t;
+}
+
+void start(void) { t0 = v0(0, &g0, &g1); }

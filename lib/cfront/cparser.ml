@@ -453,7 +453,12 @@ and parse_postfix st : expr =
         if not (T.equal (peek st) T.RPAREN) then begin
           let more = ref true in
           while !more do
-            args := parse_assign_expr st :: !args;
+            (* builtins like va_arg(ap, T) take a type name as an
+               argument; represent it as a (pointer-free) sizeof *)
+            (if starts_type st then
+               let t = parse_type_name st in
+               args := mk_expr ~loc:(loc st) (Esizeof_typ t) :: !args
+             else args := parse_assign_expr st :: !args);
             if T.equal (peek st) T.COMMA then advance st else more := false
           done
         end;
@@ -976,6 +981,10 @@ let parse_string ?(file = "<string>") text : result =
       file;
     }
   in
+  (* the compiler-provided varargs carrier: model va_list as a pointer
+     (va_start points it at the callee's varargs bucket) *)
+  Hashtbl.replace st.typedefs "__builtin_va_list" (Tptr Tvoid);
+  bind st "__builtin_va_list" Btypedef;
   let tops = ref [] in
   let rec go () =
     match parse_top st with

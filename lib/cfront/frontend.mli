@@ -9,6 +9,8 @@ type options = {
   include_dirs : string list;
   defines : (string * string) list;
   virtual_fs : (string * string) list;  (** in-memory headers, for tests *)
+  drop_bodies : string -> bool;
+      (** suppress these function bodies, keeping declared interfaces *)
 }
 
 val default_options : options

@@ -80,8 +80,11 @@ let lookup_type env name =
 
 let typ_str t = Cast.typ_to_string t
 
-(* Declare an object in the current scope and return its variable. *)
-let declare env ~loc name typ storage =
+(* Declare an object in the current scope and return its variable.  An
+   [extern] declaration without initializer does not define the object:
+   the open-world linker treats externs never defined by any unit as
+   escaping into the unanalyzed part of the program. *)
+let declare ?(defined = true) env ~loc name typ storage =
   let file_scope = match env.scopes with [ _ ] -> true | _ -> false in
   let kind, scope, linkage =
     if file_scope then
@@ -93,7 +96,8 @@ let declare env ~loc name typ storage =
       (Var.Filelocal, sname, Some Var.Intern)
   in
   let v =
-    Vartab.intern env.vt ~kind ~name ~scope ~typ:(typ_str typ) ~loc ?linkage ()
+    Vartab.intern env.vt ~kind ~name ~scope ~typ:(typ_str typ) ~loc ?linkage
+      ~defined ()
   in
   (match env.scopes with
   | s :: _ -> Hashtbl.replace s.bindings name (v, typ)
@@ -166,9 +170,11 @@ let resolve_ident env ~loc name =
       else if Hashtbl.mem env.funcs name then Rfun (func_var env ~loc name)
       else begin
         (* undeclared identifier (e.g. from a skipped system header):
-           implicitly declare it as a global int *)
+           implicitly declare it as a global int; its definition, if any,
+           lives outside this unit *)
         let v =
-          Vartab.intern env.vt ~kind:Var.Global ~name ~typ:"int" ~loc ()
+          Vartab.intern env.vt ~kind:Var.Global ~name ~typ:"int" ~loc
+            ~defined:false ()
         in
         (match List.rev env.scopes with
         | file_scope :: _ -> Hashtbl.replace file_scope.bindings name (v, Tint "int")
@@ -297,9 +303,17 @@ let rec rval env (e : expr) : contrib list =
       let op = if op = "u-" then "u-" else op in
       reop env ~loc op Strength.Arg1 (rval env e1)
   | Ederef e1 -> (
+      (* when *e denotes an array (e points to an array, as with
+         pointer-to-array or a partially-indexed multi-dim array), the
+         result decays to the array's address — a copy, not a load *)
+      let decays =
+        match Typechk.typeof env.tenv e with
+        | Some t -> Typechk.is_array env.tenv t
+        | None -> false
+      in
       match place_of_deref env ~loc e1 with
-      | Pvar v -> [ (Vvar v, None) ]
-      | Pderef p -> [ (Vload p, None) ]
+      | Pvar v -> if decays then [ (Vaddr v, None) ] else [ (Vvar v, None) ]
+      | Pderef p -> if decays then [ (Vvar p, None) ] else [ (Vload p, None) ]
       | Pnone -> [])
   | Eaddrof e1 -> (
       match lval env e1 with
@@ -318,16 +332,20 @@ let rec rval env (e : expr) : contrib list =
   | Emember (e1, f) -> member_rval env ~loc e1 f ~arrow:false
   | Earrow (e1, f) -> member_rval env ~loc e1 f ~arrow:true
   | Eindex _ -> (
+      let row =
+        match Typechk.typeof env.tenv e with
+        | Some t -> Typechk.is_array env.tenv t
+        | None -> false
+      in
       match lval env e with
       | Pvar v ->
           (* element of an index-independent array object *)
-          if
-            match Typechk.typeof env.tenv e with
-            | Some t -> Typechk.is_array env.tenv t
-            | None -> false
-          then [ (Vaddr v, None) ] (* multi-dim: row decays to same object *)
+          if row then [ (Vaddr v, None) ] (* multi-dim: row decays to same object *)
           else [ (Vvar v, None) ]
-      | Pderef p -> [ (Vload p, None) ]
+      | Pderef p ->
+          (* p[i] through a pointer-to-array: the row decays to p's own
+             value — a copy, not a load of the array's contents *)
+          if row then [ (Vvar p, None) ] else [ (Vload p, None) ]
       | Pnone -> [])
   | Ecast (_, e1) -> reop env ~loc "cast" Strength.Arg1 (rval env e1)
   | Ecomma (a, b) ->
@@ -481,6 +499,39 @@ and do_call env ~loc f args : contrib list =
     | _ -> None
   in
   match direct_name with
+  | Some ("__builtin_va_start" | "va_start") -> (
+      (* va_start(ap, last): ap now designates the caller-filled varargs
+         bucket of the current (variadic) function *)
+      match (args, env.cur_fun) with
+      | ap :: rest, Some fn ->
+          List.iter (fun a -> ignore (rval env a)) rest;
+          let bucket = arg_var env ~loc fn 0 in
+          assign_place env ~loc (lval env ap) [ (Vaddr bucket, None) ];
+          []
+      | args, _ ->
+          List.iter (fun a -> ignore (rval env a)) args;
+          [])
+  | Some ("__builtin_va_arg" | "va_arg") -> (
+      (* va_arg(ap, T) reads the next variadic argument: a load through
+         ap, which va_start pointed at the varargs bucket *)
+      match args with
+      | ap :: _ -> (
+          match place_of_deref env ~loc ap with
+          | Pvar v -> [ (Vvar v, None) ]
+          | Pderef p -> [ (Vload p, None) ]
+          | Pnone -> [])
+      | [] -> [])
+  | Some ("__builtin_va_end" | "va_end") ->
+      List.iter (fun a -> ignore (rval env a)) args;
+      []
+  | Some ("__builtin_va_copy" | "va_copy") -> (
+      match args with
+      | [ dst; src ] ->
+          assign_place env ~loc (lval env dst) (rval env src);
+          []
+      | args ->
+          List.iter (fun a -> ignore (rval env a)) args;
+          [])
   | Some g when List.mem g alloc_names ->
       (* each static occurrence of an allocation primitive is a fresh
          location, whether or not a declaration of it is in scope *)
@@ -490,17 +541,33 @@ and do_call env ~loc f args : contrib list =
       (* direct call; unknown identifiers become implicit declarations *)
       if not (Hashtbl.mem env.funcs g) then
         Hashtbl.replace env.funcs g (Tfun (Tint "int", [], true));
+      (* calls to a known variadic prototype also feed arguments past the
+         fixed arity into the callee's varargs bucket (read by va_arg) *)
+      let fixed =
+        match Typechk.resolve env.tenv (Hashtbl.find env.funcs g) with
+        | Tfun (_, params, true) when params <> [] -> List.length params
+        | _ -> max_int
+      in
       List.iteri
         (fun i a ->
-          let av = arg_var env ~loc g (i + 1) in
-          assign_var env ~loc av (rval env a))
+          let contribs = rval env a in
+          assign_var env ~loc (arg_var env ~loc g (i + 1)) contribs;
+          if i + 1 > fixed then
+            assign_var env ~loc (arg_var env ~loc g 0) contribs)
         args;
       [ (Vvar (ret_var env ~loc g), None) ]
   | _ -> (
       (* indirect call through a pointer value *)
       let fptr =
         match f.edesc with
-        | Ederef inner -> collapse env ~loc (rval env inner)
+        | Ederef inner
+          when (match Typechk.typeof env.tenv inner with
+               | Some t -> Typechk.is_function_pointer env.tenv t
+               | None -> true) ->
+            (* ( *e)(...) where *e denotes the function itself: the deref
+               is a no-op.  When e is a pointer to a function pointer the
+               guard fails and the deref below is a genuine load. *)
+            collapse env ~loc (rval env inner)
         | _ -> collapse env ~loc (rval env f)
       in
       match fptr with
@@ -638,10 +705,11 @@ and local_decl env (d : decl) =
   match d.dstorage with
   | Stypedef -> ()
   | Sextern ->
-      (* extern declaration inside a function: binds the global *)
+      (* extern declaration inside a function: binds the global without
+         defining it *)
       let v =
         Vartab.intern env.vt ~kind:Var.Global ~name:d.dname
-          ~typ:(typ_str d.dtyp) ~loc:d.dloc ()
+          ~typ:(typ_str d.dtyp) ~loc:d.dloc ~defined:false ()
       in
       (match env.scopes with
       | s :: _ -> Hashtbl.replace s.bindings d.dname (v, d.dtyp)
@@ -650,7 +718,8 @@ and local_decl env (d : decl) =
       if Typechk.is_function env.tenv d.dtyp then
         Hashtbl.replace env.funcs d.dname d.dtyp
       else begin
-        let v = declare env ~loc:d.dloc d.dname d.dtyp d.dstorage in
+        let defined = not (d.dstorage = Sextern && d.dinit = None) in
+        let v = declare ~defined env ~loc:d.dloc d.dname d.dtyp d.dstorage in
         match d.dinit with
         | Some i -> init_object env ~loc:d.dloc (Pvar v) d.dtyp i
         | None -> ()
@@ -670,7 +739,10 @@ let top_decl env (d : decl) =
           Hashtbl.replace env.static_funcs d.dname ()
       end
       else begin
-        let v = declare env ~loc:d.dloc d.dname d.dtyp d.dstorage in
+        (* C makes a file-scope [int x;] a tentative definition; only a
+           plain [extern] declaration leaves the object undefined here *)
+        let defined = not (d.dstorage = Sextern && d.dinit = None) in
+        let v = declare ~defined env ~loc:d.dloc d.dname d.dtyp d.dstorage in
         match d.dinit with
         | Some i -> init_object env ~loc:d.dloc (Pvar v) d.dtyp i
         | None -> ()
@@ -698,14 +770,32 @@ let fundef env (fd : fundef) =
           emit env (Prim.copy ~loc pv av)
       | None -> ())
     fd.fparams;
+  (* a variadic function owns a varargs bucket f@..., filled by direct
+     callers past the fixed arity and read through va_arg *)
+  if fd.fvariadic then ignore (arg_var env ~loc fd.fname 0);
   (* make sure the return variable exists even for void functions *)
   ignore (ret_var env ~loc fd.fname);
   List.iter (stmt env) fd.fbody;
   pop_scope env;
   env.cur_fun <- None
 
-(** Normalize a parsed translation unit into primitive form. *)
-let run ?(mode = Field_based) (parsed : Cparser.result) : Prog.t =
+(** Record a function's interface — prototype, standardized arg/ret
+    variables — without normalizing its body or emitting a definition
+    record.  Models deleting the definition from an otherwise-complete
+    program: the linker then sees a declared-but-undefined function. *)
+let fundef_drop env (fd : fundef) =
+  let loc = fd.floc in
+  Hashtbl.replace env.funcs fd.fname (Tfun (fd.freturn, fd.fparams, fd.fvariadic));
+  if fd.fstorage = Sstatic then Hashtbl.replace env.static_funcs fd.fname ();
+  List.iteri (fun i _ -> ignore (arg_var env ~loc fd.fname (i + 1))) fd.fparams;
+  if fd.fvariadic then ignore (arg_var env ~loc fd.fname 0);
+  ignore (ret_var env ~loc fd.fname)
+
+(** Normalize a parsed translation unit into primitive form.
+    [drop_bodies name] suppresses the body (and definition record) of
+    function [name], leaving only its declared interface. *)
+let run ?(mode = Field_based) ?(drop_bodies = fun _ -> false)
+    (parsed : Cparser.result) : Prog.t =
   let tu = parsed.Cparser.tunit in
   let comps = Hashtbl.create 64 in
   List.iter (fun c -> Hashtbl.replace comps c.ctag c) tu.comps;
@@ -754,7 +844,8 @@ let run ?(mode = Field_based) (parsed : Cparser.result) : Prog.t =
   List.iter
     (function
       | Tdecl ds -> List.iter (top_decl env) ds
-      | Tfundef fd -> fundef env fd)
+      | Tfundef fd ->
+          if drop_bodies fd.fname then fundef_drop env fd else fundef env fd)
     tu.tops;
   {
     Prog.file = tu.file;

@@ -16,5 +16,9 @@ open Cla_ir
     access to [x.f] as an access to the whole chunk [x]. *)
 type mode = Field_based | Field_independent
 
-(** Normalize a parsed translation unit into primitive form. *)
-val run : ?mode:mode -> Cparser.result -> Prog.t
+(** Normalize a parsed translation unit into primitive form.
+    [drop_bodies name] (default: never) suppresses the body and
+    definition record of function [name], keeping only its declared
+    interface — the building block of open-world deletion testing. *)
+val run :
+  ?mode:mode -> ?drop_bodies:(string -> bool) -> Cparser.result -> Prog.t

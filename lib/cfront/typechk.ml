@@ -110,3 +110,13 @@ let arrow_tag env e =
 let is_array env t = match resolve env t with Tarray _ -> true | _ -> false
 
 let is_function env t = match resolve env t with Tfun _ -> true | _ -> false
+
+(** Does dereferencing a value of type [t] in call position denote a
+    function?  True for function types (which decay back to themselves)
+    and pointers to functions — but {e not} for pointers to function
+    pointers, where [*e] is a genuine load. *)
+let is_function_pointer env t =
+  match resolve env t with
+  | Tfun _ -> true
+  | Tptr t' -> ( match resolve env t' with Tfun _ -> true | _ -> false)
+  | _ -> false

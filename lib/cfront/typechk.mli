@@ -31,3 +31,8 @@ val member_tag : env -> expr -> string option
 val arrow_tag : env -> expr -> string option
 val is_array : env -> typ -> bool
 val is_function : env -> typ -> bool
+
+(** Does dereferencing a value of type [t] in call position denote a
+    function?  True for function types and pointers to functions, false
+    for pointers to function pointers (where [*e] is a genuine load). *)
+val is_function_pointer : env -> typ -> bool

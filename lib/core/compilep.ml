@@ -13,10 +13,18 @@ type options = {
   include_dirs : string list;
   defines : (string * string) list;
   virtual_fs : (string * string) list;
+  drop_bodies : string -> bool;
+      (** suppress these function bodies, keeping declared interfaces *)
 }
 
 let default_options =
-  { mode = Normalize.Field_based; include_dirs = []; defines = []; virtual_fs = [] }
+  {
+    mode = Normalize.Field_based;
+    include_dirs = [];
+    defines = [];
+    virtual_fs = [];
+    drop_bodies = (fun _ -> false);
+  }
 
 (* Non-blank, non-# lines — the paper's source line count metric. *)
 let count_source_lines text =
@@ -45,6 +53,7 @@ let db_of_prog ?(source_lines = 0) ?(preproc_lines = 0) (p : Prog.t) : Objfile.d
           vtyp = v.Var.typ;
           vloc = v.Var.loc;
           vowner = Var.owner v;
+          vdefined = Var.defined v;
         })
       p.vars
   in
@@ -128,6 +137,7 @@ let db_of_prog ?(source_lines = 0) ?(preproc_lines = 0) (p : Prog.t) : Objfile.d
     indirects;
     consts =
       List.map (fun (v, c) -> (Var.uid v, c)) p.consts;
+    openworld = None;
     meta =
       {
         mfiles = [ p.file ];
@@ -146,7 +156,10 @@ let compile_string ?(options = default_options) ~file source : Objfile.db =
           ~virtual_fs:options.virtual_fs ~defines:options.defines ~file source
       in
       let parsed = Cparser.parse_string ~file preprocessed in
-      let prog = Normalize.run ~mode:options.mode parsed in
+      let prog =
+        Normalize.run ~mode:options.mode ~drop_bodies:options.drop_bodies
+          parsed
+      in
       let db =
         db_of_prog
           ~source_lines:(count_source_lines source)

@@ -11,6 +11,9 @@ type options = {
   include_dirs : string list;
   defines : (string * string) list;
   virtual_fs : (string * string) list;  (** in-memory headers, for tests *)
+  drop_bodies : string -> bool;
+      (** suppress these function bodies, keeping declared interfaces —
+          the building block of open-world deletion testing *)
 }
 
 val default_options : options

@@ -75,7 +75,14 @@ val exit_ok : int  (** 0 *)
 
 val exit_input : int  (** 2 — malformed source or corrupt database *)
 
-val exit_internal : int  (** 3 — unexpected internal failure *)
+val exit_internal : int
+(** 3 — unexpected internal failure.  Also the strict-link policy's
+    verdict on an incomplete program: `cla link` without [--open-world]
+    raises a [Link]-phase {!Fail} naming the undefined functions, so a
+    build that silently lost a translation unit stops the pipeline
+    instead of producing a database whose analysis would be unsound.
+    Re-link with [--open-world] to accept the incompleteness and havoc
+    the missing code (exit 0). *)
 
 val exit_deadline : int
 (** 4 — the analysis deadline expired (or a served query was refused

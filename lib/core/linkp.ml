@@ -11,7 +11,15 @@ type stats = {
   n_units : int;
   n_extern_merged : int;  (** extern symbol occurrences unified away *)
   n_vars_out : int;
+  n_undefined : int;  (** declared-but-undefined functions detected *)
 }
+
+(** Incomplete-program policy: [Ignore] links the fragment as-is (the
+    library default — a closed-world under-approximation), [Error]
+    raises {!Diag.Fail} naming the undefined functions (the strict
+    [cla link] contract, rendered as exit 3), [Open_world] synthesizes
+    {!Openworld} havoc constraints and attaches the summary section. *)
+type undef_policy = Ignore | Error | Open_world
 
 (** Link several object-file views into a single database.  Extern objects
     with the same canonical key are unified; unit-private objects are
@@ -62,6 +70,7 @@ let link_views (views : Objfile.view list) : Objfile.db * stats =
         vtyp = "";
         vloc = Loc.none;
         vowner = "";
+        vdefined = true;
       }
   in
   List.iteri
@@ -78,6 +87,21 @@ let link_views (views : Objfile.view list) : Objfile.db * stats =
             vars.(id) <- vi)
         map)
     unit_maps;
+  (* a merged object is defined iff any unit defines it — one definition
+     satisfies every extern declaration of the same key *)
+  let defined = Array.make nvars false in
+  List.iter
+    (fun ((v : Objfile.view), map) ->
+      Array.iteri
+        (fun uid id ->
+          if v.Objfile.rvars.(uid).Objfile.vdefined then defined.(id) <- true)
+        map)
+    unit_maps;
+  Array.iteri
+    (fun id vi ->
+      if vi.Objfile.vdefined <> defined.(id) then
+        vars.(id) <- { vi with Objfile.vdefined = defined.(id) })
+    vars;
   let remap_prim map (p : Objfile.prim_rec) =
     { p with Objfile.pdst = map.(p.pdst); psrc = map.(p.psrc) }
   in
@@ -148,6 +172,7 @@ let link_views (views : Objfile.view list) : Objfile.db * stats =
       fundefs = List.rev !fundefs;
       indirects = List.rev !indirects;
       consts = List.rev !consts;
+      openworld = None;
       meta =
         {
           mfiles = List.rev !files;
@@ -157,7 +182,13 @@ let link_views (views : Objfile.view list) : Objfile.db * stats =
         };
     }
   in
-  (db, { n_units = List.length views; n_extern_merged = !merged; n_vars_out = nvars })
+  ( db,
+    {
+      n_units = List.length views;
+      n_extern_merged = !merged;
+      n_vars_out = nvars;
+      n_undefined = 0;
+    } )
 
 (** Publish a stats record into the metrics registry under [link.*]. *)
 let publish_stats ?reg (s : stats) =
@@ -166,19 +197,42 @@ let publish_stats ?reg (s : stats) =
   set "extern_merged" s.n_extern_merged;
   set "vars_out" s.n_vars_out
 
+(* Apply the incomplete-program policy to a freshly merged database. *)
+let apply_policy undefined (db, stats) =
+  match undefined with
+  | Ignore -> (db, stats)
+  | Error -> (
+      let r = Openworld.detect db in
+      match r.Openworld.undefined with
+      | [] -> (db, stats)
+      | names ->
+          Diag.fail ~phase:Diag.Link
+            (Fmt.str "undefined function%s: %s (link with --open-world to \
+                      analyze the incomplete program soundly)"
+               (if List.length names = 1 then "" else "s")
+               (String.concat ", " names)))
+  | Open_world ->
+      let r = Openworld.detect db in
+      let db = Openworld.synthesize db r in
+      let n_undefined = List.length r.Openworld.undefined in
+      Cla_obs.Metrics.set "link.open_world.undefined" n_undefined;
+      Cla_obs.Metrics.set "link.open_world.escaping"
+        (List.length r.Openworld.escaping);
+      (db, { stats with n_undefined })
+
 (* Shadow the raw implementation with the instrumented entry point. *)
-let link_views views =
+let link_views ?(undefined = Ignore) views =
   Cla_obs.Obs.with_span "link"
     ~label:(string_of_int (List.length views) ^ " unit(s)")
     (fun () ->
-      let db, stats = link_views views in
+      let db, stats = apply_policy undefined (link_views views) in
       publish_stats stats;
       (db, stats))
 
 (** Link object files from disk and write the "executable" database. *)
-let link_files ~output paths =
+let link_files ?undefined ~output paths =
   let views = List.map Objfile.load paths in
-  let db, stats = link_views views in
+  let db, stats = link_views ?undefined views in
   Objfile.save output db;
   stats
 
@@ -187,7 +241,7 @@ let link_files ~output paths =
     the bad object files are skipped and the rest are linked; without it
     the first failure raises {!Diag.Fail}.  [None] means no input
     survived, in which case no output is written. *)
-let link_files_result ?(keep_going = false) ~output paths :
+let link_files_result ?(keep_going = false) ?undefined ~output paths :
     stats option * Diag.t list =
   let c = Diag.collector () in
   let views =
@@ -204,7 +258,7 @@ let link_files_result ?(keep_going = false) ~output paths :
   let stats =
     if views = [] then None
     else begin
-      let db, stats = link_views views in
+      let db, stats = link_views ?undefined views in
       Objfile.save output db;
       Some stats
     end

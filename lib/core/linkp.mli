@@ -5,7 +5,24 @@ type stats = {
   n_units : int;
   n_extern_merged : int;  (** extern symbol occurrences unified away *)
   n_vars_out : int;
+  n_undefined : int;  (** declared-but-undefined functions detected *)
 }
+
+(** What to do about declared-but-undefined functions (and never-defined
+    extern objects):
+
+    - [Ignore] — the library default: link the fragment as-is, with the
+      closed-world under-approximation (tools and tests that analyze
+      snippets calling [printf] etc. keep working);
+    - [Error] — the strict linker contract ([cla link] without
+      [--open-world]): raise {!Diag.Fail} naming the undefined
+      functions, which the CLI renders as exit 3 (internal taxonomy:
+      the link cannot produce a sound closed-world executable);
+    - [Open_world] — [cla link --open-world]: synthesize
+      {!Openworld} havoc constraints so the analysis stays sound, attach
+      the {!Objfile.ow} summary, and publish the
+      [link.open_world.undefined] / [link.open_world.escaping] metrics. *)
+type undef_policy = Ignore | Error | Open_world
 
 (** Publish a stats record into the metrics registry (default
     {!Cla_obs.Metrics.default}) under [link.*]. *)
@@ -15,12 +32,15 @@ val publish_stats : ?reg:Cla_obs.Metrics.t -> stats -> unit
     with the same canonical key are unified; unit-private objects are
     renumbered; dynamic blocks of merged objects are concatenated; Table 2
     statistics are summed.  Recorded as a ["link"] span and published as
-    [link.*] metrics. *)
-val link_views : Objfile.view list -> Objfile.db * stats
+    [link.*] metrics.  [undefined] (default [Ignore]) selects the
+    incomplete-program policy. *)
+val link_views :
+  ?undefined:undef_policy -> Objfile.view list -> Objfile.db * stats
 
 (** Link object files from disk and write the "executable" database
     (which has the same format as the inputs, as in the paper). *)
-val link_files : output:string -> string list -> stats
+val link_files :
+  ?undefined:undef_policy -> output:string -> string list -> stats
 
 (** Like {!link_files}, surfacing corrupt or unreadable inputs as
     structured diagnostics (bumping [load.corrupt]).  With [keep_going]
@@ -29,6 +49,7 @@ val link_files : output:string -> string list -> stats
     survived, in which case no output is written. *)
 val link_files_result :
   ?keep_going:bool ->
+  ?undefined:undef_policy ->
   output:string ->
   string list ->
   stats option * Diag.t list

@@ -22,6 +22,8 @@
       INDIRECT per indirect call site: the pointer, arity, arg/ret vars
       TARGETS  name -> object index, sorted, for the dependence analysis
       META     provenance and Table 2 statistics
+      OPENWORLD (optional) blob var, undefined functions, escaping
+               externs — present iff linked with --open-world
     v}
 
     The same format serves as both "object file" (per translation unit) and
@@ -52,6 +54,7 @@ let sec_indirect = 6
 let sec_targets = 7
 let sec_meta = 8
 let sec_consts = 9
+let sec_openworld = 10
 
 (* ------------------------------------------------------------------ *)
 (* In-memory database records                                          *)
@@ -64,6 +67,10 @@ type varinfo = {
   vtyp : string;
   vloc : Loc.t;
   vowner : string;  (** enclosing function, or [""] for file scope *)
+  vdefined : bool;
+      (** false while every occurrence seen so far is an extern
+          declaration — the open-world linker treats such objects as
+          escaping into the unanalyzed part of the program *)
 }
 
 (** The five primitive kinds, in Table 2 column order. *)
@@ -100,6 +107,17 @@ type meta = {
   mcounts : Prim.counts;  (** per-kind totals (Table 2) *)
 }
 
+(** Open-world summary attached by [cla link --open-world].  The havoc
+    constraints themselves are ordinary records baked into the STATIC /
+    DYNAMIC / FUNDEFS / INDIRECT sections (so every solver consumes them
+    through the normal machinery); this section records what was
+    synthesized and why. *)
+type ow = {
+  owblob : int;  (** var id of the blob abstract location *)
+  owundef : string list;  (** declared-but-undefined function names *)
+  owescape : int list;  (** extern objects never defined by any unit *)
+}
+
 (** A complete database, ready to serialize. *)
 type db = {
   vars : varinfo array;
@@ -109,6 +127,7 @@ type db = {
   fundefs : fund_rec list;
   indirects : indir_rec list;
   consts : (int * int64) list;  (** integer constants assigned to objects *)
+  openworld : ow option;  (** present iff linked under open-world mode *)
   meta : meta;
 }
 
@@ -187,7 +206,12 @@ let write ?(version = current_version) (db : db) : string =
       (match v.vkind with
       | Var.Arg i -> Binio.varint b_vars i
       | _ -> ());
-      Binio.u8 b_vars (match v.vlinkage with Var.Extern -> 0 | Var.Intern -> 1);
+      (* one byte: bit0 linkage, bit1 set when the object is only ever
+         declared (never defined) — files written before the bit existed
+         read back as defined, the closed-world assumption *)
+      Binio.u8 b_vars
+        ((match v.vlinkage with Var.Extern -> 0 | Var.Intern -> 1)
+        lor if v.vdefined then 0 else 2);
       Binio.varint b_vars (Strtab.intern st v.vtyp);
       Binio.varint b_vars (Strtab.intern st v.vowner);
       write_loc b_vars st v.vloc)
@@ -287,6 +311,18 @@ let write ?(version = current_version) (db : db) : string =
       Binio.varint b_consts var;
       write_i64 b_consts v)
     db.consts;
+  let b_openworld =
+    Option.map
+      (fun ow ->
+        let b = Binio.writer () in
+        Binio.varint b ow.owblob;
+        Binio.u32 b (List.length ow.owundef);
+        List.iter (fun n -> Binio.varint b (Strtab.intern st n)) ow.owundef;
+        Binio.u32 b (List.length ow.owescape);
+        List.iter (fun v -> Binio.varint b v) ow.owescape;
+        b)
+      db.openworld
+  in
   (* strtab last to build, first to emit *)
   let b_strtab = Binio.writer () in
   Strtab.write b_strtab st;
@@ -297,6 +333,7 @@ let write ?(version = current_version) (db : db) : string =
       (sec_fundefs, b_fundefs); (sec_indirect, b_indirect);
       (sec_targets, b_targets); (sec_meta, b_meta); (sec_consts, b_consts);
     ]
+    @ match b_openworld with Some b -> [ (sec_openworld, b) ] | None -> []
   in
   let header = Binio.writer () in
   Buffer.add_string header (if version = 1 then magic_v1 else magic);
@@ -368,6 +405,7 @@ type view = {
   rindirects : indir_rec array;
   rtargets : (string * int) array;  (** sorted by name *)
   rconsts : (int * int64) list;
+  ropenworld : ow option;  (** present iff linked under open-world mode *)
   rmeta : meta;
 }
 
@@ -524,11 +562,13 @@ let view_of_string ?(verify = true) (data : string) : view =
     Array.init nvars (fun _ ->
         let vname = str strings (Binio.rvarint r) in
         let vkind = decode_kind r in
-        let vlinkage = if Binio.ru8 r = 0 then Var.Extern else Var.Intern in
+        let lb = Binio.ru8 r in
+        let vlinkage = if lb land 1 = 0 then Var.Extern else Var.Intern in
+        let vdefined = lb land 2 = 0 in
         let vtyp = str strings (Binio.rvarint r) in
         let vowner = str strings (Binio.rvarint r) in
         let vloc = read_loc r strings in
-        { vname; vkind; vlinkage; vtyp; vloc; vowner })
+        { vname; vkind; vlinkage; vtyp; vloc; vowner; vdefined })
   in
   (* Object ids decoded from here on must index [rvars]. *)
   let check_var what v =
@@ -627,6 +667,23 @@ let view_of_string ?(verify = true) (data : string) : view =
             let v = read_i64 r in
             (var, v))
   in
+  let ropenworld =
+    match Hashtbl.find_opt sections sec_openworld with
+    | None -> None (* closed-world file *)
+    | Some _ ->
+        let r = sec sec_openworld in
+        let owblob = check_var "open-world blob" (Binio.rvarint r) in
+        let nundef = Binio.rcount ~min_size:1 r in
+        let owundef =
+          List.init nundef (fun _ -> str strings (Binio.rvarint r))
+        in
+        let nesc = Binio.rcount ~min_size:1 r in
+        let owescape =
+          List.init nesc (fun _ ->
+              check_var "open-world escape" (Binio.rvarint r))
+        in
+        Some { owblob; owundef; owescape }
+  in
   let r = sec sec_meta in
   let nfiles = Binio.rcount r in
   let mfiles = List.init nfiles (fun _ -> str strings (Binio.rvarint r)) in
@@ -650,6 +707,7 @@ let view_of_string ?(verify = true) (data : string) : view =
     rindirects;
     rtargets;
     rconsts;
+    ropenworld;
     rmeta =
       {
         mfiles;

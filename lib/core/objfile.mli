@@ -20,7 +20,10 @@
       of function definitions and indirect call sites, linked at analysis
       time;
     - {b TARGETS}: name → object index, for the dependence analysis;
-    - {b META}: provenance and Table 2 statistics. *)
+    - {b META}: provenance and Table 2 statistics;
+    - {b OPENWORLD} (optional): the open-world summary — blob variable,
+      undefined functions, escaping externs — present iff the database
+      was linked with [--open-world]. *)
 
 open Cla_ir
 
@@ -34,6 +37,10 @@ type varinfo = {
   vtyp : string;  (** pretty-printed declared type, or [""] *)
   vloc : Loc.t;  (** declaration site *)
   vowner : string;  (** enclosing function for locals, or [""] *)
+  vdefined : bool;
+      (** false while the object is only ever declared ([extern] without
+          initializer); files written before the bit existed read back as
+          defined *)
 }
 
 (** The five primitive kinds, in Table 2 column order. *)
@@ -71,6 +78,17 @@ type meta = {
   mcounts : Prim.counts;  (** per-kind totals (Table 2) *)
 }
 
+(** Open-world summary attached by the linker's [Open_world] policy.
+    The havoc constraints themselves are ordinary prim/fundef/indirect
+    records baked into the normal sections — every solver consumes them
+    through the standard machinery; this summary records what was
+    synthesized and why. *)
+type ow = {
+  owblob : int;  (** var id of the blob abstract location *)
+  owundef : string list;  (** declared-but-undefined function names *)
+  owescape : int list;  (** extern objects never defined by any unit *)
+}
+
 (** A complete database, ready to serialize.  Produced by the compile
     phase, the linker, and the {!Transform} optimizers. *)
 type db = {
@@ -83,6 +101,7 @@ type db = {
   consts : (int * int64) list;
       (** integer constants assigned directly to objects — the paper's
           constants section, used by the narrowing checker *)
+  openworld : ow option;  (** present iff linked under open-world mode *)
   meta : meta;
 }
 
@@ -117,6 +136,7 @@ type view = {
   rindirects : indir_rec array;
   rtargets : (string * int) array;  (** sorted by name *)
   rconsts : (int * int64) list;
+  ropenworld : ow option;  (** present iff linked under open-world mode *)
   rmeta : meta;
 }
 

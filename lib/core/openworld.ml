@@ -1,0 +1,276 @@
+(** Open-world havoc synthesis (PIP-style: "Making Andersen's Points-to
+    Analysis Sound and Practical for Incomplete C Programs").
+
+    A linked database is {e incomplete} when functions are declared (or
+    called) but never defined, or when extern objects are never defined
+    by any unit.  Closed-world analysis silently under-approximates such
+    programs: pointers flowing into the missing code simply vanish.
+
+    This module makes the missing half explicit with a single {e blob}
+    abstract location [β] that absorbs and re-emits every pointer that
+    escapes the analyzed fragment:
+
+    - [β = &β], [*β = β], [β = *β] — unknown memory points to unknown
+      memory, and unknown code is free to store and load through it;
+    - for every declared-but-undefined function [f]: [β = f@i] (arguments
+      are absorbed, including the varargs bucket [f@0]) and [f@ret = β]
+      (results come back from the unknown), plus a synthesized FUNDEFS
+      record so indirect calls that resolve to [f] link against the same
+      havoc interface;
+    - for every never-defined extern object [x]: [β = &x], [x = β] and
+      [β = x] — its address, contents and stores all escape;
+    - one synthesized FUNDEFS record for [β] itself and one INDIRECT
+      record [( *β)(β, …, β) = β] — unknown code may call any function
+      value that escaped (callbacks receive [β] in every parameter and
+      their results are absorbed), and analyzed code may call function
+      values produced by unknown code.
+
+    Everything synthesized is an ordinary prim / fundef / indirect
+    record, so all solvers, provenance printing and the degradation
+    ladder treat blob and havoc edges exactly like source-level ones. *)
+
+open Cla_ir
+
+(** How many parameters the unknown external caller havocs on escaped
+    callbacks (and the blob's own callable interface accepts).  Callbacks
+    with more parameters than this keep the extra ones unhavocked —
+    documented in DESIGN.md. *)
+let havoc_arity = 8
+
+type report = {
+  undefined : string list;  (** declared-but-undefined functions, sorted *)
+  escaping : int list;
+      (** objects the missing code can name: every file-scope object and
+          defined function designator, once anything at all is missing *)
+}
+
+(* The function name behind a standardized variable's display name
+   ("f@1", "f@ret", "f@..." -> "f").  C identifiers cannot contain '@'. *)
+let fun_base (vi : Objfile.varinfo) =
+  match String.rindex_opt vi.Objfile.vname '@' with
+  | Some i -> String.sub vi.Objfile.vname 0 i
+  | None -> vi.Objfile.vname
+
+(** Find what escapes the analyzed fragment.  Undefined functions are
+    extern-linkage functions that are used (a [Func] designator or
+    standardized [Arg]/[Ret] variable exists) but defined by no unit.
+
+    Escape is all-or-nothing: once {e anything} is missing — an
+    undefined function, or an extern object no unit defines — the
+    missing code could name any file-scope object (take its address,
+    read it, overwrite it) and call or take the address of any defined
+    function, so every [Global] object, every file-scope static
+    (owner-less [Filelocal]), and every [Func] designator escapes.  This is deliberately coarse: it is what makes the
+    body-deletion gate's ⊇ property hold for deletions {e within} a
+    unit, where the deleted body saw the unit's statics too
+    (DESIGN.md, "Open world"). *)
+let detect (db : Objfile.db) : report =
+  let defined = Hashtbl.create 64 in
+  List.iter
+    (fun (f : Objfile.fund_rec) ->
+      Hashtbl.replace defined db.Objfile.vars.(f.Objfile.ffvar).Objfile.vname ())
+    db.Objfile.fundefs;
+  let used = Hashtbl.create 64 in
+  let undef_extern = ref false in
+  Array.iter
+    (fun (vi : Objfile.varinfo) ->
+      if vi.Objfile.vlinkage = Var.Extern then
+        match vi.Objfile.vkind with
+        | Var.Func | Var.Arg _ | Var.Ret ->
+            Hashtbl.replace used (fun_base vi) ()
+        | Var.Global -> if not vi.Objfile.vdefined then undef_extern := true
+        | _ -> ())
+    db.Objfile.vars;
+  let undefined =
+    Hashtbl.fold
+      (fun name () acc ->
+        if Hashtbl.mem defined name then acc else name :: acc)
+      used []
+    |> List.sort String.compare
+  in
+  let escaping = ref [] in
+  if undefined <> [] || !undef_extern then
+    Array.iteri
+      (fun id (vi : Objfile.varinfo) ->
+        match vi.Objfile.vkind with
+        | Var.Global | Var.Func -> escaping := id :: !escaping
+        | Var.Filelocal when vi.Objfile.vowner = "" ->
+            (* file-scope statics: same-unit missing code saw them too *)
+            escaping := id :: !escaping
+        | Var.Field ->
+            (* field-based mode shares one object per (struct, field)
+               across all instances, so missing code reaches it with
+               nothing but its own locals: [struct S s; s.f = ...] *)
+            escaping := id :: !escaping
+        | _ -> ())
+      db.Objfile.vars;
+  { undefined; escaping = List.rev !escaping }
+
+(* The interface vars of one undefined function, gathered from the
+   variables that exist in the linked database. *)
+type iface = {
+  mutable i_fvar : int;  (* Func designator, or -1 *)
+  mutable i_ret : int;  (* f@ret, or -1 *)
+  mutable i_args : (int * int) list;  (* (position, var); 0 = varargs bucket *)
+}
+
+(** Rebuild [db] with the blob location and havoc constraints of
+    [report] baked into the ordinary sections, and the open-world
+    summary attached.  Idempotence guard: raises [Invalid_argument] if
+    [db] already carries a summary. *)
+let synthesize (db : Objfile.db) (report : report) : Objfile.db =
+  if db.Objfile.openworld <> None then
+    invalid_arg "Openworld.synthesize: database is already open-world";
+  let loc = Loc.make ~file:"<open-world>" ~line:0 ~col:0 in
+  let nv = Array.length db.Objfile.vars in
+  let extra = ref [] (* appended varinfo records, reversed *) in
+  let next = ref nv in
+  let add_var vi =
+    let id = !next in
+    incr next;
+    extra := vi :: !extra;
+    id
+  in
+  let blob =
+    add_var
+      {
+        Objfile.vname = "<blob>";
+        vkind = Var.Heap;
+        vlinkage = Var.Intern;
+        vtyp = "";
+        vloc = loc;
+        vowner = "";
+        vdefined = true;
+      }
+  in
+  (* gather the existing interface vars of every undefined function *)
+  let ifaces : (string, iface) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun name ->
+      Hashtbl.replace ifaces name { i_fvar = -1; i_ret = -1; i_args = [] })
+    report.undefined;
+  Array.iteri
+    (fun id (vi : Objfile.varinfo) ->
+      if vi.Objfile.vlinkage = Var.Extern then
+        match Hashtbl.find_opt ifaces (fun_base vi) with
+        | None -> ()
+        | Some i -> (
+            match vi.Objfile.vkind with
+            | Var.Func -> i.i_fvar <- id
+            | Var.Ret -> i.i_ret <- id
+            | Var.Arg k -> i.i_args <- (k, id) :: i.i_args
+            | _ -> ()))
+    db.Objfile.vars;
+  (* every undefined function needs a return variable to havoc (an
+     address-taken one may never have been called directly) *)
+  List.iter
+    (fun name ->
+      let i = Hashtbl.find ifaces name in
+      if i.i_ret < 0 then
+        i.i_ret <-
+          add_var
+            {
+              Objfile.vname = name ^ "@ret";
+              vkind = Var.Ret;
+              vlinkage = Var.Extern;
+              vtyp = "";
+              vloc = loc;
+              vowner = "";
+              vdefined = true;
+            })
+    report.undefined;
+  let nv' = !next in
+  let vars =
+    Array.append db.Objfile.vars (Array.of_list (List.rev !extra))
+  in
+  let blocks = Array.make nv' [] in
+  Array.blit db.Objfile.blocks 0 blocks 0 nv;
+  let statics = ref [] in
+  let counts = ref db.Objfile.meta.Objfile.mcounts in
+  let prim pkind ~dst ~src =
+    let p = { Objfile.pkind; pdst = dst; psrc = src; pop = None; ploc = loc } in
+    (counts :=
+       let c = !counts in
+       match pkind with
+       | Objfile.Paddr -> { c with Prim.n_addr = c.Prim.n_addr + 1 }
+       | Objfile.Pcopy -> { c with Prim.n_copy = c.Prim.n_copy + 1 }
+       | Objfile.Pstore -> { c with Prim.n_store = c.Prim.n_store + 1 }
+       | Objfile.Pload -> { c with Prim.n_load = c.Prim.n_load + 1 }
+       | Objfile.Pderef2 -> { c with Prim.n_deref2 = c.Prim.n_deref2 + 1 });
+    p
+  in
+  let static pkind ~dst ~src = statics := prim pkind ~dst ~src :: !statics in
+  let block pkind ~dst ~src =
+    blocks.(src) <- blocks.(src) @ [ prim pkind ~dst ~src ]
+  in
+  (* the blob: unknown memory points to unknown memory, and unknown code
+     stores and loads through it at will *)
+  static Objfile.Paddr ~dst:blob ~src:blob;
+  block Objfile.Pstore ~dst:blob ~src:blob;
+  block Objfile.Pload ~dst:blob ~src:blob;
+  (* escaping objects: address, contents and stores all escape; a
+     function designator only escapes as a value (its interface is then
+     havocked by the external-caller INDIRECT record below) *)
+  List.iter
+    (fun x ->
+      static Objfile.Paddr ~dst:blob ~src:x;
+      if vars.(x).Objfile.vkind <> Var.Func then begin
+        block Objfile.Pcopy ~dst:x ~src:blob;
+        block Objfile.Pcopy ~dst:blob ~src:x
+      end)
+    report.escaping;
+  (* undefined functions: arguments absorbed, results re-emitted *)
+  let fundefs = ref [] in
+  List.iter
+    (fun name ->
+      let i = Hashtbl.find ifaces name in
+      List.iter
+        (fun (_, a) -> block Objfile.Pcopy ~dst:blob ~src:a)
+        i.i_args;
+      block Objfile.Pcopy ~dst:i.i_ret ~src:blob;
+      (* a synthesized definition record, so indirect calls that resolve
+         to this function link against the same havoc interface; missing
+         positional args fall through to the blob itself *)
+      if i.i_fvar >= 0 then begin
+        let arity =
+          List.fold_left (fun m (k, _) -> max m k) 0 i.i_args
+        in
+        let fargs =
+          Array.init arity (fun k ->
+              match List.assoc_opt (k + 1) i.i_args with
+              | Some a -> a
+              | None -> blob)
+        in
+        fundefs :=
+          { Objfile.ffvar = i.i_fvar; farity = arity; fret = i.i_ret; fargs;
+            ffloc = loc }
+          :: !fundefs
+      end)
+    report.undefined;
+  (* the blob is callable (function values produced by unknown code), and
+     the unknown external caller invokes every escaped function value *)
+  let blob_args = Array.make havoc_arity blob in
+  fundefs :=
+    { Objfile.ffvar = blob; farity = havoc_arity; fret = blob;
+      fargs = blob_args; ffloc = loc }
+    :: !fundefs;
+  let ext_call =
+    { Objfile.iptr = blob; inargs = havoc_arity; iret = blob;
+      iargs = blob_args; iiloc = loc }
+  in
+  {
+    db with
+    Objfile.vars;
+    blocks;
+    statics = db.Objfile.statics @ List.rev !statics;
+    fundefs = db.Objfile.fundefs @ List.rev !fundefs;
+    indirects = db.Objfile.indirects @ [ ext_call ];
+    openworld =
+      Some
+        {
+          Objfile.owblob = blob;
+          owundef = report.undefined;
+          owescape = report.escaping;
+        };
+    meta = { db.Objfile.meta with Objfile.mcounts = !counts };
+  }

@@ -52,7 +52,7 @@ let compile_units ~jobs compile units =
 (** Compile each (name, source) pair and link the results, all in memory.
     [jobs > 1] compiles translation units across a domain pool; the
     linked database is byte-identical to a sequential run. *)
-let compile_link ?(options = Compilep.default_options) ?(jobs = 1)
+let compile_link ?(options = Compilep.default_options) ?(jobs = 1) ?undefined
     (sources : (string * string) list) : Objfile.view =
   let objs =
     compile_units ~jobs
@@ -61,19 +61,19 @@ let compile_link ?(options = Compilep.default_options) ?(jobs = 1)
       sources
   in
   let views = List.map Objfile.view_of_string objs in
-  let db, _stats = Linkp.link_views views in
+  let db, _stats = Linkp.link_views ?undefined views in
   Objfile.view_of_string (Objfile.write db)
 
 (** Compile-link from disk paths. *)
-let compile_link_files ?(options = Compilep.default_options) ?(jobs = 1) paths :
-    Objfile.view =
+let compile_link_files ?(options = Compilep.default_options) ?(jobs = 1)
+    ?undefined paths : Objfile.view =
   let objs =
     compile_units ~jobs
       (fun path -> Objfile.write (Compilep.compile_file ~options path))
       paths
   in
   let views = List.map Objfile.view_of_string objs in
-  let db, _stats = Linkp.link_views views in
+  let db, _stats = Linkp.link_views ?undefined views in
   Objfile.view_of_string (Objfile.write db)
 
 (** Run the selected points-to analysis over a linked view.  Each solver
@@ -93,6 +93,15 @@ let points_to ?(algorithm = Pretransitive) ?config ?demand ?budget ?deadline
       Cla_obs.Obs.with_span "analyze" ~label:"bitvector" (fun () ->
           Bitsolver.solve ?deadline ?cancel view)
   | Steensgaard ->
+      (* Unification would put the blob in one equivalence class with
+         every escaping object — a degenerate "everything aliases
+         everything" answer — so open-world databases are refused rather
+         than silently mishandled (see DESIGN.md). *)
+      if view.Objfile.ropenworld <> None then
+        Diag.fail ~phase:Diag.Analyze
+          "steensgaard cannot analyze an open-world database (unification \
+           collapses the blob with every escaping object); supported \
+           algorithms: pretransitive, worklist, bitvector";
       Cla_obs.Obs.with_span "analyze" ~label:"steensgaard" (fun () ->
           Steensgaard.solve ?deadline ?cancel view)
 
@@ -122,6 +131,11 @@ let soundness_note = function
     formulation of the same subset problem, then the near-linear
     unification analysis that always finishes. *)
 let default_ladder = [ Pretransitive; Bitvector; Steensgaard ]
+
+(** The ladder for open-world databases: Steensgaard's unification is
+    unsupported there (see {!points_to}), so the bit-vector solver is
+    the always-sound final rung. *)
+let open_world_ladder = [ Pretransitive; Bitvector ]
 
 type ladder_outcome = {
   lo_solution : Solution.t;
@@ -247,6 +261,13 @@ let hedged_ladder ~ladder ~strict ?config ?demand ?budget ~deadline ?cancel
 let points_to_ladder ?(ladder = default_ladder) ?strict ?(hedge = false)
     ?config ?demand ?budget ?(deadline = Cla_resilience.Deadline.never)
     ?cancel (view : Objfile.view) : ladder_outcome =
+  (* open-world databases drop unsupported unification rungs rather
+     than dying mid-ladder on the Steensgaard guard *)
+  let ladder =
+    if view.Objfile.ropenworld <> None then
+      List.filter (fun a -> a <> Steensgaard) ladder
+    else ladder
+  in
   if ladder = [] then invalid_arg "Pipeline.points_to_ladder: empty ladder";
   Cla_obs.Metrics.set "analyze.deadline_ms"
     (if Cla_resilience.Deadline.is_never deadline then -1

@@ -23,23 +23,36 @@ val algorithm_of_string : string -> algorithm option
     memory.  [jobs > 1] compiles translation units across a domain pool
     (compilation is file-local, so units are independent); [jobs = 0]
     means auto ({!Cla_par.Pool.resolve_jobs}).  Object and linked bytes
-    are byte-identical to a sequential run regardless of [jobs]. *)
+    are byte-identical to a sequential run regardless of [jobs].
+    [undefined] (default [Ignore]) selects the linker's
+    incomplete-program policy — pass {!Linkp.Open_world} to get a
+    soundly havocked open-world database. *)
 val compile_link :
   ?options:Compilep.options ->
   ?jobs:int ->
+  ?undefined:Linkp.undef_policy ->
   (string * string) list ->
   Objfile.view
 
-(** Compile and link C files from disk; [jobs] as in {!compile_link}. *)
+(** Compile and link C files from disk; [jobs]/[undefined] as in
+    {!compile_link}. *)
 val compile_link_files :
-  ?options:Compilep.options -> ?jobs:int -> string list -> Objfile.view
+  ?options:Compilep.options ->
+  ?jobs:int ->
+  ?undefined:Linkp.undef_policy ->
+  string list ->
+  Objfile.view
 
 (** Run the selected points-to analysis over a linked view.  [budget]
     bounds the retained assignments kept in core (pre-transitive solver
     only; see {!Loader.create}).  [deadline]/[cancel] make the solve
     abortable: on expiry or cancellation it unwinds with a typed
     {!Cla_resilience.Deadline.Timed_out} /
-    {!Cla_resilience.Cancel.Cancelled} — never a partial solution. *)
+    {!Cla_resilience.Cancel.Cancelled} — never a partial solution.
+
+    [Steensgaard] on an open-world database raises {!Diag.Fail}
+    (unification would collapse the blob with every escaping object);
+    the other algorithms treat havoc constraints like ordinary ones. *)
 val points_to :
   ?algorithm:algorithm ->
   ?config:Pretrans.config ->
@@ -67,6 +80,12 @@ val points_to_result :
     then the cheaper bit-vector formulation of the same subset problem,
     then the near-linear unification analysis that always finishes. *)
 val default_ladder : algorithm list
+
+(** The ladder for open-world databases ([Pretransitive -> Bitvector]):
+    unification rungs are unsupported there.  {!points_to_ladder}
+    filters [Steensgaard] out of any ladder automatically when the view
+    carries an open-world section. *)
+val open_world_ladder : algorithm list
 
 type ladder_outcome = {
   lo_solution : Solution.t;

@@ -32,6 +32,10 @@ type t = {
       (** enclosing function for locals — the paper's object files record
           "for each local variable ... the function in which it is defined"
           to support advanced searches and context-sensitivity experiments *)
+  mutable defined : bool;
+      (** [false] while the unit has only seen extern declarations of the
+          object — the linker's open-world mode uses this to find externs
+          whose definition lives outside the analyzed fragment *)
 }
 
 let uid v = v.uid
@@ -39,6 +43,8 @@ let name v = v.name
 let kind v = v.kind
 let linkage v = v.linkage
 let owner v = v.owner
+let defined v = v.defined
+let mark_defined v = v.defined <- true
 
 let kind_tag = function
   | Global -> "G"
@@ -61,6 +67,7 @@ let key ?(scope = "") kind name =
     returns, the plain name otherwise. *)
 let display v =
   match v.kind with
+  | Arg 0 -> v.name ^ "@..."  (* the varargs bucket of a variadic function *)
   | Arg i -> Fmt.str "%s@%d" v.name i
   | Ret -> v.name ^ "@ret"
   | _ -> v.name

@@ -26,6 +26,9 @@ type t = {
   typ : string;  (** pretty-printed declared type, for dependence reports *)
   loc : Loc.t;  (** declaration site *)
   owner : string;  (** enclosing function for locals, or [""] *)
+  mutable defined : bool;
+      (** [false] while the unit has only seen extern declarations — the
+          open-world linker uses this to find escaping externs *)
 }
 
 val uid : t -> int
@@ -33,13 +36,18 @@ val name : t -> string
 val kind : t -> kind
 val linkage : t -> linkage
 val owner : t -> string
+val defined : t -> bool
+
+(** Definitions are sticky: once a unit defines the object, later extern
+    declarations do not un-define it. *)
+val mark_defined : t -> unit
 
 (** Canonical linking key: two extern objects with the same key are the
     same object.  [scope] disambiguates file-local names. *)
 val key : ?scope:string -> kind -> string -> string
 
-(** Display name: [f@2] for arguments, [f@ret] for returns, the plain name
-    otherwise. *)
+(** Display name: [f@2] for arguments ([f@...] for the [Arg 0] varargs
+    bucket), [f@ret] for returns, the plain name otherwise. *)
 val display : t -> string
 
 val equal : t -> t -> bool

@@ -18,10 +18,15 @@ let size t = t.next
 (** [intern t ~scope ~kind ~name] returns the existing variable with the
     same canonical key, or creates one.  [typ] and [loc] are recorded on
     first creation only (the declaration wins over later uses). *)
-let intern ?(scope = "") ?(typ = "") ?(loc = Loc.none) ?(linkage : Var.linkage option) t ~kind ~name () =
+let intern ?(scope = "") ?(typ = "") ?(loc = Loc.none)
+    ?(linkage : Var.linkage option) ?(defined = true) t ~kind ~name () =
   let key = Var.key ~scope kind name in
   match Hashtbl.find_opt t.by_key key with
-  | Some v -> v
+  | Some v ->
+      (* definitions are sticky: a later definition upgrades an object
+         first seen as an extern declaration, never the other way round *)
+      if defined then Var.mark_defined v;
+      v
   | None ->
       let linkage =
         match linkage with
@@ -31,7 +36,10 @@ let intern ?(scope = "") ?(typ = "") ?(loc = Loc.none) ?(linkage : Var.linkage o
             | Global | Field | Func | Arg _ | Ret -> Var.Extern
             | Filelocal | Temp | Heap -> Var.Intern)
       in
-      let v = { Var.uid = t.next; name; kind; linkage; typ; loc; owner = scope } in
+      let v =
+        { Var.uid = t.next; name; kind; linkage; typ; loc; owner = scope;
+          defined }
+      in
       t.next <- t.next + 1;
       Hashtbl.add t.by_key key v;
       t.vars <- v :: t.vars;

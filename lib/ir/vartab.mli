@@ -11,12 +11,15 @@ val size : t -> int
 (** Return the existing variable with the same canonical key, or create
     one.  [typ] and [loc] are recorded on first creation only; [linkage]
     defaults by kind (globals/fields/functions/args/rets extern, the rest
-    intern). *)
+    intern).  [defined] (default [true]) marks whether this occurrence
+    defines the object; definitions are sticky — an extern declaration
+    ([defined:false]) never downgrades an object already defined. *)
 val intern :
   ?scope:string ->
   ?typ:string ->
   ?loc:Loc.t ->
   ?linkage:Var.linkage ->
+  ?defined:bool ->
   t ->
   kind:Var.kind ->
   name:string ->

@@ -1,0 +1,37 @@
+(** The open-world soundness gate: body-deletion streams.
+
+    Deletes function bodies from a complete synthetic program in a
+    seeded random order and checks, at every step, that the open-world
+    analysis of the stripped fragment keeps every may-point-to fact the
+    exact closed-world analysis of the complete program established —
+    restricted to the objects that survive deletion (deleted bodies'
+    locals are abstracted by the blob).  The check is set inclusion
+    (⊇), not equality: havoc is an over-approximation by design
+    (DESIGN.md, "Open world"). *)
+
+type violation = {
+  v_step : int;  (** 1-based deletion step *)
+  v_dropped : string list;  (** bodies deleted at this step *)
+  v_var : string;  (** the variable whose facts went missing *)
+  v_missing : string list;
+      (** closed-world targets that survive deletion but are absent from
+          the open-world set *)
+}
+
+type outcome = {
+  n_steps : int;
+  n_funcs : int;  (** defined functions in the complete program *)
+  n_dropped : int;  (** bodies deleted by the final step *)
+  n_checked : int;  (** (variable, step) inclusion checks performed *)
+}
+
+(** Run the gate over [steps] (default 5) deletion steps derived from
+    [seed].  [inject_unsound] analyzes the stripped fragments
+    closed-world instead of synthesizing havoc — the gate must then
+    report a violation, proving it can fail. *)
+val run :
+  ?inject_unsound:bool ->
+  ?steps:int ->
+  seed:int64 ->
+  Profile.t ->
+  (outcome, violation) result

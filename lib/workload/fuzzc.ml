@@ -1,0 +1,421 @@
+(** Differential fuzzing of the C normalizer.
+
+    Each case is a small random C program built from templates that
+    stress the frontend corners most likely to drop constraints:
+    function pointers stored in (and called through) struct fields,
+    multi-level arrays of pointers, varargs call sites, loads and stores
+    through multi-level pointers, and direct/indirect calls mixing all
+    of them.
+
+    Every statement template carries its own meaning as reference
+    constraints over abstract locations, so each case has two
+    independent renderings: C text fed to the real pipeline
+    (parse, normalize, link, Andersen solve) and constraints fed to a
+    ~40-line naive inclusion solver.  The observable points-to sets of
+    the named program variables must be identical; any difference means
+    the normalizer dropped or invented a constraint.  Crashes anywhere
+    in the real pipeline are failures too.
+
+    Cases are drawn from the deterministic {!Rng}, so a run is
+    reproducible from its seed, and a failing case is shrunk by greedy
+    statement deletion before being reported. *)
+
+open Cla_core
+module SS = Set.Make (String)
+
+(* ------------------------------------------------------------------ *)
+(* Reference constraints and their naive solver                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Abstract locations are strings; functions appear as their own name
+   and their interface variables as "f@1" / "f@ret" like the real
+   standardized variables. *)
+type rcon =
+  | Raddr of string * string  (* dst gains src itself *)
+  | Rcopy of string * string  (* dst includes src *)
+  | Rstore of string * string  (* every target of dst includes src *)
+  | Rload of string * string  (* dst includes every target of src *)
+  | Rcall of string * string list * string
+      (* call through ptr loc: args flow to params, ret flows back *)
+
+(* Fixpoint over the constraint set: fine for the tens of constraints a
+   case holds, and independently simple enough to trust. *)
+let ref_solve (cons : rcon list) ~(arity : (string * int) list) :
+    string -> SS.t =
+  let pts : (string, SS.t) Hashtbl.t = Hashtbl.create 64 in
+  let get l = Option.value ~default:SS.empty (Hashtbl.find_opt pts l) in
+  let changed = ref true in
+  let add l s =
+    if not (SS.subset s (get l)) then begin
+      Hashtbl.replace pts l (SS.union s (get l));
+      changed := true
+    end
+  in
+  while !changed do
+    changed := false;
+    List.iter
+      (function
+        | Raddr (d, s) -> add d (SS.singleton s)
+        | Rcopy (d, s) -> add d (get s)
+        | Rstore (d, s) -> SS.iter (fun t -> add t (get s)) (get d)
+        | Rload (d, s) -> SS.iter (fun t -> add d (get t)) (get s)
+        | Rcall (p, args, ret) ->
+            SS.iter
+              (fun f ->
+                match List.assoc_opt f arity with
+                | None -> () (* a non-function value: no call effect *)
+                | Some n ->
+                    List.iteri
+                      (fun i a ->
+                        if i < n then
+                          add (f ^ "@" ^ string_of_int (i + 1)) (get a))
+                      args;
+                    add ret (get (f ^ "@ret")))
+              (get p))
+      cons
+  done;
+  get
+
+(* ------------------------------------------------------------------ *)
+(* Case model                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* One statement: the C text, which function body owns it (-1 is the
+   driver), and what it means. *)
+type action = { a_owner : int; a_code : string; a_ref : rcon list }
+
+type case = {
+  k_ng : int;  (* int globals g0.. — the address-taken targets *)
+  k_np : int;  (* int* globals p0.. *)
+  k_nq : int;  (* int** globals q0.. *)
+  k_nf : int;  (* void f<k>(int *x) functions — the fptr candidates *)
+  k_actions : action array;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Generation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_case rng : case =
+  let ng = 3 + Rng.int rng 4 in
+  let np = 3 + Rng.int rng 4 in
+  let nq = 2 + Rng.int rng 2 in
+  let nf = 2 + Rng.int rng 2 in
+  let tmp = ref 0 in
+  let fresh () =
+    incr tmp;
+    Fmt.str "$t%d" !tmp
+  in
+  let g () = Fmt.str "g%d" (Rng.int rng ng) in
+  let p () = Fmt.str "p%d" (Rng.int rng np) in
+  let q () = Fmt.str "q%d" (Rng.int rng nq) in
+  let f () = Fmt.str "f%d" (Rng.int rng nf) in
+  (* a pointer-valued source expression: C text, the abstract location
+     holding its value, and the constraints materializing that location *)
+  let psrc owner =
+    let n = if owner >= 0 then 8 else 7 in
+    match Rng.int rng n with
+    | 0 ->
+        let gv = g () in
+        let t = fresh () in
+        (Fmt.str "&%s" gv, t, [ Raddr (t, gv) ])
+    | 1 | 2 -> let pv = p () in (pv, pv, [])
+    | 3 ->
+        let qv = q () in
+        let t = fresh () in
+        (Fmt.str "*%s" qv, t, [ Rload (t, qv) ])
+    | 4 -> (Fmt.str "arr[%d]" (Rng.int rng 3), "arr", [])
+    | 5 -> (Fmt.str "m[%d][%d]" (Rng.int rng 2) (Rng.int rng 2), "m", [])
+    | 6 -> ((if Rng.flip rng 0.5 then "s.d0" else "sp->d0"), "S.d0", [])
+    | _ ->
+        (* the enclosing function's own parameter *)
+        ("x", Fmt.str "%s$x" (if owner < nf then Fmt.str "f%d" owner else "r0"), [])
+  in
+  (* a pointer-valued destination lvalue *)
+  let pdst () =
+    match Rng.int rng 6 with
+    | 0 | 1 -> let pv = p () in (pv, pv)
+    | 2 -> ((if Rng.flip rng 0.5 then "s.d0" else "sp->d0"), "S.d0")
+    | 3 -> (Fmt.str "arr[%d]" (Rng.int rng 3), "arr")
+    | 4 -> (Fmt.str "m[%d][%d]" (Rng.int rng 2) (Rng.int rng 2), "m")
+    | _ -> let pv = p () in (pv, pv)
+  in
+  (* a function-pointer lvalue / call head *)
+  let fptr () =
+    match Rng.int rng 6 with
+    | 0 -> ("s.h0", "S.h0")
+    | 1 -> ("s.h1", "S.h1")
+    | 2 -> ("sp->h0", "S.h0")
+    | 3 -> ("sp->h1", "S.h1")
+    | 4 -> (Fmt.str "tab[%d]" (Rng.int rng 3), "tab")
+    | _ -> ("fp0", "fp0")
+  in
+  let n_actions = 8 + Rng.int rng 20 in
+  let actions =
+    Array.init n_actions (fun _ ->
+        (* most statements live in the driver; some in function bodies so
+           parameter flows are exercised *)
+        let owner = if Rng.flip rng 0.25 then Rng.int rng (nf + 1) else -1 in
+        match Rng.int rng 10 with
+        | 0 | 1 ->
+            (* plain pointer assignment, possibly through fields/arrays *)
+            let src, l, setup = psrc owner in
+            let dst, dl = pdst () in
+            { a_owner = owner;
+              a_code = Fmt.str "%s = %s;" dst src;
+              a_ref = setup @ [ Rcopy (dl, l) ] }
+        | 2 ->
+            let pv = p () in
+            let qv = q () in
+            { a_owner = owner;
+              a_code = Fmt.str "%s = &%s;" qv pv;
+              a_ref = [ Raddr (qv, pv) ] }
+        | 3 ->
+            let src, l, setup = psrc owner in
+            let qv = q () in
+            { a_owner = owner;
+              a_code = Fmt.str "*%s = %s;" qv src;
+              a_ref = setup @ [ Rstore (qv, l) ] }
+        | 4 ->
+            let pv = p () in
+            let qv = q () in
+            { a_owner = owner;
+              a_code = Fmt.str "%s = *%s;" pv qv;
+              a_ref = [ Rload (pv, qv) ] }
+        | 5 ->
+            (* store a function into a function-pointer slot *)
+            let fv = f () in
+            let dst, dl = fptr () in
+            let amp = if Rng.flip rng 0.5 then "&" else "" in
+            { a_owner = owner;
+              a_code = Fmt.str "%s = %s%s;" dst amp fv;
+              a_ref = [ Raddr (dl, fv) ] }
+        | 6 ->
+            (* indirect call through a function-pointer slot *)
+            let head, hl = fptr () in
+            let head =
+              if head = "fp0" && Rng.flip rng 0.5 then "(*fp0)" else head
+            in
+            let src, l, setup = psrc owner in
+            { a_owner = owner;
+              a_code = Fmt.str "%s(%s);" head src;
+              a_ref = setup @ [ Rcall (hl, [ l ], fresh ()) ] }
+        | 7 ->
+            let fv = f () in
+            let src, l, setup = psrc owner in
+            { a_owner = owner;
+              a_code = Fmt.str "%s(%s);" fv src;
+              a_ref = setup @ [ Rcopy (fv ^ "@1", l) ] }
+        | 8 ->
+            let src, l, setup = psrc owner in
+            let dst, dl = pdst () in
+            { a_owner = owner;
+              a_code = Fmt.str "%s = r0(%s);" dst src;
+              a_ref = setup @ [ Rcopy ("r0@1", l); Rcopy (dl, "r0@ret") ] }
+        | _ ->
+            (* variadic call: the extras land in v0's varargs bucket *)
+            let s1, l1, su1 = psrc owner in
+            let s2, l2, su2 = psrc owner in
+            let dst, dl = pdst () in
+            { a_owner = owner;
+              a_code = Fmt.str "%s = v0(0, %s, %s);" dst s1 s2;
+              a_ref =
+                su1 @ su2
+                @ [ Rcopy ("v0@0", l1); Rcopy ("v0@0", l2);
+                    Rcopy (dl, "v0@ret") ] })
+  in
+  { k_ng = ng; k_np = np; k_nq = nq; k_nf = nf; k_actions = actions }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering — C text and reference constraints from the same case     *)
+(* ------------------------------------------------------------------ *)
+
+let render (k : case) ~(keep : bool array) : string =
+  let b = Buffer.create 1024 in
+  let pr fmt = Fmt.kstr (Buffer.add_string b) fmt in
+  pr "struct S { void (*h0)(int *); void (*h1)(int *); int *d0; };\n";
+  for i = 0 to k.k_nf - 1 do
+    pr "void f%d(int *x);\n" i
+  done;
+  pr "int *r0(int *x);\n";
+  pr "int *v0(int n, ...);\n";
+  for i = 0 to k.k_ng - 1 do pr "int g%d;\n" i done;
+  for i = 0 to k.k_np - 1 do pr "int *p%d;\n" i done;
+  for i = 0 to k.k_nq - 1 do pr "int **q%d;\n" i done;
+  pr "struct S s;\n";
+  pr "struct S *sp = &s;\n";
+  pr "void (*tab[3])(int *);\n";
+  pr "int *arr[3];\n";
+  pr "int *m[2][2];\n";
+  pr "void (*fp0)(int *);\n";
+  let body owner =
+    Array.iteri
+      (fun i (a : action) ->
+        if keep.(i) && a.a_owner = owner then pr "  %s\n" a.a_code)
+      k.k_actions
+  in
+  for i = 0 to k.k_nf - 1 do
+    pr "void f%d(int *x) {\n" i;
+    body i;
+    pr "}\n"
+  done;
+  pr "int *r0(int *x) {\n";
+  body k.k_nf;
+  pr "  return x;\n}\n";
+  pr "int *v0(int n, ...) {\n";
+  pr "  __builtin_va_list ap;\n";
+  pr "  int *t;\n";
+  pr "  __builtin_va_start(ap, n);\n";
+  pr "  t = __builtin_va_arg(ap, int *);\n";
+  pr "  __builtin_va_end(ap);\n";
+  pr "  return t;\n}\n";
+  pr "void start(void) {\n";
+  body (-1);
+  pr "}\n";
+  Buffer.contents b
+
+let ref_constraints (k : case) ~(keep : bool array) : rcon list =
+  let fixed =
+    [ Raddr ("sp", "s");
+      Rcopy ("r0$x", "r0@1"); Rcopy ("r0@ret", "r0$x");
+      Raddr ("v0$ap", "v0@0"); Rload ("v0$t", "v0$ap");
+      Rcopy ("v0@ret", "v0$t") ]
+    @ List.init k.k_nf (fun i ->
+          Rcopy (Fmt.str "f%d$x" i, Fmt.str "f%d@1" i))
+  in
+  let acts = ref [] in
+  Array.iteri
+    (fun i (a : action) -> if keep.(i) then acts := a.a_ref :: !acts)
+    k.k_actions;
+  fixed @ List.concat (List.rev !acts)
+
+(* The variables whose observable points-to sets are compared.  All of
+   them hold only named program objects (ints, pointers, the struct
+   instance, functions), so the real solution's names line up with the
+   abstract locations. *)
+let probes (k : case) : string list =
+  List.init k.k_np (fun i -> Fmt.str "p%d" i)
+  @ List.init k.k_nq (fun i -> Fmt.str "q%d" i)
+  @ [ "sp"; "fp0"; "tab"; "arr"; "m"; "S.h0"; "S.h1"; "S.d0" ]
+
+(* ------------------------------------------------------------------ *)
+(* Differential check                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type divergence = {
+  d_var : string;
+  d_expected : string list;  (** reference solver, sorted *)
+  d_actual : string list;  (** real pipeline, sorted *)
+}
+
+type kind =
+  | Crash of string  (** exception out of the real pipeline *)
+  | Diverge of divergence list
+
+type failure = {
+  f_index : int;  (** which case in the stream failed *)
+  f_kind : kind;
+  f_source : string;  (** greedily minimized reproducer *)
+  f_full_source : string;  (** the original, unminimized case *)
+}
+
+type stats = {
+  n_cases : int;
+  n_probes : int;  (** points-to sets compared across all cases *)
+}
+
+let run_case (k : case) ~(keep : bool array) : (int, kind) result =
+  match
+    let source = render k ~keep in
+    let view = Pipeline.compile_link [ ("fuzz.c", source) ] in
+    let sol = (Andersen.solve ~demand:false view).Andersen.solution in
+    let expected =
+      ref_solve (ref_constraints k ~keep) ~arity:(List.init k.k_nf (fun i -> (Fmt.str "f%d" i, 1)))
+    in
+    let divs = ref [] in
+    let checked = ref 0 in
+    List.iter
+      (fun name ->
+        incr checked;
+        let want = SS.elements (expected name) in
+        let got =
+          match Solution.find sol name with
+          | None -> []
+          | Some id ->
+              Lvalset.to_list (Solution.points_to sol id)
+              |> List.map (Solution.var_name sol)
+              |> List.sort_uniq String.compare
+        in
+        if want <> got then
+          divs := { d_var = name; d_expected = want; d_actual = got } :: !divs)
+      (probes k);
+    (!checked, List.rev !divs)
+  with
+  | checked, [] -> Ok checked
+  | _, divs -> Error (Diverge divs)
+  | exception e -> Error (Crash (Printexc.to_string e))
+
+(* Greedy delta-debugging: try dropping each statement; keep the drop if
+   the case still fails.  Two passes catch most order dependencies. *)
+let minimize (k : case) : bool array * kind =
+  let n = Array.length k.k_actions in
+  let keep = Array.make n true in
+  let last_kind = ref None in
+  for _pass = 1 to 2 do
+    for i = 0 to n - 1 do
+      if keep.(i) then begin
+        keep.(i) <- false;
+        match run_case k ~keep with
+        | Ok _ -> keep.(i) <- true (* needed for the failure *)
+        | Error kind -> last_kind := Some kind
+      end
+    done
+  done;
+  let kind =
+    match !last_kind with
+    | Some kind -> kind
+    | None -> (
+        match run_case k ~keep with
+        | Error kind -> kind
+        | Ok _ -> assert false (* the unminimized case failed *))
+  in
+  (keep, kind)
+
+(** Run [cases] differential cases derived from [seed].  Stops at the
+    first failing case, returning it minimized; [on_progress] is called
+    with each finished case index (for progress display). *)
+let run ?(on_progress = fun _ -> ()) ~seed ~cases () :
+    (stats, failure) result =
+  let rng = Rng.create seed in
+  let rec go i n_probes =
+    if i >= cases then Ok { n_cases = cases; n_probes }
+    else begin
+      let k = gen_case rng in
+      let all = Array.make (Array.length k.k_actions) true in
+      match run_case k ~keep:all with
+      | Ok checked ->
+          on_progress i;
+          go (i + 1) (n_probes + checked)
+      | Error _ ->
+          let keep, kind = minimize k in
+          Error
+            {
+              f_index = i;
+              f_kind = kind;
+              f_source = render k ~keep;
+              f_full_source = render k ~keep:all;
+            }
+    end
+  in
+  go 0 0
+
+let pp_kind ppf = function
+  | Crash msg -> Fmt.pf ppf "crash: %s" msg
+  | Diverge divs ->
+      Fmt.pf ppf "%d diverging points-to set(s):" (List.length divs);
+      List.iter
+        (fun d ->
+          Fmt.pf ppf "@.  %s: expected {%s}, got {%s}" d.d_var
+            (String.concat ", " d.d_expected)
+            (String.concat ", " d.d_actual))
+        divs

@@ -1,0 +1,47 @@
+(** Differential fuzzing of the C normalizer.
+
+    Generates small random C programs stressing the frontend corners
+    that historically dropped constraints — function pointers through
+    struct fields, multi-level arrays of pointers, varargs call sites —
+    and checks the real pipeline (parse, normalize, link, solve) against
+    a tiny independent reference: each statement template carries its
+    own meaning as abstract inclusion constraints, solved by a naive
+    fixpoint.  The points-to sets of the named program variables must be
+    identical on both sides.
+
+    Deterministic: a run is reproducible from its seed, and failing
+    cases are minimized by greedy statement deletion. *)
+
+type divergence = {
+  d_var : string;  (** the variable whose sets differ *)
+  d_expected : string list;  (** reference solver, sorted *)
+  d_actual : string list;  (** real pipeline, sorted *)
+}
+
+type kind =
+  | Crash of string  (** exception out of the real pipeline *)
+  | Diverge of divergence list
+
+type failure = {
+  f_index : int;  (** which case in the stream failed *)
+  f_kind : kind;  (** from the minimized reproducer *)
+  f_source : string;  (** greedily minimized reproducer *)
+  f_full_source : string;  (** the original, unminimized case *)
+}
+
+type stats = {
+  n_cases : int;
+  n_probes : int;  (** points-to sets compared across all cases *)
+}
+
+(** Run [cases] differential cases derived from [seed], stopping at the
+    first failure (returned minimized).  [on_progress] is called with
+    each finished case index. *)
+val run :
+  ?on_progress:(int -> unit) ->
+  seed:int64 ->
+  cases:int ->
+  unit ->
+  (stats, failure) result
+
+val pp_kind : Format.formatter -> kind -> unit

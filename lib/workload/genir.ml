@@ -49,6 +49,7 @@ let generate ?(params = default_params) seed : Objfile.db =
         vtyp = "int*";
         vloc = Loc.make ~file:"gen.c" ~line:(id + 1) ~col:0;
         vowner = "";
+        vdefined = true;
       }
       :: !vars;
     id
@@ -132,6 +133,7 @@ let generate ?(params = default_params) seed : Objfile.db =
     fundefs = List.rev !fundefs;
     indirects = List.rev !indirects;
     consts = [];
+    openworld = None;
     meta =
       {
         Objfile.mfiles = [ "gen.c" ];
@@ -174,6 +176,7 @@ let mk_shaped_db ~nvars ~statics ~blocks ~counts : Objfile.db =
           vtyp = "int*";
           vloc = Loc.make ~file:"gen.c" ~line:(id + 1) ~col:0;
           vowner = "";
+          vdefined = true;
         })
   in
   {
@@ -184,6 +187,7 @@ let mk_shaped_db ~nvars ~statics ~blocks ~counts : Objfile.db =
     fundefs = [];
     indirects = [];
     consts = [];
+    openworld = None;
     meta =
       {
         Objfile.mfiles = [ "gen.c" ];

@@ -299,6 +299,49 @@ let test_table2_counts () =
   Alcotest.(check int) "load" 1 c.Prim.n_load;
   Alcotest.(check int) "deref2" 0 c.Prim.n_deref2
 
+(* ------------------------------------------------------------------ *)
+(* Previously-failing corners, pinned as fixed inputs (examples/fuzz)  *)
+(* ------------------------------------------------------------------ *)
+
+(* The differential fuzzer (`cla fuzz`) surfaced these three dropped
+   corners; each lives as a fixed input under examples/fuzz/ and is
+   pinned here to its full primitive-statement dump. *)
+let read_example name =
+  let file = Filename.concat "../examples/fuzz" name in
+  let ic = open_in_bin file in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let check_dump name file expected =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.(check (list string))
+        (file ^ " primitive dump") expected
+        (prims (read_example file)))
+
+let corner_tests =
+  [
+    check_dump "function pointer through struct field"
+      "fptr_struct_field.c"
+      [ "p = f0@1"; "sp = &s"; "S.h0 = &f0"; "ip0@1 = &g0"; "ip0@1 = &g0" ];
+    Alcotest.test_case "struct-field calls link indirectly" `Quick
+      (fun () ->
+        let p = prog (read_example "fptr_struct_field.c") in
+        Alcotest.(check (list string))
+          "both call sites go through the field object" [ "S.h0"; "S.h0" ]
+          (List.map
+             (fun (i : Prog.indirect) -> Var.name i.Prog.ptr)
+             p.Prog.indirects));
+    check_dump "multi-level array decay" "array_decay.c"
+      [ "arr = &g0"; "m = &g1"; "row = &m"; "#0 = &g0"; "*row = #0" ];
+    check_dump "varargs call site fills the bucket" "varargs_bucket.c"
+      [
+        "n = v0@1"; "ap = &v0@..."; "t = *ap"; "v0@ret = t"; "v0@2 = &g0";
+        "v0@... = &g0"; "v0@3 = &g1"; "v0@... = &g1"; "t0 = v0@ret";
+      ];
+  ]
+
 let () =
   Alcotest.run "normalize"
     [
@@ -341,4 +384,5 @@ let () =
           Alcotest.test_case "&a[i]" `Quick test_address_of_array_element;
           Alcotest.test_case "ternary pointers" `Quick test_ternary_pointer;
         ] );
+      ("fuzz corners", corner_tests);
     ]
