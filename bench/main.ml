@@ -25,6 +25,16 @@
                complete Genc program in a seeded stream and check the
                havocked analysis keeps every surviving closed-world fact
                (⊇ at every step; --inject-unsound must make it exit 1)
+     chaos     self-healing serve gate: freeze a snapshot, boot a sharded
+               server from it, and drive the Servebench stream while a
+               deterministic fault schedule kills and wedges the solver
+               shards mid-flight.  Gates: a corrupt snapshot falls back
+               to live solves, a good one answers without a single shard
+               solve, zero well-formed queries fail across the faults,
+               recovery p99 over the kill windows stays bounded, and the
+               supervisor logged the restarts.  Writes BENCH_chaos.json
+               (cla.bench.chaos/v1); --inject-no-supervise disables the
+               supervisor and must make the gate exit 1.
 
    Every table prints the paper's reported row (p:) next to the measured
    row (m:).  Absolute times are not comparable (the paper used an 800MHz
@@ -62,6 +72,7 @@ let check_against = ref None
 let check_hard = ref false
 let inject_divergence = ref false
 let inject_unsound = ref false
+let inject_no_supervise = ref false
 
 let int_list_arg s prefix tgt =
   let body = String.sub s (String.length prefix) (String.length s - String.length prefix) in
@@ -80,6 +91,7 @@ let () =
         | "--check-hard" -> check_hard := true
         | "--inject-divergence" -> inject_divergence := true
         | "--inject-unsound" -> inject_unsound := true
+        | "--inject-no-supervise" -> inject_no_supervise := true
         | s when String.length s > 8 && String.sub s 0 8 = "--scale=" -> (
             match float_of_string_opt (String.sub s 8 (String.length s - 8)) with
             | Some f when f > 0. -> solver_scale := Some f
@@ -1165,6 +1177,376 @@ let serve () =
        ]);
   Fmt.pr "wrote BENCH_serve.json (%d row(s))@." (List.length !rows)
 
+(* ------------------------------------------------------------------ *)
+(* Chaos: self-healing serve gate (BENCH_chaos.json)                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The resilience exam for the self-healing stack as one harness:
+   snapshot persistence (answering must be O(read), corruption must fall
+   back, never mis-answer), shard supervision (killed and wedged worker
+   domains must be restarted with their queued jobs intact), and the
+   client retry loop (a restart window must be invisible to well-formed
+   queries).  Faults are fired at deterministic points of the query
+   stream, not wall-clock times, so the schedule cannot miss a fast run.
+
+   Gates (each lands in BENCH_chaos.json; any failure exits 1):
+     corrupt_fallback   bit-flipped snapshot rejected, live answer correct
+     snapshot_oread     good snapshot: zero shard solves for the stream
+     zero_failed_good   every well-formed query answered ok under faults
+     recovery_p99       p99 latency of the queries right behind each kill
+     restarts_observed  the supervisor actually restarted shards *)
+let chaos () =
+  hr ();
+  Fmt.pr "CHAOS: snapshot + supervision gate%s@."
+    (if !inject_no_supervise then " [INJECTED: supervisor disabled]" else "");
+  hr ();
+  let module Sv = Cla_serve.Server in
+  let module Cl = Cla_serve.Client in
+  let module Pr = Cla_serve.Protocol in
+  let module D = Cla_resilience.Deadline in
+  let module H = Cla_obs.Histo in
+  let p = Profile.scaled (if !quick then 0.05 else 0.1) Profile.nethack in
+  let view = compiled p in
+  let vars =
+    let out = ref [] and count = ref 0 in
+    Array.iter
+      (fun (vi : Objfile.varinfo) ->
+        if
+          !count < 32 && vi.Objfile.vname <> ""
+          && (not (String.contains vi.Objfile.vname '$'))
+          && vi.Objfile.vkind <> Cla_ir.Var.Temp
+        then begin
+          incr count;
+          out := vi.Objfile.vname :: !out
+        end)
+      view.Objfile.rvars;
+    Array.of_list (List.rev !out)
+  in
+  if Array.length vars = 0 then failwith "chaos: no named variables to query";
+  let tmp name =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Fmt.str "cla-chaos-%d-%s" (Unix.getpid ()) name)
+  in
+  (* boot an in-process server, run [body handle socket], drain *)
+  let with_server config body =
+    let ready_m = Mutex.create () and ready_c = Condition.create () in
+    let handle = ref None in
+    let on_ready t =
+      Mutex.lock ready_m;
+      handle := Some t;
+      Condition.broadcast ready_c;
+      Mutex.unlock ready_m
+    in
+    let srv = Thread.create (fun () -> ignore (Sv.run ~config ~on_ready view)) () in
+    Mutex.lock ready_m;
+    while !handle = None do
+      Condition.wait ready_c ready_m
+    done;
+    Mutex.unlock ready_m;
+    let h = Option.get !handle in
+    let r = body h config.Sv.socket_path in
+    Sv.request_shutdown h;
+    Thread.join srv;
+    r
+  in
+  let probe_var = vars.(0) in
+  let points_to_line ?(fresh = false) id var =
+    Cla_obs.Json.to_string ~indent:false
+      (Json.Obj
+         ([
+            ("id", Json.Int id);
+            ("op", Json.Str "points-to");
+            ("var", Json.Str var);
+            ("deadline_ms", Json.Int 4000);
+          ]
+         @ if fresh then [ ("fresh", Json.Bool true) ] else []))
+  in
+  let targets_of_line l =
+    match Json.of_string l with
+    | exception Json.Parse_error _ -> None
+    | j -> (
+        match Json.member "targets" j with
+        | Some (Json.Arr ts) ->
+            Some
+              (List.sort compare
+                 (List.filter_map
+                    (function Json.Str s -> Some s | _ -> None)
+                    ts))
+        | _ -> None)
+  in
+  let stat_of_line l path =
+    match Json.of_string l with
+    | exception Json.Parse_error _ -> None
+    | j ->
+        List.fold_left
+          (fun acc k -> Option.bind acc (Json.member k))
+          (Some j) path
+  in
+  (* -- phase 0: freeze the reference solution ----------------------- *)
+  let outcome = Pipeline.points_to_ladder view in
+  let snap = tmp "good.snap" in
+  Snapshot.save snap ~view outcome;
+  let live_targets =
+    with_server { Sv.default_config with socket_path = tmp "live.sock" }
+      (fun _ socket ->
+        match Cl.round_trip ~socket (points_to_line 1 probe_var) with
+        | Ok l -> targets_of_line l
+        | Error e -> failwith ("chaos: live probe failed: " ^ Cl.describe e))
+  in
+  (* -- gate: corrupt snapshot is rejected, answer still correct ----- *)
+  let bad = tmp "bad.snap" in
+  let bytes_of f =
+    let ic = open_in_bin f in
+    let n = in_channel_length ic in
+    let b = really_input_string ic n in
+    close_in ic;
+    b
+  in
+  let b = Bytes.of_string (bytes_of snap) in
+  let mid = Bytes.length b / 2 in
+  Bytes.set b mid (Char.chr (Char.code (Bytes.get b mid) lxor 0xff));
+  let oc = open_out_bin bad in
+  output_bytes oc b;
+  close_out oc;
+  let corrupt_fallback_ok =
+    with_server
+      {
+        Sv.default_config with
+        socket_path = tmp "corrupt.sock";
+        snapshot_path = Some bad;
+        shards = 2;
+      }
+      (fun _ socket ->
+        let answer =
+          match Cl.round_trip ~socket (points_to_line 2 probe_var) with
+          | Ok l -> targets_of_line l
+          | Error _ -> None
+        in
+        let snapshot_active =
+          match Cl.round_trip ~socket "{\"id\":3,\"op\":\"stats\"}" with
+          | Ok l -> stat_of_line l [ "snapshot" ] = Some (Json.Bool true)
+          | Error _ -> true
+        in
+        answer <> None && answer = live_targets && not snapshot_active)
+  in
+  Fmt.pr "corrupt snapshot: rejected + correct live answer  %s@."
+    (if corrupt_fallback_ok then "ok" else "FAIL");
+  (* -- gate: good snapshot answers without a single shard solve ----- *)
+  let n_warm = 40 in
+  let snapshot_oread_ok, snapshot_targets_ok =
+    with_server
+      {
+        Sv.default_config with
+        socket_path = tmp "snap.sock";
+        snapshot_path = Some snap;
+        shards = 2;
+      }
+      (fun _ socket ->
+        let all_ok = ref true in
+        let first_targets = ref None in
+        for i = 0 to n_warm - 1 do
+          let var = vars.(i mod Array.length vars) in
+          match Cl.round_trip ~socket (points_to_line (100 + i) var) with
+          | Ok l ->
+              if Pr.status_of_line l <> Pr.S_ok then all_ok := false;
+              if var = probe_var && !first_targets = None then
+                first_targets := targets_of_line l
+          | Error _ -> all_ok := false
+        done;
+        let solves =
+          match Cl.round_trip ~socket "{\"id\":4,\"op\":\"stats\"}" with
+          | Error _ -> max_int
+          | Ok l -> (
+              match stat_of_line l [ "shards" ] with
+              | Some (Json.Arr shards) ->
+                  List.fold_left
+                    (fun acc sh ->
+                      acc
+                      + Option.value ~default:0
+                          (Option.bind (Json.member "solves" sh) Json.to_int))
+                    0 shards
+              | _ -> max_int)
+        in
+        (!all_ok && solves = 0, !first_targets = live_targets))
+  in
+  Fmt.pr "good snapshot: %d queries, zero shard solves      %s@." n_warm
+    (if snapshot_oread_ok then "ok" else "FAIL");
+  Fmt.pr "good snapshot: answers match the live solve       %s@."
+    (if snapshot_targets_ok then "ok" else "FAIL");
+  (* -- the chaos run: faults under load ----------------------------- *)
+  let shards = 3 in
+  let n = if !quick then 160 else 400 in
+  let load = 4 in
+  let kills = 2 and wedges = 1 in
+  let wedge_ms = 300 in
+  let recovery_bound_ms = 2000. in
+  let queries =
+    Array.of_list
+      (Servebench.generate
+         ~mix:{ Servebench.m_good = 8; m_poison = 2; m_slow = 0 }
+         ~fresh_frac:0.5 ~seed:4242L ~n ~vars ~deadline_ms:4000 ~slow_ms:40 ())
+  in
+  (* map the time-based schedule onto query indices: fault f lands when
+     the stream reaches index at_ms * n / span_ms — deterministic and
+     immune to how fast the queries actually drain *)
+  let span_ms = 1000 in
+  let schedule =
+    Servebench.fault_schedule ~kills ~wedges ~seed:99L ~shards ~span_ms
+      ~wedge_ms ()
+  in
+  let faults_at = Array.make n [] in
+  let kill_indices = ref [] in
+  List.iter
+    (fun ev ->
+      let idx = min (n - 1) (ev.Servebench.f_at_ms * n / span_ms) in
+      (match ev.Servebench.f_fault with
+      | Servebench.Kill_shard _ -> kill_indices := idx :: !kill_indices
+      | Servebench.Wedge_shard _ -> ());
+      faults_at.(idx) <- ev.Servebench.f_fault :: faults_at.(idx))
+    schedule;
+  let config =
+    {
+      Sv.default_config with
+      socket_path = tmp "chaos.sock";
+      snapshot_path = Some snap;
+      shards;
+      supervise = not !inject_no_supervise;
+      heartbeat_grace_ms = 150;
+      restart_budget = 8;
+      restart_window_ms = 10_000;
+    }
+  in
+  let lat_ns = Array.make n 0 in
+  let failed_good = ref 0 and answered = ref 0 in
+  let fired = ref [] in
+  let restarts_seen, shards_down =
+    with_server config (fun h socket ->
+        let next = Atomic.make 0 in
+        let fired_m = Mutex.create () in
+        let worker _ =
+          let rec loop () =
+            let i = Atomic.fetch_and_add next 1 in
+            if i < n then begin
+              List.iter
+                (fun f ->
+                  let okay =
+                    match f with
+                    | Servebench.Kill_shard s -> Sv.chaos_kill_shard h s
+                    | Servebench.Wedge_shard (s, ms) ->
+                        Sv.chaos_wedge_shard h s ~wedge_ms:ms
+                  in
+                  if okay then begin
+                    Mutex.lock fired_m;
+                    fired := Servebench.fault_name f :: !fired;
+                    Mutex.unlock fired_m
+                  end)
+                faults_at.(i);
+              let q = queries.(i) in
+              let t0 = D.now_ns () in
+              let outcome =
+                Cl.with_retry
+                  ~policy:{ Cl.default_policy with attempts = 4; seed = i }
+                  ~socket q.Servebench.q_line
+              in
+              lat_ns.(i) <- D.now_ns () - t0;
+              (match (q.Servebench.q_kind, outcome.Cl.reply) with
+              | Servebench.Good, Ok l ->
+                  incr answered;
+                  if Pr.status_of_line l <> Pr.S_ok then incr failed_good
+              | Servebench.Good, Error _ ->
+                  incr answered;
+                  incr failed_good
+              | _, _ -> incr answered);
+              loop ()
+            end
+          in
+          loop ()
+        in
+        let threads = List.init load (Thread.create worker) in
+        List.iter Thread.join threads;
+        (* supervision counters, read live before drain *)
+        match Cl.round_trip ~socket "{\"id\":5,\"op\":\"stats\"}" with
+        | Error _ -> (-1, -1)
+        | Ok l ->
+            let counter k =
+              Option.value ~default:(-1)
+                (Option.bind (stat_of_line l [ "counters"; k ]) Json.to_int)
+            in
+            (counter "serve.shard_restarts", counter "serve.shards_down"))
+  in
+  (* recovery: the tail of queries issued right behind each kill *)
+  let recovery_window = max 8 (n / 20) in
+  let recovery_lats =
+    List.concat_map
+      (fun k ->
+        Array.to_list (Array.sub lat_ns k (min recovery_window (n - k))))
+      !kill_indices
+  in
+  let recovery_p99_ms =
+    match List.sort compare recovery_lats with
+    | [] -> 0.
+    | sorted ->
+        let arr = Array.of_list sorted in
+        float_of_int arr.(min (Array.length arr - 1)
+                            (Array.length arr * 99 / 100))
+        /. 1e6
+  in
+  let zero_failed_good = !failed_good = 0 && !answered = n in
+  let recovery_ok = recovery_p99_ms <= recovery_bound_ms in
+  let restarts_ok =
+    if !inject_no_supervise then true (* nothing to observe by design *)
+    else restarts_seen >= 1
+  in
+  Fmt.pr "chaos stream: n=%d faults=[%s] failed_good=%d     %s@." n
+    (String.concat ", " (List.rev !fired))
+    !failed_good
+    (if zero_failed_good then "ok" else "FAIL");
+  Fmt.pr "recovery p99 over kill windows: %.1fms (<= %.0fms) %s@."
+    recovery_p99_ms recovery_bound_ms
+    (if recovery_ok then "ok" else "FAIL");
+  Fmt.pr "supervisor restarts observed: %d down: %d         %s@." restarts_seen
+    shards_down
+    (if restarts_ok then "ok" else "FAIL");
+  let gates =
+    [
+      ("corrupt_fallback", corrupt_fallback_ok);
+      ("snapshot_oread", snapshot_oread_ok);
+      ("snapshot_answers_match", snapshot_targets_ok);
+      ("zero_failed_good", zero_failed_good);
+      ("recovery_p99", recovery_ok);
+      ("restarts_observed", restarts_ok);
+    ]
+  in
+  Json.write_file "BENCH_chaos.json"
+    (Json.Obj
+       [
+         ("schema", Json.Str "cla.bench.chaos/v1");
+         ("quick", Json.Bool !quick);
+         ("profile", Json.Str p.Profile.name);
+         ("scale", Json.Float p.Profile.scale);
+         ("supervised", Json.Bool (not !inject_no_supervise));
+         ("shards", Json.Int shards);
+         ("n", Json.Int n);
+         ("load", Json.Int load);
+         ( "faults",
+           Json.Arr (List.map (fun s -> Json.Str s) (List.rev !fired)) );
+         ("failed_good", Json.Int !failed_good);
+         ("recovery_p99_ms", Json.Float recovery_p99_ms);
+         ("recovery_bound_ms", Json.Float recovery_bound_ms);
+         ("shard_restarts", Json.Int restarts_seen);
+         ("shards_down", Json.Int shards_down);
+         ( "gates",
+           Json.Obj (List.map (fun (k, v) -> (k, Json.Bool v)) gates) );
+       ]);
+  Fmt.pr "wrote BENCH_chaos.json@.";
+  if List.exists (fun (_, v) -> not v) gates then begin
+    Fmt.pr "CHAOS GATE FAILED: %s@."
+      (String.concat ", "
+         (List.filter_map (fun (k, v) -> if v then None else Some k) gates));
+    exit 1
+  end
+
 let () =
   let t0 = Unix.gettimeofday () in
   if want "table2" then table2 ();
@@ -1179,6 +1561,7 @@ let () =
   if want "solver" then solver ();
   if want "openworld" then openworld ();
   if want "serve" then serve ();
+  if want "chaos" then chaos ();
   if !bench_rows <> [] then begin
     Json.write_file "BENCH_pipeline.json"
       (Json.Obj

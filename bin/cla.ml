@@ -426,6 +426,18 @@ let analyze_cmd =
              starting the fallback only after the precise rungs time \
              out.")
   in
+  let save_snapshot =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-snapshot" ] ~docv:"FILE.snap"
+          ~doc:
+            "Persist the solution as a snapshot sidecar: $(b,cla serve \
+             --snapshot) $(docv) then restarts in the time it takes to \
+             read the file, answering from the frozen solution without a \
+             single solve.  Degraded solutions are refused — a snapshot \
+             must never pin reduced precision.")
+  in
   let json_escape s =
     let b = Buffer.create (String.length s + 8) in
     String.iter
@@ -457,7 +469,7 @@ let analyze_cmd =
     Fmt.pr "@.}@."
   in
   let run db algo print_sets json no_cache no_cycle budget deadline_ms ladder
-      strict_deadline hedge open_world jobs obs =
+      strict_deadline hedge save_snapshot open_world jobs obs =
     with_obs obs (fun () ->
         handle_errors (fun () ->
             let* jobs = resolve_jobs jobs in
@@ -550,9 +562,10 @@ let analyze_cmd =
                     Ok
                       ( o.Pipeline.lo_solution,
                         o.Pipeline.lo_algorithm,
-                        if o.Pipeline.lo_degraded then
-                          Fmt.str " [degraded: %s]" o.Pipeline.lo_note
-                        else "" )
+                        (if o.Pipeline.lo_degraded then
+                           Fmt.str " [degraded: %s]" o.Pipeline.lo_note
+                         else ""),
+                        Some o )
                 | exception Cla_resilience.Deadline.Timed_out p -> Error p
               else
                 match algorithm with
@@ -571,11 +584,12 @@ let analyze_cmd =
                                evictions=%d"
                               r.Andersen.passes ls.Loader.s_in_core
                               ls.Loader.s_loaded ls.Loader.s_in_file
-                              ls.Loader.s_evictions )
+                              ls.Loader.s_evictions,
+                            None )
                     | exception Cla_resilience.Deadline.Timed_out p -> Error p)
                 | _ -> (
                     match Pipeline.points_to ~algorithm ~deadline view with
-                    | sol -> Ok (sol, algorithm, "")
+                    | sol -> Ok (sol, algorithm, "", None)
                     | exception Cla_resilience.Deadline.Timed_out p -> Error p)
             in
             let dt = Unix.gettimeofday () -. t0 in
@@ -586,7 +600,7 @@ let analyze_cmd =
                       (Option.value ~default:0 deadline_ms)
                       Cla_resilience.Progress.pp p,
                     Diag.exit_deadline )
-            | Ok (sol, answered_by, extra) ->
+            | Ok (sol, answered_by, extra, lo) ->
                 if json then print_json sol
                 else begin
                   if print_sets then Fmt.pr "%a" Solution.pp sol;
@@ -597,15 +611,43 @@ let analyze_cmd =
                     (Solution.n_pointer_vars sol)
                     (Solution.n_relations sol) dt extra
                 end;
-                Ok ()))
+                match save_snapshot with
+                | None -> Ok ()
+                | Some path ->
+                    (* a plain solve has no ladder outcome; synthesize
+                       one with the rung's own soundness label *)
+                    let o =
+                      match lo with
+                      | Some o -> o
+                      | None ->
+                          {
+                            Pipeline.lo_solution = sol;
+                            lo_algorithm = answered_by;
+                            lo_degraded = false;
+                            lo_note = Pipeline.soundness_note answered_by;
+                            lo_timeouts = [];
+                          }
+                    in
+                    if o.Pipeline.lo_degraded then
+                      err_input
+                        "refusing to save a snapshot of a degraded \
+                         solution: it would pin the fallback rung's \
+                         precision forever (re-run with a larger \
+                         --deadline-ms)"
+                    else begin
+                      Snapshot.save path ~view o;
+                      Fmt.pr "snapshot: wrote %s (%s)@." path
+                        (Pipeline.algorithm_name o.Pipeline.lo_algorithm);
+                      Ok ()
+                    end))
     |> to_exit
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Run a points-to analysis over a linked database.")
     Term.(
       const run $ db $ algo $ print_sets $ json $ no_cache $ no_cycle $ budget
-      $ deadline_ms $ ladder $ strict_deadline $ hedge $ open_world_arg
-      $ jobs_arg $ obs_term)
+      $ deadline_ms $ ladder $ strict_deadline $ hedge $ save_snapshot
+      $ open_world_arg $ jobs_arg $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* depend                                                              *)
@@ -1041,8 +1083,51 @@ let serve_cmd =
             "Keep the last $(docv) queries in memory (feeds --trace and \
              the serve.recent_total_us series).")
   in
+  let snapshot =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "snapshot" ] ~docv:"FILE.snap"
+          ~doc:
+            "Thaw a solution persisted by $(b,cla analyze \
+             --save-snapshot) and answer every non-fresh query from the \
+             frozen arena — restart cost is the file read, no solve.  A \
+             corrupt or wrong-database snapshot is rejected and the \
+             server falls back to live solves.")
+  in
+  let no_supervise =
+    Arg.(
+      value & flag
+      & info [ "no-supervise" ]
+          ~doc:
+            "Disable shard supervision (heartbeats, automatic restart of \
+             dead or wedged solver shards).  Chaos testing only.")
+  in
+  let heartbeat_grace =
+    Arg.(
+      value & opt int 30_000
+      & info [ "heartbeat-grace-ms" ] ~docv:"MS"
+          ~doc:
+            "A busy shard silent for $(docv) is declared wedged and \
+             restarted.")
+  in
+  let restart_budget =
+    Arg.(
+      value & opt int 5
+      & info [ "restart-budget" ] ~docv:"N"
+          ~doc:
+            "Circuit breaker: after $(docv) restarts of one shard inside \
+             the restart window, leave it down and route around it.")
+  in
+  let restart_window =
+    Arg.(
+      value & opt int 60_000
+      & info [ "restart-window-ms" ] ~docv:"MS"
+          ~doc:"The restart budget's sliding window.")
+  in
   let run db socket max_inflight max_queue default_deadline watchdog_grace
-      allow_sleep shards query_log ring obs =
+      allow_sleep shards query_log ring snapshot no_supervise heartbeat_grace
+      restart_budget restart_window obs =
     handle_errors (fun () ->
         (* [--trace] here means the serving timeline (per-query lanes,
            written by the server at drain), not the batch span tree *)
@@ -1068,10 +1153,16 @@ let serve_cmd =
             query_log;
             trace_path = obs.o_trace;
             ring_capacity = max 1 ring;
+            snapshot_path = snapshot;
+            supervise = not no_supervise;
+            heartbeat_grace_ms = max 1 heartbeat_grace;
+            restart_budget = max 1 restart_budget;
+            restart_window_ms = max 1 restart_window;
           }
         in
-        Fmt.pr "cla serve: %s on %s (inflight<=%d queue<=%d shards=%d)@." db
-          socket max_inflight max_queue shards;
+        Fmt.pr "cla serve: %s on %s (inflight<=%d queue<=%d shards=%d%s)@." db
+          socket max_inflight max_queue shards
+          (match snapshot with Some p -> " snapshot=" ^ p | None -> "");
         let stats = Cla_serve.Server.run ~config view in
         Fmt.pr "cla serve: drained.";
         List.iter
@@ -1090,7 +1181,9 @@ let serve_cmd =
           writes the recent-query serving timeline.")
     Term.(
       const run $ db $ socket_arg $ max_inflight $ max_queue $ default_deadline
-      $ watchdog_grace $ allow_sleep $ shards $ query_log $ ring $ obs_term)
+      $ watchdog_grace $ allow_sleep $ shards $ query_log $ ring $ snapshot
+      $ no_supervise $ heartbeat_grace $ restart_budget $ restart_window
+      $ obs_term)
 
 let query_cmd =
   let points_to =

@@ -87,6 +87,12 @@ val default_ladder : algorithm list
     carries an open-world section. *)
 val open_world_ladder : algorithm list
 
+(** The soundness statement attached to answers from this rung
+    ([lo_note] / {!Solution.provenance}'s [p_note]) — exposed so callers
+    that persist a plain solve (e.g. [cla analyze --save-snapshot]) can
+    label it identically. *)
+val soundness_note : algorithm -> string
+
 type ladder_outcome = {
   lo_solution : Solution.t;
   lo_algorithm : algorithm;  (** the rung that answered *)

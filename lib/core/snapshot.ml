@@ -1,0 +1,318 @@
+(** Persistent solution snapshots: a solved, non-degraded ladder outcome
+    frozen into a compact immutable arena and written as a sidecar
+    [.snap] file, so a server restart costs O(read) instead of O(solve).
+
+    The arena exploits the hash-consed hybrid {!Lvalset} pool: a
+    solution's millions of points-to relations typically live in a few
+    hundred distinct sets, so the file stores each distinct set once —
+    sorted elements, delta-encoded — plus one set index per variable.
+    Thawing re-interns every distinct set through a fresh pool, so the
+    in-memory result has the same physical-sharing structure the solver
+    built: identical sets are pointer-equal again, and every reader
+    (shard) answers from the one shared, immutable arena.
+
+    The format is CLA2's, in miniature: magic, version, a section table
+    of (id, offset, size, CRC32) entries, a table checksum, then the
+    sections.  A snapshot is also {e bound} to the database bytes it was
+    solved from (length + CRC32 of the whole [.cla] file), so a snapshot
+    can never be replayed against a different or edited database.  Any
+    violation — bad magic, unknown version, table or section checksum
+    mismatch, binding mismatch, non-ascending set elements, out-of-range
+    ids — raises {!Binio.Corrupt}; {!load_result} surfaces it as a
+    [Load]-phase {!Diag.t} ([load.corrupt]), and callers fall back to a
+    live solve.  Never a wrong answer. *)
+
+let magic = "CSN1"
+let current_version = 1
+
+(* Section ids.  BINDING first so a mismatched database is reported as
+   such, not as downstream garbage. *)
+let sec_binding = 0
+let sec_prov = 1
+let sec_sets = 2
+let sec_varsets = 3
+
+let entry_size = 13 (* u8 id + u32 off + u32 size + u32 crc *)
+
+let write_str w s =
+  Binio.varint w (String.length s);
+  Buffer.add_string w s
+
+let read_str r =
+  let n = Binio.rvarint r in
+  if r.Binio.pos + n > r.Binio.limit then
+    raise (Binio.Corrupt "string past end of section");
+  let s = String.sub r.Binio.data r.Binio.pos n in
+  r.Binio.pos <- r.Binio.pos + n;
+  s
+
+(* ------------------------------------------------------------------ *)
+(* Freezing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Distinct-set table: sets are hash-consed per solver pool, so physical
+   identity catches most duplicates in O(1); the content key behind it
+   makes dedup exact even across pools (e.g. a hedged rung's result). *)
+let freeze ~(view : Objfile.view) (o : Pipeline.ladder_outcome) : string =
+  if o.Pipeline.lo_degraded then
+    invalid_arg
+      "Snapshot.freeze: refusing to persist a degraded outcome (it would \
+       serve stale precision forever)";
+  let sol = o.Pipeline.lo_solution in
+  let pts = sol.Solution.pts in
+  let n_vars = Array.length pts in
+  let nv_view = Objfile.n_vars view in
+  (* distinct sets, in first-appearance order *)
+  let by_content : (int list, int) Hashtbl.t = Hashtbl.create 256 in
+  let sets = ref [] and n_sets = ref 0 in
+  let var_set = Array.make n_vars 0 in
+  Array.iteri
+    (fun v set ->
+      if Lvalset.cardinal set > 0 then begin
+        let elems = Lvalset.to_list set in
+        List.iter
+          (fun z ->
+            if z < 0 || z >= nv_view then
+              invalid_arg
+                (Fmt.str
+                   "Snapshot.freeze: set element %d outside the database's \
+                    %d objects"
+                   z nv_view))
+          elems;
+        let idx =
+          match Hashtbl.find_opt by_content elems with
+          | Some i -> i
+          | None ->
+              incr n_sets;
+              Hashtbl.replace by_content elems !n_sets;
+              sets := elems :: !sets;
+              !n_sets
+        in
+        var_set.(v) <- idx
+      end)
+    pts;
+  let sets = Array.of_list (List.rev !sets) in
+  (* BINDING: the database these answers are about *)
+  let b_bind = Binio.writer () in
+  Binio.u32 b_bind (String.length view.Objfile.data);
+  Binio.u32 b_bind (Crc32.string view.Objfile.data);
+  (* PROV: which rung answered, and its soundness statement *)
+  let b_prov = Binio.writer () in
+  write_str b_prov (Pipeline.algorithm_name o.Pipeline.lo_algorithm);
+  write_str b_prov o.Pipeline.lo_note;
+  Binio.u32 b_prov n_vars;
+  (* SETS: each distinct set once, elements delta-encoded (ascending) *)
+  let b_sets = Binio.writer () in
+  Binio.u32 b_sets (Array.length sets);
+  Array.iter
+    (fun elems ->
+      Binio.varint b_sets (List.length elems);
+      ignore
+        (List.fold_left
+           (fun prev z ->
+             (match prev with
+             | None -> Binio.varint b_sets z
+             | Some p -> Binio.varint b_sets (z - p));
+             Some z)
+           None elems))
+    sets;
+  (* VARSETS: per variable, its index into the set table (0 = empty) *)
+  let b_vs = Binio.writer () in
+  Binio.u32 b_vs n_vars;
+  Array.iter (fun i -> Binio.varint b_vs i) var_set;
+  let sections =
+    [
+      (sec_binding, b_bind); (sec_prov, b_prov); (sec_sets, b_sets);
+      (sec_varsets, b_vs);
+    ]
+  in
+  let header = Binio.writer () in
+  Buffer.add_string header magic;
+  Binio.u32 header current_version;
+  Binio.u32 header (List.length sections);
+  let table_pos = Binio.wpos header in
+  List.iter
+    (fun _ ->
+      Binio.u8 header 0;
+      Binio.u32 header 0;
+      Binio.u32 header 0;
+      Binio.u32 header 0)
+    sections;
+  Binio.u32 header 0 (* table CRC, patched below *);
+  let out = Buffer.create (1 lsl 12) in
+  Buffer.add_buffer out header;
+  let offsets =
+    List.map
+      (fun (id, b) ->
+        let off = Buffer.length out in
+        Buffer.add_buffer out b;
+        (id, off, Buffer.length b))
+      sections
+  in
+  let bytes = Buffer.to_bytes out in
+  let data = Bytes.unsafe_to_string bytes in
+  List.iteri
+    (fun i (id, off, size) ->
+      let entry = table_pos + (i * entry_size) in
+      Bytes.set bytes entry (Char.chr id);
+      Binio.patch_u32 bytes ~pos:(entry + 1) off;
+      Binio.patch_u32 bytes ~pos:(entry + 5) size;
+      Binio.patch_u32 bytes ~pos:(entry + 9)
+        (Crc32.sub data ~pos:off ~len:size))
+    offsets;
+  let table_end = table_pos + (List.length sections * entry_size) in
+  (* covers version + count + entries: a flipped version or id is caught
+     by the checksum even when it would otherwise parse *)
+  Binio.patch_u32 bytes ~pos:table_end (Crc32.sub data ~pos:4 ~len:(table_end - 4));
+  data
+
+(* ------------------------------------------------------------------ *)
+(* Thawing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let parse_header (data : string) =
+  let len = String.length data in
+  if len < 12 then raise (Binio.Corrupt "not a CLA snapshot (too short)");
+  if String.sub data 0 4 <> magic then
+    raise (Binio.Corrupt "not a CLA snapshot (bad magic)");
+  let r = Binio.reader ~pos:4 data in
+  let version = Binio.ru32 r in
+  if version <> current_version then
+    raise
+      (Binio.Corrupt
+         (Fmt.str "unsupported snapshot version %d (this build reads %d)"
+            version current_version));
+  let nsec = Binio.rcount ~min_size:entry_size r in
+  let table_pos = 12 in
+  let table_end = table_pos + (nsec * entry_size) in
+  let header_end = table_end + 4 in
+  let sections = Hashtbl.create 8 in
+  for _ = 1 to nsec do
+    let id = Binio.ru8 r in
+    let off = Binio.ru32 r in
+    let size = Binio.ru32 r in
+    let crc = Binio.ru32 r in
+    if Hashtbl.mem sections id then
+      raise (Binio.Corrupt (Fmt.str "duplicate snapshot section %d" id));
+    if off < header_end || off + size > len then
+      raise
+        (Binio.Corrupt
+           (Fmt.str "snapshot section %d out of range (%d+%d of %d)" id off
+              size len));
+    Hashtbl.replace sections id (off, size, crc)
+  done;
+  if Binio.ru32 r <> Crc32.sub data ~pos:4 ~len:(table_end - 4) then
+    raise (Binio.Corrupt "snapshot table checksum mismatch");
+  sections
+
+let open_section data sections id name =
+  match Hashtbl.find_opt sections id with
+  | None -> raise (Binio.Corrupt (Fmt.str "snapshot %s section missing" name))
+  | Some (off, size, crc) ->
+      if Crc32.sub data ~pos:off ~len:size <> crc then
+        raise
+          (Binio.Corrupt (Fmt.str "snapshot %s section checksum mismatch" name));
+      Binio.reader ~pos:off ~limit:(off + size) data
+
+let thaw ~(view : Objfile.view) (data : string) : Pipeline.ladder_outcome =
+  let sections = parse_header data in
+  (* binding: right database? *)
+  let r = open_section data sections sec_binding "binding" in
+  let db_len = Binio.ru32 r in
+  let db_crc = Binio.ru32 r in
+  if
+    db_len <> String.length view.Objfile.data
+    || db_crc <> Crc32.string view.Objfile.data
+  then
+    raise
+      (Binio.Corrupt
+         "snapshot was solved from a different database (binding mismatch)");
+  (* provenance *)
+  let r = open_section data sections sec_prov "provenance" in
+  let rung = read_str r in
+  let note = read_str r in
+  let n_vars = Binio.ru32 r in
+  let algorithm =
+    match Pipeline.algorithm_of_string rung with
+    | Some a -> a
+    | None -> raise (Binio.Corrupt (Fmt.str "snapshot names unknown rung %S" rung))
+  in
+  let nv_view = Objfile.n_vars view in
+  (* distinct sets, re-interned through a fresh pool so identical sets
+     are physically shared again *)
+  let r = open_section data sections sec_sets "sets" in
+  let n_sets = Binio.rcount ~min_size:2 r in
+  let pool = Lvalset.create_pool () in
+  let sets = Array.make (n_sets + 1) Lvalset.empty in
+  for i = 1 to n_sets do
+    let card = Binio.rvarint r in
+    if card < 1 then
+      raise (Binio.Corrupt (Fmt.str "snapshot set %d is empty" i));
+    let elems = Array.make card 0 in
+    let prev = ref (-1) in
+    for k = 0 to card - 1 do
+      let z =
+        if k = 0 then Binio.rvarint r
+        else
+          let gap = Binio.rvarint r in
+          if gap < 1 then
+            raise
+              (Binio.Corrupt
+                 (Fmt.str "snapshot set %d is not strictly ascending" i))
+          else !prev + gap
+      in
+      if z < 0 || z >= nv_view then
+        raise
+          (Binio.Corrupt
+             (Fmt.str "snapshot set %d names object %d of %d" i z nv_view));
+      elems.(k) <- z;
+      prev := z
+    done;
+    sets.(i) <- Lvalset.share pool elems
+  done;
+  (* per-variable set indices *)
+  let r = open_section data sections sec_varsets "varsets" in
+  let n = Binio.rcount r in
+  if n <> n_vars then
+    raise
+      (Binio.Corrupt
+         (Fmt.str "snapshot varsets count %d disagrees with provenance %d" n
+            n_vars));
+  let pts = Array.make n_vars Lvalset.empty in
+  for v = 0 to n_vars - 1 do
+    let i = Binio.rvarint r in
+    if i > n_sets then
+      raise
+        (Binio.Corrupt (Fmt.str "variable %d names set %d of %d" v i n_sets));
+    pts.(v) <- sets.(i)
+  done;
+  let sol = Solution.create view pts in
+  Solution.set_provenance sol
+    { Solution.p_rung = rung; p_degraded = false; p_note = note };
+  {
+    Pipeline.lo_solution = sol;
+    lo_algorithm = algorithm;
+    lo_degraded = false;
+    lo_note = note;
+    lo_timeouts = [];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Files                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let save path ~view outcome =
+  let data = freeze ~view outcome in
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
+let load path ~view : Pipeline.ladder_outcome =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let data = really_input_string ic len in
+  close_in ic;
+  thaw ~view data
+
+let load_result path ~view : (Pipeline.ladder_outcome, Diag.t) result =
+  Diag.capture ~file:path ~phase:Diag.Load (fun () -> load path ~view)

@@ -1,0 +1,110 @@
+(** A supervised worker domain: spawn, heartbeat, detect death or wedge,
+    respawn under a restart budget.
+
+    OCaml domains cannot be killed from outside, so supervision is
+    cooperative and generation-based: each spawn carries a generation
+    number, and a body that polls {!current} after every unit of work
+    notices it has been superseded and exits on its own.  The supervisor
+    meanwhile:
+
+    - detects {e death} through the alive sentinel — the spawn wrapper
+      clears it when the body returns or raises, so a worker that died
+      is visible without blocking in [Domain.join];
+    - detects {e wedge} through the heartbeat stamp — the body calls
+      {!beat} as it makes progress, and {!beat_age_ns} reports how stale
+      the stamp is;
+    - enforces a {e restart budget} (circuit breaker): at most [budget]
+      restarts within a sliding [window]; beyond that {!note_restart}
+      answers [`Give_up] and the worker should stay down.
+
+    Handles of superseded-but-possibly-running domains are parked and
+    reaped by {!join_all} at shutdown (a wedged domain is joined when it
+    finally returns; death is joined eagerly). *)
+
+type t = {
+  gen : int Atomic.t;  (* current generation; bumped by respawn *)
+  alive : bool Atomic.t;  (* cleared by the wrapper on body exit *)
+  beat : int Atomic.t;  (* monotonic ns stamp of last progress *)
+  mutable handle : unit Domain.t option;  (* current generation's domain *)
+  mutable zombies : unit Domain.t list;  (* superseded, join at shutdown *)
+  mutable restart_log : int list;  (* monotonic ns stamps, newest first *)
+}
+
+let now_ns () = Cla_resilience.Deadline.now_ns ()
+
+let create () =
+  {
+    gen = Atomic.make 0;
+    alive = Atomic.make false;
+    beat = Atomic.make (now_ns ());
+    handle = None;
+    zombies = [];
+    restart_log = [];
+  }
+
+let current t = Atomic.get t.gen
+
+(* Spawn the next generation.  The previous generation's domain, if any,
+   is parked for [join_all] — it may still be running (wedged); it must
+   notice the generation bump and exit on its own. *)
+let spawn t body =
+  (match t.handle with
+  | Some d -> t.zombies <- d :: t.zombies
+  | None -> ());
+  let gen = Atomic.get t.gen + 1 in
+  Atomic.set t.gen gen;
+  Atomic.set t.alive true;
+  Atomic.set t.beat (now_ns ());
+  t.handle <-
+    Some
+      (Domain.spawn (fun () ->
+           Fun.protect
+             ~finally:(fun () ->
+               (* only the current generation may clear the sentinel: a
+                  late-exiting zombie must not make its healthy
+                  replacement look dead *)
+               if Atomic.get t.gen = gen then Atomic.set t.alive false)
+             (fun () -> try body ~gen with _ -> ())))
+
+let is_alive t = Atomic.get t.alive
+
+let beat t = Atomic.set t.beat (now_ns ())
+
+let beat_age_ns t = now_ns () - Atomic.get t.beat
+
+(* Record a restart attempt against the sliding window.  Answers
+   [`Give_up] once [budget] restarts have landed within [window_ns] —
+   the circuit breaker that keeps a crash-looping worker from burning
+   the host. *)
+let note_restart t ~budget ~window_ns =
+  let now = now_ns () in
+  let recent = List.filter (fun s -> now - s < window_ns) t.restart_log in
+  if List.length recent >= budget then begin
+    t.restart_log <- recent;
+    `Give_up
+  end
+  else begin
+    t.restart_log <- now :: recent;
+    `Restart
+  end
+
+let restarts t = List.length t.restart_log
+
+(* Reap the current domain (if it already died) without blocking: only
+   joins when the sentinel says the body returned. *)
+let reap_dead t =
+  if not (Atomic.get t.alive) then
+    match t.handle with
+    | Some d ->
+        Domain.join d;
+        t.handle <- None
+    | None -> ()
+
+let join_all t =
+  (match t.handle with
+  | Some d ->
+      Domain.join d;
+      t.handle <- None
+  | None -> ());
+  List.iter Domain.join t.zombies;
+  t.zombies <- []

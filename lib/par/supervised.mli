@@ -1,0 +1,52 @@
+(** A supervised worker domain: cooperative restart for workers that
+    cannot be killed.
+
+    Domains cannot be terminated from outside, so supervision is
+    generation-based: every {!spawn} carries a generation number, the
+    body compares it against {!current} between units of work and exits
+    when superseded.  Death (body returned or raised) is visible through
+    {!is_alive} without blocking; wedge is visible through the
+    {!beat}/{!beat_age_ns} heartbeat; {!note_restart} enforces a
+    sliding-window restart budget (circuit breaker).  Superseded domains
+    are parked and reaped by {!join_all}. *)
+
+type t
+
+val create : unit -> t
+
+(** The current generation; bodies poll this to learn they have been
+    superseded. *)
+val current : t -> int
+
+(** Spawn the next generation's domain.  The body receives its
+    generation; exceptions it raises are swallowed (death is reported
+    through {!is_alive}, not a poisoned join).  Any previous domain is
+    parked for {!join_all}. *)
+val spawn : t -> (gen:int -> unit) -> unit
+
+(** False once the current generation's body has returned or raised. *)
+val is_alive : t -> bool
+
+(** Stamp the heartbeat with the monotonic clock; the body calls this as
+    it makes progress. *)
+val beat : t -> unit
+
+(** Nanoseconds since the last {!beat} (or spawn). *)
+val beat_age_ns : t -> int
+
+(** Record a restart attempt: [`Restart] while fewer than [budget]
+    restarts landed within the last [window_ns]; [`Give_up] once the
+    budget is exhausted — the worker should stay down. *)
+val note_restart : t -> budget:int -> window_ns:int -> [ `Restart | `Give_up ]
+
+(** Restarts currently inside the sliding window (after the last
+    {!note_restart} pruned it). *)
+val restarts : t -> int
+
+(** Join the current domain iff it already died (non-blocking
+    otherwise). *)
+val reap_dead : t -> unit
+
+(** Join the current domain and every parked zombie.  Blocks until they
+    return — callers flip their closing flag first. *)
+val join_all : t -> unit

@@ -1,29 +1,50 @@
 (** Client side of the [cla serve] protocol: one-shot round trips and a
     retrying wrapper with exponential backoff and equal jitter.
 
-    Retries cover the two transient outcomes — connection refused (the
-    server is starting, restarting, or draining) and ["shed"] (admission
-    control refused the query under load).  ["timeout"] and ["error"]
-    are final: retrying a timed-out query would just burn another
-    deadline, and a malformed query never becomes well-formed. *)
+    Retries cover the transient outcomes — connection refused or socket
+    not yet there (the server is starting, restarting after a crash, or
+    draining), ["shed"] (admission control refused the query under
+    load), and torn connections.  Permission or address errors are
+    final, as are ["timeout"] and ["error"]: retrying a timed-out query
+    would just burn another deadline, and a malformed query never
+    becomes well-formed. *)
 
-type attempt_error = Connect_failed of string | Io_failed of string
+type attempt_error =
+  | Connect_failed of Unix.error * string
+      (** carries the errno so the retry loop can tell a restart window
+          (ECONNREFUSED, ENOENT) from a hopeless target (EACCES, ...) *)
+  | Io_failed of string
 
 let describe = function
-  | Connect_failed m -> "connect failed: " ^ m
+  | Connect_failed (_, m) -> "connect failed: " ^ m
   | Io_failed m -> "i/o failed: " ^ m
+
+(* Is this attempt worth retrying?  Connection refused means a stale
+   socket file or a listener mid-restart; ENOENT means the replacement
+   has not bound yet — both clear up within the restart window.  An
+   interrupted or reset attempt may succeed verbatim.  Anything else
+   (EACCES, EISDIR, ...) will fail identically forever.  Torn i/o
+   (server died mid-reply) is always worth one more connect. *)
+let retryable = function
+  | Connect_failed
+      ( ( Unix.ECONNREFUSED | Unix.ENOENT | Unix.ECONNRESET | Unix.EAGAIN
+        | Unix.EINTR ),
+        _ ) ->
+      true
+  | Connect_failed _ -> false
+  | Io_failed _ -> true
 
 let round_trip ~socket line : (string, attempt_error) result =
   match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
   | exception Unix.Unix_error (e, _, _) ->
-      Error (Connect_failed (Unix.error_message e))
+      Error (Connect_failed (e, Unix.error_message e))
   | fd -> (
       Fun.protect
         ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
       @@ fun () ->
       match Unix.connect fd (Unix.ADDR_UNIX socket) with
       | exception Unix.Unix_error (e, _, _) ->
-          Error (Connect_failed (Unix.error_message e))
+          Error (Connect_failed (e, Unix.error_message e))
       | () -> (
           let ic = Unix.in_channel_of_descr fd in
           let oc = Unix.out_channel_of_descr fd in
@@ -103,7 +124,12 @@ let with_retry ?(policy = default_policy) ~socket line : outcome =
       end
     in
     match reply with
-    | Error _ -> retry retried_connects ~retry_after:None
+    | Error e when retryable e -> retry retried_connects ~retry_after:None
+    | Error _ ->
+        (* fail fast: this errno will not clear up on its own *)
+        { reply; tries = try_idx + 1;
+          retried_sheds = !retried_sheds;
+          retried_connects = !retried_connects }
     | Ok l -> (
         match Protocol.status_of_line l with
         | Protocol.S_shed ->

@@ -42,6 +42,15 @@ type config = {
   query_log : string option;  (** JSONL sink, one line per query *)
   trace_path : string option;  (** Chrome trace of recent queries at drain *)
   ring_capacity : int;  (** recent-query ring (query log + trace + series) *)
+  snapshot_path : string option;
+      (** thaw a persisted solution at startup; corrupt or mismatched
+          snapshots are rejected ([load.corrupt]) and the server falls
+          back to live solves *)
+  supervise : bool;  (** heartbeat the shards; restart dead/wedged ones *)
+  heartbeat_grace_ms : int;
+      (** a busy shard whose heartbeat is older than this is wedged *)
+  restart_budget : int;  (** circuit breaker: max restarts per window *)
+  restart_window_ms : int;  (** the breaker's sliding window *)
 }
 
 let default_config =
@@ -57,6 +66,11 @@ let default_config =
     query_log = None;
     trace_path = None;
     ring_capacity = 256;
+    snapshot_path = None;
+    supervise = true;
+    heartbeat_grace_ms = 30_000;
+    restart_budget = 5;
+    restart_window_ms = 60_000;
   }
 
 type stats = {
@@ -69,6 +83,8 @@ type stats = {
   mutable s_degraded : int;  (** ok answers from a fallback rung *)
   mutable s_watchdog_cancels : int;
   mutable s_connections : int;
+  mutable s_shard_restarts : int;  (** supervisor respawns (dead or wedged) *)
+  mutable s_shards_down : int;  (** shards the circuit breaker gave up on *)
 }
 
 let stats_counters s =
@@ -82,6 +98,8 @@ let stats_counters s =
     ("serve.degraded", s.s_degraded);
     ("serve.watchdog_cancels", s.s_watchdog_cancels);
     ("serve.connections", s.s_connections);
+    ("serve.shard_restarts", s.s_shard_restarts);
+    ("serve.shards_down", s.s_shards_down);
   ]
 
 (* Per-query telemetry, filled in as the query moves through admission,
@@ -125,17 +143,35 @@ type job = {
   mutable j_reply : (Pipeline.ladder_outcome, R.Progress.t) result option;
 }
 
+(* Fault-injection entries for the chaos harness: [Chaos_kill] makes the
+   worker domain die (its body raises, the alive sentinel clears) and
+   [Chaos_wedge ms] makes it sit heartbeat-less for [ms] — the two
+   failure modes supervision must recover from, injectable on demand. *)
+type entry = Job of job | Chaos_kill | Chaos_wedge of int
+
 (* A solver replica: its own queue, cache and worker domain.  Each solve
    builds fresh solver state over the shared immutable view, so shards
    solve truly concurrently — systhreads share one runtime lock per
-   domain, which is why replicas must be domains to parallelize. *)
+   domain, which is why replicas must be domains to parallelize.
+
+   The queue, cache, and supervision state belong to the {e shard}, not
+   the domain: a respawned domain inherits them, so queued jobs survive
+   a restart and the snapshot-seeded cache makes the replacement warm
+   from its first pop.  [sh_ejected]/[sh_down] are written by the
+   supervisor thread and read by dispatch — both systhreads of the main
+   domain.  [sh_busy] crosses domains and is atomic. *)
 type shard = {
   sh_id : int;
   sh_m : Mutex.t;
   sh_c : Condition.t;
-  sh_q : job Queue.t;
+  sh_q : entry Queue.t;
   mutable sh_cache : Pipeline.ladder_outcome option;
   mutable sh_closing : bool;
+  mutable sh_ejected : bool;  (* round-robin skips; flipped by supervisor *)
+  mutable sh_down : bool;  (* circuit breaker tripped: stays ejected *)
+  mutable sh_doing : job option;  (* in-flight job, for restart re-queue *)
+  sh_busy : bool Atomic.t;  (* worker between pop and reply *)
+  sh_sup : Cla_par.Supervised.t;
 }
 
 type t = {
@@ -151,6 +187,10 @@ type t = {
   wd_m : Mutex.t;
   wd : (int, R.Cancel.t * float) Hashtbl.t;
   mutable serial : int;
+  (* the shared frozen arena: a thawed snapshot every query answers from
+     lock-free (immutable after create); [None] without --snapshot or
+     when the snapshot was rejected *)
+  frozen : Pipeline.ladder_outcome option;
   (* solve lock + cached ladder outcome (single-shard path) *)
   solve_m : Mutex.t;
   mutable cache : Pipeline.ladder_outcome option;
@@ -271,18 +311,35 @@ let stats_extra t =
   let inflight = t.inflight and waiting = t.waiting in
   Mutex.unlock t.adm_m;
   let shard_json i =
+    (* supervision fields only exist for real shards; registry 0 of a
+       single-mode server reports the base block *)
+    let sup_fields =
+      if i < Array.length t.shard_tab then begin
+        let sh = t.shard_tab.(i) in
+        [
+          ("restarts", Json.Int (Cla_par.Supervised.restarts sh.sh_sup));
+          ("alive", Json.Bool (Cla_par.Supervised.is_alive sh.sh_sup));
+          ("ejected", Json.Bool (sh.sh_ejected || sh.sh_down));
+          ("down", Json.Bool sh.sh_down);
+        ]
+      end
+      else []
+    in
     Json.Obj
-      [
-        ("shard", Json.Int i);
-        ( "solves",
-          Json.Int
-            (Option.value ~default:0
-               (Cla_obs.Metrics.get_int ~reg:t.shard_regs.(i)
-                  "serve.shard_solves")) );
-        ("latency", pct_json t.lat_h.(i));
-        ("queue", pct_json t.queue_h.(i));
-        ("solve", pct_json t.solve_h.(i));
-      ]
+      ([
+         ("shard", Json.Int i);
+         ( "solves",
+           Json.Int
+             (Option.value ~default:0
+                (Cla_obs.Metrics.get_int ~reg:t.shard_regs.(i)
+                   "serve.shard_solves")) );
+       ]
+      @ sup_fields
+      @ [
+          ("latency", pct_json t.lat_h.(i));
+          ("queue", pct_json t.queue_h.(i));
+          ("solve", pct_json t.solve_h.(i));
+        ])
   in
   let merged = Cla_obs.Histo.create () in
   Array.iter (fun h -> Cla_obs.Histo.merge_into ~into:merged h) t.lat_h;
@@ -290,6 +347,7 @@ let stats_extra t =
     ("uptime_s", Json.Float uptime_s);
     ("inflight", Json.Int inflight);
     ("waiting", Json.Int waiting);
+    ("snapshot", Json.Bool (t.frozen <> None));
     ("shards", Json.Arr (List.init (Array.length t.lat_h) shard_json));
     ("latency", pct_json merged);
   ]
@@ -434,69 +492,104 @@ let solution_single t qc ~fresh ~deadline ~cancel :
                   qc.qc_solve_ns <- R.Deadline.now_ns () - s0;
                   Error p)))
 
-(* One shard's worker domain: pop a job, solve, reply.  Jobs abandoned
-   by their waiter (cancel token already set) are answered and skipped.
-   On [sh_closing] the queue is drained — every queued job still gets a
-   reply — before the domain exits. *)
-let shard_loop t sh =
+(* One shard's worker domain: pop an entry, solve (or enact a chaos
+   fault), reply.  Jobs abandoned by their waiter (cancel token already
+   set) are answered and skipped.  On [sh_closing] the queue is drained
+   — every queued job still gets a reply — before the domain exits.
+
+   The body is generation-stamped: a superseded domain (the supervisor
+   respawned the shard while this one was wedged) exits at the next loop
+   head without touching the queue, which now belongs to its
+   replacement.  [Supervised.beat] stamps the heartbeat around every
+   unit of progress; the supervisor reads its age. *)
+let shard_loop t sh ~gen =
+  let sup = sh.sh_sup in
   let reply job r =
     Mutex.lock job.j_m;
     job.j_reply <- Some r;
     Mutex.unlock job.j_m
   in
+  let run_job job =
+    let cached = if job.j_fresh then None else sh.sh_cache in
+    Mutex.lock job.j_m;
+    job.j_started <- true;
+    Mutex.unlock job.j_m;
+    if R.Cancel.is_set job.j_cancel then
+      reply job (Error (R.Progress.make "cancelled while queued for a solver shard"))
+    else
+      match cached with
+      | Some o ->
+          job.j_cache_hit <- true;
+          reply job (Ok o)
+      | None -> (
+          Cla_obs.Metrics.incr "serve.shard_solves";
+          Cla_obs.Metrics.incr ~reg:t.shard_regs.(sh.sh_id)
+            "serve.shard_solves";
+          let s0 = R.Deadline.now_ns () in
+          let done_solving () = job.j_solve_ns <- R.Deadline.now_ns () - s0 in
+          match
+            Pipeline.points_to_ladder ~deadline:job.j_deadline
+              ~cancel:job.j_cancel t.view
+          with
+          | o ->
+              done_solving ();
+              if not o.Pipeline.lo_degraded then begin
+                Mutex.lock sh.sh_m;
+                sh.sh_cache <- Some o;
+                Mutex.unlock sh.sh_m
+              end;
+              reply job (Ok o)
+          | exception R.Deadline.Timed_out p ->
+              done_solving ();
+              reply job (Error p)
+          | exception R.Cancel.Cancelled p ->
+              done_solving ();
+              reply job (Error p)
+          | exception e ->
+              done_solving ();
+              reply job
+                (Error
+                   (R.Progress.make ("solver error: " ^ Printexc.to_string e))))
+  in
   let rec loop () =
-    Mutex.lock sh.sh_m;
-    while Queue.is_empty sh.sh_q && not sh.sh_closing do
-      Condition.wait sh.sh_c sh.sh_m
-    done;
-    match Queue.take_opt sh.sh_q with
-    | None -> Mutex.unlock sh.sh_m (* closing, queue drained *)
-    | Some job ->
-        let cached = if job.j_fresh then None else sh.sh_cache in
-        Mutex.unlock sh.sh_m;
-        Mutex.lock job.j_m;
-        job.j_started <- true;
-        Mutex.unlock job.j_m;
-        (if R.Cancel.is_set job.j_cancel then
-           reply job (Error (R.Progress.make "cancelled while queued for a solver shard"))
-         else
-           match cached with
-           | Some o ->
-               job.j_cache_hit <- true;
-               reply job (Ok o)
-           | None -> (
-               Cla_obs.Metrics.incr "serve.shard_solves";
-               Cla_obs.Metrics.incr ~reg:t.shard_regs.(sh.sh_id)
-                 "serve.shard_solves";
-               let s0 = R.Deadline.now_ns () in
-               let done_solving () =
-                 job.j_solve_ns <- R.Deadline.now_ns () - s0
-               in
-               match
-                 Pipeline.points_to_ladder ~deadline:job.j_deadline
-                   ~cancel:job.j_cancel t.view
-               with
-               | o ->
-                   done_solving ();
-                   if not o.Pipeline.lo_degraded then begin
-                     Mutex.lock sh.sh_m;
-                     sh.sh_cache <- Some o;
-                     Mutex.unlock sh.sh_m
-                   end;
-                   reply job (Ok o)
-               | exception R.Deadline.Timed_out p ->
-                   done_solving ();
-                   reply job (Error p)
-               | exception R.Cancel.Cancelled p ->
-                   done_solving ();
-                   reply job (Error p)
-               | exception e ->
-                   done_solving ();
-                   reply job
-                     (Error
-                        (R.Progress.make
-                           ("solver error: " ^ Printexc.to_string e)))));
-        loop ()
+    if Cla_par.Supervised.current sup <> gen then () (* superseded: exit *)
+    else begin
+      Mutex.lock sh.sh_m;
+      while
+        Queue.is_empty sh.sh_q && (not sh.sh_closing)
+        && Cla_par.Supervised.current sup = gen
+      do
+        Condition.wait sh.sh_c sh.sh_m
+      done;
+      if Cla_par.Supervised.current sup <> gen then Mutex.unlock sh.sh_m
+      else
+        match Queue.take_opt sh.sh_q with
+        | None -> Mutex.unlock sh.sh_m (* closing, queue drained *)
+        | Some (Job job) ->
+            sh.sh_doing <- Some job;
+            Mutex.unlock sh.sh_m;
+            Atomic.set sh.sh_busy true;
+            Cla_par.Supervised.beat sup;
+            run_job job;
+            Cla_par.Supervised.beat sup;
+            Atomic.set sh.sh_busy false;
+            Mutex.lock sh.sh_m;
+            sh.sh_doing <- None;
+            Mutex.unlock sh.sh_m;
+            loop ()
+        | Some Chaos_kill ->
+            (* injected death: the body raises, the spawn wrapper clears
+               the alive sentinel, the supervisor notices *)
+            Mutex.unlock sh.sh_m;
+            raise Exit
+        | Some (Chaos_wedge ms) ->
+            (* injected wedge: busy without heartbeat for [ms] *)
+            Mutex.unlock sh.sh_m;
+            Atomic.set sh.sh_busy true;
+            Unix.sleepf (float_of_int ms /. 1000.);
+            Atomic.set sh.sh_busy false;
+            loop ()
+    end
   in
   loop ()
 
@@ -506,10 +599,24 @@ let shard_loop t sh =
    itself through the same deadline/cancel the in-thread path uses —
    including the watchdog, which fires the cancel token past the
    deadline grace. *)
-let solution_sharded t qc ~fresh ~deadline ~cancel :
-    (Pipeline.ladder_outcome, R.Progress.t) result =
+(* Pick the next live shard, round-robin.  The counter is masked with
+   [land max_int] before the modulo: [fetch_and_add] wraps to negative
+   after 2^62 queries, and a negative [mod] would index out of bounds.
+   Ejected / breaker-tripped shards are skipped; when every shard is out
+   the caller falls back to the in-thread path. *)
+let pick_shard t =
   let n = Array.length t.shard_tab in
-  let sh = t.shard_tab.(Atomic.fetch_and_add t.rr 1 mod n) in
+  let rec go tries =
+    if tries >= n then None
+    else
+      let i = Atomic.fetch_and_add t.rr 1 land max_int mod n in
+      let sh = t.shard_tab.(i) in
+      if sh.sh_ejected || sh.sh_down then go (tries + 1) else Some sh
+  in
+  go 0
+
+let solution_on_shard qc sh ~fresh ~deadline ~cancel :
+    (Pipeline.ladder_outcome, R.Progress.t) result =
   qc.qc_shard <- sh.sh_id;
   let cached =
     if fresh then None
@@ -539,7 +646,7 @@ let solution_sharded t qc ~fresh ~deadline ~cancel :
         }
       in
       Mutex.lock sh.sh_m;
-      Queue.add job sh.sh_q;
+      Queue.add (Job job) sh.sh_q;
       Condition.broadcast sh.sh_c;
       Mutex.unlock sh.sh_m;
       let rec wait () =
@@ -570,10 +677,156 @@ let solution_sharded t qc ~fresh ~deadline ~cancel :
       in
       wait ()
 
+let solution_sharded t qc ~fresh ~deadline ~cancel :
+    (Pipeline.ladder_outcome, R.Progress.t) result =
+  match pick_shard t with
+  | None ->
+      (* every shard ejected or down: serve in-thread rather than refuse *)
+      solution_single t qc ~fresh ~deadline ~cancel
+  | Some sh -> solution_on_shard qc sh ~fresh ~deadline ~cancel
+
+(* The frozen arena answers first: a thawed snapshot is immutable and
+   shared by every thread and shard, so steady-state queries never take
+   a lock or touch a queue.  [fresh:true] bypasses it (and every cache)
+   — the one way to force a live solve against a snapshot-backed
+   server. *)
 let solution t qc ~fresh ~deadline ~cancel =
-  if Array.length t.shard_tab = 0 then
-    solution_single t qc ~fresh ~deadline ~cancel
-  else solution_sharded t qc ~fresh ~deadline ~cancel
+  match (if fresh then None else t.frozen) with
+  | Some o ->
+      qc.qc_cache_hit <- true;
+      Ok o
+  | None ->
+      if Array.length t.shard_tab = 0 then
+        solution_single t qc ~fresh ~deadline ~cancel
+      else solution_sharded t qc ~fresh ~deadline ~cancel
+
+(* ------------------------------------------------------------------ *)
+(* Shard supervision                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Move every queued job of a shard the breaker gave up on to a live
+   shard (or answer it with an error when none is left).  Chaos entries
+   die with the shard. *)
+let rehome_queue t sh =
+  let orphans = ref [] in
+  Mutex.lock sh.sh_m;
+  Queue.iter
+    (fun e -> match e with Job j -> orphans := j :: !orphans | _ -> ())
+    sh.sh_q;
+  Queue.clear sh.sh_q;
+  (match sh.sh_doing with
+  | Some j when (not (Cla_par.Supervised.is_alive sh.sh_sup)) && j.j_reply = None
+    ->
+      (* the dead domain never answered it; treat it as queued again *)
+      Mutex.lock j.j_m;
+      j.j_started <- false;
+      Mutex.unlock j.j_m;
+      orphans := j :: !orphans;
+      sh.sh_doing <- None
+  | _ -> ());
+  Mutex.unlock sh.sh_m;
+  List.iter
+    (fun j ->
+      match pick_shard t with
+      | Some sh2 ->
+          Mutex.lock sh2.sh_m;
+          Queue.add (Job j) sh2.sh_q;
+          Condition.broadcast sh2.sh_c;
+          Mutex.unlock sh2.sh_m
+      | None ->
+          Mutex.lock j.j_m;
+          if j.j_reply = None then
+            j.j_reply <-
+              Some (Error (R.Progress.make "solver shard down, none left"));
+          Mutex.unlock j.j_m)
+    (List.rev !orphans)
+
+(* Restart one dead or wedged shard: eject it from dispatch, reap the
+   corpse (dead only — a wedged domain cannot be joined and is parked as
+   a zombie by the respawn), charge the restart budget, and either
+   respawn the worker over the shard's surviving queue/cache or trip the
+   breaker and leave the shard down for good. *)
+let restart_shard t sh ~dead ~window_ns =
+  Mutex.lock sh.sh_m;
+  sh.sh_ejected <- true;
+  Mutex.unlock sh.sh_m;
+  if dead then Cla_par.Supervised.reap_dead sh.sh_sup;
+  match
+    Cla_par.Supervised.note_restart sh.sh_sup ~budget:t.cfg.restart_budget
+      ~window_ns
+  with
+  | `Give_up ->
+      Mutex.lock sh.sh_m;
+      sh.sh_down <- true;
+      Mutex.unlock sh.sh_m;
+      bump t (fun s -> s.s_shards_down <- s.s_shards_down + 1);
+      Cla_obs.Metrics.incr "serve.shards_down";
+      rehome_queue t sh
+  | `Restart ->
+      (* a dead domain's in-flight job never answered: put it back first
+         so the replacement pops it *)
+      Mutex.lock sh.sh_m;
+      (match sh.sh_doing with
+      | Some j when dead && j.j_reply = None ->
+          Mutex.lock j.j_m;
+          j.j_started <- false;
+          Mutex.unlock j.j_m;
+          Queue.add (Job j) sh.sh_q;
+          sh.sh_doing <- None
+      | _ -> ());
+      Mutex.unlock sh.sh_m;
+      Atomic.set sh.sh_busy false;
+      Cla_par.Supervised.spawn sh.sh_sup (fun ~gen -> shard_loop t sh ~gen);
+      bump t (fun s -> s.s_shard_restarts <- s.s_shard_restarts + 1);
+      Cla_obs.Metrics.incr "serve.shard_restarts";
+      Mutex.lock sh.sh_m;
+      sh.sh_ejected <- false;
+      Condition.broadcast sh.sh_c;
+      Mutex.unlock sh.sh_m
+
+(* The supervisor systhread: every 10ms, look for shards whose domain
+   died (alive sentinel cleared) or wedged (busy with a heartbeat older
+   than the grace).  Long legitimate solves are bounded by their query's
+   deadline + watchdog, so a sensible grace never fires on them — and a
+   false positive is benign anyway: the superseded domain finishes its
+   reply and exits at its next generation check. *)
+let supervisor_loop t =
+  let grace_ns = t.cfg.heartbeat_grace_ms * 1_000_000 in
+  let window_ns = t.cfg.restart_window_ms * 1_000_000 in
+  while not (Atomic.get t.stopped) do
+    Thread.delay 0.01;
+    if not (Atomic.get t.shutdown) then
+      Array.iter
+        (fun sh ->
+          if not sh.sh_down then begin
+            let dead = not (Cla_par.Supervised.is_alive sh.sh_sup) in
+            let wedged =
+              (not dead)
+              && Atomic.get sh.sh_busy
+              && Cla_par.Supervised.beat_age_ns sh.sh_sup > grace_ns
+            in
+            if dead || wedged then restart_shard t sh ~dead ~window_ns
+          end)
+        t.shard_tab
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Chaos injection (the [bench chaos] harness drives these)            *)
+(* ------------------------------------------------------------------ *)
+
+let chaos_enqueue t i e =
+  if i < 0 || i >= Array.length t.shard_tab then false
+  else begin
+    let sh = t.shard_tab.(i) in
+    Mutex.lock sh.sh_m;
+    Queue.add e sh.sh_q;
+    Condition.broadcast sh.sh_c;
+    Mutex.unlock sh.sh_m;
+    true
+  end
+
+let chaos_kill_shard t i = chaos_enqueue t i Chaos_kill
+let chaos_wedge_shard t i ~wedge_ms = chaos_enqueue t i (Chaos_wedge wedge_ms)
 
 let find_var t name = Objfile.find_targets t.view name
 
@@ -827,6 +1080,24 @@ let create ?(config = default_config) view =
   let histos name =
     Array.init n_regs (fun i -> Cla_obs.Metrics.histo ~reg:shard_regs.(i) name)
   in
+  (* thaw the persisted solution, if any.  Rejection (corrupt bytes,
+     version bump, wrong database) is a diagnostic plus a fallback to
+     live solves — never a wrong answer, never a refusal to start. *)
+  let frozen =
+    match config.snapshot_path with
+    | None -> None
+    | Some path -> (
+        match Snapshot.load_result path ~view with
+        | Ok o ->
+            Cla_obs.Metrics.set "serve.snapshot" 1;
+            Some o
+        | Error d ->
+            Cla_obs.Metrics.incr (Diag.metric_of_phase d.Diag.phase);
+            Printf.eprintf
+              "cla serve: %s\ncla serve: falling back to a live solve\n%!"
+              (Diag.to_string d);
+            None)
+  in
   {
     cfg = config;
     view;
@@ -841,6 +1112,8 @@ let create ?(config = default_config) view =
         s_degraded = 0;
         s_watchdog_cancels = 0;
         s_connections = 0;
+        s_shard_restarts = 0;
+        s_shards_down = 0;
       };
     stats_m = Mutex.create ();
     adm_m = Mutex.create ();
@@ -849,8 +1122,9 @@ let create ?(config = default_config) view =
     wd_m = Mutex.create ();
     wd = Hashtbl.create 32;
     serial = 0;
+    frozen;
     solve_m = Mutex.create ();
-    cache = None;
+    cache = frozen;
     shard_tab =
       (if config.shards <= 1 then [||]
        else
@@ -862,8 +1136,13 @@ let create ?(config = default_config) view =
                sh_m = Mutex.create ();
                sh_c = Condition.create ();
                sh_q = Queue.create ();
-               sh_cache = None;
+               sh_cache = frozen;
                sh_closing = false;
+               sh_ejected = false;
+               sh_down = false;
+               sh_doing = None;
+               sh_busy = Atomic.make false;
+               sh_sup = Cla_par.Supervised.create ();
              }));
     rr = Atomic.make 0;
     shutdown = Atomic.make false;
@@ -890,6 +1169,35 @@ let create ?(config = default_config) view =
     call). *)
 let request_shutdown t = Atomic.set t.shutdown true
 
+(* Claim the socket path.  A leftover socket from a crashed server (no
+   listener behind it) is taken over: probe with a connect — refused or
+   vanished means stale, unlink and rebind.  A live listener or a
+   non-socket file at the path is an error; never silently unlink
+   another server out from under its clients. *)
+let claim_socket_path path =
+  if Sys.file_exists path then begin
+    (match (Unix.stat path).Unix.st_kind with
+    | Unix.S_SOCK -> ()
+    | _ ->
+        raise (Sys_error (path ^ ": exists and is not a socket"))
+    | exception Unix.Unix_error _ -> ());
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let verdict =
+      Fun.protect
+        ~finally:(fun () -> try Unix.close probe with Unix.Unix_error _ -> ())
+        (fun () ->
+          match Unix.connect probe (Unix.ADDR_UNIX path) with
+          | () -> `Live
+          | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
+            ->
+              `Stale
+          | exception Unix.Unix_error _ -> `Stale)
+    in
+    match verdict with
+    | `Live -> raise (Sys_error (path ^ ": a server is already listening"))
+    | `Stale -> ( try Sys.remove path with Sys_error _ -> ())
+  end
+
 let run ?(config = default_config) ?(on_ready = fun _ -> ()) view : stats =
   let t = create ~config view in
   (* a client that disconnects mid-response must not kill the server *)
@@ -899,32 +1207,66 @@ let run ?(config = default_config) ?(on_ready = fun _ -> ()) view : stats =
       try Sys.set_signal sg (Sys.Signal_handle (fun _ -> request_shutdown t))
       with Invalid_argument _ -> ())
     [ Sys.sigint; Sys.sigterm ];
-  if Sys.file_exists config.socket_path then Sys.remove config.socket_path;
+  claim_socket_path config.socket_path;
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind sock (Unix.ADDR_UNIX config.socket_path);
   Unix.listen sock 64;
+  (* from here on the socket file is ours: remove it on every exit path
+     — graceful drain, accept-loop exception, anything — so a crash
+     leaves at worst a stale file the next server takes over *)
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Sys.remove config.socket_path with Sys_error _ -> ())
+  @@ fun () ->
   let wd_thread = Thread.create watchdog_loop t in
   Cla_obs.Metrics.set "serve.shards" (max 1 (Array.length t.shard_tab));
-  let shard_domains =
-    Array.to_list
-      (Array.map (fun sh -> Domain.spawn (fun () -> shard_loop t sh)) t.shard_tab)
+  Array.iter
+    (fun sh -> Cla_par.Supervised.spawn sh.sh_sup (fun ~gen -> shard_loop t sh ~gen))
+    t.shard_tab;
+  let sup_thread =
+    if config.supervise && Array.length t.shard_tab > 0 then
+      Some (Thread.create supervisor_loop t)
+    else None
   in
-  on_ready t;
-  (* accept loop: select with a short timeout so SIGTERM (which flips
-     [shutdown] from the handler) is noticed promptly *)
-  while not (Atomic.get t.shutdown) do
-    match Unix.select [ sock ] [] [] 0.1 with
-    | [], _, _ -> ()
-    | _ -> (
-        match Unix.accept sock with
-        | fd, _ ->
-            Mutex.lock t.conns_m;
-            t.live_conns <- t.live_conns + 1;
-            Mutex.unlock t.conns_m;
-            ignore (Thread.create (handle_conn t) fd)
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-  done;
+  let stop_workers () =
+    (* stop the solver shards: each drains its queue (every queued job
+       still answers) and exits; superseded zombies are reaped too *)
+    Array.iter
+      (fun sh ->
+        Mutex.lock sh.sh_m;
+        sh.sh_closing <- true;
+        Condition.broadcast sh.sh_c;
+        Mutex.unlock sh.sh_m)
+      t.shard_tab;
+    Array.iter (fun sh -> Cla_par.Supervised.join_all sh.sh_sup) t.shard_tab;
+    Atomic.set t.stopped true;
+    Thread.join wd_thread;
+    match sup_thread with Some th -> Thread.join th | None -> ()
+  in
+  (try
+     on_ready t;
+     (* accept loop: select with a short timeout so SIGTERM (which flips
+        [shutdown] from the handler) is noticed promptly *)
+     while not (Atomic.get t.shutdown) do
+       match Unix.select [ sock ] [] [] 0.1 with
+       | [], _, _ -> ()
+       | _ -> (
+           match Unix.accept sock with
+           | fd, _ ->
+               Mutex.lock t.conns_m;
+               t.live_conns <- t.live_conns + 1;
+               Mutex.unlock t.conns_m;
+               ignore (Thread.create (handle_conn t) fd)
+           | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+     done
+   with e ->
+     (* accept-loop failure: stop workers before re-raising so the
+        process exits instead of hanging on live domains *)
+     Atomic.set t.shutdown true;
+     stop_workers ();
+     raise e);
   (try Unix.close sock with Unix.Unix_error _ -> ());
   (try Sys.remove config.socket_path with Sys_error _ -> ());
   (* drain: in-flight queries finish (their watchdogs still armed);
@@ -939,18 +1281,7 @@ let run ?(config = default_config) ?(on_ready = fun _ -> ()) view : stats =
   while live () > 0 && not (R.Deadline.expired drain_deadline) do
     Thread.delay 0.02
   done;
-  (* stop the solver shards: each drains its queue (every queued job
-     still answers) and exits *)
-  Array.iter
-    (fun sh ->
-      Mutex.lock sh.sh_m;
-      sh.sh_closing <- true;
-      Condition.broadcast sh.sh_c;
-      Mutex.unlock sh.sh_m)
-    t.shard_tab;
-  List.iter Domain.join shard_domains;
-  Atomic.set t.stopped true;
-  Thread.join wd_thread;
+  stop_workers ();
   (* the per-shard registries meet the global one exactly once, here —
      [--stats] / [--stats-json] at exit show the aggregated histograms *)
   Array.iter

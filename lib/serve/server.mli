@@ -33,6 +33,26 @@ type config = {
   ring_capacity : int;
       (** recent-query ring size; also bounds the serve-path series
           ([serve.recent_total_us]) *)
+  snapshot_path : string option;
+      (** thaw a persisted {!Cla_core.Snapshot} at startup and answer
+          every non-[fresh] query from the shared frozen arena,
+          lock-free.  A corrupt, truncated, version-bumped or
+          wrongly-bound snapshot is rejected ([load.corrupt] diagnostic
+          on stderr) and the server falls back to live solves — never a
+          wrong answer. *)
+  supervise : bool;
+      (** run the shard supervisor: heartbeat the worker domains,
+          restart dead or wedged ones (queued jobs survive the restart),
+          under the restart budget below.  On by default; [bench chaos
+          --inject-no-supervise] turns it off to prove the gate bites. *)
+  heartbeat_grace_ms : int;
+      (** a busy shard whose heartbeat is older than this is declared
+          wedged and superseded *)
+  restart_budget : int;
+      (** circuit breaker: after this many restarts inside
+          [restart_window_ms] the shard stays down and dispatch routes
+          around it *)
+  restart_window_ms : int;  (** the breaker's sliding window *)
 }
 
 val default_config : config
@@ -47,6 +67,8 @@ type stats = {
   mutable s_degraded : int;  (** ok answers from a fallback rung *)
   mutable s_watchdog_cancels : int;
   mutable s_connections : int;
+  mutable s_shard_restarts : int;  (** supervisor respawns (dead or wedged) *)
+  mutable s_shards_down : int;  (** shards the circuit breaker gave up on *)
 }
 
 (** The stats as labeled counters, for reports and the [stats] op. *)
@@ -58,6 +80,18 @@ type t
     finish, further request lines get a ["bye"].  Safe to call from a
     signal handler or another thread. *)
 val request_shutdown : t -> unit
+
+(** Fault injection for the chaos harness: make shard [i]'s worker
+    domain die (its alive sentinel clears; the supervisor respawns it
+    over the surviving queue).  [false] when the server is unsharded or
+    [i] is out of range.  The fault is an ordinary queue entry, so it
+    lands when the worker next pops — deterministic, no signals. *)
+val chaos_kill_shard : t -> int -> bool
+
+(** Make shard [i]'s worker sit busy without heartbeats for [wedge_ms]
+    — the supervisor declares it wedged once the grace passes and
+    supersedes it. *)
+val chaos_wedge_shard : t -> int -> wedge_ms:int -> bool
 
 (** Serve queries over [view] until SIGINT/SIGTERM (or
     {!request_shutdown}), then drain and return the final counters.

@@ -32,19 +32,25 @@ let base id op = [ ("id", Json.Int id); ("op", Json.Str op) ]
 
 let with_deadline ms fields = fields @ [ ("deadline_ms", Json.Int ms) ]
 
-let good rng ~id ~vars ~deadline_ms =
+let with_fresh fresh fields =
+  if fresh then fields @ [ ("fresh", Json.Bool true) ] else fields
+
+let good rng ~id ~vars ~deadline_ms ~fresh_frac =
+  let fresh () = fresh_frac > 0. && Rng.flip rng fresh_frac in
   match Rng.int rng 10 with
   | 0 -> obj (base id "ping")
   | 1 -> obj (base id "stats")
   | 2 | 3 | 4 ->
       let a = Rng.choose rng vars and b = Rng.choose rng vars in
       obj
-        (with_deadline deadline_ms
-           (base id "alias" @ [ ("var", Json.Str a); ("var2", Json.Str b) ]))
+        (with_fresh (fresh ())
+           (with_deadline deadline_ms
+              (base id "alias" @ [ ("var", Json.Str a); ("var2", Json.Str b) ])))
   | _ ->
       obj
-        (with_deadline deadline_ms
-           (base id "points-to" @ [ ("var", Json.Str (Rng.choose rng vars)) ]))
+        (with_fresh (fresh ())
+           (with_deadline deadline_ms
+              (base id "points-to" @ [ ("var", Json.Str (Rng.choose rng vars)) ])))
 
 let poison rng ~id ~vars =
   match Rng.int rng 6 with
@@ -72,7 +78,8 @@ let slow rng ~id ~slow_ms =
       (with_deadline (slow_ms * 4)
          (base id "sleep" @ [ ("ms", Json.Int slow_ms) ]))
 
-let generate ?(mix = default_mix) ~seed ~n ~vars ~deadline_ms ~slow_ms () =
+let generate ?(mix = default_mix) ?(fresh_frac = 0.) ~seed ~n ~vars
+    ~deadline_ms ~slow_ms () =
   if Array.length vars = 0 then invalid_arg "Servebench.generate: no variables";
   let rng = Rng.create seed in
   let total = max 1 (mix.m_good + mix.m_poison + mix.m_slow) in
@@ -85,8 +92,42 @@ let generate ?(mix = default_mix) ~seed ~n ~vars ~deadline_ms ~slow_ms () =
       in
       let q_line =
         match q_kind with
-        | Good -> good rng ~id ~vars ~deadline_ms
+        | Good -> good rng ~id ~vars ~deadline_ms ~fresh_frac
         | Poison -> poison rng ~id ~vars
         | Slow -> slow rng ~id ~slow_ms
       in
       { q_id = id; q_kind; q_line })
+
+(* ------------------------------------------------------------------ *)
+(* Fault schedule (the chaos harness)                                  *)
+(* ------------------------------------------------------------------ *)
+
+type fault =
+  | Kill_shard of int  (** make the shard's worker domain die *)
+  | Wedge_shard of int * int  (** shard, wedge duration in ms *)
+
+type fault_event = { f_at_ms : int; f_fault : fault }
+
+let fault_name = function
+  | Kill_shard i -> Printf.sprintf "kill:%d" i
+  | Wedge_shard (i, ms) -> Printf.sprintf "wedge:%d/%dms" i ms
+
+(* A deterministic schedule of [kills] kill events and [wedges] wedge
+   events, spread over the middle of a [span_ms] run (never in the first
+   or last tenth, so every fault lands while the query stream is
+   actually flowing and recovery is observable before the stream ends).
+   Shards are picked round-robin-ish from the rng so multi-shard servers
+   see faults on different replicas. *)
+let fault_schedule ?(kills = 2) ?(wedges = 1) ~seed ~shards ~span_ms ~wedge_ms
+    () =
+  if shards <= 0 then invalid_arg "Servebench.fault_schedule: no shards";
+  let rng = Rng.create seed in
+  let lo = span_ms / 10 and hi = span_ms - (span_ms / 10) in
+  let at () = lo + Rng.int rng (max 1 (hi - lo)) in
+  let evs =
+    List.init kills (fun _ ->
+        { f_at_ms = at (); f_fault = Kill_shard (Rng.int rng shards) })
+    @ List.init wedges (fun _ ->
+          { f_at_ms = at (); f_fault = Wedge_shard (Rng.int rng shards, wedge_ms) })
+  in
+  List.sort (fun a b -> compare a.f_at_ms b.f_at_ms) evs

@@ -23,10 +23,15 @@ val default_mix : mix
     request lines: good queries draw variables from [vars] and carry
     [deadline_ms]; slow queries sleep [slow_ms] (half with a deadline
     they will blow, half with room to spare so they hog a slot).
+    [fresh_frac] (default 0) makes that fraction of good points-to /
+    alias queries carry ["fresh":true] — they bypass every cache and
+    snapshot, forcing real shard solves, which is how the chaos stream
+    keeps the worker domains exercised on a snapshot-backed server.
     Deterministic in [seed].  Raises [Invalid_argument] when [vars] is
     empty. *)
 val generate :
   ?mix:mix ->
+  ?fresh_frac:float ->
   seed:int64 ->
   n:int ->
   vars:string array ->
@@ -34,3 +39,28 @@ val generate :
   slow_ms:int ->
   unit ->
   query list
+
+(** Fault injections for the chaos harness ([bench chaos]): the driver
+    fires each through {!Cla_serve.Server.chaos_kill_shard} /
+    [chaos_wedge_shard] when its offset from stream start comes up. *)
+type fault =
+  | Kill_shard of int  (** make the shard's worker domain die *)
+  | Wedge_shard of int * int  (** shard, wedge duration in ms *)
+
+type fault_event = { f_at_ms : int; f_fault : fault }
+
+val fault_name : fault -> string
+
+(** A deterministic schedule of [kills] (default 2) kill events and
+    [wedges] (default 1) wedge events over the middle 80% of a
+    [span_ms] run, shards drawn from the rng.  Sorted by offset.
+    Raises [Invalid_argument] when [shards <= 0]. *)
+val fault_schedule :
+  ?kills:int ->
+  ?wedges:int ->
+  seed:int64 ->
+  shards:int ->
+  span_ms:int ->
+  wedge_ms:int ->
+  unit ->
+  fault_event list

@@ -516,6 +516,163 @@ let test_server_stats_introspection () =
   (try Sys.remove socket with Sys_error _ -> ());
   Unix.rmdir dir
 
+(* Kill a solver shard's worker domain mid-stream: the supervisor must
+   notice the death, respawn the worker over the shard's surviving
+   queue, and the query stream must never see a failure — the restart
+   is invisible except in the serve.shard_restarts counter.  Fresh
+   queries force real shard solves so the stream actually exercises the
+   killed worker. *)
+let test_server_shard_kill_recovers () =
+  let view =
+    view_of "int x, y; int *p, *q;\nvoid f(void) { p = &x; q = &y; }"
+  in
+  let dir = Filename.temp_file "cla_serve" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let socket = Filename.concat dir "s.sock" in
+  let config =
+    {
+      Cla_serve.Server.default_config with
+      socket_path = socket;
+      shards = 2;
+      default_deadline_ms = 4000;
+    }
+  in
+  let handle = ref None in
+  let ready_m = Mutex.create () and ready_c = Condition.create () in
+  let server =
+    Thread.create
+      (fun () ->
+        Cla_serve.Server.run ~config
+          ~on_ready:(fun t ->
+            Mutex.lock ready_m;
+            handle := Some t;
+            Condition.signal ready_c;
+            Mutex.unlock ready_m)
+          view)
+      ()
+  in
+  Mutex.lock ready_m;
+  while !handle = None do
+    Condition.wait ready_c ready_m
+  done;
+  Mutex.unlock ready_m;
+  let h = Option.get !handle in
+  let fresh_q id =
+    Fmt.str
+      "{\"id\":%d,\"op\":\"points-to\",\"var\":\"p\",\"fresh\":true,\"deadline_ms\":4000}"
+      id
+  in
+  (* injection is bounds-checked, and impossible on a shard that is not
+     there *)
+  Alcotest.(check bool) "kill of shard 0 accepted" true
+    (Cla_serve.Server.chaos_kill_shard h 0);
+  Alcotest.(check bool) "kill of bogus shard refused" false
+    (Cla_serve.Server.chaos_kill_shard h 99);
+  (* the stream across the death + restart: every query must answer ok *)
+  let ok = ref 0 in
+  let n = 20 in
+  for i = 1 to n do
+    let o =
+      Cla_serve.Client.with_retry
+        ~policy:{ Cla_serve.Client.default_policy with seed = i }
+        ~socket (fresh_q i)
+    in
+    match o.Cla_serve.Client.reply with
+    | Ok line
+      when Cla_serve.Protocol.status_of_line line = Cla_serve.Protocol.S_ok ->
+        incr ok
+    | Ok line -> Alcotest.fail (Fmt.str "query %d: unexpected reply %s" i line)
+    | Error e ->
+        Alcotest.fail
+          (Fmt.str "query %d: transport error: %s" i
+             (Cla_serve.Client.describe e))
+  done;
+  Alcotest.(check int) "every query across the kill answered ok" n !ok;
+  (* the restart must land in the counters (the supervisor polls every
+     10ms; give it a bounded moment) *)
+  let module Json = Cla_obs.Json in
+  let restarts () =
+    match
+      Cla_serve.Client.round_trip ~socket "{\"id\":999,\"op\":\"stats\"}"
+    with
+    | Error _ -> 0
+    | Ok line -> (
+        match Json.of_string line with
+        | exception Json.Parse_error _ -> 0
+        | j ->
+            Option.value ~default:0
+              (Option.bind
+                 (Option.bind (Json.member "counters" j)
+                    (Json.member "serve.shard_restarts"))
+                 Json.to_int))
+  in
+  let deadline = Deadline.after ~seconds:3. in
+  let rec wait () =
+    if restarts () >= 1 then ()
+    else if Deadline.expired deadline then
+      Alcotest.fail "supervisor never logged the restart"
+    else begin
+      Thread.delay 0.02;
+      wait ()
+    end
+  in
+  wait ();
+  Cla_serve.Server.request_shutdown h;
+  Thread.join server;
+  (try Sys.remove socket with Sys_error _ -> ());
+  Unix.rmdir dir
+
+(* A stale socket file (a previous server crashed before unlinking) must
+   not block a restart: the new server probes it, finds no listener,
+   takes the path over — and removes it again on its own way out. *)
+let test_server_stale_socket_takeover () =
+  let view = view_of "int x; int *p;\nvoid f(void) { p = &x; }" in
+  let dir = Filename.temp_file "cla_serve" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let socket = Filename.concat dir "s.sock" in
+  (* fake the crash residue: bind, listen, close without unlinking *)
+  let s = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind s (Unix.ADDR_UNIX socket);
+  Unix.listen s 1;
+  Unix.close s;
+  Alcotest.(check bool) "stale socket file left behind" true
+    (Sys.file_exists socket);
+  let config =
+    { Cla_serve.Server.default_config with socket_path = socket }
+  in
+  let handle = ref None in
+  let ready_m = Mutex.create () and ready_c = Condition.create () in
+  let server =
+    Thread.create
+      (fun () ->
+        Cla_serve.Server.run ~config
+          ~on_ready:(fun t ->
+            Mutex.lock ready_m;
+            handle := Some t;
+            Condition.signal ready_c;
+            Mutex.unlock ready_m)
+          view)
+      ()
+  in
+  Mutex.lock ready_m;
+  while !handle = None do
+    Condition.wait ready_c ready_m
+  done;
+  Mutex.unlock ready_m;
+  (match Cla_serve.Client.round_trip ~socket "{\"id\":1,\"op\":\"ping\"}" with
+  | Error e -> Alcotest.fail (Cla_serve.Client.describe e)
+  | Ok line ->
+      Alcotest.(check bool) "takeover server answers" true
+        (Cla_serve.Protocol.status_of_line line = Cla_serve.Protocol.S_ok));
+  (match !handle with
+  | Some t -> Cla_serve.Server.request_shutdown t
+  | None -> ());
+  Thread.join server;
+  Alcotest.(check bool) "socket removed at exit" false (Sys.file_exists socket);
+  Unix.rmdir dir
+
 let () =
   Alcotest.run "resilience"
     [
@@ -553,5 +710,9 @@ let () =
           Alcotest.test_case "sheds when full" `Quick test_server_sheds_when_full;
           Alcotest.test_case "live stats introspection" `Quick
             test_server_stats_introspection;
+          Alcotest.test_case "shard kill recovers under supervision" `Quick
+            test_server_shard_kill_recovers;
+          Alcotest.test_case "stale socket takeover" `Quick
+            test_server_stale_socket_takeover;
         ] );
     ]

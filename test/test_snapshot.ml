@@ -1,0 +1,199 @@
+(* Tests for solution snapshots: freeze/thaw must round-trip a ladder
+   outcome exactly (same sets, same provenance — the differential the
+   server's O(read) restart rests on), and every way a snapshot can be
+   wrong — bit flips anywhere in the file, truncation at any prefix, a
+   bumped version word, binding it to a different database, freezing a
+   degraded outcome — must be rejected loudly, never served. *)
+
+open Cla_core
+
+let view_of src =
+  Objfile.view_of_string (Objfile.write (Compilep.compile_string ~file:"t.c" src))
+
+let src =
+  {|
+    int x, y, z;
+    int *p, *q, **pp;
+    void f() {
+      p = &x;
+      q = &y;
+      pp = &p;
+      *pp = q;
+      p = &z;
+    }
+  |}
+
+let other_src =
+  {|
+    int a;
+    int *r;
+    void g() { r = &a; }
+  |}
+
+let outcome_of view = Pipeline.points_to_ladder view
+
+(* The thawed outcome must be indistinguishable from the frozen one:
+   equal solution, same rung, same note, clean provenance. *)
+let check_same (a : Pipeline.ladder_outcome) (b : Pipeline.ladder_outcome) =
+  Alcotest.(check bool)
+    "solutions equal" true
+    (Solution.equal a.Pipeline.lo_solution b.Pipeline.lo_solution);
+  Alcotest.(check string)
+    "same rung"
+    (Pipeline.algorithm_name a.Pipeline.lo_algorithm)
+    (Pipeline.algorithm_name b.Pipeline.lo_algorithm);
+  Alcotest.(check string) "same note" a.Pipeline.lo_note b.Pipeline.lo_note;
+  Alcotest.(check bool) "not degraded" false b.Pipeline.lo_degraded;
+  Alcotest.(check bool) "no timeouts" true (b.Pipeline.lo_timeouts = []);
+  match Solution.provenance b.Pipeline.lo_solution with
+  | None -> Alcotest.fail "thawed solution carries no provenance"
+  | Some pr ->
+      Alcotest.(check string) "provenance rung" pr.Solution.p_rung
+        (Pipeline.algorithm_name a.Pipeline.lo_algorithm);
+      Alcotest.(check bool) "provenance clean" false pr.Solution.p_degraded
+
+let test_roundtrip () =
+  let view = view_of src in
+  let o = outcome_of view in
+  let bytes = Snapshot.freeze ~view o in
+  let o' = Snapshot.thaw ~view bytes in
+  check_same o o';
+  (* freezing the thawed outcome must be byte-identical: the format is
+     canonical, so a snapshot survives any number of round trips *)
+  Alcotest.(check string)
+    "refreeze is byte-identical" bytes
+    (Snapshot.freeze ~view o')
+
+let test_disk_roundtrip () =
+  let view = view_of src in
+  let o = outcome_of view in
+  let path = Filename.temp_file "cla_snap" ".snap" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  Snapshot.save path ~view o;
+  check_same o (Snapshot.load path ~view)
+
+(* Every single-byte flip anywhere in the file must be caught by the
+   magic check, a checksum, or a bounds check — thaw either raises
+   [Binio.Corrupt] or (never) returns a value equal to the original.
+   Undetected-but-equal is impossible with CRC32 on every section, so we
+   require Corrupt outright. *)
+let test_bitflip_rejected () =
+  let view = view_of src in
+  let o = outcome_of view in
+  let good = Snapshot.freeze ~view o in
+  for i = 0 to String.length good - 1 do
+    let b = Bytes.of_string good in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
+    match Snapshot.thaw ~view (Bytes.to_string b) with
+    | exception Binio.Corrupt _ -> ()
+    | _ -> Alcotest.failf "bit flip at byte %d not detected" i
+  done
+
+let test_truncation_rejected () =
+  let view = view_of src in
+  let good = Snapshot.freeze ~view (outcome_of view) in
+  for len = 0 to String.length good - 1 do
+    match Snapshot.thaw ~view (String.sub good 0 len) with
+    | exception Binio.Corrupt _ -> ()
+    | _ -> Alcotest.failf "truncation to %d bytes not detected" len
+  done
+
+let test_version_bump_rejected () =
+  let view = view_of src in
+  let good = Snapshot.freeze ~view (outcome_of view) in
+  (* the version word sits right after the 4-byte magic, little-endian *)
+  let b = Bytes.of_string good in
+  Bytes.set b 4 (Char.chr (Snapshot.current_version + 1));
+  match Snapshot.thaw ~view (Bytes.to_string b) with
+  | exception Binio.Corrupt _ -> ()
+  | _ -> Alcotest.fail "bumped version not rejected"
+
+(* A snapshot is bound to the database bytes it was solved from: thawing
+   it against a different program must be refused even though the file
+   itself is pristine. *)
+let test_binding_mismatch_rejected () =
+  let view = view_of src in
+  let good = Snapshot.freeze ~view (outcome_of view) in
+  let other = view_of other_src in
+  match Snapshot.thaw ~view:other good with
+  | exception Binio.Corrupt _ -> ()
+  | _ -> Alcotest.fail "snapshot accepted against the wrong database"
+
+let test_degraded_refused () =
+  let view = view_of src in
+  let o = outcome_of view in
+  let degraded = { o with Pipeline.lo_degraded = true } in
+  match Snapshot.freeze ~view degraded with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "degraded outcome frozen"
+
+(* load_result: corruption surfaces as a Load-phase diagnostic naming
+   the file (the [load.corrupt] path the server's fallback rides on),
+   and a missing file is a diagnostic too, not an exception. *)
+let test_load_result_diag () =
+  let view = view_of src in
+  let o = outcome_of view in
+  let path = Filename.temp_file "cla_snap" ".snap" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  Snapshot.save path ~view o;
+  (match Snapshot.load_result path ~view with
+  | Ok o' -> check_same o o'
+  | Error d -> Alcotest.failf "pristine snapshot rejected: %s" (Diag.to_string d));
+  let b = Bytes.of_string (Snapshot.freeze ~view o) in
+  Bytes.set b (Bytes.length b / 2)
+    (Char.chr (Char.code (Bytes.get b (Bytes.length b / 2)) lxor 0xff));
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc;
+  (match Snapshot.load_result path ~view with
+  | Ok _ -> Alcotest.fail "corrupt snapshot accepted"
+  | Error d ->
+      Alcotest.(check bool) "load phase" true (d.Diag.phase = Diag.Load));
+  match Snapshot.load_result (path ^ ".does-not-exist") ~view with
+  | Ok _ -> Alcotest.fail "missing snapshot accepted"
+  | Error d -> Alcotest.(check bool) "load phase" true (d.Diag.phase = Diag.Load)
+
+(* Differential against the serving path: a server answering from the
+   thawed arena must report exactly the sets the live solve reports. *)
+let test_thaw_matches_live_queries () =
+  let view = view_of src in
+  let o = outcome_of view in
+  let o' = Snapshot.thaw ~view (Snapshot.freeze ~view o) in
+  Array.iteri
+    (fun v _ ->
+      let live = Solution.points_to o.Pipeline.lo_solution v in
+      let thawed = Solution.points_to o'.Pipeline.lo_solution v in
+      Alcotest.(check (list string))
+        (Fmt.str "points-to of var %d" v)
+        (List.map
+           (Solution.var_name o.Pipeline.lo_solution)
+           (Lvalset.to_list live))
+        (List.map
+           (Solution.var_name o'.Pipeline.lo_solution)
+           (Lvalset.to_list thawed)))
+    o.Pipeline.lo_solution.Solution.pts
+
+let () =
+  Alcotest.run "snapshot"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "freeze/thaw" `Quick test_roundtrip;
+          Alcotest.test_case "disk" `Quick test_disk_roundtrip;
+          Alcotest.test_case "query differential" `Quick
+            test_thaw_matches_live_queries;
+        ] );
+      ( "rejection",
+        [
+          Alcotest.test_case "every bit flip" `Quick test_bitflip_rejected;
+          Alcotest.test_case "every truncation" `Quick test_truncation_rejected;
+          Alcotest.test_case "version bump" `Quick test_version_bump_rejected;
+          Alcotest.test_case "wrong database" `Quick
+            test_binding_mismatch_rejected;
+          Alcotest.test_case "degraded outcome" `Quick test_degraded_refused;
+          Alcotest.test_case "load_result diagnostics" `Quick
+            test_load_result_diag;
+        ] );
+    ]
