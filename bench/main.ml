@@ -10,8 +10,12 @@
      transforms offline variable substitution (reference [21])
      figures   the worked examples (Figures 1, 3, 4)
      bechamel  one Bechamel micro-benchmark per table
-     parallel  compile fan-out / CRC-verify sweep over --jobs=N,N,...
-               (writes BENCH_parallel.json; -jN bytes must match -j1)
+     parallel  compile / verify / solve sweep over --jobs=N,N,... x
+               --units=N,N,... synthesized compile units (writes
+               BENCH_parallel.json v2; -jN bytes and solutions must
+               match -j1, solve speedup gated at the largest unit
+               count on multi-core hosts; --inject-divergence proves
+               the solution gate fires)
      solver    solver micro-bench: sparse/dense/cyclic workloads x every
                solver and Pretrans.config cell, hybrid lval-sets vs the
                sorted-array baseline (writes BENCH_solver.json; any
@@ -65,6 +69,7 @@ let quick = ref false
 let budget = ref None
 let sections = ref []
 let jobs_sweep = ref [ 1; 2; 4 ]
+let units_sweep = ref []
 let serve_shards = ref [ 1; 2; 4 ]
 let serve_load = ref [ 2; 8 ]
 let solver_scale = ref None
@@ -103,6 +108,8 @@ let () =
             match int_of_string_opt (String.sub s 9 (String.length s - 9)) with
             | Some n when n > 0 -> budget := Some n
             | _ -> Fmt.epr "bad --budget value %S, ignored@." s)
+        | s when String.length s > 8 && String.sub s 0 8 = "--units=" ->
+            int_list_arg s "--units=" units_sweep
         | s when String.length s > 9 && String.sub s 0 9 = "--shards=" ->
             int_list_arg s "--shards=" serve_shards
         | s when String.length s > 7 && String.sub s 0 7 = "--load=" ->
@@ -608,101 +615,196 @@ let bechamel () =
     results
 
 (* ------------------------------------------------------------------ *)
-(* Parallel: compile fan-out + CRC-verify sweep over job counts        *)
+(* Parallel: compile / verify / solve sweep over units x job counts    *)
 (* ------------------------------------------------------------------ *)
 
-(* For each --jobs entry (default 1,2,4; 0 = auto): compile the corpus
-   across a domain pool, byte-compare every object file and the linked
-   database against a fresh -j1 baseline, then time the pooled
-   per-section CRC verify of the linked database.  Any byte divergence
-   from -j1 is a hard failure (exit 1).  Speedup is recorded in
-   BENCH_parallel.json informationally only — a single-core CI box
-   cannot assert it. *)
+(* v2 methodology.  For each --units entry, synthesize a corpus of that
+   many compile units (Genc over a scaled nethack profile); for each
+   --jobs entry (0 = auto) on that corpus: compile across the shared
+   pool, byte-compare every object and the linked database against the
+   corpus's fresh -j1 baseline, time the pooled CRC verify, then run
+   both parallel solvers — the pre-transitive query fan-out and the
+   row-parallel bit-vector passes — and require [Solution.equal]
+   against the -j1 solve.  Any divergence, bytes or solution, in any
+   cell is a hard failure (exit 1); --inject-divergence perturbs one
+   j>=2 solution to prove that gate fires.
+
+   The speedup gate is the part v1 got wrong: it measured 3 units at
+   whole-pool spawn cost per call and could only report the loss.  Now
+   domains are spawned once (Pool.shared) and the gate asserts solve
+   speedup_vs_j1 > 1.0 at the LARGEST unit count, where there is enough
+   work to amortize chunking — hard on multi-core hosts, informational
+   on a 1-core box where j>=2 resolves to 1 domain. *)
 let parallel () =
   hr ();
-  Fmt.pr "PARALLEL: compile fan-out / verify sweep (--jobs=%s)@."
-    (String.concat "," (List.map string_of_int !jobs_sweep));
+  let units_list =
+    match !units_sweep with
+    | [] -> if !quick then [ 2; 8 ] else [ 2; 8; 32 ]
+    | u -> u
+  in
+  let host_cores = Domain.recommended_domain_count () in
+  Fmt.pr "PARALLEL: compile/verify/solve sweep (--units=%s x --jobs=%s, %d core(s))@."
+    (String.concat "," (List.map string_of_int units_list))
+    (String.concat "," (List.map string_of_int !jobs_sweep))
+    host_cores;
   hr ();
-  let p =
-    if !quick then Profile.scaled 0.1 Profile.nethack else Profile.nethack
-  in
-  let files = Genc.generate p in
   let options = Compilep.default_options in
-  let compile_one (file, src) =
-    Objfile.write (Compilep.compile_string ~options ~file src)
+  (* perturb one points-to set so the Solution.equal gate provably
+     fires (same shape as the solver bench's --inject-divergence) *)
+  let perturb v (sol : Solution.t) =
+    let pool = Lvalset.create_pool () in
+    let pts = Array.copy sol.Solution.pts in
+    if Array.length pts > 0 then
+      pts.(0) <-
+        (if Lvalset.cardinal pts.(0) = 0 then Lvalset.of_list pool [ 0 ]
+         else Lvalset.empty);
+    Solution.create v pts
   in
-  let compile_all ~jobs =
-    if jobs <= 1 then List.map compile_one files
-    else
-      Cla_par.Pool.with_pool ~jobs (fun pool ->
-          Cla_par.Pool.map pool compile_one files)
-  in
-  let link objs =
-    let views = List.map Objfile.view_of_string objs in
-    let db, _stats = Linkp.link_views views in
-    Objfile.write db
-  in
-  let t0 = Unix.gettimeofday () in
-  let base_objs = compile_all ~jobs:1 in
-  let base_compile_s = Unix.gettimeofday () -. t0 in
-  let base_db = link base_objs in
-  Fmt.pr "%-10s %-6s %12s %10s %10s %9s  %s@." "requested" "jobs"
-    "compile_s" "link_s" "verify_s" "speedup" "identical";
+  let largest = List.fold_left max 0 units_list in
+  let best_solve_speedup_at_largest = ref 0. in
   let rows = ref [] in
   let divergent = ref false in
+  Fmt.pr "%-6s %-5s %-5s %10s %9s %9s %11s %11s %9s  %s@." "units" "req"
+    "jobs" "compile_s" "link_s" "verify_s" "pretrans_s" "bitvec_s" "speedup"
+    "identical";
   List.iter
-    (fun jobs_requested ->
-      let jobs = Cla_par.Pool.resolve_jobs jobs_requested in
+    (fun n_units ->
+      (* scale the profile so Genc emits ~n_units translation units
+         (it cuts one file per ~1200 variables) *)
+      let scale =
+        float_of_int n_units *. 1200. /. float_of_int Profile.nethack.Profile.variables
+      in
+      let p = Profile.scaled scale Profile.nethack in
+      let files = Genc.generate p in
+      let compile_one (file, src) =
+        Objfile.write (Compilep.compile_string ~options ~file src)
+      in
+      let compile_all ~jobs =
+        if jobs <= 1 then List.map compile_one files
+        else
+          let pool = Cla_par.Pool.shared ~jobs in
+          Cla_par.Pool.map pool compile_one files
+      in
+      let link objs =
+        let views = List.map Objfile.view_of_string objs in
+        let db, _stats = Linkp.link_views views in
+        Objfile.write db
+      in
+      (* per-corpus -j1 baseline: bytes and both exact solutions *)
       let t0 = Unix.gettimeofday () in
-      let objs = compile_all ~jobs in
-      let compile_s = Unix.gettimeofday () -. t0 in
-      let t1 = Unix.gettimeofday () in
-      let db = link objs in
-      let link_s = Unix.gettimeofday () -. t1 in
-      let t2 = Unix.gettimeofday () in
-      (if jobs <= 1 then ignore (Objfile.view_of_string db)
-       else
-         Cla_par.Pool.with_pool ~jobs (fun pool ->
-             ignore (Loader.view_par ~pool db)));
-      let verify_s = Unix.gettimeofday () -. t2 in
-      let identical =
-        List.equal String.equal objs base_objs && String.equal db base_db
-      in
-      if not identical then divergent := true;
-      let speedup =
-        if compile_s > 0. then base_compile_s /. compile_s else 0.
-      in
-      Fmt.pr "%-10d %-6d %12.3f %10.3f %10.3f %8.2fx  %s@." jobs_requested
-        jobs compile_s link_s verify_s speedup
-        (if identical then "yes" else "NO — DIVERGED");
-      rows :=
-        Json.Obj
-          [
-            ("jobs_requested", Json.Int jobs_requested);
-            ("jobs", Json.Int jobs);
-            ("compile_wall_s", Json.Float compile_s);
-            ("link_wall_s", Json.Float link_s);
-            ("verify_wall_s", Json.Float verify_s);
-            ("speedup_vs_j1", Json.Float speedup);
-            ("identical", Json.Bool identical);
-          ]
-        :: !rows)
-    !jobs_sweep;
+      let base_objs = compile_all ~jobs:1 in
+      let base_compile_s = Unix.gettimeofday () -. t0 in
+      let base_db = link base_objs in
+      let base_view = Objfile.view_of_string base_db in
+      let t0 = Unix.gettimeofday () in
+      let base_pre = (Andersen.solve ~demand:false base_view).Andersen.solution in
+      let base_pre_s = Unix.gettimeofday () -. t0 in
+      let t0 = Unix.gettimeofday () in
+      let base_bv = Bitsolver.solve base_view in
+      let base_bv_s = Unix.gettimeofday () -. t0 in
+      List.iter
+        (fun jobs_requested ->
+          let jobs = Cla_par.Pool.resolve_jobs jobs_requested in
+          let t0 = Unix.gettimeofday () in
+          let objs = compile_all ~jobs in
+          let compile_s = Unix.gettimeofday () -. t0 in
+          let t1 = Unix.gettimeofday () in
+          let db = link objs in
+          let link_s = Unix.gettimeofday () -. t1 in
+          let t2 = Unix.gettimeofday () in
+          let view =
+            if jobs <= 1 then Objfile.view_of_string db
+            else
+              let pool = Cla_par.Pool.shared ~jobs in
+              Loader.view_par ~pool db
+          in
+          let verify_s = Unix.gettimeofday () -. t2 in
+          let solve_pool =
+            if jobs > 1 then Some (Cla_par.Pool.shared ~jobs) else None
+          in
+          let t3 = Unix.gettimeofday () in
+          let pre =
+            (Andersen.solve ~demand:false ?pool:solve_pool view)
+              .Andersen.solution
+          in
+          let pre_s = Unix.gettimeofday () -. t3 in
+          let pre =
+            if !inject_divergence && jobs >= 2 then perturb view pre else pre
+          in
+          let t4 = Unix.gettimeofday () in
+          let bv = Bitsolver.solve ?pool:solve_pool view in
+          let bv_s = Unix.gettimeofday () -. t4 in
+          let bytes_ok =
+            List.equal String.equal objs base_objs && String.equal db base_db
+          in
+          let pre_ok = Solution.equal base_pre pre in
+          let bv_ok = Solution.equal base_bv bv in
+          let identical = bytes_ok && pre_ok && bv_ok in
+          if not identical then divergent := true;
+          let speedup base s = if s > 0. then base /. s else 0. in
+          let compile_speedup = speedup base_compile_s compile_s in
+          let pre_speedup = speedup base_pre_s pre_s in
+          let bv_speedup = speedup base_bv_s bv_s in
+          let solve_speedup = Float.max pre_speedup bv_speedup in
+          if n_units = largest && jobs_requested >= 2 then
+            best_solve_speedup_at_largest :=
+              Float.max !best_solve_speedup_at_largest solve_speedup;
+          Fmt.pr "%-6d %-5d %-5d %10.3f %9.3f %9.3f %11.3f %11.3f %8.2fx  %s@."
+            n_units jobs_requested jobs compile_s link_s verify_s pre_s bv_s
+            solve_speedup
+            (if identical then "yes"
+             else if not bytes_ok then "NO — BYTES DIVERGED"
+             else "NO — SOLUTION DIVERGED");
+          rows :=
+            Json.Obj
+              [
+                ("units", Json.Int (List.length files));
+                ("jobs_requested", Json.Int jobs_requested);
+                ("jobs", Json.Int jobs);
+                ("compile_wall_s", Json.Float compile_s);
+                ("link_wall_s", Json.Float link_s);
+                ("verify_wall_s", Json.Float verify_s);
+                ("solve_pretrans_wall_s", Json.Float pre_s);
+                ("solve_bitvector_wall_s", Json.Float bv_s);
+                ("compile_speedup_vs_j1", Json.Float compile_speedup);
+                ("solve_pretrans_speedup_vs_j1", Json.Float pre_speedup);
+                ("solve_bitvector_speedup_vs_j1", Json.Float bv_speedup);
+                ("speedup_vs_j1", Json.Float solve_speedup);
+                ("identical", Json.Bool identical);
+              ]
+            :: !rows)
+        !jobs_sweep)
+    units_list;
   Json.write_file "BENCH_parallel.json"
     (Json.Obj
        [
-         ("schema", Json.Str "cla.bench.parallel/v1");
+         ("schema", Json.Str "cla.bench.parallel/v2");
          ("quick", Json.Bool !quick);
-         ("profile", Json.Str p.Profile.name);
-         ("units", Json.Int (List.length files));
+         ("profile", Json.Str Profile.nethack.Profile.name);
+         ("host_cores", Json.Int host_cores);
+         ("units_sweep", Json.Arr (List.map (fun u -> Json.Int u) units_list));
          ("rows", Json.Arr (List.rev !rows));
        ]);
   Fmt.pr "wrote BENCH_parallel.json (%d row(s))@." (List.length !rows);
   if !divergent then begin
     Fmt.epr
-      "parallel: FAIL — a -jN run produced different bytes than -j1@.";
+      "parallel: FAIL — a -jN run diverged from -j1 (bytes or solution)@.";
     exit 1
+  end;
+  if host_cores > 1 then begin
+    if !best_solve_speedup_at_largest <= 1.0 then begin
+      Fmt.epr
+        "parallel: FAIL — solve speedup_vs_j1 %.2fx <= 1.0 at the largest \
+         unit count (%d units) on a %d-core host@."
+        !best_solve_speedup_at_largest largest host_cores;
+      exit 1
+    end
   end
+  else
+    Fmt.pr
+      "parallel: 1-core host, solve speedup (%.2fx at %d units) is \
+       informational only@."
+      !best_solve_speedup_at_largest largest
 
 (* ------------------------------------------------------------------ *)
 (* Solver micro-bench: hybrid lval-sets + allocation-free reachability *)

@@ -22,10 +22,10 @@ dir=$(mktemp -d)
 trap 'rm -rf "$dir"' EXIT INT TERM
 cd "$dir"
 
-# 1. Tiny sweep: exits 1 on any byte divergence from -j1 and writes
-#    BENCH_parallel.json.
-"$bench" parallel --jobs=1,2 --quick >/dev/null
-grep -q 'cla\.bench\.parallel/v1' BENCH_parallel.json || {
+# 1. Tiny sweep: exits 1 on any divergence (bytes or solution) from
+#    -j1 and writes BENCH_parallel.json.
+"$bench" parallel --jobs=1,2 --units=2 --quick >/dev/null
+grep -q 'cla\.bench\.parallel/v2' BENCH_parallel.json || {
   echo "par_smoke.sh: schema missing from BENCH_parallel.json" >&2
   cat BENCH_parallel.json >&2
   exit 1

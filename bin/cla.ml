@@ -55,12 +55,14 @@ let load_view path =
       raise (Diag.Fail d)
 
 (* Like [load_view], with the per-section checksum sweep fanned out
-   across [jobs] domains ([cla analyze -j N]). *)
+   across [jobs] domains ([cla analyze -j N]).  The domains come from
+   the process-wide persistent pool, so the solve that follows reuses
+   the same parked workers. *)
 let load_view_jobs ~jobs path =
   if jobs <= 1 then load_view path
   else
     Cla_obs.Obs.with_span "load" ~label:path @@ fun () ->
-    Cla_par.Pool.with_pool ~jobs @@ fun pool ->
+    let pool = Cla_par.Pool.shared ~jobs in
     match Loader.load_file_par ~pool path with
     | Ok v -> v
     | Error d ->
@@ -81,9 +83,10 @@ let jobs_arg =
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
           "Use $(docv) worker domains for the parallel phases (unit \
-           compilation, section checksum verification).  0 means auto: \
-           one domain per core.  Output is byte-identical regardless of \
-           $(docv).")
+           compilation, section checksum verification, and the solve \
+           itself: the pre-transitive query fan-out and the row-parallel \
+           bit-vector passes).  0 means auto: one domain per core.  \
+           Output is byte-identical regardless of $(docv).")
 
 (* Resolve a [-j N] request once per run, publishing the requested and
    resolved widths so [--stats-json] records what actually ran.  A
@@ -243,8 +246,8 @@ let compile_cmd =
               else
                 Cla_obs.Obs.with_span "compile"
                   ~label:(Fmt.str "fan-out -j%d" jobs) (fun () ->
-                    Cla_par.Pool.with_pool ~jobs (fun pool ->
-                        Cla_par.Pool.map pool compile sources))
+                    let pool = Cla_par.Pool.shared ~jobs in
+                    Cla_par.Pool.map pool compile sources)
             in
             let c = Diag.collector () in
             List.iter
@@ -547,7 +550,7 @@ let analyze_cmd =
               if ladder then
                 match
                   Pipeline.points_to_ladder ~strict:strict_deadline ~hedge
-                    ?budget ~deadline view
+                    ?budget ~deadline ~jobs view
                 with
                 | o ->
                     List.iter
@@ -573,7 +576,13 @@ let analyze_cmd =
                     let config =
                       { Pretrans.cache = not no_cache; cycle_elim = not no_cycle }
                     in
-                    match Andersen.solve ~config ?budget ~deadline view with
+                    let pool =
+                      if jobs > 1 then Some (Cla_par.Pool.shared ~jobs)
+                      else None
+                    in
+                    match
+                      Andersen.solve ~config ?budget ~deadline ?pool view
+                    with
                     | r ->
                         let ls = r.Andersen.loader_stats in
                         Ok
@@ -588,7 +597,9 @@ let analyze_cmd =
                             None )
                     | exception Cla_resilience.Deadline.Timed_out p -> Error p)
                 | _ -> (
-                    match Pipeline.points_to ~algorithm ~deadline view with
+                    match
+                      Pipeline.points_to ~algorithm ~deadline ~jobs view
+                    with
                     | sol -> Ok (sol, algorithm, "", None)
                     | exception Cla_resilience.Deadline.Timed_out p -> Error p)
             in
@@ -1127,17 +1138,31 @@ let serve_cmd =
   in
   let run db socket max_inflight max_queue default_deadline watchdog_grace
       allow_sleep shards query_log ring snapshot no_supervise heartbeat_grace
-      restart_budget restart_window obs =
+      restart_budget restart_window jobs obs =
     handle_errors (fun () ->
         (* [--trace] here means the serving timeline (per-query lanes,
            written by the server at drain), not the batch span tree *)
         with_obs { obs with o_trace = None } @@ fun () ->
+        let* jobs = resolve_jobs jobs in
         let* () =
           if shards < 1 then
             err_input
               (Fmt.str "invalid shard count %d: --shards expects N >= 1"
                  shards)
-          else Ok ()
+          else begin
+            (* Each shard is a dedicated solver domain; asking for more
+               than the host can park (cores minus the supervisor)
+               oversubscribes the runtime, so refuse it up front like
+               any other invalid count. *)
+            let cap = Cla_par.Pool.auto_cap () in
+            if shards > cap then
+              err_input
+                (Fmt.str
+                   "invalid shard count %d: this host supports at most %d \
+                    solver shard(s) (cores minus the supervisor domain)"
+                   shards cap)
+            else Ok ()
+          end
         in
         let view = load_view db in
         let config =
@@ -1150,6 +1175,7 @@ let serve_cmd =
             watchdog_grace_ms = watchdog_grace;
             allow_sleep;
             shards;
+            solve_jobs = jobs;
             query_log;
             trace_path = obs.o_trace;
             ring_capacity = max 1 ring;
@@ -1183,7 +1209,7 @@ let serve_cmd =
       const run $ db $ socket_arg $ max_inflight $ max_queue $ default_deadline
       $ watchdog_grace $ allow_sleep $ shards $ query_log $ ring $ snapshot
       $ no_supervise $ heartbeat_grace $ restart_budget $ restart_window
-      $ obs_term)
+      $ jobs_arg $ obs_term)
 
 let query_cmd =
   let points_to =

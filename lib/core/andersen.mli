@@ -49,6 +49,9 @@ type t = {
   deadline : Cla_resilience.Deadline.t;
   cancel : Cla_resilience.Cancel.t option;
   t_start : float;  (** monotonic start, for abort progress reports *)
+  mutable par_scratch : Pretrans.scratch array;
+      (** per-domain traversal scratch for the parallel query fan-out,
+          kept across passes (one per pool chunk, grown on demand) *)
 }
 
 (** Convergence counters for one pass of Figure 5's loop. *)
@@ -90,8 +93,19 @@ val init :
 
 (** One pass of Figure 5's iteration algorithm (complex assignments, then
     analysis-time indirect-call linking).  Returns [true] if the graph
-    changed — iterate until it does not. *)
-val pass : t -> bool
+    changed — iterate until it does not.
+
+    [pool] (width ≥ 2) fans the pass's [get_lvals] roots — all known at
+    pass start, since the complexes list is an iteration snapshot —
+    across the pool as read-only traversals, each chunk on its own
+    {!Pretrans.scratch}; cycle unifications and pass-cache writes are
+    then applied in a deterministic single-threaded merge
+    ({!Pretrans.commit_scratches}), so the sequential pass body runs
+    unchanged with every query a cache hit.  Pass counts may differ
+    from a sequential run (the fan-out answers from the pass-start
+    snapshot); the fixpoint — and the extracted {!Solution} — is
+    identical. *)
+val pass : ?pool:Cla_par.Pool.t -> t -> bool
 
 type result = {
   solution : Solution.t;
@@ -121,12 +135,15 @@ val publish_result : ?reg:Cla_obs.Metrics.t -> result -> unit
 (** Run to fixpoint and extract the points-to set of every variable.
     Recorded as an ["analyze"] span (children ["analyze.init"], one
     ["analyze.pass"] per pass, ["analyze.extract"]); the result is
-    published into the metrics registry. *)
+    published into the metrics registry.  [pool] parallelizes each
+    pass's query fan-out (see {!pass}); the returned solution is
+    identical at any pool width. *)
 val solve :
   ?config:Pretrans.config ->
   ?demand:bool ->
   ?budget:int ->
   ?deadline:Cla_resilience.Deadline.t ->
   ?cancel:Cla_resilience.Cancel.t ->
+  ?pool:Cla_par.Pool.t ->
   Objfile.view ->
   result

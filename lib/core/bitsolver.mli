@@ -8,9 +8,21 @@
 
 (** [deadline]/[cancel] are polled at every fixpoint round and every few
     hundred constraint applications, aborting with a typed
-    {!Cla_resilience.Deadline.Timed_out} / {!Cla_resilience.Cancel.Cancelled}. *)
+    {!Cla_resilience.Deadline.Timed_out} / {!Cla_resilience.Cancel.Cancelled}.
+
+    [pool] (width ≥ 2) runs each round row-parallel: copy/load
+    constraints write only their destination row, so they are grouped
+    by destination and partitioned across the pool's domains with
+    per-domain dirty bitmaps merged at the pass barrier; store
+    constraints and indirect calls, which write rows they do not own,
+    run single-threaded after the barrier.  The iteration converges to
+    the same unique least fixpoint, so the returned {!Solution} is
+    byte-identical to a sequential solve — round counts may differ,
+    the answer may not.  Omitting [pool] (or passing a width-1 pool)
+    runs the sequential baseline. *)
 val solve :
   ?deadline:Cla_resilience.Deadline.t ->
   ?cancel:Cla_resilience.Cancel.t ->
+  ?pool:Cla_par.Pool.t ->
   Objfile.view ->
   Solution.t

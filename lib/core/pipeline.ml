@@ -39,15 +39,27 @@ let algorithm_of_string s =
    tasks; [Pool.map] preserves input order and each unit's output bytes
    do not depend on scheduling — [-j N] object bytes are byte-identical
    to [-j 1].  The main domain wraps the whole fan-out in one
-   ["compile"] span (worker domains skip span recording). *)
+   ["compile"] span (worker domains skip span recording).  Domains come
+   from the process-wide persistent pool ({!Cla_par.Pool.shared}), so
+   repeated compile-link calls — and the analyze fan-out after them —
+   reuse the same parked workers instead of re-spawning. *)
 let compile_units ~jobs compile units =
   let jobs = Cla_par.Pool.resolve_jobs jobs in
   if jobs <= 1 then List.map compile units
   else
     Cla_obs.Obs.with_span "compile" ~label:(Fmt.str "fan-out -j%d" jobs)
       (fun () ->
-        Cla_par.Pool.with_pool ~jobs (fun pool ->
-            Cla_par.Pool.map pool compile units))
+        let pool = Cla_par.Pool.shared ~jobs in
+        Cla_par.Pool.map pool compile units)
+
+(* The shared pool, when the caller asked for parallelism; [None] keeps
+   every solver on its strictly sequential code path. *)
+let pool_of_jobs jobs =
+  match jobs with
+  | None -> None
+  | Some j ->
+      let j = Cla_par.Pool.resolve_jobs j in
+      if j <= 1 then None else Some (Cla_par.Pool.shared ~jobs:j)
 
 (** Compile each (name, source) pair and link the results, all in memory.
     [jobs > 1] compiles translation units across a domain pool; the
@@ -81,17 +93,18 @@ let compile_link_files ?(options = Compilep.default_options) ?(jobs = 1)
     own, with per-pass children).  [deadline]/[cancel] abort with the
     typed {!Cla_resilience} exceptions — never a partial solution. *)
 let points_to ?(algorithm = Pretransitive) ?config ?demand ?budget ?deadline
-    ?cancel (view : Objfile.view) : Solution.t =
+    ?cancel ?jobs (view : Objfile.view) : Solution.t =
+  let pool = pool_of_jobs jobs in
   match algorithm with
   | Pretransitive ->
-      (Andersen.solve ?config ?demand ?budget ?deadline ?cancel view)
+      (Andersen.solve ?config ?demand ?budget ?deadline ?cancel ?pool view)
         .Andersen.solution
   | Worklist ->
       Cla_obs.Obs.with_span "analyze" ~label:"worklist" (fun () ->
           Worklist.solve ?deadline ?cancel view)
   | Bitvector ->
       Cla_obs.Obs.with_span "analyze" ~label:"bitvector" (fun () ->
-          Bitsolver.solve ?deadline ?cancel view)
+          Bitsolver.solve ?deadline ?cancel ?pool view)
   | Steensgaard ->
       (* Unification would put the blob in one equivalence class with
          every escaping object — a degenerate "everything aliases
@@ -107,9 +120,10 @@ let points_to ?(algorithm = Pretransitive) ?config ?demand ?budget ?deadline
 
 (** Like {!points_to} with the pre-transitive solver, returning the full
     result (pass count, loader statistics, graph statistics). *)
-let points_to_result ?config ?demand ?budget ?deadline ?cancel view :
+let points_to_result ?config ?demand ?budget ?deadline ?cancel ?jobs view :
     Andersen.result =
-  Andersen.solve ?config ?demand ?budget ?deadline ?cancel view
+  let pool = pool_of_jobs jobs in
+  Andersen.solve ?config ?demand ?budget ?deadline ?cancel ?pool view
 
 (* ------------------------------------------------------------------ *)
 (* Graceful degradation                                                 *)
@@ -171,9 +185,15 @@ let finish_outcome ~alg ~degraded ~timeouts sol =
    answer (usually already done, Steensgaard being near-linear) is
    returned without the sequential ladder's "time out, then start the
    fallback from zero" latency cliff.  Unless [strict], the hedge runs
-   deadline-exempt, like Degrade.run's final rung. *)
+   deadline-exempt, like Degrade.run's final rung.
+
+   The hedge is a {!Cla_par.Pool.async} future on the shared pool: at
+   width 1 (no [-j]) that is a dedicated domain as before, at width >= 2
+   it rides a parked worker.  The hedge body itself always solves
+   sequentially (never [?jobs]) — a pool task must not submit batches to
+   its own pool, and the final rung is the cheap near-linear one. *)
 let hedged_ladder ~ladder ~strict ?config ?demand ?budget ~deadline ?cancel
-    (view : Objfile.view) : ladder_outcome =
+    ?jobs (view : Objfile.view) : ladder_outcome =
   let init_rungs, final_rung =
     let rec split acc = function
       | [ last ] -> (List.rev acc, last)
@@ -185,8 +205,11 @@ let hedged_ladder ~ladder ~strict ?config ?demand ?budget ~deadline ?cancel
   let hedge_cancel = Cla_resilience.Cancel.create () in
   let hedge_done = Atomic.make false in
   let hedge_deadline = if strict then deadline else Cla_resilience.Deadline.never in
+  let hedge_pool =
+    Cla_par.Pool.shared ~jobs:(Cla_par.Pool.resolve_jobs (Option.value jobs ~default:1))
+  in
   let hedge =
-    Domain.spawn (fun () ->
+    Cla_par.Pool.async hedge_pool (fun () ->
         let r =
           match
             points_to ~algorithm:final_rung ?config ?demand ?budget
@@ -200,7 +223,7 @@ let hedged_ladder ~ladder ~strict ?config ?demand ?budget ~deadline ?cancel
   in
   let discard_hedge () =
     Cla_resilience.Cancel.set hedge_cancel;
-    ignore (Domain.join hedge)
+    ignore (Cla_par.Pool.await hedge)
   in
   let timeouts = ref [] in
   let rec run_init idx = function
@@ -208,7 +231,7 @@ let hedged_ladder ~ladder ~strict ?config ?demand ?budget ~deadline ?cancel
     | alg :: rest -> (
         match
           points_to ~algorithm:alg ?config ?demand ?budget ~deadline ?cancel
-            view
+            ?jobs view
         with
         | sol -> Some (alg, idx, sol)
         | exception Cla_resilience.Deadline.Timed_out p ->
@@ -234,7 +257,7 @@ let hedged_ladder ~ladder ~strict ?config ?demand ?budget ~deadline ?cancel
             Unix.sleepf 0.002
           done
       | None -> ());
-      match Domain.join hedge with
+      match Cla_par.Pool.await hedge with
       | Ok sol ->
           Cla_obs.Metrics.set "analyze.hedge_won" 1;
           finish_outcome ~alg:final_rung ~degraded:true
@@ -260,7 +283,7 @@ let hedged_ladder ~ladder ~strict ?config ?demand ?budget ~deadline ?cancel
     cancelled. *)
 let points_to_ladder ?(ladder = default_ladder) ?strict ?(hedge = false)
     ?config ?demand ?budget ?(deadline = Cla_resilience.Deadline.never)
-    ?cancel (view : Objfile.view) : ladder_outcome =
+    ?cancel ?jobs (view : Objfile.view) : ladder_outcome =
   (* open-world databases drop unsupported unification rungs rather
      than dying mid-ladder on the Steensgaard guard *)
   let ladder =
@@ -282,7 +305,7 @@ let points_to_ladder ?(ladder = default_ladder) ?strict ?(hedge = false)
   if hedge_active then
     hedged_ladder ~ladder
       ~strict:(Option.value strict ~default:false)
-      ?config ?demand ?budget ~deadline ?cancel view
+      ?config ?demand ?budget ~deadline ?cancel ?jobs view
   else begin
     let rungs =
       List.map
@@ -290,7 +313,7 @@ let points_to_ladder ?(ladder = default_ladder) ?strict ?(hedge = false)
           ( algorithm_name a,
             fun ~deadline ->
               points_to ~algorithm:a ?config ?demand ?budget ~deadline ?cancel
-                view ))
+                ?jobs view ))
         ladder
     in
     let o = Cla_resilience.Degrade.run ?strict ~deadline ~rungs () in

@@ -52,7 +52,14 @@ val compile_link_files :
 
     [Steensgaard] on an open-world database raises {!Diag.Fail}
     (unification would collapse the blob with every escaping object);
-    the other algorithms treat havoc constraints like ordinary ones. *)
+    the other algorithms treat havoc constraints like ordinary ones.
+
+    [jobs >= 2] ([0] = auto) solves on the process-wide persistent
+    domain pool ({!Cla_par.Pool.shared}): the pre-transitive solver fans
+    each pass's [get_lvals] roots across domains, the bit-vector solver
+    partitions variable rows per pass.  The returned solution is
+    byte-identical to a sequential run at any width; [Worklist] and
+    [Steensgaard] always run sequentially. *)
 val points_to :
   ?algorithm:algorithm ->
   ?config:Pretrans.config ->
@@ -60,6 +67,7 @@ val points_to :
   ?budget:int ->
   ?deadline:Cla_resilience.Deadline.t ->
   ?cancel:Cla_resilience.Cancel.t ->
+  ?jobs:int ->
   Objfile.view ->
   Solution.t
 
@@ -72,6 +80,7 @@ val points_to_result :
   ?budget:int ->
   ?deadline:Cla_resilience.Deadline.t ->
   ?cancel:Cla_resilience.Cancel.t ->
+  ?jobs:int ->
   Objfile.view ->
   Andersen.result
 
@@ -123,7 +132,12 @@ type ladder_outcome = {
     (typically already computed) is returned immediately, eliminating
     the "time out, then start the fallback from zero" latency cliff.
     Hedging never changes {e which} answer a given rung computes, only
-    when the fallback starts. *)
+    when the fallback starts.
+
+    [jobs] parallelizes the precise rungs' solves on the shared domain
+    pool, as in {!points_to}; the hedge rung itself always solves
+    sequentially (it is the cheap near-linear one, and a pool task must
+    not submit batches to its own pool). *)
 val points_to_ladder :
   ?ladder:algorithm list ->
   ?strict:bool ->
@@ -133,5 +147,6 @@ val points_to_ladder :
   ?budget:int ->
   ?deadline:Cla_resilience.Deadline.t ->
   ?cancel:Cla_resilience.Cancel.t ->
+  ?jobs:int ->
   Objfile.view ->
   ladder_outcome

@@ -39,6 +39,9 @@ type config = {
   watchdog_grace_ms : int;  (** cancel fires this long after the deadline *)
   allow_sleep : bool;  (** enable the debug [sleep] op (load tests) *)
   shards : int;  (** solver replicas, each on its own domain; 1 = in-thread *)
+  solve_jobs : int;
+      (** domains each solve draws from the shared pool
+          ({!Cla_par.Pool.shared}); 1 = sequential solves *)
   query_log : string option;  (** JSONL sink, one line per query *)
   trace_path : string option;  (** Chrome trace of recent queries at drain *)
   ring_capacity : int;  (** recent-query ring (query log + trace + series) *)
@@ -63,6 +66,7 @@ let default_config =
     watchdog_grace_ms = 200;
     allow_sleep = false;
     shards = 1;
+    solve_jobs = 1;
     query_log = None;
     trace_path = None;
     ring_capacity = 256;
@@ -478,7 +482,10 @@ let solution_single t qc ~fresh ~deadline ~cancel :
               Ok o
           | None -> (
               let s0 = R.Deadline.now_ns () in
-              match Pipeline.points_to_ladder ~deadline ~cancel t.view with
+              match
+                Pipeline.points_to_ladder ~deadline ~cancel
+                  ~jobs:t.cfg.solve_jobs t.view
+              with
               | o ->
                   qc.qc_solve_ns <- R.Deadline.now_ns () - s0;
                   (* degraded answers serve this query but never poison
@@ -529,7 +536,7 @@ let shard_loop t sh ~gen =
           let done_solving () = job.j_solve_ns <- R.Deadline.now_ns () - s0 in
           match
             Pipeline.points_to_ladder ~deadline:job.j_deadline
-              ~cancel:job.j_cancel t.view
+              ~cancel:job.j_cancel ~jobs:t.cfg.solve_jobs t.view
           with
           | o ->
               done_solving ();

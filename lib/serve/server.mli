@@ -24,6 +24,13 @@ type config = {
           fed round-robin.  [1] (the default) keeps the in-thread
           serialized-solve path; systhreads share one runtime lock per
           domain, so replicas must be domains to solve concurrently. *)
+  solve_jobs : int;
+      (** width each solve draws from the process-wide persistent pool
+          ({!Cla_par.Pool.shared}) — the pre-transitive query fan-out
+          and row-parallel bit-vector passes, never ad-hoc domain
+          spawns.  [1] (the default) keeps solves sequential.  Shards
+          submit to the one shared pool concurrently; answers are
+          byte-identical at any width. *)
   query_log : string option;
       (** append one JSONL line per finished query (op, outcome, shard,
           queue/solve/total timings, rung, cache hit) *)

@@ -78,6 +78,36 @@ let test_task_can_cancel_peers () =
       | _ -> Alcotest.fail "batch-token cancellation should raise"
       | exception Cancel.Cancelled _ -> ())
 
+let test_shared_pool_is_persistent () =
+  let p1 = Pool.shared ~jobs:2 in
+  let p2 = Pool.shared ~jobs:2 in
+  Alcotest.(check bool) "same pool instance" true (p1 == p2);
+  let p3 = Pool.shared ~jobs:1 in
+  Alcotest.(check bool) "narrower request reuses the wide pool" true (p1 == p3);
+  Alcotest.(check int) "width kept" 2 (Pool.jobs p3)
+
+let test_async_future () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let f = Pool.async pool (fun () -> 6 * 7) in
+      Alcotest.(check int) "future value" 42 (Pool.await f);
+      let g = Pool.async pool (fun () -> failwith "boom") in
+      match Pool.await g with
+      | _ -> Alcotest.fail "failed future must re-raise"
+      | exception Failure msg -> Alcotest.(check string) "error kept" "boom" msg);
+  (* width-1 pools have no workers: async must still run concurrently *)
+  Pool.with_pool ~jobs:1 (fun pool ->
+      let f = Pool.async pool (fun () -> 2 + 2) in
+      Alcotest.(check int) "width-1 future value" 4 (Pool.await f))
+
+let test_pool_telemetry_published () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      ignore (Pool.map pool (fun i -> i + 1) (List.init 64 Fun.id)));
+  let has name = Cla_obs.Metrics.find name <> None in
+  Alcotest.(check bool) "par.steals exported" true (has "par.steals");
+  Alcotest.(check bool) "par.lane.busy_us exported" true (has "par.lane.busy_us");
+  Alcotest.(check bool) "par.lane.idle_us exported" true (has "par.lane.idle_us");
+  Alcotest.(check bool) "par.queue_wait_us exported" true (has "par.queue_wait_us")
+
 (* ------------------------------------------------------------------ *)
 (* Byte-identical parallel compilation                                 *)
 (* ------------------------------------------------------------------ *)
@@ -136,6 +166,59 @@ let test_parallel_verify_catches_corruption () =
       match Loader.view_par ~pool corrupt with
       | _ -> Alcotest.fail "corrupt section must fail verification"
       | exception Binio.Corrupt _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Parallel solve oracle                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Genir = Cla_workload.Genir
+
+let shaped_views =
+  lazy
+    (List.map
+       (fun sh -> (Genir.shape_name sh, Genir.shaped ~scale:0.3 sh 11L))
+       Genir.all_shapes)
+
+(* The sharing-pool canonicality invariant: every pool miss builds
+   exactly one canonical set, stored as either a small sorted array or
+   a dense bitmap.  It must hold at any pool width — a racy build would
+   double-count or leak a non-canonical set. *)
+let check_pool_canonicality name (s : Pretrans.stats) =
+  Alcotest.(check int)
+    (name ^ ": pool misses = small + dense sets")
+    s.Pretrans.pool_misses
+    (s.Pretrans.pool_small + s.Pretrans.pool_dense)
+
+let test_solvers_byte_identical_across_jobs () =
+  List.iter
+    (fun (shape, view) ->
+      let base_bv = Bitsolver.solve view in
+      let base_r = Andersen.solve ~demand:false view in
+      check_pool_canonicality (shape ^ " j1") base_r.Andersen.graph_stats;
+      List.iter
+        (fun jobs ->
+          Pool.with_pool ~jobs (fun pool ->
+              let bv = Bitsolver.solve ~pool view in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: bitvector j%d = j1" shape jobs)
+                true
+                (Solution.equal base_bv bv);
+              let r = Andersen.solve ~pool ~demand:false view in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: pretransitive j%d = j1" shape jobs)
+                true
+                (Solution.equal base_r.Andersen.solution r.Andersen.solution);
+              check_pool_canonicality
+                (Printf.sprintf "%s j%d" shape jobs)
+                r.Andersen.graph_stats;
+              (* the fan-out replays the same constraint graph: node
+                 creation is load-driven, never traversal-driven *)
+              Alcotest.(check int)
+                (Printf.sprintf "%s j%d: same graph nodes" shape jobs)
+                base_r.Andersen.graph_stats.Pretrans.nodes
+                r.Andersen.graph_stats.Pretrans.nodes))
+        [ 2; 4 ])
+    (Lazy.force shaped_views)
 
 (* ------------------------------------------------------------------ *)
 (* Hedged degradation ladder                                           *)
@@ -302,6 +385,16 @@ let () =
             test_preset_cancel_aborts_batch;
           Alcotest.test_case "task can cancel peers" `Quick
             test_task_can_cancel_peers;
+          Alcotest.test_case "shared pool is persistent" `Quick
+            test_shared_pool_is_persistent;
+          Alcotest.test_case "async future" `Quick test_async_future;
+          Alcotest.test_case "telemetry published" `Quick
+            test_pool_telemetry_published;
+        ] );
+      ( "solve",
+        [
+          Alcotest.test_case "solvers byte-identical at j1/j2/j4" `Quick
+            test_solvers_byte_identical_across_jobs;
         ] );
       ( "compile",
         [
