@@ -39,6 +39,18 @@
                supervisor logged the restarts.  Writes BENCH_chaos.json
                (cla.bench.chaos/v1); --inject-no-supervise disables the
                supervisor and must make the gate exit 1.
+     incremental delta-solve gate: replay a seeded one-TU edit stream
+               (--steps=N, --p-remove=P, --seed=S) through the
+               Incremental driver and, at every step, redo the honest
+               from-scratch pipeline (every unit recompiled, full link,
+               cold solve).  Solution.equal at every step is a hard
+               gate; additions must resume the solver; the compile
+               cache must score 1 miss / n-1 hits per one-TU edit; and
+               the incremental-vs-scratch speedup at the stream's tail
+               must beat 1.0.  Writes BENCH_incremental.json (schema
+               cla.bench.incremental/v1); --inject-stale checks each
+               step against the previous step's solution and must make
+               the gate exit 1.
 
    Every table prints the paper's reported row (p:) next to the measured
    row (m:).  Absolute times are not comparable (the paper used an 800MHz
@@ -78,13 +90,38 @@ let check_hard = ref false
 let inject_divergence = ref false
 let inject_unsound = ref false
 let inject_no_supervise = ref false
+let inject_stale = ref false
+let incr_steps = ref 8
+let incr_seed = ref 1 (* seed 1's default stream includes a removal step *)
+let incr_p_remove = ref 0.2
 
-let int_list_arg s prefix tgt =
-  let body = String.sub s (String.length prefix) (String.length s - String.length prefix) in
+(* shared "--flag=value" parsing — every sweep used to hand-roll its own
+   String.sub prefix dance; these cover them all *)
+let chop s prefix =
+  let np = String.length prefix and ns = String.length s in
+  if ns > np && String.sub s 0 np = prefix then
+    Some (String.sub s np (ns - np))
+  else None
+
+let has s prefix = chop s prefix <> None
+
+let int_list_arg ?(min = 1) s prefix tgt =
+  let body = Option.value ~default:"" (chop s prefix) in
   match List.map int_of_string_opt (String.split_on_char ',' body) with
-  | js when js <> [] && List.for_all (function Some j -> j >= 1 | None -> false) js
-    ->
+  | js
+    when js <> []
+         && List.for_all (function Some j -> j >= min | None -> false) js ->
       tgt := List.map Option.get js
+  | _ -> Fmt.epr "bad %s value %S, ignored@." prefix s
+
+let int_arg ?(min = 1) s prefix tgt =
+  match int_of_string_opt (Option.value ~default:"" (chop s prefix)) with
+  | Some n when n >= min -> tgt := n
+  | _ -> Fmt.epr "bad %s value %S, ignored@." prefix s
+
+let float_arg ~lo s prefix tgt =
+  match float_of_string_opt (Option.value ~default:"" (chop s prefix)) with
+  | Some f when f >= lo -> tgt := f
   | _ -> Fmt.epr "bad %s value %S, ignored@." prefix s
 
 let () =
@@ -97,35 +134,25 @@ let () =
         | "--inject-divergence" -> inject_divergence := true
         | "--inject-unsound" -> inject_unsound := true
         | "--inject-no-supervise" -> inject_no_supervise := true
-        | s when String.length s > 8 && String.sub s 0 8 = "--scale=" -> (
-            match float_of_string_opt (String.sub s 8 (String.length s - 8)) with
+        | "--inject-stale" -> inject_stale := true
+        | s when has s "--scale=" -> (
+            match float_of_string_opt (Option.get (chop s "--scale=")) with
             | Some f when f > 0. -> solver_scale := Some f
             | _ -> Fmt.epr "bad --scale value %S, ignored@." s)
-        | s
-          when String.length s > 16 && String.sub s 0 16 = "--check-against=" ->
-            check_against := Some (String.sub s 16 (String.length s - 16))
-        | s when String.length s > 9 && String.sub s 0 9 = "--budget=" -> (
-            match int_of_string_opt (String.sub s 9 (String.length s - 9)) with
+        | s when has s "--check-against=" ->
+            check_against := chop s "--check-against="
+        | s when has s "--budget=" -> (
+            match int_of_string_opt (Option.get (chop s "--budget=")) with
             | Some n when n > 0 -> budget := Some n
             | _ -> Fmt.epr "bad --budget value %S, ignored@." s)
-        | s when String.length s > 8 && String.sub s 0 8 = "--units=" ->
-            int_list_arg s "--units=" units_sweep
-        | s when String.length s > 9 && String.sub s 0 9 = "--shards=" ->
-            int_list_arg s "--shards=" serve_shards
-        | s when String.length s > 7 && String.sub s 0 7 = "--load=" ->
-            int_list_arg s "--load=" serve_load
-        | s when String.length s > 7 && String.sub s 0 7 = "--jobs=" -> (
-            let body = String.sub s 7 (String.length s - 7) in
-            match
-              List.map int_of_string_opt (String.split_on_char ',' body)
-            with
-            | js
-              when js <> []
-                   && List.for_all
-                        (function Some j -> j >= 0 | None -> false)
-                        js ->
-                jobs_sweep := List.map Option.get js
-            | _ -> Fmt.epr "bad --jobs value %S, ignored@." s)
+        | s when has s "--units=" -> int_list_arg s "--units=" units_sweep
+        | s when has s "--shards=" -> int_list_arg s "--shards=" serve_shards
+        | s when has s "--load=" -> int_list_arg s "--load=" serve_load
+        | s when has s "--jobs=" -> int_list_arg ~min:0 s "--jobs=" jobs_sweep
+        | s when has s "--steps=" -> int_arg s "--steps=" incr_steps
+        | s when has s "--seed=" -> int_arg ~min:0 s "--seed=" incr_seed
+        | s when has s "--p-remove=" ->
+            float_arg ~lo:0. s "--p-remove=" incr_p_remove
         | s -> sections := s :: !sections)
     Sys.argv
 
@@ -1649,6 +1676,176 @@ let chaos () =
     exit 1
   end
 
+(* --- incremental: delta compile-link-solve vs from-scratch ----------- *)
+
+(* The hard gate behind the incremental pipeline: replay a seeded
+   Editstream (one-TU append-only edits; with probability --p-remove a
+   step instead removes a prior edit) and, at every step, redo the
+   from-scratch pipeline over the same sources — every unit recompiled
+   through Compilep.compile_string (the compile cache never sees them),
+   a full Linkp.link_views merge, and a cold Andersen.solve.  The cold
+   solve runs over the incremental driver's own linked view so
+   Solution.equal compares like ids (the full merge interleaves ids
+   where the delta linker appends; the constraint sets are identical —
+   the delta-link tests check that equivalence name-wise).
+
+   --inject-stale swaps the previous step's from-scratch solution into
+   the equality check, so the gate must fail and the section must exit
+   1 — proof the gate can fire. *)
+
+let incremental () =
+  hr ();
+  (* vortex, not burlap: unit count is what the compile cache leverages
+     (Genc splits ~1200 variables per file), and vortex's 11.4K
+     variables give 9 units at full scale where burlap gives 5 *)
+  let scale =
+    match !solver_scale with
+    | Some s -> s
+    | None -> if !quick then 0.5 else 1.0
+  in
+  let steps = !incr_steps and p_remove = !incr_p_remove in
+  let p = Profile.scaled scale Profile.vortex in
+  Fmt.pr
+    "INCREMENTAL: %d-step edit stream over %s (scale %.2f, p_remove %.2f, \
+     seed %d)%s@."
+    steps p.Profile.name p.Profile.scale p_remove !incr_seed
+    (if !inject_stale then " [INJECTING STALE SOLUTION]" else "");
+  hr ();
+  let es =
+    Editstream.create ~seed:(Int64.of_int !incr_seed) ~p_remove p
+  in
+  (* from-scratch baseline: recompile every unit (no compile cache),
+     full link, cold solve — serialization round-trips included, exactly
+     like the incremental driver's own unit handling *)
+  let scratch sources view =
+    let t0 = Unix.gettimeofday () in
+    let views =
+      List.map
+        (fun (file, src) ->
+          Objfile.view_of_string
+            (Objfile.write (Compilep.compile_string ~file src)))
+        sources
+    in
+    let t1 = Unix.gettimeofday () in
+    let _db, _stats = Linkp.link_views views in
+    let t2 = Unix.gettimeofday () in
+    let sol = (Andersen.solve view).Andersen.solution in
+    let t3 = Unix.gettimeofday () in
+    (sol, t1 -. t0, t2 -. t1, t3 -. t2)
+  in
+  let t, s0 = Incremental.create (Editstream.sources es) in
+  let n_files = s0.Incremental.sources in
+  let base_scratch, _, _, _ =
+    scratch (Editstream.sources es) (Incremental.view t)
+  in
+  let base_ok = Solution.equal (Incremental.solution t) base_scratch in
+  Fmt.pr "base: %d unit(s), solution %s scratch@." n_files
+    (if base_ok then "==" else "!=");
+  let prev_scratch = ref base_scratch in
+  let rows = ref [] in
+  let all_equal = ref base_ok in
+  let cache_ok = ref true in
+  let adds_resumed = ref true in
+  let totals = ref [] in
+  for _ = 1 to steps do
+    let step = Editstream.next es in
+    let s = Incremental.update t step.Editstream.ssources in
+    let inc_total =
+      s.Incremental.wall_compile_s +. s.Incremental.wall_link_s
+      +. s.Incremental.wall_solve_s
+    in
+    let sol_scratch, sc_compile, sc_link, sc_solve =
+      scratch step.Editstream.ssources (Incremental.view t)
+    in
+    let sc_total = sc_compile +. sc_link +. sc_solve in
+    (* the gate; --inject-stale deliberately compares against the
+       previous step's solution, which each edit invalidates *)
+    let oracle = if !inject_stale then !prev_scratch else sol_scratch in
+    let equal = Solution.equal (Incremental.solution t) oracle in
+    prev_scratch := sol_scratch;
+    let speedup = if inc_total > 0. then sc_total /. inc_total else 0. in
+    totals := (inc_total, sc_total) :: !totals;
+    if not equal then all_equal := false;
+    if s.Incremental.cache_misses <> 1
+       || s.Incremental.cache_hits <> n_files - 1
+    then cache_ok := false;
+    if (not step.Editstream.sremoval) && not s.Incremental.resumed then
+      adds_resumed := false;
+    Fmt.pr
+      "step %2d %-9s %-28s inc %6.1fms  scratch %6.1fms  %5.1fx  %s@."
+      step.Editstream.snum
+      (if step.Editstream.sremoval then "(remove)"
+       else if s.Incremental.resumed then "(resume)"
+       else "(fallback)")
+      step.Editstream.sdesc (inc_total *. 1e3) (sc_total *. 1e3) speedup
+      (if equal then "ok" else "STALE");
+    rows :=
+      Json.Obj
+        [
+          ("step", Json.Int step.Editstream.snum);
+          ("desc", Json.Str step.Editstream.sdesc);
+          ("removal", Json.Bool step.Editstream.sremoval);
+          ("resumed", Json.Bool s.Incremental.resumed);
+          ("cache_hits", Json.Int s.Incremental.cache_hits);
+          ("cache_misses", Json.Int s.Incremental.cache_misses);
+          ("inc_compile_s", Json.Float s.Incremental.wall_compile_s);
+          ("inc_link_s", Json.Float s.Incremental.wall_link_s);
+          ("inc_solve_s", Json.Float s.Incremental.wall_solve_s);
+          ("inc_total_s", Json.Float inc_total);
+          ("scratch_compile_s", Json.Float sc_compile);
+          ("scratch_link_s", Json.Float sc_link);
+          ("scratch_solve_s", Json.Float sc_solve);
+          ("scratch_total_s", Json.Float sc_total);
+          ("speedup", Json.Float speedup);
+          ("equal", Json.Bool equal);
+        ]
+      :: !rows
+  done;
+  (* the steady-state claim: aggregate the last three steps (noise at
+     millisecond walls makes a single step an unfair judge either way) *)
+  let tail = List.filteri (fun i _ -> i < 3) !totals in
+  let tail_speedup =
+    let inc = List.fold_left (fun a (i, _) -> a +. i) 0. tail
+    and sc = List.fold_left (fun a (_, s) -> a +. s) 0. tail in
+    if inc > 0. then sc /. inc else 0.
+  in
+  let speedup_ok = tail_speedup > 1.0 in
+  Fmt.pr "tail speedup (last %d step(s)): %.1fx (> 1.0) %s@."
+    (List.length tail) tail_speedup
+    (if speedup_ok then "ok" else "FAIL");
+  let gates =
+    [
+      ("solutions_equal", !all_equal);
+      ("cache_discipline", !cache_ok);
+      ("additions_resumed", !adds_resumed);
+      ("tail_speedup_gt_1", speedup_ok);
+    ]
+  in
+  Json.write_file "BENCH_incremental.json"
+    (Json.Obj
+       [
+         ("schema", Json.Str "cla.bench.incremental/v1");
+         ("quick", Json.Bool !quick);
+         ("profile", Json.Str p.Profile.name);
+         ("scale", Json.Float p.Profile.scale);
+         ("steps", Json.Int steps);
+         ("p_remove", Json.Float p_remove);
+         ("seed", Json.Int !incr_seed);
+         ("injected_stale", Json.Bool !inject_stale);
+         ("units", Json.Int n_files);
+         ("tail_speedup", Json.Float tail_speedup);
+         ("rows", Json.Arr (List.rev !rows));
+         ( "gates",
+           Json.Obj (List.map (fun (k, v) -> (k, Json.Bool v)) gates) );
+       ]);
+  Fmt.pr "wrote BENCH_incremental.json@.";
+  if List.exists (fun (_, v) -> not v) gates then begin
+    Fmt.pr "INCREMENTAL GATE FAILED: %s@."
+      (String.concat ", "
+         (List.filter_map (fun (k, v) -> if v then None else Some k) gates));
+    exit 1
+  end
+
 let () =
   let t0 = Unix.gettimeofday () in
   if want "table2" then table2 ();
@@ -1664,6 +1861,7 @@ let () =
   if want "openworld" then openworld ();
   if want "serve" then serve ();
   if want "chaos" then chaos ();
+  if want "incremental" then incremental ();
   if !bench_rows <> [] then begin
     Json.write_file "BENCH_pipeline.json"
       (Json.Obj

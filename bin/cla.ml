@@ -240,8 +240,47 @@ let compile_cmd =
                independent), then write outputs and report diagnostics
                strictly in input order — -jN output is byte-identical
                and diagnostic-identical to -j1. *)
+            let out_for src =
+              match (output, sources) with
+              | Some o, [ _ ] -> o
+              | _ -> Filename.remove_extension src ^ ".clo"
+            in
+            (* Incremental compile: when the output object already
+               exists and records the same TU content hash (preprocessed
+               source + flags), the expensive parse/serialize is
+               skipped.  A hash probe is just the preprocessor plus a
+               digest; mismatches, unreadable objects, and pre-hash
+               objects all fall through to a fresh compile. *)
+            let up_to_date src =
+              let out = out_for src in
+              Sys.file_exists out
+              && (match Objfile.load_result out with
+                 | Error _ -> false
+                 | Ok v -> (
+                     match v.Objfile.rtuhash with
+                     | None -> false
+                     | Some h -> (
+                         match
+                           let ic = open_in_bin src in
+                           let n = in_channel_length ic in
+                           let s = really_input_string ic n in
+                           close_in ic;
+                           Compilep.tu_hash ~options ~file:src s
+                         with
+                         | h' -> String.equal h h'
+                         | exception _ -> false)))
+            in
             let results =
-              let compile src = (src, Compilep.compile_file_result ~options src) in
+              let compile src =
+                if up_to_date src then begin
+                  Cla_obs.Metrics.incr "compile.cache.hits";
+                  (src, `Cached)
+                end
+                else begin
+                  Cla_obs.Metrics.incr "compile.cache.misses";
+                  (src, `Fresh (Compilep.compile_file_result ~options src))
+                end
+              in
               if jobs <= 1 then List.map compile sources
               else
                 Cla_obs.Obs.with_span "compile"
@@ -252,16 +291,13 @@ let compile_cmd =
             let c = Diag.collector () in
             List.iter
               (fun (src, result) ->
-                let out =
-                  match (output, sources) with
-                  | Some o, [ _ ] -> o
-                  | _ -> Filename.remove_extension src ^ ".clo"
-                in
+                let out = out_for src in
                 match result with
-                | Ok db ->
+                | `Cached -> Fmt.pr "%s -> %s (cached)@." src out
+                | `Fresh (Ok db) ->
                     Objfile.save out db;
                     Fmt.pr "%s -> %s@." src out
-                | Error d ->
+                | `Fresh (Error d) ->
                     if keep_going then begin
                       Diag.add c d;
                       Fmt.epr "cla: %a@." Diag.pp d
@@ -1037,7 +1073,38 @@ let socket_arg =
     & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
 
 let serve_cmd =
-  let db = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.cla") in
+  let db = Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE.cla") in
+  let watch =
+    Arg.(
+      value
+      & opt (some dir) None
+      & info [ "watch" ] ~docv:"DIR"
+          ~doc:
+            "Serve a directory of .c / .clo files instead of a linked \
+             database: compile-link-analyze it once, then keep the served \
+             solution in sync with edits — only changed units recompile \
+             (TU content hash), the linker patches a delta, the solver \
+             resumes from its surviving state, and the fresh solution is \
+             swapped in atomically.  The $(b,reanalyze) protocol op \
+             forces a rescan on demand.")
+  in
+  let watch_poll =
+    Arg.(
+      value & opt int 500
+      & info [ "watch-poll-ms" ] ~docv:"MS"
+          ~doc:"How often --watch polls the directory for changes.")
+  in
+  let save_snapshot =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-snapshot" ] ~docv:"FILE.snap"
+          ~doc:
+            "Rewrite $(docv) after every non-degraded solution swap (and \
+             at --watch boot), refreezing the lock-free frozen arena over \
+             the new view.  Pair with --snapshot $(docv) to also thaw it \
+             at the next restart.")
+  in
   let max_inflight =
     Arg.(
       value & opt int 4
@@ -1136,9 +1203,10 @@ let serve_cmd =
       & info [ "restart-window-ms" ] ~docv:"MS"
           ~doc:"The restart budget's sliding window.")
   in
-  let run db socket max_inflight max_queue default_deadline watchdog_grace
-      allow_sleep shards query_log ring snapshot no_supervise heartbeat_grace
-      restart_budget restart_window jobs obs =
+  let run db watch watch_poll save_snapshot socket max_inflight max_queue
+      default_deadline watchdog_grace allow_sleep shards query_log ring
+      snapshot no_supervise heartbeat_grace restart_budget restart_window jobs
+      obs =
     handle_errors (fun () ->
         (* [--trace] here means the serving timeline (per-query lanes,
            written by the server at drain), not the batch span tree *)
@@ -1164,7 +1232,14 @@ let serve_cmd =
             else Ok ()
           end
         in
-        let view = load_view db in
+        let* source =
+          match (db, watch) with
+          | Some db, None -> Ok (`Db db)
+          | None, Some dir -> Ok (`Watch dir)
+          | Some _, Some _ ->
+              err_input "pass either FILE.cla or --watch DIR, not both"
+          | None, None -> err_input "pass a FILE.cla to serve, or --watch DIR"
+        in
         let config =
           {
             Cla_serve.Server.socket_path = socket;
@@ -1184,12 +1259,20 @@ let serve_cmd =
             heartbeat_grace_ms = max 1 heartbeat_grace;
             restart_budget = max 1 restart_budget;
             restart_window_ms = max 1 restart_window;
+            watch_dir = watch;
+            watch_poll_ms = max 10 watch_poll;
+            save_snapshot;
           }
         in
-        Fmt.pr "cla serve: %s on %s (inflight<=%d queue<=%d shards=%d%s)@." db
+        Fmt.pr "cla serve: %s on %s (inflight<=%d queue<=%d shards=%d%s)@."
+          (match source with `Db db -> db | `Watch dir -> "--watch " ^ dir)
           socket max_inflight max_queue shards
           (match snapshot with Some p -> " snapshot=" ^ p | None -> "");
-        let stats = Cla_serve.Server.run ~config view in
+        let stats =
+          match source with
+          | `Db db -> Cla_serve.Server.run ~config (load_view db)
+          | `Watch dir -> Cla_serve.Server.run_watch ~config dir
+        in
         Fmt.pr "cla serve: drained.";
         List.iter
           (fun (k, v) -> Fmt.pr " %s=%d" k v)
@@ -1206,10 +1289,11 @@ let serve_cmd =
           report the merged per-shard latency histograms at exit; --trace \
           writes the recent-query serving timeline.")
     Term.(
-      const run $ db $ socket_arg $ max_inflight $ max_queue $ default_deadline
-      $ watchdog_grace $ allow_sleep $ shards $ query_log $ ring $ snapshot
-      $ no_supervise $ heartbeat_grace $ restart_budget $ restart_window
-      $ jobs_arg $ obs_term)
+      const run $ db $ watch $ watch_poll $ save_snapshot $ socket_arg
+      $ max_inflight $ max_queue $ default_deadline $ watchdog_grace
+      $ allow_sleep $ shards $ query_log $ ring $ snapshot $ no_supervise
+      $ heartbeat_grace $ restart_budget $ restart_window $ jobs_arg
+      $ obs_term)
 
 let query_cmd =
   let points_to =

@@ -32,10 +32,10 @@ type complex = {
 
 type t = {
   g : Pretrans.t;
-  loader : Loader.t;
-  view : Objfile.view;
+  mutable loader : Loader.t;  (* replaced wholesale by [resume] *)
+  mutable view : Objfile.view;
   demand : bool;
-  active : Bytes.t;  (* per var: block requested *)
+  mutable active : Bytes.t;  (* per var: block requested *)
   mutable complexes : complex list;
   mutable n_complex : int;
   deref_nodes : (int, int) Hashtbl.t;  (* y -> n_*y *)
@@ -53,7 +53,22 @@ type t = {
          dependence analysis *)
   mutable linked_copies : (int * int * Cla_ir.Loc.t) list;
       (* analysis-time copies (dst, src) from indirect-call linking *)
-  iseen : Lvalset.t array;  (* per indirect record: lvals already linked *)
+  mutable iseen : Lvalset.t array;
+      (* per indirect record: lvals already linked; [resume] extends it —
+         the delta linker keeps the old indirect list as an exact prefix,
+         so the positions stay meaningful *)
+  mutable var_node : int array;
+      (* var id -> graph node.  [[||]] means identity — the common case,
+         where node ids [0 .. nvars-1] ARE the variable ids.  After a
+         [resume] grows the variable space, new vars would collide with
+         the deref/split nodes allocated past the old [nvars], so they
+         are mapped through fresh nodes here instead.  Locations (base
+         elements, lval-set members, [active] indices, [Solution]
+         indices) always stay raw var ids — only node positions map. *)
+  mutable seed_log : int list ref option;
+      (* when set (during delta application), every structural change —
+         a fresh edge's origin, a base addition's node — is logged as a
+         seed for [Pretrans.invalidate_reaching] *)
   mutable pass_log : pass_stats list;
       (* per-pass convergence counters, reverse order *)
   mutable pending_evict : int list;
@@ -108,6 +123,28 @@ let check_tokens st =
   Cla_resilience.Deadline.check ~progress st.deadline;
   Option.iter (Cla_resilience.Cancel.check ~progress) st.cancel
 
+let node_of st v =
+  if Array.length st.var_node = 0 then v else st.var_node.(v)
+
+(* Every structural mutation of the graph goes through these funnels so
+   that, while a constraint delta is being applied ([seed_log] set), the
+   affected positions are collected as invalidation seeds: a fresh edge
+   [a -> b] grows [pts(a)], a new base element grows [pts(x)] — those
+   nodes, and transitively everything that can reach them, must drop
+   their surviving reachability memos before a resumed pass may trust
+   the rest.  Outside delta application ([seed_log = None]) the funnels
+   are free. *)
+let add_edge st a b =
+  let fresh = Pretrans.add_edge st.g a b in
+  (match st.seed_log with
+  | Some l when fresh -> l := a :: !l
+  | _ -> ());
+  fresh
+
+let add_base st x z =
+  Pretrans.add_base st.g x z;
+  match st.seed_log with Some l -> l := x :: !l | None -> ()
+
 let deref_node st y =
   match Hashtbl.find_opt st.deref_nodes y with
   | Some d -> d
@@ -145,16 +182,16 @@ and load_block st v =
         | Objfile.Pcopy ->
             (* x = v: edge x -> v, then x's consumers matter too.  The
                record itself is discarded (the edge carries it). *)
-            ignore (Pretrans.add_edge st.g p.Objfile.pdst v);
+            ignore (add_edge st (node_of st p.Objfile.pdst) (node_of st v));
             activate st p.Objfile.pdst
         | Objfile.Pload ->
             (* x = *v *)
             let d = deref_node st v in
-            ignore (Pretrans.add_edge st.g p.Objfile.pdst d);
+            ignore (add_edge st (node_of st p.Objfile.pdst) d);
             st.complexes <-
               {
                 ckind = Kload;
-                cptr = v;
+                cptr = node_of st v;
                 cother = d;
                 corigin = v;
                 cseen = Lvalset.empty;
@@ -169,8 +206,8 @@ and load_block st v =
             st.complexes <-
               {
                 ckind = Kstore;
-                cptr = p.Objfile.pdst;
-                cother = v;
+                cptr = node_of st p.Objfile.pdst;
+                cother = node_of st v;
                 corigin = v;
                 cseen = Lvalset.empty;
               }
@@ -183,18 +220,18 @@ and load_block st v =
             kept := p :: !kept;
             let tnode = deref2_tnode st p.Objfile.pdst v in
             let d = deref_node st v in
-            ignore (Pretrans.add_edge st.g tnode d);
+            ignore (add_edge st tnode d);
             st.complexes <-
               {
                 ckind = Kload;
-                cptr = v;
+                cptr = node_of st v;
                 cother = d;
                 corigin = v;
                 cseen = Lvalset.empty;
               }
               :: {
                    ckind = Kstore;
-                   cptr = p.Objfile.pdst;
+                   cptr = node_of st p.Objfile.pdst;
                    cother = tnode;
                    corigin = v;
                    cseen = Lvalset.empty;
@@ -204,6 +241,80 @@ and load_block st v =
             Loader.retain st.loader ~src:v 2)
     prims;
   if !kept <> [] then Hashtbl.replace st.retained_by_block v (List.rev !kept)
+
+(* Inject ONE added dynamic-section record whose block is already
+   resident — the delta-solve path.  A block that was loaded before the
+   delta will not be re-read (the old records' constraints are already
+   in the graph), so its added records are translated here, mirroring
+   [load_block]'s per-kind logic for a single record, including the
+   retained-record bookkeeping the dependence analysis flattens. *)
+let inject st (p : Objfile.prim_rec) =
+  if Loader.relevant_to_points_to p then begin
+    let v = p.Objfile.psrc in
+    let keep () =
+      let prev =
+        Option.value ~default:[] (Hashtbl.find_opt st.retained_by_block v)
+      in
+      Hashtbl.replace st.retained_by_block v (prev @ [ p ])
+    in
+    match p.Objfile.pkind with
+    | Objfile.Paddr -> ()
+    | Objfile.Pcopy ->
+        ignore (add_edge st (node_of st p.Objfile.pdst) (node_of st v));
+        activate st p.Objfile.pdst
+    | Objfile.Pload ->
+        let d = deref_node st v in
+        ignore (add_edge st (node_of st p.Objfile.pdst) d);
+        st.complexes <-
+          {
+            ckind = Kload;
+            cptr = node_of st v;
+            cother = d;
+            corigin = v;
+            cseen = Lvalset.empty;
+          }
+          :: st.complexes;
+        st.n_complex <- st.n_complex + 1;
+        keep ();
+        Loader.retain st.loader ~src:v 1;
+        activate st p.Objfile.pdst
+    | Objfile.Pstore ->
+        st.complexes <-
+          {
+            ckind = Kstore;
+            cptr = node_of st p.Objfile.pdst;
+            cother = node_of st v;
+            corigin = v;
+            cseen = Lvalset.empty;
+          }
+          :: st.complexes;
+        st.n_complex <- st.n_complex + 1;
+        keep ();
+        Loader.retain st.loader ~src:v 1
+    | Objfile.Pderef2 ->
+        keep ();
+        let tnode = deref2_tnode st p.Objfile.pdst v in
+        let d = deref_node st v in
+        ignore (add_edge st tnode d);
+        st.complexes <-
+          {
+            ckind = Kload;
+            cptr = node_of st v;
+            cother = d;
+            corigin = v;
+            cseen = Lvalset.empty;
+          }
+          :: {
+               ckind = Kstore;
+               cptr = node_of st p.Objfile.pdst;
+               cother = tnode;
+               corigin = v;
+               cseen = Lvalset.empty;
+             }
+          :: st.complexes;
+        st.n_complex <- st.n_complex + 2;
+        Loader.retain st.loader ~src:v 2
+  end
 
 (* Apply evictions the loader signalled since the last pass boundary:
    drop the evicted blocks' complexes and retained records from core and
@@ -267,6 +378,8 @@ let init ?(config = Pretrans.default_config) ?(demand = true) ?budget
         Array.make
           (max 1 (Array.length view.Objfile.rindirects))
           Lvalset.empty;
+      var_node = [||];
+      seed_log = None;
       pass_log = [];
       pending_evict = [];
       evicted = Hashtbl.create 16;
@@ -287,7 +400,7 @@ let init ?(config = Pretrans.default_config) ?(demand = true) ?budget
   (* the static section is always loaded *)
   Array.iter
     (fun (p : Objfile.prim_rec) ->
-      Pretrans.add_base st.g p.Objfile.pdst p.Objfile.psrc;
+      add_base st p.Objfile.pdst p.Objfile.psrc;
       if demand then activate st p.Objfile.pdst)
     (Loader.statics st.loader);
   if not demand then
@@ -324,7 +437,7 @@ let fan_out st pool =
   in
   List.iter (fun c -> add c.cptr) st.complexes;
   Array.iter
-    (fun (r : Objfile.indir_rec) -> add r.Objfile.iptr)
+    (fun (r : Objfile.indir_rec) -> add (node_of st r.Objfile.iptr))
     st.view.Objfile.rindirects;
   let n = Dynarr.length roots in
   if n > 0 then begin
@@ -347,8 +460,17 @@ let fan_out st pool =
   end
 
 (* One pass of Figure 5's iteration algorithm; returns [true] if the graph
-   changed. *)
-let pass ?pool st =
+   changed.
+
+   [keep_memos] is the resumed first pass of a delta solve: the
+   reachability memos surviving from the previous fixpoint are kept
+   instead of flushed ([Pretrans.new_pass]), relying on
+   [Pretrans.invalidate_reaching] having dropped every memo the delta
+   could touch.  The parallel fan-out is skipped too — it requires an
+   empty pass cache.  If this pass changes the graph, the following
+   passes run with the normal flush-everything semantics, so the
+   fixpoint test ("a pass with no change") stays exact. *)
+let pass ?pool ?(keep_memos = false) st =
   check_tokens st;
   let t0 = Cla_resilience.Deadline.now_s () in
   st.passes <- st.passes + 1;
@@ -360,10 +482,12 @@ let pass ?pool st =
      constraint, resident or re-loaded *)
   reload_evicted st;
   let before = Pretrans.stats st.g in
-  Pretrans.new_pass st.g;
-  (match pool with
-  | Some p when Cla_par.Pool.jobs p > 1 -> fan_out st p
-  | _ -> ());
+  if not keep_memos then begin
+    Pretrans.new_pass st.g;
+    match pool with
+    | Some p when Cla_par.Pool.jobs p > 1 -> fan_out st p
+    | _ -> ()
+  end;
   let changed = ref false in
   let discovered = ref 0 in
   List.iter
@@ -377,7 +501,7 @@ let pass ?pool st =
             (* for each new &z in getLvals(n_x): add edge n_z -> n_y *)
             Lvalset.iter_diff ~prev:c.cseen lv (fun z ->
                 incr discovered;
-                if Pretrans.add_edge st.g z c.cother then begin
+                if add_edge st (node_of st z) c.cother then begin
                   changed := true;
                   if st.demand then activate st z
                 end)
@@ -385,14 +509,14 @@ let pass ?pool st =
             (* for each new &z in getLvals(n_y): add edge n_*y -> n_z *)
             Lvalset.iter_diff ~prev:c.cseen lv (fun z ->
                 incr discovered;
-                if Pretrans.add_edge st.g c.cother z then changed := true));
+                if add_edge st c.cother (node_of st z) then changed := true));
         c.cseen <- lv
       end)
     st.complexes;
   (* analysis-time linking of indirect calls *)
   Array.iteri
     (fun idx (r : Objfile.indir_rec) ->
-      let lv = Pretrans.get_lvals st.g r.Objfile.iptr in
+      let lv = Pretrans.get_lvals st.g (node_of st r.Objfile.iptr) in
       if Lvalset.cardinal lv > Lvalset.cardinal st.iseen.(idx) then begin
       Lvalset.iter_diff ~prev:st.iseen.(idx) lv
         (fun gv ->
@@ -409,7 +533,7 @@ let pass ?pool st =
                   let garg = fd.Objfile.fargs.(i) and parg = r.Objfile.iargs.(i) in
                   if garg >= 0 && parg >= 0 then begin
                     (* g@i = f@i *)
-                    ignore (Pretrans.add_edge st.g garg parg);
+                    ignore (add_edge st (node_of st garg) (node_of st parg));
                     st.linked_copies <-
                       (garg, parg, r.Objfile.iiloc) :: st.linked_copies;
                     if st.demand then activate st garg
@@ -417,7 +541,10 @@ let pass ?pool st =
                 done;
                 if r.Objfile.iret >= 0 && fd.Objfile.fret >= 0 then begin
                   (* f@ret = g@ret *)
-                  ignore (Pretrans.add_edge st.g r.Objfile.iret fd.Objfile.fret);
+                  ignore
+                    (add_edge st
+                       (node_of st r.Objfile.iret)
+                       (node_of st fd.Objfile.fret));
                   st.linked_copies <-
                     (r.Objfile.iret, fd.Objfile.fret, r.Objfile.iiloc)
                     :: st.linked_copies;
@@ -481,9 +608,38 @@ let publish_result ?reg (r : result) =
   series (fun p -> p.ps_unified) "unified";
   series (fun p -> p.ps_queries) "queries"
 
+(* Extraction sweep shared by [solve] and [resume]: one [get_lvals] per
+   variable of the current view (cheap at the end thanks to cycle
+   elimination and caching — the paper's observation in Section 5). *)
+let extract st a0 : result =
+  Cla_obs.Obs.with_span "analyze.extract" @@ fun () ->
+  (* the extraction sweep below issues one [get_lvals] per variable;
+     the interrupt hook keeps it abortable too *)
+  check_tokens st;
+  (* blocks evicted during the final pass come back so [retained] is
+     the complete complex-assignment set (the dependence analysis
+     consumes it); blocks this displaces stay in [retained_by_block],
+     so the flattened list below misses nothing *)
+  reload_evicted st;
+  Pretrans.new_pass st.g;
+  let nvars = Objfile.n_vars st.view in
+  let pts = Array.init nvars (fun v -> Pretrans.get_lvals st.g (node_of st v)) in
+  {
+    solution = Solution.create st.view pts;
+    passes = st.passes;
+    loader_stats = Loader.stats st.loader;
+    graph_stats = Pretrans.stats st.g;
+    pass_log = List.rev st.pass_log;
+    retained =
+      Hashtbl.fold
+        (fun _ prims acc -> List.rev_append prims acc)
+        st.retained_by_block [];
+    linked_copies = st.linked_copies;
+    alloc_bytes = Gc.allocated_bytes () -. a0;
+  }
+
 (** Run the analysis to fixpoint and extract points-to sets for every
-    program variable (cheap at the end thanks to cycle elimination and
-    caching — the paper's observation in Section 5). *)
+    program variable. *)
 let solve ?config ?demand ?budget ?deadline ?cancel ?pool view : result =
   Cla_obs.Obs.with_span "analyze" @@ fun () ->
   let a0 = Gc.allocated_bytes () in
@@ -494,32 +650,146 @@ let solve ?config ?demand ?budget ?deadline ?cancel ?pool view : result =
   while pass ?pool st do
     ()
   done;
-  let r =
-    Cla_obs.Obs.with_span "analyze.extract" @@ fun () ->
-    (* the extraction sweep below issues one [get_lvals] per variable;
-       the interrupt hook keeps it abortable too *)
-    check_tokens st;
-    (* blocks evicted during the final pass come back so [retained] is
-       the complete complex-assignment set (the dependence analysis
-       consumes it); blocks this displaces stay in [retained_by_block],
-       so the flattened list below misses nothing *)
-    reload_evicted st;
-    Pretrans.new_pass st.g;
-    let nvars = Objfile.n_vars view in
-    let pts = Array.init nvars (fun v -> Pretrans.get_lvals st.g v) in
-    {
-      solution = Solution.create view pts;
-      passes = st.passes;
-      loader_stats = Loader.stats st.loader;
-      graph_stats = Pretrans.stats st.g;
-      pass_log = List.rev st.pass_log;
-      retained =
-        Hashtbl.fold
-          (fun _ prims acc -> List.rev_append prims acc)
-          st.retained_by_block [];
-      linked_copies = st.linked_copies;
-      alloc_bytes = Gc.allocated_bytes () -. a0;
-    }
-  in
+  let r = extract st a0 in
   publish_result r;
   r
+
+(** Like {!solve}, but also return the iteration state so a later
+    constraint delta can be solved incrementally with {!resume}. *)
+let solve_state ?config ?demand ?budget ?deadline ?cancel ?pool view :
+    t * result =
+  Cla_obs.Obs.with_span "analyze" @@ fun () ->
+  let a0 = Gc.allocated_bytes () in
+  let st =
+    Cla_obs.Obs.with_span "analyze.init" (fun () ->
+        init ?config ?demand ?budget ?deadline ?cancel view)
+  in
+  while pass ?pool st do
+    ()
+  done;
+  let r = extract st a0 in
+  publish_result r;
+  (st, r)
+
+(* Resume an already-solved state over a pure-add constraint delta —
+   the delta-solve path.  The previous fixpoint's graph, complexes,
+   [cseen]/[iseen] difference-propagation sets, and (crucially) the
+   reachability memos from the final extraction sweep all survive; only
+   the memos that the delta can actually affect are dropped
+   ([Pretrans.invalidate_reaching]), and the first resumed pass runs
+   without the usual flush.  Anything the resume cannot handle soundly
+   returns [None] — the caller re-solves from scratch — behind the
+   [pretrans.delta.fallbacks] counter:
+
+   - a removal or full relink (old memos/edges would over-approximate);
+   - a state/view mismatch (the delta was not computed against us);
+   - a budgeted loader (evicted blocks would re-load from the OLD view's
+     block layout mid-delta);
+   - an added FUNDEF for a pre-existing variable: an indirect call's
+     [iseen] may already contain that function variable (processed back
+     when it had no definition), and difference propagation would never
+     look at it again. *)
+let resume ?pool st ~(view : Objfile.view) ~(delta : Linkp.delta) :
+    result option =
+  let fallback reason =
+    Cla_obs.Metrics.incr "pretrans.delta.fallbacks";
+    Cla_obs.Metrics.set_str "pretrans.delta.fallback_reason" reason;
+    None
+  in
+  let old_nvars = delta.Linkp.d_old_nvars in
+  if delta.Linkp.d_full_relink || not (Linkp.delta_is_pure_add delta) then
+    fallback "removal"
+  else if old_nvars <> Objfile.n_vars st.view then fallback "state_mismatch"
+  else if Loader.budget st.loader <> None then fallback "budgeted"
+  else if
+    List.exists
+      (fun (f : Objfile.fund_rec) -> f.Objfile.ffvar < old_nvars)
+      delta.Linkp.d_added_fundefs
+  then fallback "fundef_existing_var"
+  else begin
+    Cla_obs.Obs.with_span "analyze.resume" @@ fun () ->
+    let a0 = Gc.allocated_bytes () in
+    let new_nvars = delta.Linkp.d_new_nvars in
+    (* reverse adjacency must cover the pre-delta edges; from here on
+       [add_edge] keeps it current *)
+    Pretrans.enable_pred_tracking st.g;
+    (* swap in the new view and a loader over it (unbudgeted — checked
+       above); the old loader is dropped wholesale *)
+    st.view <- view;
+    st.loader <- Loader.create view;
+    Loader.set_on_evict st.loader (fun v ->
+        st.pending_evict <- v :: st.pending_evict);
+    let was_active = st.active in
+    let active = Bytes.make (max 1 new_nvars) '\000' in
+    Bytes.blit was_active 0 active 0
+      (min (Bytes.length was_active) (Bytes.length active));
+    st.active <- active;
+    (* new vars get fresh graph nodes — their raw ids are already taken
+       by the deref/split nodes allocated past the old [nvars] *)
+    if Array.length st.var_node = 0 then
+      st.var_node <- Array.init old_nvars Fun.id;
+    if new_nvars > Array.length st.var_node then begin
+      let vn = Array.make new_nvars 0 in
+      let n0 = Array.length st.var_node in
+      Array.blit st.var_node 0 vn 0 n0;
+      for v = n0 to new_nvars - 1 do
+        vn.(v) <- Pretrans.fresh_node st.g
+      done;
+      st.var_node <- vn
+    end;
+    (* the delta linker appends indirect records, keeping the old list
+       as an exact prefix — so [iseen] extends positionally *)
+    let n_ind = Array.length view.Objfile.rindirects in
+    if n_ind > Array.length st.iseen then begin
+      let ni = Array.make (max 1 n_ind) Lvalset.empty in
+      Array.blit st.iseen 0 ni 0 (Array.length st.iseen);
+      st.iseen <- ni
+    end;
+    List.iter
+      (fun (f : Objfile.fund_rec) ->
+        Hashtbl.replace st.fundef_by_var f.Objfile.ffvar f)
+      delta.Linkp.d_added_fundefs;
+    (* apply the delta with seed logging on: every fresh edge origin and
+       base addition is an invalidation seed *)
+    let seeds = ref [] in
+    st.seed_log <- Some seeds;
+    List.iter
+      (fun (p : Objfile.prim_rec) ->
+        add_base st (node_of st p.Objfile.pdst) p.Objfile.psrc;
+        if st.demand then activate st p.Objfile.pdst)
+      delta.Linkp.d_added_statics;
+    if not st.demand then
+      for v = old_nvars to new_nvars - 1 do
+        Bytes.set st.active v '\001';
+        load_block st v
+      done;
+    (* added dynamic records: a block resident BEFORE the delta will not
+       be re-read, so its additions are injected one by one; a block
+       activated during this application (or later) is read whole from
+       the new view, additions included — the frozen [was_active]
+       snapshot is what keeps the two cases disjoint *)
+    let was_active v =
+      v < old_nvars
+      && v < Bytes.length was_active
+      && Bytes.get was_active v = '\001'
+    in
+    List.iter
+      (fun (p : Objfile.prim_rec) ->
+        if was_active p.Objfile.psrc then inject st p)
+      delta.Linkp.d_added_prims;
+    st.seed_log <- None;
+    let n_inv = Pretrans.invalidate_reaching st.g !seeds in
+    Cla_obs.Metrics.incr "pretrans.delta.resumes";
+    Cla_obs.Metrics.set "pretrans.delta.seeds" (List.length !seeds);
+    Cla_obs.Metrics.set "pretrans.delta.invalidated" n_inv;
+    (* first pass keeps the surviving memos — the incremental win; if it
+       changes anything, the following passes run with the usual
+       flush-everything semantics *)
+    if pass ?pool ~keep_memos:true st then
+      while pass ?pool st do
+        ()
+      done;
+    let r = extract st a0 in
+    publish_result r;
+    Some r
+  end

@@ -23,10 +23,10 @@ type complex = {
 (** In-flight analysis state. *)
 type t = {
   g : Pretrans.t;  (** the pre-transitive constraint graph *)
-  loader : Loader.t;
-  view : Objfile.view;
+  mutable loader : Loader.t;  (** replaced wholesale by {!resume} *)
+  mutable view : Objfile.view;
   demand : bool;
-  active : Bytes.t;
+  mutable active : Bytes.t;
   mutable complexes : complex list;  (** kept in core (Section 6) *)
   mutable n_complex : int;
   deref_nodes : (int, int) Hashtbl.t;
@@ -39,7 +39,18 @@ type t = {
   retained_by_block : (int, Objfile.prim_rec list) Hashtbl.t;
       (** complex assignments kept in core, grouped by origin block *)
   mutable linked_copies : (int * int * Cla_ir.Loc.t) list;
-  iseen : Lvalset.t array;
+  mutable iseen : Lvalset.t array;
+      (** per indirect record, positional; {!resume} extends it — the
+          delta linker keeps the old indirect list as an exact prefix *)
+  mutable var_node : int array;
+      (** var id -> graph node; [[||]] = identity.  Populated by
+          {!resume} when the variable space grows (new var ids would
+          collide with the deref/split nodes past the old [nvars]).
+          Locations — base elements, lval-set members, {!Solution}
+          indices — always stay raw var ids; only node positions map. *)
+  mutable seed_log : int list ref option;
+      (** while a constraint delta is applied: structural-change seeds
+          for {!Pretrans.invalidate_reaching} *)
   mutable pass_log : pass_stats list;
       (** per-pass convergence counters, reverse order *)
   mutable pending_evict : int list;
@@ -104,8 +115,15 @@ val init :
     unchanged with every query a cache hit.  Pass counts may differ
     from a sequential run (the fan-out answers from the pass-start
     snapshot); the fixpoint — and the extracted {!Solution} — is
-    identical. *)
-val pass : ?pool:Cla_par.Pool.t -> t -> bool
+    identical.
+
+    [keep_memos] is the delta-solve resume's first pass: the
+    reachability memos surviving from the previous fixpoint are kept
+    instead of flushed, relying on {!Pretrans.invalidate_reaching}
+    having dropped every memo the delta could affect ({!resume} sets
+    this up; do not pass it by hand).  It also skips the parallel
+    fan-out, which requires an empty pass cache. *)
+val pass : ?pool:Cla_par.Pool.t -> ?keep_memos:bool -> t -> bool
 
 type result = {
   solution : Solution.t;
@@ -147,3 +165,44 @@ val solve :
   ?pool:Cla_par.Pool.t ->
   Objfile.view ->
   result
+
+(** Like {!solve}, but also return the iteration state so a later
+    constraint delta can be solved incrementally with {!resume}. *)
+val solve_state :
+  ?config:Pretrans.config ->
+  ?demand:bool ->
+  ?budget:int ->
+  ?deadline:Cla_resilience.Deadline.t ->
+  ?cancel:Cla_resilience.Cancel.t ->
+  ?pool:Cla_par.Pool.t ->
+  Objfile.view ->
+  t * result
+
+(** {1 Delta solving}
+
+    [resume st ~view ~delta] re-solves after a {!Linkp.relink} produced
+    [view] and a {b pure-add} [delta] against the view [st] was solved
+    on.  The previous fixpoint's graph, complexes, difference-propagation
+    sets and — crucially — the reachability memos of the final
+    extraction sweep all survive; only the memos the delta can actually
+    affect are invalidated (reverse reachability from the added
+    constraints' endpoints), and the first resumed pass runs without the
+    usual flush.  The result's [solution] is indexed by the NEW view's
+    variable ids and equals a from-scratch {!solve} of [view].
+
+    Returns [None] — bumping [pretrans.delta.fallbacks], with the
+    reason in [pretrans.delta.fallback_reason] — when the resume cannot
+    be done soundly: the delta removes constraints or forced a full
+    relink; it was not computed against [st]'s view; [st]'s loader is
+    budgeted; or a FUNDEF was added for a pre-existing variable (an
+    indirect call's difference propagation may already have consumed
+    that variable and would never re-examine it).  The caller then
+    re-solves from scratch.  On [Some _], [st] is updated in place and
+    can absorb further deltas; on [None] it is unchanged and still
+    valid for its old view. *)
+val resume :
+  ?pool:Cla_par.Pool.t ->
+  t ->
+  view:Objfile.view ->
+  delta:Linkp.delta ->
+  result option

@@ -138,6 +138,7 @@ let db_of_prog ?(source_lines = 0) ?(preproc_lines = 0) (p : Prog.t) : Objfile.d
     consts =
       List.map (fun (v, c) -> (Var.uid v, c)) p.consts;
     openworld = None;
+    tuhash = None;
     meta =
       {
         mfiles = [ p.file ];
@@ -147,6 +148,49 @@ let db_of_prog ?(source_lines = 0) ?(preproc_lines = 0) (p : Prog.t) : Objfile.d
       };
   }
 
+(* Canonical rendering of the compile options that shape the produced
+   database, for the TU content hash.  [virtual_fs] is omitted — its
+   effect is fully captured by the preprocessed text; [drop_bodies] is a
+   function and cannot be rendered, so callers that use it must bypass
+   the compile cache (the incremental driver never sets it). *)
+let render_options (o : options) =
+  let b = Buffer.create 64 in
+  Buffer.add_string b
+    (match o.mode with
+    | Normalize.Field_based -> "field_based"
+    | Normalize.Field_independent -> "field_independent");
+  List.iter
+    (fun d ->
+      Buffer.add_string b "\x00I";
+      Buffer.add_string b d)
+    o.include_dirs;
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string b "\x00D";
+      Buffer.add_string b k;
+      Buffer.add_char b '=';
+      Buffer.add_string b v)
+    o.defines;
+  Buffer.contents b
+
+(* The TU content hash: preprocessed source + canonical options.  Two
+   units with equal hashes compile to interchangeable databases. *)
+let hash_of_preprocessed ~options preprocessed =
+  Digest.to_hex
+    (Digest.string (render_options options ^ "\x00" ^ preprocessed))
+
+(** Content-hash a translation unit without parsing it: just the
+    preprocessor plus a digest.  This is the cheap probe the incremental
+    pipeline runs to decide whether the expensive parse / normalize /
+    serialize steps can be skipped; it equals the [tuhash] recorded in
+    the object {!compile_string} would produce for the same input. *)
+let tu_hash ?(options = default_options) ~file source : string =
+  let preprocessed =
+    Cpp.preprocess_string ~include_dirs:options.include_dirs
+      ~virtual_fs:options.virtual_fs ~defines:options.defines ~file source
+  in
+  hash_of_preprocessed ~options preprocessed
+
 (** Compile C source text into a database.  Recorded as a ["compile"]
     span (labelled with the file) and published as [compile.*] metrics. *)
 let compile_string ?(options = default_options) ~file source : Objfile.db =
@@ -155,15 +199,20 @@ let compile_string ?(options = default_options) ~file source : Objfile.db =
         Cpp.preprocess_string ~include_dirs:options.include_dirs
           ~virtual_fs:options.virtual_fs ~defines:options.defines ~file source
       in
+      let tuhash = hash_of_preprocessed ~options preprocessed in
       let parsed = Cparser.parse_string ~file preprocessed in
       let prog =
         Normalize.run ~mode:options.mode ~drop_bodies:options.drop_bodies
           parsed
       in
       let db =
-        db_of_prog
-          ~source_lines:(count_source_lines source)
-          ~preproc_lines:(count_lines preprocessed) prog
+        {
+          (db_of_prog
+             ~source_lines:(count_source_lines source)
+             ~preproc_lines:(count_lines preprocessed) prog)
+          with
+          Objfile.tuhash = Some tuhash;
+        }
       in
       Cla_obs.Metrics.incr "compile.units";
       Cla_obs.Metrics.incr ~by:db.Objfile.meta.Objfile.msource_lines

@@ -22,7 +22,17 @@ val default_options : options
 val db_of_prog :
   ?source_lines:int -> ?preproc_lines:int -> Cla_ir.Prog.t -> Objfile.db
 
-(** Compile C source text into a database. *)
+(** Content-hash a translation unit without parsing it: preprocessed
+    source plus a canonical rendering of the options (mode, defines,
+    include dirs).  Equals the [Objfile.tuhash] that {!compile_string}
+    records for the same input — the cheap probe the incremental
+    pipeline uses to skip unchanged units.  Note [drop_bodies] is not
+    part of the hash (it is a function); callers using it must not rely
+    on hash equality. *)
+val tu_hash : ?options:options -> file:string -> string -> string
+
+(** Compile C source text into a database.  The produced database
+    carries [tuhash = Some (tu_hash ...)]. *)
 val compile_string : ?options:options -> file:string -> string -> Objfile.db
 
 (** Compile a C file from disk. *)

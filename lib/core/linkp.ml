@@ -23,8 +23,11 @@ type undef_policy = Ignore | Error | Open_world
 
 (** Link several object-file views into a single database.  Extern objects
     with the same canonical key are unified; unit-private objects are
-    renumbered. *)
-let link_views (views : Objfile.view list) : Objfile.db * stats =
+    renumbered.  Also returns the per-unit uid → linked-id maps and the
+    canonical-key table, which the delta linker below snapshots. *)
+let link_views_full (views : Objfile.view list) :
+    Objfile.db * stats * (Objfile.view * int array) list * (string, int) Hashtbl.t
+    =
   let key_ids : (string, int) Hashtbl.t = Hashtbl.create 1024 in
   let out_vars = ref [] in
   (* reversed *)
@@ -173,6 +176,7 @@ let link_views (views : Objfile.view list) : Objfile.db * stats =
       indirects = List.rev !indirects;
       consts = List.rev !consts;
       openworld = None;
+      tuhash = None;
       meta =
         {
           mfiles = List.rev !files;
@@ -188,7 +192,13 @@ let link_views (views : Objfile.view list) : Objfile.db * stats =
       n_extern_merged = !merged;
       n_vars_out = nvars;
       n_undefined = 0;
-    } )
+    },
+    unit_maps,
+    key_ids )
+
+let link_views views : Objfile.db * stats =
+  let db, stats, _, _ = link_views_full views in
+  (db, stats)
 
 (** Publish a stats record into the metrics registry under [link.*]. *)
 let publish_stats ?reg (s : stats) =
@@ -264,3 +274,519 @@ let link_files_result ?(keep_going = false) ?undefined ~output paths :
     end
   in
   (stats, Diag.to_list c)
+
+(* ------------------------------------------------------------------ *)
+(* Delta linking                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** What changed between two consecutive linked databases, in the linked
+    id space.  Produced by {!relink}; consumed by the incremental solver
+    ({!Andersen.resume}) and the delta tests. *)
+type delta = {
+  d_old_nvars : int;
+  d_new_nvars : int;
+  d_changed_units : int;
+  d_added_statics : Objfile.prim_rec list;
+  d_removed_statics : Objfile.prim_rec list;
+  d_added_prims : Objfile.prim_rec list;  (** non-[Paddr], [psrc] mapped *)
+  d_removed_prims : Objfile.prim_rec list;
+  d_added_fundefs : Objfile.fund_rec list;
+  d_removed_fundefs : Objfile.fund_rec list;
+  d_added_indirects : Objfile.indir_rec list;
+  d_removed_indirects : Objfile.indir_rec list;
+  d_added_strings : string list;  (** linked-view string-table additions *)
+  d_removed_strings : string list;
+  d_full_relink : bool;
+      (** the database was rebuilt by a full merge (constraint removal);
+          linked ids are NOT stable across this delta *)
+}
+
+let delta_is_pure_add d =
+  (not d.d_full_relink)
+  && d.d_removed_statics = []
+  && d.d_removed_prims = []
+  && d.d_removed_fundefs = []
+  && d.d_removed_indirects = []
+
+let delta_size_added d =
+  List.length d.d_added_statics + List.length d.d_added_prims
+  + List.length d.d_added_fundefs
+  + List.length d.d_added_indirects
+
+let delta_size_removed d =
+  List.length d.d_removed_statics + List.length d.d_removed_prims
+  + List.length d.d_removed_fundefs
+  + List.length d.d_removed_indirects
+
+type unit_entry = {
+  ue_name : string;
+  mutable ue_hash : string option;  (** the unit's [rtuhash], if any *)
+  mutable ue_view : Objfile.view;
+  mutable ue_map : int array;  (** uid → linked id *)
+}
+
+(** Persistent linker state for delta mode: the unit set with its uid →
+    linked-id maps, the canonical-key table, and the current linked
+    database/view.  Only the closed-world [Ignore] policy is supported —
+    open-world havoc synthesis rewrites the whole database and would
+    defeat id stability (callers wanting [--open-world] must re-link
+    fully). *)
+type state = {
+  mutable s_key_ids : (string, int) Hashtbl.t;
+  mutable s_units : unit_entry list;  (** in link order *)
+  mutable s_next : int;  (** next fresh linked id *)
+  mutable s_db : Objfile.db;
+  mutable s_view : Objfile.view;
+}
+
+let state_view st = st.s_view
+let state_db st = st.s_db
+
+let empty_db : Objfile.db =
+  {
+    Objfile.vars = [||];
+    keys = [];
+    statics = [];
+    blocks = [||];
+    fundefs = [];
+    indirects = [];
+    consts = [];
+    openworld = None;
+    tuhash = None;
+    meta =
+      {
+        Objfile.mfiles = [];
+        msource_lines = 0;
+        mpreproc_lines = 0;
+        mcounts = Prim.zero_counts;
+      };
+  }
+
+(* A unit's full contribution to the linked database, in linked ids. *)
+type contrib = {
+  c_statics : Objfile.prim_rec list;
+  c_prims : Objfile.prim_rec list;  (* dynamic blocks, flattened *)
+  c_fundefs : Objfile.fund_rec list;
+  c_indirects : Objfile.indir_rec list;
+}
+
+let empty_contrib =
+  { c_statics = []; c_prims = []; c_fundefs = []; c_indirects = [] }
+
+let contrib_of (v : Objfile.view) (map : int array) : contrib =
+  let remap (p : Objfile.prim_rec) =
+    { p with Objfile.pdst = map.(p.Objfile.pdst); psrc = map.(p.Objfile.psrc) }
+  in
+  let map_opt a = if a >= 0 then map.(a) else -1 in
+  let prims = ref [] in
+  for uid = Objfile.n_vars v - 1 downto 0 do
+    if Objfile.has_block v uid then
+      prims :=
+        List.rev_append
+          (List.rev_map remap (Objfile.read_block v uid))
+          !prims
+  done;
+  {
+    c_statics = List.map remap (Array.to_list v.Objfile.rstatics);
+    c_prims = !prims;
+    c_fundefs =
+      List.map
+        (fun (f : Objfile.fund_rec) ->
+          {
+            f with
+            Objfile.ffvar = map.(f.Objfile.ffvar);
+            fret = map_opt f.Objfile.fret;
+            fargs = Array.map map_opt f.Objfile.fargs;
+          })
+        (Array.to_list v.Objfile.rfundefs);
+    c_indirects =
+      List.map
+        (fun (i : Objfile.indir_rec) ->
+          {
+            i with
+            Objfile.iptr = map.(i.Objfile.iptr);
+            iret = map_opt i.Objfile.iret;
+            iargs = Array.map map_opt i.Objfile.iargs;
+          })
+        (Array.to_list v.Objfile.rindirects);
+  }
+
+(* Multiset diff of two record lists under a projection [key] (location
+   fields are excluded from identities — a line-number shift is not a
+   semantic change).  Returns (added, removed) with records drawn from
+   the respective sides. *)
+let multiset_diff ~key old_l new_l =
+  let counts = Hashtbl.create 64 in
+  let olds = Hashtbl.create 64 in
+  List.iter
+    (fun x ->
+      let k = key x in
+      Hashtbl.replace counts k
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts k));
+      Hashtbl.add olds k x)
+    old_l;
+  let added =
+    List.filter
+      (fun x ->
+        let k = key x in
+        match Hashtbl.find_opt counts k with
+        | Some n when n > 0 ->
+            Hashtbl.replace counts k (n - 1);
+            false
+        | _ -> true)
+      new_l
+  in
+  let removed =
+    Hashtbl.fold
+      (fun k n acc ->
+        if n <= 0 then acc
+        else
+          (* any [n] representatives of the surplus key will do *)
+          let rec take n = function
+            | x :: rest when n > 0 -> x :: take (n - 1) rest
+            | _ -> []
+          in
+          take n (Hashtbl.find_all olds k) @ acc)
+      counts []
+  in
+  (added, removed)
+
+let static_key (p : Objfile.prim_rec) = (p.Objfile.pdst, p.Objfile.psrc)
+
+let prim_key (p : Objfile.prim_rec) =
+  (p.Objfile.pkind, p.Objfile.pdst, p.Objfile.psrc)
+
+let fund_key (f : Objfile.fund_rec) =
+  (f.Objfile.ffvar, f.Objfile.farity, f.Objfile.fret,
+   Array.to_list f.Objfile.fargs)
+
+let indir_key (i : Objfile.indir_rec) =
+  (i.Objfile.iptr, i.Objfile.inargs, i.Objfile.iret,
+   Array.to_list i.Objfile.iargs)
+
+let strings_diff (old_v : Objfile.view) (new_v : Objfile.view) =
+  let setify a =
+    let t = Hashtbl.create (Array.length a) in
+    Array.iter (fun s -> Hashtbl.replace t s ()) a;
+    t
+  in
+  let olds = setify old_v.Objfile.strings
+  and news = setify new_v.Objfile.strings in
+  let added =
+    Hashtbl.fold
+      (fun s () acc -> if Hashtbl.mem olds s then acc else s :: acc)
+      news []
+  and removed =
+    Hashtbl.fold
+      (fun s () acc -> if Hashtbl.mem news s then acc else s :: acc)
+      olds []
+  in
+  (added, removed)
+
+(* Recompute the per-var metadata passes of [link_views_full] (typed
+   declaration wins; defined iff any unit defines) over the current unit
+   set.  Cheap — O(total vars) — so the patch path reruns it instead of
+   tracking per-field provenance. *)
+let refresh_vars vars units =
+  let nvars = Array.length vars in
+  List.iter
+    (fun ue ->
+      Array.iteri
+        (fun uid id ->
+          let vi = ue.ue_view.Objfile.rvars.(uid) in
+          if vars.(id).Objfile.vtyp = "" && vi.Objfile.vtyp <> "" then
+            vars.(id) <- vi)
+        ue.ue_map)
+    units;
+  let defined = Array.make nvars false in
+  List.iter
+    (fun ue ->
+      Array.iteri
+        (fun uid id ->
+          if ue.ue_view.Objfile.rvars.(uid).Objfile.vdefined then
+            defined.(id) <- true)
+        ue.ue_map)
+    units;
+  Array.iteri
+    (fun id vi ->
+      if vi.Objfile.vdefined <> defined.(id) then
+        vars.(id) <- { vi with Objfile.vdefined = defined.(id) })
+    vars
+
+let meta_of_units units : Objfile.meta =
+  let files = ref [] and src = ref 0 and pre = ref 0 in
+  let counts = ref Prim.zero_counts in
+  List.iter
+    (fun ue ->
+      let m = ue.ue_view.Objfile.rmeta in
+      files := List.rev_append m.Objfile.mfiles !files;
+      src := !src + m.Objfile.msource_lines;
+      pre := !pre + m.Objfile.mpreproc_lines;
+      counts := Prim.add_counts !counts m.Objfile.mcounts)
+    units;
+  {
+    Objfile.mfiles = List.rev !files;
+    msource_lines = !src;
+    mpreproc_lines = !pre;
+    mcounts = !counts;
+  }
+
+(** Re-link after some units changed.  Units are matched to the previous
+    set by name; a unit whose [rtuhash] is unchanged is not even
+    diffed.  When every change is an addition, the new database is built
+    by {e patching} the previous one — old linked ids are stable, old
+    section lists survive as exact prefixes (the solver's positional
+    caches depend on this) — and the returned delta is "pure add".  Any
+    constraint removal falls back to a full merge (ids reassigned,
+    [d_full_relink] set), which the solver answers with a from-scratch
+    solve.  Publishes [link.delta.*] metrics. *)
+let relink (st : state) (units : (string * Objfile.view) list) : delta =
+  Cla_obs.Obs.with_span "link" ~label:"delta" (fun () ->
+  let old_nvars = Array.length st.s_db.Objfile.vars in
+  let old_view = st.s_view in
+  let old_by_name = Hashtbl.create 16 in
+  List.iter (fun ue -> Hashtbl.replace old_by_name ue.ue_name ue) st.s_units;
+  (* tentative fresh-id allocations: committed only on the patch path *)
+  let next = ref st.s_next in
+  let new_keys : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let new_vars = ref [] (* reversed *) in
+  let alloc vi =
+    let id = !next in
+    incr next;
+    new_vars := vi :: !new_vars;
+    id
+  in
+  let key_id key vi =
+    match Hashtbl.find_opt st.s_key_ids key with
+    | Some id -> id
+    | None -> (
+        match Hashtbl.find_opt new_keys key with
+        | Some id -> id
+        | None ->
+            let id = alloc vi in
+            Hashtbl.replace new_keys key id;
+            id)
+  in
+  (* The stable-id map for a changed unit: keyed (extern) objects resolve
+     through the canonical-key table exactly as before; an unkeyed object
+     keeps its old linked id iff the same uid held an identical-identity
+     unkeyed object in the old unit (append-only edits always satisfy
+     this); anything else gets a fresh id. *)
+  let map_for (v : Objfile.view) (old : unit_entry option) : int array =
+    let n = Objfile.n_vars v in
+    let keys = Hashtbl.create 64 in
+    List.iter (fun (uid, k) -> Hashtbl.replace keys uid k) v.Objfile.rkeys;
+    let old_keys = Hashtbl.create 64 in
+    (match old with
+    | Some ue ->
+        List.iter
+          (fun (uid, k) -> Hashtbl.replace old_keys uid k)
+          ue.ue_view.Objfile.rkeys
+    | None -> ());
+    let map = Array.make n (-1) in
+    for uid = 0 to n - 1 do
+      let vi = v.Objfile.rvars.(uid) in
+      match Hashtbl.find_opt keys uid with
+      | Some key -> map.(uid) <- key_id key vi
+      | None ->
+          let stable =
+            match old with
+            | Some ue
+              when uid < Objfile.n_vars ue.ue_view
+                   && not (Hashtbl.mem old_keys uid) ->
+                let ovi = ue.ue_view.Objfile.rvars.(uid) in
+                if
+                  String.equal ovi.Objfile.vname vi.Objfile.vname
+                  && ovi.Objfile.vkind = vi.Objfile.vkind
+                  && String.equal ovi.Objfile.vowner vi.Objfile.vowner
+                then Some ue.ue_map.(uid)
+                else None
+            | _ -> None
+          in
+          map.(uid) <-
+            (match stable with Some id -> id | None -> alloc vi)
+    done;
+    map
+  in
+  let changed = ref 0 in
+  let add_st = ref [] and rem_st = ref [] in
+  let add_pr = ref [] and rem_pr = ref [] in
+  let add_fn = ref [] and rem_fn = ref [] in
+  let add_in = ref [] and rem_in = ref [] in
+  let accum oldc newc =
+    let a, r = multiset_diff ~key:static_key oldc.c_statics newc.c_statics in
+    add_st := a @ !add_st;
+    rem_st := r @ !rem_st;
+    let a, r = multiset_diff ~key:prim_key oldc.c_prims newc.c_prims in
+    add_pr := a @ !add_pr;
+    rem_pr := r @ !rem_pr;
+    let a, r = multiset_diff ~key:fund_key oldc.c_fundefs newc.c_fundefs in
+    add_fn := a @ !add_fn;
+    rem_fn := r @ !rem_fn;
+    let a, r = multiset_diff ~key:indir_key oldc.c_indirects newc.c_indirects in
+    add_in := a @ !add_in;
+    rem_in := r @ !rem_in
+  in
+  let new_entries =
+    List.map
+      (fun (name, v) ->
+        let old = Hashtbl.find_opt old_by_name name in
+        if old <> None then Hashtbl.remove old_by_name name;
+        let hash = v.Objfile.rtuhash in
+        match old with
+        | Some ue when hash <> None && ue.ue_hash = hash ->
+            ue (* unchanged: same hash, not even diffed *)
+        | _ ->
+            incr changed;
+            let map = map_for v old in
+            let oldc =
+              match old with
+              | None -> empty_contrib
+              | Some ue -> contrib_of ue.ue_view ue.ue_map
+            in
+            let newc = contrib_of v map in
+            accum oldc newc;
+            (match old with
+            | Some ue ->
+                ue.ue_hash <- hash;
+                ue.ue_view <- v;
+                ue.ue_map <- map;
+                ue
+            | None -> { ue_name = name; ue_hash = hash; ue_view = v; ue_map = map }))
+      units
+  in
+  (* units dropped from the set: their whole contribution is removed *)
+  Hashtbl.iter
+    (fun _ ue ->
+      incr changed;
+      accum (contrib_of ue.ue_view ue.ue_map) empty_contrib)
+    old_by_name;
+  let has_removals =
+    !rem_st <> [] || !rem_pr <> [] || !rem_fn <> [] || !rem_in <> []
+  in
+  if not has_removals then begin
+    (* Patch path: append-only.  Old ids, old list prefixes, and old
+       block order all survive — the solver resumes on top of them. *)
+    st.s_next <- !next;
+    Hashtbl.iter (fun k id -> Hashtbl.replace st.s_key_ids k id) new_keys;
+    let nvars = !next in
+    let fresh = Array.of_list (List.rev !new_vars) in
+    let vars =
+      Array.init nvars (fun id ->
+          if id < old_nvars then st.s_db.Objfile.vars.(id)
+          else fresh.(id - old_nvars))
+    in
+    refresh_vars vars new_entries;
+    let blocks = Array.make nvars [] in
+    Array.blit st.s_db.Objfile.blocks 0 blocks 0 old_nvars;
+    let by_src = Hashtbl.create 64 in
+    List.iter
+      (fun (p : Objfile.prim_rec) ->
+        Hashtbl.replace by_src p.Objfile.psrc
+          (p
+          :: Option.value ~default:[]
+               (Hashtbl.find_opt by_src p.Objfile.psrc)))
+      !add_pr;
+    Hashtbl.iter
+      (fun src ps -> blocks.(src) <- blocks.(src) @ List.rev ps)
+      by_src;
+    let seen_fun = Hashtbl.create 64 in
+    List.iter
+      (fun (f : Objfile.fund_rec) ->
+        Hashtbl.replace seen_fun f.Objfile.ffvar ())
+      st.s_db.Objfile.fundefs;
+    let added_fundefs =
+      List.filter
+        (fun (f : Objfile.fund_rec) ->
+          if Hashtbl.mem seen_fun f.Objfile.ffvar then false
+          else begin
+            Hashtbl.replace seen_fun f.Objfile.ffvar ();
+            true
+          end)
+        (List.rev !add_fn)
+    in
+    let consts = ref [] in
+    List.iter
+      (fun ue ->
+        List.iter
+          (fun (var, c) -> consts := (ue.ue_map.(var), c) :: !consts)
+          ue.ue_view.Objfile.rconsts)
+      new_entries;
+    let db =
+      {
+        Objfile.vars;
+        keys =
+          Hashtbl.fold (fun key id acc -> (id, key) :: acc) st.s_key_ids [];
+        statics = st.s_db.Objfile.statics @ List.rev !add_st;
+        blocks;
+        fundefs = st.s_db.Objfile.fundefs @ added_fundefs;
+        indirects = st.s_db.Objfile.indirects @ List.rev !add_in;
+        consts = List.rev !consts;
+        openworld = None;
+        tuhash = None;
+        meta = meta_of_units new_entries;
+      }
+    in
+    st.s_db <- db;
+    st.s_view <- Objfile.view_of_string (Objfile.write db);
+    st.s_units <- new_entries
+  end
+  else begin
+    (* Removal: rebuild by full merge.  Ids are reassigned; the caller's
+       solver must start from scratch (d_full_relink tells it so). *)
+    let views = List.map snd units in
+    let db, _stats, maps, key_ids = link_views_full views in
+    st.s_key_ids <- key_ids;
+    st.s_next <- Array.length db.Objfile.vars;
+    st.s_units <-
+      List.map2
+        (fun (name, v) (_, map) ->
+          { ue_name = name; ue_hash = v.Objfile.rtuhash; ue_view = v; ue_map = map })
+        units maps;
+    st.s_db <- db;
+    st.s_view <- Objfile.view_of_string (Objfile.write db)
+  end;
+  let added_strings, removed_strings = strings_diff old_view st.s_view in
+  let d =
+    {
+      d_old_nvars = old_nvars;
+      d_new_nvars = Array.length st.s_db.Objfile.vars;
+      d_changed_units = !changed;
+      d_added_statics = List.rev !add_st;
+      d_removed_statics = List.rev !rem_st;
+      d_added_prims = List.rev !add_pr;
+      d_removed_prims = List.rev !rem_pr;
+      d_added_fundefs = List.rev !add_fn;
+      d_removed_fundefs = List.rev !rem_fn;
+      d_added_indirects = List.rev !add_in;
+      d_removed_indirects = List.rev !rem_in;
+      d_added_strings = added_strings;
+      d_removed_strings = removed_strings;
+      d_full_relink = has_removals;
+    }
+  in
+  Cla_obs.Metrics.set "link.delta.units_changed" d.d_changed_units;
+  Cla_obs.Metrics.set "link.delta.added" (delta_size_added d);
+  Cla_obs.Metrics.set "link.delta.removed" (delta_size_removed d);
+  Cla_obs.Metrics.set "link.delta.strings_added"
+    (List.length d.d_added_strings);
+  Cla_obs.Metrics.set "link.delta.pure" (if delta_is_pure_add d then 1 else 0);
+  if d.d_full_relink then Cla_obs.Metrics.incr "link.delta.full_relinks";
+  Cla_obs.Metrics.set "link.units" (List.length units);
+  Cla_obs.Metrics.set "link.vars_out" d.d_new_nvars;
+  d)
+
+(** Fresh delta-linker state over an initial unit set: (name, unit view)
+    pairs, names unique.  The first delta is everything-added. *)
+let state_create (units : (string * Objfile.view) list) : state * delta =
+  let st =
+    {
+      s_key_ids = Hashtbl.create 1024;
+      s_units = [];
+      s_next = 0;
+      s_db = empty_db;
+      s_view = Objfile.view_of_string (Objfile.write empty_db);
+    }
+  in
+  let d = relink st units in
+  (st, d)

@@ -53,3 +53,64 @@ val link_files_result :
   output:string ->
   string list ->
   stats option * Diag.t list
+
+(* ------------------------------------------------------------------ *)
+(** {1 Delta linking}
+
+    Watch-mode machinery: keep the linker's state alive across edits and
+    patch the linked database instead of re-merging the world. *)
+
+(** What changed between two consecutive linked databases, in the linked
+    id space.  Location fields are excluded from record identities (a
+    pure line-number shift is not a semantic change). *)
+type delta = {
+  d_old_nvars : int;
+  d_new_nvars : int;
+  d_changed_units : int;  (** units added, removed, or content-changed *)
+  d_added_statics : Objfile.prim_rec list;
+  d_removed_statics : Objfile.prim_rec list;
+  d_added_prims : Objfile.prim_rec list;
+      (** non-[Paddr] dynamic assignments, [psrc]/[pdst] in linked ids *)
+  d_removed_prims : Objfile.prim_rec list;
+  d_added_fundefs : Objfile.fund_rec list;
+  d_removed_fundefs : Objfile.fund_rec list;
+  d_added_indirects : Objfile.indir_rec list;
+  d_removed_indirects : Objfile.indir_rec list;
+  d_added_strings : string list;  (** linked-view string-table additions *)
+  d_removed_strings : string list;
+  d_full_relink : bool;
+      (** the database was rebuilt by a full merge (constraint removal);
+          linked ids are NOT stable across this delta *)
+}
+
+(** True iff the delta only adds constraints — the precondition for the
+    solver's truly-incremental resume.  On a pure-add delta, every old
+    linked id is unchanged and every old section list survives as an
+    exact prefix of its successor (positional caches stay valid). *)
+val delta_is_pure_add : delta -> bool
+
+val delta_size_added : delta -> int
+val delta_size_removed : delta -> int
+
+(** Persistent linker state for delta mode.  Only the closed-world
+    [Ignore] policy is supported: open-world havoc synthesis rewrites
+    the whole database and would defeat id stability. *)
+type state
+
+(** The current linked database / view (the view is re-serialized after
+    every {!relink}, so block reads see the patched sections). *)
+val state_view : state -> Objfile.view
+
+val state_db : state -> Objfile.db
+
+(** Fresh delta-linker state over an initial unit set — (name, per-unit
+    view) pairs, names unique.  The returned delta is everything-added. *)
+val state_create : (string * Objfile.view) list -> state * delta
+
+(** Re-link after some units changed.  Units are matched to the previous
+    set by name; a unit whose {!Objfile.view.rtuhash} is unchanged is
+    not even diffed.  When every change is an addition the database is
+    patched in place (old ids stable, old lists as prefixes) and the
+    delta is pure-add; any removal falls back to a full merge with
+    [d_full_relink] set.  Publishes [link.delta.*] metrics. *)
+val relink : state -> (string * Objfile.view) list -> delta

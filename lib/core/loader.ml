@@ -203,6 +203,51 @@ let load_file_par ~pool path : (Objfile.view, Diag.t) result =
       in
       view_par ~pool data)
 
+(* ------------------------------------------------------------------ *)
+(* Cached file loads (the watch / incremental path)                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Process-wide cache of loaded object files keyed by path.  Every probe
+   revalidates the entry against the file's current (size, mtime) — a
+   rewritten file is reloaded, an untouched one is served from memory
+   and counted in [load.revalidations].  The watcher polls by stat, so
+   this is the natural freshness granularity; a same-size same-mtime
+   rewrite is indistinguishable by stat and treated as unchanged. *)
+let file_cache : (string, int * float * Objfile.view) Hashtbl.t =
+  Hashtbl.create 16
+
+let file_cache_m = Mutex.create ()
+
+let load_file_cached path : (Objfile.view, Diag.t) result =
+  match Unix.stat path with
+  | exception Unix.Unix_error (e, _, _) ->
+      Error
+        (Diag.error ~file:path ~phase:Diag.Load
+           ("cannot stat: " ^ Unix.error_message e))
+  | st when st.Unix.st_kind <> Unix.S_REG ->
+      Error (Diag.error ~file:path ~phase:Diag.Load "not a regular file")
+  | st -> (
+      let size = st.Unix.st_size and mtime = st.Unix.st_mtime in
+      Mutex.lock file_cache_m;
+      let hit =
+        match Hashtbl.find_opt file_cache path with
+        | Some (sz, mt, v) when sz = size && Float.equal mt mtime -> Some v
+        | _ -> None
+      in
+      Mutex.unlock file_cache_m;
+      match hit with
+      | Some v ->
+          Cla_obs.Metrics.incr "load.revalidations";
+          Ok v
+      | None -> (
+          match Objfile.load_result path with
+          | Error _ as e -> e
+          | Ok v ->
+              Mutex.lock file_cache_m;
+              Hashtbl.replace file_cache path (size, mtime, v);
+              Mutex.unlock file_cache_m;
+              Ok v))
+
 (** Operations through which points-to information survives: only these
     copies are relevant to aliasing, and the loader skips the rest
     ("non-pointer arithmetic assignments are usually ignored", Section 6). *)

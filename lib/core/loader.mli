@@ -71,6 +71,14 @@ val view_par : pool:Cla_par.Pool.t -> string -> Objfile.view
     the pool. *)
 val load_file_par : pool:Cla_par.Pool.t -> string -> (Objfile.view, Diag.t) result
 
+(** Like {!Objfile.load_result} through a process-wide path-keyed cache.
+    Every probe revalidates the cached view against the file's current
+    (size, mtime): an untouched file is served from memory and counted
+    in [load.revalidations]; a rewritten file is reloaded and the entry
+    replaced.  Thread-safe.  This is the object-file side of the watch /
+    incremental path ([cla serve --watch]). *)
+val load_file_cached : string -> (Objfile.view, Diag.t) result
+
 (** Operations through which points-to information survives ([+], [-],
     casts, [?:]); everything else is skipped by the points-to loader
     ("non-pointer arithmetic assignments are usually ignored"). *)

@@ -55,6 +55,7 @@ let sec_targets = 7
 let sec_meta = 8
 let sec_consts = 9
 let sec_openworld = 10
+let sec_tuhash = 11
 
 (* ------------------------------------------------------------------ *)
 (* In-memory database records                                          *)
@@ -128,6 +129,11 @@ type db = {
   indirects : indir_rec list;
   consts : (int * int64) list;  (** integer constants assigned to objects *)
   openworld : ow option;  (** present iff linked under open-world mode *)
+  tuhash : string option;
+      (** content hash of the preprocessed TU + compile flags — present
+          on per-unit objects produced by {!Compilep}, absent on linked
+          databases.  The incremental pipeline compares it to decide
+          whether a recompile can be skipped. *)
   meta : meta;
 }
 
@@ -323,6 +329,14 @@ let write ?(version = current_version) (db : db) : string =
         b)
       db.openworld
   in
+  let b_tuhash =
+    Option.map
+      (fun h ->
+        let b = Binio.writer () in
+        Binio.varint b (Strtab.intern st h);
+        b)
+      db.tuhash
+  in
   (* strtab last to build, first to emit *)
   let b_strtab = Binio.writer () in
   Strtab.write b_strtab st;
@@ -333,7 +347,8 @@ let write ?(version = current_version) (db : db) : string =
       (sec_fundefs, b_fundefs); (sec_indirect, b_indirect);
       (sec_targets, b_targets); (sec_meta, b_meta); (sec_consts, b_consts);
     ]
-    @ match b_openworld with Some b -> [ (sec_openworld, b) ] | None -> []
+    @ (match b_openworld with Some b -> [ (sec_openworld, b) ] | None -> [])
+    @ match b_tuhash with Some b -> [ (sec_tuhash, b) ] | None -> []
   in
   let header = Binio.writer () in
   Buffer.add_string header (if version = 1 then magic_v1 else magic);
@@ -406,6 +421,7 @@ type view = {
   rtargets : (string * int) array;  (** sorted by name *)
   rconsts : (int * int64) list;
   ropenworld : ow option;  (** present iff linked under open-world mode *)
+  rtuhash : string option;  (** per-unit content hash, if recorded *)
   rmeta : meta;
 }
 
@@ -684,6 +700,13 @@ let view_of_string ?(verify = true) (data : string) : view =
         in
         Some { owblob; owundef; owescape }
   in
+  let rtuhash =
+    match Hashtbl.find_opt sections sec_tuhash with
+    | None -> None (* linked databases and pre-incremental objects *)
+    | Some _ ->
+        let r = sec sec_tuhash in
+        Some (str strings (Binio.rvarint r))
+  in
   let r = sec sec_meta in
   let nfiles = Binio.rcount r in
   let mfiles = List.init nfiles (fun _ -> str strings (Binio.rvarint r)) in
@@ -708,6 +731,7 @@ let view_of_string ?(verify = true) (data : string) : view =
     rtargets;
     rconsts;
     ropenworld;
+    rtuhash;
     rmeta =
       {
         mfiles;

@@ -102,6 +102,11 @@ type db = {
       (** integer constants assigned directly to objects — the paper's
           constants section, used by the narrowing checker *)
   openworld : ow option;  (** present iff linked under open-world mode *)
+  tuhash : string option;
+      (** content hash of the preprocessed TU + compile flags — present
+          on per-unit objects produced by {!Compilep}, absent on linked
+          databases.  The incremental pipeline compares it to skip
+          recompiling unchanged units. *)
   meta : meta;
 }
 
@@ -137,6 +142,7 @@ type view = {
   rtargets : (string * int) array;  (** sorted by name *)
   rconsts : (int * int64) list;
   ropenworld : ow option;  (** present iff linked under open-world mode *)
+  rtuhash : string option;  (** per-unit content hash, if recorded *)
   rmeta : meta;
 }
 

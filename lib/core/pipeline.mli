@@ -111,6 +111,12 @@ type ladder_outcome = {
       (** rungs that timed out, with how far each got *)
 }
 
+(** Wrap an exact (non-degraded, no-timeout) solution produced by [alg]
+    outside the ladder as a ladder outcome: stamps provenance and the
+    ladder metrics the same way a ladder answer would.  The watch-mode
+    server uses it to install incremental solves as served outcomes. *)
+val outcome_of_solution : algorithm -> Solution.t -> ladder_outcome
+
 (** Run the degradation ladder under one deadline token: each rung gets
     the remaining slice of the budget, and the final rung runs
     deadline-exempt (unless [strict]) so the ladder always returns a

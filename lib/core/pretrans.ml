@@ -51,6 +51,14 @@ type t = {
   mutable onstk : int array;  (* = query when the node is on the SCC stack *)
   edge_tbl : Intset.t;
   base_tbl : Intset.t;
+  (* reverse adjacency for targeted invalidation (delta solving).  Off by
+     default; [enable_pred_tracking] builds it from the live edges and
+     [add_edge]/[unify_into] maintain it from then on.  Entries may be
+     stale (pre-unification node ids) — consumers de-skip on read, and
+     unification merges a victim's predecessor list into its
+     representative, a sound over-approximation. *)
+  mutable preds : Dynarr.t array;  (* [||] while tracking is off *)
+  mutable track_preds : bool;
   mutable stamp : int;
   mutable query : int;
   (* reusable traversal scratch — one of each per solver, never per query *)
@@ -94,6 +102,8 @@ let create ?(config = default_config) ?dense_threshold ~nodes () =
     onstk = Array.make cap (-1);
     edge_tbl = Intset.create 4096;
     base_tbl = Intset.create 1024;
+    preds = [||];
+    track_preds = false;
     stamp = 0;
     query = 0;
     fnode = Dynarr.create ~capacity:64 ();
@@ -154,7 +164,14 @@ let grow t needed =
     t.disc <- extend t.disc 0;
     t.low <- extend t.low 0;
     t.qid <- extend t.qid (-1);
-    t.onstk <- extend t.onstk (-1)
+    t.onstk <- extend t.onstk (-1);
+    if t.track_preds then begin
+      let preds' =
+        Array.init cap' (fun i ->
+            if i < cap then t.preds.(i) else Dynarr.create ~capacity:2 ())
+      in
+      t.preds <- preds'
+    end
   end
 
 (** Allocate a fresh node (used for [*x = *y] splitting and [n_*y] deref
@@ -186,6 +203,7 @@ let add_edge t a b =
     let key = Intset.pair_key a b in
     if Intset.add t.edge_tbl key then begin
       Dynarr.push t.succ.(a) b;
+      if t.track_preds then Dynarr.push t.preds.(b) a;
       t.n_edges <- t.n_edges + 1;
       true
     end
@@ -215,9 +233,69 @@ let unify_into t m rep =
       ignore (add_edge t rep s))
     t.succ.(m);
   Dynarr.iter (fun z -> add_base t rep z) t.base.(m);
+  if t.track_preds then begin
+    (* edges into [m] now semantically target [rep]; keeping the merged
+       list (stale ids and all) over-approximates, which is sound for
+       invalidation *)
+    Dynarr.iter (fun p -> Dynarr.push t.preds.(rep) p) t.preds.(m);
+    t.preds.(m) <- Dynarr.create ~capacity:1 ()
+  end;
   (* free the merged node's storage *)
   t.succ.(m) <- Dynarr.create ~capacity:1 ();
   t.base.(m) <- Dynarr.create ~capacity:1 ()
+
+(* ------------------------------------------------------------------ *)
+(* Delta invalidation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Turn on reverse-adjacency tracking, building the predecessor lists
+    from the edges already in the graph (so it can be enabled on a
+    solved graph, not just an empty one).  Idempotent. *)
+let enable_pred_tracking t =
+  if not t.track_preds then begin
+    let cap = Array.length t.skip in
+    t.preds <- Array.init cap (fun _ -> Dynarr.create ~capacity:2 ());
+    t.track_preds <- true;
+    for a = 0 to t.n - 1 do
+      Dynarr.iter
+        (fun raw -> Dynarr.push t.preds.(deskip t raw) a)
+        t.succ.(a)
+    done
+  end
+
+let pred_tracking t = t.track_preds
+
+(** Invalidate the reachability memo of every node that can reach one of
+    [seeds] — i.e. every node whose points-to set may grow because
+    [seeds]' sets grew (a new base element or a new out-edge).  This is
+    the soundness core of delta solving: a resumed pass may keep every
+    memo EXCEPT those, because a stale surviving memo could otherwise
+    report "no change" and let the driver converge on a fixpoint that
+    never saw the delta.  Requires {!enable_pred_tracking}; the walk is
+    a reverse BFS over the (over-approximate) predecessor lists.
+    Returns the number of memos invalidated. *)
+let invalidate_reaching t seeds =
+  if not t.track_preds then
+    invalid_arg "Pretrans.invalidate_reaching: pred tracking is off";
+  let visited = Bytes.make (Array.length t.skip) '\000' in
+  let stack = Dynarr.create ~capacity:64 () in
+  let count = ref 0 in
+  let push x =
+    let x = deskip t x in
+    if Bytes.unsafe_get visited x = '\000' then begin
+      Bytes.unsafe_set visited x '\001';
+      t.mark.(x) <- -1;
+      incr count;
+      Dynarr.push stack x
+    end
+  in
+  List.iter push seeds;
+  while Dynarr.length stack > 0 do
+    let x = Dynarr.get stack (Dynarr.length stack - 1) in
+    stack.Dynarr.len <- Dynarr.length stack - 1;
+    Dynarr.iter (fun p -> push p) t.preds.(x)
+  done;
+  !count
 
 (* ------------------------------------------------------------------ *)
 (* Reachability (getLvals)                                             *)

@@ -63,6 +63,32 @@ val new_pass : t -> unit
     the rest of the current pass. *)
 val get_lvals : t -> int -> Lvalset.t
 
+(** {1 Delta invalidation (incremental re-solve)}
+
+    Support for resuming a solve after new edges are added to the graph
+    (the delta-solve path).  The per-pass reachability memo normally
+    survives only until {!new_pass}; to resume {e without} flushing it,
+    every memo entry whose node can reach a changed node must be
+    invalidated first — a stale memo there would hide the new lvals and
+    let the driver converge prematurely.  Reverse reachability needs
+    predecessor lists, which the graph does not keep by default. *)
+
+(** Start (or keep) maintaining predecessor lists.  Idempotent; on first
+    call the lists are rebuilt from the live forward edges, after which
+    {!add_edge} and cycle unification keep them current.  Unification
+    over-approximates (stale ids are kept), which is sound for
+    invalidation. *)
+val enable_pred_tracking : t -> unit
+
+val pred_tracking : t -> bool
+
+(** [invalidate_reaching t seeds] clears the pass memo of every node
+    that can reach any seed (including the seeds), by reverse BFS over
+    the predecessor lists.  Returns the number of memo entries dropped.
+    Requires {!enable_pred_tracking} to have been called before the
+    edges now being invalidated were added (or rebuilt over them). *)
+val invalidate_reaching : t -> int list -> int
+
 (** {1 Read-only batch queries (parallel fan-out)}
 
     A {!scratch} is one worker domain's private traversal state: its own

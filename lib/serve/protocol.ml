@@ -8,6 +8,7 @@
     {"id":8,"op":"alias","var":"p","var2":"q"}
     {"id":9,"op":"ping"}          {"id":10,"op":"stats"}
     {"id":11,"op":"sleep","ms":50}   (debug; gated by --allow-sleep)
+    {"id":12,"op":"reanalyze"}       (servers started with --watch)
     v}
 
     Responses always carry ["status"] and echo ["id"] (null when the
@@ -31,6 +32,9 @@ type op =
   | Ping
   | Stats
   | Sleep of int  (** milliseconds; gated by the server's [allow_sleep] *)
+  | Reanalyze
+      (** rescan the watched directory now and swap in the fresh
+          solution; rejected on servers not started with [--watch] *)
 
 type request = {
   r_id : Json.t;  (** echoed verbatim; [Null] when absent *)
@@ -74,6 +78,7 @@ let parse line : (request, Json.t * string) result =
           | _ -> Error (id, "alias: missing \"var\" or \"var2\""))
       | Some "ping" -> mk Ping
       | Some "stats" -> mk Stats
+      | Some "reanalyze" -> mk Reanalyze
       | Some "sleep" -> (
           match int "ms" with
           | Some ms when ms >= 0 -> mk (Sleep ms)
@@ -144,6 +149,22 @@ let ok_alias ~id ?telemetry ~rung ~degraded ~var ~var2 ~aliased () =
     @ telemetry_field telemetry)
 
 let ok_ping ~id = resp id "ok" 200 [ ("op", Json.Str "ping") ]
+
+(* [changed = 0] means the rescan found the directory byte-stable (by
+   stat) and left the solution alone. *)
+let ok_reanalyze ~id ~epoch ~changed ~sources ~cache_hits ~cache_misses
+    ~resumed ~wall_ms () =
+  resp id "ok" 200
+    [
+      ("op", Json.Str "reanalyze");
+      ("epoch", Json.Int epoch);
+      ("changed", Json.Int changed);
+      ("sources", Json.Int sources);
+      ("cache_hits", Json.Int cache_hits);
+      ("cache_misses", Json.Int cache_misses);
+      ("resumed", Json.Bool resumed);
+      ("wall_ms", Json.Float wall_ms);
+    ]
 
 let ok_sleep ~id ~ms =
   resp id "ok" 200 [ ("op", Json.Str "sleep"); ("ms", Json.Int ms) ]

@@ -12,6 +12,9 @@ type op =
   | Ping
   | Stats
   | Sleep of int  (** milliseconds; gated by the server's [allow_sleep] *)
+  | Reanalyze
+      (** rescan the watched directory now and swap in the fresh
+          solution; rejected on servers not started with [--watch] *)
 
 type request = {
   r_id : Json.t;  (** echoed verbatim; [Null] when absent *)
@@ -58,6 +61,21 @@ val ok_alias :
 
 val ok_ping : id:Json.t -> string
 val ok_sleep : id:Json.t -> ms:int -> string
+
+(** The reanalyze answer: the post-rescan [epoch] (swaps since boot),
+    how many watched files changed ([0] = no-op, nothing swapped), and
+    the incremental-update accounting for the swap. *)
+val ok_reanalyze :
+  id:Json.t ->
+  epoch:int ->
+  changed:int ->
+  sources:int ->
+  cache_hits:int ->
+  cache_misses:int ->
+  resumed:bool ->
+  wall_ms:float ->
+  unit ->
+  string
 
 (** [extra] rides next to the flat [counters] object (kept for old
     clients): uptime, inflight, per-shard percentile blocks. *)

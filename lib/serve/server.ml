@@ -54,6 +54,16 @@ type config = {
       (** a busy shard whose heartbeat is older than this is wedged *)
   restart_budget : int;  (** circuit breaker: max restarts per window *)
   restart_window_ms : int;  (** the breaker's sliding window *)
+  watch_dir : string option;
+      (** serve a directory of [.c] / [.clo] files instead of a linked
+          database: poll for changes, recompile only edited units (TU
+          content hash), delta-link, delta-solve, and atomically swap
+          the served solution ([run_watch] sets this) *)
+  watch_poll_ms : int;  (** watch-mode poll period *)
+  save_snapshot : string option;
+      (** rewrite this snapshot after every non-degraded swap, and
+          refreeze the frozen arena from it — restart cost stays one
+          file read even as the watched tree evolves *)
 }
 
 let default_config =
@@ -75,6 +85,9 @@ let default_config =
     heartbeat_grace_ms = 30_000;
     restart_budget = 5;
     restart_window_ms = 60_000;
+    watch_dir = None;
+    watch_poll_ms = 500;
+    save_snapshot = None;
   }
 
 type stats = {
@@ -178,9 +191,23 @@ type shard = {
   sh_sup : Cla_par.Supervised.t;
 }
 
+(* Watch-mode state: the persistent incremental pipeline over the
+   watched directory plus the last stat signature of its [.c]/[.clo]
+   files.  [wa_m] serializes rescans (the poll thread and concurrent
+   [reanalyze] requests); everything below it is protected by it. *)
+type watcher = {
+  wa_dir : string;
+  wa_m : Mutex.t;
+  wa_inc : Incremental.t;
+  mutable wa_sig : (string * int * float) list;  (* (path, size, mtime) *)
+  mutable wa_epoch : int;  (* swaps installed since boot *)
+}
+
 type t = {
   cfg : config;
-  view : Objfile.view;
+  mutable view : Objfile.view;
+      (* immutable once set, except for watch-mode swaps
+         ([install_outcome]), which replace it whole under [solve_m] *)
   stats : stats;
   stats_m : Mutex.t;
   (* admission gate *)
@@ -192,15 +219,22 @@ type t = {
   wd : (int, R.Cancel.t * float) Hashtbl.t;
   mutable serial : int;
   (* the shared frozen arena: a thawed snapshot every query answers from
-     lock-free (immutable after create); [None] without --snapshot or
-     when the snapshot was rejected *)
-  frozen : Pipeline.ladder_outcome option;
+     lock-free; [None] without --snapshot or when the snapshot was
+     rejected.  Mutable for watch mode only: a swap invalidates it
+     (snapshot staleness) and [save_snapshot] refreezes it. *)
+  mutable frozen : Pipeline.ladder_outcome option;
   (* solve lock + cached ladder outcome (single-shard path) *)
   solve_m : Mutex.t;
   mutable cache : Pipeline.ladder_outcome option;
   (* sharded path: empty array when [cfg.shards <= 1] *)
   shard_tab : shard array;
   rr : int Atomic.t;  (* round-robin dispatch counter *)
+  (* bumped by every watch-mode swap; solves stamp it at start and skip
+     the cache write when it moved, so an in-flight solve over the old
+     view can never poison a post-swap cache *)
+  epoch : int Atomic.t;
+  mutable watcher : watcher option;  (* set by [run_watch] before serving *)
+  mutable snapshot_stale : bool;  (* the staleness diagnostic fired once *)
   shutdown : bool Atomic.t;
   stopped : bool Atomic.t;  (* watchdog terminator, set after drain *)
   conns_m : Mutex.t;
@@ -236,6 +270,7 @@ let op_name = function
   | Protocol.Ping -> "ping"
   | Protocol.Stats -> "stats"
   | Protocol.Sleep _ -> "sleep"
+  | Protocol.Reanalyze -> "reanalyze"
 
 let event_json ev =
   Json.Obj
@@ -352,6 +387,8 @@ let stats_extra t =
     ("inflight", Json.Int inflight);
     ("waiting", Json.Int waiting);
     ("snapshot", Json.Bool (t.frozen <> None));
+    ("watching", Json.Bool (t.watcher <> None));
+    ("epoch", Json.Int (Atomic.get t.epoch));
     ("shards", Json.Arr (List.init (Array.length t.lat_h) shard_json));
     ("latency", pct_json merged);
   ]
@@ -534,15 +571,19 @@ let shard_loop t sh ~gen =
             "serve.shard_solves";
           let s0 = R.Deadline.now_ns () in
           let done_solving () = job.j_solve_ns <- R.Deadline.now_ns () - s0 in
+          (* stamp the epoch and pin the view: a watch-mode swap while we
+             solve must not let this (now stale) outcome into the cache *)
+          let epoch0 = Atomic.get t.epoch in
+          let view = t.view in
           match
             Pipeline.points_to_ladder ~deadline:job.j_deadline
-              ~cancel:job.j_cancel ~jobs:t.cfg.solve_jobs t.view
+              ~cancel:job.j_cancel ~jobs:t.cfg.solve_jobs view
           with
           | o ->
               done_solving ();
               if not o.Pipeline.lo_degraded then begin
                 Mutex.lock sh.sh_m;
-                sh.sh_cache <- Some o;
+                if Atomic.get t.epoch = epoch0 then sh.sh_cache <- Some o;
                 Mutex.unlock sh.sh_m
               end;
               reply job (Ok o)
@@ -835,6 +876,184 @@ let chaos_enqueue t i e =
 let chaos_kill_shard t i = chaos_enqueue t i Chaos_kill
 let chaos_wedge_shard t i ~wedge_ms = chaos_enqueue t i (Chaos_wedge wedge_ms)
 
+(* ------------------------------------------------------------------ *)
+(* Watch mode: scan, swap, rescan ([cla serve --watch])                 *)
+(* ------------------------------------------------------------------ *)
+
+let outcome_view (o : Pipeline.ladder_outcome) =
+  o.Pipeline.lo_solution.Solution.view
+
+(* Rewrite the snapshot sidecar from a fresh non-degraded outcome and
+   restore the lock-free frozen-arena path over the new view. *)
+let refreeze t (outcome : Pipeline.ladder_outcome) =
+  match t.cfg.save_snapshot with
+  | Some path when not outcome.Pipeline.lo_degraded -> (
+      match Snapshot.save path ~view:(outcome_view outcome) outcome with
+      | () ->
+          t.frozen <- Some outcome;
+          Cla_obs.Metrics.incr "serve.snapshot_refreeze"
+      | exception Sys_error m ->
+          Printf.eprintf "cla serve: --save-snapshot: %s\n%!" m)
+  | _ -> ()
+
+(* Install a freshly-analyzed view as the served solution.  The epoch
+   bump comes first: a shard solve that started before it skips its
+   cache write (see [run_job]), and the single-shard path serializes
+   with us on [solve_m] — so no solve over the old view can poison a
+   post-swap cache.  Queries already in flight finish against whichever
+   outcome they hold; that stays internally consistent because answers
+   resolve variable names against the outcome's own view. *)
+let install_outcome t (outcome : Pipeline.ladder_outcome) =
+  Atomic.incr t.epoch;
+  Mutex.lock t.solve_m;
+  t.view <- outcome_view outcome;
+  t.cache <- Some outcome;
+  Mutex.unlock t.solve_m;
+  Array.iter
+    (fun sh ->
+      Mutex.lock sh.sh_m;
+      sh.sh_cache <- Some outcome;
+      Mutex.unlock sh.sh_m)
+    t.shard_tab;
+  (* snapshot staleness: the frozen arena is bound to the pre-swap view
+     and must stop answering — one structured diagnostic, first swap
+     only *)
+  if t.frozen <> None then begin
+    t.frozen <- None;
+    if not t.snapshot_stale then begin
+      t.snapshot_stale <- true;
+      Cla_obs.Metrics.incr "serve.snapshot_stale";
+      Printf.eprintf "cla serve: %s\n%!"
+        (Diag.to_string
+           (Diag.warning ~phase:Diag.Load
+              "snapshot stale after relink: the frozen arena no longer \
+               matches the served database and stops answering \
+               (--save-snapshot refreezes it)"))
+    end
+  end;
+  refreeze t outcome
+
+let scan_watch_dir dir =
+  let names = try Sys.readdir dir with Sys_error _ -> [||] in
+  Array.sort compare names;
+  let acc = ref [] in
+  Array.iter
+    (fun name ->
+      if Filename.check_suffix name ".c" || Filename.check_suffix name ".clo"
+      then
+        let path = Filename.concat dir name in
+        match Unix.stat path with
+        | { Unix.st_kind = Unix.S_REG; st_size; st_mtime; _ } ->
+            acc := (path, st_size, st_mtime) :: !acc
+        | _ -> ()
+        | exception Unix.Unix_error _ -> ())
+    names;
+  List.rev !acc
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Split a scan into compile inputs ([.c], read now — the TU-hash probe
+   needs the text anyway) and pre-compiled units ([.clo], loaded through
+   the revalidating {!Loader.load_file_cached}).  A file that fails to
+   read or load is reported and left out of this round — the server
+   keeps answering from the last consistent solution. *)
+let watch_inputs sg =
+  let sources = ref [] and units = ref [] in
+  List.iter
+    (fun (path, _, _) ->
+      if Filename.check_suffix path ".c" then
+        match read_file path with
+        | s -> sources := (path, s) :: !sources
+        | exception Sys_error m ->
+            Printf.eprintf "cla serve: watch: %s\n%!" m
+      else
+        match Loader.load_file_cached path with
+        | Ok v -> units := (path, v) :: !units
+        | Error d ->
+            Cla_obs.Metrics.incr (Diag.metric_of_phase d.Diag.phase);
+            Printf.eprintf "cla serve: watch: %s\n%!" (Diag.to_string d))
+    sg;
+  (List.rev !sources, List.rev !units)
+
+(* Full build over the watched directory, before the server exists. *)
+let watch_boot dir =
+  let sg = scan_watch_dir dir in
+  let sources, units = watch_inputs sg in
+  if sources = [] && units = [] then
+    raise (Sys_error (dir ^ ": no .c or .clo files to watch"));
+  let inc, _ = Incremental.create ~units sources in
+  {
+    wa_dir = dir;
+    wa_m = Mutex.create ();
+    wa_inc = inc;
+    wa_sig = sg;
+    wa_epoch = 0;
+  }
+
+(* One rescan: stat the directory and, when the signature moved (or
+   [force]), rebuild the inputs, run the incremental update and swap the
+   served solution.  Any failure (a source unparsable mid-edit, an
+   unreadable object) leaves the previous solution serving and is
+   reported — stale-but-consistent beats down. *)
+let watch_rescan t w ~force =
+  Mutex.lock w.wa_m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock w.wa_m) @@ fun () ->
+  let sg = scan_watch_dir w.wa_dir in
+  let changed =
+    let old = Hashtbl.create 64 in
+    List.iter (fun (p, sz, mt) -> Hashtbl.replace old p (sz, mt)) w.wa_sig;
+    let c = ref 0 in
+    List.iter
+      (fun (p, sz, mt) ->
+        (match Hashtbl.find_opt old p with
+        | Some (sz', mt') when sz' = sz && Float.equal mt' mt -> ()
+        | _ -> incr c);
+        Hashtbl.remove old p)
+      sg;
+    !c + Hashtbl.length old
+  in
+  if changed = 0 && not force then `Unchanged
+  else begin
+    let t0 = R.Deadline.now_s () in
+    match
+      let sources, units = watch_inputs sg in
+      if sources = [] && units = [] then
+        failwith (w.wa_dir ^ ": no .c or .clo files left to serve");
+      Incremental.update w.wa_inc ~units sources
+    with
+    | st ->
+        w.wa_sig <- sg;
+        install_outcome t
+          (Pipeline.outcome_of_solution Pipeline.Pretransitive
+             (Incremental.solution w.wa_inc));
+        w.wa_epoch <- w.wa_epoch + 1;
+        Cla_obs.Metrics.incr "serve.reanalyzes";
+        `Swapped (changed, st, R.Deadline.now_s () -. t0)
+    | exception e ->
+        Cla_obs.Metrics.incr "serve.watch_errors";
+        let msg = Printexc.to_string e in
+        Printf.eprintf "cla serve: watch: reanalyze failed: %s\n%!" msg;
+        `Failed msg
+  end
+
+(* The poll thread: a stat sweep every [watch_poll_ms], napping in short
+   slices so drain is not held up by the period. *)
+let watch_loop t w =
+  let period = Float.max 0.01 (float_of_int t.cfg.watch_poll_ms /. 1000.) in
+  while not (Atomic.get t.stopped) do
+    let left = ref period in
+    while !left > 0. && not (Atomic.get t.stopped) do
+      Thread.delay (Float.min 0.05 !left);
+      left := !left -. 0.05
+    done;
+    if not (Atomic.get t.stopped) && not (Atomic.get t.shutdown) then
+      ignore (watch_rescan t w ~force:false)
+  done
+
 let find_var t name = Objfile.find_targets t.view name
 
 let pts_of (o : Pipeline.ladder_outcome) v =
@@ -913,27 +1132,64 @@ let run_admitted t (req : Protocol.request) qc ~start_ns ~deadline ~cancel =
         | Error p ->
             bump t (fun s -> s.s_timeout <- s.s_timeout + 1);
             timeout_response ~id p)
+  | Protocol.Reanalyze -> (
+      match t.watcher with
+      | None ->
+          bump t (fun s -> s.s_error <- s.s_error + 1);
+          Protocol.error ~id
+            "reanalyze: this server is not watching a directory (start it \
+             with --watch DIR)"
+      | Some w -> (
+          match watch_rescan t w ~force:false with
+          | `Unchanged ->
+              bump t (fun s -> s.s_ok <- s.s_ok + 1);
+              Protocol.ok_reanalyze ~id ~epoch:(Atomic.get t.epoch) ~changed:0
+                ~sources:0 ~cache_hits:0 ~cache_misses:0 ~resumed:false
+                ~wall_ms:0. ()
+          | `Swapped (changed, st, wall_s) ->
+              bump t (fun s -> s.s_ok <- s.s_ok + 1);
+              Protocol.ok_reanalyze ~id ~epoch:(Atomic.get t.epoch) ~changed
+                ~sources:st.Incremental.sources
+                ~cache_hits:st.Incremental.cache_hits
+                ~cache_misses:st.Incremental.cache_misses
+                ~resumed:st.Incremental.resumed
+                ~wall_ms:(wall_s *. 1000.) ()
+          | `Failed msg ->
+              bump t (fun s -> s.s_error <- s.s_error + 1);
+              Protocol.error ~id ~code:500 ("reanalyze failed: " ^ msg)))
   | Protocol.Points_to name -> (
+      (* cheap pre-check against the current view so unknown variables
+         never pay for a solve *)
       match find_var t name with
       | [] ->
           bump t (fun s -> s.s_error <- s.s_error + 1);
           Protocol.error ~id ~code:404 (Printf.sprintf "unknown variable %S" name)
-      | v :: _ -> (
+      | _ :: _ -> (
           match solution t qc ~fresh:req.Protocol.r_fresh ~deadline ~cancel with
           | Error p ->
               bump t (fun s -> s.s_timeout <- s.s_timeout + 1);
               timeout_response ~id p
-          | Ok o ->
-              bump t (fun s ->
-                  s.s_ok <- s.s_ok + 1;
-                  if o.Pipeline.lo_degraded then s.s_degraded <- s.s_degraded + 1);
-              let rung = Pipeline.algorithm_name o.Pipeline.lo_algorithm in
-              qc.qc_rung <- rung;
-              qc.qc_degraded <- o.Pipeline.lo_degraded;
-              Protocol.ok_points_to ~id ~telemetry:(telemetry ()) ~rung
-                ~degraded:o.Pipeline.lo_degraded ~var:name
-                ~targets:(target_names o (pts_of o v))
-                ()))
+          | Ok o -> (
+              (* resolve against the outcome's own view: a watch-mode
+                 swap between the pre-check and the solve must not mix
+                 pre-swap ids with a post-swap solution *)
+              match Objfile.find_targets (outcome_view o) name with
+              | [] ->
+                  bump t (fun s -> s.s_error <- s.s_error + 1);
+                  Protocol.error ~id ~code:404
+                    (Printf.sprintf "unknown variable %S" name)
+              | v :: _ ->
+                  bump t (fun s ->
+                      s.s_ok <- s.s_ok + 1;
+                      if o.Pipeline.lo_degraded then
+                        s.s_degraded <- s.s_degraded + 1);
+                  let rung = Pipeline.algorithm_name o.Pipeline.lo_algorithm in
+                  qc.qc_rung <- rung;
+                  qc.qc_degraded <- o.Pipeline.lo_degraded;
+                  Protocol.ok_points_to ~id ~telemetry:(telemetry ()) ~rung
+                    ~degraded:o.Pipeline.lo_degraded ~var:name
+                    ~targets:(target_names o (pts_of o v))
+                    ())))
   | Protocol.Alias (n1, n2) -> (
       match (find_var t n1, find_var t n2) with
       | [], _ ->
@@ -942,22 +1198,35 @@ let run_admitted t (req : Protocol.request) qc ~start_ns ~deadline ~cancel =
       | _, [] ->
           bump t (fun s -> s.s_error <- s.s_error + 1);
           Protocol.error ~id ~code:404 (Printf.sprintf "unknown variable %S" n2)
-      | v1 :: _, v2 :: _ -> (
+      | _ :: _, _ :: _ -> (
           match solution t qc ~fresh:req.Protocol.r_fresh ~deadline ~cancel with
           | Error p ->
               bump t (fun s -> s.s_timeout <- s.s_timeout + 1);
               timeout_response ~id p
-          | Ok o ->
-              bump t (fun s ->
-                  s.s_ok <- s.s_ok + 1;
-                  if o.Pipeline.lo_degraded then s.s_degraded <- s.s_degraded + 1);
-              let rung = Pipeline.algorithm_name o.Pipeline.lo_algorithm in
-              qc.qc_rung <- rung;
-              qc.qc_degraded <- o.Pipeline.lo_degraded;
-              Protocol.ok_alias ~id ~telemetry:(telemetry ()) ~rung
-                ~degraded:o.Pipeline.lo_degraded ~var:n1 ~var2:n2
-                ~aliased:(sets_intersect (pts_of o v1) (pts_of o v2))
-                ()))
+          | Ok o -> (
+              match
+                ( Objfile.find_targets (outcome_view o) n1,
+                  Objfile.find_targets (outcome_view o) n2 )
+              with
+              | [], _ | _, [] ->
+                  bump t (fun s -> s.s_error <- s.s_error + 1);
+                  Protocol.error ~id ~code:404
+                    (Printf.sprintf "unknown variable %S"
+                       (if Objfile.find_targets (outcome_view o) n1 = [] then
+                          n1
+                        else n2))
+              | v1 :: _, v2 :: _ ->
+                  bump t (fun s ->
+                      s.s_ok <- s.s_ok + 1;
+                      if o.Pipeline.lo_degraded then
+                        s.s_degraded <- s.s_degraded + 1);
+                  let rung = Pipeline.algorithm_name o.Pipeline.lo_algorithm in
+                  qc.qc_rung <- rung;
+                  qc.qc_degraded <- o.Pipeline.lo_degraded;
+                  Protocol.ok_alias ~id ~telemetry:(telemetry ()) ~rung
+                    ~degraded:o.Pipeline.lo_degraded ~var:n1 ~var2:n2
+                    ~aliased:(sets_intersect (pts_of o v1) (pts_of o v2))
+                    ())))
 
 let handle_line t line =
   let start_ns = R.Deadline.now_ns () in
@@ -1152,6 +1421,9 @@ let create ?(config = default_config) view =
                sh_sup = Cla_par.Supervised.create ();
              }));
     rr = Atomic.make 0;
+    epoch = Atomic.make 0;
+    watcher = None;
+    snapshot_stale = false;
     shutdown = Atomic.make false;
     stopped = Atomic.make false;
     conns_m = Mutex.create ();
@@ -1205,8 +1477,7 @@ let claim_socket_path path =
     | `Stale -> ( try Sys.remove path with Sys_error _ -> ())
   end
 
-let run ?(config = default_config) ?(on_ready = fun _ -> ()) view : stats =
-  let t = create ~config view in
+let run_server t (config : config) on_ready : stats =
   (* a client that disconnects mid-response must not kill the server *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   List.iter
@@ -1236,6 +1507,9 @@ let run ?(config = default_config) ?(on_ready = fun _ -> ()) view : stats =
       Some (Thread.create supervisor_loop t)
     else None
   in
+  let watch_thread =
+    Option.map (fun w -> Thread.create (watch_loop t) w) t.watcher
+  in
   let stop_workers () =
     (* stop the solver shards: each drains its queue (every queued job
        still answers) and exits; superseded zombies are reaped too *)
@@ -1249,7 +1523,8 @@ let run ?(config = default_config) ?(on_ready = fun _ -> ()) view : stats =
     Array.iter (fun sh -> Cla_par.Supervised.join_all sh.sh_sup) t.shard_tab;
     Atomic.set t.stopped true;
     Thread.join wd_thread;
-    match sup_thread with Some th -> Thread.join th | None -> ()
+    (match sup_thread with Some th -> Thread.join th | None -> ());
+    match watch_thread with Some th -> Thread.join th | None -> ()
   in
   (try
      on_ready t;
@@ -1321,3 +1596,29 @@ let run ?(config = default_config) ?(on_ready = fun _ -> ()) view : stats =
       try Cla_obs.Trace.write_lanes path lanes with Sys_error _ -> ());
   (match t.log_oc with Some oc -> (try close_out oc with Sys_error _ -> ()) | None -> ());
   t.stats
+
+let run ?(config = default_config) ?(on_ready = fun _ -> ()) view : stats =
+  let t = create ~config view in
+  run_server t config on_ready
+
+let run_watch ?(config = default_config) ?(on_ready = fun _ -> ()) dir : stats
+    =
+  let config = { config with watch_dir = Some dir } in
+  let w = watch_boot dir in
+  let t = create ~config (Incremental.view w.wa_inc) in
+  t.watcher <- Some w;
+  (* seed the caches with the boot solve so first queries hit; an
+     accepted --snapshot (already seeded by [create]) keeps precedence
+     until the first swap marks it stale *)
+  let boot =
+    Pipeline.outcome_of_solution Pipeline.Pretransitive
+      (Incremental.solution w.wa_inc)
+  in
+  if t.frozen = None then begin
+    t.cache <- Some boot;
+    Array.iter (fun sh -> sh.sh_cache <- Some boot) t.shard_tab;
+    (* --save-snapshot from boot: the arena is lock-free immediately and
+       the sidecar exists before the first edit *)
+    refreeze t boot
+  end;
+  run_server t config on_ready

@@ -60,6 +60,25 @@ type config = {
           [restart_window_ms] the shard stays down and dispatch routes
           around it *)
   restart_window_ms : int;  (** the breaker's sliding window *)
+  watch_dir : string option;
+      (** serve a directory of [.c] / [.clo] files instead of a fixed
+          linked database ({!run_watch} sets this): a poll thread stats
+          the directory every [watch_poll_ms]; on change it recompiles
+          only the edited units (TU content hash —
+          [compile.cache.hits]), delta-links, delta-solves
+          ({!Cla_core.Incremental}) and atomically swaps the served
+          solution.  The [reanalyze] protocol op forces the same rescan
+          on demand.  A broken edit (unparsable source) keeps the last
+          consistent solution serving. *)
+  watch_poll_ms : int;  (** watch-mode poll period *)
+  save_snapshot : string option;
+      (** rewrite this snapshot sidecar after every non-degraded swap
+          (and at watch-mode boot), refreezing the lock-free frozen
+          arena over the new view — restart cost stays one file read as
+          the watched tree evolves.  Without it, a swap under
+          [snapshot_path] marks the thawed arena stale
+          ([serve.snapshot_stale], one diagnostic) and live caches take
+          over. *)
 }
 
 val default_config : config
@@ -107,3 +126,10 @@ val chaos_wedge_shard : t -> int -> wedge_ms:int -> bool
     caller can stop the server without a signal.  Installs handlers for
     SIGINT/SIGTERM and ignores SIGPIPE. *)
 val run : ?config:config -> ?on_ready:(t -> unit) -> Cla_core.Objfile.view -> stats
+
+(** Like {!run}, but over a watched directory of [.c] / [.clo] files
+    instead of a pre-linked database: compile-link-analyze it once,
+    serve, and keep the served solution in sync with edits through the
+    incremental pipeline (see [watch_dir]).  Raises [Sys_error] when
+    the directory holds nothing to analyze. *)
+val run_watch : ?config:config -> ?on_ready:(t -> unit) -> string -> stats

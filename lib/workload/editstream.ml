@@ -1,0 +1,237 @@
+(** Seeded random TU edit streams over a {!Genc} base program — the
+    workload behind the incremental (delta-solve) bench and tests.
+
+    Every edit touches exactly one translation unit and is {e strictly
+    append-only at the text level}: an edit appends a block at the end
+    of the chosen file consisting of the declarations it needs (a
+    definition in the block's file, [extern] elsewhere — each global has
+    one owning file, so no symbol is defined twice) followed by a fresh
+    top-level function [void ce_edit_<k>(void) { <stmt> }] carrying the
+    new assignment.  Appending after all existing text keeps every
+    previously-compiled variable's uid — and hence, through the delta
+    linker's stable-id matching, its linked id — unchanged, which is
+    what makes the resulting constraint delta pure-add.
+
+    A {e removal} edit deletes the function of a previously-added block
+    (its declarations stay, so no variable disappears and ids of keyed
+    symbols survive); the assignments it carried go away, the link
+    delta stops being pure-add, and the solver is expected to take its
+    from-scratch fallback.  [p_remove] sets how often that happens. *)
+
+type gkind = Gint | Gptr | Gptr2 | Gfun | Gfunptr
+
+type global = { gname : string; gkind : gkind; gowner : int }
+
+(* One appended edit block in a file: declaration lines (never removed)
+   plus the removable function text. *)
+type block = { b_decls : string; mutable b_fn : string }
+
+type file_state = {
+  f_name : string;
+  f_base : string;
+  mutable f_blocks : block list;  (* reverse order of addition *)
+  f_declared : (string, unit) Hashtbl.t;
+}
+
+type t = {
+  rng : Rng.t;
+  files : file_state array;
+  mutable globals : global list;  (* reverse order of creation *)
+  mutable next_id : int;
+  mutable steps : int;
+  p_remove : float;
+}
+
+type step = {
+  snum : int;  (** 1-based step number *)
+  sfile : string;  (** the one edited file *)
+  sdesc : string;
+  sremoval : bool;  (** removed constraints: expect the solver fallback *)
+  ssources : (string * string) list;  (** full program after the edit *)
+}
+
+let create ?(seed = 0xed17L) ?(p_remove = 0.0) profile =
+  let base = Genc.generate ~seed profile in
+  if base = [] then invalid_arg "Editstream.create: empty base program";
+  {
+    rng = Rng.create seed;
+    files =
+      Array.of_list
+        (List.map
+           (fun (name, src) ->
+             {
+               f_name = name;
+               f_base = src;
+               f_blocks = [];
+               f_declared = Hashtbl.create 16;
+             })
+           base);
+    globals = [];
+    next_id = 0;
+    steps = 0;
+    p_remove;
+  }
+
+let render fs =
+  let b = Buffer.create (String.length fs.f_base + 256) in
+  Buffer.add_string b fs.f_base;
+  List.iter
+    (fun blk ->
+      Buffer.add_string b blk.b_decls;
+      Buffer.add_string b blk.b_fn)
+    (List.rev fs.f_blocks);
+  Buffer.contents b
+
+let sources t =
+  Array.to_list (Array.map (fun fs -> (fs.f_name, render fs)) t.files)
+
+let fresh t =
+  let k = t.next_id in
+  t.next_id <- k + 1;
+  k
+
+(* Declaration line for [g] as seen from file [fi]. *)
+let decl_line fi (g : global) =
+  let ext = if g.gowner = fi then "" else "extern " in
+  match g.gkind with
+  | Gint -> Fmt.str "%sint %s;\n" ext g.gname
+  | Gptr -> Fmt.str "%sint *%s;\n" ext g.gname
+  | Gptr2 -> Fmt.str "%sint **%s;\n" ext g.gname
+  | Gfun -> Fmt.str "extern int %s(int);\n" g.gname
+      (* the definition text lives in the owner's block *)
+  | Gfunptr -> Fmt.str "%sint (*%s)(int);\n" ext g.gname
+
+(* Globals of a kind usable from file [fi] (any owner — cross-file use
+   just costs an extern declaration, which is the point). *)
+let usable t kind =
+  List.filter (fun g -> g.gkind = kind) t.globals |> Array.of_list
+
+let new_global t ~owner kind =
+  let k = fresh t in
+  let gname =
+    match kind with
+    | Gint -> Fmt.str "ce_i%d" k
+    | Gptr -> Fmt.str "ce_p%d" k
+    | Gptr2 -> Fmt.str "ce_pp%d" k
+    | Gfun -> Fmt.str "ce_f%d" k
+    | Gfunptr -> Fmt.str "ce_fp%d" k
+  in
+  let g = { gname; gkind = kind; gowner = owner } in
+  t.globals <- g :: t.globals;
+  g
+
+(* Pick an existing global of [kind], or mint one owned by [fi]. *)
+let pick_or_new t fi kind =
+  let pool = usable t kind in
+  if Array.length pool > 0 && not (Rng.flip t.rng 0.25) then
+    Rng.choose t.rng pool
+  else new_global t ~owner:fi kind
+
+let removable t =
+  let acc = ref [] in
+  Array.iter
+    (fun fs ->
+      List.iter (fun blk -> if blk.b_fn <> "" then acc := (fs, blk) :: !acc)
+        fs.f_blocks)
+    t.files;
+  Array.of_list !acc
+
+(* Append one edit block in file [fi]: the needed declarations (only
+   those not yet declared there) and a fresh carrier function around
+   [stmt].  [extra_top] is extra top-level text placed before the
+   carrier (a new function's definition). *)
+let append_block t fi ~globals ~extra_top ~stmt =
+  let fs = t.files.(fi) in
+  let decls = Buffer.create 64 in
+  List.iter
+    (fun (g : global) ->
+      let skip_decl = g.gkind = Gfun && g.gowner = fi in
+      if (not (Hashtbl.mem fs.f_declared g.gname)) && not skip_decl then begin
+        Hashtbl.replace fs.f_declared g.gname ();
+        Buffer.add_string decls (decl_line fi g)
+      end)
+    globals;
+  let k = fresh t in
+  let fn = Fmt.str "%svoid ce_edit_%d(void) { %s }\n" extra_top k stmt in
+  fs.f_blocks <- { b_decls = Buffer.contents decls; b_fn = fn } :: fs.f_blocks
+
+let next t =
+  t.steps <- t.steps + 1;
+  let fi = Rng.int t.rng (Array.length t.files) in
+  let removables = removable t in
+  let remove_now =
+    Array.length removables > 0 && Rng.flip t.rng t.p_remove
+  in
+  let sfile, sdesc, sremoval =
+    if remove_now then begin
+      let fs, blk = Rng.choose t.rng removables in
+      blk.b_fn <- "";
+      (fs.f_name, "remove edit block", true)
+    end
+    else begin
+      let fs = t.files.(fi) in
+      let kind = Rng.int t.rng 6 in
+      let desc =
+        match kind with
+        | 0 ->
+            (* fresh address-of chain: p = &i *)
+            let i = new_global t ~owner:fi Gint in
+            let p = new_global t ~owner:fi Gptr in
+            append_block t fi ~globals:[ i; p ] ~extra_top:""
+              ~stmt:(Fmt.str "%s = &%s;" p.gname i.gname);
+            "new chain p = &i"
+        | 1 ->
+            (* point an existing pointer somewhere (maybe cross-file) *)
+            let p = pick_or_new t fi Gptr in
+            let i = pick_or_new t fi Gint in
+            append_block t fi ~globals:[ p; i ] ~extra_top:""
+              ~stmt:(Fmt.str "%s = &%s;" p.gname i.gname);
+            "point p = &i"
+        | 2 ->
+            (* pointer copy *)
+            let p1 = pick_or_new t fi Gptr in
+            let p2 = pick_or_new t fi Gptr in
+            append_block t fi ~globals:[ p1; p2 ] ~extra_top:""
+              ~stmt:(Fmt.str "%s = %s;" p1.gname p2.gname);
+            "copy p1 = p2"
+        | 3 ->
+            (* aim a double pointer: pp = &p *)
+            let pp = pick_or_new t fi Gptr2 in
+            let p = pick_or_new t fi Gptr in
+            append_block t fi ~globals:[ pp; p ] ~extra_top:""
+              ~stmt:(Fmt.str "%s = &%s;" pp.gname p.gname);
+            "aim pp = &p"
+        | 4 ->
+            (* complex traffic through a double pointer *)
+            let pp = pick_or_new t fi Gptr2 in
+            let p = pick_or_new t fi Gptr in
+            let stmt =
+              if Rng.flip t.rng 0.5 then
+                Fmt.str "*%s = %s;" pp.gname p.gname
+              else Fmt.str "%s = *%s;" p.gname pp.gname
+            in
+            append_block t fi ~globals:[ pp; p ] ~extra_top:"" ~stmt;
+            "deref *pp/p"
+        | _ ->
+            if Rng.flip t.rng 0.5 then begin
+              (* new function, aimed at by a function pointer *)
+              let f = new_global t ~owner:fi Gfun in
+              let fp = pick_or_new t fi Gfunptr in
+              let def = Fmt.str "int %s(int p) { return p; }\n" f.gname in
+              append_block t fi ~globals:[ f; fp ] ~extra_top:def
+                ~stmt:(Fmt.str "%s = &%s;" fp.gname f.gname);
+              "new fn, fp = &f"
+            end
+            else begin
+              (* indirect call through a function pointer *)
+              let fp = pick_or_new t fi Gfunptr in
+              let i = pick_or_new t fi Gint in
+              append_block t fi ~globals:[ fp; i ] ~extra_top:""
+                ~stmt:(Fmt.str "%s = (*%s)(%s);" i.gname fp.gname i.gname);
+              "indirect call i = (*fp)(i)"
+            end
+      in
+      (fs.f_name, desc, false)
+    end
+  in
+  { snum = t.steps; sfile; sdesc; sremoval; ssources = sources t }

@@ -1,0 +1,34 @@
+(** Seeded random TU edit streams over a {!Genc} base program — the
+    workload behind the incremental (delta-solve) bench and tests.
+
+    Edits touch exactly one translation unit each and are strictly
+    append-only at the text level (declarations a block needs, then a
+    fresh carrier function holding one new assignment), which keeps
+    every pre-existing variable's uid — and through the delta linker's
+    stable-id matching, its linked id — unchanged, so the resulting
+    constraint delta is pure-add.  With [p_remove > 0] a step may
+    instead delete a previously-added carrier function (declarations
+    stay): constraints disappear, the delta stops being pure-add, and
+    the solver is expected to take its from-scratch fallback. *)
+
+type t
+
+type step = {
+  snum : int;  (** 1-based step number *)
+  sfile : string;  (** the one edited file *)
+  sdesc : string;  (** what the edit did, for logs *)
+  sremoval : bool;  (** removed constraints: expect the solver fallback *)
+  ssources : (string * string) list;  (** full program after the edit *)
+}
+
+(** [create ?seed ?p_remove profile] seeds a stream over the Genc
+    program of [profile].  [p_remove] (default 0) is the probability a
+    step removes a prior edit instead of adding one. *)
+val create : ?seed:int64 -> ?p_remove:float -> Profile.t -> t
+
+(** The current full source set ([(file, source)] pairs); before any
+    {!next} this is the Genc base program. *)
+val sources : t -> (string * string) list
+
+(** Apply one random edit and return it (with the post-edit sources). *)
+val next : t -> step

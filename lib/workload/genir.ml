@@ -134,6 +134,7 @@ let generate ?(params = default_params) seed : Objfile.db =
     indirects = List.rev !indirects;
     consts = [];
     openworld = None;
+    tuhash = None;
     meta =
       {
         Objfile.mfiles = [ "gen.c" ];
@@ -188,6 +189,7 @@ let mk_shaped_db ~nvars ~statics ~blocks ~counts : Objfile.db =
     indirects = [];
     consts = [];
     openworld = None;
+    tuhash = None;
     meta =
       {
         Objfile.mfiles = [ "gen.c" ];

@@ -1,0 +1,298 @@
+(* Tests for the incremental compile-link-analyze chain: TU content
+   hashing, the delta linker against a full-merge oracle, and the
+   solver's delta resume against from-scratch solves over edit
+   streams. *)
+
+open Cla_core
+module W = Cla_workload
+
+let small_profile = W.Profile.scaled 0.02 W.Profile.burlap
+
+(* ------------------------------------------------------------------ *)
+(* TU content hash                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_tuhash_matrix () =
+  let src = "int x; int *p; void f(void) { p = &x; }" in
+  let h = Compilep.tu_hash ~file:"a.c" src in
+  (* deterministic *)
+  Alcotest.(check string) "same input, same hash" h
+    (Compilep.tu_hash ~file:"a.c" src);
+  (* the hash is over the preprocessed text: whitespace-only changes
+     that survive preprocessing change it, a comment does not
+     necessarily — so probe with a semantic change *)
+  let h2 = Compilep.tu_hash ~file:"a.c" (src ^ " int y;") in
+  Alcotest.(check bool) "edited source, new hash" false (String.equal h h2);
+  (* options are part of the hash *)
+  let opt_d =
+    { Compilep.default_options with Compilep.defines = [ ("A", "1") ] }
+  in
+  Alcotest.(check bool) "defines change the hash" false
+    (String.equal h (Compilep.tu_hash ~options:opt_d ~file:"a.c" src));
+  let opt_m =
+    {
+      Compilep.default_options with
+      Compilep.mode = Cla_cfront.Normalize.Field_independent;
+    }
+  in
+  Alcotest.(check bool) "mode changes the hash" false
+    (String.equal h (Compilep.tu_hash ~options:opt_m ~file:"a.c" src))
+
+let test_tuhash_recorded () =
+  let src = "int x; int *p; void f(void) { p = &x; }" in
+  let db = Compilep.compile_string ~file:"a.c" src in
+  (match db.Objfile.tuhash with
+  | Some h ->
+      Alcotest.(check string) "compile records tu_hash" h
+        (Compilep.tu_hash ~file:"a.c" src)
+  | None -> Alcotest.fail "unit object carries no tuhash");
+  (* and it round-trips through the object format *)
+  let view = Objfile.view_of_string (Objfile.write db) in
+  Alcotest.(check (option string)) "tuhash round-trips" db.Objfile.tuhash
+    view.Objfile.rtuhash;
+  (* linked databases don't carry one *)
+  let linked, _ = Linkp.link_views [ view ] in
+  Alcotest.(check (option string)) "linked db has none" None
+    linked.Objfile.tuhash
+
+(* ------------------------------------------------------------------ *)
+(* Delta link vs full merge                                            *)
+(* ------------------------------------------------------------------ *)
+
+let compile_unit (file, src) =
+  (file, Objfile.view_of_string (Objfile.write (Compilep.compile_string ~file src)))
+
+(* Name-keyed points-to map — the id-independent oracle: the delta
+   linker assigns different ids than a from-scratch merge (it appends
+   where the full merge interleaves), but the named relation must
+   match. *)
+let named_pts view =
+  let sol = Pipeline.points_to view in
+  let tbl = Hashtbl.create 256 in
+  Array.iteri
+    (fun v _ ->
+      let pts = Solution.points_to sol v in
+      if Lvalset.cardinal pts > 0 then
+        Hashtbl.replace tbl
+          (Solution.var_name sol v)
+          (List.sort compare
+             (List.map (Solution.var_name sol) (Lvalset.to_list pts))))
+    view.Objfile.rvars;
+  tbl
+
+let check_same_named_pts msg va vb =
+  let a = named_pts va and b = named_pts vb in
+  Alcotest.(check int)
+    (msg ^ ": same pointer count")
+    (Hashtbl.length a) (Hashtbl.length b);
+  Hashtbl.iter
+    (fun name pts ->
+      match Hashtbl.find_opt b name with
+      | Some pts' -> Alcotest.(check (list string)) (msg ^ ": " ^ name) pts pts'
+      | None -> Alcotest.fail (msg ^ ": " ^ name ^ " missing from oracle"))
+    a
+
+let test_delta_link_pure_add () =
+  let u1 = ("a.c", "int x; int *p; void f(void) { p = &x; }") in
+  let u2 = ("b.c", "extern int *p; int *q; void g(void) { q = p; }") in
+  let st, d0 = Linkp.state_create (List.map compile_unit [ u1; u2 ]) in
+  Alcotest.(check bool) "initial delta is all-added" true
+    (Linkp.delta_is_pure_add d0);
+  (* append-only edit to b.c *)
+  let u2' =
+    ("b.c", snd u2 ^ "\nint y;\nvoid ce_edit_0(void) { q = &y; }\n")
+  in
+  let units' = List.map compile_unit [ u1; u2' ] in
+  let d = Linkp.relink st units' in
+  Alcotest.(check bool) "append-only edit is pure-add" true
+    (Linkp.delta_is_pure_add d);
+  Alcotest.(check bool) "no full relink" false d.Linkp.d_full_relink;
+  Alcotest.(check bool) "constraints were added" true
+    (Linkp.delta_size_added d > 0);
+  let oracle = Objfile.view_of_string (Objfile.write (fst (Linkp.link_views (List.map snd units')))) in
+  check_same_named_pts "patched view vs full merge" (Linkp.state_view st)
+    oracle
+
+let test_delta_link_removal_falls_back () =
+  let u1 = ("a.c", "int x; int *p; void f(void) { p = &x; }") in
+  let u2 = ("b.c", "extern int *p; int *q; void g(void) { q = p; }") in
+  let st, _ = Linkp.state_create (List.map compile_unit [ u1; u2 ]) in
+  (* remove the assignment from b.c *)
+  let u2' = ("b.c", "extern int *p; int *q;") in
+  let units' = List.map compile_unit [ u1; u2' ] in
+  let d = Linkp.relink st units' in
+  Alcotest.(check bool) "removal is not pure-add" false
+    (Linkp.delta_is_pure_add d);
+  let oracle = Objfile.view_of_string (Objfile.write (fst (Linkp.link_views (List.map snd units')))) in
+  check_same_named_pts "post-removal view vs full merge" (Linkp.state_view st)
+    oracle
+
+(* ------------------------------------------------------------------ *)
+(* Incremental driver over edit streams                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The hard gate: after every step, the incrementally-maintained
+   solution must equal a from-scratch solve of the same linked view. *)
+let run_stream ~p_remove ~steps ~seed () =
+  let es = W.Editstream.create ~seed ~p_remove small_profile in
+  let t, s0 = Incremental.create (W.Editstream.sources es) in
+  let n_files = s0.Incremental.sources in
+  Alcotest.(check bool) "base build compiles everything" true
+    (s0.Incremental.cache_misses = n_files);
+  let scratch = Andersen.solve (Incremental.view t) in
+  Alcotest.(check bool) "base solution equals scratch" true
+    (Solution.equal (Incremental.solution t) scratch.Andersen.solution);
+  for _ = 1 to steps do
+    let step = W.Editstream.next es in
+    let s = Incremental.update t step.W.Editstream.ssources in
+    Alcotest.(check int)
+      (Fmt.str "step %d (%s): one recompile" step.W.Editstream.snum
+         step.W.Editstream.sdesc)
+      1 s.Incremental.cache_misses;
+    Alcotest.(check int)
+      (Fmt.str "step %d: rest cached" step.W.Editstream.snum)
+      (n_files - 1) s.Incremental.cache_hits;
+    if not step.W.Editstream.sremoval then begin
+      Alcotest.(check bool)
+        (Fmt.str "step %d: pure-add delta" step.W.Editstream.snum)
+        true s.Incremental.delta_pure;
+      Alcotest.(check bool)
+        (Fmt.str "step %d: solver resumed" step.W.Editstream.snum)
+        true s.Incremental.resumed
+    end
+    else
+      Alcotest.(check bool)
+        (Fmt.str "step %d: removal fell back" step.W.Editstream.snum)
+        false s.Incremental.resumed;
+    let scratch = Andersen.solve (Incremental.view t) in
+    Alcotest.(check bool)
+      (Fmt.str "step %d: incremental == scratch" step.W.Editstream.snum)
+      true
+      (Solution.equal (Incremental.solution t) scratch.Andersen.solution)
+  done
+
+let test_stream_add_only () = run_stream ~p_remove:0.0 ~steps:12 ~seed:7L ()
+
+let test_stream_with_removals () =
+  run_stream ~p_remove:0.35 ~steps:12 ~seed:11L ()
+
+let test_update_noop () =
+  let es = W.Editstream.create ~seed:3L small_profile in
+  let t, _ = Incremental.create (W.Editstream.sources es) in
+  let before = Incremental.solution t in
+  let s = Incremental.update t (W.Editstream.sources es) in
+  Alcotest.(check int) "no recompiles" 0 s.Incremental.cache_misses;
+  Alcotest.(check bool) "solution unchanged" true
+    (Solution.equal before (Incremental.solution t))
+
+(* ------------------------------------------------------------------ *)
+(* Live --watch server across a swap                                   *)
+(* ------------------------------------------------------------------ *)
+
+let write_file path content =
+  let oc = open_out_bin path in
+  output_string oc content;
+  close_out oc
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* Boot a real watch-mode server over a two-file tree, query it, append
+   an assignment to one TU, force the rescan through the [reanalyze]
+   protocol op, and check the next query sees the swapped solution:
+   one recompile, the other TU cached, the solver resumed. *)
+let test_watch_server () =
+  let dir = Filename.temp_file "cla_watch" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let src = Filename.concat dir "src" in
+  Unix.mkdir src 0o700;
+  write_file (Filename.concat src "a.c")
+    "int x; int *p;\nvoid f(void) { p = &x; }\n";
+  let b_base = "extern int *p; int *q;\nvoid g(void) { q = p; }\n" in
+  write_file (Filename.concat src "b.c") b_base;
+  let socket = Filename.concat dir "s.sock" in
+  let config =
+    {
+      Cla_serve.Server.default_config with
+      socket_path = socket;
+      (* a poll period the test never reaches: the explicit reanalyze
+         op is the only trigger, so the swap point is deterministic *)
+      watch_poll_ms = 60_000;
+    }
+  in
+  let handle = ref None in
+  let ready_m = Mutex.create () and ready_c = Condition.create () in
+  let server =
+    Thread.create
+      (fun () ->
+        ignore
+          (Cla_serve.Server.run_watch ~config
+             ~on_ready:(fun t ->
+               Mutex.lock ready_m;
+               handle := Some t;
+               Condition.signal ready_c;
+               Mutex.unlock ready_m)
+             src))
+      ()
+  in
+  Mutex.lock ready_m;
+  while !handle = None do
+    Condition.wait ready_c ready_m
+  done;
+  Mutex.unlock ready_m;
+  let ask line =
+    match Cla_serve.Client.round_trip ~socket line with
+    | Ok reply -> reply
+    | Error _ -> Alcotest.fail ("no reply to " ^ line)
+  in
+  let reply = ask "{\"id\":1,\"op\":\"points-to\",\"var\":\"q\"}" in
+  Alcotest.(check bool) "baseline sees x" true (contains reply "\"x\"");
+  Alcotest.(check bool) "no z before the edit" false (contains reply "\"z\"");
+  (* the one-TU append-only edit: q gains a second target *)
+  write_file (Filename.concat src "b.c")
+    (b_base ^ "int z;\nvoid h(void) { q = &z; }\n");
+  let re = ask "{\"id\":2,\"op\":\"reanalyze\"}" in
+  Alcotest.(check bool) "one TU changed" true (contains re "\"changed\": 1");
+  Alcotest.(check bool) "unchanged TU cached" true
+    (contains re "\"cache_hits\": 1");
+  Alcotest.(check bool) "solver resumed" true (contains re "\"resumed\": true");
+  let reply = ask "{\"id\":3,\"op\":\"points-to\",\"var\":\"q\"}" in
+  Alcotest.(check bool) "swap kept x" true (contains reply "\"x\"");
+  Alcotest.(check bool) "swap sees z" true (contains reply "\"z\"");
+  (* nothing changed: the rescan must be a no-op *)
+  let re = ask "{\"id\":4,\"op\":\"reanalyze\"}" in
+  Alcotest.(check bool) "no-op rescan" true (contains re "\"changed\": 0");
+  (match !handle with
+  | Some t -> Cla_serve.Server.request_shutdown t
+  | None -> ());
+  Thread.join server
+
+let () =
+  Alcotest.run "incremental"
+    [
+      ( "tuhash",
+        [
+          Alcotest.test_case "hit/miss matrix" `Quick test_tuhash_matrix;
+          Alcotest.test_case "recorded and round-tripped" `Quick
+            test_tuhash_recorded;
+        ] );
+      ( "delta-link",
+        [
+          Alcotest.test_case "pure-add vs full merge" `Quick
+            test_delta_link_pure_add;
+          Alcotest.test_case "removal vs full merge" `Quick
+            test_delta_link_removal_falls_back;
+        ] );
+      ( "delta-solve",
+        [
+          Alcotest.test_case "add-only stream" `Quick test_stream_add_only;
+          Alcotest.test_case "stream with removals" `Quick
+            test_stream_with_removals;
+          Alcotest.test_case "no-op update" `Quick test_update_noop;
+        ] );
+      ( "serve-watch",
+        [ Alcotest.test_case "query across a swap" `Quick test_watch_server ] );
+    ]
